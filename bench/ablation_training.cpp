@@ -1,0 +1,172 @@
+// Ablations of the paper's design choices (§VI and DESIGN.md §5):
+//   1. adversarial (faulty) vs fault-free training data for thresholds,
+//   2. TMEE vs TeLEx vs MSE learning loss,
+//   3. fixed-max vs context-scaled mitigation policy,
+//   4. tolerance-window sweep for the sample-level metrics.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sim/stack.h"
+
+namespace {
+
+using namespace aps;
+
+sim::MonitorFactory cawt_with(const core::ExperimentContext& context,
+                              const core::ThresholdLearningOptions& options,
+                              const sim::CampaignResult& training,
+                              const std::string& name) {
+  auto artifacts = core::learn_artifacts(context.stack, training,
+                                         context.fault_free, options);
+  auto thresholds =
+      std::make_shared<const std::vector<std::map<std::string, double>>>(
+          artifacts.patient_thresholds);
+  return [thresholds, name](int patient_index) {
+    monitor::CawConfig config;
+    config.thresholds =
+        (*thresholds)[static_cast<std::size_t>(patient_index)];
+    config.name = name;
+    return std::make_unique<monitor::CawMonitor>(config);
+  };
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const auto config = bench::config_from_flags(flags, /*needs_ml=*/false);
+  bench::print_header("Ablations: training data, loss, mitigation, window",
+                      config);
+
+  ThreadPool pool;
+  const auto stack = sim::glucosym_openaps_stack();
+  auto context = core::prepare_experiment(stack, config, pool);
+
+  // --- 1. adversarial vs fault-free training data (paper §VI-3).
+  std::printf("(1) training-data ablation\n");
+  TextTable data_table({"training data", "FPR", "FNR", "ACC", "F1", "EDR"});
+  {
+    const core::ThresholdLearningOptions options;
+    const struct {
+      const char* label;
+      const sim::CampaignResult* training;
+    } variants[] = {{"faulty (adversarial)", &context.baseline},
+                    {"fault-free only", &context.fault_free}};
+    for (const auto& variant : variants) {
+      const auto eval = core::evaluate_monitor(
+          context, variant.label,
+          cawt_with(context, options, *variant.training, variant.label),
+          pool);
+      data_table.add_row({variant.label,
+                          TextTable::num(eval.accuracy.sample.fpr(), 3),
+                          TextTable::num(eval.accuracy.sample.fnr(), 3),
+                          TextTable::num(eval.accuracy.sample.accuracy(), 3),
+                          TextTable::num(eval.accuracy.sample.f1(), 3),
+                          TextTable::pct(
+                              eval.timeliness.early_detection_rate())});
+    }
+  }
+  data_table.print(std::cout);
+
+  // --- 2. learning-loss ablation (TMEE vs TeLEx vs MSE).
+  //
+  // "Coverage" is the safety property the loss must deliver: the fraction
+  // of observed hazardous UCA samples on which the learned rule fires
+  // (robustness margin >= 0). MSE/MAE park thresholds inside the data and
+  // silently give up on about half of them (Fig. 3's argument); TeLEx
+  // covers everything but with slack thresholds that raise the FPR.
+  std::printf("\n(2) learning-loss ablation\n");
+  TextTable loss_table({"loss", "coverage", "FPR", "FNR", "ACC", "F1"});
+  for (const auto loss : {learn::LossKind::kTmee, learn::LossKind::kTelex,
+                          learn::LossKind::kMse}) {
+    core::ThresholdLearningOptions options;
+    options.loss = loss;
+    // Constraint off: isolate the loss shape itself (Fig. 3's argument);
+    // the production pipeline keeps Eq. 3's hard constraint on.
+    options.enforce_coverage = false;
+    const std::string label = learn::to_string(loss);
+
+    // Violation coverage over all patients' rule datasets.
+    std::size_t covered = 0;
+    std::size_t total = 0;
+    for (std::size_t p = 0; p < context.baseline.by_patient.size(); ++p) {
+      const auto& profile = context.artifacts.profiles[p];
+      std::vector<const sim::SimResult*> runs;
+      for (const auto& r : context.baseline.by_patient[p]) runs.push_back(&r);
+      monitor::CawConfig context_config;
+      const auto datasets = core::extract_rule_datasets(
+          runs, context_config, profile.basal_rate, profile.isf, options);
+      const auto defaults =
+          monitor::default_thresholds(profile.steady_state_iob);
+      const auto learned =
+          core::learn_thresholds(datasets, defaults, options);
+      for (const auto& rule : monitor::caw_rules()) {
+        const auto it = datasets.find(rule.param);
+        if (it == datasets.end()) continue;
+        const double beta = learned.values.at(rule.param);
+        for (const double mu : it->second) {
+          ++total;
+          const double r = rule.upper_bound ? beta - mu : mu - beta;
+          if (r >= 0.0) ++covered;
+        }
+      }
+    }
+    const double coverage =
+        total > 0 ? static_cast<double>(covered) / static_cast<double>(total)
+                  : 0.0;
+
+    const auto eval = core::evaluate_monitor(
+        context, label, cawt_with(context, options, context.baseline, label),
+        pool);
+    loss_table.add_row({label, TextTable::pct(coverage),
+                        TextTable::num(eval.accuracy.sample.fpr(), 3),
+                        TextTable::num(eval.accuracy.sample.fnr(), 3),
+                        TextTable::num(eval.accuracy.sample.accuracy(), 3),
+                        TextTable::num(eval.accuracy.sample.f1(), 3)});
+  }
+  loss_table.print(std::cout);
+  std::printf(
+      "note: MSE's F1 can look competitive downstream, but its thresholds\n"
+      "violate the observed hazardous samples (coverage < 100%%) — the\n"
+      "learned formula is falsified by the training data itself.\n");
+
+  // --- 3. mitigation-policy ablation.
+  std::printf("\n(3) mitigation-policy ablation (CAWT)\n");
+  TextTable mit_table({"policy", "recovery", "new hazards", "avg risk"});
+  for (const auto policy : {monitor::MitigationPolicy::kFixedMax,
+                            monitor::MitigationPolicy::kContextScaled}) {
+    sim::CampaignOptions options;
+    options.mitigation_enabled = true;
+    options.mitigation.policy = policy;
+    const auto campaign = sim::run_campaign(
+        stack, context.scenarios, core::cawt_factory(context.artifacts),
+        options, &pool);
+    const auto report =
+        metrics::evaluate_mitigation(context.baseline, campaign);
+    mit_table.add_row(
+        {policy == monitor::MitigationPolicy::kFixedMax ? "fixed-max"
+                                                        : "context-scaled",
+         TextTable::pct(report.recovery_rate()),
+         std::to_string(report.new_hazards),
+         TextTable::num(report.average_risk, 3)});
+  }
+  mit_table.print(std::cout);
+
+  // --- 4. tolerance-window sweep.
+  std::printf("\n(4) tolerance-window sweep (CAWT sample-level metrics)\n");
+  TextTable window_table({"delta (steps)", "FPR", "FNR", "ACC", "F1"});
+  const auto eval = core::evaluate_monitor(
+      context, "cawt", core::cawt_factory(context.artifacts), pool);
+  for (const int delta : {3, 6, 12, 24, 36}) {
+    const auto accuracy =
+        metrics::evaluate_accuracy(eval.campaign, delta);
+    window_table.add_row({std::to_string(delta),
+                          TextTable::num(accuracy.sample.fpr(), 3),
+                          TextTable::num(accuracy.sample.fnr(), 3),
+                          TextTable::num(accuracy.sample.accuracy(), 3),
+                          TextTable::num(accuracy.sample.f1(), 3)});
+  }
+  window_table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Shared helpers for the bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "common/cli.h"
+#include "common/table.h"
+#include "core/experiment.h"
+
+namespace aps::bench {
+
+/// Parse the standard bench flags: --full (paper-sized grid), --no-ml,
+/// --tolerance=<steps>, --seed=<n>.
+[[nodiscard]] inline core::ExperimentConfig config_from_flags(
+    const CliFlags& flags, bool needs_ml) {
+  core::ExperimentConfig config;
+  config.full = flags.get_bool("full", false);
+  config.train_ml = needs_ml && flags.get_bool("ml", true);
+  config.tolerance_steps =
+      flags.get_int("tolerance", metrics::kDefaultToleranceSteps);
+  config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2021));
+  return config;
+}
+
+inline void print_header(const std::string& title,
+                         const core::ExperimentConfig& config) {
+  std::printf("== %s ==\n", title.c_str());
+  std::printf("mode: %s grid, tolerance window %d steps (%d min)\n\n",
+              config.full ? "FULL (paper-sized)" : "QUICK (scaled)",
+              config.tolerance_steps,
+              config.tolerance_steps * 5);
+}
+
+/// Accuracy row used by Tables V/VI: FPR FNR ACC F1.
+inline void add_accuracy_row(TextTable& table, const std::string& simulator,
+                             const core::MonitorEval& eval,
+                             std::size_t scenarios, double hazard_fraction) {
+  const auto& cm = eval.accuracy.sample;
+  table.add_row({simulator, eval.name, std::to_string(scenarios),
+                 TextTable::pct(hazard_fraction), TextTable::num(cm.fpr(), 3),
+                 TextTable::num(cm.fnr(), 3),
+                 TextTable::num(cm.accuracy(), 3),
+                 TextTable::num(cm.f1(), 3)});
+}
+
+}  // namespace aps::bench

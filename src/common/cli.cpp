@@ -1,0 +1,52 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+
+namespace aps {
+
+CliFlags::CliFlags(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const {
+  return flags_.count(name) > 0;
+}
+
+std::string CliFlags::get_string(const std::string& name,
+                                 const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+int CliFlags::get_int(const std::string& name, int fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::atoi(it->second.c_str());
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : std::atof(it->second.c_str());
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second != "false" && it->second != "0";
+}
+
+}  // namespace aps

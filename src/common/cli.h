@@ -1,0 +1,35 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Supported syntax: --name=value, --name value, and boolean --flag.
+// Unknown flags are reported so bench invocations stay typo-safe.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aps {
+
+class CliFlags {
+ public:
+  CliFlags(int argc, const char* const* argv);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+  [[nodiscard]] int get_int(const std::string& name, int fallback) const;
+  [[nodiscard]] double get_double(const std::string& name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+ private:
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace aps

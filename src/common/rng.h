@@ -1,0 +1,59 @@
+// Deterministic random number generation.
+//
+// Every stochastic component in the library receives an explicit seed so a
+// campaign is exactly reproducible run-to-run (DESIGN.md §6). SplitMix64 is
+// used to derive independent streams from (seed, stream-id) pairs so that
+// adding a consumer never perturbs the draws of existing consumers.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace aps {
+
+/// SplitMix64 step; good avalanche, used for seed derivation.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Derive an independent child seed from a parent seed and a stream tag.
+[[nodiscard]] constexpr std::uint64_t derive_seed(std::uint64_t parent,
+                                                  std::uint64_t stream) {
+  return splitmix64(parent ^ splitmix64(stream));
+}
+
+/// Thin deterministic wrapper around mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean / standard deviation.
+  [[nodiscard]] double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli draw.
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aps

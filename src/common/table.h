@@ -1,0 +1,38 @@
+// Minimal fixed-width ASCII table / CSV writer for bench output.
+//
+// Benches regenerate the paper's tables as text; this keeps their layout
+// consistent and diff-able across runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace aps {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; it must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Format a double with the given precision (helper for row building).
+  [[nodiscard]] static std::string num(double v, int precision = 2);
+  /// Format as percent with given precision, e.g. 33.9%.
+  [[nodiscard]] static std::string pct(double fraction, int precision = 1);
+
+  /// Render with column alignment and a header rule.
+  void print(std::ostream& os) const;
+
+  /// Render as CSV (no alignment padding).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace aps

@@ -1,0 +1,49 @@
+// Small fixed-size thread pool used to run fault-injection campaigns in
+// parallel. Tasks are independent simulations; the pool offers a simple
+// parallel_for over an index range with deterministic result placement
+// (results are written by index, so ordering never depends on scheduling).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace aps {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Tasks must not throw.
+  void submit(std::function<void()> task);
+
+  /// Block until all submitted tasks have completed.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n) across the pool and wait for completion.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable task_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace aps

@@ -1,0 +1,75 @@
+// Units and domain-wide constants for the APS safety-monitor library.
+//
+// Conventions (DESIGN.md §6):
+//   - blood glucose (BG)    : mg/dL
+//   - insulin amounts       : U (international units)
+//   - insulin rates         : U/h
+//   - time                  : minutes
+//   - one control cycle     : 5 minutes (CGM sampling period)
+//   - one simulation        : 150 cycles ~= 12.5 hours
+#pragma once
+
+#include <cstdint>
+
+namespace aps {
+
+/// Minutes between consecutive CGM samples / controller decisions.
+inline constexpr double kControlPeriodMin = 5.0;
+
+/// Number of control cycles per simulation (paper §V-A: 150 iterations).
+inline constexpr int kDefaultSimSteps = 150;
+
+/// Euglycemic range bounds used by medical guidelines (mg/dL).
+inline constexpr double kBgLow = 70.0;
+inline constexpr double kBgHigh = 180.0;
+
+/// Severe hypoglycemia threshold (mg/dL), paper §VI: "BG < 40 implies
+/// severe hypoglycemia and that the patient was unable to function".
+inline constexpr double kBgSevereHypo = 40.0;
+
+/// Default controller target BG (mg/dL).
+inline constexpr double kBgTarget = 120.0;
+
+/// Physiological clamp for simulated BG values (mg/dL).
+inline constexpr double kBgMin = 10.0;
+inline constexpr double kBgMax = 600.0;
+
+/// Risk-index thresholds for hazard labeling (paper §IV-C2, refs [63][64]).
+inline constexpr double kLbgiHazardThreshold = 5.0;
+inline constexpr double kHbgiHazardThreshold = 9.0;
+
+/// Hazard classes (paper §IV-B).
+enum class HazardType : std::uint8_t {
+  kNone = 0,
+  kH1TooMuchInsulin,   ///< over-infusion -> hypoglycemia risk (accident A1)
+  kH2TooLittleInsulin, ///< under-infusion -> hyperglycemia risk (accident A2)
+};
+
+/// Abstract control actions U = {u1..u4} (paper Table I footnote).
+enum class ControlAction : std::uint8_t {
+  kDecreaseInsulin = 0, ///< u1
+  kIncreaseInsulin = 1, ///< u2
+  kStopInsulin = 2,     ///< u3
+  kKeepInsulin = 3,     ///< u4
+};
+
+[[nodiscard]] constexpr const char* to_string(HazardType h) {
+  switch (h) {
+    case HazardType::kNone: return "none";
+    case HazardType::kH1TooMuchInsulin: return "H1";
+    case HazardType::kH2TooLittleInsulin: return "H2";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(ControlAction a) {
+  switch (a) {
+    case ControlAction::kDecreaseInsulin: return "decrease_insulin";
+    case ControlAction::kIncreaseInsulin: return "increase_insulin";
+    case ControlAction::kStopInsulin: return "stop_insulin";
+    case ControlAction::kKeepInsulin: return "keep_insulin";
+  }
+  return "?";
+}
+
+}  // namespace aps

@@ -1,0 +1,20 @@
+#include "controller/action.h"
+
+namespace aps::controller {
+
+aps::ControlAction classify_action(double commanded_rate_u_per_h,
+                                   double previous_rate_u_per_h) {
+  if (commanded_rate_u_per_h <= kStopRateThreshold) {
+    return aps::ControlAction::kStopInsulin;
+  }
+  const double delta = commanded_rate_u_per_h - previous_rate_u_per_h;
+  if (delta < -kRateChangeTolerance) {
+    return aps::ControlAction::kDecreaseInsulin;
+  }
+  if (delta > kRateChangeTolerance) {
+    return aps::ControlAction::kIncreaseInsulin;
+  }
+  return aps::ControlAction::kKeepInsulin;
+}
+
+}  // namespace aps::controller

@@ -1,0 +1,22 @@
+// Classification of a commanded infusion rate into the paper's abstract
+// control-action set U = {u1 decrease, u2 increase, u3 stop, u4 keep}
+// (Table I footnote). The classification is relative to the previously
+// delivered rate, since "decrease"/"increase" describe the change the
+// command makes to the ongoing therapy.
+#pragma once
+
+#include "common/units.h"
+
+namespace aps::controller {
+
+/// Rates below this (U/h) count as a full suspension (u3).
+inline constexpr double kStopRateThreshold = 0.05;
+
+/// Minimum rate change (U/h) that counts as an increase/decrease rather
+/// than noise.
+inline constexpr double kRateChangeTolerance = 0.05;
+
+[[nodiscard]] aps::ControlAction classify_action(double commanded_rate_u_per_h,
+                                                 double previous_rate_u_per_h);
+
+}  // namespace aps::controller

@@ -1,0 +1,39 @@
+#include "controller/basal_bolus.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace aps::controller {
+
+BasalBolusConfig basal_bolus_config_for(double basal_u_per_h,
+                                        double basal_iob_u, double target_bg) {
+  BasalBolusConfig cfg;
+  cfg.basal_u_per_h = basal_u_per_h;
+  cfg.correction_factor = isf_from_basal(basal_u_per_h);
+  cfg.target_bg = target_bg;
+  cfg.basal_iob_u = basal_iob_u;
+  return cfg;
+}
+
+BasalBolusController::BasalBolusController(BasalBolusConfig config)
+    : config_(config) {}
+
+double BasalBolusController::decide_rate(const ControllerInput& in) {
+  const auto& c = config_;
+  if (in.bg_mg_dl <= c.suspend_bg) return 0.0;
+  double bolus_u = 0.0;
+  if (in.bg_mg_dl > c.correction_threshold) {
+    const double needed = (in.bg_mg_dl - c.target_bg) / c.correction_factor;
+    const double correction_on_board = std::max(0.0, in.iob_u - c.basal_iob_u);
+    bolus_u = std::clamp(needed - correction_on_board, 0.0, c.max_bolus_u);
+  }
+  // The correction is delivered across the next cycle as an elevated rate.
+  return c.basal_u_per_h + bolus_u * (60.0 / kControlPeriodMin);
+}
+
+std::unique_ptr<Controller> BasalBolusController::clone() const {
+  return std::make_unique<BasalBolusController>(*this);
+}
+
+}  // namespace aps::controller

@@ -1,0 +1,52 @@
+// Basal-Bolus protocol controller (paper ref [24]): a scheduled basal rate
+// plus a correction bolus whenever the reading exceeds a correction
+// threshold, discounted by the insulin already on board above the basal
+// baseline; delivery suspends below a hypo threshold. This mirrors the
+// hospital glycemic-control protocol used with the UVA-Padova simulator in
+// the paper's second evaluation stack.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "controller/controller.h"
+
+namespace aps::controller {
+
+struct BasalBolusConfig {
+  double basal_u_per_h = 1.0;
+  double correction_factor = 40.0;   ///< mg/dL per U (same role as ISF)
+  double target_bg = 120.0;
+  double correction_threshold = 150.0;  ///< start correcting above this
+  double suspend_bg = 80.0;
+  double max_bolus_u = 5.0;          ///< single-correction cap
+  double basal_iob_u = 0.0;          ///< steady-state IOB of the basal alone
+};
+
+class BasalBolusController final : public Controller {
+ public:
+  explicit BasalBolusController(BasalBolusConfig config);
+
+  void reset() override {}
+  [[nodiscard]] double decide_rate(const ControllerInput& in) override;
+  [[nodiscard]] double basal_rate() const override {
+    return config_.basal_u_per_h;
+  }
+  [[nodiscard]] double isf() const override {
+    return config_.correction_factor;
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<Controller> clone() const override;
+
+  [[nodiscard]] const BasalBolusConfig& config() const { return config_; }
+
+ private:
+  BasalBolusConfig config_;
+  std::string name_ = "basal-bolus";
+};
+
+[[nodiscard]] BasalBolusConfig basal_bolus_config_for(double basal_u_per_h,
+                                                      double basal_iob_u,
+                                                      double target_bg = 120.0);
+
+}  // namespace aps::controller

@@ -1,0 +1,53 @@
+// Abstract APS controller interface (paper Fig. 4b).
+//
+// Controllers are deliberately *stateless with respect to insulin history*:
+// the closed-loop engine owns the delivery ledger (IobCalculator) and hands
+// the controller its IOB estimate each cycle. This keeps the fault-injection
+// surface explicit — the FI engine can corrupt the glucose reading, the IOB
+// estimate, or the commanded rate without reaching into controller
+// internals (threat model of §IV-C1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace aps::controller {
+
+struct ControllerInput {
+  double bg_mg_dl = 0.0;        ///< glucose reading as seen by the algorithm
+  double iob_u = 0.0;           ///< insulin-on-board estimate (U)
+  double activity_u_per_min = 0.0;  ///< current insulin activity (U/min)
+  double time_min = 0.0;        ///< simulation time
+};
+
+class Controller {
+ public:
+  virtual ~Controller() = default;
+
+  virtual void reset() = 0;
+
+  /// Commanded infusion rate (U/h) for the next control cycle.
+  [[nodiscard]] virtual double decide_rate(const ControllerInput& in) = 0;
+
+  /// The profile basal rate this controller is configured around (U/h).
+  [[nodiscard]] virtual double basal_rate() const = 0;
+
+  /// Insulin sensitivity factor the controller assumes (mg/dL per U);
+  /// exposed because the Guideline/MPC baselines and the mitigation policy
+  /// reuse the profile.
+  [[nodiscard]] virtual double isf() const = 0;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<Controller> clone() const = 0;
+};
+
+/// Derive an insulin sensitivity factor from a basal profile with the
+/// classic 1800 rule, assuming basal covers half the total daily dose:
+/// TDD = 48 * basal, ISF = 1800 / TDD.
+[[nodiscard]] inline double isf_from_basal(double basal_u_per_h) {
+  const double tdd = 48.0 * basal_u_per_h;
+  return tdd > 0.0 ? 1800.0 / tdd : 50.0;
+}
+
+}  // namespace aps::controller

@@ -1,0 +1,91 @@
+#include "controller/iob.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace aps::controller {
+
+namespace {
+struct CurveConstants {
+  double tau;
+  double a;
+  double s;
+};
+
+CurveConstants constants(const IobCurve& c) {
+  const double td = c.dia_min;
+  const double tp = c.peak_min;
+  const double tau = tp * (1.0 - tp / td) / (1.0 - 2.0 * tp / td);
+  const double a = 2.0 * tau / td;
+  const double s = 1.0 / (1.0 - a + (1.0 + a) * std::exp(-td / tau));
+  return {tau, a, s};
+}
+}  // namespace
+
+double IobCurve::iob_fraction(double t_min) const {
+  if (t_min <= 0.0) return 1.0;
+  if (t_min >= dia_min) return 0.0;
+  const auto [tau, a, s] = constants(*this);
+  const double t = t_min;
+  return 1.0 - s * (1.0 - a) *
+                   ((t * t / (tau * dia_min * (1.0 - a)) - t / tau - 1.0) *
+                        std::exp(-t / tau) +
+                    1.0);
+}
+
+double IobCurve::activity(double t_min) const {
+  if (t_min <= 0.0 || t_min >= dia_min) return 0.0;
+  const auto [tau, a, s] = constants(*this);
+  return (s / (tau * tau)) * t_min * (1.0 - t_min / dia_min) *
+         std::exp(-t_min / tau);
+}
+
+IobCalculator::IobCalculator(IobCurve curve) : curve_(curve) {
+  assert(curve_.dia_min > 2.0 * curve_.peak_min &&
+         "exponential model requires td > 2*tp");
+}
+
+void IobCalculator::reset() { pulses_.clear(); }
+
+void IobCalculator::record(double units, double dt_min) {
+  for (auto& p : pulses_) p.age_min += dt_min;
+  while (!pulses_.empty() && pulses_.front().age_min >= curve_.dia_min) {
+    pulses_.pop_front();
+  }
+  if (units > 0.0) {
+    // The pulse is centered in the just-elapsed cycle.
+    pulses_.push_back({units, dt_min * 0.5});
+  }
+}
+
+double IobCalculator::iob() const {
+  double total = 0.0;
+  for (const auto& p : pulses_) {
+    total += p.units * curve_.iob_fraction(p.age_min);
+  }
+  return total;
+}
+
+double IobCalculator::activity() const {
+  double total = 0.0;
+  for (const auto& p : pulses_) {
+    total += p.units * curve_.activity(p.age_min);
+  }
+  return total;
+}
+
+double IobCalculator::steady_state_iob(double rate_u_per_h) const {
+  // Discrete sum of per-cycle pulses across the DIA window.
+  const double per_cycle = rate_u_per_h * kControlPeriodMin / 60.0;
+  double total = 0.0;
+  for (double age = kControlPeriodMin * 0.5; age < curve_.dia_min;
+       age += kControlPeriodMin) {
+    total += per_cycle * curve_.iob_fraction(age);
+  }
+  return total;
+}
+
+}  // namespace aps::controller

@@ -1,0 +1,70 @@
+// Insulin-on-board (IOB) bookkeeping from the delivery history, using the
+// exponential insulin-activity model employed by open-source APS stacks
+// (oref0 / Loop):
+//
+//   tau = tp*(1 - tp/td) / (1 - 2*tp/td)
+//   a   = 2*tau/td
+//   S   = 1 / (1 - a + (1 + a)*exp(-td/tau))
+//   activity(t) = (S/tau^2) * t * (1 - t/td) * exp(-t/tau)        [1/min]
+//   iob(t)      = 1 - S*(1-a)*((t^2/(tau*td*(1-a)) - t/tau - 1)
+//                             * exp(-t/tau) + 1)                  [fraction]
+//
+// where td is the duration of insulin action (DIA) and tp the time of peak
+// activity. Deliveries are accumulated as per-cycle pulses; IOB(t) is the
+// fraction-weighted sum of pulses within the DIA window. Both the
+// controller's internal estimate and the monitor's independent estimate use
+// this calculator (the paper's monitor computes IOB "based on previous
+// insulin deliveries", §IV-B).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+
+namespace aps::controller {
+
+struct IobCurve {
+  double dia_min = 300.0;   ///< duration of insulin action td (minutes)
+  double peak_min = 75.0;   ///< time of peak activity tp (minutes)
+
+  /// Fraction of a unit still active `t_min` after delivery (1 at t=0,
+  /// 0 beyond DIA).
+  [[nodiscard]] double iob_fraction(double t_min) const;
+
+  /// Activity density (fraction consumed per minute) at `t_min`.
+  [[nodiscard]] double activity(double t_min) const;
+};
+
+/// Accumulates insulin pulses and answers IOB / activity queries.
+class IobCalculator {
+ public:
+  explicit IobCalculator(IobCurve curve = {});
+
+  void reset();
+
+  /// Record that `units` of insulin were delivered over the cycle ending
+  /// now; advances internal time by `dt_min`.
+  void record(double units, double dt_min);
+
+  /// Total insulin on board (U) as of the last `record` call.
+  [[nodiscard]] double iob() const;
+
+  /// Total insulin activity (U consumed per minute) as of now; multiplying
+  /// by ISF gives the expected BG drop per minute.
+  [[nodiscard]] double activity() const;
+
+  /// Steady-state IOB (U) maintained by a constant `rate_u_per_h` basal.
+  [[nodiscard]] double steady_state_iob(double rate_u_per_h) const;
+
+  [[nodiscard]] const IobCurve& curve() const { return curve_; }
+
+ private:
+  struct Pulse {
+    double units;
+    double age_min;
+  };
+
+  IobCurve curve_;
+  std::deque<Pulse> pulses_;
+};
+
+}  // namespace aps::controller

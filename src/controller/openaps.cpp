@@ -1,0 +1,74 @@
+#include "controller/openaps.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace aps::controller {
+
+OpenApsConfig openaps_config_for(double basal_u_per_h, double target_bg) {
+  OpenApsConfig cfg;
+  cfg.basal_u_per_h = basal_u_per_h;
+  cfg.isf_mg_dl_per_u = isf_from_basal(basal_u_per_h);
+  cfg.target_bg = target_bg;
+  cfg.min_bg = target_bg - 20.0;
+  cfg.max_bg = target_bg + 20.0;
+  return cfg;
+}
+
+OpenApsController::OpenApsController(OpenApsConfig config) : config_(config) {}
+
+void OpenApsController::reset() {
+  last_bg_ = -1.0;
+  last_eventual_bg_ = 0.0;
+}
+
+double OpenApsController::decide_rate(const ControllerInput& in) {
+  const auto& c = config_;
+  const double bg = in.bg_mg_dl;
+
+  // BG impact of active insulin over one cycle (mg/dL per 5 min), the
+  // oref0 "BGI" term.
+  const double bgi =
+      -in.activity_u_per_min * c.isf_mg_dl_per_u * kControlPeriodMin;
+  // Deviation: how much the observed 5-min delta disagrees with the
+  // insulin-only prediction, extrapolated over the deviation horizon.
+  const double delta = last_bg_ < 0.0 ? 0.0 : bg - last_bg_;
+  const double deviation =
+      (c.deviation_horizon_min / kControlPeriodMin) * (delta - bgi);
+  // Insulin-only projection: all IOB eventually drops BG by IOB*ISF.
+  const double naive_eventual = bg - in.iob_u * c.isf_mg_dl_per_u;
+  const double eventual_bg = naive_eventual + deviation;
+  last_eventual_bg_ = eventual_bg;
+  last_bg_ = bg;
+
+  const double max_basal = c.max_basal_factor * c.basal_u_per_h;
+
+  // Hard safety: suspend when measurably hypo.
+  if (bg <= c.suspend_bg) return 0.0;
+
+  if (eventual_bg < c.min_bg) {
+    // Low-temp: reduce delivery proportionally to the projected shortfall.
+    // insulin_req (U) is negative; spread over ~deviation_horizon minutes.
+    const double insulin_req = (eventual_bg - c.target_bg) / c.isf_mg_dl_per_u;
+    const double rate =
+        c.basal_u_per_h + insulin_req * (60.0 / c.deviation_horizon_min);
+    return std::clamp(rate, 0.0, max_basal);
+  }
+  if (eventual_bg > c.max_bg) {
+    // High-temp: add the missing insulin over the horizon.
+    const double insulin_req = (eventual_bg - c.target_bg) / c.isf_mg_dl_per_u;
+    const double rate =
+        c.basal_u_per_h + insulin_req * (60.0 / c.deviation_horizon_min);
+    return std::clamp(rate, 0.0, max_basal);
+  }
+  // In-corridor: keep scheduled basal.
+  return c.basal_u_per_h;
+}
+
+std::unique_ptr<Controller> OpenApsController::clone() const {
+  return std::make_unique<OpenApsController>(*this);
+}
+
+}  // namespace aps::controller

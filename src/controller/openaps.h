@@ -1,0 +1,58 @@
+// OpenAPS-style control-to-target controller: a C++ port of the decision
+// core of oref0 `determine-basal` (paper ref [75]). Each cycle it projects
+// the eventual BG from the current reading, the short-term deviation trend,
+// and the insulin on board, then sets a temporary basal rate that steers
+// the projection back to target, bounded by [0, max_basal].
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "controller/controller.h"
+
+namespace aps::controller {
+
+struct OpenApsConfig {
+  double basal_u_per_h = 1.0;   ///< scheduled basal
+  double isf_mg_dl_per_u = 40.0;
+  double target_bg = 120.0;
+  double min_bg = 100.0;        ///< low edge of the no-action corridor
+  double max_bg = 140.0;        ///< high edge of the no-action corridor
+  double suspend_bg = 70.0;     ///< hard zero-temp threshold
+  double max_basal_factor = 4.0;  ///< max temp = factor * basal
+  double deviation_horizon_min = 30.0;  ///< trend extrapolation window
+};
+
+class OpenApsController final : public Controller {
+ public:
+  explicit OpenApsController(OpenApsConfig config);
+
+  void reset() override;
+  [[nodiscard]] double decide_rate(const ControllerInput& in) override;
+  [[nodiscard]] double basal_rate() const override {
+    return config_.basal_u_per_h;
+  }
+  [[nodiscard]] double isf() const override {
+    return config_.isf_mg_dl_per_u;
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<Controller> clone() const override;
+
+  [[nodiscard]] const OpenApsConfig& config() const { return config_; }
+
+  /// The eventual-BG projection computed by the last decide_rate call;
+  /// exposed for tests and the quickstart example.
+  [[nodiscard]] double last_eventual_bg() const { return last_eventual_bg_; }
+
+ private:
+  OpenApsConfig config_;
+  std::string name_ = "openaps";
+  double last_bg_ = -1.0;  ///< <0 means no previous sample
+  double last_eventual_bg_ = 0.0;
+};
+
+/// Build a controller configured for a patient's basal profile.
+[[nodiscard]] OpenApsConfig openaps_config_for(double basal_u_per_h,
+                                               double target_bg = 120.0);
+
+}  // namespace aps::controller

@@ -1,0 +1,67 @@
+#include "controller/pid.h"
+
+#include <algorithm>
+
+#include "common/units.h"
+
+namespace aps::controller {
+
+PidConfig pid_config_for(double basal_u_per_h, double basal_iob_u,
+                         double target_bg) {
+  PidConfig cfg;
+  cfg.basal_u_per_h = basal_u_per_h;
+  cfg.target_bg = target_bg;
+  cfg.basal_iob_u = basal_iob_u;
+  // Proportional gain scaled to the patient's insulin needs: a sustained
+  // +60 mg/dL error should command roughly one extra basal unit.
+  cfg.kp = basal_u_per_h / 60.0;
+  return cfg;
+}
+
+PidController::PidController(PidConfig config) : config_(config) {}
+
+void PidController::reset() {
+  integral_ = 0.0;
+  last_bg_ = -1.0;
+}
+
+double PidController::decide_rate(const ControllerInput& in) {
+  const auto& c = config_;
+  if (in.bg_mg_dl <= c.suspend_bg) {
+    // Suspend and bleed the integral so resumption is not aggressive.
+    integral_ *= 0.5;
+    return 0.0;
+  }
+
+  const double error = in.bg_mg_dl - c.target_bg;
+  const double max_rate = c.max_basal_factor * c.basal_u_per_h;
+
+  const double p_term = c.kp * error;
+
+  // Integral with conditional anti-windup: only integrate while the output
+  // is not saturated in the same direction.
+  const double delta = last_bg_ < 0.0 ? 0.0 : in.bg_mg_dl - last_bg_;
+  last_bg_ = in.bg_mg_dl;
+  const double d_term = c.kp * (c.td_min / kControlPeriodMin) * delta;
+
+  const double iob_excess = std::max(0.0, in.iob_u - c.basal_iob_u);
+  const double feedback = c.insulin_feedback * iob_excess;
+
+  const double unsat = c.basal_u_per_h + p_term + integral_ + d_term -
+                       feedback;
+  const double rate = std::clamp(unsat, 0.0, max_rate);
+  const bool saturated_high = unsat > max_rate && error > 0.0;
+  const bool saturated_low = unsat < 0.0 && error < 0.0;
+  if (!saturated_high && !saturated_low) {
+    integral_ += c.kp * (kControlPeriodMin / c.ti_min) * error;
+    // Bound the integral to one max-basal swing either way.
+    integral_ = std::clamp(integral_, -max_rate, max_rate);
+  }
+  return rate;
+}
+
+std::unique_ptr<Controller> PidController::clone() const {
+  return std::make_unique<PidController>(*this);
+}
+
+}  // namespace aps::controller

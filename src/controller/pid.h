@@ -1,0 +1,61 @@
+// PID controller (extension): the classic commercial closed-loop insulin
+// algorithm (Medtronic 670G family) — proportional on the BG error,
+// integral with anti-windup, derivative on the CGM trend, plus insulin
+// feedback that tempers output as IOB accumulates. Included as a third
+// controller so the monitor framework can be exercised against a
+// fundamentally different control law than OpenAPS's projection logic or
+// the basal-bolus protocol.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "controller/controller.h"
+
+namespace aps::controller {
+
+struct PidConfig {
+  double basal_u_per_h = 1.0;
+  double target_bg = 120.0;
+  double kp = 0.015;   ///< U/h per mg/dL of error
+  double ti_min = 240.0;  ///< integral time constant (minutes)
+  double td_min = 30.0;   ///< derivative time constant (minutes)
+  double max_basal_factor = 4.0;
+  double suspend_bg = 70.0;
+  /// Insulin-feedback gain: output is reduced proportionally to the IOB
+  /// above the basal baseline (gamma * excess IOB, in U/h per U).
+  double insulin_feedback = 0.25;
+  double basal_iob_u = 0.0;  ///< steady-state IOB of the basal alone
+};
+
+class PidController final : public Controller {
+ public:
+  explicit PidController(PidConfig config);
+
+  void reset() override;
+  [[nodiscard]] double decide_rate(const ControllerInput& in) override;
+  [[nodiscard]] double basal_rate() const override {
+    return config_.basal_u_per_h;
+  }
+  [[nodiscard]] double isf() const override {
+    return isf_from_basal(config_.basal_u_per_h);
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<Controller> clone() const override;
+
+  [[nodiscard]] const PidConfig& config() const { return config_; }
+  /// Integral state (U/h), exposed for anti-windup tests.
+  [[nodiscard]] double integral() const { return integral_; }
+
+ private:
+  PidConfig config_;
+  std::string name_ = "pid";
+  double integral_ = 0.0;   ///< accumulated integral term (U/h)
+  double last_bg_ = -1.0;
+};
+
+[[nodiscard]] PidConfig pid_config_for(double basal_u_per_h,
+                                       double basal_iob_u,
+                                       double target_bg = 120.0);
+
+}  // namespace aps::controller

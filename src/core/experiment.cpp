@@ -1,0 +1,114 @@
+#include "core/experiment.h"
+
+#include <stdexcept>
+
+namespace aps::core {
+
+ExperimentContext prepare_experiment(const aps::sim::Stack& stack,
+                                     const ExperimentConfig& config,
+                                     aps::ThreadPool& pool) {
+  ExperimentContext context;
+  context.stack = stack;
+  context.config = config;
+
+  const auto grid = config.grid();
+  context.scenarios = aps::fi::enumerate_scenarios(grid);
+
+  context.baseline =
+      aps::sim::run_campaign(stack, context.scenarios,
+                             aps::sim::null_monitor_factory(), {}, &pool);
+  context.fault_free =
+      aps::sim::run_campaign(stack, aps::fi::fault_free_scenarios(grid),
+                             aps::sim::null_monitor_factory(), {}, &pool);
+
+  context.artifacts =
+      learn_artifacts(stack, context.baseline, context.fault_free);
+
+  if (config.train_ml) train_ml_baselines(context);
+  return context;
+}
+
+void train_ml_baselines(ExperimentContext& context) {
+  const auto flat = flatten(context.baseline);
+  const auto& profiles = context.artifacts.profiles;
+  const auto& config = context.config;
+
+  const auto tabular = build_tabular_dataset(flat.runs, profiles,
+                                             flat.run_patient, config.ml_data);
+
+  {
+    aps::ml::DecisionTreeConfig dt_config;
+    dt_config.max_depth = config.full ? 12 : 8;
+    auto dt = std::make_shared<aps::ml::DecisionTree>(dt_config);
+    dt->fit(tabular);
+    context.dt = std::move(dt);
+  }
+  {
+    aps::ml::MlpConfig mlp_config;
+    mlp_config.hidden_units =
+        config.full ? std::vector<std::size_t>{256, 128}
+                    : std::vector<std::size_t>{64, 32};
+    mlp_config.max_epochs = config.full ? 40 : 20;
+    mlp_config.seed = config.seed;
+    auto mlp = std::make_shared<aps::ml::Mlp>(mlp_config);
+    mlp->fit(tabular);
+    context.mlp = std::move(mlp);
+  }
+  {
+    const auto sequences = build_sequence_dataset(
+        flat.runs, profiles, flat.run_patient, config.lstm_data);
+    aps::ml::LstmConfig lstm_config;
+    lstm_config.hidden_units =
+        config.full ? std::vector<std::size_t>{128, 64}
+                    : std::vector<std::size_t>{32, 16};
+    lstm_config.max_epochs = config.full ? 20 : 8;
+    lstm_config.seed = config.seed;
+    auto lstm = std::make_shared<aps::ml::Lstm>(lstm_config);
+    lstm->fit(sequences);
+    context.lstm = std::move(lstm);
+  }
+}
+
+MonitorEval evaluate_monitor(const ExperimentContext& context,
+                             const std::string& name,
+                             const aps::sim::MonitorFactory& factory,
+                             aps::ThreadPool& pool, bool mitigation_enabled) {
+  MonitorEval eval;
+  eval.name = name;
+  aps::sim::CampaignOptions options;
+  options.mitigation_enabled = mitigation_enabled;
+  eval.campaign = aps::sim::run_campaign(context.stack, context.scenarios,
+                                         factory, options, &pool);
+  eval.accuracy =
+      aps::metrics::evaluate_accuracy(eval.campaign,
+                                      context.config.tolerance_steps);
+  eval.timeliness = aps::metrics::evaluate_timeliness(eval.campaign);
+  return eval;
+}
+
+aps::sim::MonitorFactory monitor_factory_by_name(
+    const ExperimentContext& context, const std::string& name) {
+  if (name == "guideline") return guideline_factory(context.artifacts);
+  if (name == "mpc") return mpc_factory();
+  if (name == "cawot") return cawot_factory(context.stack);
+  if (name == "cawt") return cawt_factory(context.artifacts);
+  if (name == "cawt-population") {
+    return cawt_population_factory(context.artifacts);
+  }
+  if (name == "dt") {
+    if (context.dt == nullptr) throw std::runtime_error("DT not trained");
+    return dt_factory(context.dt, context.config.ml_data.classes);
+  }
+  if (name == "mlp") {
+    if (context.mlp == nullptr) throw std::runtime_error("MLP not trained");
+    return mlp_factory(context.mlp, context.config.ml_data.classes);
+  }
+  if (name == "lstm") {
+    if (context.lstm == nullptr) throw std::runtime_error("LSTM not trained");
+    return lstm_factory(context.lstm, context.config.lstm_data.classes);
+  }
+  if (name == "none") return aps::sim::null_monitor_factory();
+  throw std::invalid_argument("unknown monitor '" + name + "'");
+}
+
+}  // namespace aps::core

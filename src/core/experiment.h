@@ -1,0 +1,78 @@
+// Shared experiment harness behind the bench binaries: prepares a stack
+// (training campaign, learned artifacts, trained ML baselines) and
+// evaluates monitors by re-running the campaign with each monitor wrapped
+// around the controller — the same protocol as the paper's §V.
+//
+// Scale: `full=false` uses the scaled grid (84 scenarios/patient) and small
+// ML models so a bench finishes in minutes on two cores; `full=true` uses
+// the paper-sized grid (882 scenarios/patient) and the paper's layer sizes.
+// EXPERIMENTS.md records which mode produced the committed outputs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/monitor_factory.h"
+#include "fi/campaign.h"
+#include "metrics/evaluation.h"
+#include "sim/runner.h"
+#include "sim/stack.h"
+
+namespace aps::core {
+
+struct ExperimentConfig {
+  bool full = false;
+  int tolerance_steps = aps::metrics::kDefaultToleranceSteps;
+  bool train_ml = true;
+  MlDataOptions ml_data{.classes = 2, .stride = 3, .max_samples = 30000};
+  MlDataOptions lstm_data{.classes = 2, .stride = 5, .max_samples = 8000};
+  std::uint64_t seed = 2021;
+
+  [[nodiscard]] aps::fi::CampaignGrid grid() const {
+    return full ? aps::fi::CampaignGrid::full()
+                : aps::fi::CampaignGrid::quick();
+  }
+};
+
+/// Everything shared by the benches for one APS stack.
+struct ExperimentContext {
+  aps::sim::Stack stack;
+  ExperimentConfig config;
+  std::vector<aps::fi::Scenario> scenarios;
+  aps::sim::CampaignResult baseline;    ///< null monitor (training data)
+  aps::sim::CampaignResult fault_free;  ///< for guideline percentiles
+  TrainingArtifacts artifacts;
+  std::shared_ptr<const aps::ml::DecisionTree> dt;
+  std::shared_ptr<const aps::ml::Mlp> mlp;
+  std::shared_ptr<const aps::ml::Lstm> lstm;
+};
+
+[[nodiscard]] ExperimentContext prepare_experiment(
+    const aps::sim::Stack& stack, const ExperimentConfig& config,
+    aps::ThreadPool& pool);
+
+/// One evaluated monitor: accuracy (both levels) + timeliness, and the
+/// campaign itself for downstream analyses.
+struct MonitorEval {
+  std::string name;
+  aps::metrics::AccuracyReport accuracy;
+  aps::metrics::TimelinessStats timeliness;
+  aps::sim::CampaignResult campaign;
+};
+
+[[nodiscard]] MonitorEval evaluate_monitor(
+    const ExperimentContext& context, const std::string& name,
+    const aps::sim::MonitorFactory& factory, aps::ThreadPool& pool,
+    bool mitigation_enabled = false);
+
+/// Train the three ML baselines on the context's baseline campaign.
+void train_ml_baselines(ExperimentContext& context);
+
+/// Standard monitor line-up for Tables V/VI: factory by name.
+[[nodiscard]] aps::sim::MonitorFactory monitor_factory_by_name(
+    const ExperimentContext& context, const std::string& name);
+
+}  // namespace aps::core

@@ -1,0 +1,272 @@
+#include "core/monitor_factory.h"
+
+#include <algorithm>
+
+#include "common/stats.h"
+#include "controller/iob.h"
+#include "monitor/ml_monitor.h"
+
+namespace aps::core {
+
+namespace {
+
+/// Eq. 7 label of step k: positive when a hazard lies anywhere in the
+/// run's future (pre-onset) or the sample itself is hazardous.
+int sample_label(const aps::sim::SimResult& run, std::size_t k,
+                 int classes) {
+  if (!run.label.hazardous) return 0;
+  const bool positive = static_cast<int>(k) <= run.label.onset_step ||
+                        run.label.sample_hazard[k];
+  if (!positive) return 0;
+  if (classes < 3) return 1;
+  return run.label.type == aps::HazardType::kH1TooMuchInsulin ? 1 : 2;
+}
+
+}  // namespace
+
+aps::monitor::GuidelineConfig guideline_config_from_traces(
+    const std::vector<const aps::sim::SimResult*>& fault_free_runs) {
+  std::vector<double> bgs;
+  for (const auto* run : fault_free_runs) {
+    const auto trace = run->cgm_trace();
+    bgs.insert(bgs.end(), trace.begin(), trace.end());
+  }
+  aps::monitor::GuidelineConfig config;
+  if (!bgs.empty()) {
+    config.lambda10 = aps::percentile(bgs, 10.0);
+    config.lambda90 = aps::percentile(bgs, 90.0);
+  }
+  return config;
+}
+
+std::vector<PatientProfile> stack_profiles(const aps::sim::Stack& stack) {
+  std::vector<PatientProfile> profiles;
+  profiles.reserve(static_cast<std::size_t>(stack.cohort_size));
+  const aps::controller::IobCalculator iob_calc;
+  for (int p = 0; p < stack.cohort_size; ++p) {
+    const auto patient = stack.make_patient(p);
+    const auto controller = stack.make_controller(*patient);
+    PatientProfile profile;
+    profile.basal_rate = controller->basal_rate();
+    profile.isf = controller->isf();
+    profile.steady_state_iob = iob_calc.steady_state_iob(profile.basal_rate);
+    profiles.push_back(profile);
+  }
+  return profiles;
+}
+
+aps::sim::MonitorFactory cawot_factory(const aps::sim::Stack& stack,
+                                       double target_bg) {
+  auto profiles = std::make_shared<const std::vector<PatientProfile>>(
+      stack_profiles(stack));
+  return [profiles, target_bg](int patient_index) {
+    const auto& profile =
+        (*profiles)[static_cast<std::size_t>(patient_index)];
+    aps::monitor::CawConfig config;
+    config.target_bg = target_bg;
+    config.thresholds =
+        aps::monitor::default_thresholds(profile.steady_state_iob);
+    config.name = "cawot";
+    return std::make_unique<aps::monitor::CawMonitor>(config);
+  };
+}
+
+aps::sim::MonitorFactory mpc_factory(aps::monitor::MpcConfig config) {
+  return [config](int) {
+    return std::make_unique<aps::monitor::MpcMonitor>(config);
+  };
+}
+
+TrainingArtifacts learn_artifacts(const aps::sim::Stack& stack,
+                                  const aps::sim::CampaignResult& training,
+                                  const aps::sim::CampaignResult& fault_free,
+                                  const ThresholdLearningOptions& options) {
+  TrainingArtifacts artifacts;
+  artifacts.profiles = stack_profiles(stack);
+  const auto patients = training.by_patient.size();
+
+  aps::monitor::CawConfig context_config;
+  context_config.target_bg = artifacts.target_bg;
+
+  // Patient-specific thresholds.
+  RuleDatasets pooled;
+  for (std::size_t p = 0; p < patients; ++p) {
+    const auto& profile = artifacts.profiles[p];
+    std::vector<const aps::sim::SimResult*> runs;
+    for (const auto& r : training.by_patient[p]) runs.push_back(&r);
+
+    const auto datasets = extract_rule_datasets(
+        runs, context_config, profile.basal_rate, profile.isf, options);
+    const auto defaults =
+        aps::monitor::default_thresholds(profile.steady_state_iob);
+    const auto learned = learn_thresholds(datasets, defaults, options);
+    artifacts.patient_thresholds.push_back(learned.values);
+
+    for (const auto& [param, values] : datasets) {
+      auto& bucket = pooled[param];
+      bucket.insert(bucket.end(), values.begin(), values.end());
+    }
+  }
+
+  // Population thresholds from the pooled violation data, with defaults
+  // anchored to the cohort-average basal IOB.
+  double mean_ss_iob = 0.0;
+  for (const auto& profile : artifacts.profiles) {
+    mean_ss_iob += profile.steady_state_iob;
+  }
+  mean_ss_iob /= static_cast<double>(artifacts.profiles.size());
+  const auto pop_defaults = aps::monitor::default_thresholds(mean_ss_iob);
+  artifacts.population_thresholds =
+      learn_thresholds(pooled, pop_defaults, options).values;
+
+  // Guideline percentiles per patient from fault-free operation.
+  for (std::size_t p = 0; p < patients; ++p) {
+    std::vector<const aps::sim::SimResult*> runs;
+    if (p < fault_free.by_patient.size()) {
+      for (const auto& r : fault_free.by_patient[p]) runs.push_back(&r);
+    }
+    artifacts.guideline_configs.push_back(
+        guideline_config_from_traces(runs));
+  }
+  return artifacts;
+}
+
+aps::sim::MonitorFactory cawt_factory(const TrainingArtifacts& artifacts) {
+  auto thresholds =
+      std::make_shared<const std::vector<std::map<std::string, double>>>(
+          artifacts.patient_thresholds);
+  const double target_bg = artifacts.target_bg;
+  return [thresholds, target_bg](int patient_index) {
+    aps::monitor::CawConfig config;
+    config.target_bg = target_bg;
+    config.thresholds =
+        (*thresholds)[static_cast<std::size_t>(patient_index)];
+    config.name = "cawt";
+    return std::make_unique<aps::monitor::CawMonitor>(config);
+  };
+}
+
+aps::sim::MonitorFactory cawt_population_factory(
+    const TrainingArtifacts& artifacts) {
+  auto thresholds = std::make_shared<const std::map<std::string, double>>(
+      artifacts.population_thresholds);
+  const double target_bg = artifacts.target_bg;
+  return [thresholds, target_bg](int) {
+    aps::monitor::CawConfig config;
+    config.target_bg = target_bg;
+    config.thresholds = *thresholds;
+    config.name = "cawt-population";
+    return std::make_unique<aps::monitor::CawMonitor>(config);
+  };
+}
+
+aps::sim::MonitorFactory guideline_factory(
+    const TrainingArtifacts& artifacts) {
+  auto configs =
+      std::make_shared<const std::vector<aps::monitor::GuidelineConfig>>(
+          artifacts.guideline_configs);
+  return [configs](int patient_index) {
+    return std::make_unique<aps::monitor::GuidelineMonitor>(
+        (*configs)[static_cast<std::size_t>(patient_index)]);
+  };
+}
+
+FlatCampaign flatten(const aps::sim::CampaignResult& campaign) {
+  FlatCampaign flat;
+  for (std::size_t p = 0; p < campaign.by_patient.size(); ++p) {
+    for (const auto& run : campaign.by_patient[p]) {
+      flat.runs.push_back(&run);
+      flat.run_patient.push_back(static_cast<int>(p));
+    }
+  }
+  return flat;
+}
+
+aps::ml::Dataset build_tabular_dataset(
+    const std::vector<const aps::sim::SimResult*>& runs,
+    const std::vector<PatientProfile>& profiles,
+    const std::vector<int>& run_patient, const MlDataOptions& options) {
+  std::vector<std::vector<double>> rows;
+  std::vector<int> labels;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const auto& run = *runs[r];
+    const auto& profile =
+        profiles[static_cast<std::size_t>(run_patient[r])];
+    for (std::size_t k = 0; k < run.steps.size();
+         k += static_cast<std::size_t>(options.stride)) {
+      const auto obs =
+          observation_at(run, k, profile.basal_rate, profile.isf);
+      rows.push_back(aps::monitor::ml_features(obs));
+      labels.push_back(sample_label(run, k, options.classes));
+      if (rows.size() >= options.max_samples) break;
+    }
+    if (rows.size() >= options.max_samples) break;
+  }
+
+  aps::ml::Dataset data;
+  data.classes = options.classes;
+  data.y = std::move(labels);
+  data.x = aps::ml::Matrix(rows.size(), aps::monitor::kMlFeatureCount);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < rows[i].size(); ++c) {
+      data.x.at(i, c) = rows[i][c];
+    }
+  }
+  return data;
+}
+
+aps::ml::SequenceDataset build_sequence_dataset(
+    const std::vector<const aps::sim::SimResult*>& runs,
+    const std::vector<PatientProfile>& profiles,
+    const std::vector<int>& run_patient, const MlDataOptions& options) {
+  aps::ml::SequenceDataset data;
+  data.classes = options.classes;
+  const std::size_t window = aps::monitor::kLstmWindow;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const auto& run = *runs[r];
+    const auto& profile =
+        profiles[static_cast<std::size_t>(run_patient[r])];
+    if (run.steps.size() < window) continue;
+    for (std::size_t end = window - 1; end < run.steps.size();
+         end += static_cast<std::size_t>(options.stride)) {
+      aps::ml::Matrix seq(window, aps::monitor::kMlFeatureCount);
+      for (std::size_t t = 0; t < window; ++t) {
+        const std::size_t k = end - window + 1 + t;
+        const auto obs =
+            observation_at(run, k, profile.basal_rate, profile.isf);
+        const auto features = aps::monitor::ml_features(obs);
+        for (std::size_t c = 0; c < features.size(); ++c) {
+          seq.at(t, c) = features[c];
+        }
+      }
+      data.sequences.push_back(std::move(seq));
+      data.labels.push_back(sample_label(run, end, options.classes));
+      if (data.size() >= options.max_samples) break;
+    }
+    if (data.size() >= options.max_samples) break;
+  }
+  return data;
+}
+
+aps::sim::MonitorFactory dt_factory(
+    std::shared_ptr<const aps::ml::DecisionTree> model, int classes) {
+  return [model, classes](int) {
+    return std::make_unique<aps::monitor::DtMonitor>(model, classes);
+  };
+}
+
+aps::sim::MonitorFactory mlp_factory(
+    std::shared_ptr<const aps::ml::Mlp> model, int classes) {
+  return [model, classes](int) {
+    return std::make_unique<aps::monitor::MlpMonitor>(model, classes);
+  };
+}
+
+aps::sim::MonitorFactory lstm_factory(
+    std::shared_ptr<const aps::ml::Lstm> model, int classes) {
+  return [model, classes](int) {
+    return std::make_unique<aps::monitor::LstmMonitor>(model, classes);
+  };
+}
+
+}  // namespace aps::core

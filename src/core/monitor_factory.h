@@ -1,0 +1,111 @@
+// Monitor synthesis: turn campaign data + profiles into each of the
+// paper's monitors (Guideline, MPC, CAWOT, CAWT, DT, MLP, LSTM) behind the
+// common sim::MonitorFactory interface, plus the ML dataset builders.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/threshold_pipeline.h"
+#include "ml/decision_tree.h"
+#include "ml/lstm.h"
+#include "ml/mlp.h"
+#include "monitor/caw.h"
+#include "monitor/guideline.h"
+#include "monitor/mpc.h"
+#include "sim/runner.h"
+
+namespace aps::core {
+
+// ---- Profile-only monitors ---------------------------------------------------
+
+/// Guideline monitor with lambda10/lambda90 estimated from the patient's
+/// fault-free BG distribution.
+[[nodiscard]] aps::monitor::GuidelineConfig guideline_config_from_traces(
+    const std::vector<const aps::sim::SimResult*>& fault_free_runs);
+
+/// CAWOT: Table I logic with profile-derived default thresholds.
+[[nodiscard]] aps::sim::MonitorFactory cawot_factory(
+    const aps::sim::Stack& stack, double target_bg = 120.0);
+
+/// MPC monitor factory (population model; same config for every patient).
+[[nodiscard]] aps::sim::MonitorFactory mpc_factory(
+    aps::monitor::MpcConfig config = {});
+
+// ---- Data-driven monitors -------------------------------------------------------
+
+/// Per-patient basal / ISF profile of a stack (used during extraction).
+struct PatientProfile {
+  double basal_rate = 0.0;
+  double isf = 0.0;
+  double steady_state_iob = 0.0;
+};
+[[nodiscard]] std::vector<PatientProfile> stack_profiles(
+    const aps::sim::Stack& stack);
+
+/// Everything the data-driven monitors need, learned from one training
+/// campaign run without a monitor.
+struct TrainingArtifacts {
+  std::vector<PatientProfile> profiles;
+  /// Patient-specific learned thresholds (CAWT).
+  std::vector<std::map<std::string, double>> patient_thresholds;
+  /// Thresholds learned from all patients pooled (population ablation).
+  std::map<std::string, double> population_thresholds;
+  /// Guideline configs per patient (percentiles from fault-free runs).
+  std::vector<aps::monitor::GuidelineConfig> guideline_configs;
+  double target_bg = 120.0;
+};
+
+/// Learn all artifacts from a training campaign (`training` must come from
+/// the same stack, run with the null monitor) plus fault-free runs for the
+/// guideline percentiles.
+[[nodiscard]] TrainingArtifacts learn_artifacts(
+    const aps::sim::Stack& stack, const aps::sim::CampaignResult& training,
+    const aps::sim::CampaignResult& fault_free,
+    const ThresholdLearningOptions& options = {});
+
+[[nodiscard]] aps::sim::MonitorFactory cawt_factory(
+    const TrainingArtifacts& artifacts);
+/// CAWT with the pooled population thresholds for every patient.
+[[nodiscard]] aps::sim::MonitorFactory cawt_population_factory(
+    const TrainingArtifacts& artifacts);
+[[nodiscard]] aps::sim::MonitorFactory guideline_factory(
+    const TrainingArtifacts& artifacts);
+
+// ---- ML monitors ------------------------------------------------------------------
+
+struct MlDataOptions {
+  int classes = 2;   ///< 2 = safe/unsafe, 3 = none/H1/H2 (ablation §VI-1)
+  int stride = 1;    ///< take every stride-th sample
+  std::size_t max_samples = 200000;  ///< hard cap for tractability
+};
+
+/// Tabular dataset over ml_features(...) with Eq. 7 labels.
+[[nodiscard]] aps::ml::Dataset build_tabular_dataset(
+    const std::vector<const aps::sim::SimResult*>& runs,
+    const std::vector<PatientProfile>& profiles,
+    const std::vector<int>& run_patient, const MlDataOptions& options = {});
+
+/// Sliding-window dataset (Eq. 8) for the LSTM.
+[[nodiscard]] aps::ml::SequenceDataset build_sequence_dataset(
+    const std::vector<const aps::sim::SimResult*>& runs,
+    const std::vector<PatientProfile>& profiles,
+    const std::vector<int>& run_patient, const MlDataOptions& options = {});
+
+/// Flatten a campaign into (runs, patient-index-per-run) pairs.
+struct FlatCampaign {
+  std::vector<const aps::sim::SimResult*> runs;
+  std::vector<int> run_patient;
+};
+[[nodiscard]] FlatCampaign flatten(const aps::sim::CampaignResult& campaign);
+
+[[nodiscard]] aps::sim::MonitorFactory dt_factory(
+    std::shared_ptr<const aps::ml::DecisionTree> model, int classes);
+[[nodiscard]] aps::sim::MonitorFactory mlp_factory(
+    std::shared_ptr<const aps::ml::Mlp> model, int classes);
+[[nodiscard]] aps::sim::MonitorFactory lstm_factory(
+    std::shared_ptr<const aps::ml::Lstm> model, int classes);
+
+}  // namespace aps::core

@@ -1,0 +1,119 @@
+#include "core/scs.h"
+
+#include <set>
+#include <stdexcept>
+
+namespace aps::core {
+
+SafetyContextSpec::SafetyContextSpec(std::vector<Accident> accidents,
+                                     std::vector<Hazard> hazards,
+                                     std::vector<UcasEntry> ucas,
+                                     std::vector<HmsEntry> hms,
+                                     aps::monitor::CawConfig context_config)
+    : accidents_(std::move(accidents)),
+      hazards_(std::move(hazards)),
+      ucas_(std::move(ucas)),
+      hms_(std::move(hms)),
+      context_config_(std::move(context_config)) {}
+
+aps::stl::FormulaPtr SafetyContextSpec::ucas_formula(std::size_t index) const {
+  if (index >= ucas_.size()) {
+    throw std::out_of_range("SCS: UCAS index out of range");
+  }
+  return aps::monitor::rule_to_stl(ucas_[index].rule, context_config_);
+}
+
+aps::stl::FormulaPtr SafetyContextSpec::hms_formula(std::size_t index) const {
+  using namespace aps::stl;
+  if (index >= hms_.size()) {
+    throw std::out_of_range("SCS: HMS index out of range");
+  }
+  const HmsEntry& entry = hms_[index];
+  // Context atom: the monitor has flagged the corresponding hazard class.
+  const std::string hazard_var =
+      entry.trigger == aps::HazardType::kH1TooMuchInsulin ? "hazard_h1"
+                                                          : "hazard_h2";
+  // Corrective-action atom (boolean signal, e.g. "mitigate_h1").
+  const std::string action_var =
+      entry.trigger == aps::HazardType::kH1TooMuchInsulin ? "mitigate_h1"
+                                                          : "mitigate_h2";
+  // Eq. 2: G[t0,te]((F[0,ts] u_c) S context).
+  return globally(
+      Interval{0, Interval::kUnbounded},
+      since(Interval{0, Interval::kUnbounded},
+            eventually(Interval{0, entry.deadline_steps},
+                       bool_atom(action_var)),
+            bool_atom(hazard_var)));
+}
+
+std::vector<std::string> SafetyContextSpec::free_parameters() const {
+  std::set<std::string> params;
+  for (std::size_t i = 0; i < ucas_.size(); ++i) {
+    ucas_formula(i)->collect_params(params);
+  }
+  return {params.begin(), params.end()};
+}
+
+SafetyContextSpec aps_scs(double target_bg) {
+  std::vector<Accident> accidents = {
+      {"A1",
+       "Complications from hypoglycemia: seizure, loss of consciousness, "
+       "death"},
+      {"A2",
+       "Complications from hyperglycemia: tissue damage, retinopathy, "
+       "death"},
+  };
+  std::vector<Hazard> hazards = {
+      {"H1", aps::HazardType::kH1TooMuchInsulin,
+       "Too much insulin is infused; BG falls", "A1"},
+      {"H2", aps::HazardType::kH2TooLittleInsulin,
+       "Too little insulin is infused; BG rises", "A2"},
+  };
+
+  std::vector<UcasEntry> ucas;
+  for (const auto& rule : aps::monitor::caw_rules()) {
+    UcasEntry entry;
+    entry.rule = rule;
+    entry.hazard_id =
+        rule.hazard == aps::HazardType::kH1TooMuchInsulin ? "H1" : "H2";
+    switch (rule.id) {
+      case 9:
+        entry.rationale =
+            "Stopping insulin while hyperglycemic with little on board "
+            "starves the correction";
+        break;
+      case 10:
+        entry.rationale =
+            "Below the hypo threshold the pump must suspend";
+        break;
+      case 11:
+      case 12:
+        entry.rationale =
+            "Keeping the current rate is unsafe when the trend and the "
+            "insulin depot both point the wrong way";
+        break;
+      default:
+        entry.rationale = rule.hazard == aps::HazardType::kH1TooMuchInsulin
+                              ? "Adding insulin while low and falling with a "
+                                "full depot drives hypoglycemia"
+                              : "Cutting insulin while high with an empty "
+                                "depot drives hyperglycemia";
+    }
+    ucas.push_back(std::move(entry));
+  }
+
+  std::vector<HmsEntry> hms = {
+      {aps::HazardType::kH1TooMuchInsulin, "suspend delivery (rate = 0)",
+       /*deadline_steps=*/1},
+      {aps::HazardType::kH2TooLittleInsulin,
+       "deliver corrective insulin (fixed max for baseline comparability)",
+       /*deadline_steps=*/1},
+  };
+
+  aps::monitor::CawConfig config;
+  config.target_bg = target_bg;
+  return SafetyContextSpec(std::move(accidents), std::move(hazards),
+                           std::move(ucas), std::move(hms), config);
+}
+
+}  // namespace aps::core

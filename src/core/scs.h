@@ -1,0 +1,94 @@
+// Safety Context Specification framework (paper §III-B): the bridge from
+// STAMP-style hazard analysis to machine-checkable STL monitors.
+//
+// A specification is a set of UCAS tuples (context, control action, hazard)
+// plus HMS tuples (context, safe corrective actions). Contexts are
+// conjunctions of predicates over transformations mu(x_t) of the observable
+// state; thresholds may be left free ("{beta_i}") for the data-driven
+// refinement stage. The framework renders each tuple as the STL template of
+// Eq. 1 (UCAS) or Eq. 2 (HMS).
+//
+// The APS instantiation (`aps_scs()`) reproduces Table I over the context
+// variables mu = (BG, BG', IOB, IOB').
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "monitor/caw.h"
+#include "stl/formula.h"
+
+namespace aps::core {
+
+/// Accidents the analysis protects against (step 1 of §III-B1).
+struct Accident {
+  std::string id;           ///< e.g. "A1"
+  std::string description;
+};
+
+/// System-level hazards linked to accidents (step 1).
+struct Hazard {
+  std::string id;  ///< "H1" / "H2"
+  aps::HazardType type = aps::HazardType::kNone;
+  std::string description;
+  std::string accident_id;  ///< which accident it can lead to
+};
+
+/// One UCAS tuple: (rho(mu(x_t)), u_t) -> H_i, carried in the executable
+/// rule form shared with the monitor plus its provenance.
+struct UcasEntry {
+  aps::monitor::CawRule rule;
+  std::string hazard_id;
+  std::string rationale;  ///< analyst note, mirrors Table I row semantics
+};
+
+/// One HMS tuple: safe corrective action for a context (Eq. 2).
+struct HmsEntry {
+  aps::HazardType trigger = aps::HazardType::kNone;
+  std::string action;      ///< human-readable corrective action
+  int deadline_steps = 1;  ///< t_s: latest start of mitigation (cycles)
+};
+
+class SafetyContextSpec {
+ public:
+  SafetyContextSpec(std::vector<Accident> accidents,
+                    std::vector<Hazard> hazards,
+                    std::vector<UcasEntry> ucas, std::vector<HmsEntry> hms,
+                    aps::monitor::CawConfig context_config);
+
+  [[nodiscard]] const std::vector<Accident>& accidents() const {
+    return accidents_;
+  }
+  [[nodiscard]] const std::vector<Hazard>& hazards() const {
+    return hazards_;
+  }
+  [[nodiscard]] const std::vector<UcasEntry>& ucas() const { return ucas_; }
+  [[nodiscard]] const std::vector<HmsEntry>& hms() const { return hms_; }
+  [[nodiscard]] const aps::monitor::CawConfig& context_config() const {
+    return context_config_;
+  }
+
+  /// STL template (Eq. 1) of UCAS entry `index`, thresholds left free.
+  [[nodiscard]] aps::stl::FormulaPtr ucas_formula(std::size_t index) const;
+
+  /// STL template (Eq. 2) of HMS entry `index`:
+  /// G[t0,te]((F[0,ts] u_c) S context).
+  [[nodiscard]] aps::stl::FormulaPtr hms_formula(std::size_t index) const;
+
+  /// Names of all free threshold parameters across the UCAS set.
+  [[nodiscard]] std::vector<std::string> free_parameters() const;
+
+ private:
+  std::vector<Accident> accidents_;
+  std::vector<Hazard> hazards_;
+  std::vector<UcasEntry> ucas_;
+  std::vector<HmsEntry> hms_;
+  aps::monitor::CawConfig context_config_;
+};
+
+/// The APS specification of §IV-B: accidents A1/A2, hazards H1/H2, the 12
+/// UCAS rows of Table I, and the stop/correct HMS entries.
+[[nodiscard]] SafetyContextSpec aps_scs(double target_bg = 120.0);
+
+}  // namespace aps::core

@@ -1,0 +1,52 @@
+#include "fi/campaign.h"
+
+namespace aps::fi {
+
+CampaignGrid CampaignGrid::full() { return CampaignGrid{}; }
+
+CampaignGrid CampaignGrid::quick() {
+  CampaignGrid grid;
+  grid.start_steps = {20, 60};
+  grid.duration_steps = {30};
+  grid.initial_bgs = {90.0, 130.0, 180.0};
+  return grid;
+}
+
+std::vector<Scenario> enumerate_scenarios(const CampaignGrid& grid) {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(grid.types.size() * grid.targets.size() *
+                    grid.start_steps.size() * grid.duration_steps.size() *
+                    grid.initial_bgs.size());
+  for (const FaultType type : grid.types) {
+    for (const FaultTarget target : grid.targets) {
+      const double magnitude = target == FaultTarget::kSensorGlucose
+                                   ? grid.glucose_magnitude
+                                   : grid.rate_magnitude;
+      for (const int start : grid.start_steps) {
+        for (const int duration : grid.duration_steps) {
+          for (const double bg0 : grid.initial_bgs) {
+            FaultSpec spec;
+            spec.type = type;
+            spec.target = target;
+            spec.magnitude = magnitude;
+            spec.start_step = start;
+            spec.duration_steps = duration;
+            scenarios.push_back({spec, bg0});
+          }
+        }
+      }
+    }
+  }
+  return scenarios;
+}
+
+std::vector<Scenario> fault_free_scenarios(const CampaignGrid& grid) {
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(grid.initial_bgs.size());
+  for (const double bg0 : grid.initial_bgs) {
+    scenarios.push_back({FaultSpec{}, bg0});
+  }
+  return scenarios;
+}
+
+}  // namespace aps::fi

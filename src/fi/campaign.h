@@ -1,0 +1,52 @@
+// Deterministic enumeration of the fault-injection campaign (paper §V-B):
+// 14 fault kinds (7 types x {glucose, rate} targets) x 9 (start, duration)
+// pairs x 7 initial BG values = 882 scenarios per patient, 8,820 per
+// simulator cohort. A scaled grid (subset of starts/durations) is provided
+// so benches finish quickly; both grids are pure functions of their
+// configuration — no hidden randomness.
+#pragma once
+
+#include <vector>
+
+#include "fi/fault.h"
+
+namespace aps::fi {
+
+/// One closed-loop run: which fault (possibly none) and the starting BG.
+struct Scenario {
+  FaultSpec fault;
+  double initial_bg = 120.0;
+};
+
+struct CampaignGrid {
+  std::vector<FaultType> types = {
+      FaultType::kTruncate, FaultType::kHold,       FaultType::kMax,
+      FaultType::kMin,      FaultType::kAdd,        FaultType::kSub,
+      FaultType::kBitflipDec};
+  std::vector<FaultTarget> targets = {FaultTarget::kSensorGlucose,
+                                      FaultTarget::kCommandRate};
+  std::vector<int> start_steps = {20, 50, 80};
+  std::vector<int> duration_steps = {12, 30, 60};
+  std::vector<double> initial_bgs = {80.0,  100.0, 120.0, 140.0,
+                                     160.0, 180.0, 200.0};
+  /// add/sub offset for glucose faults (mg/dL).
+  double glucose_magnitude = 75.0;
+  /// add/sub offset for rate faults (U/h).
+  double rate_magnitude = 2.0;
+
+  /// Paper-sized grid: 14 x 9 x 7 = 882 scenarios per patient.
+  static CampaignGrid full();
+  /// Scaled grid for quick benches: 14 x 2 x 3 = 84 scenarios per patient.
+  static CampaignGrid quick();
+};
+
+/// All faulty scenarios of the grid, in a fixed deterministic order.
+[[nodiscard]] std::vector<Scenario> enumerate_scenarios(
+    const CampaignGrid& grid);
+
+/// Fault-free scenarios (one per initial BG), used for labeling baselines
+/// and the fault-free generalization ablation.
+[[nodiscard]] std::vector<Scenario> fault_free_scenarios(
+    const CampaignGrid& grid);
+
+}  // namespace aps::fi

@@ -1,0 +1,85 @@
+#include "fi/fault.h"
+
+#include <algorithm>
+
+namespace aps::fi {
+
+const char* to_string(FaultType t) {
+  switch (t) {
+    case FaultType::kNone: return "none";
+    case FaultType::kTruncate: return "truncate";
+    case FaultType::kHold: return "hold";
+    case FaultType::kMax: return "max";
+    case FaultType::kMin: return "min";
+    case FaultType::kAdd: return "add";
+    case FaultType::kSub: return "sub";
+    case FaultType::kBitflipDec: return "bitflip_dec";
+  }
+  return "?";
+}
+
+const char* to_string(FaultTarget t) {
+  switch (t) {
+    case FaultTarget::kNone: return "none";
+    case FaultTarget::kSensorGlucose: return "glucose";
+    case FaultTarget::kControllerIob: return "iob";
+    case FaultTarget::kCommandRate: return "rate";
+  }
+  return "?";
+}
+
+std::string FaultSpec::name() const {
+  return std::string(to_string(type)) + "_" + to_string(target);
+}
+
+double FaultInjector::apply(FaultTarget target, double clean, int step,
+                            ValueRange range) {
+  if (spec_.target != target) return clean;
+  if (!spec_.active_at(step)) {
+    // Remember the last clean value so kHold freezes at the pre-fault
+    // reading when the window opens.
+    held_ = clean;
+    return clean;
+  }
+  double corrupted = clean;
+  switch (spec_.type) {
+    case FaultType::kNone:
+      return clean;
+    case FaultType::kTruncate:
+      corrupted = 0.0;
+      break;
+    case FaultType::kHold:
+      corrupted = held_.value_or(clean);
+      return corrupted;  // hold is exempt from range clamping: it replays a
+                         // previously valid value
+    case FaultType::kMax:
+      corrupted = range.max;
+      break;
+    case FaultType::kMin:
+      corrupted = range.min;
+      break;
+    case FaultType::kAdd:
+      corrupted = clean + spec_.magnitude;
+      break;
+    case FaultType::kSub:
+      corrupted = clean - spec_.magnitude;
+      break;
+    case FaultType::kBitflipDec:
+      corrupted = clean * 0.125;
+      break;
+  }
+  return std::clamp(corrupted, range.min, range.max);
+}
+
+ValueRange glucose_range() {
+  // CGM devices report 40..400 mg/dL.
+  return {40.0, 400.0};
+}
+
+ValueRange rate_range(double max_basal_u_per_h) {
+  return {0.0, max_basal_u_per_h};
+}
+
+ValueRange iob_range() { return {0.0, 20.0}; }
+
+}  // namespace aps::fi

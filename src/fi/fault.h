@@ -1,0 +1,92 @@
+// Software fault-injection engine (paper §IV-C1, Table II).
+//
+// Faults/attacks target the controller itself: they corrupt the values the
+// control algorithm reads (its glucose input, its IOB state) or emits (the
+// commanded rate) during an activation window. Errors are transient and
+// occur once per simulation for a bounded duration. The safety monitor is
+// outside the fault boundary: it observes the clean sensor stream and the
+// (possibly corrupted) actuator command, per the paper's threat model.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace aps::fi {
+
+/// Corruption applied to the targeted value (Table II).
+enum class FaultType : std::uint8_t {
+  kNone = 0,
+  kTruncate,    ///< force to zero (availability attack)
+  kHold,        ///< stop refreshing: freeze at pre-fault value (DoS)
+  kMax,         ///< force to the variable's maximum (integrity attack)
+  kMin,         ///< force to the variable's minimum
+  kAdd,         ///< add a constant offset (memory fault)
+  kSub,         ///< subtract a constant offset
+  kBitflipDec,  ///< decaying corruption: value * 1/8, models a high-order
+                ///< bit clear in the exponent ("bitflip_dec*" in Fig. 8)
+};
+
+/// Which controller-boundary variable the fault perturbs.
+enum class FaultTarget : std::uint8_t {
+  kNone = 0,
+  kSensorGlucose,  ///< glucose reading consumed by the control algorithm
+  kControllerIob,  ///< controller's internal IOB estimate
+  kCommandRate,    ///< commanded infusion rate emitted to the pump
+};
+
+[[nodiscard]] const char* to_string(FaultType t);
+[[nodiscard]] const char* to_string(FaultTarget t);
+
+/// Admissible range of a target variable; forced values are clamped here so
+/// injected errors stay "within the acceptable range" (§IV-C1).
+struct ValueRange {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+struct FaultSpec {
+  FaultType type = FaultType::kNone;
+  FaultTarget target = FaultTarget::kNone;
+  double magnitude = 0.0;  ///< offset for kAdd/kSub; unused otherwise
+  int start_step = 0;      ///< first control step of the activation window
+  int duration_steps = 0;  ///< number of corrupted control steps
+
+  [[nodiscard]] bool enabled() const {
+    return type != FaultType::kNone && target != FaultTarget::kNone &&
+           duration_steps > 0;
+  }
+  [[nodiscard]] bool active_at(int step) const {
+    return enabled() && step >= start_step &&
+           step < start_step + duration_steps;
+  }
+  [[nodiscard]] std::string name() const;  ///< e.g. "max_rate", "hold_glucose"
+};
+
+/// Stateful injector for one simulation run (kHold needs memory of the
+/// pre-fault value).
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+  void reset() { held_.reset(); }
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+
+  /// Corrupt `clean` if this injector targets `target` and is active at
+  /// `step`; otherwise return it unchanged.
+  [[nodiscard]] double apply(FaultTarget target, double clean, int step,
+                             ValueRange range);
+
+ private:
+  FaultSpec spec_;
+  std::optional<double> held_;
+};
+
+/// Default admissible ranges used across the campaign.
+[[nodiscard]] ValueRange glucose_range();          ///< CGM output range
+[[nodiscard]] ValueRange rate_range(double max_basal_u_per_h);
+[[nodiscard]] ValueRange iob_range();
+
+}  // namespace aps::fi

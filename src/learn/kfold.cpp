@@ -1,0 +1,54 @@
+#include "learn/kfold.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+
+namespace aps::learn {
+
+namespace {
+std::vector<std::size_t> shuffled_indices(std::size_t n, std::uint64_t seed) {
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), std::size_t{0});
+  Rng rng(seed);
+  std::shuffle(idx.begin(), idx.end(), rng.engine());
+  return idx;
+}
+}  // namespace
+
+std::vector<FoldSplit> kfold_splits(std::size_t n, int k, std::uint64_t seed) {
+  k = std::clamp<int>(k, 2, static_cast<int>(std::max<std::size_t>(n, 2)));
+  const auto idx = shuffled_indices(n, seed);
+  std::vector<FoldSplit> folds(static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto fold = i % static_cast<std::size_t>(k);
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+      auto& split = folds[f];
+      if (f == fold) {
+        split.test_indices.push_back(idx[i]);
+      } else {
+        split.train_indices.push_back(idx[i]);
+      }
+    }
+  }
+  return folds;
+}
+
+FoldSplit train_test_split(std::size_t n, double test_fraction,
+                           std::uint64_t seed) {
+  const auto idx = shuffled_indices(n, seed);
+  const auto test_count = static_cast<std::size_t>(
+      std::clamp(test_fraction, 0.0, 1.0) * static_cast<double>(n));
+  FoldSplit split;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i < test_count) {
+      split.test_indices.push_back(idx[i]);
+    } else {
+      split.train_indices.push_back(idx[i]);
+    }
+  }
+  return split;
+}
+
+}  // namespace aps::learn

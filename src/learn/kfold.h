@@ -1,0 +1,25 @@
+// Deterministic k-fold cross-validation index splits (paper §V-B uses
+// 4-fold CV for threshold learning and ML training).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace aps::learn {
+
+struct FoldSplit {
+  std::vector<std::size_t> train_indices;
+  std::vector<std::size_t> test_indices;
+};
+
+/// Split [0, n) into k folds after a seeded shuffle; fold f's test set is
+/// the f-th stripe. k is clamped to [2, n].
+[[nodiscard]] std::vector<FoldSplit> kfold_splits(std::size_t n, int k,
+                                                  std::uint64_t seed);
+
+/// Deterministic train/test split with the given test fraction.
+[[nodiscard]] FoldSplit train_test_split(std::size_t n, double test_fraction,
+                                         std::uint64_t seed);
+
+}  // namespace aps::learn

@@ -1,0 +1,173 @@
+#include "learn/lbfgsb.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace aps::learn {
+
+namespace {
+
+using Vec = std::vector<double>;
+
+void project(Vec& x, std::span<const double> lower,
+             std::span<const double> upper) {
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::clamp(x[i], lower[i], upper[i]);
+  }
+}
+
+double dot(const Vec& a, const Vec& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+/// Infinity norm of the projected gradient: the first-order optimality
+/// measure for box-constrained problems.
+double projected_grad_norm(const Vec& x, const Vec& g,
+                           std::span<const double> lower,
+                           std::span<const double> upper) {
+  double norm = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double step = x[i] - g[i];
+    step = std::clamp(step, lower[i], upper[i]);
+    norm = std::max(norm, std::abs(step - x[i]));
+  }
+  return norm;
+}
+
+struct CurvaturePair {
+  Vec s;  ///< x_{k+1} - x_k
+  Vec y;  ///< g_{k+1} - g_k
+  double rho;
+};
+
+/// Two-loop recursion (ref [53]): returns d = -H_k * g without forming H_k.
+Vec two_loop_direction(const Vec& g, const std::deque<CurvaturePair>& pairs) {
+  Vec q = g;
+  std::vector<double> alpha(pairs.size(), 0.0);
+  for (std::size_t i = pairs.size(); i-- > 0;) {
+    const auto& p = pairs[i];
+    alpha[i] = p.rho * dot(p.s, q);
+    for (std::size_t j = 0; j < q.size(); ++j) q[j] -= alpha[i] * p.y[j];
+  }
+  // Initial Hessian scaling gamma = s'y / y'y of the most recent pair.
+  double gamma = 1.0;
+  if (!pairs.empty()) {
+    const auto& last = pairs.back();
+    const double yy = dot(last.y, last.y);
+    if (yy > 0.0) gamma = dot(last.s, last.y) / yy;
+  }
+  for (auto& qi : q) qi *= gamma;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const auto& p = pairs[i];
+    const double beta = p.rho * dot(p.y, q);
+    for (std::size_t j = 0; j < q.size(); ++j) {
+      q[j] += (alpha[i] - beta) * p.s[j];
+    }
+  }
+  for (auto& qi : q) qi = -qi;
+  return q;
+}
+
+}  // namespace
+
+LbfgsbResult lbfgsb_minimize(const Objective& f, std::vector<double> x0,
+                             std::span<const double> lower,
+                             std::span<const double> upper,
+                             const LbfgsbOptions& options) {
+  const std::size_t n = x0.size();
+  assert(lower.size() == n && upper.size() == n);
+  project(x0, lower, upper);
+
+  LbfgsbResult result;
+  Vec x = std::move(x0);
+  Vec g(n, 0.0);
+  double fx = f(x, g);
+
+  std::deque<CurvaturePair> pairs;
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    if (projected_grad_norm(x, g, lower, upper) <
+        options.gradient_tolerance) {
+      result.converged = true;
+      break;
+    }
+
+    Vec d = two_loop_direction(g, pairs);
+    // Fall back to steepest descent when the direction fails to descend
+    // (can happen right after projections corrupt curvature info).
+    if (dot(d, g) >= 0.0) {
+      for (std::size_t i = 0; i < n; ++i) d[i] = -g[i];
+    }
+
+    // Projected backtracking Armijo search along d.
+    double step = 1.0;
+    Vec x_new(n);
+    Vec g_new(n, 0.0);
+    double fx_new = fx;
+    bool accepted = false;
+    for (int ls = 0; ls < options.max_line_search_steps; ++ls) {
+      for (std::size_t i = 0; i < n; ++i) x_new[i] = x[i] + step * d[i];
+      project(x_new, lower, upper);
+      // Actual displacement after projection (may differ from step*d).
+      Vec dx(n);
+      for (std::size_t i = 0; i < n; ++i) dx[i] = x_new[i] - x[i];
+      const double dir_deriv = dot(g, dx);
+      fx_new = f(x_new, g_new);
+      if (fx_new <= fx + options.armijo_c1 * dir_deriv ||
+          fx_new < fx - options.step_tolerance) {
+        accepted = true;
+        break;
+      }
+      step *= options.backtrack_factor;
+      if (step < options.step_tolerance) break;
+    }
+    if (!accepted) {
+      result.converged =
+          projected_grad_norm(x, g, lower, upper) <
+          std::sqrt(options.gradient_tolerance);
+      break;
+    }
+
+    // Update curvature memory with damping: skip pairs with non-positive
+    // curvature so the two-loop recursion stays positive definite.
+    CurvaturePair pair;
+    pair.s.resize(n);
+    pair.y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pair.s[i] = x_new[i] - x[i];
+      pair.y[i] = g_new[i] - g[i];
+    }
+    const double sy = dot(pair.s, pair.y);
+    if (sy > 1e-12) {
+      pair.rho = 1.0 / sy;
+      pairs.push_back(std::move(pair));
+      if (static_cast<int>(pairs.size()) > options.history) {
+        pairs.pop_front();
+      }
+    }
+
+    x = std::move(x_new);
+    g = g_new;
+    fx = fx_new;
+  }
+
+  result.x = std::move(x);
+  result.fx = fx;
+  return result;
+}
+
+LbfgsbResult lbfgs_minimize(const Objective& f, std::vector<double> x0,
+                            const LbfgsbOptions& options) {
+  const std::size_t n = x0.size();
+  const Vec lower(n, -std::numeric_limits<double>::infinity());
+  const Vec upper(n, std::numeric_limits<double>::infinity());
+  return lbfgsb_minimize(f, std::move(x0), lower, upper, options);
+}
+
+}  // namespace aps::learn

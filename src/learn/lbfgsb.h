@@ -1,0 +1,54 @@
+// Limited-memory BFGS with box constraints (L-BFGS-B, paper ref [22]).
+//
+// Implementation notes: the inverse Hessian is never formed explicitly —
+// search directions come from the standard two-loop recursion over the
+// last `history` curvature pairs (paper §III-C2, ref [53]); bounds are
+// enforced by gradient projection (projected backtracking Armijo line
+// search, with curvature pairs damped to keep the recursion positive
+// definite). This is the classical projected-L-BFGS treatment of box
+// constraints; it matches the behaviour required here (smooth losses over
+// threshold vectors with simple bounds).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+namespace aps::learn {
+
+struct LbfgsbOptions {
+  int max_iterations = 200;
+  int history = 8;            ///< number of stored curvature pairs (m)
+  double gradient_tolerance = 1e-8;   ///< on the projected gradient inf-norm
+  double step_tolerance = 1e-12;      ///< minimum accepted step size
+  double armijo_c1 = 1e-4;
+  double backtrack_factor = 0.5;
+  int max_line_search_steps = 40;
+};
+
+struct LbfgsbResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Objective: fills `grad_out` (same size as x) and returns f(x).
+using Objective =
+    std::function<double(std::span<const double> x, std::span<double> grad_out)>;
+
+/// Minimize f over the box [lower, upper] starting from x0 (projected into
+/// the box). `lower`/`upper` must match x0's size; use +-infinity for
+/// unconstrained coordinates.
+[[nodiscard]] LbfgsbResult lbfgsb_minimize(const Objective& f,
+                                           std::vector<double> x0,
+                                           std::span<const double> lower,
+                                           std::span<const double> upper,
+                                           const LbfgsbOptions& options = {});
+
+/// Convenience overload without bounds.
+[[nodiscard]] LbfgsbResult lbfgs_minimize(const Objective& f,
+                                          std::vector<double> x0,
+                                          const LbfgsbOptions& options = {});
+
+}  // namespace aps::learn

@@ -1,0 +1,98 @@
+#include "learn/loss.h"
+
+#include <cmath>
+
+namespace aps::learn {
+
+const char* to_string(LossKind kind) {
+  switch (kind) {
+    case LossKind::kMse: return "MSE";
+    case LossKind::kMae: return "MAE";
+    case LossKind::kTelex: return "TeLEx";
+    case LossKind::kTmee: return "TMEE";
+  }
+  return "?";
+}
+
+double mse_loss(double r) { return r * r; }
+double mse_grad(double r) { return 2.0 * r; }
+
+double mae_loss(double r) { return std::abs(r); }
+double mae_grad(double r) { return r >= 0.0 ? 1.0 : -1.0; }
+
+namespace {
+/// Slack weight of the TeLEx-style softplus term; small weight pushes the
+/// minimum to a large r (the "not tight enough" behaviour in §III-C2).
+constexpr double kTelexSlack = 0.1;
+}  // namespace
+
+double telex_loss(double r) {
+  // softplus computed stably for large |r|
+  const double softplus = r > 30.0 ? r : std::log1p(std::exp(r));
+  return std::exp(-r) + kTelexSlack * softplus;
+}
+
+double telex_grad(double r) {
+  const double sigmoid = 1.0 / (1.0 + std::exp(-r));
+  return -std::exp(-r) + kTelexSlack * sigmoid;
+}
+
+double tmee_loss(double r) {
+  const double denom = 1.0 + std::exp(-2.0 * r);
+  return std::exp(-r) + (r - 1.0) / denom;
+}
+
+double tmee_grad(double r) {
+  const double e2 = std::exp(-2.0 * r);
+  const double denom = 1.0 + e2;
+  return -std::exp(-r) + (denom + 2.0 * (r - 1.0) * e2) / (denom * denom);
+}
+
+double loss_value(LossKind kind, double r) {
+  switch (kind) {
+    case LossKind::kMse: return mse_loss(r);
+    case LossKind::kMae: return mae_loss(r);
+    case LossKind::kTelex: return telex_loss(r);
+    case LossKind::kTmee: return tmee_loss(r);
+  }
+  return 0.0;
+}
+
+double loss_grad(LossKind kind, double r) {
+  switch (kind) {
+    case LossKind::kMse: return mse_grad(r);
+    case LossKind::kMae: return mae_grad(r);
+    case LossKind::kTelex: return telex_grad(r);
+    case LossKind::kTmee: return tmee_grad(r);
+  }
+  return 0.0;
+}
+
+double loss_argmin(LossKind kind) {
+  // Golden-section search over a generous bracket; the per-sample losses
+  // are unimodal on [-5, 20] (MSE/MAE minimum at 0).
+  double lo = -5.0, hi = 20.0;
+  const double phi = (std::sqrt(5.0) - 1.0) / 2.0;
+  double a = hi - phi * (hi - lo);
+  double b = lo + phi * (hi - lo);
+  double fa = loss_value(kind, a);
+  double fb = loss_value(kind, b);
+  for (int it = 0; it < 200; ++it) {
+    if (fa < fb) {
+      hi = b;
+      b = a;
+      fb = fa;
+      a = hi - phi * (hi - lo);
+      fa = loss_value(kind, a);
+    } else {
+      lo = a;
+      a = b;
+      fa = fb;
+      b = lo + phi * (hi - lo);
+      fb = loss_value(kind, b);
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace aps::learn

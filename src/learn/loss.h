@@ -1,0 +1,46 @@
+// Loss functions over the STL robustness margin r = mu(d(t)) - beta
+// (paper §III-C2, Fig. 3).
+//
+// The learning goal is a *tight but satisfied* threshold: r should be
+// driven toward a small positive value. Plain MSE/MAE treat r = -eps and
+// r = +eps identically, so minimizers happily violate the formula. The
+// TeLEx tightness function penalizes violations exponentially but its
+// minimum sits far from zero, giving slack thresholds. The paper's Tight
+// Mean Exponential Error:
+//
+//     TMEE(r) = e^{-r} + (r - 1) / (1 + e^{-2r})
+//
+// blows up exponentially for r < 0, grows ~linearly for large r, and has
+// its minimum at a small positive r (~0.56), i.e. thresholds land just on
+// the safe side of the data.
+#pragma once
+
+namespace aps::learn {
+
+enum class LossKind { kMse, kMae, kTelex, kTmee };
+
+[[nodiscard]] const char* to_string(LossKind kind);
+
+[[nodiscard]] double mse_loss(double r);
+[[nodiscard]] double mse_grad(double r);
+
+[[nodiscard]] double mae_loss(double r);
+[[nodiscard]] double mae_grad(double r);
+
+/// TeLEx-style tightness function (ref [51]): exponential violation penalty
+/// with a softplus slack term whose weight keeps the minimum away from 0.
+[[nodiscard]] double telex_loss(double r);
+[[nodiscard]] double telex_grad(double r);
+
+/// Paper Eq. 4 (Tight Mean Exponential Error).
+[[nodiscard]] double tmee_loss(double r);
+[[nodiscard]] double tmee_grad(double r);
+
+[[nodiscard]] double loss_value(LossKind kind, double r);
+[[nodiscard]] double loss_grad(LossKind kind, double r);
+
+/// Location of the minimum of the per-sample loss (found numerically);
+/// tells how far from the data boundary a learned threshold will sit.
+[[nodiscard]] double loss_argmin(LossKind kind);
+
+}  // namespace aps::learn

@@ -1,0 +1,81 @@
+#include "learn/stl_learning.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace aps::learn {
+
+double threshold_objective(const ThresholdProblem& problem, double beta,
+                           double* grad_out) {
+  double total = 0.0;
+  double grad = 0.0;
+  for (const double mu : problem.violation_values) {
+    const double r = problem.side == BoundSide::kUpperBound ? beta - mu
+                                                            : mu - beta;
+    total += loss_value(problem.loss, r);
+    const double dr_dbeta =
+        problem.side == BoundSide::kUpperBound ? 1.0 : -1.0;
+    grad += loss_grad(problem.loss, r) * dr_dbeta;
+  }
+  const auto n = static_cast<double>(problem.violation_values.size());
+  if (n > 0.0) {
+    total /= n;
+    grad /= n;
+  }
+  if (grad_out != nullptr) *grad_out = grad;
+  return total;
+}
+
+std::optional<ThresholdResult> learn_threshold(const ThresholdProblem& problem,
+                                               const LbfgsbOptions& options) {
+  if (problem.violation_values.empty()) return std::nullopt;
+
+  // Start from the data edge the threshold must cover: the max value for an
+  // upper bound, the min for a lower bound.
+  const auto [min_it, max_it] = std::minmax_element(
+      problem.violation_values.begin(), problem.violation_values.end());
+  const double start =
+      problem.side == BoundSide::kUpperBound ? *max_it : *min_it;
+
+  const Objective objective = [&](std::span<const double> x,
+                                  std::span<double> grad) {
+    double g = 0.0;
+    const double fx = threshold_objective(problem, x[0], &g);
+    grad[0] = g;
+    return fx;
+  };
+
+  // Eq. 3's constraint r >= 0 for all d in H becomes a box bound on beta:
+  // beta >= max(mu) for upper-bound predicates, beta <= min(mu) for
+  // lower-bound ones. The configured box wins when they conflict (e.g.
+  // rule 10's clinical cap), in which case coverage is best-effort.
+  double lower_limit = problem.lower_limit;
+  double upper_limit = problem.upper_limit;
+  if (problem.enforce_coverage) {
+    if (problem.side == BoundSide::kUpperBound) {
+      lower_limit = std::clamp(*max_it, lower_limit, upper_limit);
+    } else {
+      upper_limit = std::clamp(*min_it, lower_limit, upper_limit);
+    }
+  }
+  const std::vector<double> lower = {lower_limit};
+  const std::vector<double> upper = {upper_limit};
+  const LbfgsbResult res =
+      lbfgsb_minimize(objective, {start}, lower, upper, options);
+
+  ThresholdResult out;
+  out.beta = res.x[0];
+  out.final_loss = res.fx;
+  out.iterations = res.iterations;
+  out.converged = res.converged;
+  double min_margin = std::numeric_limits<double>::infinity();
+  for (const double mu : problem.violation_values) {
+    const double r = problem.side == BoundSide::kUpperBound ? out.beta - mu
+                                                            : mu - out.beta;
+    min_margin = std::min(min_margin, r);
+  }
+  out.min_margin = min_margin;
+  return out;
+}
+
+}  // namespace aps::learn

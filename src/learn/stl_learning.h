@@ -1,0 +1,66 @@
+// Data-driven refinement of STL threshold parameters (paper §III-C2).
+//
+// Each SCS rule has one unknown boundary threshold beta over a context
+// variable mu (here: IOB or BG). Hazardous traces provide the *violation
+// examples*: samples where the rule's sign conditions held, the guarded
+// action was issued, and a hazard followed — exactly the situations the
+// rule must catch. The robustness margin is
+//
+//   upper-bound predicates (mu < beta):  r = beta - mu(d(t))
+//   lower-bound predicates (mu > beta):  r = mu(d(t)) - beta
+//
+// and the threshold is learned by minimizing mean loss(r) with L-BFGS-B,
+// which lands beta a tight margin on the firing side of the observed
+// hazardous samples (weakly supervised: no safe-trace labels needed).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "learn/lbfgsb.h"
+#include "learn/loss.h"
+
+namespace aps::learn {
+
+/// Which side of the data the threshold bounds.
+enum class BoundSide {
+  kUpperBound,  ///< predicate "mu < beta": rule fires below the threshold
+  kLowerBound,  ///< predicate "mu > beta": rule fires above the threshold
+};
+
+struct ThresholdProblem {
+  /// mu values extracted from hazardous traces at violation instants.
+  std::vector<double> violation_values;
+  BoundSide side = BoundSide::kUpperBound;
+  double lower_limit = 0.0;   ///< box constraint on beta
+  double upper_limit = 50.0;
+  LossKind loss = LossKind::kTmee;
+  /// Enforce Eq. 3's hard constraint r >= 0 for every violation example by
+  /// tightening the box to the data edge (as far as the box allows). With
+  /// this off, coverage depends entirely on the loss shape — the situation
+  /// Fig. 3 illustrates (MSE/MAE then park the threshold inside the data).
+  bool enforce_coverage = true;
+};
+
+struct ThresholdResult {
+  double beta = 0.0;
+  double final_loss = 0.0;
+  int iterations = 0;
+  bool converged = false;
+  /// Minimum robustness margin of the violation set at the learned beta;
+  /// >= 0 means every hazardous example is caught by the rule.
+  double min_margin = 0.0;
+};
+
+/// Learn one threshold. Returns nullopt when there are no violation
+/// examples (the rule keeps its default threshold in that case).
+[[nodiscard]] std::optional<ThresholdResult> learn_threshold(
+    const ThresholdProblem& problem, const LbfgsbOptions& options = {});
+
+/// Mean loss over the violation set at a given beta (exposed for the Fig. 3
+/// bench and convergence tests).
+[[nodiscard]] double threshold_objective(const ThresholdProblem& problem,
+                                         double beta, double* grad_out);
+
+}  // namespace aps::learn

@@ -1,0 +1,142 @@
+#include "metrics/classification.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aps::metrics {
+
+void ConfusionMatrix::add(const ConfusionMatrix& other) {
+  tp += other.tp;
+  fp += other.fp;
+  fn += other.fn;
+  tn += other.tn;
+}
+
+double ConfusionMatrix::fpr() const {
+  const auto denom = fp + tn;
+  return denom > 0 ? static_cast<double>(fp) / static_cast<double>(denom)
+                   : 0.0;
+}
+
+double ConfusionMatrix::fnr() const {
+  const auto denom = fn + tp;
+  return denom > 0 ? static_cast<double>(fn) / static_cast<double>(denom)
+                   : 0.0;
+}
+
+double ConfusionMatrix::accuracy() const {
+  const auto t = total();
+  return t > 0 ? static_cast<double>(tp + tn) / static_cast<double>(t) : 0.0;
+}
+
+double ConfusionMatrix::precision() const {
+  const auto denom = tp + fp;
+  return denom > 0 ? static_cast<double>(tp) / static_cast<double>(denom)
+                   : 0.0;
+}
+
+double ConfusionMatrix::recall() const {
+  const auto denom = tp + fn;
+  return denom > 0 ? static_cast<double>(tp) / static_cast<double>(denom)
+                   : 0.0;
+}
+
+double ConfusionMatrix::f1() const {
+  const double p = precision();
+  const double r = recall();
+  return p + r > 0.0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+ConfusionMatrix tolerance_window_confusion(const std::vector<bool>& predictions,
+                                           const std::vector<bool>& ground_truth,
+                                           int delta) {
+  assert(predictions.size() == ground_truth.size());
+  const auto n = static_cast<int>(predictions.size());
+  ConfusionMatrix cm;
+
+  // Segment the ground truth into contiguous hazard windows. Per Table IV
+  // (PN row: the lookback window "ends with a positive ground truth that
+  // includes t"), a hazard window counts as covered when an alert fired
+  // anywhere from delta steps before its onset through its end — hazard
+  // *prediction* wants the alert ahead of the window, and one early alert
+  // covers the episode.
+  std::vector<bool> covered(static_cast<std::size_t>(n), false);
+  auto close_segment = [&](int start, int end) {  // inclusive bounds
+    const int lo = std::max(0, start - delta);
+    bool any_alert = false;
+    for (int i = lo; i <= end && !any_alert; ++i) {
+      any_alert = predictions[static_cast<std::size_t>(i)];
+    }
+    if (any_alert) {
+      for (int i = start; i <= end; ++i) {
+        covered[static_cast<std::size_t>(i)] = true;
+      }
+    }
+  };
+  int seg_start = -1;
+  for (int t = 0; t < n; ++t) {
+    const bool g = ground_truth[static_cast<std::size_t>(t)];
+    if (g && seg_start < 0) seg_start = t;
+    if (!g && seg_start >= 0) {
+      close_segment(seg_start, t - 1);
+      seg_start = -1;
+    }
+  }
+  if (seg_start >= 0) close_segment(seg_start, n - 1);
+
+  auto truth_ahead = [&](int t) {
+    const int hi = std::min(n - 1, t + delta);
+    for (int i = t; i <= hi; ++i) {
+      if (ground_truth[static_cast<std::size_t>(i)]) return true;
+    }
+    return false;
+  };
+
+  for (int t = 0; t < n; ++t) {
+    const bool p = predictions[static_cast<std::size_t>(t)];
+    const bool g = ground_truth[static_cast<std::size_t>(t)];
+    if (g) {
+      covered[static_cast<std::size_t>(t)] ? ++cm.tp : ++cm.fn;
+    } else if (p) {
+      // Alert on a quiet sample: predictive (hazard within delta ahead) or
+      // false.
+      truth_ahead(t) ? ++cm.tp : ++cm.fp;
+    } else {
+      ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+ConfusionMatrix two_region_confusion(const std::vector<bool>& predictions,
+                                     const std::vector<bool>& ground_truth,
+                                     int fault_step) {
+  assert(predictions.size() == ground_truth.size());
+  const auto n = static_cast<int>(predictions.size());
+  ConfusionMatrix cm;
+
+  auto score_region = [&](int lo, int hi) {  // inclusive bounds
+    if (lo > hi) return;
+    bool has_truth = false;
+    bool has_pred = false;
+    for (int i = lo; i <= hi; ++i) {
+      has_truth |= ground_truth[static_cast<std::size_t>(i)];
+      has_pred |= predictions[static_cast<std::size_t>(i)];
+    }
+    if (has_truth) {
+      has_pred ? ++cm.tp : ++cm.fn;
+    } else {
+      has_pred ? ++cm.fp : ++cm.tn;
+    }
+  };
+
+  if (fault_step < 0 || fault_step >= n) {
+    score_region(0, n - 1);
+  } else {
+    score_region(0, fault_step - 1);
+    score_region(fault_step, n - 1);
+  }
+  return cm;
+}
+
+}  // namespace aps::metrics

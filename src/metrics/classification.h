@@ -1,0 +1,47 @@
+// Classification metrics for hazard *prediction* (paper §V-D).
+//
+// Point-wise metrics punish early warnings, so the sample-level evaluation
+// uses a tolerance window delta (Table IV / Fig. 6): an alert is a true
+// positive when a hazard follows within delta; a hazardous sample is not a
+// false negative when an alert preceded it within delta. The
+// simulation-level evaluation splits each trace at the fault-activation
+// time t_f into two regions and scores each region as one case.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aps::metrics {
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t fn = 0;
+  std::size_t tn = 0;
+
+  void add(const ConfusionMatrix& other);
+
+  [[nodiscard]] double fpr() const;       ///< fp / (fp + tn)
+  [[nodiscard]] double fnr() const;       ///< fn / (fn + tp)
+  [[nodiscard]] double accuracy() const;  ///< (tp + tn) / total
+  [[nodiscard]] double precision() const;
+  [[nodiscard]] double recall() const;
+  [[nodiscard]] double f1() const;
+  [[nodiscard]] std::size_t total() const { return tp + fp + fn + tn; }
+};
+
+/// Sample-level confusion with tolerance window `delta` steps (Table IV).
+/// `predictions[t]` = alarm at step t; `ground_truth[t]` = hazardous step.
+[[nodiscard]] ConfusionMatrix tolerance_window_confusion(
+    const std::vector<bool>& predictions, const std::vector<bool>& ground_truth,
+    int delta);
+
+/// Simulation-level two-region scoring: the trace is split at `fault_step`
+/// (< 0 when fault-free: the whole trace is one region). Each region is
+/// positive when it contains a hazardous ground-truth sample and predicted
+/// positive when it contains an alarm.
+[[nodiscard]] ConfusionMatrix two_region_confusion(
+    const std::vector<bool>& predictions, const std::vector<bool>& ground_truth,
+    int fault_step);
+
+}  // namespace aps::metrics

@@ -1,0 +1,176 @@
+#include "metrics/evaluation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/units.h"
+#include "risk/risk_index.h"
+
+namespace aps::metrics {
+
+namespace {
+
+/// Fault-activation step of a run, or -1 when fault-free.
+int fault_step_of(const aps::sim::SimResult& run) {
+  return run.config.fault.enabled() ? run.config.fault.start_step : -1;
+}
+
+}  // namespace
+
+std::vector<bool> alarms_of(const aps::sim::SimResult& run) {
+  std::vector<bool> out;
+  out.reserve(run.steps.size());
+  for (const auto& s : run.steps) out.push_back(s.alarm);
+  return out;
+}
+
+// ---- Resilience ------------------------------------------------------------
+
+double ResilienceStats::hazard_coverage() const {
+  return total_runs > 0 ? static_cast<double>(hazardous_runs) /
+                              static_cast<double>(total_runs)
+                        : 0.0;
+}
+
+double ResilienceStats::mean_tth_min() const {
+  return aps::mean(tth_min);
+}
+
+double ResilienceStats::negative_tth_fraction() const {
+  if (tth_min.empty()) return 0.0;
+  const auto negatives = static_cast<double>(
+      std::count_if(tth_min.begin(), tth_min.end(),
+                    [](double v) { return v < 0.0; }));
+  return negatives / static_cast<double>(tth_min.size());
+}
+
+ResilienceStats resilience(const aps::sim::CampaignResult& campaign) {
+  ResilienceStats stats;
+  for (const auto* run : campaign.flat()) {
+    ++stats.total_runs;
+    if (!run->label.hazardous) continue;
+    ++stats.hazardous_runs;
+    const int tf = fault_step_of(*run);
+    const int th = run->label.onset_step;
+    stats.tth_min.push_back(static_cast<double>(th - std::max(tf, 0)) *
+                            aps::kControlPeriodMin);
+  }
+  return stats;
+}
+
+// ---- Accuracy ----------------------------------------------------------------
+
+AccuracyReport evaluate_accuracy(const aps::sim::CampaignResult& campaign,
+                                 int tolerance_steps) {
+  AccuracyReport report;
+  std::size_t hazardous = 0;
+  for (const auto* run : campaign.flat()) {
+    const auto preds = alarms_of(*run);
+    const std::vector<bool>& truth = run->label.sample_hazard;
+    assert(preds.size() == truth.size());
+    report.sample.add(
+        tolerance_window_confusion(preds, truth, tolerance_steps));
+    report.simulation.add(
+        two_region_confusion(preds, truth, fault_step_of(*run)));
+    ++report.runs;
+    if (run->label.hazardous) ++hazardous;
+  }
+  report.hazard_fraction =
+      report.runs > 0
+          ? static_cast<double>(hazardous) / static_cast<double>(report.runs)
+          : 0.0;
+  return report;
+}
+
+// ---- Timeliness ----------------------------------------------------------------
+
+double TimelinessStats::mean_reaction_min() const {
+  return aps::mean(reaction_min);
+}
+
+double TimelinessStats::stddev_reaction_min() const {
+  return aps::stddev(reaction_min);
+}
+
+double TimelinessStats::early_detection_rate() const {
+  return hazardous_runs > 0 ? static_cast<double>(early_detections) /
+                                  static_cast<double>(hazardous_runs)
+                            : 0.0;
+}
+
+TimelinessStats evaluate_timeliness(const aps::sim::CampaignResult& campaign) {
+  TimelinessStats stats;
+  for (const auto* run : campaign.flat()) {
+    if (!run->label.hazardous) continue;
+    ++stats.hazardous_runs;
+    // Reaction to the *fault*: the first alarm at or after activation.
+    // Alarms on pre-fault initial transients are not detections of the
+    // injected failure.
+    const int tf = std::max(0, fault_step_of(*run));
+    int td = -1;
+    for (std::size_t k = static_cast<std::size_t>(tf);
+         k < run->steps.size(); ++k) {
+      if (run->steps[k].alarm) {
+        td = static_cast<int>(k);
+        break;
+      }
+    }
+    if (td < 0) continue;
+    const int th = run->label.onset_step;
+    const double reaction =
+        static_cast<double>(th - td) * aps::kControlPeriodMin;
+    stats.reaction_min.push_back(reaction);
+    if (reaction >= 0.0) ++stats.early_detections;
+  }
+  return stats;
+}
+
+// ---- Mitigation ----------------------------------------------------------------
+
+double MitigationReport::recovery_rate() const {
+  return baseline_hazards > 0 ? static_cast<double>(prevented) /
+                                    static_cast<double>(baseline_hazards)
+                              : 0.0;
+}
+
+MitigationReport evaluate_mitigation(
+    const aps::sim::CampaignResult& baseline,
+    const aps::sim::CampaignResult& mitigated) {
+  assert(baseline.by_patient.size() == mitigated.by_patient.size());
+  MitigationReport report;
+  double risk_sum = 0.0;
+  std::size_t total_runs = 0;
+
+  for (std::size_t p = 0; p < baseline.by_patient.size(); ++p) {
+    const auto& base_runs = baseline.by_patient[p];
+    const auto& mit_runs = mitigated.by_patient[p];
+    assert(base_runs.size() == mit_runs.size());
+    for (std::size_t s = 0; s < base_runs.size(); ++s) {
+      const auto& base = base_runs[s];
+      const auto& mit = mit_runs[s];
+      ++total_runs;
+      const bool was_hazard = base.label.hazardous;
+      const bool is_hazard = mit.label.hazardous;
+      if (was_hazard) {
+        ++report.baseline_hazards;
+        if (!is_hazard) ++report.prevented;
+        if (is_hazard && !mit.any_alarm()) {
+          // FN under mitigation: the patient faces the hazard unwarned
+          // (Eq. 9 first term).
+          risk_sum += aps::risk::mean_risk(mit.bg_trace());
+        }
+      } else if (is_hazard) {
+        // New hazard introduced by mitigating false alarms (Eq. 9 second
+        // term).
+        ++report.new_hazards;
+        risk_sum += aps::risk::mean_risk(mit.bg_trace());
+      }
+    }
+  }
+  report.average_risk =
+      total_runs > 0 ? risk_sum / static_cast<double>(total_runs) : 0.0;
+  return report;
+}
+
+}  // namespace aps::metrics

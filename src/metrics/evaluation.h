@@ -1,0 +1,91 @@
+// Campaign-level evaluation (paper §V-D): hazard coverage, time-to-hazard,
+// monitor prediction accuracy at both levels, reaction time / early
+// detection rate, and the mitigation metrics (recovery rate, new hazards,
+// average risk, Eq. 9).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/stats.h"
+#include "metrics/classification.h"
+#include "sim/runner.h"
+
+namespace aps::metrics {
+
+/// Default tolerance window for hazard *prediction*: 36 steps = 3 hours,
+/// calibrated to the mean time-to-hazard of the unmonitored system
+/// (Fig. 7b) so that alerts raised over the monitor's prediction horizon
+/// count as early detections rather than false positives.
+inline constexpr int kDefaultToleranceSteps = 36;
+
+// ---- Resilience of the unmonitored system (Fig. 7 / Fig. 8) -------------
+
+struct ResilienceStats {
+  std::size_t total_runs = 0;
+  std::size_t hazardous_runs = 0;
+  /// TTH in minutes for every hazardous run (may be negative when the
+  /// hazard pre-dates the fault; Fig. 7b).
+  std::vector<double> tth_min;
+
+  [[nodiscard]] double hazard_coverage() const;
+  [[nodiscard]] double mean_tth_min() const;
+  [[nodiscard]] double negative_tth_fraction() const;
+};
+
+[[nodiscard]] ResilienceStats resilience(
+    const aps::sim::CampaignResult& campaign);
+
+// ---- Monitor prediction accuracy (Tables V / VI) --------------------------
+
+struct AccuracyReport {
+  ConfusionMatrix sample;      ///< tolerance-window, per sample
+  ConfusionMatrix simulation;  ///< two-region, per region
+  std::size_t runs = 0;
+  double hazard_fraction = 0.0;  ///< fraction of hazardous runs
+};
+
+[[nodiscard]] AccuracyReport evaluate_accuracy(
+    const aps::sim::CampaignResult& campaign,
+    int tolerance_steps = kDefaultToleranceSteps);
+
+// ---- Timeliness (Fig. 9) ---------------------------------------------------
+
+struct TimelinessStats {
+  /// Reaction time (minutes) per hazardous run with at least one alarm:
+  /// positive = alert preceded the hazard.
+  std::vector<double> reaction_min;
+  std::size_t hazardous_runs = 0;
+  std::size_t early_detections = 0;  ///< alert no later than hazard onset
+
+  [[nodiscard]] double mean_reaction_min() const;
+  [[nodiscard]] double stddev_reaction_min() const;
+  [[nodiscard]] double early_detection_rate() const;
+};
+
+[[nodiscard]] TimelinessStats evaluate_timeliness(
+    const aps::sim::CampaignResult& campaign);
+
+// ---- Mitigation (Table VII) -------------------------------------------------
+
+struct MitigationReport {
+  std::size_t baseline_hazards = 0;   ///< hazards without mitigation
+  std::size_t prevented = 0;          ///< hazardous -> safe
+  std::size_t new_hazards = 0;        ///< safe -> hazardous (FP side effects)
+  double average_risk = 0.0;          ///< Eq. 9
+
+  [[nodiscard]] double recovery_rate() const;
+};
+
+/// Compare a mitigated campaign against the unmitigated baseline run with
+/// identical scenarios/patients (matched by index).
+[[nodiscard]] MitigationReport evaluate_mitigation(
+    const aps::sim::CampaignResult& baseline,
+    const aps::sim::CampaignResult& mitigated);
+
+// ---- Per-run helpers (exposed for tests) -------------------------------------
+
+/// Alarm vector of a run.
+[[nodiscard]] std::vector<bool> alarms_of(const aps::sim::SimResult& run);
+
+}  // namespace aps::metrics

@@ -1,0 +1,48 @@
+// Adam optimizer state (Kingma & Ba, paper ref [70]) for one parameter
+// matrix. Shared by the MLP and LSTM trainers.
+#pragma once
+
+#include <cmath>
+
+#include "ml/matrix.h"
+
+namespace aps::ml {
+
+struct AdamConfig {
+  double learning_rate = 0.001;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+class AdamState {
+ public:
+  AdamState() = default;
+  AdamState(std::size_t rows, std::size_t cols)
+      : m_(rows, cols), v_(rows, cols) {}
+
+  /// Apply one Adam update of `param` given `grad`; `t` is the 1-based
+  /// global step used for bias correction.
+  void update(Matrix& param, const Matrix& grad, const AdamConfig& cfg,
+              long t) {
+    const double bc1 = 1.0 - std::pow(cfg.beta1, static_cast<double>(t));
+    const double bc2 = 1.0 - std::pow(cfg.beta2, static_cast<double>(t));
+    auto& m = m_.raw();
+    auto& v = v_.raw();
+    auto& p = param.raw();
+    const auto& g = grad.raw();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      m[i] = cfg.beta1 * m[i] + (1.0 - cfg.beta1) * g[i];
+      v[i] = cfg.beta2 * v[i] + (1.0 - cfg.beta2) * g[i] * g[i];
+      const double mhat = m[i] / bc1;
+      const double vhat = v[i] / bc2;
+      p[i] -= cfg.learning_rate * mhat / (std::sqrt(vhat) + cfg.epsilon);
+    }
+  }
+
+ private:
+  Matrix m_;
+  Matrix v_;
+};
+
+}  // namespace aps::ml

@@ -1,0 +1,83 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aps::ml {
+
+Dataset Dataset::subset(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.classes = classes;
+  out.x = Matrix(indices.size(), x.cols());
+  out.y.reserve(indices.size());
+  for (std::size_t r = 0; r < indices.size(); ++r) {
+    const std::size_t src = indices[r];
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out.x.at(r, c) = x.at(src, c);
+    }
+    out.y.push_back(y[src]);
+  }
+  return out;
+}
+
+double Dataset::positive_fraction() const {
+  if (y.empty()) return 0.0;
+  std::size_t pos = 0;
+  for (const int label : y) {
+    if (label == 1) ++pos;
+  }
+  return static_cast<double>(pos) / static_cast<double>(y.size());
+}
+
+void Standardizer::fit(const Matrix& x) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 1.0);
+  if (n == 0) return;
+  for (std::size_t c = 0; c < d; ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < n; ++r) m += x.at(r, c);
+    m /= static_cast<double>(n);
+    double v = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      const double delta = x.at(r, c) - m;
+      v += delta * delta;
+    }
+    v /= static_cast<double>(n);
+    mean_[c] = m;
+    std_[c] = v > 1e-12 ? std::sqrt(v) : 1.0;
+  }
+}
+
+Matrix Standardizer::transform(const Matrix& x) const {
+  Matrix out = x;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out.at(r, c) = (out.at(r, c) - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+void Standardizer::transform_row(std::span<double> row) const {
+  for (std::size_t c = 0; c < row.size() && c < mean_.size(); ++c) {
+    row[c] = (row[c] - mean_[c]) / std_[c];
+  }
+}
+
+std::vector<double> class_weights(const Dataset& data) {
+  std::vector<double> counts(static_cast<std::size_t>(data.classes), 0.0);
+  for (const int label : data.y) {
+    counts[static_cast<std::size_t>(label)] += 1.0;
+  }
+  std::vector<double> weights(counts.size(), 1.0);
+  const auto n = static_cast<double>(data.size());
+  const auto k = static_cast<double>(data.classes);
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    weights[c] = counts[c] > 0.0 ? n / (k * counts[c]) : 0.0;
+  }
+  return weights;
+}
+
+}  // namespace aps::ml

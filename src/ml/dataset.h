@@ -1,0 +1,51 @@
+// Tabular dataset container and feature standardization for the ML
+// baseline monitors.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace aps::ml {
+
+/// Classification dataset: features x[i] (row) with integer label y[i].
+struct Dataset {
+  Matrix x;              ///< n x d
+  std::vector<int> y;    ///< n labels in [0, classes)
+  int classes = 2;
+
+  [[nodiscard]] std::size_t size() const { return y.size(); }
+  [[nodiscard]] std::size_t features() const { return x.cols(); }
+
+  /// Select a row subset (copy).
+  [[nodiscard]] Dataset subset(std::span<const std::size_t> indices) const;
+
+  /// Fraction of samples with label 1 (binary convenience).
+  [[nodiscard]] double positive_fraction() const;
+};
+
+/// Per-column z-score standardizer (fit on train, apply everywhere).
+class Standardizer {
+ public:
+  void fit(const Matrix& x);
+  [[nodiscard]] Matrix transform(const Matrix& x) const;
+  void transform_row(std::span<double> row) const;
+  [[nodiscard]] bool fitted() const { return !mean_.empty(); }
+
+  [[nodiscard]] const std::vector<double>& mean() const { return mean_; }
+  [[nodiscard]] const std::vector<double>& std() const { return std_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> std_;
+};
+
+/// Deterministic stratified class weights: inverse class frequency,
+/// normalized to mean 1. Used to counter the heavy class imbalance of
+/// hazard data.
+[[nodiscard]] std::vector<double> class_weights(const Dataset& data);
+
+}  // namespace aps::ml

@@ -1,0 +1,156 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace aps::ml {
+
+namespace {
+
+/// Weighted Gini impurity of class mass vector.
+double gini(std::span<const double> class_mass, double total) {
+  if (total <= 0.0) return 0.0;
+  double sum_sq = 0.0;
+  for (const double m : class_mass) {
+    const double p = m / total;
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+DecisionTree::DecisionTree(DecisionTreeConfig config) : config_(config) {}
+
+void DecisionTree::fit(const Dataset& data) {
+  nodes_.clear();
+  depth_ = 0;
+  classes_ = data.classes;
+  if (data.size() == 0) return;
+
+  std::vector<double> sample_weights(data.size(), 1.0);
+  if (config_.use_class_weights) {
+    const auto cw = class_weights(data);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      sample_weights[i] = cw[static_cast<std::size_t>(data.y[i])];
+    }
+  }
+  std::vector<std::size_t> indices(data.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  build(data, indices, sample_weights, 0);
+}
+
+int DecisionTree::build(const Dataset& data,
+                        std::span<const std::size_t> indices,
+                        std::span<const double> weights, int depth) {
+  depth_ = std::max(depth_, depth);
+  const auto node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+
+  // Class mass at this node.
+  std::vector<double> mass(static_cast<std::size_t>(classes_), 0.0);
+  double total = 0.0;
+  for (const std::size_t i : indices) {
+    mass[static_cast<std::size_t>(data.y[i])] += weights[i];
+    total += weights[i];
+  }
+  {
+    auto& node = nodes_[static_cast<std::size_t>(node_index)];
+    node.class_probs.resize(mass.size());
+    for (std::size_t c = 0; c < mass.size(); ++c) {
+      node.class_probs[c] = total > 0.0 ? mass[c] / total : 0.0;
+    }
+  }
+
+  const double parent_impurity = gini(mass, total);
+  const bool can_split = depth < config_.max_depth &&
+                         indices.size() >= config_.min_samples_split &&
+                         parent_impurity > 1e-12;
+  if (!can_split) return node_index;
+
+  // Exhaustive best-split search: sort per feature, scan thresholds.
+  double best_gain = 1e-9;
+  std::size_t best_feature = 0;
+  double best_threshold = 0.0;
+
+  std::vector<std::size_t> sorted(indices.begin(), indices.end());
+  for (std::size_t f = 0; f < data.features(); ++f) {
+    std::sort(sorted.begin(), sorted.end(),
+              [&](std::size_t a, std::size_t b) {
+                return data.x.at(a, f) < data.x.at(b, f);
+              });
+    std::vector<double> left_mass(static_cast<std::size_t>(classes_), 0.0);
+    double left_total = 0.0;
+    for (std::size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+      const std::size_t i = sorted[pos];
+      left_mass[static_cast<std::size_t>(data.y[i])] += weights[i];
+      left_total += weights[i];
+      const double v = data.x.at(i, f);
+      const double v_next = data.x.at(sorted[pos + 1], f);
+      if (v_next <= v + 1e-12) continue;  // no threshold between ties
+      if (pos + 1 < config_.min_samples_leaf ||
+          sorted.size() - pos - 1 < config_.min_samples_leaf) {
+        continue;
+      }
+      std::vector<double> right_mass(mass.size());
+      for (std::size_t c = 0; c < mass.size(); ++c) {
+        right_mass[c] = mass[c] - left_mass[c];
+      }
+      const double right_total = total - left_total;
+      const double child_impurity =
+          (left_total * gini(left_mass, left_total) +
+           right_total * gini(right_mass, right_total)) /
+          total;
+      const double gain = parent_impurity - child_impurity;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best_feature = f;
+        best_threshold = 0.5 * (v + v_next);
+      }
+    }
+  }
+
+  if (best_gain <= 1e-9) return node_index;
+
+  std::vector<std::size_t> left_idx;
+  std::vector<std::size_t> right_idx;
+  for (const std::size_t i : indices) {
+    if (data.x.at(i, best_feature) <= best_threshold) {
+      left_idx.push_back(i);
+    } else {
+      right_idx.push_back(i);
+    }
+  }
+  if (left_idx.empty() || right_idx.empty()) return node_index;
+
+  const int left = build(data, left_idx, weights, depth + 1);
+  const int right = build(data, right_idx, weights, depth + 1);
+  auto& node = nodes_[static_cast<std::size_t>(node_index)];
+  node.is_leaf = false;
+  node.feature = best_feature;
+  node.threshold = best_threshold;
+  node.left = left;
+  node.right = right;
+  return node_index;
+}
+
+std::vector<double> DecisionTree::predict_proba(
+    std::span<const double> features) const {
+  assert(trained());
+  std::size_t node = 0;
+  while (!nodes_[node].is_leaf) {
+    const auto& n = nodes_[node];
+    node = static_cast<std::size_t>(
+        features[n.feature] <= n.threshold ? n.left : n.right);
+  }
+  return nodes_[node].class_probs;
+}
+
+int DecisionTree::predict(std::span<const double> features) const {
+  const auto probs = predict_proba(features);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace aps::ml

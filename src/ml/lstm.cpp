@@ -1,0 +1,415 @@
+#include "ml/lstm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace aps::ml {
+
+namespace {
+
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+std::vector<double> softmax(std::vector<double> logits) {
+  const double max_logit =
+      *std::max_element(logits.begin(), logits.end());
+  double sum = 0.0;
+  for (auto& v : logits) {
+    v = std::exp(v - max_logit);
+    sum += v;
+  }
+  for (auto& v : logits) v /= sum;
+  return logits;
+}
+
+}  // namespace
+
+Lstm::Lstm(LstmConfig config) : config_(std::move(config)) {}
+
+std::size_t Lstm::parameter_count() const {
+  std::size_t total = head_w.size() + head_b.size();
+  for (const auto& layer : layers_) {
+    total += layer.w.size() + layer.u.size() + layer.b.size();
+  }
+  return total;
+}
+
+void Lstm::init_layers(std::size_t input_features) {
+  layers_.clear();
+  std::size_t in = input_features;
+  std::size_t tag = 0;
+  for (const std::size_t h : config_.hidden_units) {
+    Layer layer;
+    layer.hidden = h;
+    layer.w = Matrix::xavier(in, 4 * h, derive_seed(config_.seed, tag++));
+    layer.u = Matrix::xavier(h, 4 * h, derive_seed(config_.seed, tag++));
+    layer.b = Matrix(1, 4 * h);
+    // Forget-gate bias init to 1 (standard stabilization).
+    for (std::size_t j = h; j < 2 * h; ++j) layer.b.at(0, j) = 1.0;
+    layer.w_adam = AdamState(in, 4 * h);
+    layer.u_adam = AdamState(h, 4 * h);
+    layer.b_adam = AdamState(1, 4 * h);
+    layers_.push_back(std::move(layer));
+    in = h;
+  }
+  const auto classes = static_cast<std::size_t>(config_.classes);
+  head_w = Matrix::xavier(in, classes, derive_seed(config_.seed, tag++));
+  head_b = Matrix(1, classes);
+  head_w_adam_ = AdamState(in, classes);
+  head_b_adam_ = AdamState(1, classes);
+}
+
+Matrix Lstm::standardize_window(const Matrix& window) const {
+  if (!config_.standardize || !standardizer_.fitted()) return window;
+  Matrix out = window;
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    std::span<double> row(out.raw().data() + r * out.cols(), out.cols());
+    standardizer_.transform_row(row);
+  }
+  return out;
+}
+
+std::vector<double> Lstm::forward(const Matrix& window,
+                                  std::vector<LayerCache>* cache) const {
+  const std::size_t steps = window.rows();
+  std::vector<double> layer_input;
+  std::vector<std::vector<double>> inputs(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    inputs[t].assign(window.raw().begin() + static_cast<long>(t * window.cols()),
+                     window.raw().begin() +
+                         static_cast<long>((t + 1) * window.cols()));
+  }
+
+  if (cache != nullptr) cache->assign(layers_.size(), LayerCache{});
+
+  std::vector<std::vector<double>> current = inputs;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    const std::size_t h_size = layer.hidden;
+    std::vector<double> h(h_size, 0.0);
+    std::vector<double> c(h_size, 0.0);
+    std::vector<std::vector<double>> outputs(steps);
+
+    LayerCache* lc = cache != nullptr ? &(*cache)[l] : nullptr;
+    if (lc != nullptr) {
+      lc->inputs = current;
+      lc->gates.resize(steps);
+      lc->i.resize(steps);
+      lc->f.resize(steps);
+      lc->g.resize(steps);
+      lc->o.resize(steps);
+      lc->c.resize(steps);
+      lc->h.resize(steps);
+      lc->tanh_c.resize(steps);
+    }
+
+    for (std::size_t t = 0; t < steps; ++t) {
+      std::vector<double> z(4 * h_size, 0.0);
+      for (std::size_t j = 0; j < 4 * h_size; ++j) z[j] = layer.b.at(0, j);
+      vec_matmul_add(current[t], layer.w, z);
+      vec_matmul_add(h, layer.u, z);
+
+      std::vector<double> gi(h_size), gf(h_size), gg(h_size), go(h_size),
+          tanh_c(h_size);
+      for (std::size_t j = 0; j < h_size; ++j) {
+        gi[j] = sigmoid(z[j]);
+        gf[j] = sigmoid(z[h_size + j]);
+        gg[j] = std::tanh(z[2 * h_size + j]);
+        go[j] = sigmoid(z[3 * h_size + j]);
+        c[j] = gf[j] * c[j] + gi[j] * gg[j];
+        tanh_c[j] = std::tanh(c[j]);
+        h[j] = go[j] * tanh_c[j];
+      }
+      outputs[t] = h;
+      if (lc != nullptr) {
+        lc->gates[t] = std::move(z);
+        lc->i[t] = std::move(gi);
+        lc->f[t] = std::move(gf);
+        lc->g[t] = std::move(gg);
+        lc->o[t] = std::move(go);
+        lc->c[t] = c;
+        lc->h[t] = h;
+        lc->tanh_c[t] = std::move(tanh_c);
+      }
+    }
+    current = std::move(outputs);
+  }
+
+  // Dense head on the final hidden state.
+  const std::vector<double>& last = current.back();
+  std::vector<double> logits(static_cast<std::size_t>(config_.classes));
+  for (std::size_t cidx = 0; cidx < logits.size(); ++cidx) {
+    logits[cidx] = head_b.at(0, cidx);
+  }
+  vec_matmul_add(last, head_w, logits);
+  return softmax(std::move(logits));
+}
+
+double Lstm::backward(const Matrix& window, int label, double weight,
+                      std::vector<Gradients>& layer_grads,
+                      Matrix& head_w_grad, Matrix& head_b_grad) {
+  std::vector<LayerCache> cache;
+  const std::vector<double> probs = forward(window, &cache);
+  const std::size_t steps = window.rows();
+
+  const auto lbl = static_cast<std::size_t>(label);
+  const double loss =
+      -weight * std::log(std::max(probs[lbl], 1e-12));
+
+  // dLoss/dlogits.
+  std::vector<double> dlogits(probs.size());
+  for (std::size_t cidx = 0; cidx < probs.size(); ++cidx) {
+    dlogits[cidx] = weight * (probs[cidx] - (cidx == lbl ? 1.0 : 0.0));
+  }
+
+  const std::vector<double>& last_h = cache.back().h[steps - 1];
+  for (std::size_t j = 0; j < head_w.rows(); ++j) {
+    for (std::size_t cidx = 0; cidx < head_w.cols(); ++cidx) {
+      head_w_grad.at(j, cidx) += last_h[j] * dlogits[cidx];
+    }
+  }
+  for (std::size_t cidx = 0; cidx < head_b.cols(); ++cidx) {
+    head_b_grad.at(0, cidx) += dlogits[cidx];
+  }
+
+  // Gradient of the loss wrt the top layer's hidden output at each step:
+  // only the last step receives signal from the head.
+  std::vector<std::vector<double>> dh_top(
+      steps, std::vector<double>(layers_.back().hidden, 0.0));
+  for (std::size_t j = 0; j < layers_.back().hidden; ++j) {
+    double s = 0.0;
+    for (std::size_t cidx = 0; cidx < head_w.cols(); ++cidx) {
+      s += head_w.at(j, cidx) * dlogits[cidx];
+    }
+    dh_top[steps - 1][j] = s;
+  }
+
+  // BPTT layer by layer, top to bottom.
+  std::vector<std::vector<double>> dh_out = std::move(dh_top);
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    const auto& layer = layers_[l];
+    const auto& lc = cache[l];
+    const std::size_t h_size = layer.hidden;
+    auto& grads = layer_grads[l];
+
+    std::vector<std::vector<double>> dx(
+        steps, std::vector<double>(layer.w.rows(), 0.0));
+    std::vector<double> dh_next(h_size, 0.0);
+    std::vector<double> dc_next(h_size, 0.0);
+
+    for (std::size_t t = steps; t-- > 0;) {
+      std::vector<double> dh(h_size);
+      for (std::size_t j = 0; j < h_size; ++j) {
+        dh[j] = dh_out[t][j] + dh_next[j];
+      }
+      std::vector<double> dz(4 * h_size);
+      std::vector<double> dc(h_size);
+      for (std::size_t j = 0; j < h_size; ++j) {
+        const double tanh_c = lc.tanh_c[t][j];
+        const double go = lc.o[t][j];
+        dc[j] = dh[j] * go * (1.0 - tanh_c * tanh_c) + dc_next[j];
+        const double gi = lc.i[t][j];
+        const double gf = lc.f[t][j];
+        const double gg = lc.g[t][j];
+        const double c_prev = t > 0 ? lc.c[t - 1][j] : 0.0;
+        // Gate pre-activation gradients.
+        dz[j] = dc[j] * gg * gi * (1.0 - gi);                    // input gate
+        dz[h_size + j] = dc[j] * c_prev * gf * (1.0 - gf);       // forget
+        dz[2 * h_size + j] = dc[j] * gi * (1.0 - gg * gg);       // candidate
+        dz[3 * h_size + j] = dh[j] * tanh_c * go * (1.0 - go);   // output
+        dc_next[j] = dc[j] * gf;
+      }
+      // Parameter gradients.
+      const std::vector<double>& x_t = lc.inputs[t];
+      for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+        const double xr = x_t[r];
+        if (xr == 0.0) continue;
+        for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
+          grads.w.at(r, jj) += xr * dz[jj];
+        }
+      }
+      if (t > 0) {
+        const std::vector<double>& h_prev = lc.h[t - 1];
+        for (std::size_t r = 0; r < h_size; ++r) {
+          const double hr = h_prev[r];
+          if (hr == 0.0) continue;
+          for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
+            grads.u.at(r, jj) += hr * dz[jj];
+          }
+        }
+      }
+      for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
+        grads.b.at(0, jj) += dz[jj];
+      }
+      // Propagate to previous step's hidden and this step's input.
+      for (std::size_t r = 0; r < h_size; ++r) {
+        double s = 0.0;
+        for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
+          s += layer.u.at(r, jj) * dz[jj];
+        }
+        dh_next[r] = s;
+      }
+      for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+        double s = 0.0;
+        for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
+          s += layer.w.at(r, jj) * dz[jj];
+        }
+        dx[t][r] = s;
+      }
+    }
+    dh_out = std::move(dx);  // becomes the output-gradient of the layer below
+  }
+  return loss;
+}
+
+double Lstm::evaluate_loss(const SequenceDataset& data,
+                           std::span<const std::size_t> indices,
+                           std::span<const double> cw) const {
+  if (indices.empty()) return 0.0;
+  double loss = 0.0;
+  double weight_sum = 0.0;
+  for (const std::size_t i : indices) {
+    const Matrix window = standardize_window(data.sequences[i]);
+    const auto probs = forward(window, nullptr);
+    const auto label = static_cast<std::size_t>(data.labels[i]);
+    const double w = cw.empty() ? 1.0 : cw[label];
+    weight_sum += w;
+    loss -= w * std::log(std::max(probs[label], 1e-12));
+  }
+  return weight_sum > 0.0 ? loss / weight_sum : 0.0;
+}
+
+double Lstm::fit(const SequenceDataset& data) {
+  assert(data.size() > 0);
+  config_.classes = data.classes;
+
+  if (config_.standardize) {
+    // Fit the standardizer over all rows of all windows.
+    Matrix stacked(data.size() * data.steps(), data.features());
+    std::size_t row = 0;
+    for (const auto& seq : data.sequences) {
+      for (std::size_t r = 0; r < seq.rows(); ++r, ++row) {
+        for (std::size_t c = 0; c < seq.cols(); ++c) {
+          stacked.at(row, c) = seq.at(r, c);
+        }
+      }
+    }
+    standardizer_.fit(stacked);
+  }
+
+  init_layers(data.features());
+
+  // Class weights for imbalance.
+  std::vector<double> cw;
+  if (config_.use_class_weights) {
+    Dataset flat;
+    flat.classes = data.classes;
+    flat.y = data.labels;
+    flat.x = Matrix(data.size(), 1);
+    cw = class_weights(flat);
+  }
+
+  aps::Rng rng(derive_seed(config_.seed, 0xB0B));
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const auto val_count = static_cast<std::size_t>(
+      config_.validation_fraction * static_cast<double>(data.size()));
+  const std::vector<std::size_t> val_idx(
+      order.begin(), order.begin() + static_cast<long>(val_count));
+  std::vector<std::size_t> train_idx(
+      order.begin() + static_cast<long>(val_count), order.end());
+  if (train_idx.empty()) {
+    train_idx = order;
+  }
+
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<Layer> best_layers;
+  Matrix best_head_w, best_head_b;
+  int patience_left = config_.early_stopping_patience;
+  long step = 0;
+
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    std::shuffle(train_idx.begin(), train_idx.end(), rng.engine());
+    for (std::size_t start = 0; start < train_idx.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(train_idx.size(), start + config_.batch_size);
+
+      std::vector<Gradients> layer_grads;
+      layer_grads.reserve(layers_.size());
+      for (const auto& layer : layers_) {
+        Gradients g;
+        g.w = Matrix(layer.w.rows(), layer.w.cols());
+        g.u = Matrix(layer.u.rows(), layer.u.cols());
+        g.b = Matrix(1, layer.b.cols());
+        layer_grads.push_back(std::move(g));
+      }
+      Matrix head_w_grad(head_w.rows(), head_w.cols());
+      Matrix head_b_grad(1, head_b.cols());
+
+      for (std::size_t pos = start; pos < end; ++pos) {
+        const std::size_t i = train_idx[pos];
+        const Matrix window = standardize_window(data.sequences[i]);
+        const auto label = static_cast<std::size_t>(data.labels[i]);
+        const double w = cw.empty() ? 1.0 : cw[label];
+        backward(window, data.labels[i], w, layer_grads, head_w_grad,
+                 head_b_grad);
+      }
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      for (auto& g : layer_grads) {
+        for (auto& v : g.w.raw()) v *= inv_batch;
+        for (auto& v : g.u.raw()) v *= inv_batch;
+        for (auto& v : g.b.raw()) v *= inv_batch;
+      }
+      for (auto& v : head_w_grad.raw()) v *= inv_batch;
+      for (auto& v : head_b_grad.raw()) v *= inv_batch;
+
+      ++step;
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        layers_[l].w_adam.update(layers_[l].w, layer_grads[l].w,
+                                 config_.adam, step);
+        layers_[l].u_adam.update(layers_[l].u, layer_grads[l].u,
+                                 config_.adam, step);
+        layers_[l].b_adam.update(layers_[l].b, layer_grads[l].b,
+                                 config_.adam, step);
+      }
+      head_w_adam_.update(head_w, head_w_grad, config_.adam, step);
+      head_b_adam_.update(head_b, head_b_grad, config_.adam, step);
+    }
+
+    const double val_loss = val_idx.empty()
+                                ? evaluate_loss(data, train_idx, cw)
+                                : evaluate_loss(data, val_idx, cw);
+    if (val_loss < best_val - 1e-5) {
+      best_val = val_loss;
+      best_layers = layers_;
+      best_head_w = head_w;
+      best_head_b = head_b;
+      patience_left = config_.early_stopping_patience;
+    } else if (--patience_left <= 0) {
+      break;
+    }
+  }
+  if (!best_layers.empty()) {
+    layers_ = std::move(best_layers);
+    head_w = std::move(best_head_w);
+    head_b = std::move(best_head_b);
+  }
+  return best_val;
+}
+
+std::vector<double> Lstm::predict_proba(const Matrix& window) const {
+  assert(trained());
+  return forward(standardize_window(window), nullptr);
+}
+
+int Lstm::predict(const Matrix& window) const {
+  const auto probs = predict_proba(window);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace aps::ml

@@ -1,0 +1,104 @@
+// Stacked LSTM classifier over sliding windows of system state, the "LSTM"
+// baseline monitor of paper §V-C4: two stacked LSTM layers (default 128 and
+// 64 units) over a 6-step (30-minute) input window, followed by a dense
+// softmax head; trained with Adam on sparse categorical cross-entropy with
+// early stopping. Backpropagation-through-time runs over the full window.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/adam.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace aps::ml {
+
+/// Window dataset: each sample is a (steps x features) matrix plus a label.
+struct SequenceDataset {
+  std::vector<Matrix> sequences;
+  std::vector<int> labels;
+  int classes = 2;
+
+  [[nodiscard]] std::size_t size() const { return labels.size(); }
+  [[nodiscard]] std::size_t steps() const {
+    return sequences.empty() ? 0 : sequences.front().rows();
+  }
+  [[nodiscard]] std::size_t features() const {
+    return sequences.empty() ? 0 : sequences.front().cols();
+  }
+};
+
+struct LstmConfig {
+  std::vector<std::size_t> hidden_units = {128, 64};
+  int classes = 2;
+  AdamConfig adam;
+  int max_epochs = 20;
+  std::size_t batch_size = 32;
+  double validation_fraction = 0.15;
+  int early_stopping_patience = 3;
+  bool use_class_weights = true;
+  bool standardize = true;
+  std::uint64_t seed = 7;
+};
+
+class Lstm {
+ public:
+  explicit Lstm(LstmConfig config = {});
+
+  /// Train; returns best validation loss.
+  double fit(const SequenceDataset& data);
+
+  /// Probability per class for one (steps x features) window.
+  [[nodiscard]] std::vector<double> predict_proba(const Matrix& window) const;
+  [[nodiscard]] int predict(const Matrix& window) const;
+
+  [[nodiscard]] bool trained() const { return !layers_.empty(); }
+  [[nodiscard]] std::size_t parameter_count() const;
+  [[nodiscard]] const LstmConfig& config() const { return config_; }
+
+ private:
+  struct Layer {
+    Matrix w;  ///< input -> gates (in x 4H), gate order [i f g o]
+    Matrix u;  ///< hidden -> gates (H x 4H)
+    Matrix b;  ///< 1 x 4H
+    AdamState w_adam, u_adam, b_adam;
+    std::size_t hidden = 0;
+  };
+
+  /// Per-layer, per-step cached values for BPTT.
+  struct LayerCache {
+    std::vector<std::vector<double>> inputs;  ///< x_t per step
+    std::vector<std::vector<double>> gates;   ///< pre-activation z (4H)
+    std::vector<std::vector<double>> i, f, g, o, c, h, tanh_c;
+  };
+
+  struct Gradients {
+    Matrix w, u, b;
+  };
+
+  void init_layers(std::size_t input_features);
+  /// Run the stack over one window; fills caches when `cache != nullptr`.
+  [[nodiscard]] std::vector<double> forward(const Matrix& window,
+                                            std::vector<LayerCache>* cache) const;
+  /// BPTT for one sample; accumulates into grads; returns sample loss.
+  double backward(const Matrix& window, int label, double weight,
+                  std::vector<Gradients>& layer_grads, Matrix& head_w_grad,
+                  Matrix& head_b_grad);
+
+  [[nodiscard]] double evaluate_loss(const SequenceDataset& data,
+                                     std::span<const std::size_t> indices,
+                                     std::span<const double> cw) const;
+  [[nodiscard]] Matrix standardize_window(const Matrix& window) const;
+
+  LstmConfig config_;
+  std::vector<Layer> layers_;
+  Matrix head_w;  ///< last hidden -> classes
+  Matrix head_b;
+  AdamState head_w_adam_, head_b_adam_;
+  Standardizer standardizer_;
+};
+
+}  // namespace aps::ml

@@ -1,0 +1,77 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace aps::ml {
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols,
+                      std::uint64_t seed) {
+  Matrix m(rows, cols);
+  aps::Rng rng(seed);
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (auto& v : m.raw()) v = rng.uniform(-limit, limit);
+  return m;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  assert(a.rows() == b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (std::size_t k = 0; k < a.rows(); ++k) {
+    for (std::size_t i = 0; i < a.cols(); ++i) {
+      const double aki = a.at(k, i);
+      if (aki == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aki * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+Matrix matmul_nt(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.rows(); ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k) {
+        s += a.at(i, k) * b.at(j, k);
+      }
+      c.at(i, j) = s;
+    }
+  }
+  return c;
+}
+
+void vec_matmul_add(const std::vector<double>& x, const Matrix& w,
+                    std::vector<double>& out) {
+  assert(x.size() == w.rows());
+  assert(out.size() == w.cols());
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < w.cols(); ++j) {
+      out[j] += xi * w.at(i, j);
+    }
+  }
+}
+
+}  // namespace aps::ml

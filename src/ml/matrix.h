@@ -1,0 +1,61 @@
+// Minimal dense row-major matrix used by the from-scratch ML baselines.
+// Not a general linear-algebra library: just the kernels the MLP/LSTM need.
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aps::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  [[nodiscard]] std::vector<double>& raw() { return data_; }
+  [[nodiscard]] const std::vector<double>& raw() const { return data_; }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// Xavier/Glorot uniform initialization, deterministic per seed.
+  static Matrix xavier(std::size_t rows, std::size_t cols,
+                       std::uint64_t seed);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// c = a * b.
+[[nodiscard]] Matrix matmul(const Matrix& a, const Matrix& b);
+/// c = a^T * b.
+[[nodiscard]] Matrix matmul_tn(const Matrix& a, const Matrix& b);
+/// c = a * b^T.
+[[nodiscard]] Matrix matmul_nt(const Matrix& a, const Matrix& b);
+
+/// y = row-vector x (1 x n) times matrix W (n x m) -> (1 x m), in-place add
+/// into out (must be 1 x m).
+void vec_matmul_add(const std::vector<double>& x, const Matrix& w,
+                    std::vector<double>& out);
+
+}  // namespace aps::ml

@@ -1,0 +1,281 @@
+#include "ml/mlp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace aps::ml {
+
+namespace {
+
+void softmax_rows(Matrix& logits) {
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    double max_logit = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      max_logit = std::max(max_logit, logits.at(r, c));
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      logits.at(r, c) = std::exp(logits.at(r, c) - max_logit);
+      sum += logits.at(r, c);
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      logits.at(r, c) /= sum;
+    }
+  }
+}
+
+Matrix rows_subset(const Matrix& x, std::span<const std::size_t> idx) {
+  Matrix out(idx.size(), x.cols());
+  for (std::size_t r = 0; r < idx.size(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out.at(r, c) = x.at(idx[r], c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Mlp::Mlp(MlpConfig config) : config_(std::move(config)) {}
+
+std::size_t Mlp::parameter_count() const {
+  std::size_t total = 0;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    total += weights_[l].size() + biases_[l].size();
+  }
+  return total;
+}
+
+Mlp::ForwardCache Mlp::forward(const Matrix& batch, bool training,
+                               aps::Rng* rng) const {
+  ForwardCache cache;
+  cache.activations.push_back(batch);
+  Matrix h = batch;
+  const std::size_t hidden_layers = weights_.size() - 1;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    Matrix z = matmul(h, weights_[l]);
+    for (std::size_t r = 0; r < z.rows(); ++r) {
+      for (std::size_t c = 0; c < z.cols(); ++c) {
+        z.at(r, c) += biases_[l].at(0, c);
+      }
+    }
+    if (l < hidden_layers) {
+      // ReLU + inverted dropout.
+      Matrix mask(z.rows(), z.cols(), 1.0);
+      const double keep = 1.0 - config_.dropout;
+      for (std::size_t r = 0; r < z.rows(); ++r) {
+        for (std::size_t c = 0; c < z.cols(); ++c) {
+          if (z.at(r, c) < 0.0) z.at(r, c) = 0.0;
+          if (training && config_.dropout > 0.0 && rng != nullptr) {
+            if (rng->bernoulli(config_.dropout)) {
+              mask.at(r, c) = 0.0;
+              z.at(r, c) = 0.0;
+            } else {
+              mask.at(r, c) = 1.0 / keep;
+              z.at(r, c) *= 1.0 / keep;
+            }
+          }
+        }
+      }
+      cache.masks.push_back(std::move(mask));
+      cache.activations.push_back(z);
+      h = std::move(z);
+    } else {
+      softmax_rows(z);
+      cache.probs = std::move(z);
+    }
+  }
+  return cache;
+}
+
+double Mlp::train_batch(const Matrix& batch, std::span<const int> labels,
+                        std::span<const double> cw, long step,
+                        aps::Rng& rng) {
+  ForwardCache cache = forward(batch, /*training=*/true, &rng);
+  const std::size_t n = batch.rows();
+
+  // Weighted cross-entropy and dLoss/dLogits = probs - onehot (scaled).
+  double loss = 0.0;
+  Matrix delta = cache.probs;
+  double weight_sum = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto label = static_cast<std::size_t>(labels[r]);
+    const double w = cw.empty() ? 1.0 : cw[label];
+    weight_sum += w;
+    loss -= w * std::log(std::max(cache.probs.at(r, label), 1e-12));
+    for (std::size_t c = 0; c < delta.cols(); ++c) {
+      delta.at(r, c) = w * (cache.probs.at(r, c) -
+                            (c == label ? 1.0 : 0.0));
+    }
+  }
+  const double norm = weight_sum > 0.0 ? weight_sum : 1.0;
+  loss /= norm;
+  for (auto& v : delta.raw()) v /= norm;
+
+  // Backward pass through the dense stack.
+  for (std::size_t l = weights_.size(); l-- > 0;) {
+    const Matrix& input = cache.activations[l];
+    Matrix grad_w = matmul_tn(input, delta);
+    Matrix grad_b(1, delta.cols());
+    for (std::size_t r = 0; r < delta.rows(); ++r) {
+      for (std::size_t c = 0; c < delta.cols(); ++c) {
+        grad_b.at(0, c) += delta.at(r, c);
+      }
+    }
+    Matrix delta_prev;
+    if (l > 0) {
+      delta_prev = matmul_nt(delta, weights_[l]);
+      // Through ReLU + dropout of layer l-1.
+      const Matrix& act = cache.activations[l];
+      const Matrix& mask = cache.masks[l - 1];
+      for (std::size_t r = 0; r < delta_prev.rows(); ++r) {
+        for (std::size_t c = 0; c < delta_prev.cols(); ++c) {
+          const bool active = act.at(r, c) > 0.0;
+          delta_prev.at(r, c) *= active ? mask.at(r, c) : 0.0;
+        }
+      }
+    }
+    w_adam_[l].update(weights_[l], grad_w, config_.adam, step);
+    b_adam_[l].update(biases_[l], grad_b, config_.adam, step);
+    if (l > 0) delta = std::move(delta_prev);
+  }
+  return loss;
+}
+
+double Mlp::evaluate_loss(const Matrix& x, std::span<const int> labels,
+                          std::span<const double> cw) const {
+  if (x.rows() == 0) return 0.0;
+  const ForwardCache cache = forward(x, /*training=*/false, nullptr);
+  double loss = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const auto label = static_cast<std::size_t>(labels[r]);
+    const double w = cw.empty() ? 1.0 : cw[label];
+    weight_sum += w;
+    loss -= w * std::log(std::max(cache.probs.at(r, label), 1e-12));
+  }
+  return weight_sum > 0.0 ? loss / weight_sum : 0.0;
+}
+
+double Mlp::fit(const Dataset& data) {
+  assert(data.size() > 0);
+  config_.classes = data.classes;
+
+  if (config_.standardize) standardizer_.fit(data.x);
+  const Matrix x_all =
+      config_.standardize ? standardizer_.transform(data.x) : data.x;
+
+  // Architecture: input -> hidden... -> classes.
+  layer_sizes_.clear();
+  layer_sizes_.push_back(data.features());
+  for (const std::size_t h : config_.hidden_units) {
+    layer_sizes_.push_back(h);
+  }
+  layer_sizes_.push_back(static_cast<std::size_t>(config_.classes));
+
+  weights_.clear();
+  biases_.clear();
+  w_adam_.clear();
+  b_adam_.clear();
+  for (std::size_t l = 0; l + 1 < layer_sizes_.size(); ++l) {
+    weights_.push_back(Matrix::xavier(layer_sizes_[l], layer_sizes_[l + 1],
+                                      derive_seed(config_.seed, l)));
+    biases_.emplace_back(1, layer_sizes_[l + 1]);
+    w_adam_.emplace_back(layer_sizes_[l], layer_sizes_[l + 1]);
+    b_adam_.emplace_back(std::size_t{1}, layer_sizes_[l + 1]);
+  }
+
+  // Deterministic train/validation split for early stopping.
+  aps::Rng rng(derive_seed(config_.seed, 0xA11CE));
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::shuffle(order.begin(), order.end(), rng.engine());
+  const auto val_count = static_cast<std::size_t>(
+      config_.validation_fraction * static_cast<double>(data.size()));
+  std::vector<std::size_t> val_idx(order.begin(),
+                                   order.begin() + static_cast<long>(val_count));
+  std::vector<std::size_t> train_idx(order.begin() + static_cast<long>(val_count),
+                                     order.end());
+  if (train_idx.empty()) {
+    train_idx = order;
+    val_idx.clear();
+  }
+
+  const Matrix x_val = rows_subset(x_all, val_idx);
+  std::vector<int> y_val;
+  y_val.reserve(val_idx.size());
+  for (const std::size_t i : val_idx) y_val.push_back(data.y[i]);
+
+  std::vector<double> cw;
+  if (config_.use_class_weights) cw = class_weights(data);
+
+  double best_val = std::numeric_limits<double>::infinity();
+  std::vector<Matrix> best_weights;
+  std::vector<Matrix> best_biases;
+  int patience_left = config_.early_stopping_patience;
+  long step = 0;
+
+  for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
+    std::shuffle(train_idx.begin(), train_idx.end(), rng.engine());
+    for (std::size_t start = 0; start < train_idx.size();
+         start += config_.batch_size) {
+      const std::size_t end =
+          std::min(train_idx.size(), start + config_.batch_size);
+      const std::span<const std::size_t> batch_idx(train_idx.data() + start,
+                                                   end - start);
+      const Matrix batch = rows_subset(x_all, batch_idx);
+      std::vector<int> labels;
+      labels.reserve(batch_idx.size());
+      for (const std::size_t i : batch_idx) labels.push_back(data.y[i]);
+      ++step;
+      train_batch(batch, labels, cw, step, rng);
+    }
+    const double val_loss =
+        val_idx.empty()
+            ? evaluate_loss(x_all, data.y, cw)
+            : evaluate_loss(x_val, y_val, cw);
+    if (val_loss < best_val - 1e-5) {
+      best_val = val_loss;
+      best_weights = weights_;
+      best_biases = biases_;
+      patience_left = config_.early_stopping_patience;
+    } else if (--patience_left <= 0) {
+      break;
+    }
+  }
+  if (!best_weights.empty()) {
+    weights_ = std::move(best_weights);
+    biases_ = std::move(best_biases);
+  }
+  return best_val;
+}
+
+std::vector<double> Mlp::predict_proba(
+    std::span<const double> features) const {
+  assert(trained());
+  Matrix x(1, features.size());
+  for (std::size_t c = 0; c < features.size(); ++c) {
+    x.at(0, c) = features[c];
+  }
+  if (config_.standardize && standardizer_.fitted()) {
+    std::span<double> row(x.raw().data(), x.cols());
+    standardizer_.transform_row(row);
+  }
+  const ForwardCache cache = forward(x, /*training=*/false, nullptr);
+  std::vector<double> out(cache.probs.cols());
+  for (std::size_t c = 0; c < out.size(); ++c) {
+    out[c] = cache.probs.at(0, c);
+  }
+  return out;
+}
+
+int Mlp::predict(std::span<const double> features) const {
+  const auto probs = predict_proba(features);
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+}  // namespace aps::ml

@@ -1,0 +1,74 @@
+// Multi-layer perceptron classifier, the "MLP" baseline monitor of paper
+// §V-C4: fully connected hidden layers (default 256 and 128 units) with
+// ReLU activations and a softmax output, trained with Adam on sparse
+// categorical cross-entropy, with inverted dropout and early stopping on a
+// held-out validation split.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/adam.h"
+#include "ml/dataset.h"
+#include "ml/matrix.h"
+
+namespace aps::ml {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden_units = {256, 128};
+  int classes = 2;
+  AdamConfig adam;                ///< learning rate 0.001 per the paper
+  int max_epochs = 40;
+  std::size_t batch_size = 64;
+  double dropout = 0.2;
+  double validation_fraction = 0.15;
+  int early_stopping_patience = 4;
+  bool use_class_weights = true;
+  bool standardize = true;
+  std::uint64_t seed = 42;
+};
+
+class Mlp {
+ public:
+  explicit Mlp(MlpConfig config = {});
+
+  /// Train on the dataset; returns the best validation loss reached.
+  double fit(const Dataset& data);
+
+  [[nodiscard]] std::vector<double> predict_proba(
+      std::span<const double> features) const;
+  [[nodiscard]] int predict(std::span<const double> features) const;
+
+  [[nodiscard]] bool trained() const { return !weights_.empty(); }
+  [[nodiscard]] const MlpConfig& config() const { return config_; }
+  /// Number of scalar parameters (for the overhead bench narrative).
+  [[nodiscard]] std::size_t parameter_count() const;
+
+ private:
+  struct ForwardCache {
+    std::vector<Matrix> activations;  ///< activations[0] = input batch
+    std::vector<Matrix> masks;        ///< dropout masks per hidden layer
+    Matrix probs;                     ///< softmax output
+  };
+
+  [[nodiscard]] ForwardCache forward(const Matrix& batch, bool training,
+                                     aps::Rng* rng) const;
+  /// One minibatch gradient step; returns the batch loss.
+  double train_batch(const Matrix& batch, std::span<const int> labels,
+                     std::span<const double> cw, long step, aps::Rng& rng);
+  [[nodiscard]] double evaluate_loss(const Matrix& x,
+                                     std::span<const int> labels,
+                                     std::span<const double> cw) const;
+
+  MlpConfig config_;
+  std::vector<std::size_t> layer_sizes_;
+  std::vector<Matrix> weights_;
+  std::vector<Matrix> biases_;  ///< 1 x out each
+  std::vector<AdamState> w_adam_;
+  std::vector<AdamState> b_adam_;
+  Standardizer standardizer_;
+};
+
+}  // namespace aps::ml

@@ -1,0 +1,68 @@
+#include "monitor/guideline.h"
+
+namespace aps::monitor {
+
+GuidelineMonitor::GuidelineMonitor(GuidelineConfig config)
+    : config_(config) {}
+
+void GuidelineMonitor::reset() {
+  below_lambda10_steps_ = 0;
+  above_lambda90_steps_ = 0;
+}
+
+Decision GuidelineMonitor::observe(const Observation& obs) {
+  const auto& c = config_;
+  Decision d;
+
+  // phi1: hard range violation.
+  if (obs.bg <= c.bg_low) {
+    d.alarm = true;
+    d.predicted = aps::HazardType::kH1TooMuchInsulin;
+    d.rule_id = 1;
+    return d;
+  }
+  if (obs.bg >= c.bg_high) {
+    d.alarm = true;
+    d.predicted = aps::HazardType::kH2TooLittleInsulin;
+    d.rule_id = 1;
+    return d;
+  }
+
+  // phi2: rate-of-change violation; the sign of the excursion picks the
+  // hazard class.
+  if (obs.bg_rate <= c.delta_low) {
+    d.alarm = true;
+    d.predicted = aps::HazardType::kH1TooMuchInsulin;
+    d.rule_id = 2;
+    return d;
+  }
+  if (obs.bg_rate >= c.delta_high) {
+    d.alarm = true;
+    d.predicted = aps::HazardType::kH2TooLittleInsulin;
+    d.rule_id = 2;
+    return d;
+  }
+
+  // phi3/phi4: percentile excursions must recover within alpha.
+  below_lambda10_steps_ = obs.bg < c.lambda10 ? below_lambda10_steps_ + 1 : 0;
+  above_lambda90_steps_ = obs.bg > c.lambda90 ? above_lambda90_steps_ + 1 : 0;
+  if (below_lambda10_steps_ > c.alpha_steps) {
+    d.alarm = true;
+    d.predicted = aps::HazardType::kH1TooMuchInsulin;
+    d.rule_id = 3;
+    return d;
+  }
+  if (above_lambda90_steps_ > c.alpha_steps) {
+    d.alarm = true;
+    d.predicted = aps::HazardType::kH2TooLittleInsulin;
+    d.rule_id = 4;
+    return d;
+  }
+  return d;
+}
+
+std::unique_ptr<Monitor> GuidelineMonitor::clone() const {
+  return std::make_unique<GuidelineMonitor>(*this);
+}
+
+}  // namespace aps::monitor

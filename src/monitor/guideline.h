@@ -1,0 +1,48 @@
+// Medical-guidelines baseline monitor (paper §V-C1, Table III; ref [16]):
+// generic safety rules with no knowledge of the controller or patient:
+//
+//   phi1: BG stays within [70, 180] mg/dL
+//   phi2: -5 < deltaBG < 3 mg/dL per 5-minute cycle
+//   phi3: BG < lambda10  =>  BG recovers above lambda10 within alpha minutes
+//   phi4: BG > lambda90  =>  BG recovers below lambda90 within alpha minutes
+//
+// lambda10/lambda90 are the patient's 10th/90th BG percentiles estimated
+// from fault-free operation; alpha defaults to 25 minutes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "monitor/monitor.h"
+
+namespace aps::monitor {
+
+struct GuidelineConfig {
+  double bg_low = 70.0;
+  double bg_high = 180.0;
+  double delta_low = -5.0;   ///< per control cycle
+  double delta_high = 3.0;
+  double lambda10 = 90.0;    ///< patient 10th percentile
+  double lambda90 = 180.0;   ///< patient 90th percentile
+  int alpha_steps = 5;       ///< 25 minutes at 5-minute cycles
+};
+
+class GuidelineMonitor final : public Monitor {
+ public:
+  explicit GuidelineMonitor(GuidelineConfig config = {});
+
+  void reset() override;
+  [[nodiscard]] Decision observe(const Observation& obs) override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<Monitor> clone() const override;
+
+  [[nodiscard]] const GuidelineConfig& config() const { return config_; }
+
+ private:
+  GuidelineConfig config_;
+  std::string name_ = "guideline";
+  int below_lambda10_steps_ = 0;
+  int above_lambda90_steps_ = 0;
+};
+
+}  // namespace aps::monitor

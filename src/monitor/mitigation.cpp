@@ -1,0 +1,29 @@
+#include "monitor/mitigation.h"
+
+#include <algorithm>
+
+namespace aps::monitor {
+
+double mitigate_rate(const Decision& decision, const Observation& obs,
+                     const MitigationConfig& config) {
+  if (!decision.alarm) return obs.commanded_rate;
+  const double max_rate = config.max_basal_factor * obs.basal_rate;
+  switch (decision.predicted) {
+    case aps::HazardType::kH1TooMuchInsulin:
+      // Too much insulin on the way: cut delivery entirely.
+      return 0.0;
+    case aps::HazardType::kH2TooLittleInsulin: {
+      if (config.policy == MitigationPolicy::kFixedMax) return max_rate;
+      // Context-scaled: dose the projected excess over target through the
+      // profile sensitivity, delivered across one hour.
+      const double excess = std::max(0.0, obs.bg - 120.0);
+      const double needed_u = obs.isf > 0.0 ? excess / obs.isf : 0.0;
+      return std::clamp(obs.basal_rate + needed_u, obs.basal_rate, max_rate);
+    }
+    case aps::HazardType::kNone:
+      break;
+  }
+  return obs.commanded_rate;
+}
+
+}  // namespace aps::monitor

@@ -1,0 +1,87 @@
+#include "monitor/ml_monitor.h"
+
+#include <cassert>
+
+namespace aps::monitor {
+
+std::vector<double> ml_features(const Observation& obs) {
+  return {obs.bg,
+          obs.bg_rate,
+          obs.iob,
+          obs.iob_rate,
+          obs.commanded_rate,
+          static_cast<double>(static_cast<int>(obs.action))};
+}
+
+Decision decision_from_class(int predicted_class, int classes,
+                             const Observation& obs) {
+  Decision d;
+  if (predicted_class == 0) return d;
+  d.alarm = true;
+  if (classes >= 3) {
+    d.predicted = predicted_class == 1
+                      ? aps::HazardType::kH1TooMuchInsulin
+                      : aps::HazardType::kH2TooLittleInsulin;
+  } else {
+    // Binary model: recover the hazard side from the glucose context.
+    d.predicted = obs.bg < 120.0 ? aps::HazardType::kH1TooMuchInsulin
+                                 : aps::HazardType::kH2TooLittleInsulin;
+  }
+  return d;
+}
+
+DtMonitor::DtMonitor(std::shared_ptr<const aps::ml::DecisionTree> model,
+                     int classes)
+    : model_(std::move(model)), classes_(classes) {
+  assert(model_ != nullptr && model_->trained());
+}
+
+Decision DtMonitor::observe(const Observation& obs) {
+  const auto features = ml_features(obs);
+  return decision_from_class(model_->predict(features), classes_, obs);
+}
+
+std::unique_ptr<Monitor> DtMonitor::clone() const {
+  return std::make_unique<DtMonitor>(*this);
+}
+
+MlpMonitor::MlpMonitor(std::shared_ptr<const aps::ml::Mlp> model, int classes)
+    : model_(std::move(model)), classes_(classes) {
+  assert(model_ != nullptr && model_->trained());
+}
+
+Decision MlpMonitor::observe(const Observation& obs) {
+  const auto features = ml_features(obs);
+  return decision_from_class(model_->predict(features), classes_, obs);
+}
+
+std::unique_ptr<Monitor> MlpMonitor::clone() const {
+  return std::make_unique<MlpMonitor>(*this);
+}
+
+LstmMonitor::LstmMonitor(std::shared_ptr<const aps::ml::Lstm> model,
+                         int classes)
+    : model_(std::move(model)), classes_(classes), window_(kLstmWindow) {
+  assert(model_ != nullptr && model_->trained());
+}
+
+void LstmMonitor::reset() { window_.clear(); }
+
+Decision LstmMonitor::observe(const Observation& obs) {
+  window_.push(ml_features(obs));
+  if (!window_.full()) return {};  // not enough history yet
+  aps::ml::Matrix input(window_.size(), kMlFeatureCount);
+  for (std::size_t t = 0; t < window_.size(); ++t) {
+    const auto& row = window_[t];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      input.at(t, c) = row[c];
+    }
+  }
+  return decision_from_class(model_->predict(input), classes_, obs);
+}
+
+std::unique_ptr<Monitor> LstmMonitor::clone() const {
+  return std::make_unique<LstmMonitor>(*this);
+}
+
+}  // namespace aps::monitor

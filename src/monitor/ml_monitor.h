@@ -1,0 +1,81 @@
+// ML-based baseline monitors (paper §V-C4): wrappers that turn a trained
+// DecisionTree / Mlp / Lstm classifier into a Monitor. The feature vector
+// is the current system state plus the issued control action (Eq. 7); the
+// LSTM consumes a sliding window of the last k feature vectors (Eq. 8).
+//
+// Binary classifiers predict safe/unsafe only; the hazard *type* needed by
+// the mitigation policy is recovered heuristically from the BG side
+// (paper §VI-1 discusses this limitation). Multi-class models (classes=3:
+// none/H1/H2) are supported for the retraining ablation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/ring_buffer.h"
+#include "ml/decision_tree.h"
+#include "ml/lstm.h"
+#include "ml/mlp.h"
+#include "monitor/monitor.h"
+
+namespace aps::monitor {
+
+/// Feature layout shared by training harness and runtime monitors.
+inline constexpr std::size_t kMlFeatureCount = 6;
+[[nodiscard]] std::vector<double> ml_features(const Observation& obs);
+
+/// Input window length for the LSTM monitor (6 steps = 30 minutes, §V-C4).
+inline constexpr std::size_t kLstmWindow = 6;
+
+/// Map a (possibly multi-class) prediction to a monitor decision.
+[[nodiscard]] Decision decision_from_class(int predicted_class, int classes,
+                                           const Observation& obs);
+
+class DtMonitor final : public Monitor {
+ public:
+  DtMonitor(std::shared_ptr<const aps::ml::DecisionTree> model, int classes);
+
+  void reset() override {}
+  [[nodiscard]] Decision observe(const Observation& obs) override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<Monitor> clone() const override;
+
+ private:
+  std::shared_ptr<const aps::ml::DecisionTree> model_;
+  int classes_;
+  std::string name_ = "dt";
+};
+
+class MlpMonitor final : public Monitor {
+ public:
+  MlpMonitor(std::shared_ptr<const aps::ml::Mlp> model, int classes);
+
+  void reset() override {}
+  [[nodiscard]] Decision observe(const Observation& obs) override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<Monitor> clone() const override;
+
+ private:
+  std::shared_ptr<const aps::ml::Mlp> model_;
+  int classes_;
+  std::string name_ = "mlp";
+};
+
+class LstmMonitor final : public Monitor {
+ public:
+  LstmMonitor(std::shared_ptr<const aps::ml::Lstm> model, int classes);
+
+  void reset() override;
+  [[nodiscard]] Decision observe(const Observation& obs) override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<Monitor> clone() const override;
+
+ private:
+  std::shared_ptr<const aps::ml::Lstm> model_;
+  int classes_;
+  aps::RingBuffer<std::vector<double>> window_;
+  std::string name_ = "lstm";
+};
+
+}  // namespace aps::monitor

@@ -1,0 +1,66 @@
+// Safety-monitor interface (paper Fig. 1a): a wrapper around the controller
+// with access only to the input/output interface — the (clean) sensor
+// stream, its own IOB ledger from observed deliveries, and the commanded
+// rate. Each control cycle the monitor classifies the commanded action in
+// the current context and optionally raises an alarm with a predicted
+// hazard class; the mitigation policy then decides the corrective command.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/units.h"
+
+namespace aps::monitor {
+
+/// Everything a monitor may observe at one control cycle.
+struct Observation {
+  double time_min = 0.0;
+  double bg = 0.0;          ///< CGM reading (clean; monitors are outside the
+                            ///< fault boundary)
+  double bg_rate = 0.0;     ///< delta per cycle (mg/dL per 5 min)
+  double iob = 0.0;         ///< monitor-side IOB estimate (U)
+  double iob_rate = 0.0;    ///< delta per cycle (U per 5 min)
+  double commanded_rate = 0.0;  ///< controller output, post-fault (U/h)
+  double previous_rate = 0.0;   ///< rate delivered in the previous cycle
+  aps::ControlAction action = aps::ControlAction::kKeepInsulin;
+  double basal_rate = 0.0;  ///< profile basal (U/h)
+  double isf = 0.0;         ///< profile sensitivity (mg/dL per U)
+};
+
+struct Decision {
+  bool alarm = false;
+  aps::HazardType predicted = aps::HazardType::kNone;
+  /// Which rule/model produced the alarm (diagnostic; -1 when not an alarm
+  /// or not rule-based).
+  int rule_id = -1;
+};
+
+class Monitor {
+ public:
+  virtual ~Monitor() = default;
+
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual Decision observe(const Observation& obs) = 0;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<Monitor> clone() const = 0;
+};
+
+/// The no-op monitor (baseline APS without safety monitoring).
+class NullMonitor final : public Monitor {
+ public:
+  void reset() override {}
+  [[nodiscard]] Decision observe(const Observation&) override { return {}; }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<Monitor> clone() const override {
+    return std::make_unique<NullMonitor>();
+  }
+
+ private:
+  std::string name_ = "none";
+};
+
+}  // namespace aps::monitor

@@ -1,0 +1,91 @@
+#include "monitor/mpc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace aps::monitor {
+
+namespace {
+constexpr double kUPerHourToMicroUPerMin = 1.0e6 / 60.0;
+}
+
+MpcMonitor::MpcMonitor(MpcConfig config) : config_(config) {}
+
+void MpcMonitor::reset() {
+  isc_ = 0.0;
+  ip_ = 0.0;
+  ieff_ = 0.0;
+  initialized_ = false;
+  last_predicted_ = 0.0;
+}
+
+double MpcMonitor::project(double bg, double rate_u_per_h, double dt_min,
+                           bool commit) {
+  const auto& c = config_;
+  const double id = std::max(0.0, rate_u_per_h) * kUPerHourToMicroUPerMin;
+  double isc = isc_;
+  double ip = ip_;
+  double ieff = ieff_;
+  double g = bg;
+  const int substeps = std::max(1, static_cast<int>(std::lround(dt_min)));
+  const double h = dt_min / substeps;
+  for (int s = 0; s < substeps; ++s) {
+    const double d_isc = -isc / c.tau1 + id / (c.tau1 * c.ci);
+    const double d_ip = (isc - ip) / c.tau2;
+    const double d_ieff = -c.p2 * ieff + c.p2 * c.si * ip;
+    const double d_g = -(c.gezi + ieff) * g + c.egp;
+    isc += h * d_isc;
+    ip += h * d_ip;
+    ieff += h * d_ieff;
+    g += h * d_g;
+  }
+  if (commit) {
+    isc_ = isc;
+    ip_ = ip;
+    ieff_ = ieff;
+  }
+  return std::clamp(g, kBgMin, kBgMax);
+}
+
+Decision MpcMonitor::observe(const Observation& obs) {
+  const auto& c = config_;
+  if (!initialized_) {
+    // Start the insulin compartments at the steady state of the observed
+    // basal so early cycles are not biased by an empty depot.
+    const double id = obs.basal_rate * kUPerHourToMicroUPerMin;
+    isc_ = id / c.ci;
+    ip_ = isc_;
+    ieff_ = c.si * ip_;
+    initialized_ = true;
+  }
+
+  // Project over the horizon assuming the commanded rate is held.
+  const double predicted =
+      project(obs.bg, obs.commanded_rate, c.horizon_min, /*commit=*/false);
+  last_predicted_ = predicted;
+
+  // Advance internal state by one control cycle under the commanded rate
+  // (the monitor cannot see the final delivered value before acting).
+  (void)project(obs.bg, obs.commanded_rate, kControlPeriodMin,
+                /*commit=*/true);
+
+  Decision d;
+  if (predicted <= c.bg_low) {
+    d.alarm = true;
+    d.predicted = aps::HazardType::kH1TooMuchInsulin;
+    d.rule_id = 0;
+  } else if (predicted >= c.bg_high) {
+    d.alarm = true;
+    d.predicted = aps::HazardType::kH2TooLittleInsulin;
+    d.rule_id = 0;
+  }
+  return d;
+}
+
+std::unique_ptr<Monitor> MpcMonitor::clone() const {
+  return std::make_unique<MpcMonitor>(*this);
+}
+
+}  // namespace aps::monitor

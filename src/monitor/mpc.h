@@ -1,0 +1,62 @@
+// Model-predictive baseline monitor (paper §V-C2, Eq. 6; refs [68][69]).
+//
+// Uses the Bergman-Sherwin one-compartment population model
+//
+//   dBG/dt = -(GEZI + IEFF) * BG + EGP + RA(t)
+//
+// with population-average parameters (not patient-specific). The monitor
+// integrates its own insulin-effect estimate from the commanded rates and
+// projects BG forward over a short horizon after executing the command;
+// it alarms when the projection leaves the guideline range [70, 180].
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "monitor/monitor.h"
+
+namespace aps::monitor {
+
+struct MpcConfig {
+  // Population-average IVP parameters.
+  double si = 7.0e-4;    ///< mL/uU/min
+  double gezi = 2.0e-3;  ///< 1/min
+  double egp = 1.4;      ///< mg/dL/min
+  double ci = 1200.0;    ///< mL/min
+  double p2 = 0.012;     ///< 1/min
+  double tau1 = 60.0;    ///< min
+  double tau2 = 50.0;    ///< min
+  double horizon_min = 30.0;  ///< prediction lookahead
+  double bg_low = 70.0;
+  double bg_high = 180.0;
+};
+
+class MpcMonitor final : public Monitor {
+ public:
+  explicit MpcMonitor(MpcConfig config = {});
+
+  void reset() override;
+  [[nodiscard]] Decision observe(const Observation& obs) override;
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<Monitor> clone() const override;
+
+  /// BG projection from the last observe() call (for tests/examples).
+  [[nodiscard]] double last_predicted_bg() const { return last_predicted_; }
+
+ private:
+  /// Advance the internal insulin compartments by dt under `rate` and
+  /// return the projected BG starting at `bg` (does not mutate state when
+  /// `commit` is false).
+  [[nodiscard]] double project(double bg, double rate_u_per_h, double dt_min,
+                               bool commit);
+
+  MpcConfig config_;
+  std::string name_ = "mpc";
+  double isc_ = 0.0;
+  double ip_ = 0.0;
+  double ieff_ = 0.0;
+  bool initialized_ = false;
+  double last_predicted_ = 0.0;
+};
+
+}  // namespace aps::monitor

@@ -1,0 +1,99 @@
+#include "patient/bergman.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/units.h"
+#include "patient/ode.h"
+
+namespace aps::patient {
+
+namespace {
+/// U/h -> uU/min.
+constexpr double kUPerHourToMicroUPerMin = 1.0e6 / 60.0;
+}  // namespace
+
+double BergmanParams::basal_u_per_h() const {
+  const double needed_effect = egp / target_bg - gezi;  // SI*Ip_ss (1/min)
+  if (needed_effect <= 0.0) return 0.0;  // patient holds target w/o insulin
+  const double id_micro_u_per_min = ci * needed_effect / si;
+  return id_micro_u_per_min / kUPerHourToMicroUPerMin;
+}
+
+BergmanPatient::BergmanPatient(BergmanParams params)
+    : params_(std::move(params)) {
+  assert(params_.si > 0.0 && params_.ci > 0.0);
+  assert(params_.tau1 > 0.0 && params_.tau2 > 0.0 && params_.p2 > 0.0);
+  reset(params_.target_bg);
+}
+
+void BergmanPatient::reset(double initial_bg) {
+  // Insulin compartments at basal steady state, glucose at the requested
+  // starting point.
+  const double id = basal_rate_u_per_h() * kUPerHourToMicroUPerMin;
+  const double isc_ss = id / params_.ci;
+  state_[kIsc] = isc_ss;
+  state_[kIp] = isc_ss;
+  state_[kIeff] = params_.si * isc_ss;
+  state_[kG] = std::clamp(initial_bg, kBgMin, kBgMax);
+  meals_.clear();
+  time_min_ = 0.0;
+}
+
+double BergmanPatient::basal_rate_u_per_h() const {
+  return params_.basal_u_per_h();
+}
+
+void BergmanPatient::announce_meal(double carbs_g) {
+  if (carbs_g > 0.0) meals_.push_back({carbs_g, 0.0});
+}
+
+double BergmanPatient::meal_ra(double ahead_min) const {
+  // Two-parameter gamma-shaped appearance (paper §III / Kanderian):
+  // RA(t) = CH*kc / (VG * tau_m^2) * t * exp(-t/tau_m), with CH in mg.
+  double ra = 0.0;
+  constexpr double kCarbToGlucoseMg = 1000.0;  // 1 g carb -> 1000 mg glucose
+  for (const auto& meal : meals_) {
+    const double t = meal.elapsed_min + ahead_min;
+    if (t < 0.0) continue;
+    const double ch_mg = meal.carbs_g * kCarbToGlucoseMg;
+    ra += ch_mg / (params_.vg * params_.tau_meal * params_.tau_meal) * t *
+          std::exp(-t / params_.tau_meal);
+  }
+  return ra;
+}
+
+void BergmanPatient::step(double insulin_rate_u_per_h, double dt_min) {
+  const double id =
+      std::max(0.0, insulin_rate_u_per_h) * kUPerHourToMicroUPerMin;
+  const auto& p = params_;
+  // RA varies slowly relative to the 1-minute substep; evaluate it at the
+  // substep midpoint via the elapsed-time offset captured per call.
+  const double ra = meal_ra(dt_min * 0.5);
+  const auto deriv = [&](const std::array<double, kStateSize>& x) {
+    std::array<double, kStateSize> d;
+    d[kIsc] = -x[kIsc] / p.tau1 + id / (p.tau1 * p.ci);
+    d[kIp] = (x[kIsc] - x[kIp]) / p.tau2;
+    d[kIeff] = -p.p2 * x[kIeff] + p.p2 * p.si * x[kIp];
+    d[kG] = -(p.gezi + x[kIeff]) * x[kG] + p.egp + ra;
+    return d;
+  };
+  const int substeps = std::max(1, static_cast<int>(std::lround(dt_min)));
+  state_ = rk4<kStateSize>(state_, dt_min, substeps, deriv);
+  state_[kG] = std::clamp(state_[kG], kBgMin, kBgMax);
+  state_[kIsc] = std::max(0.0, state_[kIsc]);
+  state_[kIp] = std::max(0.0, state_[kIp]);
+  state_[kIeff] = std::max(0.0, state_[kIeff]);
+  for (auto& meal : meals_) meal.elapsed_min += dt_min;
+  // Drop meals that have fully appeared (>12h old) to bound state size.
+  std::erase_if(meals_,
+                [](const Meal& m) { return m.elapsed_min > 720.0; });
+  time_min_ += dt_min;
+}
+
+std::unique_ptr<PatientModel> BergmanPatient::clone() const {
+  return std::make_unique<BergmanPatient>(*this);
+}
+
+}  // namespace aps::patient

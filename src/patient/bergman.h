@@ -1,0 +1,84 @@
+// Identifiable-virtual-patient (IVP) glucose model, the dynamics class used
+// by the Glucosym simulator (Kanderian et al. 2009, Bergman-Sherwin family;
+// paper Eq. 6 is its glucose equation).
+//
+//   dIsc/dt  = -Isc/tau1 + ID(t) / (tau1 * CI)
+//   dIp/dt   = -Ip/tau2  + Isc/tau2
+//   dIeff/dt = -p2*Ieff + p2*SI*Ip
+//   dG/dt    = -(GEZI + Ieff)*G + EGP + RA(t)
+//
+// with ID the insulin delivery (uU/min), Isc/Ip subcutaneous and plasma
+// insulin concentrations (uU/mL), Ieff the insulin effect (1/min), G plasma
+// glucose (mg/dL), and RA(t) the meal glucose appearance.
+//
+// Substitution note (DESIGN.md §2): Glucosym's clinical parameter sets are
+// replaced by 10 synthetic adults drawn from the physiological ranges
+// published by Kanderian et al.; see profiles.cpp.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "patient/model.h"
+
+namespace aps::patient {
+
+/// Per-patient parameters of the IVP model. Units in comments.
+struct BergmanParams {
+  std::string name;
+  double si = 7.0e-4;    ///< insulin sensitivity (mL/uU/min)
+  double gezi = 2.0e-3;  ///< glucose effectiveness at zero insulin (1/min)
+  double egp = 1.3;      ///< endogenous glucose production (mg/dL/min)
+  double ci = 1200.0;    ///< insulin clearance (mL/min)
+  double p2 = 0.012;     ///< insulin action time constant (1/min)
+  double tau1 = 60.0;    ///< s.c. insulin absorption time constant (min)
+  double tau2 = 50.0;    ///< plasma insulin time constant (min)
+  double tau_meal = 40.0;///< meal appearance time-to-peak (min)
+  double vg = 150.0;     ///< glucose distribution volume (dL)
+  double target_bg = 120.0;  ///< steady state the basal rate maintains
+
+  /// Basal delivery (U/h) that holds G at target_bg:
+  /// ID = CI * (EGP/G* - GEZI) / SI  [uU/min].
+  [[nodiscard]] double basal_u_per_h() const;
+};
+
+class BergmanPatient final : public PatientModel {
+ public:
+  explicit BergmanPatient(BergmanParams params);
+
+  void reset(double initial_bg) override;
+  void step(double insulin_rate_u_per_h, double dt_min) override;
+  [[nodiscard]] double bg() const override { return state_[kG]; }
+  [[nodiscard]] double plasma_insulin() const override { return state_[kIp]; }
+  [[nodiscard]] double basal_rate_u_per_h() const override;
+  void announce_meal(double carbs_g) override;
+  [[nodiscard]] const std::string& name() const override {
+    return params_.name;
+  }
+  [[nodiscard]] std::unique_ptr<PatientModel> clone() const override;
+
+  [[nodiscard]] const BergmanParams& params() const { return params_; }
+  /// Insulin effect state (1/min), exposed for tests.
+  [[nodiscard]] double insulin_effect() const { return state_[kIeff]; }
+
+ private:
+  enum StateIndex { kIsc = 0, kIp = 1, kIeff = 2, kG = 3, kStateSize = 4 };
+
+  struct Meal {
+    double carbs_g;
+    double elapsed_min;
+  };
+
+  /// Total meal glucose appearance (mg/dL/min) at `ahead_min` minutes past
+  /// the current instant.
+  [[nodiscard]] double meal_ra(double ahead_min) const;
+
+  BergmanParams params_;
+  std::array<double, kStateSize> state_{};
+  std::vector<Meal> meals_;
+  double time_min_ = 0.0;
+};
+
+}  // namespace aps::patient

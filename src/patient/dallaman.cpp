@@ -1,0 +1,160 @@
+#include "patient/dallaman.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/units.h"
+#include "patient/ode.h"
+
+namespace aps::patient {
+
+namespace {
+/// 1 U of insulin = 6000 pmol; rates are normalized per kg body weight.
+double u_per_h_to_pmol_per_kg_min(double rate_u_per_h, double bw_kg) {
+  return rate_u_per_h * 6000.0 / 60.0 / bw_kg;
+}
+
+double pmol_per_kg_min_to_u_per_h(double rate, double bw_kg) {
+  return rate * bw_kg * 60.0 / 6000.0;
+}
+}  // namespace
+
+DallaManPatient::DallaManPatient(DallaManParams params)
+    : params_(std::move(params)) {
+  assert(params_.bw > 0.0 && params_.vg > 0.0 && params_.vi > 0.0);
+  solve_basal();
+  reset(params_.target_bg);
+}
+
+double DallaManPatient::bg() const { return state_[kGp] / params_.vg; }
+
+void DallaManPatient::solve_basal() {
+  const auto& p = params_;
+  const double gp = p.target_bg * p.vg;  // mg/kg
+
+  // Tissue glucose from 0 = -Uid + k1*Gp - k2*Gt with X = 0:
+  //   Vm0*Gt/(Km0+Gt) + k2*Gt = k1*Gp  — monotone in Gt, bisect.
+  const double rhs = p.k1 * gp;
+  double lo = 0.0, hi = gp * 4.0 + p.km0 * 4.0;
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double val = p.vm0 * mid / (p.km0 + mid) + p.k2 * mid;
+    (val < rhs ? lo : hi) = mid;
+  }
+  const double gt = 0.5 * (lo + hi);
+
+  // Required EGP from the plasma-glucose balance.
+  const double renal = p.ke1 * std::max(0.0, gp - p.ke2);
+  const double egp = p.uii + renal + p.k1 * gp - p.k2 * gt;
+  // Delayed insulin signal that produces this EGP.
+  const double id = (p.kp1 - p.kp2 * gp - egp) / p.kp3;
+  if (id <= 0.0) {
+    throw std::invalid_argument(
+        "DallaManPatient: parameters admit no positive basal insulin at "
+        "target BG (patient '" + p.name + "')");
+  }
+  const double i_ss = id;          // at steady state Id = I1 = I
+  ib_ = i_ss;                      // basal plasma concentration (pmol/L)
+  const double ip = i_ss * p.vi;   // pmol/kg
+
+  // Insulin kinetics steady state -> required appearance rate Rai = IIRb.
+  const double il = p.m2 * ip / (p.m1 + p.m30);
+  const double rai = (p.m2 + p.m4) * ip - p.m1 * il;
+  if (rai <= 0.0) {
+    throw std::invalid_argument(
+        "DallaManPatient: negative basal appearance for '" + p.name + "'");
+  }
+  basal_u_per_h_ = pmol_per_kg_min_to_u_per_h(rai, p.bw);
+
+  // Subcutaneous depot at steady state for that infusion.
+  const double isc1 = rai / (p.kd + p.ka1);
+  // Note: Rai = ka1*Isc1 + ka2*Isc2 and dIsc1/dt = 0 give
+  // Isc2 = kd*Isc1/ka2, and indeed ka1*Isc1 + kd*Isc1 = IIRb. Consistent.
+  const double isc2 = p.kd * isc1 / p.ka2;
+
+  basal_state_[kGp] = gp;
+  basal_state_[kGt] = gt;
+  basal_state_[kX] = 0.0;
+  basal_state_[kI1] = i_ss;
+  basal_state_[kId] = i_ss;
+  basal_state_[kIl] = il;
+  basal_state_[kIp] = ip;
+  basal_state_[kIsc1] = isc1;
+  basal_state_[kIsc2] = isc2;
+}
+
+void DallaManPatient::reset(double initial_bg) {
+  state_ = basal_state_;
+  state_[kGp] = std::clamp(initial_bg, kBgMin, kBgMax) * params_.vg;
+  // Tissue compartment re-equilibrated toward the initial plasma level so
+  // the first minutes are not dominated by an artificial Gp/Gt imbalance.
+  state_[kGt] = basal_state_[kGt] * (state_[kGp] / basal_state_[kGp]);
+  meals_.clear();
+}
+
+void DallaManPatient::announce_meal(double carbs_g) {
+  if (carbs_g > 0.0) meals_.push_back({carbs_g, 0.0});
+}
+
+double DallaManPatient::meal_ra(double ahead_min) const {
+  double ra = 0.0;
+  for (const auto& meal : meals_) {
+    const double t = meal.elapsed_min + ahead_min;
+    if (t < 0.0) continue;
+    const double dose_mg = meal.carbs_g * 1000.0 * params_.f_meal;
+    // gamma-shaped appearance per kg body weight
+    ra += dose_mg / params_.bw /
+          (params_.tau_meal * params_.tau_meal) * t *
+          std::exp(-t / params_.tau_meal);
+  }
+  return ra;
+}
+
+void DallaManPatient::step(double insulin_rate_u_per_h, double dt_min) {
+  const auto& p = params_;
+  const double iir =
+      u_per_h_to_pmol_per_kg_min(std::max(0.0, insulin_rate_u_per_h), p.bw);
+  const double ra = meal_ra(dt_min * 0.5);
+
+  const auto deriv = [&](const std::array<double, kStateSize>& x) {
+    std::array<double, kStateSize> d;
+    const double i_conc = x[kIp] / p.vi;  // pmol/L
+    const double egp =
+        std::max(0.0, p.kp1 - p.kp2 * x[kGp] - p.kp3 * x[kId]);
+    const double uid =
+        (p.vm0 + p.vmx * std::max(0.0, x[kX])) * x[kGt] / (p.km0 + x[kGt]);
+    const double renal = p.ke1 * std::max(0.0, x[kGp] - p.ke2);
+    d[kGp] = egp + ra - p.uii - renal - p.k1 * x[kGp] + p.k2 * x[kGt];
+    d[kGt] = -uid + p.k1 * x[kGp] - p.k2 * x[kGt];
+    d[kX] = -p.p2u * x[kX] + p.p2u * (i_conc - ib_);
+    d[kI1] = -p.ki * (x[kI1] - i_conc);
+    d[kId] = -p.ki * (x[kId] - x[kI1]);
+    const double rai = p.ka1 * x[kIsc1] + p.ka2 * x[kIsc2];
+    d[kIl] = -(p.m1 + p.m30) * x[kIl] + p.m2 * x[kIp];
+    d[kIp] = -(p.m2 + p.m4) * x[kIp] + p.m1 * x[kIl] + rai;
+    d[kIsc1] = -(p.kd + p.ka1) * x[kIsc1] + iir;
+    d[kIsc2] = p.kd * x[kIsc1] - p.ka2 * x[kIsc2];
+    return d;
+  };
+
+  const int substeps = std::max(1, static_cast<int>(std::lround(dt_min)));
+  state_ = rk4<kStateSize>(state_, dt_min, substeps, deriv);
+  // Physical clamps: concentrations and masses cannot go negative; plasma
+  // glucose is clamped to the simulator's physiological range.
+  for (std::size_t i = 0; i < kStateSize; ++i) {
+    if (i != kX) state_[i] = std::max(0.0, state_[i]);
+  }
+  state_[kGp] =
+      std::clamp(state_[kGp], kBgMin * params_.vg, kBgMax * params_.vg);
+  for (auto& meal : meals_) meal.elapsed_min += dt_min;
+  std::erase_if(meals_,
+                [](const Meal& m) { return m.elapsed_min > 720.0; });
+}
+
+std::unique_ptr<PatientModel> DallaManPatient::clone() const {
+  return std::make_unique<DallaManPatient>(*this);
+}
+
+}  // namespace aps::patient

@@ -1,0 +1,129 @@
+// Reduced UVA-Padova (Dalla Man) type-1 diabetes model, the dynamics class
+// behind the T1DS2013 simulator used in the paper's second evaluation stack.
+//
+// Implements the published glucose and insulin subsystems (Dalla Man et al.
+// 2007; "The UVA/Padova Type 1 Diabetes Simulator: New Features", 2014):
+//
+//   glucose:   dGp/dt = EGP + Ra - Uii - E - k1*Gp + k2*Gt
+//              dGt/dt = -Uid + k1*Gp - k2*Gt
+//              Uid    = (Vm0 + Vmx*X) * Gt / (Km0 + Gt)
+//              EGP    = max(0, kp1 - kp2*Gp - kp3*Id)
+//              E      = ke1 * max(0, Gp - ke2)
+//              G      = Gp / VG                               [mg/dL]
+//   action:    dX/dt  = -p2U*X + p2U*(I - Ib)
+//   delays:    dI1/dt = -ki*(I1 - I);  dId/dt = -ki*(Id - I1)
+//   insulin:   dIl/dt = -(m1+m3)*Il + m2*Ip
+//              dIp/dt = -(m2+m4)*Ip + m1*Il + Rai
+//              I      = Ip / VI
+//   s.c. depot dIsc1/dt = -(kd+ka1)*Isc1 + IIR(t)
+//              dIsc2/dt = kd*Isc1 - ka2*Isc2
+//              Rai     = ka1*Isc1 + ka2*Isc2
+//   meal       Ra from a gamma-shaped gut appearance (reduced from the
+//              three-compartment oral model).
+//
+// Substitution note (DESIGN.md §2): the licensed S2013 virtual-patient
+// parameter sets are replaced with 10 synthetic adults spanning the
+// published adult averages +-30%; see profiles.cpp.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "patient/model.h"
+
+namespace aps::patient {
+
+/// Per-patient parameters (units follow Dalla Man 2007/2014).
+struct DallaManParams {
+  std::string name;
+  double bw = 70.0;      ///< body weight (kg)
+  double vg = 1.88;      ///< glucose distribution volume (dL/kg)
+  double k1 = 0.065;     ///< glucose rate Gp->Gt (1/min)
+  double k2 = 0.079;     ///< glucose rate Gt->Gp (1/min)
+  double kp1 = 2.70;     ///< EGP at zero glucose & insulin (mg/kg/min)
+  /// EGP glucose inhibition (1/min). Below the published adult average
+  /// (0.0021): with the reduced model's insulin-independent utilization,
+  /// the literature value lets glucose alone shut EGP down and the
+  /// zero-insulin equilibrium lands near 150 mg/dL — not type-1 diabetic.
+  /// 0.0007 restores the defining T1D behaviour (no insulin -> sustained
+  /// hyperglycemia above 250 mg/dL).
+  double kp2 = 0.0007;
+  double kp3 = 0.009;    ///< EGP insulin inhibition (mg/kg/min per pmol/L)
+  double ki = 0.0079;    ///< delayed insulin signal rate (1/min)
+  double uii = 1.0;      ///< insulin-independent utilization (mg/kg/min)
+  double vm0 = 2.50;     ///< max insulin-indep. part of Uid (mg/kg/min)
+  double vmx = 0.047;    ///< insulin sensitivity of Uid (mg/kg/min per pmol/L)
+  double km0 = 225.59;   ///< Michaelis constant (mg/kg)
+  double p2u = 0.0331;   ///< insulin action rate (1/min)
+  double vi = 0.05;      ///< insulin distribution volume (L/kg)
+  double m1 = 0.190;     ///< insulin kinetics (1/min)
+  double m2 = 0.484;
+  double m4 = 0.194;
+  double m30 = 0.285;    ///< hepatic extraction term (1/min)
+  double ke1 = 0.0005;   ///< renal clearance rate (1/min)
+  double ke2 = 339.0;    ///< renal threshold (mg/kg)
+  double kd = 0.0164;    ///< s.c. insulin: degradation to monomeric (1/min)
+  double ka1 = 0.0018;   ///< absorption of non-monomeric (1/min)
+  double ka2 = 0.0182;   ///< absorption of monomeric (1/min)
+  double tau_meal = 45.0;///< meal appearance time-to-peak (min)
+  double f_meal = 0.90;  ///< fraction of carbs appearing in plasma
+  double target_bg = 120.0;  ///< steady state the basal rate maintains
+};
+
+class DallaManPatient final : public PatientModel {
+ public:
+  explicit DallaManPatient(DallaManParams params);
+
+  void reset(double initial_bg) override;
+  void step(double insulin_rate_u_per_h, double dt_min) override;
+  [[nodiscard]] double bg() const override;
+  [[nodiscard]] double plasma_insulin() const override {
+    return state_[kIp];
+  }
+  [[nodiscard]] double basal_rate_u_per_h() const override {
+    return basal_u_per_h_;
+  }
+  void announce_meal(double carbs_g) override;
+  [[nodiscard]] const std::string& name() const override {
+    return params_.name;
+  }
+  [[nodiscard]] std::unique_ptr<PatientModel> clone() const override;
+
+  [[nodiscard]] const DallaManParams& params() const { return params_; }
+
+ private:
+  enum StateIndex {
+    kGp = 0,
+    kGt,
+    kX,
+    kI1,
+    kId,
+    kIl,
+    kIp,
+    kIsc1,
+    kIsc2,
+    kStateSize
+  };
+
+  struct Meal {
+    double carbs_g;
+    double elapsed_min;
+  };
+
+  /// Solve the basal operating point (steady state at target_bg); fills
+  /// basal_u_per_h_, ib_ and the steady-state template used by reset().
+  void solve_basal();
+
+  [[nodiscard]] double meal_ra(double ahead_min) const;  // mg/kg/min
+
+  DallaManParams params_;
+  std::array<double, kStateSize> state_{};
+  std::array<double, kStateSize> basal_state_{};
+  double basal_u_per_h_ = 0.0;
+  double ib_ = 0.0;  ///< basal plasma insulin concentration (pmol/L)
+  std::vector<Meal> meals_;
+};
+
+}  // namespace aps::patient

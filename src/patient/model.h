@@ -1,0 +1,48 @@
+// Abstract interface for glucose-insulin patient models used in the
+// closed-loop simulation (paper Fig. 5a).
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace aps::patient {
+
+/// A virtual patient: continuous glucose-insulin dynamics driven by a
+/// subcutaneous insulin infusion rate. All models expose plasma glucose in
+/// mg/dL and accept insulin rates in U/h.
+class PatientModel {
+ public:
+  virtual ~PatientModel() = default;
+
+  /// Reset all internal state; glucose starts at `initial_bg` (mg/dL) and
+  /// the insulin compartments at the steady state for the model's basal
+  /// rate (so simulations begin in a physiologically consistent state).
+  virtual void reset(double initial_bg) = 0;
+
+  /// Advance the physiology by `dt_min` minutes with the infusion rate
+  /// (U/h) held constant, optionally with carbohydrate appearing from a
+  /// meal announced earlier via `announce_meal`.
+  virtual void step(double insulin_rate_u_per_h, double dt_min) = 0;
+
+  /// Current plasma glucose (mg/dL).
+  [[nodiscard]] virtual double bg() const = 0;
+
+  /// Plasma insulin concentration (model-specific units); exposed for
+  /// tests and extensions, not used by monitors.
+  [[nodiscard]] virtual double plasma_insulin() const = 0;
+
+  /// Basal infusion rate (U/h) that holds the model at its target
+  /// steady-state glucose.
+  [[nodiscard]] virtual double basal_rate_u_per_h() const = 0;
+
+  /// Register a meal of `carbs_g` grams starting at the current time;
+  /// glucose appears over the following hours (extension beyond the
+  /// paper's no-meal scenario; used by the meal-disturbance example).
+  virtual void announce_meal(double carbs_g) = 0;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+
+  [[nodiscard]] virtual std::unique_ptr<PatientModel> clone() const = 0;
+};
+
+}  // namespace aps::patient

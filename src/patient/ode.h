@@ -1,0 +1,35 @@
+// Fixed-step classical Runge-Kutta (RK4) integration over small fixed-size
+// state vectors. Patient models advance in 1-minute internal substeps
+// between 5-minute control cycles.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+namespace aps::patient {
+
+/// Integrate dx/dt = f(x) from x over total `dt` using `substeps` RK4 steps.
+/// `f` must be callable as f(const std::array<double,N>&) ->
+/// std::array<double,N>.
+template <std::size_t N, typename F>
+std::array<double, N> rk4(const std::array<double, N>& x0, double dt,
+                          int substeps, F&& f) {
+  std::array<double, N> x = x0;
+  const double h = dt / static_cast<double>(substeps);
+  for (int s = 0; s < substeps; ++s) {
+    const auto k1 = f(x);
+    std::array<double, N> tmp;
+    for (std::size_t i = 0; i < N; ++i) tmp[i] = x[i] + 0.5 * h * k1[i];
+    const auto k2 = f(tmp);
+    for (std::size_t i = 0; i < N; ++i) tmp[i] = x[i] + 0.5 * h * k2[i];
+    const auto k3 = f(tmp);
+    for (std::size_t i = 0; i < N; ++i) tmp[i] = x[i] + h * k3[i];
+    const auto k4 = f(tmp);
+    for (std::size_t i = 0; i < N; ++i) {
+      x[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+    }
+  }
+  return x;
+}
+
+}  // namespace aps::patient

@@ -1,0 +1,99 @@
+#include "patient/profiles.h"
+
+#include <stdexcept>
+
+namespace aps::patient {
+
+// Synthetic cohort spanning the Kanderian et al. 2009 ranges:
+//   SI   1.5e-4 .. 1.9e-3 mL/uU/min     (insulin sensitivity)
+//   GEZI ~0     .. 6e-3   1/min
+//   EGP  0.6    .. 3.5    mg/dL/min
+//   CI   600    .. 2200   mL/min
+//   p2   0.005  .. 0.035  1/min
+//   tau1/tau2  25 .. 130  min
+// Patients A..J are ordered roughly from insulin-resistant/slow (robust to
+// over-delivery) to insulin-sensitive/fast (fragile), which yields the wide
+// hazard-coverage spread of Fig. 7a.
+std::vector<BergmanParams> glucosym_cohort() {
+  std::vector<BergmanParams> cohort;
+  auto add = [&](const char* name, double si, double gezi, double egp,
+                 double ci, double p2, double tau1, double tau2) {
+    BergmanParams p;
+    p.name = name;
+    p.si = si;
+    p.gezi = gezi;
+    p.egp = egp;
+    p.ci = ci;
+    p.p2 = p2;
+    p.tau1 = tau1;
+    p.tau2 = tau2;
+    cohort.push_back(p);
+  };
+  //   name        SI       GEZI     EGP   CI      p2      tau1  tau2
+  add("glucosym-A", 3.0e-4, 1.0e-3, 1.7, 1800.0, 0.0070, 90.0, 70.0);
+  add("glucosym-B", 4.2e-4, 2.2e-3, 1.4, 1500.0, 0.0085, 80.0, 65.0);
+  add("glucosym-C", 5.5e-4, 1.6e-3, 2.1, 2000.0, 0.0100, 70.0, 60.0);
+  add("glucosym-D", 6.8e-4, 2.8e-3, 1.2, 1300.0, 0.0120, 65.0, 55.0);
+  add("glucosym-E", 8.0e-4, 2.0e-3, 1.8, 1100.0, 0.0140, 60.0, 50.0);
+  add("glucosym-F", 9.5e-4, 1.2e-3, 2.4, 1600.0, 0.0160, 55.0, 45.0);
+  add("glucosym-G", 1.1e-3, 3.2e-3, 1.0, 900.0,  0.0190, 50.0, 42.0);
+  add("glucosym-H", 1.3e-3, 2.4e-3, 1.5, 1200.0, 0.0230, 45.0, 38.0);
+  add("glucosym-I", 1.6e-3, 1.8e-3, 2.0, 800.0,  0.0280, 38.0, 34.0);
+  add("glucosym-J", 1.9e-3, 3.6e-3, 1.1, 700.0,  0.0330, 30.0, 28.0);
+  return cohort;
+}
+
+// Synthetic adults around the published Dalla Man adult averages, varying
+// the insulin-sensitivity (vmx), EGP inhibition (kp3), action speed (p2u),
+// body weight, and s.c. absorption within +-30%.
+std::vector<DallaManParams> padova_cohort() {
+  std::vector<DallaManParams> cohort;
+  auto add = [&](const char* name, double bw, double vmx, double kp3,
+                 double p2u, double vm0, double kd, double kp1) {
+    DallaManParams p;
+    p.name = name;
+    p.bw = bw;
+    p.vmx = vmx;
+    p.kp3 = kp3;
+    p.p2u = p2u;
+    p.vm0 = vm0;
+    p.kd = kd;
+    p.kp1 = kp1;
+    cohort.push_back(p);
+  };
+  // kp1 (max EGP) scales with vm0 so every patient needs a positive basal
+  // insulin level to hold the 120 mg/dL target (the basal solver rejects
+  // parameter sets that self-regulate without insulin).
+  //   name       bw     vmx     kp3     p2u     vm0   kd      kp1
+  add("padova-A", 92.0, 0.034, 0.0065, 0.0240, 2.10, 0.0120, 2.70);
+  add("padova-B", 85.0, 0.038, 0.0072, 0.0265, 2.25, 0.0135, 2.72);
+  add("padova-C", 78.0, 0.042, 0.0081, 0.0290, 2.40, 0.0150, 2.76);
+  add("padova-D", 74.0, 0.045, 0.0088, 0.0310, 2.50, 0.0160, 2.80);
+  add("padova-E", 70.0, 0.047, 0.0090, 0.0331, 2.50, 0.0164, 2.84);
+  add("padova-F", 66.0, 0.050, 0.0096, 0.0355, 2.60, 0.0172, 2.88);
+  add("padova-G", 62.0, 0.054, 0.0104, 0.0380, 2.70, 0.0185, 2.93);
+  add("padova-H", 58.0, 0.058, 0.0112, 0.0405, 2.85, 0.0200, 2.99);
+  add("padova-I", 54.0, 0.062, 0.0120, 0.0430, 3.00, 0.0215, 3.07);
+  add("padova-J", 50.0, 0.066, 0.0130, 0.0460, 3.15, 0.0230, 3.16);
+  return cohort;
+}
+
+std::unique_ptr<PatientModel> make_glucosym_patient(int index) {
+  const auto cohort = glucosym_cohort();
+  if (index < 0 || index >= static_cast<int>(cohort.size())) {
+    throw std::out_of_range("glucosym patient index out of range");
+  }
+  return std::make_unique<BergmanPatient>(
+      cohort[static_cast<std::size_t>(index)]);
+}
+
+std::unique_ptr<PatientModel> make_padova_patient(int index) {
+  const auto cohort = padova_cohort();
+  if (index < 0 || index >= static_cast<int>(cohort.size())) {
+    throw std::out_of_range("padova patient index out of range");
+  }
+  return std::make_unique<DallaManPatient>(
+      cohort[static_cast<std::size_t>(index)]);
+}
+
+}  // namespace aps::patient

@@ -1,0 +1,27 @@
+// Factory for the virtual-patient cohorts used throughout the evaluation:
+// 10 Bergman/IVP adults (the Glucosym substitute) and 10 reduced Dalla Man
+// adults (the UVA-Padova T1DS2013 substitute). Parameter sets are synthetic
+// but span the physiological ranges published for each model family, so the
+// cohort reproduces the strong inter-patient variability the paper relies
+// on (Fig. 7a: hazard coverage 6.7%..92.4% across patients).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "patient/bergman.h"
+#include "patient/dallaman.h"
+
+namespace aps::patient {
+
+/// Number of patients in each cohort (paper §V-A: 10 + 10).
+inline constexpr int kCohortSize = 10;
+
+[[nodiscard]] std::vector<BergmanParams> glucosym_cohort();
+[[nodiscard]] std::vector<DallaManParams> padova_cohort();
+
+/// Construct patient i (0-based) of the respective cohort.
+[[nodiscard]] std::unique_ptr<PatientModel> make_glucosym_patient(int index);
+[[nodiscard]] std::unique_ptr<PatientModel> make_padova_patient(int index);
+
+}  // namespace aps::patient

@@ -1,0 +1,36 @@
+#include "patient/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace aps::patient {
+
+CgmSensor::CgmSensor(CgmConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+void CgmSensor::reset() { lagged_ = -1.0; }
+
+double CgmSensor::read(double bg, double dt_min) {
+  double value = bg;
+  if (config_.lag_min > 0.0) {
+    if (lagged_ < 0.0) {
+      lagged_ = bg;
+    } else {
+      const double alpha = 1.0 - std::exp(-dt_min / config_.lag_min);
+      lagged_ += alpha * (bg - lagged_);
+    }
+    value = lagged_;
+  }
+  if (config_.noise_std_mg_dl > 0.0) {
+    value += rng_.gaussian(0.0, config_.noise_std_mg_dl);
+  }
+  if (config_.quantization_mg_dl > 0.0) {
+    value = std::round(value / config_.quantization_mg_dl) *
+            config_.quantization_mg_dl;
+  }
+  return std::clamp(value, kBgMin, kBgMax);
+}
+
+}  // namespace aps::patient

@@ -1,0 +1,36 @@
+// CGM sensor layer: turns true plasma glucose into the measurement stream
+// the controller and monitor observe. The paper assumes sensor data are
+// fault-free or already protected (§II "Hazard Prediction"), so the default
+// configuration is noise-free; Gaussian noise and a first-order sensor lag
+// are available for robustness experiments.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace aps::patient {
+
+struct CgmConfig {
+  double noise_std_mg_dl = 0.0;  ///< additive Gaussian measurement noise
+  double lag_min = 0.0;          ///< first-order interstitial lag constant
+  double quantization_mg_dl = 1.0;  ///< CGM output resolution (0 = none)
+};
+
+class CgmSensor {
+ public:
+  explicit CgmSensor(CgmConfig config = {}, std::uint64_t seed = 0);
+
+  /// Produce the CGM reading for true glucose `bg` after `dt_min` minutes
+  /// since the previous reading.
+  [[nodiscard]] double read(double bg, double dt_min);
+
+  void reset();
+
+ private:
+  CgmConfig config_;
+  Rng rng_;
+  double lagged_ = -1.0;  ///< <0 means uninitialized
+};
+
+}  // namespace aps::patient

@@ -1,0 +1,52 @@
+#include "risk/hazard_label.h"
+
+#include <algorithm>
+
+#include "risk/risk_index.h"
+
+namespace aps::risk {
+
+TraceLabel label_trace(std::span<const double> bg,
+                       const HazardLabelConfig& config) {
+  TraceLabel out;
+  const auto n = bg.size();
+  out.sample_hazard.assign(n, false);
+  out.lbgi.assign(n, 0.0);
+  out.hbgi.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t start =
+        k + 1 >= static_cast<std::size_t>(config.window_samples)
+            ? k + 1 - static_cast<std::size_t>(config.window_samples)
+            : 0;
+    const auto window = bg.subspan(start, k - start + 1);
+    const RiskIndices ri = window_risk(window);
+    out.lbgi[k] = ri.lbgi;
+    out.hbgi[k] = ri.hbgi;
+
+    const bool low = ri.lbgi > config.lbgi_threshold;
+    const bool high = ri.hbgi > config.hbgi_threshold;
+    out.sample_hazard[k] = low || high;
+
+    if (out.onset_step < 0 && (low || high) && k > 0) {
+      const bool low_rising = low && ri.lbgi > out.lbgi[k - 1];
+      const bool high_rising = high && ri.hbgi > out.hbgi[k - 1];
+      if (low_rising || high_rising) {
+        out.onset_step = static_cast<int>(k);
+        // LBGI dominance decides the hazard class: too much insulin drives
+        // BG low (H1); too little drives it high (H2).
+        out.type = low_rising ? aps::HazardType::kH1TooMuchInsulin
+                              : aps::HazardType::kH2TooLittleInsulin;
+      }
+    }
+  }
+  out.hazardous = out.onset_step >= 0;
+  if (!out.hazardous) {
+    // No qualifying onset: clear stray above-threshold samples caused by a
+    // recovering initial condition so ground truth matches the trace class.
+    std::fill(out.sample_hazard.begin(), out.sample_hazard.end(), false);
+  }
+  return out;
+}
+
+}  // namespace aps::risk

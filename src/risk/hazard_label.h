@@ -1,0 +1,38 @@
+// Hazard labeling of simulation traces (paper §IV-C2, Fig. 5b).
+//
+// A window of BG readings (default: one hour = 12 samples) is hazardous
+// when its LBGI exceeds 5 or its HBGI exceeds 9 (thresholds from [63][64]);
+// the *onset* additionally requires the index to be increasing, i.e. a high
+// chance of impending hypo-/hyperglycemia rather than a recovering episode.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace aps::risk {
+
+struct HazardLabelConfig {
+  int window_samples = 12;  ///< one hour at 5-minute sampling
+  double lbgi_threshold = 5.0;
+  double hbgi_threshold = 9.0;
+};
+
+struct TraceLabel {
+  bool hazardous = false;
+  int onset_step = -1;  ///< first step with an increasing above-threshold index
+  aps::HazardType type = aps::HazardType::kNone;
+  /// Per-sample ground truth: true where the trailing-window index is above
+  /// threshold (used by the sample-level confusion matrix).
+  std::vector<bool> sample_hazard;
+  /// Per-sample LBGI/HBGI (trailing window), exposed for plots/benches.
+  std::vector<double> lbgi;
+  std::vector<double> hbgi;
+};
+
+/// Label a BG trace sampled at the control period.
+[[nodiscard]] TraceLabel label_trace(std::span<const double> bg,
+                                     const HazardLabelConfig& config = {});
+
+}  // namespace aps::risk

@@ -1,0 +1,61 @@
+#include "risk/risk_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aps::risk {
+
+namespace {
+constexpr double kA = 1.509;
+constexpr double kB = 1.084;
+constexpr double kC = 5.381;
+}  // namespace
+
+double risk_zero_bg() {
+  // (ln BG)^1.084 = 5.381  =>  BG = exp(5.381^(1/1.084))
+  return std::exp(std::pow(kC, 1.0 / kB));
+}
+
+double bg_risk_transform(double bg_mg_dl) {
+  const double bg = std::max(bg_mg_dl, 1.0);
+  return kA * (std::pow(std::log(bg), kB) - kC);
+}
+
+double bg_risk(double bg_mg_dl) {
+  const double f = bg_risk_transform(bg_mg_dl);
+  return 10.0 * f * f;
+}
+
+double bg_risk_signed(double bg_mg_dl) {
+  const double f = bg_risk_transform(bg_mg_dl);
+  return f < 0.0 ? -10.0 * f * f : 10.0 * f * f;
+}
+
+RiskIndices window_risk(std::span<const double> bg_window) {
+  RiskIndices out;
+  if (bg_window.empty()) return out;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (const double bg : bg_window) {
+    const double f = bg_risk_transform(bg);
+    const double r = 10.0 * f * f;
+    if (f < 0.0) {
+      lo += r;
+    } else {
+      hi += r;
+    }
+  }
+  const auto n = static_cast<double>(bg_window.size());
+  out.lbgi = lo / n;
+  out.hbgi = hi / n;
+  return out;
+}
+
+double mean_risk(std::span<const double> bg_trace) {
+  if (bg_trace.empty()) return 0.0;
+  double total = 0.0;
+  for (const double bg : bg_trace) total += bg_risk(bg);
+  return total / static_cast<double>(bg_trace.size());
+}
+
+}  // namespace aps::risk

@@ -1,0 +1,42 @@
+// Kovatchev Blood Glucose Risk Index (paper §IV-C2, Eq. 5; refs [62][63]).
+//
+//   f(BG)    = 1.509 * ((ln BG)^1.084 - 5.381)      (symmetrizing transform)
+//   risk(BG) = 10 * f(BG)^2
+//
+// f is negative on the hypoglycemic branch (BG below ~112.5 mg/dL) and
+// positive on the hyperglycemic branch. The Low/High BG Indices are the
+// branch-separated means over a window of readings:
+//   LBGI = mean of risk(BG_i) where f(BG_i) < 0
+//   HBGI = mean of risk(BG_i) where f(BG_i) > 0
+// (means taken over the whole window, off-branch samples contribute 0).
+#pragma once
+
+#include <span>
+
+namespace aps::risk {
+
+/// BG (mg/dL) at which the risk function crosses zero (~112.5).
+[[nodiscard]] double risk_zero_bg();
+
+/// Symmetrizing transform f(BG); negative = hypo side.
+[[nodiscard]] double bg_risk_transform(double bg_mg_dl);
+
+/// Non-negative risk value, Eq. 5.
+[[nodiscard]] double bg_risk(double bg_mg_dl);
+
+/// Signed risk: -risk on the hypo branch, +risk on the hyper branch.
+[[nodiscard]] double bg_risk_signed(double bg_mg_dl);
+
+struct RiskIndices {
+  double lbgi = 0.0;
+  double hbgi = 0.0;
+};
+
+/// Branch-separated mean risk over a window of BG readings.
+[[nodiscard]] RiskIndices window_risk(std::span<const double> bg_window);
+
+/// Mean total risk index of a whole trace (used by the Average Risk
+/// metric, Eq. 9).
+[[nodiscard]] double mean_risk(std::span<const double> bg_trace);
+
+}  // namespace aps::risk

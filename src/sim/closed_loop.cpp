@@ -1,0 +1,133 @@
+#include "sim/closed_loop.h"
+
+#include <algorithm>
+
+#include "controller/action.h"
+
+namespace aps::sim {
+
+std::vector<double> SimResult::bg_trace() const {
+  std::vector<double> out;
+  out.reserve(steps.size());
+  for (const auto& s : steps) out.push_back(s.true_bg);
+  return out;
+}
+
+std::vector<double> SimResult::cgm_trace() const {
+  std::vector<double> out;
+  out.reserve(steps.size());
+  for (const auto& s : steps) out.push_back(s.cgm_bg);
+  return out;
+}
+
+int SimResult::first_alarm_step() const {
+  for (std::size_t k = 0; k < steps.size(); ++k) {
+    if (steps[k].alarm) return static_cast<int>(k);
+  }
+  return -1;
+}
+
+bool SimResult::any_alarm() const { return first_alarm_step() >= 0; }
+
+SimResult run_simulation(
+    const aps::patient::PatientModel& patient_prototype,
+    const aps::controller::Controller& controller_prototype,
+    aps::monitor::Monitor& monitor, const SimConfig& config) {
+  using aps::controller::classify_action;
+
+  SimResult result;
+  result.config = config;
+  result.steps.reserve(static_cast<std::size_t>(config.steps));
+
+  auto patient = patient_prototype.clone();
+  auto controller = controller_prototype.clone();
+  patient->reset(config.initial_bg);
+  controller->reset();
+  monitor.reset();
+
+  aps::patient::CgmSensor sensor(config.cgm, /*seed=*/0);
+  aps::controller::IobCalculator ledger;
+  aps::fi::FaultInjector injector(config.fault);
+
+  const double basal = controller->basal_rate();
+  const double isf = controller->isf();
+  const double max_basal = 4.0 * basal;
+
+  // Warm the ledger to the basal steady state so IOB starts physiologic
+  // (the patient model starts its insulin compartments at basal too).
+  const double basal_pulse = basal * aps::kControlPeriodMin / 60.0;
+  const int warm_cycles =
+      static_cast<int>(ledger.curve().dia_min / aps::kControlPeriodMin) + 1;
+  for (int i = 0; i < warm_cycles; ++i) {
+    ledger.record(basal_pulse, aps::kControlPeriodMin);
+  }
+
+  double prev_cgm = -1.0;
+  double prev_iob = -1.0;
+  double prev_delivered = basal;
+
+  for (int k = 0; k < config.steps; ++k) {
+    StepRecord rec;
+    rec.time_min = static_cast<double>(k) * aps::kControlPeriodMin;
+    rec.true_bg = patient->bg();
+    rec.cgm_bg = sensor.read(rec.true_bg, aps::kControlPeriodMin);
+
+    rec.ctrl_bg = injector.apply(aps::fi::FaultTarget::kSensorGlucose,
+                                 rec.cgm_bg, k, aps::fi::glucose_range());
+
+    rec.iob = ledger.iob();
+    const double activity = ledger.activity();
+    rec.ctrl_iob = injector.apply(aps::fi::FaultTarget::kControllerIob,
+                                  rec.iob, k, aps::fi::iob_range());
+
+    aps::controller::ControllerInput input;
+    input.bg_mg_dl = rec.ctrl_bg;
+    input.iob_u = rec.ctrl_iob;
+    input.activity_u_per_min = activity;
+    input.time_min = rec.time_min;
+    const double clean_rate = controller->decide_rate(input);
+
+    rec.commanded_rate =
+        injector.apply(aps::fi::FaultTarget::kCommandRate, clean_rate, k,
+                       aps::fi::rate_range(max_basal));
+    rec.action = classify_action(rec.commanded_rate, prev_delivered);
+
+    aps::monitor::Observation obs;
+    obs.time_min = rec.time_min;
+    obs.bg = rec.cgm_bg;
+    obs.bg_rate = prev_cgm < 0.0 ? 0.0 : rec.cgm_bg - prev_cgm;
+    obs.iob = rec.iob;
+    obs.iob_rate = prev_iob < 0.0 ? 0.0 : rec.iob - prev_iob;
+    obs.commanded_rate = rec.commanded_rate;
+    obs.previous_rate = prev_delivered;
+    obs.action = rec.action;
+    obs.basal_rate = basal;
+    obs.isf = isf;
+
+    const aps::monitor::Decision decision = monitor.observe(obs);
+    rec.alarm = decision.alarm;
+    rec.predicted = decision.predicted;
+    rec.rule_id = decision.rule_id;
+
+    rec.delivered_rate = rec.commanded_rate;
+    if (config.mitigation_enabled && decision.alarm) {
+      rec.delivered_rate =
+          aps::monitor::mitigate_rate(decision, obs, config.mitigation);
+    }
+    rec.delivered_rate = std::clamp(rec.delivered_rate, 0.0, max_basal);
+
+    patient->step(rec.delivered_rate, aps::kControlPeriodMin);
+    ledger.record(rec.delivered_rate * aps::kControlPeriodMin / 60.0,
+                  aps::kControlPeriodMin);
+
+    prev_cgm = rec.cgm_bg;
+    prev_iob = rec.iob;
+    prev_delivered = rec.delivered_rate;
+    result.steps.push_back(rec);
+  }
+
+  result.label = aps::risk::label_trace(result.bg_trace(), config.labeling);
+  return result;
+}
+
+}  // namespace aps::sim

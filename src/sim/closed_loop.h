@@ -1,0 +1,74 @@
+// Closed-loop APS simulation engine (paper Fig. 5a): patient model +
+// controller + optional safety monitor + fault injector, stepped at the
+// 5-minute control period.
+//
+// Per-cycle dataflow (mirrors the paper's threat model):
+//   true BG -> CGM -> [FI: glucose] -> controller      (corrupted input)
+//   delivery ledger -> IOB -> [FI: iob] -> controller  (corrupted state)
+//   controller -> rate -> [FI: rate] -> monitor        (corrupted output)
+//   monitor alarm? -> mitigation -> delivered rate -> patient & ledger
+// The monitor observes the *clean* CGM stream and its own IOB ledger (it
+// sits outside the fault boundary) plus the post-fault command.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/units.h"
+#include "controller/controller.h"
+#include "controller/iob.h"
+#include "fi/fault.h"
+#include "monitor/mitigation.h"
+#include "monitor/monitor.h"
+#include "patient/model.h"
+#include "patient/sensor.h"
+#include "risk/hazard_label.h"
+
+namespace aps::sim {
+
+struct SimConfig {
+  int steps = aps::kDefaultSimSteps;
+  double initial_bg = 120.0;
+  aps::fi::FaultSpec fault;        ///< disabled by default
+  bool mitigation_enabled = false;
+  aps::monitor::MitigationConfig mitigation;
+  aps::patient::CgmConfig cgm;
+  aps::risk::HazardLabelConfig labeling;
+};
+
+struct StepRecord {
+  double time_min = 0.0;
+  double true_bg = 0.0;
+  double cgm_bg = 0.0;        ///< clean reading (monitor's view)
+  double ctrl_bg = 0.0;       ///< post-fault reading (controller's view)
+  double iob = 0.0;           ///< ledger IOB (monitor's view)
+  double ctrl_iob = 0.0;      ///< post-fault IOB (controller's view)
+  double commanded_rate = 0.0;  ///< post-fault command (monitor's view)
+  double delivered_rate = 0.0;  ///< after mitigation (pump execution)
+  aps::ControlAction action = aps::ControlAction::kKeepInsulin;
+  bool alarm = false;
+  aps::HazardType predicted = aps::HazardType::kNone;
+  int rule_id = -1;
+};
+
+struct SimResult {
+  SimConfig config;
+  std::vector<StepRecord> steps;
+  aps::risk::TraceLabel label;  ///< hazard labeling of the true BG trace
+
+  [[nodiscard]] std::vector<double> bg_trace() const;
+  [[nodiscard]] std::vector<double> cgm_trace() const;
+  /// First step with an alarm, or -1.
+  [[nodiscard]] int first_alarm_step() const;
+  /// Any alarm anywhere in the run?
+  [[nodiscard]] bool any_alarm() const;
+};
+
+/// Run one closed-loop simulation. The patient/controller/monitor are
+/// cloned internally, so the same prototypes can be reused across runs.
+[[nodiscard]] SimResult run_simulation(
+    const aps::patient::PatientModel& patient_prototype,
+    const aps::controller::Controller& controller_prototype,
+    aps::monitor::Monitor& monitor, const SimConfig& config);
+
+}  // namespace aps::sim

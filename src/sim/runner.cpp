@@ -1,0 +1,71 @@
+#include "sim/runner.h"
+
+#include <numeric>
+
+namespace aps::sim {
+
+MonitorFactory null_monitor_factory() {
+  return [](int) { return std::make_unique<aps::monitor::NullMonitor>(); };
+}
+
+std::size_t CampaignResult::total_runs() const {
+  std::size_t total = 0;
+  for (const auto& p : by_patient) total += p.size();
+  return total;
+}
+
+std::vector<const SimResult*> CampaignResult::flat() const {
+  std::vector<const SimResult*> out;
+  out.reserve(total_runs());
+  for (const auto& p : by_patient) {
+    for (const auto& r : p) out.push_back(&r);
+  }
+  return out;
+}
+
+CampaignResult run_campaign(const Stack& stack,
+                            const std::vector<aps::fi::Scenario>& scenarios,
+                            const MonitorFactory& make_monitor,
+                            const CampaignOptions& options,
+                            aps::ThreadPool* pool,
+                            const std::vector<int>& patient_indices) {
+  std::vector<int> patients = patient_indices;
+  if (patients.empty()) {
+    patients.resize(static_cast<std::size_t>(stack.cohort_size));
+    std::iota(patients.begin(), patients.end(), 0);
+  }
+
+  CampaignResult result;
+  result.by_patient.resize(patients.size());
+  for (auto& v : result.by_patient) v.resize(scenarios.size());
+
+  const auto run_one_patient = [&](std::size_t pi) {
+    const int patient_index = patients[pi];
+    const auto patient = stack.make_patient(patient_index);
+    const auto controller = stack.make_controller(*patient);
+    const auto monitor = make_monitor(patient_index);
+    for (std::size_t si = 0; si < scenarios.size(); ++si) {
+      SimConfig config;
+      config.steps = options.steps;
+      config.initial_bg = scenarios[si].initial_bg;
+      config.fault = scenarios[si].fault;
+      config.mitigation_enabled = options.mitigation_enabled;
+      config.mitigation = options.mitigation;
+      result.by_patient[pi][si] =
+          run_simulation(*patient, *controller, *monitor, config);
+    }
+  };
+
+  if (pool != nullptr) {
+    // Parallelize over patients: each worker owns its monitor clone, so no
+    // shared mutable state crosses threads.
+    pool->parallel_for(patients.size(), run_one_patient);
+  } else {
+    for (std::size_t pi = 0; pi < patients.size(); ++pi) {
+      run_one_patient(pi);
+    }
+  }
+  return result;
+}
+
+}  // namespace aps::sim

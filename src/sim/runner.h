@@ -1,0 +1,50 @@
+// Campaign runner: executes a set of fault-injection scenarios across a
+// patient cohort, optionally wrapped by a monitor, in parallel. Results are
+// placed by index, so output order is independent of thread scheduling.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fi/campaign.h"
+#include "monitor/monitor.h"
+#include "sim/closed_loop.h"
+#include "sim/stack.h"
+
+namespace aps::sim {
+
+/// Builds the (per-patient) monitor for a campaign; patient_index lets
+/// patient-specific monitors (CAWT thresholds, guideline percentiles) load
+/// the right profile.
+using MonitorFactory =
+    std::function<std::unique_ptr<aps::monitor::Monitor>(int patient_index)>;
+
+/// The trivially safe factory: no monitoring.
+[[nodiscard]] MonitorFactory null_monitor_factory();
+
+struct CampaignResult {
+  /// results[p][s]: patient p, scenario s.
+  std::vector<std::vector<SimResult>> by_patient;
+
+  [[nodiscard]] std::size_t total_runs() const;
+  /// Flattened view in (patient, scenario) order.
+  [[nodiscard]] std::vector<const SimResult*> flat() const;
+};
+
+struct CampaignOptions {
+  bool mitigation_enabled = false;
+  aps::monitor::MitigationConfig mitigation;
+  int steps = aps::kDefaultSimSteps;
+};
+
+/// Run `scenarios` for every patient of `stack` (or the subset
+/// `patient_indices` when non-empty).
+[[nodiscard]] CampaignResult run_campaign(
+    const Stack& stack, const std::vector<aps::fi::Scenario>& scenarios,
+    const MonitorFactory& make_monitor, const CampaignOptions& options = {},
+    aps::ThreadPool* pool = nullptr,
+    const std::vector<int>& patient_indices = {});
+
+}  // namespace aps::sim

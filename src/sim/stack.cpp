@@ -1,0 +1,61 @@
+#include "sim/stack.h"
+
+#include "controller/basal_bolus.h"
+#include "controller/iob.h"
+#include "controller/openaps.h"
+#include "controller/pid.h"
+#include "patient/profiles.h"
+
+namespace aps::sim {
+
+Stack glucosym_openaps_stack() {
+  Stack stack;
+  stack.name = "glucosym+openaps";
+  stack.cohort_size = aps::patient::kCohortSize;
+  stack.make_patient = [](int index) {
+    return aps::patient::make_glucosym_patient(index);
+  };
+  stack.make_controller = [](const aps::patient::PatientModel& patient) {
+    const auto cfg = aps::controller::openaps_config_for(
+        patient.basal_rate_u_per_h());
+    return std::make_unique<aps::controller::OpenApsController>(cfg);
+  };
+  return stack;
+}
+
+Stack glucosym_pid_stack() {
+  Stack stack;
+  stack.name = "glucosym+pid";
+  stack.cohort_size = aps::patient::kCohortSize;
+  stack.make_patient = [](int index) {
+    return aps::patient::make_glucosym_patient(index);
+  };
+  stack.make_controller = [](const aps::patient::PatientModel& patient) {
+    const double basal = patient.basal_rate_u_per_h();
+    const double basal_iob =
+        aps::controller::IobCalculator().steady_state_iob(basal);
+    return std::make_unique<aps::controller::PidController>(
+        aps::controller::pid_config_for(basal, basal_iob));
+  };
+  return stack;
+}
+
+Stack padova_basalbolus_stack() {
+  Stack stack;
+  stack.name = "padova+basal-bolus";
+  stack.cohort_size = aps::patient::kCohortSize;
+  stack.make_patient = [](int index) {
+    return aps::patient::make_padova_patient(index);
+  };
+  stack.make_controller = [](const aps::patient::PatientModel& patient) {
+    const double basal = patient.basal_rate_u_per_h();
+    const double basal_iob =
+        aps::controller::IobCalculator().steady_state_iob(basal);
+    const auto cfg =
+        aps::controller::basal_bolus_config_for(basal, basal_iob);
+    return std::make_unique<aps::controller::BasalBolusController>(cfg);
+  };
+  return stack;
+}
+
+}  // namespace aps::sim

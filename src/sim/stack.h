@@ -1,0 +1,35 @@
+// The two closed-loop APS evaluation stacks of the paper (Fig. 5a):
+//   - Glucosym-like cohort driven by the OpenAPS-style controller
+//   - UVA-Padova-like cohort driven by the Basal-Bolus controller
+// A Stack bundles the patient cohort with a per-patient controller factory
+// so campaigns can be written generically over either platform.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "controller/controller.h"
+#include "patient/model.h"
+
+namespace aps::sim {
+
+struct Stack {
+  std::string name;
+  int cohort_size = 0;
+  std::function<std::unique_ptr<aps::patient::PatientModel>(int)>
+      make_patient;
+  /// Controller configured for the given patient's basal profile.
+  std::function<std::unique_ptr<aps::controller::Controller>(
+      const aps::patient::PatientModel&)>
+      make_controller;
+};
+
+[[nodiscard]] Stack glucosym_openaps_stack();
+[[nodiscard]] Stack padova_basalbolus_stack();
+/// Extension beyond the paper: the Glucosym cohort under a PID controller
+/// (the commercial 670G-style control law), for cross-controller studies
+/// of the monitor framework.
+[[nodiscard]] Stack glucosym_pid_stack();
+
+}  // namespace aps::sim

@@ -1,0 +1,248 @@
+// Bounded-time Signal Temporal Logic (STL) abstract syntax and semantics.
+//
+// Supports the fragment used by the paper's Safety Context Specification
+// (Eq. 1 and Eq. 2):
+//   - atomic predicates over trace variables:  x {<,<=,>,>=,==} c
+//     where c is either a literal or a named free parameter ("{beta1}")
+//   - boolean connectives: not, and, or, implies
+//   - future temporal operators with step bounds: G[a,b], F[a,b], U[a,b]
+//   - past temporal operators: Once[a,b], Historically[a,b], Since[a,b]
+//
+// Two semantics are provided over uniformly sampled traces:
+//   - Boolean satisfaction  sat(trace, k)
+//   - quantitative robustness rho(trace, k) with the usual min/max rules;
+//     satisfaction iff robustness >= 0 (ties resolved toward satisfaction,
+//     matching the non-strict inequalities in Table I).
+//
+// Formulas are immutable and shared via shared_ptr<const Formula>; free
+// parameters are resolved at evaluation time through a ParamMap so a single
+// template formula can be evaluated under many candidate thresholds during
+// learning.
+#pragma once
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "stl/signal.h"
+
+namespace aps::stl {
+
+/// Robustness magnitude assigned to boolean (discrete) atoms, large enough
+/// to dominate any physiological signal scale.
+inline constexpr double kBoolRobustness = 1.0e9;
+
+/// Values bound to free parameters at evaluation time.
+using ParamMap = std::map<std::string, double>;
+
+enum class CmpOp { kLt, kLe, kGt, kGe, kEq };
+
+[[nodiscard]] const char* to_string(CmpOp op);
+
+class Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+/// Inclusive step-bound interval [lo, hi] for temporal operators.
+/// hi == kUnbounded means "until the end of the trace" (future) or
+/// "back to the start" (past).
+struct Interval {
+  int lo = 0;
+  int hi = kUnbounded;
+  static constexpr int kUnbounded = std::numeric_limits<int>::max();
+};
+
+/// Threshold of a predicate: literal value or named free parameter.
+class Threshold {
+ public:
+  static Threshold literal(double v);
+  static Threshold param(std::string name);
+
+  [[nodiscard]] bool is_param() const { return !name_.empty(); }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double resolve(const ParamMap& params) const;
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  double value_ = 0.0;
+  std::string name_;
+};
+
+class Formula {
+ public:
+  virtual ~Formula() = default;
+
+  /// Quantitative robustness at sample k.
+  [[nodiscard]] virtual double robustness(const Trace& trace, int k,
+                                          const ParamMap& params) const = 0;
+
+  /// Boolean satisfaction at sample k (robustness >= 0).
+  [[nodiscard]] bool sat(const Trace& trace, int k,
+                         const ParamMap& params = {}) const {
+    return robustness(trace, k, params) >= 0.0;
+  }
+
+  [[nodiscard]] virtual std::string to_string() const = 0;
+
+  /// Collect the names of all free parameters in the formula.
+  void collect_params(std::set<std::string>& out) const;
+
+ protected:
+  virtual void collect_params_impl(std::set<std::string>& out) const {
+    (void)out;
+  }
+  friend class Compound;
+};
+
+// ---- Atoms ---------------------------------------------------------------
+
+/// Comparison of a trace variable against a threshold.
+class Predicate final : public Formula {
+ public:
+  Predicate(std::string var, CmpOp op, Threshold threshold,
+            bool is_boolean_atom = false);
+
+  [[nodiscard]] double robustness(const Trace& trace, int k,
+                                  const ParamMap& params) const override;
+  [[nodiscard]] std::string to_string() const override;
+
+  [[nodiscard]] const std::string& variable() const { return var_; }
+  [[nodiscard]] CmpOp op() const { return op_; }
+  [[nodiscard]] const Threshold& threshold() const { return threshold_; }
+
+ protected:
+  void collect_params_impl(std::set<std::string>& out) const override;
+
+ private:
+  std::string var_;
+  CmpOp op_;
+  Threshold threshold_;
+  bool boolean_atom_;  ///< robustness = +-kBoolRobustness instead of margin
+};
+
+/// Constant true/false (useful as neutral element when composing).
+class Constant final : public Formula {
+ public:
+  explicit Constant(bool value) : value_(value) {}
+  [[nodiscard]] double robustness(const Trace&, int,
+                                  const ParamMap&) const override {
+    return value_ ? kBoolRobustness : -kBoolRobustness;
+  }
+  [[nodiscard]] std::string to_string() const override {
+    return value_ ? "true" : "false";
+  }
+
+ private:
+  bool value_;
+};
+
+// ---- Boolean connectives --------------------------------------------------
+
+class Not final : public Formula {
+ public:
+  explicit Not(FormulaPtr child);
+  [[nodiscard]] double robustness(const Trace& trace, int k,
+                                  const ParamMap& params) const override;
+  [[nodiscard]] std::string to_string() const override;
+
+ protected:
+  void collect_params_impl(std::set<std::string>& out) const override;
+
+ private:
+  FormulaPtr child_;
+};
+
+enum class BoolOp { kAnd, kOr, kImplies };
+
+class BoolExpr final : public Formula {
+ public:
+  BoolExpr(BoolOp op, FormulaPtr lhs, FormulaPtr rhs);
+  [[nodiscard]] double robustness(const Trace& trace, int k,
+                                  const ParamMap& params) const override;
+  [[nodiscard]] std::string to_string() const override;
+
+ protected:
+  void collect_params_impl(std::set<std::string>& out) const override;
+
+ private:
+  BoolOp op_;
+  FormulaPtr lhs_;
+  FormulaPtr rhs_;
+};
+
+// ---- Temporal operators ----------------------------------------------------
+
+enum class TemporalOp {
+  kGlobally,      ///< G[a,b]  (future)
+  kEventually,    ///< F[a,b]  (future)
+  kHistorically,  ///< H[a,b]  (past)
+  kOnce,          ///< O[a,b]  (past)
+};
+
+class Temporal final : public Formula {
+ public:
+  Temporal(TemporalOp op, Interval iv, FormulaPtr child);
+  [[nodiscard]] double robustness(const Trace& trace, int k,
+                                  const ParamMap& params) const override;
+  [[nodiscard]] std::string to_string() const override;
+
+ protected:
+  void collect_params_impl(std::set<std::string>& out) const override;
+
+ private:
+  TemporalOp op_;
+  Interval iv_;
+  FormulaPtr child_;
+};
+
+enum class BinaryTemporalOp {
+  kUntil,  ///< lhs U[a,b] rhs (future)
+  kSince,  ///< lhs S[a,b] rhs (past): rhs held at some past point within the
+           ///< bound and lhs has held since then.
+};
+
+class BinaryTemporal final : public Formula {
+ public:
+  BinaryTemporal(BinaryTemporalOp op, Interval iv, FormulaPtr lhs,
+                 FormulaPtr rhs);
+  [[nodiscard]] double robustness(const Trace& trace, int k,
+                                  const ParamMap& params) const override;
+  [[nodiscard]] std::string to_string() const override;
+
+ protected:
+  void collect_params_impl(std::set<std::string>& out) const override;
+
+ private:
+  BinaryTemporalOp op_;
+  Interval iv_;
+  FormulaPtr lhs_;
+  FormulaPtr rhs_;
+};
+
+// ---- Builder helpers --------------------------------------------------------
+
+[[nodiscard]] FormulaPtr pred(std::string var, CmpOp op, double threshold);
+[[nodiscard]] FormulaPtr pred_param(std::string var, CmpOp op,
+                                    std::string param_name);
+/// Boolean atom (e.g. "action == u1"): var sampled as 0/1 in the trace.
+[[nodiscard]] FormulaPtr bool_atom(std::string var);
+[[nodiscard]] FormulaPtr negate(FormulaPtr f);
+[[nodiscard]] FormulaPtr conj(FormulaPtr a, FormulaPtr b);
+[[nodiscard]] FormulaPtr conj(std::vector<FormulaPtr> fs);
+[[nodiscard]] FormulaPtr disj(FormulaPtr a, FormulaPtr b);
+[[nodiscard]] FormulaPtr implies(FormulaPtr a, FormulaPtr b);
+[[nodiscard]] FormulaPtr globally(Interval iv, FormulaPtr f);
+[[nodiscard]] FormulaPtr eventually(Interval iv, FormulaPtr f);
+[[nodiscard]] FormulaPtr historically(Interval iv, FormulaPtr f);
+[[nodiscard]] FormulaPtr once(Interval iv, FormulaPtr f);
+[[nodiscard]] FormulaPtr until(Interval iv, FormulaPtr a, FormulaPtr b);
+[[nodiscard]] FormulaPtr since(Interval iv, FormulaPtr a, FormulaPtr b);
+
+/// Robustness of `f` over a whole trace: min over all samples (i.e. the
+/// robustness of G[0,end] f at 0). Convenience for trace-level checks.
+[[nodiscard]] double trace_robustness(const Formula& f, const Trace& trace,
+                                      const ParamMap& params = {});
+
+}  // namespace aps::stl

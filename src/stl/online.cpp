@@ -1,0 +1,47 @@
+#include "stl/online.h"
+
+#include <stdexcept>
+
+namespace aps::stl {
+
+OnlineEvaluator::OnlineEvaluator(std::vector<std::string> signal_names,
+                                 int horizon, double period_min)
+    : names_(std::move(signal_names)), horizon_(horizon), period_(period_min) {
+  if (horizon_ < 1) throw std::invalid_argument("OnlineEvaluator: horizon");
+  for (const auto& name : names_) window_[name] = {};
+}
+
+void OnlineEvaluator::push(const std::map<std::string, double>& sample) {
+  for (const auto& name : names_) {
+    const auto it = sample.find(name);
+    if (it == sample.end()) {
+      throw std::invalid_argument("OnlineEvaluator: missing signal '" + name +
+                                  "'");
+    }
+    auto& buf = window_[name];
+    buf.push_back(it->second);
+    if (buf.size() > static_cast<std::size_t>(horizon_)) {
+      buf.erase(buf.begin());
+    }
+  }
+  ++total_;
+}
+
+std::size_t OnlineEvaluator::retained() const {
+  return window_.empty() ? 0 : window_.begin()->second.size();
+}
+
+double OnlineEvaluator::robustness(const Formula& f,
+                                   const ParamMap& params) const {
+  const std::size_t n = retained();
+  if (n == 0) {
+    throw std::logic_error("OnlineEvaluator: no samples pushed yet");
+  }
+  Trace trace(period_);
+  for (const auto& [name, values] : window_) {
+    trace.set(name, values);
+  }
+  return f.robustness(trace, static_cast<int>(n) - 1, params);
+}
+
+}  // namespace aps::stl

@@ -1,0 +1,53 @@
+// Online (streaming) STL evaluation: feed one sample per control cycle and
+// query satisfaction/robustness of a formula at the newest sample. This is
+// the runtime form of the synthesized monitor logic — past-time operators
+// (H, O, S) see the retained history; future-time operators are evaluated
+// over what has arrived so far, i.e. a formula like G[0,end](ctx -> !u1)
+// checked at every step degenerates to the instantaneous check the paper's
+// monitor executes.
+//
+// History is bounded: samples older than `horizon` steps are discarded, so
+// memory use is O(horizon * signals) regardless of run length.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "stl/formula.h"
+
+namespace aps::stl {
+
+class OnlineEvaluator {
+ public:
+  /// `horizon`: number of most-recent samples retained (must cover the
+  /// deepest past-time bound of any formula evaluated).
+  explicit OnlineEvaluator(std::vector<std::string> signal_names,
+                           int horizon = 64, double period_min = 5.0);
+
+  /// Append one sample (values keyed by signal name; all registered
+  /// signals must be present).
+  void push(const std::map<std::string, double>& sample);
+
+  /// Number of samples seen so far (not capped by the horizon).
+  [[nodiscard]] long total_samples() const { return total_; }
+  /// Number of samples currently retained.
+  [[nodiscard]] std::size_t retained() const;
+
+  /// Robustness of `f` at the newest retained sample. Requires at least
+  /// one pushed sample.
+  [[nodiscard]] double robustness(const Formula& f,
+                                  const ParamMap& params = {}) const;
+  [[nodiscard]] bool sat(const Formula& f, const ParamMap& params = {}) const {
+    return robustness(f, params) >= 0.0;
+  }
+
+ private:
+  std::vector<std::string> names_;
+  int horizon_;
+  double period_;
+  long total_ = 0;
+  std::map<std::string, std::vector<double>> window_;
+};
+
+}  // namespace aps::stl

@@ -1,0 +1,297 @@
+#include "stl/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace aps::stl {
+
+ParseError::ParseError(const std::string& message, std::size_t position)
+    : std::runtime_error(message + " (at offset " + std::to_string(position) +
+                         ")"),
+      position_(position) {}
+
+namespace {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kParam,     // {name}
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kCmp,       // < <= > >= ==
+  kArrow,     // ->
+  kAnd,       // and &
+  kOr,        // or |
+  kNot,       // not !
+  kEnd,
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  double number = 0.0;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  [[nodiscard]] const Token& peek() const { return current_; }
+
+  Token take() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+ private:
+  void advance() {
+    while (i_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[i_]))) {
+      ++i_;
+    }
+    current_.pos = i_;
+    if (i_ >= text_.size()) {
+      current_ = {TokKind::kEnd, "", 0.0, i_};
+      return;
+    }
+    const char c = text_[i_];
+    switch (c) {
+      case '(': current_ = {TokKind::kLParen, "(", 0.0, i_++}; return;
+      case ')': current_ = {TokKind::kRParen, ")", 0.0, i_++}; return;
+      case '[': current_ = {TokKind::kLBracket, "[", 0.0, i_++}; return;
+      case ']': current_ = {TokKind::kRBracket, "]", 0.0, i_++}; return;
+      case ',': current_ = {TokKind::kComma, ",", 0.0, i_++}; return;
+      case '&': current_ = {TokKind::kAnd, "&", 0.0, i_++}; return;
+      case '|': current_ = {TokKind::kOr, "|", 0.0, i_++}; return;
+      case '!': current_ = {TokKind::kNot, "!", 0.0, i_++}; return;
+      default: break;
+    }
+    if (c == '{') {
+      const auto close = text_.find('}', i_);
+      if (close == std::string::npos) {
+        throw ParseError("unterminated parameter", i_);
+      }
+      current_ = {TokKind::kParam, text_.substr(i_ + 1, close - i_ - 1), 0.0,
+                  i_};
+      i_ = close + 1;
+      return;
+    }
+    if (c == '-' && i_ + 1 < text_.size() && text_[i_ + 1] == '>') {
+      current_ = {TokKind::kArrow, "->", 0.0, i_};
+      i_ += 2;
+      return;
+    }
+    if (c == '<' || c == '>' || c == '=') {
+      std::string op(1, c);
+      std::size_t start = i_++;
+      if (i_ < text_.size() && text_[i_] == '=') {
+        op += '=';
+        ++i_;
+      }
+      if (op == "=") throw ParseError("use '==' for equality", start);
+      current_ = {TokKind::kCmp, op, 0.0, start};
+      return;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '-' || c == '+' ||
+        c == '.') {
+      std::size_t start = i_;
+      char* end = nullptr;
+      const double v = std::strtod(text_.c_str() + i_, &end);
+      if (end == text_.c_str() + i_) {
+        throw ParseError("bad number", start);
+      }
+      i_ = static_cast<std::size_t>(end - text_.c_str());
+      current_ = {TokKind::kNumber, text_.substr(start, i_ - start), v, start};
+      return;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i_;
+      while (i_ < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[i_])) ||
+              text_[i_] == '_' || text_[i_] == '\'')) {
+        ++i_;
+      }
+      std::string word = text_.substr(start, i_ - start);
+      if (word == "and") {
+        current_ = {TokKind::kAnd, word, 0.0, start};
+      } else if (word == "or") {
+        current_ = {TokKind::kOr, word, 0.0, start};
+      } else if (word == "not") {
+        current_ = {TokKind::kNot, word, 0.0, start};
+      } else {
+        current_ = {TokKind::kIdent, word, 0.0, start};
+      }
+      return;
+    }
+    throw ParseError(std::string("unexpected character '") + c + "'", i_);
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+  Token current_{TokKind::kEnd, "", 0.0, 0};
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lexer_(text) {}
+
+  FormulaPtr parse() {
+    FormulaPtr f = parse_formula();
+    if (lexer_.peek().kind != TokKind::kEnd) {
+      throw ParseError("trailing input", lexer_.peek().pos);
+    }
+    return f;
+  }
+
+ private:
+  FormulaPtr parse_formula() {
+    FormulaPtr lhs = parse_until();
+    if (lexer_.peek().kind == TokKind::kArrow) {
+      lexer_.take();
+      return implies(std::move(lhs), parse_formula());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_until() {
+    FormulaPtr lhs = parse_disjunction();
+    const Token& t = lexer_.peek();
+    if (t.kind == TokKind::kIdent && (t.text == "U" || t.text == "S")) {
+      const bool is_until = t.text == "U";
+      lexer_.take();
+      const Interval iv = parse_optional_bound();
+      FormulaPtr rhs = parse_disjunction();
+      return is_until ? until(iv, std::move(lhs), std::move(rhs))
+                      : since(iv, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_disjunction() {
+    FormulaPtr lhs = parse_conjunction();
+    while (lexer_.peek().kind == TokKind::kOr) {
+      lexer_.take();
+      lhs = disj(std::move(lhs), parse_conjunction());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_conjunction() {
+    FormulaPtr lhs = parse_unary();
+    while (lexer_.peek().kind == TokKind::kAnd) {
+      lexer_.take();
+      lhs = conj(std::move(lhs), parse_unary());
+    }
+    return lhs;
+  }
+
+  FormulaPtr parse_unary() {
+    const Token& t = lexer_.peek();
+    if (t.kind == TokKind::kNot) {
+      lexer_.take();
+      return negate(parse_unary());
+    }
+    if (t.kind == TokKind::kIdent &&
+        (t.text == "G" || t.text == "F" || t.text == "H" || t.text == "O")) {
+      const std::string op = lexer_.take().text;
+      const Interval iv = parse_optional_bound();
+      FormulaPtr child = parse_unary();
+      if (op == "G") return globally(iv, std::move(child));
+      if (op == "F") return eventually(iv, std::move(child));
+      if (op == "H") return historically(iv, std::move(child));
+      return once(iv, std::move(child));
+    }
+    if (t.kind == TokKind::kLParen) {
+      lexer_.take();
+      FormulaPtr f = parse_formula();
+      expect(TokKind::kRParen, ")");
+      return f;
+    }
+    return parse_atom();
+  }
+
+  FormulaPtr parse_atom() {
+    const Token t = lexer_.take();
+    if (t.kind == TokKind::kIdent) {
+      if (t.text == "true") return std::make_shared<Constant>(true);
+      if (t.text == "false") return std::make_shared<Constant>(false);
+      if (lexer_.peek().kind == TokKind::kCmp) {
+        const std::string op = lexer_.take().text;
+        const Token v = lexer_.take();
+        Threshold threshold = Threshold::literal(0.0);
+        if (v.kind == TokKind::kNumber) {
+          threshold = Threshold::literal(v.number);
+        } else if (v.kind == TokKind::kParam) {
+          threshold = Threshold::param(v.text);
+        } else {
+          throw ParseError("expected number or {param} after comparison",
+                           v.pos);
+        }
+        return std::make_shared<Predicate>(t.text, parse_cmp(op, t.pos),
+                                           std::move(threshold));
+      }
+      // Bare identifier: boolean signal atom.
+      return bool_atom(t.text);
+    }
+    throw ParseError("expected atom", t.pos);
+  }
+
+  static CmpOp parse_cmp(const std::string& op, std::size_t pos) {
+    if (op == "<") return CmpOp::kLt;
+    if (op == "<=") return CmpOp::kLe;
+    if (op == ">") return CmpOp::kGt;
+    if (op == ">=") return CmpOp::kGe;
+    if (op == "==") return CmpOp::kEq;
+    throw ParseError("unknown comparison '" + op + "'", pos);
+  }
+
+  Interval parse_optional_bound() {
+    Interval iv;  // default [0, end]
+    if (lexer_.peek().kind != TokKind::kLBracket) return iv;
+    lexer_.take();
+    const Token lo = lexer_.take();
+    if (lo.kind != TokKind::kNumber) {
+      throw ParseError("expected lower bound", lo.pos);
+    }
+    iv.lo = static_cast<int>(lo.number);
+    expect(TokKind::kComma, ",");
+    const Token hi = lexer_.take();
+    if (hi.kind == TokKind::kNumber) {
+      iv.hi = static_cast<int>(hi.number);
+    } else if (hi.kind == TokKind::kIdent && hi.text == "end") {
+      iv.hi = Interval::kUnbounded;
+    } else {
+      throw ParseError("expected upper bound or 'end'", hi.pos);
+    }
+    expect(TokKind::kRBracket, "]");
+    if (iv.lo < 0 || (iv.hi != Interval::kUnbounded && iv.hi < iv.lo)) {
+      throw ParseError("bad interval", hi.pos);
+    }
+    return iv;
+  }
+
+  void expect(TokKind kind, const char* what) {
+    const Token t = lexer_.take();
+    if (t.kind != kind) {
+      throw ParseError(std::string("expected '") + what + "'", t.pos);
+    }
+  }
+
+  Lexer lexer_;
+};
+
+}  // namespace
+
+FormulaPtr parse_formula(const std::string& text) {
+  return Parser(text).parse();
+}
+
+}  // namespace aps::stl

@@ -1,0 +1,41 @@
+// Recursive-descent parser for a textual STL syntax.
+//
+// Grammar (lowest to highest precedence):
+//   formula     := until_expr ( '->' formula )?
+//   until_expr  := disjunction ( ('U'|'S') bound? disjunction )?
+//   disjunction := conjunction ( ('or' | '|') conjunction )*
+//   conjunction := unary ( ('and' | '&') unary )*
+//   unary       := ('not' | '!') unary
+//                | ('G'|'F'|'H'|'O') bound? unary
+//                | '(' formula ')'
+//                | atom
+//   bound       := '[' int ',' (int | 'end') ']'
+//   atom        := ident cmp value | 'true' | 'false' | ident
+//   value       := number | '{' ident '}'
+//   cmp         := '<' | '<=' | '>' | '>=' | '=='
+//
+// A bare identifier atom is treated as a boolean signal (sampled 0/1),
+// e.g. "u1" in "G[0,end]((BG > 180) -> !u1)".
+// "{name}" introduces a free parameter resolved at evaluation time.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "stl/formula.h"
+
+namespace aps::stl {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& message, std::size_t position);
+  [[nodiscard]] std::size_t position() const { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parse `text` into a formula; throws ParseError on malformed input.
+[[nodiscard]] FormulaPtr parse_formula(const std::string& text);
+
+}  // namespace aps::stl

@@ -1,0 +1,49 @@
+#include "stl/signal.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace aps::stl {
+
+Signal::Signal(double t0_min, double period_min, std::vector<double> values)
+    : t0_(t0_min), period_(period_min), values_(std::move(values)) {
+  assert(period_ > 0.0);
+}
+
+Signal Signal::difference() const {
+  std::vector<double> d(values_.size(), 0.0);
+  for (std::size_t k = 1; k < values_.size(); ++k) {
+    d[k] = values_[k] - values_[k - 1];
+  }
+  return Signal(t0_, period_, std::move(d));
+}
+
+void Trace::set(const std::string& name, Signal signal) {
+  if (!signals_.empty()) {
+    if (signal.size() != length_) {
+      throw std::invalid_argument("Trace: signal '" + name +
+                                  "' length mismatch");
+    }
+  } else {
+    length_ = signal.size();
+  }
+  signals_[name] = std::move(signal);
+}
+
+void Trace::set(const std::string& name, std::vector<double> values) {
+  set(name, Signal(0.0, period_, std::move(values)));
+}
+
+bool Trace::has(const std::string& name) const {
+  return signals_.count(name) > 0;
+}
+
+const Signal& Trace::at(const std::string& name) const {
+  const auto it = signals_.find(name);
+  if (it == signals_.end()) {
+    throw std::out_of_range("Trace: unknown signal '" + name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace aps::stl

@@ -1,0 +1,68 @@
+// Uniformly sampled signals and multi-signal traces, the data substrate for
+// STL evaluation. Sample index k corresponds to time t0 + k * period.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace aps::stl {
+
+/// A uniformly sampled scalar signal.
+class Signal {
+ public:
+  Signal() = default;
+  Signal(double t0_min, double period_min, std::vector<double> values);
+
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double t0() const { return t0_; }
+  [[nodiscard]] double period() const { return period_; }
+  [[nodiscard]] double time_at(std::size_t k) const {
+    return t0_ + static_cast<double>(k) * period_;
+  }
+  [[nodiscard]] double operator[](std::size_t k) const { return values_[k]; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  void push_back(double v) { values_.push_back(v); }
+
+  /// First-difference signal (per sample); d[0] = 0 by convention so the
+  /// derivative signal is index-aligned with its source.
+  [[nodiscard]] Signal difference() const;
+
+ private:
+  double t0_ = 0.0;
+  double period_ = 1.0;
+  std::vector<double> values_;
+};
+
+/// A named collection of equal-length, equally-sampled signals.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(double period_min) : period_(period_min) {}
+
+  /// Adds or replaces a signal; all signals must share length and period.
+  void set(const std::string& name, Signal signal);
+  void set(const std::string& name, std::vector<double> values);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  [[nodiscard]] const Signal& at(const std::string& name) const;
+
+  /// Number of samples (0 when no signals registered).
+  [[nodiscard]] std::size_t length() const { return length_; }
+  [[nodiscard]] double period() const { return period_; }
+
+  [[nodiscard]] const std::map<std::string, Signal>& signals() const {
+    return signals_;
+  }
+
+ private:
+  double period_ = 1.0;
+  std::size_t length_ = 0;
+  std::map<std::string, Signal> signals_;
+};
+
+}  // namespace aps::stl

@@ -1,0 +1,124 @@
+// Common utilities: stats, ring buffer, RNG determinism, table rendering,
+// thread pool, CLI flags.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <atomic>
+
+#include "common/cli.h"
+#include "common/units.h"
+#include "common/ring_buffer.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+
+namespace {
+
+using namespace aps;
+
+TEST(Stats, MeanVarianceStd) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  const std::vector<double> xs = {-10.0, 0.5, 1.5, 99.0};
+  const auto bins = histogram(xs, 0.0, 2.0, 2);
+  EXPECT_EQ(bins[0], 2u);  // -10 clamped into first bin
+  EXPECT_EQ(bins[1], 2u);  // 99 clamped into last bin
+}
+
+TEST(Stats, RunningMatchesBatch) {
+  const std::vector<double> xs = {1.0, 5.0, 2.5, -3.0, 8.0};
+  RunningStats rs;
+  for (const double x : xs) rs.add(x);
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 8.0);
+}
+
+TEST(RingBuffer, DropsOldestBeyondCapacity) {
+  RingBuffer<int> rb(3);
+  for (int i = 1; i <= 5; ++i) rb.push(i);
+  ASSERT_TRUE(rb.full());
+  EXPECT_EQ(rb.front(), 3);
+  EXPECT_EQ(rb.back(), 5);
+  EXPECT_EQ(rb.to_vector(), (std::vector<int>{3, 4, 5}));
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+}
+
+TEST(Rng, DerivedSeedsAreIndependentStreams) {
+  EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
+  EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
+  Rng a(derive_seed(42, 7));
+  Rng b(derive_seed(42, 7));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(TextTable, AlignsAndFormats) {
+  TextTable table({"name", "value"});
+  table.add_row({"x", TextTable::num(1.23456, 2)});
+  table.add_row({"longer-name", TextTable::pct(0.339)});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_NE(out.find("33.9%"), std::string::npos);
+  std::ostringstream csv;
+  table.print_csv(csv);
+  EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+}
+
+TEST(ThreadPool, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDone) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&done] { done++; });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 8);
+}
+
+TEST(CliFlags, ParsesAllSyntaxes) {
+  const char* argv[] = {"prog",      "--full",      "--seed=7",
+                        "--name",    "value",       "positional",
+                        "--ratio=0.5"};
+  const CliFlags flags(7, argv);
+  EXPECT_TRUE(flags.get_bool("full", false));
+  EXPECT_EQ(flags.get_int("seed", 0), 7);
+  EXPECT_EQ(flags.get_string("name", ""), "value");
+  EXPECT_DOUBLE_EQ(flags.get_double("ratio", 0.0), 0.5);
+  EXPECT_EQ(flags.positional(), std::vector<std::string>{"positional"});
+  EXPECT_FALSE(flags.has("missing"));
+  EXPECT_EQ(flags.get_int("missing", 42), 42);
+}
+
+TEST(Units, EnumToString) {
+  EXPECT_STREQ(to_string(HazardType::kH1TooMuchInsulin), "H1");
+  EXPECT_STREQ(to_string(ControlAction::kStopInsulin), "stop_insulin");
+}
+
+}  // namespace

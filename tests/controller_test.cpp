@@ -1,0 +1,208 @@
+// Controllers: IOB curve properties, action classification, OpenAPS and
+// Basal-Bolus decision logic.
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "controller/action.h"
+#include "controller/basal_bolus.h"
+#include "controller/iob.h"
+#include "controller/openaps.h"
+
+namespace {
+
+using namespace aps::controller;
+using aps::ControlAction;
+
+// --- IOB curve ----------------------------------------------------------------
+
+TEST(IobCurve, FractionBoundsAndMonotonicity) {
+  const IobCurve curve;
+  EXPECT_DOUBLE_EQ(curve.iob_fraction(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(curve.iob_fraction(curve.dia_min), 0.0);
+  double prev = 1.0;
+  for (double t = 5.0; t <= curve.dia_min; t += 5.0) {
+    const double f = curve.iob_fraction(t);
+    EXPECT_LE(f, prev + 1e-9) << "t=" << t;
+    EXPECT_GE(f, -1e-9);
+    prev = f;
+  }
+}
+
+TEST(IobCurve, ActivityPeaksNearPeakTime) {
+  const IobCurve curve;
+  const double at_peak = curve.activity(curve.peak_min);
+  EXPECT_GT(at_peak, curve.activity(curve.peak_min / 3.0));
+  EXPECT_GT(at_peak, curve.activity(curve.dia_min * 0.9));
+  EXPECT_DOUBLE_EQ(curve.activity(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(curve.activity(curve.dia_min), 0.0);
+}
+
+TEST(IobCurve, ActivityIntegratesToOne) {
+  const IobCurve curve;
+  double integral = 0.0;
+  for (double t = 0.5; t < curve.dia_min; t += 1.0) {
+    integral += curve.activity(t);
+  }
+  EXPECT_NEAR(integral, 1.0, 0.02);
+}
+
+TEST(IobCalculator, SinglePulseDecays) {
+  IobCalculator calc;
+  calc.record(1.0, 5.0);
+  const double initial = calc.iob();
+  EXPECT_NEAR(initial, 1.0, 0.05);
+  for (int i = 0; i < 24; ++i) calc.record(0.0, 5.0);  // 2 h later
+  EXPECT_LT(calc.iob(), initial);
+  for (int i = 0; i < 48; ++i) calc.record(0.0, 5.0);  // past DIA
+  EXPECT_DOUBLE_EQ(calc.iob(), 0.0);
+}
+
+TEST(IobCalculator, SteadyStateIobScalesLinearly) {
+  const IobCalculator calc;
+  const double at_one = calc.steady_state_iob(1.0);
+  EXPECT_GT(at_one, 0.5);
+  EXPECT_NEAR(calc.steady_state_iob(2.0), 2.0 * at_one, 1e-9);
+}
+
+TEST(IobCalculator, ConvergesToSteadyState) {
+  IobCalculator calc;
+  const double rate = 1.2;
+  for (int i = 0; i < 100; ++i) {
+    calc.record(rate * aps::kControlPeriodMin / 60.0, 5.0);
+  }
+  EXPECT_NEAR(calc.iob(), calc.steady_state_iob(rate), 0.02);
+}
+
+// --- Action classification -------------------------------------------------------
+
+TEST(ActionClassify, FourWaySplit) {
+  EXPECT_EQ(classify_action(0.0, 1.0), ControlAction::kStopInsulin);
+  EXPECT_EQ(classify_action(0.04, 1.0), ControlAction::kStopInsulin);
+  EXPECT_EQ(classify_action(0.5, 1.0), ControlAction::kDecreaseInsulin);
+  EXPECT_EQ(classify_action(1.5, 1.0), ControlAction::kIncreaseInsulin);
+  EXPECT_EQ(classify_action(1.0, 1.0), ControlAction::kKeepInsulin);
+  EXPECT_EQ(classify_action(1.03, 1.0), ControlAction::kKeepInsulin);
+}
+
+// --- OpenAPS ----------------------------------------------------------------------
+
+OpenApsConfig test_config() {
+  OpenApsConfig cfg = openaps_config_for(1.0);
+  return cfg;
+}
+
+TEST(OpenAps, KeepsBasalInCorridor) {
+  OpenApsController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 120.0;
+  in.iob_u = 0.0;
+  EXPECT_NEAR(ctrl.decide_rate(in), 1.0, 1e-9);
+}
+
+TEST(OpenAps, HighProjectionRaisesRate) {
+  OpenApsController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 220.0;
+  in.iob_u = 0.0;
+  const double rate = ctrl.decide_rate(in);
+  EXPECT_GT(rate, 1.0);
+  EXPECT_LE(rate, 4.0);  // max basal cap
+  EXPECT_GT(ctrl.last_eventual_bg(), test_config().max_bg);
+}
+
+TEST(OpenAps, LowProjectionCutsRate) {
+  OpenApsController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 110.0;
+  in.iob_u = 3.0;  // 3 U on board * 37.5 mg/dL/U projects far below range
+  const double rate = ctrl.decide_rate(in);
+  EXPECT_LT(rate, 1.0);
+}
+
+TEST(OpenAps, SuspendsBelowThreshold) {
+  OpenApsController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 65.0;
+  EXPECT_DOUBLE_EQ(ctrl.decide_rate(in), 0.0);
+}
+
+TEST(OpenAps, FallingTrendLowersEventualBg) {
+  OpenApsController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 140.0;
+  (void)ctrl.decide_rate(in);
+  in.bg_mg_dl = 130.0;  // -10 per cycle
+  (void)ctrl.decide_rate(in);
+  EXPECT_LT(ctrl.last_eventual_bg(), 130.0);
+}
+
+TEST(OpenAps, ResetClearsTrendState) {
+  OpenApsController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 200.0;
+  (void)ctrl.decide_rate(in);
+  ctrl.reset();
+  in.bg_mg_dl = 120.0;
+  (void)ctrl.decide_rate(in);
+  // After reset there is no previous sample, so no trend deviation.
+  EXPECT_NEAR(ctrl.last_eventual_bg(), 120.0, 1e-9);
+}
+
+// --- Basal-Bolus -------------------------------------------------------------------
+
+BasalBolusConfig bb_config() {
+  BasalBolusConfig cfg = basal_bolus_config_for(1.0, 2.0);
+  return cfg;
+}
+
+TEST(BasalBolus, BasalOnlyInRange) {
+  BasalBolusController ctrl(bb_config());
+  ControllerInput in;
+  in.bg_mg_dl = 130.0;
+  in.iob_u = 2.0;
+  EXPECT_DOUBLE_EQ(ctrl.decide_rate(in), 1.0);
+}
+
+TEST(BasalBolus, CorrectsAboveThreshold) {
+  BasalBolusController ctrl(bb_config());
+  ControllerInput in;
+  in.bg_mg_dl = 250.0;
+  in.iob_u = 2.0;  // exactly the basal baseline: no correction on board
+  const double rate = ctrl.decide_rate(in);
+  EXPECT_GT(rate, 1.0);
+}
+
+TEST(BasalBolus, IobDiscountsCorrection) {
+  BasalBolusController ctrl(bb_config());
+  ControllerInput low_iob;
+  low_iob.bg_mg_dl = 250.0;
+  low_iob.iob_u = 2.0;
+  ControllerInput high_iob = low_iob;
+  high_iob.iob_u = 4.0;  // 2 U of correction already active
+  EXPECT_GT(ctrl.decide_rate(low_iob), ctrl.decide_rate(high_iob));
+}
+
+TEST(BasalBolus, SuspendsWhenHypo) {
+  BasalBolusController ctrl(bb_config());
+  ControllerInput in;
+  in.bg_mg_dl = 75.0;
+  EXPECT_DOUBLE_EQ(ctrl.decide_rate(in), 0.0);
+}
+
+TEST(BasalBolus, BolusCapRespected) {
+  auto cfg = bb_config();
+  cfg.max_bolus_u = 1.0;
+  BasalBolusController ctrl(cfg);
+  ControllerInput in;
+  in.bg_mg_dl = 400.0;
+  in.iob_u = 0.0;
+  const double rate = ctrl.decide_rate(in);
+  EXPECT_LE(rate, cfg.basal_u_per_h + 1.0 * 12.0 + 1e-9);
+}
+
+TEST(IsfFromBasal, EighteenHundredRule) {
+  EXPECT_NEAR(isf_from_basal(1.0), 1800.0 / 48.0, 1e-9);
+  EXPECT_GT(isf_from_basal(0.0), 0.0);  // safe fallback
+}
+
+}  // namespace

@@ -1,0 +1,111 @@
+// End-to-end regression tests for the paper's headline claims on a scaled
+// campaign: the learned context-aware monitor must (a) predict hazards
+// ahead of onset, (b) beat the untuned CAWOT baseline, and (c) mitigate
+// an overdose attack.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "metrics/evaluation.h"
+#include "sim/stack.h"
+
+namespace {
+
+using namespace aps;
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    pool_ = new ThreadPool(2);
+    core::ExperimentConfig config;
+    config.train_ml = false;
+    context_ = new core::ExperimentContext(core::prepare_experiment(
+        sim::glucosym_openaps_stack(), config, *pool_));
+  }
+  static void TearDownTestSuite() {
+    delete context_;
+    delete pool_;
+  }
+
+  static ThreadPool* pool_;
+  static core::ExperimentContext* context_;
+};
+
+ThreadPool* EndToEnd::pool_ = nullptr;
+core::ExperimentContext* EndToEnd::context_ = nullptr;
+
+TEST_F(EndToEnd, CampaignInjectsEnoughHazards) {
+  const auto res = metrics::resilience(context_->baseline);
+  // Paper: 33.9% hazard coverage on Glucosym; the scaled grid lands in the
+  // same regime.
+  EXPECT_GT(res.hazard_coverage(), 0.15);
+  EXPECT_LT(res.hazard_coverage(), 0.75);
+  // Mean TTH in the hours range (paper: ~3 h).
+  EXPECT_GT(res.mean_tth_min(), 60.0);
+  EXPECT_LT(res.mean_tth_min(), 400.0);
+}
+
+TEST_F(EndToEnd, CawtBeatsCawotAndGuideline) {
+  const auto cawt = core::evaluate_monitor(
+      *context_, "cawt", core::cawt_factory(context_->artifacts), *pool_);
+  const auto cawot = core::evaluate_monitor(
+      *context_, "cawot", core::cawot_factory(context_->stack), *pool_);
+  const auto guideline = core::evaluate_monitor(
+      *context_, "guideline", core::guideline_factory(context_->artifacts),
+      *pool_);
+  // Table V ordering: CAWT > CAWOT > Guideline on F1, CAWT lowest FPR.
+  EXPECT_GT(cawt.accuracy.sample.f1(), cawot.accuracy.sample.f1());
+  EXPECT_GT(cawot.accuracy.sample.f1(), guideline.accuracy.sample.f1());
+  EXPECT_LT(cawt.accuracy.sample.fpr(), guideline.accuracy.sample.fpr());
+  EXPECT_GT(cawt.accuracy.sample.f1(), 0.7);
+  EXPECT_LT(cawt.accuracy.sample.fnr(), 0.2);
+}
+
+TEST_F(EndToEnd, CawtPredictsHoursAhead) {
+  const auto cawt = core::evaluate_monitor(
+      *context_, "cawt", core::cawt_factory(context_->artifacts), *pool_);
+  // Fig. 9: ~2 h mean reaction with high early-detection rate.
+  EXPECT_GT(cawt.timeliness.mean_reaction_min(), 60.0);
+  EXPECT_GT(cawt.timeliness.early_detection_rate(), 0.8);
+}
+
+TEST_F(EndToEnd, MitigationRecoversHazardsWithoutNewOnes) {
+  const auto mitigated = core::evaluate_monitor(
+      *context_, "cawt", core::cawt_factory(context_->artifacts), *pool_,
+      /*mitigation_enabled=*/true);
+  const auto report =
+      metrics::evaluate_mitigation(context_->baseline, mitigated.campaign);
+  // Table VII: ~half the hazards prevented, almost no new hazards, low risk.
+  EXPECT_GT(report.recovery_rate(), 0.3);
+  EXPECT_LT(report.new_hazards, report.baseline_hazards / 10 + 3);
+  EXPECT_LT(report.average_risk, 1.0);
+}
+
+TEST_F(EndToEnd, PatientSpecificBeatsPopulationOnAverage) {
+  double specific_f1 = 0.0;
+  double population_f1 = 0.0;
+  const auto specific = core::evaluate_monitor(
+      *context_, "cawt", core::cawt_factory(context_->artifacts), *pool_);
+  const auto population = core::evaluate_monitor(
+      *context_, "cawt-population",
+      core::cawt_population_factory(context_->artifacts), *pool_);
+  specific_f1 = specific.accuracy.sample.f1();
+  population_f1 = population.accuracy.sample.f1();
+  // Table VIII direction: patient-specific thresholds win overall.
+  EXPECT_GT(specific_f1, population_f1);
+}
+
+TEST_F(EndToEnd, AdversarialTrainingBeatsFaultFree) {
+  // §VI-3: thresholds from fault-free data miss hazards.
+  core::ThresholdLearningOptions options;
+  const auto fault_free_artifacts = core::learn_artifacts(
+      context_->stack, context_->fault_free, context_->fault_free, options);
+  const auto fault_free_eval = core::evaluate_monitor(
+      *context_, "cawt-faultfree",
+      core::cawt_factory(fault_free_artifacts), *pool_);
+  const auto adversarial = core::evaluate_monitor(
+      *context_, "cawt", core::cawt_factory(context_->artifacts), *pool_);
+  EXPECT_GT(adversarial.accuracy.sample.f1(),
+            fault_free_eval.accuracy.sample.f1());
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+// Fault-injection engine (Table II semantics) and risk/hazard labeling
+// (Eq. 5, LBGI/HBGI windows).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fi/campaign.h"
+#include "fi/fault.h"
+#include "risk/hazard_label.h"
+#include "risk/risk_index.h"
+
+namespace {
+
+using namespace aps::fi;
+using namespace aps::risk;
+
+// --- Fault types -----------------------------------------------------------------
+
+FaultSpec spec_of(FaultType type, double magnitude = 50.0) {
+  FaultSpec spec;
+  spec.type = type;
+  spec.target = FaultTarget::kSensorGlucose;
+  spec.magnitude = magnitude;
+  spec.start_step = 10;
+  spec.duration_steps = 5;
+  return spec;
+}
+
+class FaultTypeBehaviour : public ::testing::TestWithParam<FaultType> {};
+
+TEST_P(FaultTypeBehaviour, InactiveOutsideWindow) {
+  FaultInjector injector(spec_of(GetParam()));
+  const auto range = glucose_range();
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kSensorGlucose, 120.0, 9, range), 120.0);
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kSensorGlucose, 120.0, 15, range), 120.0);
+}
+
+TEST_P(FaultTypeBehaviour, OtherTargetsUntouched) {
+  FaultInjector injector(spec_of(GetParam()));
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kCommandRate, 1.5, 12, rate_range(4.0)),
+      1.5);
+}
+
+TEST_P(FaultTypeBehaviour, CorruptedValueStaysInRange) {
+  FaultInjector injector(spec_of(GetParam()));
+  const auto range = glucose_range();
+  const double corrupted =
+      injector.apply(FaultTarget::kSensorGlucose, 120.0, 12, range);
+  EXPECT_GE(corrupted, 0.0);
+  EXPECT_LE(corrupted, range.max);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllTypes, FaultTypeBehaviour,
+    ::testing::Values(FaultType::kTruncate, FaultType::kHold, FaultType::kMax,
+                      FaultType::kMin, FaultType::kAdd, FaultType::kSub,
+                      FaultType::kBitflipDec));
+
+TEST(FaultInjector, TruncateForcesZeroClampedToRange) {
+  FaultInjector injector(spec_of(FaultType::kTruncate));
+  // Glucose range bottoms at 40: a zeroed reading clamps to the CGM floor.
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kSensorGlucose, 150.0, 12, glucose_range()),
+      40.0);
+  FaultSpec rate_spec = spec_of(FaultType::kTruncate);
+  rate_spec.target = FaultTarget::kCommandRate;
+  FaultInjector rate_injector(rate_spec);
+  EXPECT_DOUBLE_EQ(
+      rate_injector.apply(FaultTarget::kCommandRate, 2.0, 12, rate_range(4.0)),
+      0.0);
+}
+
+TEST(FaultInjector, HoldFreezesPreFaultValue) {
+  FaultInjector injector(spec_of(FaultType::kHold));
+  const auto range = glucose_range();
+  (void)injector.apply(FaultTarget::kSensorGlucose, 111.0, 9, range);
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kSensorGlucose, 150.0, 10, range), 111.0);
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kSensorGlucose, 180.0, 14, range), 111.0);
+  // Window over: live value resumes.
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kSensorGlucose, 180.0, 15, range), 180.0);
+}
+
+TEST(FaultInjector, MaxMinAddSubBitflip) {
+  const auto range = glucose_range();
+  FaultInjector max_injector(spec_of(FaultType::kMax));
+  EXPECT_DOUBLE_EQ(
+      max_injector.apply(FaultTarget::kSensorGlucose, 120.0, 12, range),
+      range.max);
+  FaultInjector min_injector(spec_of(FaultType::kMin));
+  EXPECT_DOUBLE_EQ(
+      min_injector.apply(FaultTarget::kSensorGlucose, 120.0, 12, range),
+      range.min);
+  FaultInjector add_injector(spec_of(FaultType::kAdd, 75.0));
+  EXPECT_DOUBLE_EQ(
+      add_injector.apply(FaultTarget::kSensorGlucose, 120.0, 12, range),
+      195.0);
+  FaultInjector sub_injector(spec_of(FaultType::kSub, 75.0));
+  EXPECT_DOUBLE_EQ(
+      sub_injector.apply(FaultTarget::kSensorGlucose, 120.0, 12, range),
+      45.0);
+  FaultInjector flip_injector(spec_of(FaultType::kBitflipDec));
+  EXPECT_DOUBLE_EQ(
+      flip_injector.apply(FaultTarget::kSensorGlucose, 320.0, 12, range),
+      40.0);
+}
+
+TEST(FaultSpec, NamesAreStable) {
+  EXPECT_EQ(spec_of(FaultType::kMax).name(), "max_glucose");
+  FaultSpec rate = spec_of(FaultType::kBitflipDec);
+  rate.target = FaultTarget::kCommandRate;
+  EXPECT_EQ(rate.name(), "bitflip_dec_rate");
+}
+
+// --- Campaign enumeration -----------------------------------------------------------
+
+TEST(Campaign, FullGridMatchesPaperCount) {
+  // 7 types x 2 targets x 3 starts x 3 durations x 7 initial BGs = 882.
+  const auto scenarios = enumerate_scenarios(CampaignGrid::full());
+  EXPECT_EQ(scenarios.size(), 882u);
+}
+
+TEST(Campaign, EnumerationIsDeterministic) {
+  const auto a = enumerate_scenarios(CampaignGrid::quick());
+  const auto b = enumerate_scenarios(CampaignGrid::quick());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].fault.name(), b[i].fault.name());
+    EXPECT_DOUBLE_EQ(a[i].initial_bg, b[i].initial_bg);
+    EXPECT_EQ(a[i].fault.start_step, b[i].fault.start_step);
+  }
+}
+
+TEST(Campaign, FaultFreeScenariosHaveNoFault) {
+  for (const auto& s : fault_free_scenarios(CampaignGrid::full())) {
+    EXPECT_FALSE(s.fault.enabled());
+  }
+}
+
+// --- Risk index -----------------------------------------------------------------------
+
+TEST(RiskIndex, ZeroCrossingNearPaperValue) {
+  const double zero = risk_zero_bg();
+  EXPECT_NEAR(zero, 112.5, 1.0);
+  EXPECT_NEAR(bg_risk(zero), 0.0, 1e-6);
+}
+
+TEST(RiskIndex, BranchesHaveCorrectSign) {
+  EXPECT_LT(bg_risk_transform(70.0), 0.0);
+  EXPECT_GT(bg_risk_transform(200.0), 0.0);
+  EXPECT_LT(bg_risk_signed(70.0), 0.0);
+  EXPECT_GT(bg_risk_signed(200.0), 0.0);
+  EXPECT_GE(bg_risk(70.0), 0.0);
+}
+
+TEST(RiskIndex, RiskGrowsTowardExtremes) {
+  EXPECT_GT(bg_risk(50.0), bg_risk(80.0));
+  EXPECT_GT(bg_risk(80.0), bg_risk(110.0));
+  EXPECT_GT(bg_risk(350.0), bg_risk(200.0));
+  EXPECT_GT(bg_risk(200.0), bg_risk(140.0));
+}
+
+TEST(RiskIndex, WindowSeparatesBranches) {
+  const std::vector<double> window = {60.0, 60.0, 250.0, 250.0};
+  const auto ri = window_risk(window);
+  EXPECT_GT(ri.lbgi, 0.0);
+  EXPECT_GT(ri.hbgi, 0.0);
+  // Each branch averages over the whole window.
+  EXPECT_NEAR(ri.lbgi, bg_risk(60.0) / 2.0, 1e-9);
+  EXPECT_NEAR(ri.hbgi, bg_risk(250.0) / 2.0, 1e-9);
+}
+
+// --- Hazard labeling -----------------------------------------------------------------
+
+std::vector<double> ramp(double from, double to, int steps) {
+  std::vector<double> out;
+  for (int i = 0; i < steps; ++i) {
+    out.push_back(from + (to - from) * i / (steps - 1));
+  }
+  return out;
+}
+
+TEST(HazardLabel, StableTraceIsSafe) {
+  const std::vector<double> bg(150, 120.0);
+  const auto label = label_trace(bg);
+  EXPECT_FALSE(label.hazardous);
+  EXPECT_EQ(label.onset_step, -1);
+  for (const bool h : label.sample_hazard) EXPECT_FALSE(h);
+}
+
+TEST(HazardLabel, HypoRampIsH1) {
+  auto bg = ramp(120.0, 120.0, 30);
+  const auto drop = ramp(120.0, 45.0, 60);
+  bg.insert(bg.end(), drop.begin(), drop.end());
+  const auto label = label_trace(bg);
+  ASSERT_TRUE(label.hazardous);
+  EXPECT_EQ(label.type, aps::HazardType::kH1TooMuchInsulin);
+  EXPECT_GT(label.onset_step, 30);
+}
+
+TEST(HazardLabel, HyperRampIsH2) {
+  auto bg = ramp(140.0, 140.0, 30);
+  const auto rise = ramp(140.0, 400.0, 80);
+  bg.insert(bg.end(), rise.begin(), rise.end());
+  const auto label = label_trace(bg);
+  ASSERT_TRUE(label.hazardous);
+  EXPECT_EQ(label.type, aps::HazardType::kH2TooLittleInsulin);
+}
+
+TEST(HazardLabel, OnsetRequiresRisingIndex) {
+  // A trace that *starts* deep in hypo but recovers monotonically: the
+  // index is above threshold initially but falling, so no onset fires.
+  const auto bg = ramp(55.0, 130.0, 100);
+  const auto label = label_trace(bg);
+  EXPECT_FALSE(label.hazardous);
+}
+
+TEST(HazardLabel, SampleTruthCoversHazardWindows) {
+  auto bg = ramp(120.0, 120.0, 40);
+  const auto drop = ramp(120.0, 40.0, 50);
+  bg.insert(bg.end(), drop.begin(), drop.end());
+  const auto label = label_trace(bg);
+  ASSERT_TRUE(label.hazardous);
+  bool any = false;
+  for (std::size_t k = static_cast<std::size_t>(label.onset_step);
+       k < label.sample_hazard.size(); ++k) {
+    any |= static_cast<bool>(label.sample_hazard[k]);
+  }
+  EXPECT_TRUE(any);
+  EXPECT_TRUE(label.sample_hazard[static_cast<std::size_t>(label.onset_step)]);
+}
+
+}  // namespace

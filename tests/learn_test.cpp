@@ -1,0 +1,221 @@
+// Learning library: loss functions (values, gradients, minima), L-BFGS-B
+// on standard problems with and without box constraints, STL threshold
+// learning tightness, and k-fold splits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "learn/kfold.h"
+#include "learn/lbfgsb.h"
+#include "learn/loss.h"
+#include "learn/stl_learning.h"
+
+namespace {
+
+using namespace aps::learn;
+
+// --- Loss functions ---------------------------------------------------------
+
+TEST(Loss, TmeeShape) {
+  // Exponential blow-up on the violation side.
+  EXPECT_GT(tmee_loss(-2.0), tmee_loss(-1.0));
+  EXPECT_GT(tmee_loss(-1.0), tmee_loss(0.0));
+  // Roughly linear growth in the slack.
+  EXPECT_GT(tmee_loss(5.0), tmee_loss(2.0));
+  // Minimum at a small positive margin (~0.55).
+  const double argmin = loss_argmin(LossKind::kTmee);
+  EXPECT_GT(argmin, 0.2);
+  EXPECT_LT(argmin, 1.0);
+}
+
+TEST(Loss, TelexMinimumIsSlack) {
+  EXPECT_GT(loss_argmin(LossKind::kTelex), loss_argmin(LossKind::kTmee) + 0.5);
+}
+
+TEST(Loss, MseMaeMinimumAtZero) {
+  EXPECT_NEAR(loss_argmin(LossKind::kMse), 0.0, 1e-3);
+  EXPECT_NEAR(loss_argmin(LossKind::kMae), 0.0, 1e-3);
+}
+
+class LossGradient
+    : public ::testing::TestWithParam<std::tuple<LossKind, double>> {};
+
+TEST_P(LossGradient, MatchesNumericDerivative) {
+  const auto [kind, r] = GetParam();
+  if (kind == LossKind::kMae && std::abs(r) < 1e-6) {
+    GTEST_SKIP() << "MAE kink";
+  }
+  const double h = 1e-6;
+  const double numeric =
+      (loss_value(kind, r + h) - loss_value(kind, r - h)) / (2.0 * h);
+  EXPECT_NEAR(loss_grad(kind, r), numeric, 1e-4)
+      << to_string(kind) << " at r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LossGradient,
+    ::testing::Combine(::testing::Values(LossKind::kMse, LossKind::kMae,
+                                         LossKind::kTelex, LossKind::kTmee),
+                       ::testing::Values(-2.0, -0.5, 0.1, 0.5, 1.0, 3.0)));
+
+// --- L-BFGS-B ------------------------------------------------------------------
+
+TEST(Lbfgsb, QuadraticBowl) {
+  const Objective f = [](std::span<const double> x, std::span<double> g) {
+    double fx = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double d = x[i] - static_cast<double>(i + 1);
+      fx += d * d;
+      g[i] = 2.0 * d;
+    }
+    return fx;
+  };
+  const auto result = lbfgs_minimize(f, {0.0, 0.0, 0.0});
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-5);
+  EXPECT_NEAR(result.x[1], 2.0, 1e-5);
+  EXPECT_NEAR(result.x[2], 3.0, 1e-5);
+}
+
+TEST(Lbfgsb, Rosenbrock) {
+  const Objective f = [](std::span<const double> x, std::span<double> g) {
+    const double a = 1.0, b = 100.0;
+    const double fx = (a - x[0]) * (a - x[0]) +
+                      b * (x[1] - x[0] * x[0]) * (x[1] - x[0] * x[0]);
+    g[0] = -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] * x[0]);
+    g[1] = 2.0 * b * (x[1] - x[0] * x[0]);
+    return fx;
+  };
+  LbfgsbOptions options;
+  options.max_iterations = 2000;  // the banana valley needs ~700 iterations
+  const auto result = lbfgs_minimize(f, {-1.2, 1.0}, options);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-3);
+  EXPECT_NEAR(result.x[1], 1.0, 1e-3);
+}
+
+TEST(Lbfgsb, ActiveBoxConstraint) {
+  // Minimum of (x-5)^2 over [0, 2] sits on the boundary x = 2.
+  const Objective f = [](std::span<const double> x, std::span<double> g) {
+    g[0] = 2.0 * (x[0] - 5.0);
+    return (x[0] - 5.0) * (x[0] - 5.0);
+  };
+  const std::vector<double> lower = {0.0};
+  const std::vector<double> upper = {2.0};
+  const auto result = lbfgsb_minimize(f, {1.0}, lower, upper);
+  EXPECT_NEAR(result.x[0], 2.0, 1e-6);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(Lbfgsb, StartOutsideBoxGetsProjected) {
+  const Objective f = [](std::span<const double> x, std::span<double> g) {
+    g[0] = 2.0 * x[0];
+    return x[0] * x[0];
+  };
+  const std::vector<double> lower = {1.0};
+  const std::vector<double> upper = {3.0};
+  const auto result = lbfgsb_minimize(f, {10.0}, lower, upper);
+  EXPECT_NEAR(result.x[0], 1.0, 1e-6);
+}
+
+TEST(Lbfgsb, HighDimensionalConvergence) {
+  // 50-dimensional ill-conditioned quadratic.
+  const Objective f = [](std::span<const double> x, std::span<double> g) {
+    double fx = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double w = 1.0 + static_cast<double>(i);
+      fx += w * x[i] * x[i];
+      g[i] = 2.0 * w * x[i];
+    }
+    return fx;
+  };
+  std::vector<double> x0(50, 1.0);
+  LbfgsbOptions options;
+  options.max_iterations = 400;
+  const auto result = lbfgs_minimize(f, std::move(x0), options);
+  EXPECT_LT(result.fx, 1e-8);
+}
+
+// --- STL threshold learning -------------------------------------------------------
+
+TEST(ThresholdLearning, UpperBoundCoversAllViolations) {
+  ThresholdProblem problem;
+  problem.violation_values = {1.0, 1.5, 2.0, 2.5};
+  problem.side = BoundSide::kUpperBound;
+  problem.upper_limit = 20.0;
+  const auto result = learn_threshold(problem);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->min_margin, -1e-9);     // every violation caught
+  EXPECT_GE(result->beta, 2.5 - 1e-9);      // at or above the data edge
+  EXPECT_LT(result->beta, 3.5);             // but tight
+}
+
+TEST(ThresholdLearning, LowerBoundCoversAllViolations) {
+  ThresholdProblem problem;
+  problem.violation_values = {4.0, 5.0, 6.0};
+  problem.side = BoundSide::kLowerBound;
+  problem.upper_limit = 20.0;
+  const auto result = learn_threshold(problem);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_GE(result->min_margin, -1e-9);
+  EXPECT_LE(result->beta, 4.0 + 1e-9);  // at or below the data edge
+  EXPECT_GT(result->beta, 3.0);
+}
+
+TEST(ThresholdLearning, EmptyDatasetReturnsNothing) {
+  ThresholdProblem problem;
+  EXPECT_FALSE(learn_threshold(problem).has_value());
+}
+
+TEST(ThresholdLearning, BoxClampsThreshold) {
+  ThresholdProblem problem;
+  problem.violation_values = {95.0, 100.0};
+  problem.side = BoundSide::kUpperBound;
+  problem.lower_limit = 40.0;
+  problem.upper_limit = 90.0;  // cannot cover the data: clamps to the box
+  const auto result = learn_threshold(problem);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_LE(result->beta, 90.0 + 1e-9);
+}
+
+TEST(ThresholdLearning, TmeeIsTighterThanTelex) {
+  ThresholdProblem problem;
+  problem.violation_values = {2.0, 2.1, 2.2};
+  problem.side = BoundSide::kUpperBound;
+  problem.upper_limit = 50.0;
+  problem.loss = LossKind::kTmee;
+  const auto tmee = learn_threshold(problem);
+  problem.loss = LossKind::kTelex;
+  const auto telex = learn_threshold(problem);
+  ASSERT_TRUE(tmee.has_value() && telex.has_value());
+  EXPECT_LT(tmee->beta, telex->beta);
+  EXPECT_GE(tmee->min_margin, 0.0);
+}
+
+// --- k-fold ----------------------------------------------------------------------
+
+TEST(Kfold, PartitionsAreDisjointAndComplete) {
+  const auto folds = kfold_splits(100, 4, 42);
+  ASSERT_EQ(folds.size(), 4u);
+  std::vector<int> seen(100, 0);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.train_indices.size() + fold.test_indices.size(), 100u);
+    for (const auto i : fold.test_indices) ++seen[i];
+  }
+  for (const int count : seen) EXPECT_EQ(count, 1);  // each tested once
+}
+
+TEST(Kfold, DeterministicPerSeed) {
+  const auto a = kfold_splits(50, 4, 7);
+  const auto b = kfold_splits(50, 4, 7);
+  EXPECT_EQ(a[0].test_indices, b[0].test_indices);
+  const auto c = kfold_splits(50, 4, 8);
+  EXPECT_NE(a[0].test_indices, c[0].test_indices);
+}
+
+TEST(TrainTestSplit, RespectsFraction) {
+  const auto split = train_test_split(100, 0.3, 1);
+  EXPECT_EQ(split.test_indices.size(), 30u);
+  EXPECT_EQ(split.train_indices.size(), 70u);
+}
+
+}  // namespace

@@ -1,0 +1,159 @@
+// Metrics: tolerance-window confusion (Table IV semantics), two-region
+// simulation-level scoring, and the derived rates.
+#include <gtest/gtest.h>
+
+#include "metrics/classification.h"
+
+namespace {
+
+using namespace aps::metrics;
+
+std::vector<bool> bits(const std::string& s) {
+  std::vector<bool> out;
+  for (const char c : s) out.push_back(c == '1');
+  return out;
+}
+
+TEST(ConfusionMatrix, DerivedRates) {
+  ConfusionMatrix cm;
+  cm.tp = 8;
+  cm.fp = 2;
+  cm.fn = 2;
+  cm.tn = 88;
+  EXPECT_NEAR(cm.fpr(), 2.0 / 90.0, 1e-12);
+  EXPECT_NEAR(cm.fnr(), 0.2, 1e-12);
+  EXPECT_NEAR(cm.accuracy(), 0.96, 1e-12);
+  EXPECT_NEAR(cm.precision(), 0.8, 1e-12);
+  EXPECT_NEAR(cm.recall(), 0.8, 1e-12);
+  EXPECT_NEAR(cm.f1(), 0.8, 1e-12);
+}
+
+TEST(ConfusionMatrix, EmptyIsSafe) {
+  const ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+}
+
+// --- Tolerance window ------------------------------------------------------------
+
+TEST(ToleranceWindow, EarlyAlertCoversWholeHazardWindow) {
+  // Alert at t=2; hazard window [4,7]; delta = 3 covers the onset.
+  const auto preds = bits("0010000000");
+  const auto truth = bits("0000111100");
+  const auto cm = tolerance_window_confusion(preds, truth, 3);
+  EXPECT_EQ(cm.fn, 0u);
+  EXPECT_EQ(cm.tp, 5u);  // 4 hazard samples + 1 predictive alert sample
+  EXPECT_EQ(cm.fp, 0u);
+}
+
+TEST(ToleranceWindow, LateAlertStillCoversEpisode) {
+  // Alert only inside the window: covered (detection, not prediction).
+  const auto preds = bits("0000010000");
+  const auto truth = bits("0000111100");
+  const auto cm = tolerance_window_confusion(preds, truth, 3);
+  EXPECT_EQ(cm.fn, 0u);
+  EXPECT_GE(cm.tp, 4u);
+}
+
+TEST(ToleranceWindow, MissedWindowIsAllFalseNegatives) {
+  const auto preds = bits("0000000000");
+  const auto truth = bits("0000111100");
+  const auto cm = tolerance_window_confusion(preds, truth, 3);
+  EXPECT_EQ(cm.fn, 4u);
+  EXPECT_EQ(cm.tp, 0u);
+  EXPECT_EQ(cm.fp, 0u);
+  EXPECT_EQ(cm.tn, 6u);
+}
+
+TEST(ToleranceWindow, TooEarlyAlertIsFalsePositive) {
+  // Alert at t=0, hazard starts at t=6, delta=3: outside the window.
+  const auto preds = bits("1000000000");
+  const auto truth = bits("0000001110");
+  const auto cm = tolerance_window_confusion(preds, truth, 3);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.fn, 3u);  // window itself uncovered
+}
+
+TEST(ToleranceWindow, IsolatedAlertIsFalsePositive) {
+  const auto preds = bits("0001000000");
+  const auto truth = bits("0000000000");
+  const auto cm = tolerance_window_confusion(preds, truth, 3);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 9u);
+}
+
+TEST(ToleranceWindow, BoundaryExactlyDeltaAhead) {
+  // Hazard at t=5; alert at t=2 with delta=3: exactly on the boundary.
+  const auto preds = bits("0010000");
+  const auto truth = bits("0000010");
+  const auto cm = tolerance_window_confusion(preds, truth, 3);
+  EXPECT_EQ(cm.fn, 0u);
+  EXPECT_EQ(cm.fp, 0u);
+}
+
+TEST(ToleranceWindow, TwoSeparateEpisodesScoredIndependently) {
+  // First episode covered, second missed.
+  const auto preds = bits("0100000000000000");
+  const auto truth = bits("0001100000011000");
+  const auto cm = tolerance_window_confusion(preds, truth, 2);
+  EXPECT_EQ(cm.tp, 3u);  // 2 covered hazard samples + predictive alert
+  EXPECT_EQ(cm.fn, 2u);  // second episode
+}
+
+TEST(ToleranceWindow, ZeroDeltaIsPointwiseForQuietTraces) {
+  const auto preds = bits("0110");
+  const auto truth = bits("0110");
+  const auto cm = tolerance_window_confusion(preds, truth, 0);
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.tn, 2u);
+  EXPECT_EQ(cm.fp, 0u);
+  EXPECT_EQ(cm.fn, 0u);
+}
+
+// --- Two-region simulation level ----------------------------------------------------
+
+TEST(TwoRegion, HazardAfterFaultDetected) {
+  const auto preds = bits("0000001000");
+  const auto truth = bits("0000000110");
+  const auto cm = two_region_confusion(preds, truth, 4);
+  // Region [0,3]: quiet, no alarm -> TN. Region [4,9]: hazard + alarm -> TP.
+  EXPECT_EQ(cm.tp, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.fp, 0u);
+  EXPECT_EQ(cm.fn, 0u);
+}
+
+TEST(TwoRegion, PreFaultAlarmIsFalsePositive) {
+  const auto preds = bits("0100000000");
+  const auto truth = bits("0000000110");
+  const auto cm = two_region_confusion(preds, truth, 4);
+  EXPECT_EQ(cm.fp, 1u);  // region 1 alarm without hazard
+  EXPECT_EQ(cm.fn, 1u);  // region 2 hazard without alarm
+}
+
+TEST(TwoRegion, FaultFreeTraceIsOneRegion) {
+  const auto preds = bits("0000000000");
+  const auto truth = bits("0000000000");
+  const auto cm = two_region_confusion(preds, truth, -1);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.total(), 1u);
+}
+
+TEST(TwoRegion, HazardMissedEntirely) {
+  const auto preds = bits("0000000000");
+  const auto truth = bits("0000000110");
+  const auto cm = two_region_confusion(preds, truth, 4);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+}
+
+TEST(TwoRegion, FaultAtStepZeroSingleRegion) {
+  const auto preds = bits("0010");
+  const auto truth = bits("0011");
+  const auto cm = two_region_confusion(preds, truth, 0);
+  EXPECT_EQ(cm.tp, 1u);
+  EXPECT_EQ(cm.total(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,292 @@
+// ML library: matrix kernels, standardizer, decision tree, MLP, LSTM.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "ml/decision_tree.h"
+#include "ml/lstm.h"
+#include "ml/mlp.h"
+
+namespace {
+
+using namespace aps::ml;
+
+// --- Matrix -----------------------------------------------------------------
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  Matrix a(2, 3);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(0, 2) = 3;
+  a.at(1, 0) = 4; a.at(1, 1) = 5; a.at(1, 2) = 6;
+  Matrix b(3, 2);
+  b.at(0, 0) = 7;  b.at(0, 1) = 8;
+  b.at(1, 0) = 9;  b.at(1, 1) = 10;
+  b.at(2, 0) = 11; b.at(2, 1) = 12;
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 154.0);
+}
+
+TEST(Matrix, TransposedProductsAgree) {
+  const Matrix a = Matrix::xavier(4, 3, 1);
+  const Matrix b = Matrix::xavier(4, 2, 2);
+  // a^T * b computed two ways.
+  Matrix at(3, 4);
+  for (std::size_t r = 0; r < 4; ++r)
+    for (std::size_t c = 0; c < 3; ++c) at.at(c, r) = a.at(r, c);
+  const Matrix direct = matmul(at, b);
+  const Matrix fused = matmul_tn(a, b);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      EXPECT_NEAR(direct.at(r, c), fused.at(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(Matrix, XavierIsDeterministicAndBounded) {
+  const Matrix a = Matrix::xavier(10, 10, 3);
+  const Matrix b = Matrix::xavier(10, 10, 3);
+  EXPECT_EQ(a.raw(), b.raw());
+  const double limit = std::sqrt(6.0 / 20.0);
+  for (const double v : a.raw()) {
+    EXPECT_LE(std::abs(v), limit);
+  }
+}
+
+// --- Dataset / standardizer -----------------------------------------------------
+
+TEST(Standardizer, ZeroMeanUnitVariance) {
+  Matrix x(4, 2);
+  x.at(0, 0) = 1; x.at(1, 0) = 2; x.at(2, 0) = 3; x.at(3, 0) = 4;
+  x.at(0, 1) = 10; x.at(1, 1) = 10; x.at(2, 1) = 10; x.at(3, 1) = 10;
+  Standardizer std_;
+  std_.fit(x);
+  const Matrix z = std_.transform(x);
+  double mean0 = 0.0;
+  for (std::size_t r = 0; r < 4; ++r) mean0 += z.at(r, 0);
+  EXPECT_NEAR(mean0 / 4.0, 0.0, 1e-12);
+  // Constant column: guarded against divide-by-zero.
+  EXPECT_DOUBLE_EQ(z.at(0, 1), 0.0);
+}
+
+TEST(ClassWeights, InverseFrequency) {
+  Dataset data;
+  data.classes = 2;
+  data.y = {0, 0, 0, 1};
+  data.x = Matrix(4, 1);
+  const auto w = class_weights(data);
+  EXPECT_NEAR(w[0], 4.0 / (2.0 * 3.0), 1e-12);
+  EXPECT_NEAR(w[1], 4.0 / (2.0 * 1.0), 1e-12);
+}
+
+// --- Decision tree ----------------------------------------------------------------
+
+Dataset axis_separable(int n, aps::Rng& rng) {
+  Dataset data;
+  data.classes = 2;
+  data.x = Matrix(static_cast<std::size_t>(n), 2);
+  for (int i = 0; i < n; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    data.x.at(static_cast<std::size_t>(i), 0) = a;
+    data.x.at(static_cast<std::size_t>(i), 1) = b;
+    data.y.push_back(a > 0.5 ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(DecisionTree, LearnsAxisAlignedSplit) {
+  aps::Rng rng(11);
+  const auto data = axis_separable(400, rng);
+  DecisionTree tree;
+  tree.fit(data);
+  ASSERT_TRUE(tree.trained());
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double f[2] = {data.x.at(i, 0), data.x.at(i, 1)};
+    if (tree.predict(f) == data.y[i]) ++correct;
+  }
+  EXPECT_GT(correct, 390);
+}
+
+TEST(DecisionTree, LearnsXor) {
+  aps::Rng rng(13);
+  Dataset data;
+  data.classes = 2;
+  data.x = Matrix(400, 2);
+  for (std::size_t i = 0; i < 400; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    data.x.at(i, 0) = a;
+    data.x.at(i, 1) = b;
+    data.y.push_back((a > 0.5) != (b > 0.5) ? 1 : 0);
+  }
+  DecisionTree tree;
+  tree.fit(data);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double f[2] = {data.x.at(i, 0), data.x.at(i, 1)};
+    if (tree.predict(f) == data.y[i]) ++correct;
+  }
+  EXPECT_GT(correct, 360);  // XOR needs depth 2; easily within budget
+}
+
+TEST(DecisionTree, DepthLimitIsRespected) {
+  aps::Rng rng(17);
+  const auto data = axis_separable(200, rng);
+  DecisionTreeConfig config;
+  config.max_depth = 1;
+  DecisionTree stump(config);
+  stump.fit(data);
+  EXPECT_LE(stump.depth(), 1);
+}
+
+TEST(DecisionTree, ProbabilitiesSumToOne) {
+  aps::Rng rng(19);
+  const auto data = axis_separable(100, rng);
+  DecisionTree tree;
+  tree.fit(data);
+  const double f[2] = {0.3, 0.9};
+  const auto probs = tree.predict_proba(f);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+}
+
+// --- MLP --------------------------------------------------------------------------
+
+TEST(Mlp, LearnsLinearlySeparable) {
+  aps::Rng rng(23);
+  const auto data = axis_separable(600, rng);
+  MlpConfig config;
+  config.hidden_units = {16};
+  config.max_epochs = 30;
+  config.dropout = 0.0;
+  Mlp mlp(config);
+  mlp.fit(data);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double f[2] = {data.x.at(i, 0), data.x.at(i, 1)};
+    if (mlp.predict(f) == data.y[i]) ++correct;
+  }
+  EXPECT_GT(correct, 560);
+}
+
+TEST(Mlp, LearnsXor) {
+  aps::Rng rng(29);
+  Dataset data;
+  data.classes = 2;
+  data.x = Matrix(600, 2);
+  for (std::size_t i = 0; i < 600; ++i) {
+    const double a = rng.uniform(-1.0, 1.0);
+    const double b = rng.uniform(-1.0, 1.0);
+    data.x.at(i, 0) = a;
+    data.x.at(i, 1) = b;
+    data.y.push_back(a * b > 0.0 ? 1 : 0);
+  }
+  MlpConfig config;
+  config.hidden_units = {32, 16};
+  config.max_epochs = 60;
+  config.dropout = 0.0;
+  config.early_stopping_patience = 10;
+  Mlp mlp(config);
+  mlp.fit(data);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double f[2] = {data.x.at(i, 0), data.x.at(i, 1)};
+    if (mlp.predict(f) == data.y[i]) ++correct;
+  }
+  EXPECT_GT(correct, 540);
+}
+
+TEST(Mlp, ProbabilitiesFormDistribution) {
+  aps::Rng rng(31);
+  const auto data = axis_separable(200, rng);
+  Mlp mlp(MlpConfig{.hidden_units = {8}, .max_epochs = 5});
+  mlp.fit(data);
+  const double f[2] = {0.2, 0.8};
+  const auto probs = mlp.predict_proba(f);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+  EXPECT_GE(probs[0], 0.0);
+  EXPECT_GE(probs[1], 0.0);
+}
+
+TEST(Mlp, DeterministicPerSeed) {
+  aps::Rng rng(37);
+  const auto data = axis_separable(200, rng);
+  MlpConfig config;
+  config.hidden_units = {8};
+  config.max_epochs = 5;
+  Mlp a(config), b(config);
+  a.fit(data);
+  b.fit(data);
+  const double f[2] = {0.6, 0.4};
+  EXPECT_EQ(a.predict_proba(f), b.predict_proba(f));
+}
+
+// --- LSTM -------------------------------------------------------------------------
+
+/// Label = whether the mean of the first feature over the window is
+/// positive: requires integrating over time steps.
+SequenceDataset window_mean_task(int n, aps::Rng& rng) {
+  SequenceDataset data;
+  data.classes = 2;
+  for (int i = 0; i < n; ++i) {
+    Matrix seq(6, 2);
+    double sum = 0.0;
+    const double bias = rng.uniform(-0.5, 0.5);
+    for (std::size_t t = 0; t < 6; ++t) {
+      const double v = bias + rng.uniform(-0.4, 0.4);
+      seq.at(t, 0) = v;
+      seq.at(t, 1) = rng.uniform(-1.0, 1.0);  // distractor
+      sum += v;
+    }
+    data.sequences.push_back(std::move(seq));
+    data.labels.push_back(sum > 0.0 ? 1 : 0);
+  }
+  return data;
+}
+
+TEST(Lstm, LearnsWindowMeanTask) {
+  aps::Rng rng(41);
+  const auto data = window_mean_task(500, rng);
+  LstmConfig config;
+  config.hidden_units = {12};
+  config.max_epochs = 12;
+  Lstm lstm(config);
+  lstm.fit(data);
+  int correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (lstm.predict(data.sequences[i]) == data.labels[i]) ++correct;
+  }
+  EXPECT_GT(correct, 425);  // 85%+
+}
+
+TEST(Lstm, StackedLayersTrain) {
+  aps::Rng rng(43);
+  const auto data = window_mean_task(200, rng);
+  LstmConfig config;
+  config.hidden_units = {8, 4};
+  config.max_epochs = 6;
+  Lstm lstm(config);
+  const double val_loss = lstm.fit(data);
+  EXPECT_TRUE(lstm.trained());
+  EXPECT_LT(val_loss, std::log(2.0) + 0.3);  // better than chance-ish
+  EXPECT_GT(lstm.parameter_count(), 0u);
+}
+
+TEST(Lstm, ProbabilitiesFormDistribution) {
+  aps::Rng rng(47);
+  const auto data = window_mean_task(120, rng);
+  LstmConfig config;
+  config.hidden_units = {6};
+  config.max_epochs = 3;
+  Lstm lstm(config);
+  lstm.fit(data);
+  const auto probs = lstm.predict_proba(data.sequences[0]);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+}
+
+}  // namespace

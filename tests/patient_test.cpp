@@ -1,0 +1,196 @@
+// Patient models: steady-state behaviour, insulin response direction, meal
+// response, profile sanity across both cohorts.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "patient/bergman.h"
+#include "patient/dallaman.h"
+#include "patient/profiles.h"
+#include "patient/sensor.h"
+
+namespace {
+
+using namespace aps::patient;
+
+/// Run the model at a fixed rate for `hours`, returning the final BG.
+double run_at(PatientModel& patient, double rate_u_per_h, double hours) {
+  for (int i = 0; i < static_cast<int>(hours * 12); ++i) {
+    patient.step(rate_u_per_h, 5.0);
+  }
+  return patient.bg();
+}
+
+// --- Parameterized over the Glucosym cohort ----------------------------------
+
+class GlucosymCohort : public ::testing::TestWithParam<int> {};
+
+TEST_P(GlucosymCohort, BasalHoldsTargetSteadyState) {
+  auto patient = make_glucosym_patient(GetParam());
+  patient->reset(120.0);
+  const double bg = run_at(*patient, patient->basal_rate_u_per_h(), 24.0);
+  EXPECT_NEAR(bg, 120.0, 2.0) << patient->name();
+}
+
+TEST_P(GlucosymCohort, MoreInsulinLowersBg) {
+  auto patient = make_glucosym_patient(GetParam());
+  patient->reset(120.0);
+  const double basal = patient->basal_rate_u_per_h();
+  const double with_double = run_at(*patient, 2.0 * basal, 6.0);
+  patient->reset(120.0);
+  const double with_basal = run_at(*patient, basal, 6.0);
+  EXPECT_LT(with_double, with_basal - 5.0) << patient->name();
+}
+
+TEST_P(GlucosymCohort, NoInsulinRaisesBg) {
+  auto patient = make_glucosym_patient(GetParam());
+  patient->reset(120.0);
+  const double bg = run_at(*patient, 0.0, 6.0);
+  EXPECT_GT(bg, 160.0) << patient->name();
+}
+
+TEST_P(GlucosymCohort, PositiveBasalRate) {
+  auto patient = make_glucosym_patient(GetParam());
+  EXPECT_GT(patient->basal_rate_u_per_h(), 0.0);
+  EXPECT_LT(patient->basal_rate_u_per_h(), 10.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatients, GlucosymCohort,
+                         ::testing::Range(0, kCohortSize));
+
+// --- Parameterized over the Padova cohort -------------------------------------
+
+class PadovaCohort : public ::testing::TestWithParam<int> {};
+
+TEST_P(PadovaCohort, BasalHoldsTargetSteadyState) {
+  auto patient = make_padova_patient(GetParam());
+  patient->reset(120.0);
+  const double bg = run_at(*patient, patient->basal_rate_u_per_h(), 24.0);
+  EXPECT_NEAR(bg, 120.0, 3.0) << patient->name();
+}
+
+TEST_P(PadovaCohort, MoreInsulinLowersBg) {
+  auto patient = make_padova_patient(GetParam());
+  patient->reset(120.0);
+  const double basal = patient->basal_rate_u_per_h();
+  const double with_triple = run_at(*patient, 3.0 * basal, 8.0);
+  patient->reset(120.0);
+  const double with_basal = run_at(*patient, basal, 8.0);
+  EXPECT_LT(with_triple, with_basal - 5.0) << patient->name();
+}
+
+TEST_P(PadovaCohort, NoInsulinRaisesBg) {
+  auto patient = make_padova_patient(GetParam());
+  patient->reset(120.0);
+  // The EGP insulin signal is doubly delayed (ki ~ 0.008/min), so insulin
+  // starvation takes several hours to show: check the 12 h mark.
+  const double bg = run_at(*patient, 0.0, 12.0);
+  EXPECT_GT(bg, 150.0) << patient->name();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPatients, PadovaCohort,
+                         ::testing::Range(0, kCohortSize));
+
+// --- Model-specific behaviour ---------------------------------------------------
+
+TEST(Bergman, MealRaisesBg) {
+  auto patient = make_glucosym_patient(2);
+  patient->reset(120.0);
+  const double basal = patient->basal_rate_u_per_h();
+  patient->announce_meal(60.0);  // 60 g carbs
+  const double with_meal = run_at(*patient, basal, 3.0);
+  patient->reset(120.0);
+  const double without = run_at(*patient, basal, 3.0);
+  EXPECT_GT(with_meal, without + 20.0);
+}
+
+TEST(Bergman, CloneIsIndependent) {
+  auto patient = make_glucosym_patient(0);
+  patient->reset(120.0);
+  auto clone = patient->clone();
+  (void)run_at(*patient, 0.0, 4.0);
+  EXPECT_NEAR(clone->bg(), 120.0, 1e-9);  // clone untouched
+}
+
+TEST(Bergman, ResetRestoresInitialBg) {
+  auto patient = make_glucosym_patient(1);
+  (void)run_at(*patient, 0.0, 4.0);
+  patient->reset(95.0);
+  EXPECT_DOUBLE_EQ(patient->bg(), 95.0);
+}
+
+TEST(Bergman, BgStaysInPhysiologicalRange) {
+  auto patient = make_glucosym_patient(9);  // most insulin-sensitive
+  patient->reset(80.0);
+  const double bg = run_at(*patient, 20.0, 12.0);  // massive overdose
+  EXPECT_GE(bg, 10.0);
+  patient->reset(200.0);
+  const double high = run_at(*patient, 0.0, 12.0);
+  EXPECT_LE(high, 600.0);
+}
+
+TEST(DallaMan, MealRaisesBg) {
+  auto patient = make_padova_patient(4);
+  patient->reset(120.0);
+  const double basal = patient->basal_rate_u_per_h();
+  patient->announce_meal(50.0);
+  const double with_meal = run_at(*patient, basal, 3.0);
+  patient->reset(120.0);
+  const double without = run_at(*patient, basal, 3.0);
+  EXPECT_GT(with_meal, without + 15.0);
+}
+
+TEST(DallaMan, BasalSolverConsistency) {
+  // The solver's steady state must be an actual fixed point of the ODE.
+  for (int p = 0; p < kCohortSize; ++p) {
+    auto patient = make_padova_patient(p);
+    patient->reset(120.0);
+    const double basal = patient->basal_rate_u_per_h();
+    patient->step(basal, 60.0);
+    EXPECT_NEAR(patient->bg(), 120.0, 1.0) << patient->name();
+  }
+}
+
+TEST(DallaMan, RejectsInfeasibleParameters) {
+  DallaManParams params;
+  params.name = "infeasible";
+  params.kp1 = 0.5;  // cannot sustain EGP for any positive insulin
+  EXPECT_THROW(DallaManPatient{params}, std::invalid_argument);
+}
+
+// --- CGM sensor -------------------------------------------------------------------
+
+TEST(CgmSensor, NoiseFreeByDefault) {
+  CgmSensor sensor;
+  EXPECT_DOUBLE_EQ(sensor.read(123.0, 5.0), 123.0);
+}
+
+TEST(CgmSensor, QuantizationRounds) {
+  CgmConfig config;
+  config.quantization_mg_dl = 5.0;
+  CgmSensor sensor(config);
+  EXPECT_DOUBLE_EQ(sensor.read(123.4, 5.0), 125.0);
+}
+
+TEST(CgmSensor, LagSmoothsSteps) {
+  CgmConfig config;
+  config.lag_min = 10.0;
+  config.quantization_mg_dl = 0.0;
+  CgmSensor sensor(config);
+  (void)sensor.read(100.0, 5.0);
+  const double after_jump = sensor.read(200.0, 5.0);
+  EXPECT_GT(after_jump, 100.0);
+  EXPECT_LT(after_jump, 200.0);
+}
+
+TEST(CgmSensor, NoiseIsDeterministicPerSeed) {
+  CgmConfig config;
+  config.noise_std_mg_dl = 5.0;
+  CgmSensor a(config, 7);
+  CgmSensor b(config, 7);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(a.read(120.0, 5.0), b.read(120.0, 5.0));
+  }
+}
+
+}  // namespace

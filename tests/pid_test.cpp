@@ -1,0 +1,135 @@
+// PID controller (extension) and the glucosym+pid stack.
+#include <gtest/gtest.h>
+
+#include "controller/pid.h"
+#include "controller/iob.h"
+#include "monitor/caw.h"
+#include "monitor/monitor.h"
+#include "sim/closed_loop.h"
+#include "sim/stack.h"
+
+namespace {
+
+using namespace aps::controller;
+
+PidConfig test_config() { return pid_config_for(1.0, 2.0); }
+
+TEST(Pid, BasalAtTarget) {
+  PidController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 120.0;
+  in.iob_u = 2.0;
+  EXPECT_NEAR(ctrl.decide_rate(in), 1.0, 1e-9);
+}
+
+TEST(Pid, ProportionalResponseDirection) {
+  PidController ctrl(test_config());
+  ControllerInput in;
+  in.iob_u = 2.0;
+  in.bg_mg_dl = 200.0;
+  const double high = ctrl.decide_rate(in);
+  ctrl.reset();
+  in.bg_mg_dl = 100.0;
+  const double low = ctrl.decide_rate(in);
+  EXPECT_GT(high, 1.0);
+  EXPECT_LT(low, 1.0);
+}
+
+TEST(Pid, IntegralAccumulatesUnderSustainedError) {
+  PidController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 180.0;
+  in.iob_u = 2.0;
+  const double first = ctrl.decide_rate(in);
+  double last = first;
+  for (int i = 0; i < 12; ++i) last = ctrl.decide_rate(in);
+  EXPECT_GT(last, first);  // integral ramps the correction
+  EXPECT_GT(ctrl.integral(), 0.0);
+}
+
+TEST(Pid, AntiWindupStopsIntegralAtSaturation) {
+  PidController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 400.0;  // deep saturation
+  in.iob_u = 2.0;
+  for (int i = 0; i < 50; ++i) (void)ctrl.decide_rate(in);
+  // Integral must stay bounded (<= one max-basal swing).
+  EXPECT_LE(ctrl.integral(), 4.0 + 1e-9);
+  // Output stays at the cap.
+  EXPECT_NEAR(ctrl.decide_rate(in), 4.0, 1e-9);
+}
+
+TEST(Pid, SuspendsWhenHypo) {
+  PidController ctrl(test_config());
+  ControllerInput in;
+  in.bg_mg_dl = 65.0;
+  EXPECT_DOUBLE_EQ(ctrl.decide_rate(in), 0.0);
+}
+
+TEST(Pid, InsulinFeedbackTempersDosing) {
+  PidController fresh(test_config());
+  ControllerInput low_iob;
+  low_iob.bg_mg_dl = 200.0;
+  low_iob.iob_u = 2.0;  // baseline
+  const double without_excess = fresh.decide_rate(low_iob);
+  PidController fresh2(test_config());
+  ControllerInput high_iob = low_iob;
+  high_iob.iob_u = 6.0;  // 4 U of correction already working
+  const double with_excess = fresh2.decide_rate(high_iob);
+  EXPECT_LT(with_excess, without_excess);
+}
+
+TEST(PidStack, ClosedLoopIsStableAndSafe) {
+  const auto stack = aps::sim::glucosym_pid_stack();
+  EXPECT_EQ(stack.name, "glucosym+pid");
+  for (int p = 0; p < stack.cohort_size; p += 3) {
+    const auto patient = stack.make_patient(p);
+    const auto controller = stack.make_controller(*patient);
+    aps::monitor::NullMonitor monitor;
+    aps::sim::SimConfig config;
+    config.initial_bg = 170.0;
+    const auto run = aps::sim::run_simulation(*patient, *controller, monitor,
+                                              config);
+    // The PID loop must settle the patient without a hazard.
+    EXPECT_FALSE(run.label.hazardous) << patient->name();
+    EXPECT_NEAR(run.steps.back().true_bg, 120.0, 35.0) << patient->name();
+  }
+}
+
+TEST(PidStack, MonitorFrameworkTransfersAcrossControllers) {
+  // The same Table I monitor logic wraps a PID loop: an overdose attack on
+  // the PID controller must still be caught and mitigated.
+  const auto stack = aps::sim::glucosym_pid_stack();
+  const auto patient = stack.make_patient(8);
+  const auto controller = stack.make_controller(*patient);
+
+  aps::sim::SimConfig config;
+  config.initial_bg = 120.0;
+  config.fault.type = aps::fi::FaultType::kMax;
+  config.fault.target = aps::fi::FaultTarget::kCommandRate;
+  config.fault.start_step = 30;
+  config.fault.duration_steps = 40;
+
+  aps::monitor::NullMonitor unprotected;
+  const auto bare =
+      aps::sim::run_simulation(*patient, *controller, unprotected, config);
+
+  aps::monitor::CawConfig caw;
+  caw.thresholds = aps::monitor::default_thresholds(
+      aps::controller::IobCalculator().steady_state_iob(
+          patient->basal_rate_u_per_h()));
+  aps::monitor::CawMonitor cawt(caw);
+  config.mitigation_enabled = true;
+  const auto guarded =
+      aps::sim::run_simulation(*patient, *controller, cawt, config);
+
+  double bare_min = 1e9, guarded_min = 1e9;
+  for (const auto& s : bare.steps) bare_min = std::min(bare_min, s.true_bg);
+  for (const auto& s : guarded.steps) {
+    guarded_min = std::min(guarded_min, s.true_bg);
+  }
+  EXPECT_TRUE(guarded.any_alarm());
+  EXPECT_GT(guarded_min, bare_min);
+}
+
+}  // namespace

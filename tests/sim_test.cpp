@@ -1,0 +1,180 @@
+// Closed-loop engine and campaign runner: determinism, fault visibility
+// boundaries, mitigation plumbing, parallel/serial equivalence.
+#include <gtest/gtest.h>
+
+#include "monitor/caw.h"
+#include "sim/runner.h"
+#include "sim/stack.h"
+
+namespace {
+
+using namespace aps::sim;
+
+SimConfig attack_config() {
+  SimConfig config;
+  config.initial_bg = 130.0;
+  config.fault.type = aps::fi::FaultType::kMax;
+  config.fault.target = aps::fi::FaultTarget::kCommandRate;
+  config.fault.start_step = 30;
+  config.fault.duration_steps = 24;
+  return config;
+}
+
+TEST(ClosedLoop, DeterministicAcrossRuns) {
+  const auto stack = glucosym_openaps_stack();
+  const auto patient = stack.make_patient(2);
+  const auto controller = stack.make_controller(*patient);
+  aps::monitor::NullMonitor monitor;
+  const auto a = run_simulation(*patient, *controller, monitor,
+                                attack_config());
+  const auto b = run_simulation(*patient, *controller, monitor,
+                                attack_config());
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (std::size_t k = 0; k < a.steps.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.steps[k].true_bg, b.steps[k].true_bg);
+    EXPECT_DOUBLE_EQ(a.steps[k].delivered_rate, b.steps[k].delivered_rate);
+  }
+}
+
+TEST(ClosedLoop, FaultOnlyActsInsideWindow) {
+  const auto stack = glucosym_openaps_stack();
+  const auto patient = stack.make_patient(2);
+  const auto controller = stack.make_controller(*patient);
+  aps::monitor::NullMonitor monitor;
+  const auto config = attack_config();
+  const auto run = run_simulation(*patient, *controller, monitor, config);
+  for (int k = 0; k < config.fault.start_step; ++k) {
+    const auto& rec = run.steps[static_cast<std::size_t>(k)];
+    EXPECT_DOUBLE_EQ(rec.commanded_rate, rec.delivered_rate);
+    EXPECT_DOUBLE_EQ(rec.cgm_bg, rec.ctrl_bg);  // glucose not targeted
+  }
+  // During the window the command is forced to the max rate.
+  const auto& during =
+      run.steps[static_cast<std::size_t>(config.fault.start_step + 2)];
+  const double max_rate = 4.0 * patient->basal_rate_u_per_h();
+  EXPECT_NEAR(during.commanded_rate, max_rate, 1e-9);
+}
+
+TEST(ClosedLoop, SensorFaultCorruptsControllerViewOnly) {
+  const auto stack = glucosym_openaps_stack();
+  const auto patient = stack.make_patient(1);
+  const auto controller = stack.make_controller(*patient);
+  aps::monitor::NullMonitor monitor;
+  SimConfig config;
+  config.fault.type = aps::fi::FaultType::kMax;
+  config.fault.target = aps::fi::FaultTarget::kSensorGlucose;
+  config.fault.start_step = 20;
+  config.fault.duration_steps = 10;
+  const auto run = run_simulation(*patient, *controller, monitor, config);
+  const auto& rec = run.steps[25];
+  EXPECT_DOUBLE_EQ(rec.ctrl_bg, 400.0);  // controller sees the attack
+  EXPECT_LT(rec.cgm_bg, 400.0);          // monitor sees the clean CGM
+  // Noise-free default differs from true BG only by CGM quantization.
+  EXPECT_NEAR(rec.cgm_bg, rec.true_bg, 0.51);
+}
+
+TEST(ClosedLoop, OverdoseAttackCausesHypoHazard) {
+  const auto stack = glucosym_openaps_stack();
+  const auto patient = stack.make_patient(8);  // insulin-sensitive
+  const auto controller = stack.make_controller(*patient);
+  aps::monitor::NullMonitor monitor;
+  auto config = attack_config();
+  config.fault.duration_steps = 40;
+  const auto run = run_simulation(*patient, *controller, monitor, config);
+  EXPECT_TRUE(run.label.hazardous);
+  EXPECT_EQ(run.label.type, aps::HazardType::kH1TooMuchInsulin);
+  EXPECT_GT(run.label.onset_step, config.fault.start_step);
+}
+
+TEST(ClosedLoop, MitigationOverridesDeliveredRateOnAlarm) {
+  const auto stack = glucosym_openaps_stack();
+  const auto patient = stack.make_patient(8);
+  const auto controller = stack.make_controller(*patient);
+
+  aps::monitor::CawConfig caw_config;
+  caw_config.thresholds = aps::monitor::default_thresholds(2.0);
+  aps::monitor::CawMonitor monitor(caw_config);
+
+  auto config = attack_config();
+  config.fault.duration_steps = 40;
+  config.mitigation_enabled = true;
+  const auto run = run_simulation(*patient, *controller, monitor, config);
+  bool overrode = false;
+  for (const auto& rec : run.steps) {
+    if (rec.alarm &&
+        rec.predicted == aps::HazardType::kH1TooMuchInsulin) {
+      EXPECT_DOUBLE_EQ(rec.delivered_rate, 0.0);
+      overrode = true;
+    }
+    if (!rec.alarm) {
+      EXPECT_DOUBLE_EQ(rec.delivered_rate, rec.commanded_rate);
+    }
+  }
+  EXPECT_TRUE(overrode);
+}
+
+TEST(ClosedLoop, AccessorsAreConsistent) {
+  const auto stack = glucosym_openaps_stack();
+  const auto patient = stack.make_patient(0);
+  const auto controller = stack.make_controller(*patient);
+  aps::monitor::NullMonitor monitor;
+  const auto run =
+      run_simulation(*patient, *controller, monitor, attack_config());
+  EXPECT_EQ(run.bg_trace().size(), run.steps.size());
+  EXPECT_EQ(run.first_alarm_step(), -1);
+  EXPECT_FALSE(run.any_alarm());
+}
+
+// --- Runner --------------------------------------------------------------------------
+
+TEST(Runner, ParallelMatchesSerial) {
+  const auto stack = glucosym_openaps_stack();
+  auto grid = aps::fi::CampaignGrid::quick();
+  grid.initial_bgs = {130.0};
+  const auto scenarios = aps::fi::enumerate_scenarios(grid);
+  const std::vector<int> patients = {1, 5};
+
+  const auto serial = run_campaign(stack, scenarios, null_monitor_factory(),
+                                   {}, nullptr, patients);
+  aps::ThreadPool pool(2);
+  const auto parallel = run_campaign(stack, scenarios, null_monitor_factory(),
+                                     {}, &pool, patients);
+  ASSERT_EQ(serial.by_patient.size(), parallel.by_patient.size());
+  for (std::size_t p = 0; p < serial.by_patient.size(); ++p) {
+    ASSERT_EQ(serial.by_patient[p].size(), parallel.by_patient[p].size());
+    for (std::size_t s = 0; s < serial.by_patient[p].size(); ++s) {
+      const auto& a = serial.by_patient[p][s];
+      const auto& b = parallel.by_patient[p][s];
+      ASSERT_EQ(a.steps.size(), b.steps.size());
+      for (std::size_t k = 0; k < a.steps.size(); ++k) {
+        ASSERT_DOUBLE_EQ(a.steps[k].true_bg, b.steps[k].true_bg);
+      }
+    }
+  }
+}
+
+TEST(Runner, CoversWholeCohortByDefault) {
+  const auto stack = glucosym_openaps_stack();
+  auto grid = aps::fi::CampaignGrid::quick();
+  grid.initial_bgs = {120.0};
+  grid.types = {aps::fi::FaultType::kMax};
+  const auto scenarios = aps::fi::enumerate_scenarios(grid);
+  const auto campaign =
+      run_campaign(stack, scenarios, null_monitor_factory());
+  EXPECT_EQ(campaign.by_patient.size(), 10u);
+  EXPECT_EQ(campaign.total_runs(), 10u * scenarios.size());
+  EXPECT_EQ(campaign.flat().size(), campaign.total_runs());
+}
+
+TEST(Stacks, BothProvideTenPatients) {
+  for (const auto& stack :
+       {glucosym_openaps_stack(), padova_basalbolus_stack()}) {
+    EXPECT_EQ(stack.cohort_size, 10);
+    const auto patient = stack.make_patient(0);
+    const auto controller = stack.make_controller(*patient);
+    EXPECT_GT(controller->basal_rate(), 0.0);
+    EXPECT_GT(controller->isf(), 0.0);
+  }
+}
+
+}  // namespace

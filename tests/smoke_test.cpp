@@ -1,0 +1,29 @@
+// Build-level smoke test: every library links and a closed-loop simulation
+// produces a physiologically sane trace.
+#include <gtest/gtest.h>
+
+#include "core/scs.h"
+#include "sim/runner.h"
+#include "sim/stack.h"
+
+TEST(Smoke, ClosedLoopRuns) {
+  const auto stack = aps::sim::glucosym_openaps_stack();
+  const auto patient = stack.make_patient(0);
+  const auto controller = stack.make_controller(*patient);
+  aps::monitor::NullMonitor monitor;
+  aps::sim::SimConfig config;
+  config.initial_bg = 140.0;
+  const auto result =
+      aps::sim::run_simulation(*patient, *controller, monitor, config);
+  ASSERT_EQ(result.steps.size(), 150u);
+  for (const auto& step : result.steps) {
+    EXPECT_GE(step.true_bg, 10.0);
+    EXPECT_LE(step.true_bg, 600.0);
+  }
+}
+
+TEST(Smoke, ScsHasTwelveRules) {
+  const auto scs = aps::core::aps_scs();
+  EXPECT_EQ(scs.ucas().size(), 12u);
+  EXPECT_FALSE(scs.free_parameters().empty());
+}
