@@ -1,0 +1,237 @@
+// Serving-path throughput: monitor cycles/sec through MonitorEngine as the
+// concurrent session count scales 1 -> 10,000, per monitor type. Every
+// monitor is built from a bundle that was saved to disk and loaded back —
+// the serving deployment path, no retraining.
+//
+// Flags:
+//   --sessions-max=<n>   largest session count (default 10000)
+//   --budget-ms=<ms>     measurement window per configuration (default 400)
+//   --threads=<n>        engine worker threads (default: hardware)
+//   --ml                 also bench DT/MLP/LSTM monitors (tiny synthetic
+//                        models; rule-based monitors are the default)
+//   --dir=<path>         where the bundle file is written (default /tmp)
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/monitor_factory.h"
+#include "io/artifact_io.h"
+#include "monitor/ml_monitor.h"
+#include "serve/engine.h"
+#include "sim/stack.h"
+
+namespace {
+
+using namespace aps;
+
+ml::Dataset synth_dataset(std::size_t n, std::uint64_t seed) {
+  ml::Dataset data;
+  data.classes = 2;
+  data.x = ml::Matrix(n, monitor::kMlFeatureCount);
+  data.y.resize(n);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double bg = rng.uniform(40.0, 320.0);
+    const double iob = rng.uniform(0.0, 10.0);
+    data.x.at(i, 0) = bg;
+    data.x.at(i, 1) = rng.uniform(-8.0, 8.0);
+    data.x.at(i, 2) = iob;
+    data.x.at(i, 3) = rng.uniform(-0.5, 0.5);
+    data.x.at(i, 4) = rng.uniform(0.0, 3.0);
+    data.x.at(i, 5) = static_cast<double>(rng.uniform_int(0, 3));
+    data.y[i] = (bg < 80.0 && iob > 4.0) || bg > 260.0 ? 1 : 0;
+  }
+  return data;
+}
+
+ml::SequenceDataset synth_sequences(std::size_t n, std::uint64_t seed) {
+  ml::SequenceDataset data;
+  data.classes = 2;
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    ml::Matrix window(monitor::kLstmWindow, monitor::kMlFeatureCount);
+    double bg = 120.0;
+    for (std::size_t t = 0; t < monitor::kLstmWindow; ++t) {
+      bg = rng.uniform(40.0, 320.0);
+      window.at(t, 0) = bg;
+      window.at(t, 1) = rng.uniform(-8.0, 8.0);
+      window.at(t, 2) = rng.uniform(0.0, 10.0);
+      window.at(t, 3) = rng.uniform(-0.5, 0.5);
+      window.at(t, 4) = rng.uniform(0.0, 3.0);
+      window.at(t, 5) = static_cast<double>(rng.uniform_int(0, 3));
+    }
+    data.sequences.push_back(std::move(window));
+    data.labels.push_back(bg > 260.0 || bg < 80.0 ? 1 : 0);
+  }
+  return data;
+}
+
+/// Artifact bundle from profile defaults — built once, persisted, and
+/// loaded back so the bench exercises the deployment path.
+core::ArtifactBundle build_bundle(bool with_ml) {
+  core::ArtifactBundle bundle;
+  const auto stack = sim::glucosym_openaps_stack();
+  auto& artifacts = bundle.artifacts;
+  artifacts.profiles = core::stack_profiles(stack);
+  double mean_ss_iob = 0.0;
+  for (const auto& profile : artifacts.profiles) {
+    artifacts.patient_thresholds.push_back(
+        monitor::default_thresholds(profile.steady_state_iob));
+    artifacts.guideline_configs.push_back({});
+    mean_ss_iob += profile.steady_state_iob;
+  }
+  mean_ss_iob /= static_cast<double>(artifacts.profiles.size());
+  artifacts.population_thresholds = monitor::default_thresholds(mean_ss_iob);
+
+  if (with_ml) {
+    ml::DecisionTree dt;
+    dt.fit(synth_dataset(2000, 1));
+    bundle.dt = std::make_shared<const ml::DecisionTree>(std::move(dt));
+
+    ml::MlpConfig mlp_config;
+    mlp_config.hidden_units = {16, 8};
+    mlp_config.max_epochs = 4;
+    ml::Mlp mlp(mlp_config);
+    mlp.fit(synth_dataset(1500, 2));
+    bundle.mlp = std::make_shared<const ml::Mlp>(std::move(mlp));
+
+    ml::LstmConfig lstm_config;
+    lstm_config.hidden_units = {8};
+    lstm_config.max_epochs = 2;
+    ml::Lstm lstm(lstm_config);
+    lstm.fit(synth_sequences(300, 3));
+    bundle.lstm = std::make_shared<const ml::Lstm>(std::move(lstm));
+  }
+  return bundle;
+}
+
+struct Measurement {
+  std::uint64_t cycles = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double cycles_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(cycles) / seconds : 0.0;
+  }
+};
+
+Measurement measure(serve::MonitorEngine& engine,
+                    std::vector<serve::SessionInput>& batch,
+                    const std::vector<monitor::Observation>& variants,
+                    double budget_ms) {
+  using clock = std::chrono::steady_clock;
+  // Warm-up pass (first LSTM windows, page-in).
+  (void)engine.feed(batch);
+
+  Measurement m;
+  std::size_t variant = 0;
+  const auto start = clock::now();
+  for (;;) {
+    // Rotate the observation so the monitors see a changing stream.
+    const auto& obs = variants[variant];
+    variant = (variant + 1) % variants.size();
+    for (auto& input : batch) input.obs = obs;
+    (void)engine.feed(batch);
+    m.cycles += batch.size();
+    m.seconds = std::chrono::duration<double>(clock::now() - start).count();
+    if (m.seconds * 1000.0 >= budget_ms) break;
+  }
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  CliFlags flags(argc, argv);
+  const int sessions_max = flags.get_int("sessions-max", 10000);
+  const double budget_ms = flags.get_double("budget-ms", 400.0);
+  const auto threads =
+      static_cast<std::size_t>(flags.get_int("threads", 0));
+  const bool with_ml = flags.get_bool("ml", false);
+  const std::string dir = flags.get_string(
+      "dir", (std::filesystem::temp_directory_path() / "aps_serve_bench")
+                 .string());
+
+  std::filesystem::create_directories(dir);
+  const std::string bundle_path = dir + "/bundle.aps";
+  io::save_bundle(build_bundle(with_ml), bundle_path);
+  const core::ArtifactBundle bundle = io::load_bundle(bundle_path);
+  const int cohort = static_cast<int>(bundle.artifacts.profiles.size());
+
+  std::printf("== serve_throughput ==\n");
+  std::printf("bundle: %s (%ju bytes), cohort %d, %s models\n",
+              bundle_path.c_str(),
+              static_cast<std::uintmax_t>(
+                  std::filesystem::file_size(bundle_path)),
+              cohort, with_ml ? "rule+ML" : "rule-based");
+
+  std::vector<std::string> monitors = {"cawt", "cawot", "guideline"};
+  if (with_ml) {
+    monitors.emplace_back("dt");
+    monitors.emplace_back("mlp");
+    monitors.emplace_back("lstm");
+  }
+  std::vector<int> session_counts;
+  for (const int n : {1, 10, 100, 1000, 10000}) {
+    if (n <= sessions_max) session_counts.push_back(n);
+  }
+
+  // A handful of observation variants covering quiet and alarming contexts.
+  std::vector<monitor::Observation> variants;
+  Rng rng(7);
+  for (int i = 0; i < 16; ++i) {
+    monitor::Observation obs;
+    obs.time_min = 5.0 * i;
+    obs.bg = rng.uniform(50.0, 300.0);
+    obs.bg_rate = rng.uniform(-6.0, 6.0);
+    obs.iob = rng.uniform(0.0, 8.0);
+    obs.iob_rate = rng.uniform(-0.4, 0.4);
+    obs.commanded_rate = rng.uniform(0.0, 3.0);
+    obs.previous_rate = rng.uniform(0.0, 3.0);
+    obs.action = static_cast<ControlAction>(rng.uniform_int(0, 3));
+    obs.basal_rate = 1.0;
+    obs.isf = 40.0;
+    variants.push_back(obs);
+  }
+
+  TextTable table({"monitor", "sessions", "cycles", "secs", "cycles/sec"});
+  double rule_based_at_max = 0.0;
+  int max_sessions_run = 0;
+
+  for (const auto& name : monitors) {
+    for (const int n : session_counts) {
+      serve::MonitorEngine engine({.threads = threads});
+      engine.register_bundle(bundle);
+      std::vector<serve::SessionInput> batch;
+      batch.reserve(static_cast<std::size_t>(n));
+      for (int s = 0; s < n; ++s) {
+        const auto id = engine.open_session(
+            name + "/patient-" + std::to_string(s), name, s % cohort);
+        batch.push_back({id, variants[0]});
+      }
+      const Measurement m = measure(engine, batch, variants, budget_ms);
+      table.add_row({name, std::to_string(n), std::to_string(m.cycles),
+                     TextTable::num(m.seconds, 3),
+                     TextTable::num(m.cycles_per_sec(), 0)});
+      if (name == "cawt" && n >= max_sessions_run) {
+        max_sessions_run = n;
+        rule_based_at_max = m.cycles_per_sec();
+      }
+    }
+  }
+
+  table.print(std::cout);
+  std::printf(
+      "\nrule-based (cawt) aggregate at %d concurrent sessions: %.0f "
+      "cycles/sec (target >= 100000): %s\n",
+      max_sessions_run, rule_based_at_max,
+      rule_based_at_max >= 100000.0 ? "PASS" : "FAIL");
+  return rule_based_at_max >= 100000.0 ? 0 : 1;
+} catch (const std::exception& e) {
+  std::fprintf(stderr, "error: %s\n", e.what());
+  return 1;
+}

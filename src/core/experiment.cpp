@@ -111,4 +111,15 @@ aps::sim::MonitorFactory monitor_factory_by_name(
   throw std::invalid_argument("unknown monitor '" + name + "'");
 }
 
+ArtifactBundle bundle_from_context(const ExperimentContext& context) {
+  ArtifactBundle bundle;
+  bundle.artifacts = context.artifacts;
+  bundle.dt = context.dt;
+  bundle.mlp = context.mlp;
+  bundle.lstm = context.lstm;
+  bundle.ml_classes = context.config.ml_data.classes;
+  bundle.lstm_classes = context.config.lstm_data.classes;
+  return bundle;
+}
+
 }  // namespace aps::core

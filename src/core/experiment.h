@@ -75,4 +75,9 @@ void train_ml_baselines(ExperimentContext& context);
 [[nodiscard]] aps::sim::MonitorFactory monitor_factory_by_name(
     const ExperimentContext& context, const std::string& name);
 
+/// Package the context's learned artifacts + trained models for
+/// persistence (io::save_bundle) and serving (serve::MonitorEngine).
+[[nodiscard]] ArtifactBundle bundle_from_context(
+    const ExperimentContext& context);
+
 }  // namespace aps::core

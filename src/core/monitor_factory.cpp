@@ -1,6 +1,7 @@
 #include "core/monitor_factory.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "common/stats.h"
 #include "controller/iob.h"
@@ -57,11 +58,15 @@ std::vector<PatientProfile> stack_profiles(const aps::sim::Stack& stack) {
 
 aps::sim::MonitorFactory cawot_factory(const aps::sim::Stack& stack,
                                        double target_bg) {
-  auto profiles = std::make_shared<const std::vector<PatientProfile>>(
-      stack_profiles(stack));
-  return [profiles, target_bg](int patient_index) {
-    const auto& profile =
-        (*profiles)[static_cast<std::size_t>(patient_index)];
+  return cawot_factory(stack_profiles(stack), target_bg);
+}
+
+aps::sim::MonitorFactory cawot_factory(std::vector<PatientProfile> profiles,
+                                       double target_bg) {
+  auto shared = std::make_shared<const std::vector<PatientProfile>>(
+      std::move(profiles));
+  return [shared, target_bg](int patient_index) {
+    const auto& profile = shared->at(static_cast<std::size_t>(patient_index));
     aps::monitor::CawConfig config;
     config.target_bg = target_bg;
     config.thresholds =
@@ -140,7 +145,7 @@ aps::sim::MonitorFactory cawt_factory(const TrainingArtifacts& artifacts) {
     aps::monitor::CawConfig config;
     config.target_bg = target_bg;
     config.thresholds =
-        (*thresholds)[static_cast<std::size_t>(patient_index)];
+        thresholds->at(static_cast<std::size_t>(patient_index));
     config.name = "cawt";
     return std::make_unique<aps::monitor::CawMonitor>(config);
   };
@@ -167,7 +172,7 @@ aps::sim::MonitorFactory guideline_factory(
           artifacts.guideline_configs);
   return [configs](int patient_index) {
     return std::make_unique<aps::monitor::GuidelineMonitor>(
-        (*configs)[static_cast<std::size_t>(patient_index)]);
+        configs->at(static_cast<std::size_t>(patient_index)));
   };
 }
 
@@ -267,6 +272,49 @@ aps::sim::MonitorFactory lstm_factory(
   return [model, classes](int) {
     return std::make_unique<aps::monitor::LstmMonitor>(model, classes);
   };
+}
+
+std::vector<std::string> bundle_monitor_names(const ArtifactBundle& bundle) {
+  std::vector<std::string> names = {"none",  "guideline",      "mpc",
+                                    "cawot", "cawt",           "cawt-population"};
+  if (bundle.dt != nullptr) names.emplace_back("dt");
+  if (bundle.mlp != nullptr) names.emplace_back("mlp");
+  if (bundle.lstm != nullptr) names.emplace_back("lstm");
+  return names;
+}
+
+aps::sim::MonitorFactory factory_from_bundle(const ArtifactBundle& bundle,
+                                             const std::string& name) {
+  if (name == "none") return aps::sim::null_monitor_factory();
+  if (name == "guideline") return guideline_factory(bundle.artifacts);
+  if (name == "mpc") return mpc_factory();
+  if (name == "cawot") {
+    return cawot_factory(bundle.artifacts.profiles,
+                         bundle.artifacts.target_bg);
+  }
+  if (name == "cawt") return cawt_factory(bundle.artifacts);
+  if (name == "cawt-population") {
+    return cawt_population_factory(bundle.artifacts);
+  }
+  if (name == "dt") {
+    if (bundle.dt == nullptr) {
+      throw std::runtime_error("bundle has no decision-tree model");
+    }
+    return dt_factory(bundle.dt, bundle.ml_classes);
+  }
+  if (name == "mlp") {
+    if (bundle.mlp == nullptr) {
+      throw std::runtime_error("bundle has no MLP model");
+    }
+    return mlp_factory(bundle.mlp, bundle.ml_classes);
+  }
+  if (name == "lstm") {
+    if (bundle.lstm == nullptr) {
+      throw std::runtime_error("bundle has no LSTM model");
+    }
+    return lstm_factory(bundle.lstm, bundle.lstm_classes);
+  }
+  throw std::invalid_argument("unknown monitor '" + name + "'");
 }
 
 }  // namespace aps::core

@@ -30,6 +30,12 @@ namespace aps::core {
 [[nodiscard]] aps::sim::MonitorFactory cawot_factory(
     const aps::sim::Stack& stack, double target_bg = 120.0);
 
+struct PatientProfile;
+/// CAWOT from pre-extracted profiles (no live stack needed — the serving
+/// path builds it from persisted artifacts).
+[[nodiscard]] aps::sim::MonitorFactory cawot_factory(
+    std::vector<PatientProfile> profiles, double target_bg = 120.0);
+
 /// MPC monitor factory (population model; same config for every patient).
 [[nodiscard]] aps::sim::MonitorFactory mpc_factory(
     aps::monitor::MpcConfig config = {});
@@ -107,5 +113,33 @@ struct FlatCampaign {
     std::shared_ptr<const aps::ml::Mlp> model, int classes);
 [[nodiscard]] aps::sim::MonitorFactory lstm_factory(
     std::shared_ptr<const aps::ml::Lstm> model, int classes);
+
+// ---- Serving bundle ---------------------------------------------------------
+
+/// Everything a serving process needs to stand up any of the paper's
+/// monitors without retraining: the learned thresholds/percentiles plus
+/// the (optional) trained ML models. The models are shared immutable state:
+/// every session monitor cloned from a bundle-backed factory holds the same
+/// shared_ptr, so N sessions cost one copy of the weights.
+struct ArtifactBundle {
+  TrainingArtifacts artifacts;
+  std::shared_ptr<const aps::ml::DecisionTree> dt;  ///< may be null
+  std::shared_ptr<const aps::ml::Mlp> mlp;          ///< may be null
+  std::shared_ptr<const aps::ml::Lstm> lstm;        ///< may be null
+  int ml_classes = 2;    ///< label space of dt/mlp
+  int lstm_classes = 2;  ///< label space of lstm
+};
+
+/// Monitor names constructible from this bundle (subset of the Table V/VI
+/// line-up depending on which models are present).
+[[nodiscard]] std::vector<std::string> bundle_monitor_names(
+    const ArtifactBundle& bundle);
+
+/// Construct any named monitor ("none", "guideline", "mpc", "cawot",
+/// "cawt", "cawt-population", "dt", "mlp", "lstm") from the bundle.
+/// Throws std::invalid_argument for unknown names and std::runtime_error
+/// when the requested model is absent from the bundle.
+[[nodiscard]] aps::sim::MonitorFactory factory_from_bundle(
+    const ArtifactBundle& bundle, const std::string& name);
 
 }  // namespace aps::core

@@ -1,0 +1,59 @@
+// Save/load round-trips for every trained monitor artifact: the CART tree,
+// MLP and LSTM weights, the learned STL/CAWT thresholds + guideline
+// percentiles (core::TrainingArtifacts), and the all-in-one ArtifactBundle
+// a serving process loads instead of retraining. Loaded models reproduce
+// the in-memory originals bit-for-bit: weights are written as raw IEEE
+// doubles, so a monitor built from a loaded model emits an identical
+// Decision stream.
+#pragma once
+
+#include <string>
+
+#include "core/monitor_factory.h"
+#include "io/serial.h"
+#include "ml/decision_tree.h"
+#include "ml/lstm.h"
+#include "ml/mlp.h"
+
+namespace aps::io {
+
+// Stream-level encoders (no header) — used to embed artifacts in a bundle.
+void write_decision_tree(BinaryWriter& out, const aps::ml::DecisionTree& tree);
+[[nodiscard]] aps::ml::DecisionTree read_decision_tree(BinaryReader& in);
+
+void write_mlp(BinaryWriter& out, const aps::ml::Mlp& mlp);
+[[nodiscard]] aps::ml::Mlp read_mlp(BinaryReader& in);
+
+void write_lstm(BinaryWriter& out, const aps::ml::Lstm& lstm);
+[[nodiscard]] aps::ml::Lstm read_lstm(BinaryReader& in);
+
+void write_training_artifacts(BinaryWriter& out,
+                              const aps::core::TrainingArtifacts& artifacts);
+[[nodiscard]] aps::core::TrainingArtifacts read_training_artifacts(
+    BinaryReader& in);
+
+// File-level save/load with the versioned header; all throw IoError on
+// open/format/truncation problems.
+void save_decision_tree(const aps::ml::DecisionTree& tree,
+                        const std::string& path);
+[[nodiscard]] aps::ml::DecisionTree load_decision_tree(
+    const std::string& path);
+
+void save_mlp(const aps::ml::Mlp& mlp, const std::string& path);
+[[nodiscard]] aps::ml::Mlp load_mlp(const std::string& path);
+
+void save_lstm(const aps::ml::Lstm& lstm, const std::string& path);
+[[nodiscard]] aps::ml::Lstm load_lstm(const std::string& path);
+
+void save_training_artifacts(const aps::core::TrainingArtifacts& artifacts,
+                             const std::string& path);
+[[nodiscard]] aps::core::TrainingArtifacts load_training_artifacts(
+    const std::string& path);
+
+/// One self-contained file holding the thresholds plus whichever models
+/// the bundle carries (absent models load back as null pointers).
+void save_bundle(const aps::core::ArtifactBundle& bundle,
+                 const std::string& path);
+[[nodiscard]] aps::core::ArtifactBundle load_bundle(const std::string& path);
+
+}  // namespace aps::io

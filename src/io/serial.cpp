@@ -1,0 +1,185 @@
+#include "io/serial.h"
+
+#include <cstring>
+
+namespace aps::io {
+
+namespace {
+
+// Hard ceilings for length fields; anything above these in a header is a
+// corrupt or hostile file, not a real artifact.
+constexpr std::uint64_t kMaxStringLen = 1u << 20;       // 1 MiB
+constexpr std::uint64_t kMaxElementCount = 1u << 28;    // 256M doubles
+
+}  // namespace
+
+std::string artifact_kind_name(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kDecisionTree: return "decision-tree";
+    case ArtifactKind::kMlp: return "mlp";
+    case ArtifactKind::kLstm: return "lstm";
+    case ArtifactKind::kTrainingArtifacts: return "training-artifacts";
+    case ArtifactKind::kBundle: return "bundle";
+  }
+  return "unknown(" + std::to_string(static_cast<std::uint32_t>(kind)) + ")";
+}
+
+// ---- BinaryWriter ----------------------------------------------------------
+
+BinaryWriter::BinaryWriter(const std::string& path)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw IoError("cannot open '" + path + "' for writing");
+  }
+}
+
+void BinaryWriter::raw(const void* data, std::size_t n) {
+  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
+  if (!out_) {
+    throw IoError("write failure on '" + path_ + "'");
+  }
+}
+
+void BinaryWriter::u8(std::uint8_t v) { raw(&v, sizeof v); }
+void BinaryWriter::u32(std::uint32_t v) { raw(&v, sizeof v); }
+void BinaryWriter::u64(std::uint64_t v) { raw(&v, sizeof v); }
+void BinaryWriter::i32(std::int32_t v) { raw(&v, sizeof v); }
+void BinaryWriter::f64(double v) { raw(&v, sizeof v); }
+
+void BinaryWriter::str(const std::string& s) {
+  u64(s.size());
+  if (!s.empty()) raw(s.data(), s.size());
+}
+
+void BinaryWriter::vec_f64(const std::vector<double>& v) {
+  u64(v.size());
+  if (!v.empty()) raw(v.data(), v.size() * sizeof(double));
+}
+
+void BinaryWriter::map_f64(const std::map<std::string, double>& m) {
+  u64(m.size());
+  for (const auto& [key, value] : m) {
+    str(key);
+    f64(value);
+  }
+}
+
+void BinaryWriter::finish() {
+  out_.flush();
+  if (!out_) {
+    throw IoError("flush failure on '" + path_ + "'");
+  }
+}
+
+// ---- BinaryReader ----------------------------------------------------------
+
+BinaryReader::BinaryReader(const std::string& path)
+    : path_(path), in_(path, std::ios::binary) {
+  if (!in_) {
+    throw IoError("cannot open '" + path + "' for reading");
+  }
+}
+
+void BinaryReader::raw(void* data, std::size_t n) {
+  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (in_.gcount() != static_cast<std::streamsize>(n)) {
+    throw IoError("truncated artifact: unexpected end of file in '" + path_ +
+                  "'");
+  }
+}
+
+std::uint64_t BinaryReader::checked_count(std::uint64_t limit,
+                                          const char* what) {
+  const std::uint64_t n = u64();
+  if (n > limit) {
+    throw IoError("corrupt artifact: implausible " + std::string(what) +
+                  " count " + std::to_string(n) + " in '" + path_ + "'");
+  }
+  return n;
+}
+
+std::uint8_t BinaryReader::u8() {
+  std::uint8_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::uint32_t BinaryReader::u32() {
+  std::uint32_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::uint64_t BinaryReader::u64() {
+  std::uint64_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::int32_t BinaryReader::i32() {
+  std::int32_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+
+double BinaryReader::f64() {
+  double v = 0.0;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::string BinaryReader::str() {
+  const std::uint64_t n = checked_count(kMaxStringLen, "string length");
+  std::string s(n, '\0');
+  if (n > 0) raw(s.data(), n);
+  return s;
+}
+
+std::vector<double> BinaryReader::vec_f64() {
+  const std::uint64_t n = checked_count(kMaxElementCount, "element");
+  std::vector<double> v(n);
+  if (n > 0) raw(v.data(), n * sizeof(double));
+  return v;
+}
+
+std::map<std::string, double> BinaryReader::map_f64() {
+  const std::uint64_t n = checked_count(kMaxElementCount, "map entry");
+  std::map<std::string, double> m;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string key = str();
+    const double value = f64();
+    m.emplace(std::move(key), value);
+  }
+  return m;
+}
+
+// ---- Header ----------------------------------------------------------------
+
+void write_header(BinaryWriter& out, ArtifactKind kind) {
+  out.u32(kMagic);
+  out.u32(kFormatVersion);
+  out.u32(static_cast<std::uint32_t>(kind));
+}
+
+void read_header(BinaryReader& in, ArtifactKind expected) {
+  const std::uint32_t magic = in.u32();
+  if (magic != kMagic) {
+    throw IoError("'" + in.path() +
+                  "' is not an APS artifact (bad magic number)");
+  }
+  const std::uint32_t version = in.u32();
+  if (version != kFormatVersion) {
+    throw IoError("unsupported artifact format version " +
+                  std::to_string(version) + " in '" + in.path() +
+                  "' (this build reads version " +
+                  std::to_string(kFormatVersion) + ")");
+  }
+  const auto kind = static_cast<ArtifactKind>(in.u32());
+  if (kind != expected) {
+    throw IoError("artifact kind mismatch in '" + in.path() + "': found " +
+                  artifact_kind_name(kind) + ", expected " +
+                  artifact_kind_name(expected));
+  }
+}
+
+}  // namespace aps::io

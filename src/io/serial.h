@@ -1,0 +1,94 @@
+// Versioned binary serialization primitives for persisted monitor
+// artifacts. Fixed-width little-endian (native x86-64) encoding behind a
+// small writer/reader pair; every artifact file starts with a common
+// header (magic, format version, artifact kind) so loads fail fast with a
+// clear error instead of misinterpreting bytes.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace aps::io {
+
+/// Thrown on any open/read/write/format failure, with the offending path
+/// and a human-readable reason in what().
+class IoError : public std::runtime_error {
+ public:
+  explicit IoError(const std::string& what) : std::runtime_error(what) {}
+};
+
+inline constexpr std::uint32_t kMagic = 0x4150534Du;  // "APSM"
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+enum class ArtifactKind : std::uint32_t {
+  kDecisionTree = 1,
+  kMlp = 2,
+  kLstm = 3,
+  kTrainingArtifacts = 4,
+  kBundle = 5,
+};
+
+[[nodiscard]] std::string artifact_kind_name(ArtifactKind kind);
+
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(const std::string& path);
+
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v);
+  void f64(double v);
+  void str(const std::string& s);
+  void vec_f64(const std::vector<double>& v);
+  void map_f64(const std::map<std::string, double>& m);
+
+  /// Flush and verify the stream; throws IoError on write failure.
+  void finish();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void raw(const void* data, std::size_t n);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(const std::string& path);
+
+  [[nodiscard]] std::uint8_t u8();
+  [[nodiscard]] std::uint32_t u32();
+  [[nodiscard]] std::uint64_t u64();
+  [[nodiscard]] std::int32_t i32();
+  [[nodiscard]] double f64();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] std::vector<double> vec_f64();
+  [[nodiscard]] std::map<std::string, double> map_f64();
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  void raw(void* data, std::size_t n);
+  /// Reject absurd element counts from corrupt files before allocating.
+  [[nodiscard]] std::uint64_t checked_count(std::uint64_t limit,
+                                            const char* what);
+
+  std::string path_;
+  std::ifstream in_;
+};
+
+/// Write the common artifact header.
+void write_header(BinaryWriter& out, ArtifactKind kind);
+
+/// Validate magic / version / kind; throws IoError with a specific message
+/// for each mismatch.
+void read_header(BinaryReader& in, ArtifactKind expected);
+
+}  // namespace aps::io

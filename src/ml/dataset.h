@@ -9,6 +9,10 @@
 
 #include "ml/matrix.h"
 
+namespace aps::io {
+struct ModelSerde;  // binary save/load (src/io/artifact_io.cpp)
+}
+
 namespace aps::ml {
 
 /// Classification dataset: features x[i] (row) with integer label y[i].
@@ -39,6 +43,8 @@ class Standardizer {
   [[nodiscard]] const std::vector<double>& std() const { return std_; }
 
  private:
+  friend struct aps::io::ModelSerde;
+
   std::vector<double> mean_;
   std::vector<double> std_;
 };

@@ -10,6 +10,10 @@
 
 #include "ml/dataset.h"
 
+namespace aps::io {
+struct ModelSerde;  // binary save/load (src/io/artifact_io.cpp)
+}
+
 namespace aps::ml {
 
 struct DecisionTreeConfig {
@@ -35,6 +39,8 @@ class DecisionTree {
   [[nodiscard]] int depth() const { return depth_; }
 
  private:
+  friend struct aps::io::ModelSerde;
+
   struct Node {
     bool is_leaf = true;
     std::size_t feature = 0;

@@ -14,6 +14,10 @@
 #include "ml/dataset.h"
 #include "ml/matrix.h"
 
+namespace aps::io {
+struct ModelSerde;  // binary save/load (src/io/artifact_io.cpp)
+}
+
 namespace aps::ml {
 
 /// Window dataset: each sample is a (steps x features) matrix plus a label.
@@ -60,6 +64,8 @@ class Lstm {
   [[nodiscard]] const LstmConfig& config() const { return config_; }
 
  private:
+  friend struct aps::io::ModelSerde;
+
   struct Layer {
     Matrix w;  ///< input -> gates (in x 4H), gate order [i f g o]
     Matrix u;  ///< hidden -> gates (H x 4H)

@@ -14,6 +14,10 @@
 #include "ml/dataset.h"
 #include "ml/matrix.h"
 
+namespace aps::io {
+struct ModelSerde;  // binary save/load (src/io/artifact_io.cpp)
+}
+
 namespace aps::ml {
 
 struct MlpConfig {
@@ -47,6 +51,8 @@ class Mlp {
   [[nodiscard]] std::size_t parameter_count() const;
 
  private:
+  friend struct aps::io::ModelSerde;
+
   struct ForwardCache {
     std::vector<Matrix> activations;  ///< activations[0] = input batch
     std::vector<Matrix> masks;        ///< dropout masks per hidden layer

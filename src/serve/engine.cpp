@@ -1,0 +1,191 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace aps::serve {
+
+MonitorEngine::MonitorEngine(EngineConfig config)
+    : config_(config), pool_(config.threads) {}
+
+void MonitorEngine::register_monitor(const std::string& name,
+                                     aps::sim::MonitorFactory factory) {
+  if (factory == nullptr) {
+    throw std::invalid_argument("null factory for monitor '" + name + "'");
+  }
+  monitors_[name] = std::move(factory);
+}
+
+void MonitorEngine::register_bundle(const aps::core::ArtifactBundle& bundle) {
+  for (const auto& name : aps::core::bundle_monitor_names(bundle)) {
+    register_monitor(name, aps::core::factory_from_bundle(bundle, name));
+  }
+}
+
+std::vector<std::string> MonitorEngine::registered_monitors() const {
+  std::vector<std::string> names;
+  names.reserve(monitors_.size());
+  for (const auto& [name, factory] : monitors_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+SessionId MonitorEngine::place_session(Session session) {
+  SessionId id = 0;
+  if (!free_ids_.empty()) {
+    id = free_ids_.back();
+    free_ids_.pop_back();
+    sessions_[id] = std::move(session);
+  } else {
+    id = static_cast<SessionId>(sessions_.size());
+    sessions_.push_back(std::move(session));
+  }
+  by_patient_.emplace(sessions_[id].patient_id, id);
+  ++open_count_;
+  return id;
+}
+
+SessionId MonitorEngine::open_session(const std::string& patient_id,
+                                      const std::string& monitor_name,
+                                      int patient_index) {
+  if (by_patient_.count(patient_id) != 0) {
+    throw std::invalid_argument("patient '" + patient_id +
+                                "' already has an open session");
+  }
+  const auto it = monitors_.find(monitor_name);
+  if (it == monitors_.end()) {
+    throw std::invalid_argument("unknown monitor '" + monitor_name +
+                                "' (register it first)");
+  }
+  Session session;
+  session.patient_id = patient_id;
+  session.monitor_name = monitor_name;
+  session.patient_index = patient_index;
+  session.monitor = it->second(patient_index);
+  session.open = true;
+  return place_session(std::move(session));
+}
+
+MonitorEngine::Session& MonitorEngine::checked_session(SessionId id) {
+  if (id >= sessions_.size() || !sessions_[id].open) {
+    throw std::out_of_range("no open session with id " + std::to_string(id));
+  }
+  return sessions_[id];
+}
+
+const MonitorEngine::Session& MonitorEngine::checked_session(
+    SessionId id) const {
+  if (id >= sessions_.size() || !sessions_[id].open) {
+    throw std::out_of_range("no open session with id " + std::to_string(id));
+  }
+  return sessions_[id];
+}
+
+void MonitorEngine::close_session(SessionId id) {
+  Session& session = checked_session(id);
+  by_patient_.erase(session.patient_id);
+  session = Session{};  // releases the monitor
+  free_ids_.push_back(id);
+  --open_count_;
+}
+
+std::optional<SessionId> MonitorEngine::find_session(
+    const std::string& patient_id) const {
+  const auto it = by_patient_.find(patient_id);
+  if (it == by_patient_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<aps::monitor::Decision> MonitorEngine::feed(
+    std::span<const SessionInput> inputs) {
+  std::vector<aps::monitor::Decision> decisions(inputs.size());
+  if (inputs.empty()) return decisions;
+
+  // Validate up front so the parallel section cannot throw.
+  for (const auto& input : inputs) (void)checked_session(input.session);
+
+  // Partition the batch into per-session groups, preserving batch order
+  // within each session. A session appears in exactly one group, so each
+  // group is an independent serial unit of work.
+  order_.resize(inputs.size());
+  for (std::uint32_t i = 0; i < inputs.size(); ++i) order_[i] = i;
+  std::stable_sort(order_.begin(), order_.end(),
+                   [&inputs](std::uint32_t a, std::uint32_t b) {
+                     return inputs[a].session < inputs[b].session;
+                   });
+  groups_.clear();
+  for (std::uint32_t lo = 0; lo < order_.size();) {
+    std::uint32_t hi = lo + 1;
+    const SessionId session = inputs[order_[lo]].session;
+    while (hi < order_.size() && inputs[order_[hi]].session == session) ++hi;
+    groups_.emplace_back(lo, hi);
+    lo = hi;
+  }
+
+  pool_.parallel_for(groups_.size(), [this, inputs,
+                                      &decisions](std::size_t g) {
+    const auto [lo, hi] = groups_[g];
+    Session& session = sessions_[inputs[order_[lo]].session];
+    for (std::uint32_t k = lo; k < hi; ++k) {
+      const std::uint32_t idx = order_[k];
+      const aps::monitor::Decision decision =
+          session.monitor->observe(inputs[idx].obs);
+      decisions[idx] = decision;
+      ++session.stats.cycles;
+      if (decision.alarm) ++session.stats.alarms;
+    }
+  });
+
+  total_cycles_ += inputs.size();
+  return decisions;
+}
+
+aps::monitor::Decision MonitorEngine::feed_one(
+    SessionId id, const aps::monitor::Observation& obs) {
+  Session& session = checked_session(id);
+  const aps::monitor::Decision decision = session.monitor->observe(obs);
+  ++session.stats.cycles;
+  if (decision.alarm) ++session.stats.alarms;
+  ++total_cycles_;
+  return decision;
+}
+
+void MonitorEngine::reset_session(SessionId id) {
+  checked_session(id).monitor->reset();
+}
+
+SessionSnapshot MonitorEngine::snapshot(SessionId id) const {
+  const Session& session = checked_session(id);
+  SessionSnapshot snap;
+  snap.patient_id = session.patient_id;
+  snap.monitor_name = session.monitor_name;
+  snap.patient_index = session.patient_index;
+  snap.stats = session.stats;
+  snap.monitor = session.monitor->clone();
+  return snap;
+}
+
+SessionId MonitorEngine::restore(const SessionSnapshot& snap) {
+  if (snap.monitor == nullptr) {
+    throw std::invalid_argument("cannot restore an empty snapshot");
+  }
+  if (by_patient_.count(snap.patient_id) != 0) {
+    throw std::invalid_argument("patient '" + snap.patient_id +
+                                "' already has an open session");
+  }
+  Session session;
+  session.patient_id = snap.patient_id;
+  session.monitor_name = snap.monitor_name;
+  session.patient_index = snap.patient_index;
+  session.stats = snap.stats;
+  session.monitor = snap.monitor->clone();
+  session.open = true;
+  return place_session(std::move(session));
+}
+
+SessionStats MonitorEngine::stats(SessionId id) const {
+  return checked_session(id).stats;
+}
+
+}  // namespace aps::serve

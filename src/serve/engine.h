@@ -1,0 +1,148 @@
+// Monitor serving engine: multiplexes thousands of independent per-patient
+// streaming sessions across the shared ThreadPool.
+//
+// Each session owns one Monitor instance (cloned from a registered
+// factory) plus its observation-window state; the trained models behind
+// the ML monitors are shared immutable storage (shared_ptr<const ...>), so
+// ten thousand sessions cost one copy of the weights. A batched feed()
+// partitions the inputs by session, runs each session's inputs in batch
+// order on one worker, and writes decisions back by input index — output
+// is therefore deterministic and identical to running every session
+// sequentially, regardless of thread scheduling.
+//
+// Thread model: feed() parallelizes internally; the engine's public API
+// itself is externally synchronized (one driver thread opens/closes
+// sessions and submits batches, as a network frontend's event loop would).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/monitor_factory.h"
+#include "monitor/monitor.h"
+#include "sim/runner.h"
+
+namespace aps::serve {
+
+using SessionId = std::uint32_t;
+
+/// One streaming step for one session.
+struct SessionInput {
+  SessionId session = 0;
+  aps::monitor::Observation obs;
+};
+
+struct SessionStats {
+  std::uint64_t cycles = 0;
+  std::uint64_t alarms = 0;
+};
+
+/// Point-in-time copy of a session, including the monitor's internal
+/// observation state (LSTM window, guideline recovery counters). Restoring
+/// it — in this engine or a fresh one — continues the stream exactly where
+/// the snapshot was taken.
+struct SessionSnapshot {
+  std::string patient_id;
+  std::string monitor_name;
+  int patient_index = 0;
+  SessionStats stats;
+  std::unique_ptr<aps::monitor::Monitor> monitor;
+};
+
+struct EngineConfig {
+  /// Worker threads for batched feeds; 0 = hardware concurrency.
+  std::size_t threads = 0;
+};
+
+class MonitorEngine {
+ public:
+  explicit MonitorEngine(EngineConfig config = {});
+
+  // -- Monitor registry --
+
+  /// Register a named monitor prototype. Replaces an existing name.
+  void register_monitor(const std::string& name,
+                        aps::sim::MonitorFactory factory);
+  /// Register every monitor constructible from the bundle under its
+  /// standard name ("guideline", "cawt", "dt", ...).
+  void register_bundle(const aps::core::ArtifactBundle& bundle);
+  [[nodiscard]] std::vector<std::string> registered_monitors() const;
+
+  // -- Session registry (keyed by patient id) --
+
+  /// Open a streaming session for `patient_id` running `monitor_name`.
+  /// `patient_index` selects the per-patient artifact row (thresholds,
+  /// percentiles) inside the monitor factory. Throws std::invalid_argument
+  /// for duplicate patient ids or unknown monitor names; a patient_index
+  /// outside the factory's cohort propagates the factory's
+  /// std::out_of_range.
+  SessionId open_session(const std::string& patient_id,
+                         const std::string& monitor_name,
+                         int patient_index = 0);
+  void close_session(SessionId id);
+  [[nodiscard]] std::optional<SessionId> find_session(
+      const std::string& patient_id) const;
+  [[nodiscard]] std::size_t session_count() const { return open_count_; }
+
+  // -- Streaming --
+
+  /// Process one batch; decisions[i] answers inputs[i]. Inputs may target
+  /// any mix of sessions; multiple inputs for one session are applied in
+  /// batch order. Throws std::out_of_range for unknown/closed sessions
+  /// (before any input is processed).
+  std::vector<aps::monitor::Decision> feed(
+      std::span<const SessionInput> inputs);
+  aps::monitor::Decision feed_one(SessionId id,
+                                  const aps::monitor::Observation& obs);
+  /// Reset the session's monitor state (new trace, same patient).
+  void reset_session(SessionId id);
+
+  // -- Snapshot / restore --
+
+  [[nodiscard]] SessionSnapshot snapshot(SessionId id) const;
+  /// Re-create a session from a snapshot (the patient id must be free).
+  SessionId restore(const SessionSnapshot& snap);
+
+  // -- Introspection --
+
+  [[nodiscard]] SessionStats stats(SessionId id) const;
+  [[nodiscard]] std::uint64_t total_cycles() const { return total_cycles_; }
+  [[nodiscard]] std::size_t thread_count() const {
+    return pool_.thread_count();
+  }
+
+ private:
+  struct Session {
+    std::string patient_id;
+    std::string monitor_name;
+    int patient_index = 0;
+    std::unique_ptr<aps::monitor::Monitor> monitor;
+    SessionStats stats;
+    bool open = false;
+  };
+
+  [[nodiscard]] Session& checked_session(SessionId id);
+  [[nodiscard]] const Session& checked_session(SessionId id) const;
+  SessionId place_session(Session session);
+
+  EngineConfig config_;
+  aps::ThreadPool pool_;
+  std::unordered_map<std::string, aps::sim::MonitorFactory> monitors_;
+  std::vector<Session> sessions_;
+  std::vector<SessionId> free_ids_;
+  std::unordered_map<std::string, SessionId> by_patient_;
+  std::size_t open_count_ = 0;
+  std::uint64_t total_cycles_ = 0;
+
+  // Scratch reused across feed() calls to avoid per-batch allocation churn.
+  std::vector<std::uint32_t> order_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> groups_;
+};
+
+}  // namespace aps::serve

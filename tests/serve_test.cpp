@@ -1,0 +1,207 @@
+// MonitorEngine: concurrent multi-session streaming must be
+// indistinguishable from running every session sequentially, and the
+// session registry / snapshot machinery must behave.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "monitor/guideline.h"
+#include "serve/engine.h"
+#include "synthetic_util.h"
+
+namespace {
+
+using namespace aps;
+
+core::ArtifactBundle rule_bundle(int patients = 4) {
+  core::ArtifactBundle bundle;
+  bundle.artifacts = testutil::synth_artifacts(patients);
+  return bundle;
+}
+
+TEST(ServeEngine, RegistryOpensFindsAndCloses) {
+  serve::MonitorEngine engine({.threads = 2});
+  engine.register_bundle(rule_bundle());
+
+  const auto alice = engine.open_session("alice", "cawt", 0);
+  const auto bob = engine.open_session("bob", "guideline", 1);
+  EXPECT_EQ(engine.session_count(), 2u);
+  EXPECT_EQ(engine.find_session("alice"), alice);
+  EXPECT_EQ(engine.find_session("bob"), bob);
+  EXPECT_FALSE(engine.find_session("carol").has_value());
+
+  EXPECT_THROW((void)engine.open_session("alice", "cawt", 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)engine.open_session("carol", "no-such-monitor", 0),
+               std::invalid_argument);
+  // patient_index outside the bundle's cohort must throw, not read OOB.
+  EXPECT_THROW((void)engine.open_session("carol", "cawt", 99),
+               std::out_of_range);
+  EXPECT_THROW((void)engine.open_session("carol", "cawot", -1),
+               std::out_of_range);
+
+  engine.close_session(alice);
+  EXPECT_EQ(engine.session_count(), 1u);
+  EXPECT_FALSE(engine.find_session("alice").has_value());
+  EXPECT_THROW((void)engine.feed_one(alice, {}), std::out_of_range);
+  // The name is free again and the slot is recycled.
+  EXPECT_NO_THROW((void)engine.open_session("alice", "cawt", 2));
+}
+
+TEST(ServeEngine, ConcurrentSessionsMatchSequentialRuns) {
+  const int kSessions = 48;
+  const int kCycles = 120;
+  const auto bundle = rule_bundle(4);
+
+  serve::MonitorEngine engine({.threads = 4});
+  engine.register_bundle(bundle);
+
+  std::vector<serve::SessionId> ids;
+  std::vector<std::vector<monitor::Observation>> streams;
+  for (int s = 0; s < kSessions; ++s) {
+    ids.push_back(engine.open_session("patient-" + std::to_string(s), "cawt",
+                                      s % 4));
+    streams.push_back(
+        testutil::synth_stream(kCycles, 1000 + static_cast<std::uint64_t>(s)));
+  }
+
+  // Engine: one batch per cycle, all sessions in the batch.
+  std::vector<std::vector<monitor::Decision>> engine_decisions(kSessions);
+  for (int k = 0; k < kCycles; ++k) {
+    std::vector<serve::SessionInput> batch;
+    batch.reserve(kSessions);
+    for (int s = 0; s < kSessions; ++s) {
+      batch.push_back({ids[static_cast<std::size_t>(s)],
+                       streams[static_cast<std::size_t>(s)]
+                              [static_cast<std::size_t>(k)]});
+    }
+    const auto decisions = engine.feed(batch);
+    for (int s = 0; s < kSessions; ++s) {
+      engine_decisions[static_cast<std::size_t>(s)].push_back(
+          decisions[static_cast<std::size_t>(s)]);
+    }
+  }
+
+  // Reference: each session as an isolated sequential monitor run.
+  const auto factory = core::factory_from_bundle(bundle, "cawt");
+  for (int s = 0; s < kSessions; ++s) {
+    auto monitor = factory(s % 4);
+    for (int k = 0; k < kCycles; ++k) {
+      const auto expected =
+          monitor->observe(streams[static_cast<std::size_t>(s)]
+                                  [static_cast<std::size_t>(k)]);
+      EXPECT_TRUE(testutil::decisions_equal(
+          expected,
+          engine_decisions[static_cast<std::size_t>(s)]
+                          [static_cast<std::size_t>(k)]))
+          << "session " << s << " cycle " << k;
+    }
+  }
+  EXPECT_EQ(engine.total_cycles(),
+            static_cast<std::uint64_t>(kSessions) * kCycles);
+}
+
+TEST(ServeEngine, StatefulMonitorConcurrencyIsDeterministic) {
+  // Guideline monitors carry recovery counters across cycles; interleaving
+  // sessions in shuffled batch order must not perturb them.
+  const int kSessions = 16;
+  const auto bundle = rule_bundle(4);
+  serve::MonitorEngine engine({.threads = 4});
+  engine.register_bundle(bundle);
+
+  std::vector<serve::SessionId> ids;
+  for (int s = 0; s < kSessions; ++s) {
+    ids.push_back(
+        engine.open_session("p" + std::to_string(s), "guideline", s % 4));
+  }
+  const auto stream = testutil::synth_stream(200, 77);
+
+  for (std::size_t k = 0; k < stream.size(); ++k) {
+    std::vector<serve::SessionInput> batch;
+    // Reverse id order every other cycle: scheduling-order independence.
+    for (int s = 0; s < kSessions; ++s) {
+      const int pick = (k % 2 == 0) ? s : kSessions - 1 - s;
+      batch.push_back({ids[static_cast<std::size_t>(pick)], stream[k]});
+    }
+    (void)engine.feed(batch);
+  }
+
+  const auto factory = core::factory_from_bundle(bundle, "guideline");
+  for (int s = 0; s < kSessions; ++s) {
+    auto reference = factory(s % 4);
+    std::uint64_t alarms = 0;
+    for (const auto& obs : stream) {
+      if (reference->observe(obs).alarm) ++alarms;
+    }
+    EXPECT_EQ(engine.stats(ids[static_cast<std::size_t>(s)]).alarms, alarms)
+        << "session " << s;
+  }
+}
+
+TEST(ServeEngine, MultipleInputsForOneSessionApplyInBatchOrder) {
+  const auto bundle = rule_bundle(1);
+  serve::MonitorEngine engine({.threads = 4});
+  engine.register_bundle(bundle);
+  const auto batched = engine.open_session("batched", "guideline", 0);
+  const auto stepped = engine.open_session("stepped", "guideline", 0);
+
+  const auto stream = testutil::synth_stream(60, 99);
+  // Whole stream as one batch for one session...
+  std::vector<serve::SessionInput> batch;
+  for (const auto& obs : stream) batch.push_back({batched, obs});
+  const auto batch_decisions = engine.feed(batch);
+  // ...must equal the same stream fed one step at a time.
+  for (std::size_t k = 0; k < stream.size(); ++k) {
+    const auto expected = engine.feed_one(stepped, stream[k]);
+    EXPECT_TRUE(testutil::decisions_equal(expected, batch_decisions[k]))
+        << "cycle " << k;
+  }
+}
+
+TEST(ServeEngine, SnapshotRestoreContinuesTheStream) {
+  const auto bundle = rule_bundle(2);
+  serve::MonitorEngine engine({.threads = 2});
+  engine.register_bundle(bundle);
+  const auto id = engine.open_session("snap", "guideline", 1);
+
+  const auto stream = testutil::synth_stream(120, 123);
+  for (std::size_t k = 0; k < 60; ++k) (void)engine.feed_one(id, stream[k]);
+
+  const serve::SessionSnapshot snap = engine.snapshot(id);
+  EXPECT_EQ(snap.patient_id, "snap");
+  EXPECT_EQ(snap.monitor_name, "guideline");
+  EXPECT_EQ(snap.stats.cycles, 60u);
+
+  // Continue the original; replay the tail into a restored twin elsewhere.
+  std::vector<monitor::Decision> original_tail;
+  for (std::size_t k = 60; k < stream.size(); ++k) {
+    original_tail.push_back(engine.feed_one(id, stream[k]));
+  }
+
+  serve::MonitorEngine fresh({.threads = 1});
+  const auto restored = fresh.restore(snap);
+  EXPECT_EQ(fresh.find_session("snap"), restored);
+  EXPECT_EQ(fresh.stats(restored).cycles, 60u);
+  for (std::size_t k = 60; k < stream.size(); ++k) {
+    const auto decision = fresh.feed_one(restored, stream[k]);
+    EXPECT_TRUE(testutil::decisions_equal(decision,
+                                          original_tail[k - 60]))
+        << "cycle " << k;
+  }
+}
+
+TEST(ServeEngine, RegisterBundleExposesRuleMonitors) {
+  serve::MonitorEngine engine({.threads = 1});
+  engine.register_bundle(rule_bundle());
+  const auto names = engine.registered_monitors();
+  for (const std::string expected :
+       {"none", "guideline", "mpc", "cawot", "cawt", "cawt-population"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "missing monitor '" << expected << "'";
+  }
+}
+
+}  // namespace
