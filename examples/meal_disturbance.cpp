@@ -3,7 +3,7 @@
 // excursions for attacks, and still catches an attack launched during the
 // meal absorption window.
 //
-// Build & run:  ./build/examples/meal_disturbance
+// Build & run:  ./build/example_meal_disturbance
 #include <cstdio>
 
 #include "core/monitor_factory.h"
@@ -16,15 +16,13 @@ namespace {
 using namespace aps;
 
 /// Run one simulation with a 45 g dinner at t = 2 h, optional attack.
-sim::SimResult run_meal(const patient::PatientModel& prototype,
+sim::SimResult run_meal(const patient::PatientModel& patient,
                         const controller::Controller& controller,
                         monitor::Monitor& monitor, bool with_attack,
                         bool mitigate) {
-  auto patient = prototype.clone();
-  // announce the meal on the clone inside a custom loop: reuse the engine
-  // by announcing through the prototype clone before stepping.
   sim::SimConfig config;
   config.initial_bg = 120.0;
+  config.meals.push_back({/*step=*/24, /*carbs_g=*/45.0});  // t = 2 h
   if (with_attack) {
     config.fault.type = fi::FaultType::kMax;
     config.fault.target = fi::FaultTarget::kCommandRate;
@@ -32,52 +30,7 @@ sim::SimResult run_meal(const patient::PatientModel& prototype,
     config.fault.duration_steps = 30;
   }
   config.mitigation_enabled = mitigate;
-  // The engine clones the prototype itself; pre-announce the meal with a
-  // delayed start by announcing on the prototype clone it uses. Simplest
-  // faithful approach: announce at reset via a wrapper patient.
-  struct MealPatient final : patient::PatientModel {
-    std::unique_ptr<PatientModel> inner;
-    double meal_at_min;
-    double carbs;
-    double elapsed = 0.0;
-    bool announced = false;
-    MealPatient(std::unique_ptr<PatientModel> p, double at, double c)
-        : inner(std::move(p)), meal_at_min(at), carbs(c) {}
-    void reset(double bg) override {
-      inner->reset(bg);
-      elapsed = 0.0;
-      announced = false;
-    }
-    void step(double rate, double dt) override {
-      if (!announced && elapsed >= meal_at_min) {
-        inner->announce_meal(carbs);
-        announced = true;
-      }
-      inner->step(rate, dt);
-      elapsed += dt;
-    }
-    [[nodiscard]] double bg() const override { return inner->bg(); }
-    [[nodiscard]] double plasma_insulin() const override {
-      return inner->plasma_insulin();
-    }
-    [[nodiscard]] double basal_rate_u_per_h() const override {
-      return inner->basal_rate_u_per_h();
-    }
-    void announce_meal(double c) override { inner->announce_meal(c); }
-    [[nodiscard]] const std::string& name() const override {
-      return inner->name();
-    }
-    [[nodiscard]] std::unique_ptr<PatientModel> clone() const override {
-      auto copy = std::make_unique<MealPatient>(inner->clone(), meal_at_min,
-                                                carbs);
-      copy->elapsed = elapsed;
-      copy->announced = announced;
-      return copy;
-    }
-  };
-
-  const MealPatient meal_patient(prototype.clone(), 120.0, 45.0);
-  return sim::run_simulation(meal_patient, controller, monitor, config);
+  return sim::run_simulation(patient, controller, monitor, config);
 }
 
 }  // namespace

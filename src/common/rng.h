@@ -28,7 +28,18 @@ namespace aps {
 /// Thin deterministic wrapper around mt19937_64 with convenience draws.
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  /// Seed this generator was constructed with (split() derives from it, so
+  /// children are independent of how many draws the parent has made).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Child generator on an independent stream; the canonical way to seed
+  /// per-scenario / per-consumer randomness. split(t) of the same parent
+  /// seed and tag always yields the same stream, regardless of call order.
+  [[nodiscard]] Rng split(std::uint64_t tag) const {
+    return Rng(derive_seed(seed_, tag));
+  }
 
   /// Uniform double in [lo, hi).
   [[nodiscard]] double uniform(double lo, double hi) {
@@ -53,6 +64,7 @@ class Rng {
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_ = 0;
   std::mt19937_64 engine_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 namespace aps {
 
@@ -71,10 +72,62 @@ void RunningStats::add(double x) {
   m2_ += delta * (x - mean_);
 }
 
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * nb / (na + nb);
+  m2_ += other.m2_ + delta * delta * na * nb / (na + nb);
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
 double RunningStats::variance() const {
   return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+HistogramAccumulator::HistogramAccumulator(double lo, double hi,
+                                           std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+void HistogramAccumulator::add(double x) {
+  if (counts_.empty() || hi_ <= lo_) return;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<long>(std::floor((x - lo_) / width));
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void HistogramAccumulator::merge(const HistogramAccumulator& other) {
+  if (counts_.empty()) {
+    *this = other;
+    return;
+  }
+  if (other.counts_.empty()) return;
+  if (other.counts_.size() != counts_.size() || other.lo_ != lo_ ||
+      other.hi_ != hi_) {
+    throw std::invalid_argument(
+        "HistogramAccumulator::merge: incompatible (lo, hi, bins)");
+  }
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    counts_[b] += other.counts_[b];
+  }
+  total_ += other.total_;
+}
+
+double HistogramAccumulator::bin_lo(std::size_t b) const {
+  if (counts_.empty()) return lo_;
+  return lo_ + (hi_ - lo_) * static_cast<double>(b) /
+                   static_cast<double>(counts_.size());
+}
 
 }  // namespace aps

@@ -23,10 +23,15 @@ namespace aps {
                                                  double lo, double hi,
                                                  std::size_t bins);
 
-/// Incremental mean/variance accumulator (Welford).
+/// Incremental mean/variance accumulator (Welford). Mergeable: per-shard
+/// accumulators can be combined losslessly (Chan et al. parallel variance),
+/// so campaign statistics never require materializing per-run values.
 class RunningStats {
  public:
   void add(double x);
+  /// Fold another accumulator into this one; equivalent to having added all
+  /// of `other`'s samples here.
+  void merge(const RunningStats& other);
   [[nodiscard]] std::size_t count() const { return n_; }
   [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
   [[nodiscard]] double variance() const;
@@ -40,6 +45,33 @@ class RunningStats {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Streaming equal-width histogram over [lo, hi] with edge-clamped
+/// outliers; the mergeable counterpart of histogram() above.
+class HistogramAccumulator {
+ public:
+  HistogramAccumulator() = default;
+  HistogramAccumulator(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  /// Fold another accumulator into this one. Both must share (lo, hi, bins).
+  void merge(const HistogramAccumulator& other);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] const std::vector<std::size_t>& counts() const {
+    return counts_;
+  }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Inclusive lower edge of bin b.
+  [[nodiscard]] double bin_lo(std::size_t b) const;
+
+ private:
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
 };
 
 }  // namespace aps

@@ -12,6 +12,23 @@ CampaignGrid CampaignGrid::quick() {
   return grid;
 }
 
+CampaignGrid CampaignGrid::extended() {
+  CampaignGrid grid;
+  grid.targets = {FaultTarget::kSensorGlucose, FaultTarget::kControllerIob,
+                  FaultTarget::kCommandRate};
+  return grid;
+}
+
+double CampaignGrid::magnitude_for(FaultTarget target) const {
+  switch (target) {
+    case FaultTarget::kSensorGlucose: return glucose_magnitude;
+    case FaultTarget::kControllerIob: return iob_magnitude;
+    case FaultTarget::kCommandRate: return rate_magnitude;
+    case FaultTarget::kNone: break;
+  }
+  return 0.0;
+}
+
 std::vector<Scenario> enumerate_scenarios(const CampaignGrid& grid) {
   std::vector<Scenario> scenarios;
   scenarios.reserve(grid.types.size() * grid.targets.size() *
@@ -19,9 +36,7 @@ std::vector<Scenario> enumerate_scenarios(const CampaignGrid& grid) {
                     grid.initial_bgs.size());
   for (const FaultType type : grid.types) {
     for (const FaultTarget target : grid.targets) {
-      const double magnitude = target == FaultTarget::kSensorGlucose
-                                   ? grid.glucose_magnitude
-                                   : grid.rate_magnitude;
+      const double magnitude = grid.magnitude_for(target);
       for (const int start : grid.start_steps) {
         for (const int duration : grid.duration_steps) {
           for (const double bg0 : grid.initial_bgs) {

@@ -33,11 +33,19 @@ struct CampaignGrid {
   double glucose_magnitude = 75.0;
   /// add/sub offset for rate faults (U/h).
   double rate_magnitude = 2.0;
+  /// add/sub offset for controller-IOB faults (U).
+  double iob_magnitude = 2.0;
 
   /// Paper-sized grid: 14 x 9 x 7 = 882 scenarios per patient.
   static CampaignGrid full();
   /// Scaled grid for quick benches: 14 x 2 x 3 = 84 scenarios per patient.
   static CampaignGrid quick();
+  /// Paper grid widened to all three fault targets (adds kControllerIob):
+  /// 21 x 9 x 7 = 1,323 scenarios per patient.
+  static CampaignGrid extended();
+
+  /// add/sub offset appropriate for `target`.
+  [[nodiscard]] double magnitude_for(FaultTarget target) const;
 };
 
 /// All faulty scenarios of the grid, in a fixed deterministic order.

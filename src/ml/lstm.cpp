@@ -311,7 +311,7 @@ double Lstm::fit(const SequenceDataset& data) {
     cw = class_weights(flat);
   }
 
-  aps::Rng rng(derive_seed(config_.seed, 0xB0B));
+  aps::Rng rng = aps::Rng(config_.seed).split(0xB0B);
   std::vector<std::size_t> order(data.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::shuffle(order.begin(), order.end(), rng.engine());

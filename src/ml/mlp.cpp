@@ -189,7 +189,7 @@ double Mlp::fit(const Dataset& data) {
   }
 
   // Deterministic train/validation split for early stopping.
-  aps::Rng rng(derive_seed(config_.seed, 0xA11CE));
+  aps::Rng rng = aps::Rng(config_.seed).split(0xA11CE);
   std::vector<std::size_t> order(data.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::shuffle(order.begin(), order.end(), rng.engine());

@@ -1,0 +1,172 @@
+#include "scenario/cross_entropy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace aps::scenario {
+
+namespace {
+
+struct PilotEntry {
+  double severity = 0.0;
+  double weight = 1.0;  ///< p/q at the round that sampled it
+  ScenarioDraw draw;
+};
+
+/// Smoothed weighted-MLE retilt of one categorical dimension. `probs` are
+/// the current sampling probabilities (normalized in place), `elite_mass`
+/// the summed likelihood-ratio weights of elite draws realized per cell.
+void retilt(std::vector<double>& probs, const std::vector<double>& elite_mass,
+            double smoothing, double floor) {
+  double prob_total = 0.0;
+  double mass_total = 0.0;
+  for (const double p : probs) prob_total += p;
+  for (const double m : elite_mass) mass_total += m;
+  if (prob_total <= 0.0 || mass_total <= 0.0) return;
+  double updated_total = 0.0;
+  for (std::size_t k = 0; k < probs.size(); ++k) {
+    const double current = probs[k] / prob_total;
+    const double mle = elite_mass[k] / mass_total;
+    probs[k] =
+        std::max(floor, smoothing * mle + (1.0 - smoothing) * current);
+    updated_total += probs[k];
+  }
+  for (double& p : probs) p /= updated_total;
+}
+
+template <typename Dist>
+void retilt_dist(Dist& dist, const std::vector<double>& elite_mass,
+                 double smoothing, double floor) {
+  std::vector<double> probs;
+  probs.reserve(dist.cells.size());
+  for (const auto& cell : dist.cells) probs.push_back(cell.weight);
+  retilt(probs, elite_mass, smoothing, floor);
+  for (std::size_t c = 0; c < dist.cells.size(); ++c) {
+    dist.cells[c].weight = probs[c];
+  }
+}
+
+/// Accumulate the elite weights realized per cell of each tilted dimension
+/// and apply the smoothed update to `spec`.
+void tilt_toward_elites(ScenarioSpec& spec, const ScenarioSpec& nominal,
+                        const std::vector<const PilotEntry*>& elites,
+                        const CrossEntropyConfig& config) {
+  std::vector<double> kind_mass(spec.kinds.size(), 0.0);
+  std::vector<double> start_mass(spec.start_step.cells.size(), 0.0);
+  std::vector<double> duration_mass(spec.duration_steps.cells.size(), 0.0);
+  std::vector<double> magnitude_mass(spec.magnitude_scale.cells.size(), 0.0);
+  std::vector<double> bg_mass(spec.initial_bg.cells.size(), 0.0);
+  double fault_mass = 0.0;
+  double total_mass = 0.0;
+
+  for (const PilotEntry* e : elites) {
+    total_mass += e->weight;
+    bg_mass[static_cast<std::size_t>(e->draw.bg_cell)] += e->weight;
+    if (!e->draw.has_fault) continue;
+    fault_mass += e->weight;
+    kind_mass[static_cast<std::size_t>(e->draw.kind)] += e->weight;
+    start_mass[static_cast<std::size_t>(e->draw.start_cell)] += e->weight;
+    duration_mass[static_cast<std::size_t>(e->draw.duration_cell)] +=
+        e->weight;
+    magnitude_mass[static_cast<std::size_t>(e->draw.magnitude_cell)] +=
+        e->weight;
+  }
+  if (total_mass <= 0.0) return;
+
+  retilt(spec.kind_weights, kind_mass, config.smoothing, config.weight_floor);
+  retilt_dist(spec.start_step, start_mass, config.smoothing,
+              config.weight_floor);
+  retilt_dist(spec.duration_steps, duration_mass, config.smoothing,
+              config.weight_floor);
+  retilt_dist(spec.magnitude_scale, magnitude_mass, config.smoothing,
+              config.weight_floor);
+  retilt_dist(spec.initial_bg, bg_mass, config.smoothing,
+              config.weight_floor);
+  // Bernoulli fault dimension: only tilt when the nominal spec mixes
+  // fault-free runs in (a degenerate nominal stays degenerate so the
+  // likelihood ratio never divides by zero).
+  if (nominal.fault_prob > 0.0 && nominal.fault_prob < 1.0) {
+    const double mle = fault_mass / total_mass;
+    spec.fault_prob = std::clamp(
+        config.smoothing * mle + (1.0 - config.smoothing) * spec.fault_prob,
+        config.weight_floor, 1.0 - config.weight_floor);
+  }
+  // Meal and CGM-noise dimensions are background disturbances; they are
+  // deliberately not tilted.
+}
+
+}  // namespace
+
+RareEventEstimate estimate_hazard_probability(
+    const aps::sim::Stack& stack, const ScenarioSpec& nominal,
+    const aps::sim::MonitorFactory& make_monitor,
+    const CrossEntropyConfig& config, aps::ThreadPool* pool) {
+  RareEventEstimate estimate;
+  ScenarioSpec tilted = nominal;
+  const double elite_fraction = std::clamp(config.elite_fraction, 0.01, 1.0);
+
+  for (int round = 0; config.pilot_runs > 0 && round < config.iterations;
+       ++round) {
+    std::vector<PilotEntry> entries(config.pilot_runs);
+    StochasticCampaignConfig pilot;
+    pilot.runs = config.pilot_runs;
+    pilot.seed = derive_seed(config.seed, static_cast<std::uint64_t>(round));
+    pilot.options = config.options;
+    pilot.streaming = config.streaming;
+    pilot.nominal = &nominal;
+    const CampaignStats stats = run_stochastic_campaign(
+        stack, tilted, pilot, make_monitor, pool,
+        [&](std::size_t i, const SampledScenario& scenario,
+            const aps::sim::SimResult& run) {
+          PilotEntry& entry = entries[i];
+          entry.severity = run_severity(run);
+          entry.weight = likelihood_ratio(nominal, tilted, scenario.draw);
+          entry.draw = scenario.draw;
+        });
+    estimate.total_runs += stats.runs;
+
+    // Severity level of this round: the (1 - elite_fraction) quantile,
+    // capped at 1.0 (the hazard threshold) once the event region is reached.
+    std::vector<double> severities;
+    severities.reserve(entries.size());
+    for (const PilotEntry& e : entries) severities.push_back(e.severity);
+    std::sort(severities.begin(), severities.end());
+    const auto rank = static_cast<std::size_t>(
+        std::floor((1.0 - elite_fraction) *
+                   static_cast<double>(severities.size() - 1)));
+    const double level = std::min(severities[rank], 1.0);
+
+    std::vector<const PilotEntry*> elites;
+    for (const PilotEntry& e : entries) {
+      if (e.severity >= level && e.severity > 0.0) elites.push_back(&e);
+    }
+    estimate.levels.push_back(
+        {level, stats.hazard_rate(), stats.severity.mean()});
+    if (!elites.empty()) {
+      tilt_toward_elites(tilted, nominal, elites, config);
+    }
+  }
+
+  StochasticCampaignConfig final_config;
+  final_config.runs = config.final_runs;
+  final_config.seed = derive_seed(config.seed, 0xF1A1);
+  final_config.options = config.options;
+  final_config.streaming = config.streaming;
+  final_config.nominal = &nominal;
+  estimate.final_stats =
+      run_stochastic_campaign(stack, tilted, final_config, make_monitor, pool);
+  estimate.total_runs += estimate.final_stats.runs;
+
+  estimate.tilted = tilted;
+  estimate.probability = estimate.final_stats.weighted_hazard_probability();
+  estimate.std_error = estimate.final_stats.weighted_std_error();
+  estimate.ci_low =
+      std::max(0.0, estimate.probability - 1.96 * estimate.std_error);
+  estimate.ci_high = estimate.probability + 1.96 * estimate.std_error;
+  estimate.effective_sample_size =
+      estimate.final_stats.effective_sample_size();
+  return estimate;
+}
+
+}  // namespace aps::scenario

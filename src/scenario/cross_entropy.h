@@ -1,0 +1,72 @@
+// Cross-entropy importance sampling for rare hazard events (after O'Kelly
+// et al., "Scalable End-to-End Autonomous Vehicle Testing via Rare-event
+// Simulation", adapted to the APS fault space).
+//
+// The nominal ScenarioSpec defines the operational distribution whose
+// hazard probability we want. Direct (crude) Monte Carlo needs ~100/p runs
+// to see enough events; the cross-entropy method instead runs a few small
+// pilot campaigns, each retilting the spec's cell weights toward the most
+// severe runs (a rising sequence of severity levels), then estimates
+//   P(hazard) = E_q[ 1{hazard} * p(x)/q(x) ]
+// under the final tilted spec q. The likelihood-ratio weights make the
+// estimate unbiased for the nominal spec no matter how aggressive the tilt.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "scenario/executor.h"
+#include "scenario/spec.h"
+
+namespace aps::scenario {
+
+struct CrossEntropyConfig {
+  int iterations = 4;              ///< pilot tilting rounds
+  std::size_t pilot_runs = 1000;   ///< runs per pilot round
+  std::size_t final_runs = 4000;   ///< runs of the estimation campaign
+  /// Fraction of a pilot treated as elite (most severe) when retilting.
+  double elite_fraction = 0.15;
+  /// New weights = smoothing * weighted-MLE + (1 - smoothing) * previous;
+  /// < 1 avoids collapsing a cell to zero mass in one round.
+  double smoothing = 0.7;
+  /// Lower bound on any tilted cell probability, so the sampling spec
+  /// always dominates the nominal one (finite likelihood ratios).
+  double weight_floor = 1e-3;
+  std::uint64_t seed = 2021;
+  aps::sim::CampaignOptions options;
+  aps::sim::StreamingOptions streaming;
+};
+
+/// One pilot round: the severity level reached and the hazard fraction of
+/// the round's samples (diagnostic trace of the tilting schedule).
+struct CrossEntropyLevel {
+  double level = 0.0;
+  double hazard_fraction = 0.0;
+  double mean_severity = 0.0;
+};
+
+struct RareEventEstimate {
+  double probability = 0.0;  ///< unbiased LR estimate of P(hazard | nominal)
+  double std_error = 0.0;
+  double ci_low = 0.0;   ///< 95% normal-approximation interval, >= 0
+  double ci_high = 0.0;
+  double effective_sample_size = 0.0;
+  std::size_t total_runs = 0;  ///< pilots + final campaign
+  std::vector<CrossEntropyLevel> levels;
+  ScenarioSpec tilted;        ///< final sampling spec (reusable)
+  CampaignStats final_stats;  ///< accumulator of the estimation campaign
+
+  [[nodiscard]] bool ci_contains(double p) const {
+    return p >= ci_low && p <= ci_high;
+  }
+};
+
+/// Estimate P(hazard) under `nominal` for the monitored closed loop built
+/// by `make_monitor`. Deterministic per (config.seed, config sizes).
+[[nodiscard]] RareEventEstimate estimate_hazard_probability(
+    const aps::sim::Stack& stack, const ScenarioSpec& nominal,
+    const aps::sim::MonitorFactory& make_monitor,
+    const CrossEntropyConfig& config = {}, aps::ThreadPool* pool = nullptr);
+
+}  // namespace aps::scenario

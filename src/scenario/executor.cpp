@@ -1,0 +1,200 @@
+#include "scenario/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/units.h"
+
+namespace aps::scenario {
+
+void KindStats::add(bool hazard, bool alarm) {
+  ++runs;
+  if (hazard) ++hazards;
+  if (alarm) ++alarmed;
+  if (hazard && alarm) ++tp;
+  if (!hazard && alarm) ++fp;
+  if (hazard && !alarm) ++fn;
+  if (!hazard && !alarm) ++tn;
+}
+
+void KindStats::merge(const KindStats& other) {
+  runs += other.runs;
+  hazards += other.hazards;
+  alarmed += other.alarmed;
+  tp += other.tp;
+  fp += other.fp;
+  fn += other.fn;
+  tn += other.tn;
+}
+
+double run_severity(const aps::sim::SimResult& run) {
+  const auto& label = run.label;
+  const double lbgi_threshold = run.config.labeling.lbgi_threshold;
+  const double hbgi_threshold = run.config.labeling.hbgi_threshold;
+  double severity = 0.0;
+  for (std::size_t k = 0; k < label.lbgi.size(); ++k) {
+    severity = std::max(severity, label.lbgi[k] / lbgi_threshold);
+    severity = std::max(severity, label.hbgi[k] / hbgi_threshold);
+  }
+  return severity;
+}
+
+void CampaignStats::add(const SampledScenario& scenario,
+                        const aps::sim::SimResult& run, double weight) {
+  ++runs;
+  const bool hazard = run.label.hazardous;
+  const bool alarm = run.any_alarm();
+  if (hazard) ++hazardous_runs;
+  if (alarm) ++alarmed_runs;
+
+  double lowest = aps::kBgMax;
+  std::size_t in_range = 0;
+  for (const auto& step : run.steps) {
+    lowest = std::min(lowest, step.true_bg);
+    if (step.true_bg >= aps::kBgLow && step.true_bg <= aps::kBgHigh) {
+      ++in_range;
+    }
+  }
+  if (lowest < aps::kBgSevereHypo) ++severe_hypo_runs;
+  min_bg.add(lowest);
+  if (!run.steps.empty()) {
+    time_in_range_pct.add(100.0 * static_cast<double>(in_range) /
+                          static_cast<double>(run.steps.size()));
+  }
+  severity.add(run_severity(run));
+
+  const auto& fault = scenario.config.fault;
+  if (hazard && fault.enabled() && run.label.onset_step >= fault.start_step) {
+    time_to_hazard_min.add(
+        static_cast<double>(run.label.onset_step - fault.start_step) *
+        aps::kControlPeriodMin);
+  }
+  by_kind[fault.enabled() ? fault.name() : "fault_free"].add(hazard, alarm);
+
+  sum_weight += weight;
+  sum_weight_sq += weight * weight;
+  if (hazard) {
+    sum_hazard_weight += weight;
+    sum_hazard_weight_sq += weight * weight;
+  }
+}
+
+void CampaignStats::merge(const CampaignStats& other) {
+  runs += other.runs;
+  hazardous_runs += other.hazardous_runs;
+  alarmed_runs += other.alarmed_runs;
+  severe_hypo_runs += other.severe_hypo_runs;
+  min_bg.merge(other.min_bg);
+  severity.merge(other.severity);
+  time_in_range_pct.merge(other.time_in_range_pct);
+  time_to_hazard_min.merge(other.time_to_hazard_min);
+  for (const auto& [name, stats] : other.by_kind) {
+    by_kind[name].merge(stats);
+  }
+  sum_weight += other.sum_weight;
+  sum_weight_sq += other.sum_weight_sq;
+  sum_hazard_weight += other.sum_hazard_weight;
+  sum_hazard_weight_sq += other.sum_hazard_weight_sq;
+}
+
+double CampaignStats::hazard_rate() const {
+  return runs > 0
+             ? static_cast<double>(hazardous_runs) / static_cast<double>(runs)
+             : 0.0;
+}
+
+double CampaignStats::weighted_hazard_probability() const {
+  return runs > 0 ? sum_hazard_weight / static_cast<double>(runs) : 0.0;
+}
+
+double CampaignStats::weighted_std_error() const {
+  if (runs < 2) return 0.0;
+  const auto n = static_cast<double>(runs);
+  const double p = weighted_hazard_probability();
+  const double second_moment = sum_hazard_weight_sq / n;
+  return std::sqrt(std::max(0.0, second_moment - p * p) / n);
+}
+
+double CampaignStats::effective_sample_size() const {
+  return sum_hazard_weight_sq > 0.0
+             ? sum_hazard_weight * sum_hazard_weight / sum_hazard_weight_sq
+             : 0.0;
+}
+
+CampaignStats run_stochastic_campaign(
+    const aps::sim::Stack& stack, const ScenarioSpec& spec,
+    const StochasticCampaignConfig& config,
+    const aps::sim::MonitorFactory& make_monitor, aps::ThreadPool* pool,
+    const RunTap& tap) {
+  std::string why;
+  if (!spec.valid(&why)) {
+    throw std::invalid_argument("run_stochastic_campaign: invalid spec: " +
+                                why);
+  }
+  std::vector<CampaignStats> shards(
+      aps::sim::shard_count(config.runs, config.streaming));
+
+  const auto request = [&](std::size_t i) {
+    const SampledScenario scenario = sample_scenario(spec, i, config.seed);
+    aps::sim::RunRequest req;
+    req.patient_index = scenario.patient_index;
+    req.config = scenario.config;
+    req.config.mitigation_enabled = config.options.mitigation_enabled;
+    req.config.mitigation = config.options.mitigation;
+    return req;
+  };
+  const auto sink = [&](std::size_t shard, std::size_t i,
+                        const aps::sim::SimResult& run) {
+    // Resampling the scenario is a handful of RNG draws — negligible next
+    // to the 150-step simulation — and keeps the execution core oblivious
+    // to scenario bookkeeping.
+    const SampledScenario scenario = sample_scenario(spec, i, config.seed);
+    const double weight =
+        config.nominal != nullptr
+            ? likelihood_ratio(*config.nominal, spec, scenario.draw)
+            : 1.0;
+    shards[shard].add(scenario, run, weight);
+    if (tap) tap(i, scenario, run);
+  };
+  aps::sim::for_each_run(stack, config.runs, request, make_monitor, sink,
+                         pool, config.streaming);
+
+  CampaignStats total;
+  for (const CampaignStats& shard : shards) total.merge(shard);
+  return total;
+}
+
+CampaignStats run_enumerated_campaign(
+    const aps::sim::Stack& stack, const ScenarioSpec& spec,
+    const aps::sim::CampaignOptions& options,
+    const aps::sim::MonitorFactory& make_monitor, aps::ThreadPool* pool,
+    const aps::sim::StreamingOptions& streaming) {
+  const std::vector<SampledScenario> scenarios = enumerate_spec(spec);
+  const std::size_t count = spec.patients.size() * scenarios.size();
+  std::vector<CampaignStats> shards(aps::sim::shard_count(count, streaming));
+
+  const auto request = [&](std::size_t i) {
+    aps::sim::RunRequest req;
+    req.patient_index = spec.patients[i / scenarios.size()];
+    req.config = scenarios[i % scenarios.size()].config;
+    req.config.mitigation_enabled = options.mitigation_enabled;
+    req.config.mitigation = options.mitigation;
+    return req;
+  };
+  const auto sink = [&](std::size_t shard, std::size_t i,
+                        const aps::sim::SimResult& run) {
+    SampledScenario scenario = scenarios[i % scenarios.size()];
+    scenario.patient_index = spec.patients[i / scenarios.size()];
+    shards[shard].add(scenario, run, 1.0);
+  };
+  aps::sim::for_each_run(stack, count, request, make_monitor, sink, pool,
+                         streaming);
+
+  CampaignStats total;
+  for (const CampaignStats& shard : shards) total.merge(shard);
+  return total;
+}
+
+}  // namespace aps::scenario

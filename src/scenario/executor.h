@@ -1,0 +1,122 @@
+// Streaming campaign executor: runs sampled (or enumerated) scenarios
+// across the ThreadPool and folds every finished run into small mergeable
+// accumulators instead of materializing a CampaignResult. Peak memory is
+// O(shards x accumulator), independent of the scenario count — this is what
+// lets 10^6-run campaigns fit in RAM.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/stats.h"
+#include "common/thread_pool.h"
+#include "scenario/spec.h"
+#include "sim/runner.h"
+
+namespace aps::scenario {
+
+/// Run-level outcome counts for one fault kind ("max_rate", "hold_glucose",
+/// ... or "fault_free"): did the run become hazardous, did the monitor
+/// alarm, and the resulting run-level confusion cell.
+struct KindStats {
+  std::size_t runs = 0;
+  std::size_t hazards = 0;
+  std::size_t alarmed = 0;
+  std::size_t tp = 0;  ///< hazardous run, alarmed
+  std::size_t fp = 0;  ///< safe run, alarmed
+  std::size_t fn = 0;  ///< hazardous run, silent
+  std::size_t tn = 0;  ///< safe run, silent
+
+  void add(bool hazard, bool alarm);
+  void merge(const KindStats& other);
+};
+
+/// Mergeable campaign summary. Fixed-size: adding a run never grows it
+/// (beyond first-touch of a fault-kind key), and merge() of per-shard
+/// instances equals one sequential accumulation.
+struct CampaignStats {
+  std::size_t runs = 0;
+  std::size_t hazardous_runs = 0;
+  std::size_t alarmed_runs = 0;
+  std::size_t severe_hypo_runs = 0;  ///< min true BG < 40 mg/dL
+
+  aps::RunningStats min_bg;
+  aps::RunningStats severity;  ///< run_severity() of each run
+  aps::RunningStats time_in_range_pct;
+  /// Fault start -> hazard onset, minutes (hazardous faulty runs only).
+  aps::HistogramAccumulator time_to_hazard_min{0.0, 750.0, 25};
+  std::map<std::string, KindStats> by_kind;
+
+  // Importance-sampling totals: weight = p/q likelihood ratio against the
+  // nominal spec (1 for crude Monte Carlo).
+  double sum_weight = 0.0;
+  double sum_weight_sq = 0.0;
+  double sum_hazard_weight = 0.0;
+  double sum_hazard_weight_sq = 0.0;
+
+  void add(const SampledScenario& scenario, const aps::sim::SimResult& run,
+           double weight);
+  void merge(const CampaignStats& other);
+
+  /// Unweighted fraction of hazardous runs (the crude-MC estimate when the
+  /// campaign sampled the nominal spec directly).
+  [[nodiscard]] double hazard_rate() const;
+  /// Likelihood-ratio estimate of P(hazard) under the nominal spec:
+  /// (1/N) sum w_i 1[hazard_i]. Unbiased for any sampling spec that
+  /// dominates the nominal one.
+  [[nodiscard]] double weighted_hazard_probability() const;
+  /// Standard error of weighted_hazard_probability().
+  [[nodiscard]] double weighted_std_error() const;
+  /// Effective sample size of the hazard-weight population.
+  [[nodiscard]] double effective_sample_size() const;
+};
+
+/// Severity of a run: peak trailing-window risk index relative to the
+/// hazard thresholds (>= 1 roughly equals "crossed a hazard threshold").
+/// The cross-entropy sampler uses this as its continuous level function.
+[[nodiscard]] double run_severity(const aps::sim::SimResult& run);
+
+struct StochasticCampaignConfig {
+  std::size_t runs = 10000;
+  std::uint64_t seed = 2021;
+  /// Only the mitigation fields are consulted: the ScenarioSpec fully
+  /// describes each run, so the horizon comes from ScenarioSpec::steps,
+  /// not options.steps.
+  aps::sim::CampaignOptions options;
+  aps::sim::StreamingOptions streaming;
+  /// When set, every run is weighted by likelihood_ratio(*nominal, spec,
+  /// draw); leave null for crude Monte Carlo (weight 1).
+  const ScenarioSpec* nominal = nullptr;
+};
+
+/// Optional per-run tap (cross-entropy pilots use it to capture severity
+/// and draws). Invoked concurrently from pool workers for different
+/// indices; must not retain the SimResult reference.
+using RunTap = std::function<void(std::size_t index,
+                                  const SampledScenario& scenario,
+                                  const aps::sim::SimResult& run)>;
+
+/// Sample `config.runs` scenarios from `spec` (scenario i of seed s is
+/// always the same run) and stream them through the pool; returns the
+/// merged accumulator. No per-run state is retained.
+[[nodiscard]] CampaignStats run_stochastic_campaign(
+    const aps::sim::Stack& stack, const ScenarioSpec& spec,
+    const StochasticCampaignConfig& config,
+    const aps::sim::MonitorFactory& make_monitor,
+    aps::ThreadPool* pool = nullptr, const RunTap& tap = nullptr);
+
+/// Streamed exhaustive campaign: every enumerated scenario of an
+/// enumerable() spec, for every patient of the spec — the old grid path,
+/// now with O(1) memory. Weights are 1. As with the stochastic path,
+/// `options` supplies the mitigation fields only; the horizon is
+/// ScenarioSpec::steps.
+[[nodiscard]] CampaignStats run_enumerated_campaign(
+    const aps::sim::Stack& stack, const ScenarioSpec& spec,
+    const aps::sim::CampaignOptions& options,
+    const aps::sim::MonitorFactory& make_monitor,
+    aps::ThreadPool* pool = nullptr,
+    const aps::sim::StreamingOptions& streaming = {});
+
+}  // namespace aps::scenario

@@ -1,0 +1,488 @@
+#include "scenario/spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace aps::scenario {
+
+namespace {
+
+/// Normalized weight of cell `idx`, or 0 when out of range.
+template <typename Dist>
+double cell_prob(const Dist& dist, int idx) {
+  const double total = dist.total_weight();
+  if (total <= 0.0 || idx < 0 ||
+      static_cast<std::size_t>(idx) >= dist.cells.size()) {
+    return 0.0;
+  }
+  return dist.cells[static_cast<std::size_t>(idx)].weight / total;
+}
+
+template <typename Dist>
+int pick_cell(const Dist& dist, aps::Rng& rng) {
+  const double total = dist.total_weight();
+  double u = rng.uniform(0.0, total);
+  for (std::size_t c = 0; c < dist.cells.size(); ++c) {
+    u -= dist.cells[c].weight;
+    if (u < 0.0) return static_cast<int>(c);
+  }
+  return static_cast<int>(dist.cells.size()) - 1;
+}
+
+template <typename Dist>
+bool same_boundaries(const Dist& a, const Dist& b) {
+  if (a.cells.size() != b.cells.size()) return false;
+  for (std::size_t c = 0; c < a.cells.size(); ++c) {
+    if (a.cells[c].lo != b.cells[c].lo || a.cells[c].hi != b.cells[c].hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// p/q ratio for one realized component; throws when the draw is outside
+/// the sampling spec's support (q must dominate p).
+double prob_ratio(double p, double q, const char* what) {
+  if (q <= 0.0) {
+    throw std::invalid_argument(
+        std::string("likelihood_ratio: sampling spec has zero mass on "
+                    "realized ") +
+        what);
+  }
+  return p / q;
+}
+
+}  // namespace
+
+ValueDist ValueDist::point(double v) { return {{{v, v, 1.0}}}; }
+
+ValueDist ValueDist::points(const std::vector<double>& values) {
+  ValueDist dist;
+  for (const double v : values) dist.cells.push_back({v, v, 1.0});
+  return dist;
+}
+
+ValueDist ValueDist::range(double lo, double hi, std::size_t bins) {
+  if (hi <= lo) return point(lo);
+  ValueDist dist;
+  if (bins == 0) bins = 1;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (std::size_t b = 0; b < bins; ++b) {
+    const double cell_lo = lo + width * static_cast<double>(b);
+    dist.cells.push_back({cell_lo, b + 1 == bins ? hi : cell_lo + width, 1.0});
+  }
+  return dist;
+}
+
+double ValueDist::total_weight() const {
+  double total = 0.0;
+  for (const Cell& c : cells) total += c.weight;
+  return total;
+}
+
+bool ValueDist::is_points() const {
+  if (cells.empty()) return false;
+  for (const Cell& c : cells) {
+    if (c.lo != c.hi) return false;
+  }
+  return true;
+}
+
+IntDist IntDist::point(int v) { return {{{v, v, 1.0}}}; }
+
+IntDist IntDist::points(const std::vector<int>& values) {
+  IntDist dist;
+  for (const int v : values) dist.cells.push_back({v, v, 1.0});
+  return dist;
+}
+
+IntDist IntDist::range(int lo, int hi, std::size_t bins) {
+  if (hi <= lo) return point(lo);
+  IntDist dist;
+  if (bins == 0) bins = 1;
+  const int span = hi - lo + 1;
+  // Never emit empty cells: more bins than integers degrades to one bin
+  // per integer.
+  bins = std::min(bins, static_cast<std::size_t>(span));
+  const int base = span / static_cast<int>(bins);
+  int cell_lo = lo;
+  for (std::size_t b = 0; b < bins; ++b) {
+    int cell_hi = cell_lo + base - 1;
+    if (b + 1 == bins) cell_hi = hi;
+    dist.cells.push_back({cell_lo, cell_hi, 1.0});
+    cell_lo = cell_hi + 1;
+  }
+  return dist;
+}
+
+double IntDist::total_weight() const {
+  double total = 0.0;
+  for (const IntCell& c : cells) total += c.weight;
+  return total;
+}
+
+bool IntDist::is_points() const {
+  if (cells.empty()) return false;
+  for (const IntCell& c : cells) {
+    if (c.lo != c.hi) return false;
+  }
+  return true;
+}
+
+bool ScenarioSpec::valid(std::string* why) const {
+  const auto fail = [&](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (patients.empty()) return fail("no patients");
+  if (steps <= 0) return fail("steps must be positive");
+  if (fault_prob < 0.0 || fault_prob > 1.0) {
+    return fail("fault_prob outside [0, 1]");
+  }
+  if (meal_prob < 0.0 || meal_prob > 1.0) {
+    return fail("meal_prob outside [0, 1]");
+  }
+  if (kinds.size() != kind_weights.size()) {
+    return fail("kinds / kind_weights size mismatch");
+  }
+  const auto cells_ok = [](const auto& dist) {
+    for (const auto& cell : dist.cells) {
+      if (cell.hi < cell.lo || cell.weight < 0.0) return false;
+    }
+    return true;
+  };
+  if (!cells_ok(start_step) || !cells_ok(duration_steps) ||
+      !cells_ok(magnitude_scale) || !cells_ok(initial_bg) ||
+      !cells_ok(meal_carbs) || !cells_ok(meal_step)) {
+    return fail("malformed distribution cell (hi < lo or negative weight)");
+  }
+  if (fault_prob > 0.0) {
+    if (kinds.empty()) return fail("fault_prob > 0 but no fault kinds");
+    double total = 0.0;
+    for (const double w : kind_weights) {
+      if (w < 0.0) return fail("negative kind weight");
+      total += w;
+    }
+    if (total <= 0.0) return fail("kind weights sum to zero");
+    if (start_step.total_weight() <= 0.0) return fail("empty start_step");
+    if (duration_steps.total_weight() <= 0.0) {
+      return fail("empty duration_steps");
+    }
+    if (magnitude_scale.total_weight() <= 0.0) {
+      return fail("empty magnitude_scale");
+    }
+  }
+  if (initial_bg.total_weight() <= 0.0) return fail("empty initial_bg");
+  if (meal_prob > 0.0) {
+    if (meal_carbs.total_weight() <= 0.0) return fail("empty meal_carbs");
+    if (meal_step.total_weight() <= 0.0) return fail("empty meal_step");
+  }
+  if (cgm_noise_std < 0.0) return fail("negative cgm_noise_std");
+  return true;
+}
+
+bool ScenarioSpec::enumerable() const {
+  if (!initial_bg.is_points()) return false;
+  if (fault_prob != 0.0 && fault_prob != 1.0) return false;
+  if (fault_prob == 1.0) {
+    if (kinds.empty() || !start_step.is_points() ||
+        !duration_steps.is_points() || !magnitude_scale.is_points()) {
+      return false;
+    }
+  }
+  if (meal_prob != 0.0 &&
+      (meal_prob != 1.0 || !meal_carbs.is_points() ||
+       !meal_step.is_points())) {
+    return false;
+  }
+  return true;
+}
+
+ScenarioSpec default_stochastic_spec(int cohort_size) {
+  ScenarioSpec spec;
+  spec.patients.clear();
+  for (int p = 0; p < cohort_size; ++p) spec.patients.push_back(p);
+  spec.fault_prob = 0.9;
+  for (const aps::fi::FaultType type :
+       {aps::fi::FaultType::kTruncate, aps::fi::FaultType::kHold,
+        aps::fi::FaultType::kMax, aps::fi::FaultType::kMin,
+        aps::fi::FaultType::kAdd, aps::fi::FaultType::kSub,
+        aps::fi::FaultType::kBitflipDec}) {
+    for (const aps::fi::FaultTarget target :
+         {aps::fi::FaultTarget::kSensorGlucose,
+          aps::fi::FaultTarget::kControllerIob,
+          aps::fi::FaultTarget::kCommandRate}) {
+      spec.kinds.push_back({type, target});
+      spec.kind_weights.push_back(1.0);
+    }
+  }
+  spec.start_step = IntDist::range(10, 90, 4);
+  spec.duration_steps = IntDist::range(6, 72, 6);
+  spec.magnitude_scale = ValueDist::range(0.25, 1.5, 5);
+  spec.initial_bg = ValueDist::range(70.0, 220.0, 6);
+  spec.meal_prob = 0.35;
+  spec.meal_carbs = ValueDist::range(20.0, 80.0, 3);
+  spec.meal_step = IntDist::range(10, 100, 3);
+  spec.cgm_noise_std = 2.0;
+  return spec;
+}
+
+ScenarioSpec spec_from_grid(const aps::fi::CampaignGrid& grid,
+                            int cohort_size) {
+  ScenarioSpec spec;
+  spec.patients.clear();
+  for (int p = 0; p < cohort_size; ++p) spec.patients.push_back(p);
+  spec.fault_prob = 1.0;
+  for (const aps::fi::FaultType type : grid.types) {
+    for (const aps::fi::FaultTarget target : grid.targets) {
+      spec.kinds.push_back({type, target});
+      spec.kind_weights.push_back(1.0);
+    }
+  }
+  spec.start_step = IntDist::points(grid.start_steps);
+  spec.duration_steps = IntDist::points(grid.duration_steps);
+  spec.magnitude_scale = ValueDist::point(1.0);
+  spec.glucose_magnitude = grid.glucose_magnitude;
+  spec.rate_magnitude = grid.rate_magnitude;
+  spec.iob_magnitude = grid.iob_magnitude;
+  spec.initial_bg = ValueDist::points(grid.initial_bgs);
+  return spec;
+}
+
+namespace {
+
+double base_magnitude(const ScenarioSpec& spec, aps::fi::FaultTarget target) {
+  switch (target) {
+    case aps::fi::FaultTarget::kSensorGlucose: return spec.glucose_magnitude;
+    case aps::fi::FaultTarget::kControllerIob: return spec.iob_magnitude;
+    case aps::fi::FaultTarget::kCommandRate: return spec.rate_magnitude;
+    case aps::fi::FaultTarget::kNone: break;
+  }
+  return 0.0;
+}
+
+double value_in_cell(const Cell& cell, aps::Rng& rng) {
+  return cell.lo == cell.hi ? cell.lo : rng.uniform(cell.lo, cell.hi);
+}
+
+int value_in_cell(const IntCell& cell, aps::Rng& rng) {
+  return cell.lo == cell.hi ? cell.lo : rng.uniform_int(cell.lo, cell.hi);
+}
+
+}  // namespace
+
+SampledScenario sample_scenario(const ScenarioSpec& spec, std::uint64_t index,
+                                std::uint64_t campaign_seed) {
+  // One independent stream per scenario index: scenario i of seed s is the
+  // same run whether it executes first, last, or on another thread.
+  aps::Rng rng = aps::Rng(campaign_seed).split(index);
+
+  SampledScenario out;
+  out.index = index;
+  out.config.steps = spec.steps;
+
+  out.draw.patient_cell =
+      spec.patients.size() > 1
+          ? rng.uniform_int(0, static_cast<int>(spec.patients.size()) - 1)
+          : 0;
+  out.patient_index =
+      spec.patients[static_cast<std::size_t>(out.draw.patient_cell)];
+
+  out.draw.has_fault = spec.fault_prob >= 1.0 ||
+                       (spec.fault_prob > 0.0 && rng.bernoulli(spec.fault_prob));
+  if (out.draw.has_fault) {
+    // Kind draw via the weight vector (categorical).
+    double total = 0.0;
+    for (const double w : spec.kind_weights) total += w;
+    double u = rng.uniform(0.0, total);
+    out.draw.kind = static_cast<int>(spec.kinds.size()) - 1;
+    for (std::size_t k = 0; k < spec.kinds.size(); ++k) {
+      u -= spec.kind_weights[k];
+      if (u < 0.0) {
+        out.draw.kind = static_cast<int>(k);
+        break;
+      }
+    }
+    const FaultKind& kind =
+        spec.kinds[static_cast<std::size_t>(out.draw.kind)];
+    out.draw.start_cell = pick_cell(spec.start_step, rng);
+    out.draw.duration_cell = pick_cell(spec.duration_steps, rng);
+    out.draw.magnitude_cell = pick_cell(spec.magnitude_scale, rng);
+
+    aps::fi::FaultSpec fault;
+    fault.type = kind.type;
+    fault.target = kind.target;
+    fault.start_step = value_in_cell(
+        spec.start_step.cells[static_cast<std::size_t>(out.draw.start_cell)],
+        rng);
+    fault.duration_steps = value_in_cell(
+        spec.duration_steps
+            .cells[static_cast<std::size_t>(out.draw.duration_cell)],
+        rng);
+    fault.magnitude =
+        base_magnitude(spec, kind.target) *
+        value_in_cell(spec.magnitude_scale
+                          .cells[static_cast<std::size_t>(
+                              out.draw.magnitude_cell)],
+                      rng);
+    out.config.fault = fault;
+  }
+
+  out.draw.bg_cell = pick_cell(spec.initial_bg, rng);
+  out.config.initial_bg = value_in_cell(
+      spec.initial_bg.cells[static_cast<std::size_t>(out.draw.bg_cell)], rng);
+
+  out.draw.has_meal =
+      spec.meal_prob >= 1.0 ||
+      (spec.meal_prob > 0.0 && rng.bernoulli(spec.meal_prob));
+  if (out.draw.has_meal) {
+    out.draw.carbs_cell = pick_cell(spec.meal_carbs, rng);
+    out.draw.meal_step_cell = pick_cell(spec.meal_step, rng);
+    aps::sim::MealEvent meal;
+    meal.carbs_g = value_in_cell(
+        spec.meal_carbs.cells[static_cast<std::size_t>(out.draw.carbs_cell)],
+        rng);
+    meal.step = value_in_cell(
+        spec.meal_step
+            .cells[static_cast<std::size_t>(out.draw.meal_step_cell)],
+        rng);
+    out.config.meals.push_back(meal);
+  }
+
+  out.config.cgm.noise_std_mg_dl = spec.cgm_noise_std;
+  out.config.cgm_seed = rng.split(0xC6).seed();
+  return out;
+}
+
+double likelihood_ratio(const ScenarioSpec& nominal,
+                        const ScenarioSpec& sampling,
+                        const ScenarioDraw& draw) {
+  if (nominal.kinds.size() != sampling.kinds.size() ||
+      nominal.patients.size() != sampling.patients.size() ||
+      !same_boundaries(nominal.start_step, sampling.start_step) ||
+      !same_boundaries(nominal.duration_steps, sampling.duration_steps) ||
+      !same_boundaries(nominal.magnitude_scale, sampling.magnitude_scale) ||
+      !same_boundaries(nominal.initial_bg, sampling.initial_bg) ||
+      !same_boundaries(nominal.meal_carbs, sampling.meal_carbs) ||
+      !same_boundaries(nominal.meal_step, sampling.meal_step)) {
+    throw std::invalid_argument(
+        "likelihood_ratio: specs do not share cell structure");
+  }
+
+  double ratio = 1.0;  // patient draw is uniform in both specs: cancels
+  ratio *= draw.has_fault
+               ? prob_ratio(nominal.fault_prob, sampling.fault_prob, "fault")
+               : prob_ratio(1.0 - nominal.fault_prob,
+                            1.0 - sampling.fault_prob, "fault-free run");
+  if (draw.has_fault) {
+    double nominal_total = 0.0;
+    double sampling_total = 0.0;
+    for (const double w : nominal.kind_weights) nominal_total += w;
+    for (const double w : sampling.kind_weights) sampling_total += w;
+    const auto k = static_cast<std::size_t>(draw.kind);
+    ratio *= prob_ratio(nominal.kind_weights[k] / nominal_total,
+                        sampling.kind_weights[k] / sampling_total, "kind");
+    ratio *= prob_ratio(cell_prob(nominal.start_step, draw.start_cell),
+                        cell_prob(sampling.start_step, draw.start_cell),
+                        "start cell");
+    ratio *=
+        prob_ratio(cell_prob(nominal.duration_steps, draw.duration_cell),
+                   cell_prob(sampling.duration_steps, draw.duration_cell),
+                   "duration cell");
+    ratio *=
+        prob_ratio(cell_prob(nominal.magnitude_scale, draw.magnitude_cell),
+                   cell_prob(sampling.magnitude_scale, draw.magnitude_cell),
+                   "magnitude cell");
+  }
+  ratio *= prob_ratio(cell_prob(nominal.initial_bg, draw.bg_cell),
+                      cell_prob(sampling.initial_bg, draw.bg_cell),
+                      "initial-BG cell");
+  ratio *= draw.has_meal
+               ? prob_ratio(nominal.meal_prob, sampling.meal_prob, "meal")
+               : prob_ratio(1.0 - nominal.meal_prob, 1.0 - sampling.meal_prob,
+                            "meal-free run");
+  if (draw.has_meal) {
+    ratio *= prob_ratio(cell_prob(nominal.meal_carbs, draw.carbs_cell),
+                        cell_prob(sampling.meal_carbs, draw.carbs_cell),
+                        "carbs cell");
+    ratio *= prob_ratio(cell_prob(nominal.meal_step, draw.meal_step_cell),
+                        cell_prob(sampling.meal_step, draw.meal_step_cell),
+                        "meal-step cell");
+  }
+  return ratio;
+}
+
+std::vector<SampledScenario> enumerate_spec(const ScenarioSpec& spec) {
+  if (!spec.enumerable()) {
+    throw std::invalid_argument(
+        "enumerate_spec: spec has non-degenerate dimensions");
+  }
+  std::vector<SampledScenario> out;
+  const auto push = [&](const ScenarioDraw& draw) {
+    SampledScenario s;
+    s.index = out.size();
+    s.patient_index = spec.patients.front();
+    s.draw = draw;
+    s.config.steps = spec.steps;
+    s.config.initial_bg =
+        spec.initial_bg.cells[static_cast<std::size_t>(draw.bg_cell)].lo;
+    if (draw.has_fault) {
+      const FaultKind& kind = spec.kinds[static_cast<std::size_t>(draw.kind)];
+      s.config.fault.type = kind.type;
+      s.config.fault.target = kind.target;
+      s.config.fault.start_step =
+          spec.start_step.cells[static_cast<std::size_t>(draw.start_cell)].lo;
+      s.config.fault.duration_steps =
+          spec.duration_steps
+              .cells[static_cast<std::size_t>(draw.duration_cell)]
+              .lo;
+      s.config.fault.magnitude =
+          base_magnitude(spec, kind.target) *
+          spec.magnitude_scale
+              .cells[static_cast<std::size_t>(draw.magnitude_cell)]
+              .lo;
+    }
+    if (spec.meal_prob == 1.0) {
+      aps::sim::MealEvent meal;
+      meal.carbs_g = spec.meal_carbs.cells.front().lo;
+      meal.step = spec.meal_step.cells.front().lo;
+      s.config.meals.push_back(meal);
+      s.draw.has_meal = true;
+      s.draw.carbs_cell = 0;
+      s.draw.meal_step_cell = 0;
+    }
+    s.config.cgm.noise_std_mg_dl = spec.cgm_noise_std;
+    out.push_back(std::move(s));
+  };
+
+  if (spec.fault_prob == 0.0) {
+    for (std::size_t bg = 0; bg < spec.initial_bg.cells.size(); ++bg) {
+      ScenarioDraw draw;
+      draw.bg_cell = static_cast<int>(bg);
+      push(draw);
+    }
+    return out;
+  }
+  for (std::size_t k = 0; k < spec.kinds.size(); ++k) {
+    for (std::size_t st = 0; st < spec.start_step.cells.size(); ++st) {
+      for (std::size_t d = 0; d < spec.duration_steps.cells.size(); ++d) {
+        for (std::size_t m = 0; m < spec.magnitude_scale.cells.size(); ++m) {
+          for (std::size_t bg = 0; bg < spec.initial_bg.cells.size(); ++bg) {
+            ScenarioDraw draw;
+            draw.has_fault = true;
+            draw.kind = static_cast<int>(k);
+            draw.start_cell = static_cast<int>(st);
+            draw.duration_cell = static_cast<int>(d);
+            draw.magnitude_cell = static_cast<int>(m);
+            draw.bg_cell = static_cast<int>(bg);
+            push(draw);
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace aps::scenario

@@ -1,0 +1,165 @@
+// Declarative stochastic scenario distributions (the "what to simulate"
+// layer of the scenario engine).
+//
+// A ScenarioSpec is a product distribution over everything that varies
+// between closed-loop runs: fault kind / window / magnitude, initial BG,
+// meal disturbances, CGM noise, and the cohort patient. Continuous and
+// integer dimensions are piecewise-uniform mixtures of weighted cells;
+// because the cross-entropy sampler only *reweights* cells (never moves
+// their boundaries), likelihood ratios between a nominal and a tilted spec
+// reduce to exact products of cell-weight ratios — no density pitfalls.
+//
+// Sampling is deterministic at campaign scale: scenario `index` under
+// campaign seed `s` is drawn from Rng(s).split(index), so shard layout,
+// thread count, and evaluation order never change what scenario i is.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "fi/campaign.h"
+#include "sim/closed_loop.h"
+
+namespace aps::scenario {
+
+/// One weighted cell of a piecewise-uniform distribution: uniform on
+/// [lo, hi), or the point lo when lo == hi.
+struct Cell {
+  double lo = 0.0;
+  double hi = 0.0;
+  double weight = 1.0;
+};
+
+/// Integer counterpart: uniform over the inclusive range [lo, hi].
+struct IntCell {
+  int lo = 0;
+  int hi = 0;
+  double weight = 1.0;
+};
+
+struct ValueDist {
+  std::vector<Cell> cells;
+
+  [[nodiscard]] static ValueDist point(double v);
+  /// Equal-weight point cells, one per value (grid dimensions).
+  [[nodiscard]] static ValueDist points(const std::vector<double>& values);
+  /// [lo, hi) split into `bins` equal-weight cells.
+  [[nodiscard]] static ValueDist range(double lo, double hi,
+                                       std::size_t bins = 1);
+
+  [[nodiscard]] double total_weight() const;
+  /// All cells degenerate (lo == hi): the dimension is a finite value set.
+  [[nodiscard]] bool is_points() const;
+};
+
+struct IntDist {
+  std::vector<IntCell> cells;
+
+  [[nodiscard]] static IntDist point(int v);
+  [[nodiscard]] static IntDist points(const std::vector<int>& values);
+  /// [lo, hi] split into `bins` equal-weight contiguous subranges.
+  [[nodiscard]] static IntDist range(int lo, int hi, std::size_t bins = 1);
+
+  [[nodiscard]] double total_weight() const;
+  [[nodiscard]] bool is_points() const;
+};
+
+/// A (type, target) fault kind the spec can draw.
+struct FaultKind {
+  aps::fi::FaultType type = aps::fi::FaultType::kNone;
+  aps::fi::FaultTarget target = aps::fi::FaultTarget::kNone;
+};
+
+struct ScenarioSpec {
+  /// Cohort patients a scenario may draw, uniformly.
+  std::vector<int> patients = {0};
+  int steps = aps::kDefaultSimSteps;
+
+  /// Probability a scenario carries a fault at all (1 - fault_prob of the
+  /// campaign is fault-free background load).
+  double fault_prob = 1.0;
+  std::vector<FaultKind> kinds;
+  std::vector<double> kind_weights;  ///< same length as `kinds`
+  IntDist start_step = IntDist::point(20);
+  IntDist duration_steps = IntDist::point(30);
+  /// Multiplier on the per-target base magnitude below (kAdd/kSub).
+  ValueDist magnitude_scale = ValueDist::point(1.0);
+  double glucose_magnitude = 75.0;  ///< mg/dL
+  double rate_magnitude = 2.0;      ///< U/h
+  double iob_magnitude = 2.0;       ///< U
+
+  ValueDist initial_bg = ValueDist::point(120.0);
+
+  double meal_prob = 0.0;
+  ValueDist meal_carbs = ValueDist::point(45.0);
+  IntDist meal_step = IntDist::point(24);
+
+  double cgm_noise_std = 0.0;  ///< mg/dL additive sensor noise
+
+  /// Structural sanity (non-empty dimensions, weights aligned, probs in
+  /// [0, 1]). On failure returns false and, when `why` is non-null, a
+  /// human-readable reason.
+  [[nodiscard]] bool valid(std::string* why = nullptr) const;
+  /// Every fault/BG dimension is a finite point set and both Bernoulli
+  /// dimensions are degenerate: the spec can be exhaustively enumerated.
+  [[nodiscard]] bool enumerable() const;
+};
+
+/// Default production distribution: all 7 fault types x all 3 targets
+/// (including kControllerIob), randomized windows and magnitudes, mixed-in
+/// fault-free runs, meal disturbances, and CGM noise.
+[[nodiscard]] ScenarioSpec default_stochastic_spec(int cohort_size);
+
+/// The deterministic paper grid expressed as one ScenarioSpec (point cells
+/// per grid axis, no meals, no noise). enumerate_spec() of the result
+/// reproduces fi::enumerate_scenarios(grid) order exactly.
+[[nodiscard]] ScenarioSpec spec_from_grid(const aps::fi::CampaignGrid& grid,
+                                          int cohort_size);
+
+/// The cells/kinds realized by one draw — the spec-measurable part of a
+/// scenario, sufficient for likelihood evaluation.
+struct ScenarioDraw {
+  int patient_cell = 0;
+  bool has_fault = false;
+  int kind = -1;
+  int start_cell = -1;
+  int duration_cell = -1;
+  int magnitude_cell = -1;
+  int bg_cell = 0;
+  bool has_meal = false;
+  int carbs_cell = -1;
+  int meal_step_cell = -1;
+};
+
+struct SampledScenario {
+  std::uint64_t index = 0;
+  int patient_index = 0;
+  aps::sim::SimConfig config;  ///< ready to hand to run_simulation
+  ScenarioDraw draw;
+};
+
+/// Draw scenario `index` of the campaign keyed by `campaign_seed`.
+/// Deterministic and order-independent: uses Rng(campaign_seed).split(index).
+[[nodiscard]] SampledScenario sample_scenario(const ScenarioSpec& spec,
+                                              std::uint64_t index,
+                                              std::uint64_t campaign_seed);
+
+/// Importance weight p/q of a draw made under `sampling`, relative to the
+/// nominal spec. Both specs must share cell boundaries and kind lists (the
+/// cross-entropy sampler only retilts weights); throws std::invalid_argument
+/// on structural mismatch.
+[[nodiscard]] double likelihood_ratio(const ScenarioSpec& nominal,
+                                      const ScenarioSpec& sampling,
+                                      const ScenarioDraw& draw);
+
+/// Exhaustive cross product of an enumerable() spec in deterministic order
+/// (kind-major, then start, duration, magnitude, initial BG), one scenario
+/// per fault combination — patients are *not* expanded (the executor runs
+/// each enumerated scenario for every cohort patient). Throws
+/// std::invalid_argument when the spec is not enumerable.
+[[nodiscard]] std::vector<SampledScenario> enumerate_spec(
+    const ScenarioSpec& spec);
+
+}  // namespace aps::scenario

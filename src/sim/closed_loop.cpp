@@ -45,7 +45,7 @@ SimResult run_simulation(
   controller->reset();
   monitor.reset();
 
-  aps::patient::CgmSensor sensor(config.cgm, /*seed=*/0);
+  aps::patient::CgmSensor sensor(config.cgm, config.cgm_seed);
   aps::controller::IobCalculator ledger;
   aps::fi::FaultInjector injector(config.fault);
 
@@ -67,6 +67,12 @@ SimResult run_simulation(
   double prev_delivered = basal;
 
   for (int k = 0; k < config.steps; ++k) {
+    for (const MealEvent& meal : config.meals) {
+      if (meal.step == k && meal.carbs_g > 0.0) {
+        patient->announce_meal(meal.carbs_g);
+      }
+    }
+
     StepRecord rec;
     rec.time_min = static_cast<double>(k) * aps::kControlPeriodMin;
     rec.true_bg = patient->bg();

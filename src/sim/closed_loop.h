@@ -26,6 +26,14 @@
 
 namespace aps::sim {
 
+/// A carbohydrate disturbance announced to the patient model at a control
+/// step (extension beyond the paper's no-meal protocol; the scenario engine
+/// samples these).
+struct MealEvent {
+  int step = 0;
+  double carbs_g = 0.0;
+};
+
 struct SimConfig {
   int steps = aps::kDefaultSimSteps;
   double initial_bg = 120.0;
@@ -33,6 +41,10 @@ struct SimConfig {
   bool mitigation_enabled = false;
   aps::monitor::MitigationConfig mitigation;
   aps::patient::CgmConfig cgm;
+  /// Seed for CGM measurement noise; runs are pure functions of the config,
+  /// so identical configs replay identical noise regardless of scheduling.
+  std::uint64_t cgm_seed = 0;
+  std::vector<MealEvent> meals;    ///< announced in step order
   aps::risk::HazardLabelConfig labeling;
 };
 

@@ -1,5 +1,7 @@
 #include "sim/runner.h"
 
+#include <algorithm>
+#include <map>
 #include <numeric>
 
 namespace aps::sim {
@@ -23,6 +25,55 @@ std::vector<const SimResult*> CampaignResult::flat() const {
   return out;
 }
 
+std::size_t shard_count(std::size_t count, const StreamingOptions& streaming) {
+  const std::size_t size = streaming.shard_size > 0 ? streaming.shard_size : 1;
+  return (count + size - 1) / size;
+}
+
+void for_each_run(const Stack& stack, std::size_t count,
+                  const RunRequestFn& request,
+                  const MonitorFactory& make_monitor, const RunSink& sink,
+                  aps::ThreadPool* pool, const StreamingOptions& streaming) {
+  if (count == 0) return;
+  const std::size_t size = streaming.shard_size > 0 ? streaming.shard_size : 1;
+  const std::size_t shards = shard_count(count, streaming);
+
+  const auto run_shard = [&](std::size_t shard) {
+    // Prototypes are cached per (shard, patient): run_simulation clones the
+    // patient/controller itself and resets the monitor, so reuse across
+    // runs never leaks state between scenarios.
+    struct Prototypes {
+      std::unique_ptr<aps::patient::PatientModel> patient;
+      std::unique_ptr<aps::controller::Controller> controller;
+      std::unique_ptr<aps::monitor::Monitor> monitor;
+    };
+    std::map<int, Prototypes> cache;
+    const std::size_t begin = shard * size;
+    const std::size_t end = std::min(begin + size, count);
+    for (std::size_t i = begin; i < end; ++i) {
+      const RunRequest req = request(i);
+      auto it = cache.find(req.patient_index);
+      if (it == cache.end()) {
+        Prototypes protos;
+        protos.patient = stack.make_patient(req.patient_index);
+        protos.controller = stack.make_controller(*protos.patient);
+        protos.monitor = make_monitor(req.patient_index);
+        it = cache.emplace(req.patient_index, std::move(protos)).first;
+      }
+      const SimResult result = run_simulation(
+          *it->second.patient, *it->second.controller, *it->second.monitor,
+          req.config);
+      sink(shard, i, result);
+    }
+  };
+
+  if (pool != nullptr) {
+    pool->parallel_for(shards, run_shard);
+  } else {
+    for (std::size_t shard = 0; shard < shards; ++shard) run_shard(shard);
+  }
+}
+
 CampaignResult run_campaign(const Stack& stack,
                             const std::vector<aps::fi::Scenario>& scenarios,
                             const MonitorFactory& make_monitor,
@@ -38,33 +89,30 @@ CampaignResult run_campaign(const Stack& stack,
   CampaignResult result;
   result.by_patient.resize(patients.size());
   for (auto& v : result.by_patient) v.resize(scenarios.size());
+  if (scenarios.empty()) return result;
 
-  const auto run_one_patient = [&](std::size_t pi) {
-    const int patient_index = patients[pi];
-    const auto patient = stack.make_patient(patient_index);
-    const auto controller = stack.make_controller(*patient);
-    const auto monitor = make_monitor(patient_index);
-    for (std::size_t si = 0; si < scenarios.size(); ++si) {
-      SimConfig config;
-      config.steps = options.steps;
-      config.initial_bg = scenarios[si].initial_bg;
-      config.fault = scenarios[si].fault;
-      config.mitigation_enabled = options.mitigation_enabled;
-      config.mitigation = options.mitigation;
-      result.by_patient[pi][si] =
-          run_simulation(*patient, *controller, *monitor, config);
-    }
+  // One shard per patient keeps the former parallelization granularity (and
+  // one monitor instance per patient per campaign).
+  StreamingOptions streaming;
+  streaming.shard_size = std::max<std::size_t>(scenarios.size(), 1);
+
+  const auto request = [&](std::size_t i) {
+    const std::size_t pi = i / scenarios.size();
+    const std::size_t si = i % scenarios.size();
+    RunRequest req;
+    req.patient_index = patients[pi];
+    req.config.steps = options.steps;
+    req.config.initial_bg = scenarios[si].initial_bg;
+    req.config.fault = scenarios[si].fault;
+    req.config.mitigation_enabled = options.mitigation_enabled;
+    req.config.mitigation = options.mitigation;
+    return req;
   };
-
-  if (pool != nullptr) {
-    // Parallelize over patients: each worker owns its monitor clone, so no
-    // shared mutable state crosses threads.
-    pool->parallel_for(patients.size(), run_one_patient);
-  } else {
-    for (std::size_t pi = 0; pi < patients.size(); ++pi) {
-      run_one_patient(pi);
-    }
-  }
+  const auto sink = [&](std::size_t, std::size_t i, const SimResult& run) {
+    result.by_patient[i / scenarios.size()][i % scenarios.size()] = run;
+  };
+  for_each_run(stack, patients.size() * scenarios.size(), request,
+               make_monitor, sink, pool, streaming);
   return result;
 }
 

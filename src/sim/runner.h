@@ -1,8 +1,16 @@
 // Campaign runner: executes a set of fault-injection scenarios across a
 // patient cohort, optionally wrapped by a monitor, in parallel. Results are
 // placed by index, so output order is independent of thread scheduling.
+//
+// Two entry points share one execution core:
+//   - for_each_run: streaming. Each finished SimResult is handed to a sink
+//     and then dropped, so memory stays constant in the run count — this is
+//     what lets 10^6-run stochastic campaigns fit in RAM.
+//   - run_campaign: the materializing grid path, built on for_each_run,
+//     which retains every trace for training/evaluation pipelines.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -46,5 +54,43 @@ struct CampaignOptions {
     const MonitorFactory& make_monitor, const CampaignOptions& options = {},
     aps::ThreadPool* pool = nullptr,
     const std::vector<int>& patient_indices = {});
+
+// ---- Streaming execution core ----------------------------------------------
+
+/// One simulation to execute: which cohort patient and the full run config.
+struct RunRequest {
+  int patient_index = 0;
+  SimConfig config;
+};
+
+/// Describes run `i` of the campaign. Must be pure (no side effects): it is
+/// invoked from worker threads and may be re-invoked for the same index.
+using RunRequestFn = std::function<RunRequest(std::size_t)>;
+
+/// Consumes the finished run `i` executed by shard `shard`. Called
+/// concurrently from pool workers for different indices; calls for the same
+/// shard are sequential, so per-shard state needs no locking.
+using RunSink = std::function<void(std::size_t shard, std::size_t index,
+                                   const SimResult& result)>;
+
+struct StreamingOptions {
+  /// Contiguous indices executed by one pool task; also the granularity of
+  /// per-shard sinks/accumulators.
+  std::size_t shard_size = 64;
+};
+
+/// Number of shards for_each_run will use for `count` runs.
+[[nodiscard]] std::size_t shard_count(std::size_t count,
+                                      const StreamingOptions& streaming = {});
+
+/// Execute `count` runs described by `request`, streaming each result to
+/// `sink` without retaining it. Patient/controller/monitor prototypes are
+/// cached per shard, so mixed-patient campaigns stay cheap. Deterministic:
+/// results depend only on the request, never on scheduling.
+void for_each_run(const Stack& stack, std::size_t count,
+                  const RunRequestFn& request,
+                  const MonitorFactory& make_monitor, const RunSink& sink,
+                  aps::ThreadPool* pool = nullptr,
+                  const StreamingOptions& streaming = {});
 
 }  // namespace aps::sim

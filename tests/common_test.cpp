@@ -71,6 +71,59 @@ TEST(Rng, DerivedSeedsAreIndependentStreams) {
   }
 }
 
+TEST(Rng, SplitDerivesReproducibleChildStreams) {
+  Rng parent(42);
+  Rng a = parent.split(7);
+  EXPECT_EQ(a.seed(), derive_seed(42, 7));
+  // split depends only on the parent's seed, not on its draw position.
+  (void)parent.uniform(0.0, 1.0);
+  Rng b = parent.split(7);
+  EXPECT_EQ(b.seed(), a.seed());
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+  EXPECT_NE(parent.split(1).seed(), parent.split(2).seed());
+  EXPECT_NE(Rng(1).split(0).seed(), Rng(2).split(0).seed());
+}
+
+TEST(Stats, RunningStatsMergeMatchesSequential) {
+  const std::vector<double> xs = {1.0, 5.0, 2.5, -3.0, 8.0, 4.0, 0.5};
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i < 3 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), whole.min());
+  EXPECT_DOUBLE_EQ(left.max(), whole.max());
+  // Merging into an empty accumulator copies.
+  RunningStats empty;
+  empty.merge(whole);
+  EXPECT_NEAR(empty.mean(), whole.mean(), 1e-12);
+}
+
+TEST(Stats, HistogramAccumulatorMergeMatchesBatch) {
+  const std::vector<double> xs = {-10.0, 0.5, 1.5, 99.0, 1.0, 0.1};
+  HistogramAccumulator whole(0.0, 2.0, 2);
+  HistogramAccumulator left(0.0, 2.0, 2);
+  HistogramAccumulator right(0.0, 2.0, 2);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    whole.add(xs[i]);
+    (i % 2 == 0 ? left : right).add(xs[i]);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.counts(), whole.counts());
+  EXPECT_EQ(left.total(), whole.total());
+  // Bins match the batch histogram() helper.
+  EXPECT_EQ(whole.counts(), histogram(xs, 0.0, 2.0, 2));
+  EXPECT_DOUBLE_EQ(whole.bin_lo(1), 1.0);
+}
+
 TEST(TextTable, AlignsAndFormats) {
   TextTable table({"name", "value"});
   table.add_row({"x", TextTable::num(1.23456, 2)});

@@ -86,6 +86,37 @@ TEST(FaultInjector, HoldFreezesPreFaultValue) {
       injector.apply(FaultTarget::kSensorGlucose, 180.0, 15, range), 180.0);
 }
 
+TEST(FaultInjector, HoldKeepsValueAcrossWholeWindow) {
+  FaultInjector injector(spec_of(FaultType::kHold));  // window [10, 15)
+  const auto range = glucose_range();
+  (void)injector.apply(FaultTarget::kSensorGlucose, 100.0, 9, range);
+  // The pre-fault reading is replayed at every step of the window, no
+  // matter how the live value moves.
+  for (int step = 10; step < 15; ++step) {
+    EXPECT_DOUBLE_EQ(injector.apply(FaultTarget::kSensorGlucose,
+                                    100.0 + 10.0 * step, step, range),
+                     100.0);
+  }
+}
+
+TEST(FaultInjector, ResetClearsHeldValue) {
+  FaultInjector injector(spec_of(FaultType::kHold));
+  const auto range = glucose_range();
+  (void)injector.apply(FaultTarget::kSensorGlucose, 100.0, 9, range);
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kSensorGlucose, 140.0, 10, range), 100.0);
+  injector.reset();
+  // No held value after reset: an in-window step with no pre-fault
+  // observation passes the live reading through.
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kSensorGlucose, 150.0, 12, range), 150.0);
+  // The injector re-arms for the next simulation: a fresh pre-fault value
+  // is captured and held again.
+  (void)injector.apply(FaultTarget::kSensorGlucose, 111.0, 9, range);
+  EXPECT_DOUBLE_EQ(
+      injector.apply(FaultTarget::kSensorGlucose, 180.0, 11, range), 111.0);
+}
+
 TEST(FaultInjector, MaxMinAddSubBitflip) {
   const auto range = glucose_range();
   FaultInjector max_injector(spec_of(FaultType::kMax));
@@ -140,6 +171,31 @@ TEST(Campaign, FaultFreeScenariosHaveNoFault) {
   for (const auto& s : fault_free_scenarios(CampaignGrid::full())) {
     EXPECT_FALSE(s.fault.enabled());
   }
+}
+
+TEST(Campaign, FaultFreeScenariosFollowGridOrderDeterministically) {
+  const auto grid = CampaignGrid::full();
+  const auto a = fault_free_scenarios(grid);
+  const auto b = fault_free_scenarios(grid);
+  ASSERT_EQ(a.size(), grid.initial_bgs.size());
+  ASSERT_EQ(a.size(), b.size());
+  // One scenario per initial BG, in the grid's declaration order, on
+  // every call.
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].initial_bg, grid.initial_bgs[i]);
+    EXPECT_DOUBLE_EQ(b[i].initial_bg, grid.initial_bgs[i]);
+  }
+}
+
+TEST(Campaign, ExtendedGridAddsIobTarget) {
+  const auto grid = CampaignGrid::extended();
+  EXPECT_EQ(enumerate_scenarios(grid).size(), 1323u);  // 21 x 9 x 7
+  EXPECT_DOUBLE_EQ(grid.magnitude_for(FaultTarget::kControllerIob),
+                   grid.iob_magnitude);
+  EXPECT_DOUBLE_EQ(grid.magnitude_for(FaultTarget::kSensorGlucose),
+                   grid.glucose_magnitude);
+  EXPECT_DOUBLE_EQ(grid.magnitude_for(FaultTarget::kCommandRate),
+                   grid.rate_magnitude);
 }
 
 // --- Risk index -----------------------------------------------------------------------

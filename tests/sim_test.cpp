@@ -113,6 +113,49 @@ TEST(ClosedLoop, MitigationOverridesDeliveredRateOnAlarm) {
   EXPECT_TRUE(overrode);
 }
 
+TEST(ClosedLoop, MealEventRaisesGlucose) {
+  const auto stack = glucosym_openaps_stack();
+  const auto patient = stack.make_patient(2);
+  const auto controller = stack.make_controller(*patient);
+  aps::monitor::NullMonitor monitor;
+  SimConfig config;
+  config.initial_bg = 120.0;
+  const auto plain = run_simulation(*patient, *controller, monitor, config);
+  config.meals.push_back({/*step=*/24, /*carbs_g=*/60.0});
+  const auto fed = run_simulation(*patient, *controller, monitor, config);
+  double plain_max = 0.0;
+  double fed_max = 0.0;
+  for (const auto& s : plain.steps) plain_max = std::max(plain_max, s.true_bg);
+  for (const auto& s : fed.steps) fed_max = std::max(fed_max, s.true_bg);
+  EXPECT_GT(fed_max, plain_max + 20.0);
+  // Before the meal the traces are identical.
+  for (int k = 0; k < 24; ++k) {
+    EXPECT_DOUBLE_EQ(plain.steps[static_cast<std::size_t>(k)].true_bg,
+                     fed.steps[static_cast<std::size_t>(k)].true_bg);
+  }
+}
+
+TEST(ClosedLoop, CgmSeedControlsNoiseStream) {
+  const auto stack = glucosym_openaps_stack();
+  const auto patient = stack.make_patient(2);
+  const auto controller = stack.make_controller(*patient);
+  aps::monitor::NullMonitor monitor;
+  SimConfig config;
+  config.cgm.noise_std_mg_dl = 5.0;
+  config.cgm_seed = 1;
+  const auto a = run_simulation(*patient, *controller, monitor, config);
+  const auto b = run_simulation(*patient, *controller, monitor, config);
+  config.cgm_seed = 2;
+  const auto c = run_simulation(*patient, *controller, monitor, config);
+  // Same seed: bit-identical noise; different seed: different stream.
+  bool differs = false;
+  for (std::size_t k = 0; k < a.steps.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.steps[k].cgm_bg, b.steps[k].cgm_bg);
+    differs |= a.steps[k].cgm_bg != c.steps[k].cgm_bg;
+  }
+  EXPECT_TRUE(differs);
+}
+
 TEST(ClosedLoop, AccessorsAreConsistent) {
   const auto stack = glucosym_openaps_stack();
   const auto patient = stack.make_patient(0);
