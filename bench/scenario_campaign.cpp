@@ -6,9 +6,14 @@
 // The streamed modes keep peak memory flat as the count ramps 1k -> 100k
 // (the delta-RSS column), which is the point of the streaming executor.
 //
+// An A/B stage runs the same stochastic campaign on the scalar and the
+// batched SoA backends and prints the speedup; both rows must report the
+// same hazard/alarm numbers (the backends are bit-identical — see
+// tests/batch_equivalence_test.cpp).
+//
 // Build & run:  ./build/bench_scenario_campaign [--runs=100000]
 //               [--budget-ms=0] [--threads=0] [--seed=2021] [--full]
-//               [--materialized] [--csv]
+//               [--materialized] [--csv] [--backend=both|batched|scalar]
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -113,8 +118,38 @@ int main(int argc, char** argv) {
          TextTable::num(peak_rss_mb() - rss_before, 1)});
   }
 
-  // --- Stochastic mode: ramp the count; delta-RSS should stay ~0. ----------
+  // --- Backend A/B: the same campaign on both execution backends. -----------
   const auto spec = scenario::default_stochastic_spec(stack.cohort_size);
+  const std::string backend_flag = flags.get_string("backend", "both");
+  double scalar_rps = 0.0;
+  double batched_rps = 0.0;
+  if (!out_of_budget()) {
+    const std::size_t ab_runs = std::min<std::size_t>(max_runs, 5000);
+    const auto run_backend = [&](sim::SimBackend backend,
+                                 const std::string& label, double* rps) {
+      scenario::StochasticCampaignConfig config;
+      config.runs = ab_runs;
+      config.seed = seed;
+      config.streaming.backend = backend;
+      const double rss_before = peak_rss_mb();
+      const auto stage = std::chrono::steady_clock::now();
+      const auto stats = scenario::run_stochastic_campaign(
+          stack, spec, config, sim::null_monitor_factory(), &pool);
+      const double wall = seconds_since(stage);
+      *rps = static_cast<double>(stats.runs) / std::max(wall, 1e-9);
+      add_row(label, stats, wall, rss_before);
+    };
+    if (backend_flag == "both" || backend_flag == "scalar") {
+      run_backend(sim::SimBackend::kScalar, "stochastic[scalar]",
+                  &scalar_rps);
+    }
+    if (backend_flag == "both" || backend_flag == "batched") {
+      run_backend(sim::SimBackend::kBatched, "stochastic[batched]",
+                  &batched_rps);
+    }
+  }
+
+  // --- Stochastic mode: ramp the count; delta-RSS should stay ~0. ----------
   for (std::size_t runs = 1000; runs <= max_runs; runs *= 10) {
     if (out_of_budget()) break;
     scenario::StochasticCampaignConfig config;
@@ -157,6 +192,10 @@ int main(int argc, char** argv) {
     table.print_csv(std::cout);
   } else {
     table.print(std::cout);
+  }
+  if (scalar_rps > 0.0 && batched_rps > 0.0) {
+    std::printf("\nbatched backend speedup: %.2fx (%.0f vs %.0f runs/s)\n",
+                batched_rps / scalar_rps, batched_rps, scalar_rps);
   }
   if (ran_ce) {
     std::printf(

@@ -19,8 +19,8 @@ BasalBolusConfig basal_bolus_config_for(double basal_u_per_h,
 BasalBolusController::BasalBolusController(BasalBolusConfig config)
     : config_(config) {}
 
-double BasalBolusController::decide_rate(const ControllerInput& in) {
-  const auto& c = config_;
+double BasalBolusController::decide(const BasalBolusConfig& c,
+                                    const ControllerInput& in) {
   if (in.bg_mg_dl <= c.suspend_bg) return 0.0;
   double bolus_u = 0.0;
   if (in.bg_mg_dl > c.correction_threshold) {
@@ -32,8 +32,32 @@ double BasalBolusController::decide_rate(const ControllerInput& in) {
   return c.basal_u_per_h + bolus_u * (60.0 / kControlPeriodMin);
 }
 
+double BasalBolusController::decide_rate(const ControllerInput& in) {
+  return decide(config_, in);
+}
+
 std::unique_ptr<Controller> BasalBolusController::clone() const {
   return std::make_unique<BasalBolusController>(*this);
+}
+
+std::unique_ptr<ControllerBatch> BasalBolusController::make_batch() const {
+  return std::make_unique<BasalBolusBatch>();
+}
+
+// ---- BasalBolusBatch -------------------------------------------------------
+
+bool BasalBolusBatch::add_lane(const Controller& prototype) {
+  const auto* bb = dynamic_cast<const BasalBolusController*>(&prototype);
+  if (bb == nullptr) return false;
+  configs_.push_back(bb->config());
+  return true;
+}
+
+void BasalBolusBatch::decide_rates(std::span<const ControllerInput> in,
+                                   std::span<double> rates) {
+  for (std::size_t l = 0; l < configs_.size(); ++l) {
+    rates[l] = BasalBolusController::decide(configs_[l], in[l]);
+  }
 }
 
 }  // namespace aps::controller

@@ -8,6 +8,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "controller/controller.h"
 
@@ -37,12 +38,35 @@ class BasalBolusController final : public Controller {
   }
   [[nodiscard]] const std::string& name() const override { return name_; }
   [[nodiscard]] std::unique_ptr<Controller> clone() const override;
+  [[nodiscard]] std::unique_ptr<ControllerBatch> make_batch() const override;
 
   [[nodiscard]] const BasalBolusConfig& config() const { return config_; }
 
  private:
+  friend class BasalBolusBatch;
+
+  /// The protocol itself, stateless — the single kernel shared by the
+  /// scalar controller and BasalBolusBatch.
+  [[nodiscard]] static double decide(const BasalBolusConfig& c,
+                                     const ControllerInput& in);
+
   BasalBolusConfig config_;
   std::string name_ = "basal-bolus";
+};
+
+/// Batched basal-bolus protocol: per-lane configs, no state; every lane
+/// runs the same BasalBolusController::decide kernel as the scalar
+/// controller, so the backends are bit-identical by construction.
+class BasalBolusBatch final : public ControllerBatch {
+ public:
+  [[nodiscard]] bool add_lane(const Controller& prototype) override;
+  [[nodiscard]] std::size_t lanes() const override { return configs_.size(); }
+  void reset_lane(std::size_t) override {}
+  void decide_rates(std::span<const ControllerInput> in,
+                    std::span<double> rates) override;
+
+ private:
+  std::vector<BasalBolusConfig> configs_;
 };
 
 [[nodiscard]] BasalBolusConfig basal_bolus_config_for(double basal_u_per_h,

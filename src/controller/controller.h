@@ -8,7 +8,9 @@
 // internals (threat model of §IV-C1).
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 
 namespace aps::controller {
@@ -18,6 +20,29 @@ struct ControllerInput {
   double iob_u = 0.0;           ///< insulin-on-board estimate (U)
   double activity_u_per_min = 0.0;  ///< current insulin activity (U/min)
   double time_min = 0.0;        ///< simulation time
+};
+
+class Controller;
+
+/// Lockstep batch counterpart of Controller: N independent control laws
+/// deciding together, with any per-lane state held as structure-of-arrays.
+/// Lane semantics are bit-identical to one Controller clone per lane.
+class ControllerBatch {
+ public:
+  virtual ~ControllerBatch() = default;
+
+  /// Append a lane configured like `prototype`; returns false when the
+  /// prototype is not this batch's controller kind.
+  [[nodiscard]] virtual bool add_lane(const Controller& prototype) = 0;
+
+  [[nodiscard]] virtual std::size_t lanes() const = 0;
+
+  /// Controller::reset for one lane.
+  virtual void reset_lane(std::size_t lane) = 0;
+
+  /// rates[lane] = lane's decide_rate(in[lane]) for every lane.
+  virtual void decide_rates(std::span<const ControllerInput> in,
+                            std::span<double> rates) = 0;
 };
 
 class Controller {
@@ -40,6 +65,13 @@ class Controller {
   [[nodiscard]] virtual const std::string& name() const = 0;
 
   [[nodiscard]] virtual std::unique_ptr<Controller> clone() const = 0;
+
+  /// A fresh, empty batch backend of this controller's kind, or nullptr
+  /// when there is no specialized batch implementation (the simulator then
+  /// calls decide_rate on per-lane clones).
+  [[nodiscard]] virtual std::unique_ptr<ControllerBatch> make_batch() const {
+    return nullptr;
+  }
 };
 
 /// Derive an insulin sensitivity factor from a basal profile with the

@@ -77,6 +77,69 @@ double IobCalculator::activity() const {
   return total;
 }
 
+IobTable IobTable::build(const IobCurve& curve, double period_min) {
+  IobTable table;
+  table.period_min = period_min;
+  // Ages accumulate exactly as IobCalculator::record accumulates them: a
+  // pulse starts at period/2 and gains one period per cycle, so slot ages
+  // repeat the same chain of additions (bit-identical doubles).
+  for (double age = period_min * 0.5; age < curve.dia_min;
+       age += period_min) {
+    table.iob_fraction.push_back(curve.iob_fraction(age));
+    table.activity.push_back(curve.activity(age));
+  }
+  return table;
+}
+
+BatchIobLedger::BatchIobLedger(std::size_t lanes, IobCurve curve,
+                               double period_min)
+    : lanes_(lanes),
+      curve_(curve),
+      table_(IobTable::build(curve, period_min)),
+      units_(table_.slots() * lanes, 0.0),
+      head_(table_.slots() - 1) {}
+
+void BatchIobLedger::warm(std::size_t lane, double rate_u_per_h) {
+  const double pulse = rate_u_per_h * table_.period_min / 60.0;
+  for (std::size_t slot = 0; slot < table_.slots(); ++slot) {
+    units_[slot * lanes_ + lane] = pulse;
+  }
+}
+
+void BatchIobLedger::record(std::span<const double> units) {
+  const std::size_t slots = table_.slots();
+  // The oldest slot ages past DIA and is recycled for the new pulse.
+  head_ = (head_ + 1) % slots;
+  double* dst = units_.data() + head_ * lanes_;
+  for (std::size_t lane = 0; lane < lanes_; ++lane) dst[lane] = units[lane];
+}
+
+void BatchIobLedger::iob(std::span<double> out) const {
+  const std::size_t slots = table_.slots();
+  for (std::size_t lane = 0; lane < lanes_; ++lane) out[lane] = 0.0;
+  // j = cycles since delivery; iterate oldest pulse (largest age) first so
+  // each lane's sum order matches IobCalculator::iob.
+  for (std::size_t j = slots; j-- > 0;) {
+    const double* src = units_.data() + ((head_ + slots - j) % slots) * lanes_;
+    const double fraction = table_.iob_fraction[j];
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      out[lane] += src[lane] * fraction;
+    }
+  }
+}
+
+void BatchIobLedger::activity(std::span<double> out) const {
+  const std::size_t slots = table_.slots();
+  for (std::size_t lane = 0; lane < lanes_; ++lane) out[lane] = 0.0;
+  for (std::size_t j = slots; j-- > 0;) {
+    const double* src = units_.data() + ((head_ + slots - j) % slots) * lanes_;
+    const double act = table_.activity[j];
+    for (std::size_t lane = 0; lane < lanes_; ++lane) {
+      out[lane] += src[lane] * act;
+    }
+  }
+}
+
 double IobCalculator::steady_state_iob(double rate_u_per_h) const {
   // Discrete sum of per-cycle pulses across the DIA window.
   const double per_cycle = rate_u_per_h * kControlPeriodMin / 60.0;

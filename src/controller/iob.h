@@ -19,6 +19,8 @@
 
 #include <cstddef>
 #include <deque>
+#include <span>
+#include <vector>
 
 namespace aps::controller {
 
@@ -65,6 +67,62 @@ class IobCalculator {
 
   IobCurve curve_;
   std::deque<Pulse> pulses_;
+};
+
+/// Precomputed curve samples for the fixed-cadence pulse trains of
+/// closed-loop simulation. A pulse recorded `j` cycles ago has age
+/// (j + 0.5) * period (IobCalculator centers each pulse in its cycle), so
+/// slot j caches iob_fraction/activity at exactly that age — evaluating
+/// the curve's exponentials once per batch instead of once per pulse per
+/// query. Values are produced by the IobCurve itself, so table lookups are
+/// bit-identical to direct evaluation.
+struct IobTable {
+  double period_min = 0.0;
+  std::vector<double> iob_fraction;  ///< [slot j] = fraction at (j+0.5)*period
+  std::vector<double> activity;      ///< [slot j] = activity at (j+0.5)*period
+
+  /// Slots cover every age below the curve's DIA (pulses at or beyond DIA
+  /// are dropped by IobCalculator::record and contribute nothing).
+  [[nodiscard]] static IobTable build(const IobCurve& curve,
+                                      double period_min);
+
+  [[nodiscard]] std::size_t slots() const { return iob_fraction.size(); }
+};
+
+/// Structure-of-arrays insulin-on-board ledger for N lanes advancing in
+/// lockstep at a fixed cadence. Holds one ring of per-cycle pulse units per
+/// lane plus the shared IobTable; iob()/activity() for each lane are
+/// bit-identical to an IobCalculator fed the same (non-negative) per-cycle
+/// pulses, because zero-unit slots add exact +0.0 terms and table entries
+/// equal direct curve evaluations.
+class BatchIobLedger {
+ public:
+  BatchIobLedger(std::size_t lanes, IobCurve curve, double period_min);
+
+  [[nodiscard]] std::size_t lanes() const { return lanes_; }
+  [[nodiscard]] const IobCurve& curve() const { return curve_; }
+
+  /// Fill every slot of `lane` with the per-cycle pulse of a constant
+  /// `rate_u_per_h` basal — the state the scalar path reaches by warming a
+  /// fresh IobCalculator for one full DIA window.
+  void warm(std::size_t lane, double rate_u_per_h);
+
+  /// Record the units delivered over the cycle just ended (units[lane]
+  /// must be >= 0), advancing every lane by one period.
+  void record(std::span<const double> units);
+
+  /// out[lane] = insulin on board (U); oldest-pulse-first summation to
+  /// match IobCalculator::iob exactly.
+  void iob(std::span<double> out) const;
+  /// out[lane] = insulin activity (U/min).
+  void activity(std::span<double> out) const;
+
+ private:
+  std::size_t lanes_ = 0;
+  IobCurve curve_;
+  IobTable table_;
+  std::vector<double> units_;  ///< slot-major: units_[slot * lanes_ + lane]
+  std::size_t head_ = 0;       ///< slot holding the most recent pulse
 };
 
 }  // namespace aps::controller

@@ -25,11 +25,11 @@ void PidController::reset() {
   last_bg_ = -1.0;
 }
 
-double PidController::decide_rate(const ControllerInput& in) {
-  const auto& c = config_;
+double PidController::decide(const PidConfig& c, const ControllerInput& in,
+                             double& integral, double& last_bg) {
   if (in.bg_mg_dl <= c.suspend_bg) {
     // Suspend and bleed the integral so resumption is not aggressive.
-    integral_ *= 0.5;
+    integral *= 0.5;
     return 0.0;
   }
 
@@ -40,28 +40,61 @@ double PidController::decide_rate(const ControllerInput& in) {
 
   // Integral with conditional anti-windup: only integrate while the output
   // is not saturated in the same direction.
-  const double delta = last_bg_ < 0.0 ? 0.0 : in.bg_mg_dl - last_bg_;
-  last_bg_ = in.bg_mg_dl;
+  const double delta = last_bg < 0.0 ? 0.0 : in.bg_mg_dl - last_bg;
+  last_bg = in.bg_mg_dl;
   const double d_term = c.kp * (c.td_min / kControlPeriodMin) * delta;
 
   const double iob_excess = std::max(0.0, in.iob_u - c.basal_iob_u);
   const double feedback = c.insulin_feedback * iob_excess;
 
-  const double unsat = c.basal_u_per_h + p_term + integral_ + d_term -
+  const double unsat = c.basal_u_per_h + p_term + integral + d_term -
                        feedback;
   const double rate = std::clamp(unsat, 0.0, max_rate);
   const bool saturated_high = unsat > max_rate && error > 0.0;
   const bool saturated_low = unsat < 0.0 && error < 0.0;
   if (!saturated_high && !saturated_low) {
-    integral_ += c.kp * (kControlPeriodMin / c.ti_min) * error;
+    integral += c.kp * (kControlPeriodMin / c.ti_min) * error;
     // Bound the integral to one max-basal swing either way.
-    integral_ = std::clamp(integral_, -max_rate, max_rate);
+    integral = std::clamp(integral, -max_rate, max_rate);
   }
   return rate;
 }
 
+double PidController::decide_rate(const ControllerInput& in) {
+  return decide(config_, in, integral_, last_bg_);
+}
+
 std::unique_ptr<Controller> PidController::clone() const {
   return std::make_unique<PidController>(*this);
+}
+
+std::unique_ptr<ControllerBatch> PidController::make_batch() const {
+  return std::make_unique<PidBatch>();
+}
+
+// ---- PidBatch --------------------------------------------------------------
+
+bool PidBatch::add_lane(const Controller& prototype) {
+  const auto* pid = dynamic_cast<const PidController*>(&prototype);
+  if (pid == nullptr) return false;
+  configs_.push_back(pid->config());
+  integral_.push_back(0.0);
+  last_bg_.push_back(-1.0);
+  return true;
+}
+
+void PidBatch::reset_lane(std::size_t lane) {
+  // Mirrors PidController::reset.
+  integral_[lane] = 0.0;
+  last_bg_[lane] = -1.0;
+}
+
+void PidBatch::decide_rates(std::span<const ControllerInput> in,
+                            std::span<double> rates) {
+  for (std::size_t l = 0; l < configs_.size(); ++l) {
+    rates[l] =
+        PidController::decide(configs_[l], in[l], integral_[l], last_bg_[l]);
+  }
 }
 
 }  // namespace aps::controller

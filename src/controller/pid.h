@@ -9,6 +9,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "controller/controller.h"
 
@@ -42,16 +43,43 @@ class PidController final : public Controller {
   }
   [[nodiscard]] const std::string& name() const override { return name_; }
   [[nodiscard]] std::unique_ptr<Controller> clone() const override;
+  [[nodiscard]] std::unique_ptr<ControllerBatch> make_batch() const override;
 
   [[nodiscard]] const PidConfig& config() const { return config_; }
   /// Integral state (U/h), exposed for anti-windup tests.
   [[nodiscard]] double integral() const { return integral_; }
 
  private:
+  friend class PidBatch;
+
+  /// The control law itself, over explicit state references — the single
+  /// kernel shared by the scalar controller and PidBatch, so the two
+  /// backends cannot diverge.
+  [[nodiscard]] static double decide(const PidConfig& c,
+                                     const ControllerInput& in,
+                                     double& integral, double& last_bg);
+
   PidConfig config_;
   std::string name_ = "pid";
   double integral_ = 0.0;   ///< accumulated integral term (U/h)
   double last_bg_ = -1.0;
+};
+
+/// Batched PID: per-lane configs plus SoA integral/last-BG state; every
+/// lane runs the same PidController::decide kernel as the scalar
+/// controller, so the backends are bit-identical by construction.
+class PidBatch final : public ControllerBatch {
+ public:
+  [[nodiscard]] bool add_lane(const Controller& prototype) override;
+  [[nodiscard]] std::size_t lanes() const override { return configs_.size(); }
+  void reset_lane(std::size_t lane) override;
+  void decide_rates(std::span<const ControllerInput> in,
+                    std::span<double> rates) override;
+
+ private:
+  std::vector<PidConfig> configs_;
+  std::vector<double> integral_;
+  std::vector<double> last_bg_;
 };
 
 [[nodiscard]] PidConfig pid_config_for(double basal_u_per_h,

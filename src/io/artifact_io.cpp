@@ -24,6 +24,10 @@ aps::ml::Matrix read_matrix(BinaryReader& in) {
     throw IoError("corrupt artifact: implausible matrix dimensions in '" +
                   in.path() + "'");
   }
+  if (rows * cols * sizeof(double) > in.remaining() + sizeof(std::uint64_t)) {
+    throw IoError("corrupt artifact: matrix larger than file in '" +
+                  in.path() + "'");
+  }
   std::vector<double> data = in.vec_f64();
   if (data.size() != rows * cols) {
     throw IoError("corrupt artifact: matrix payload size mismatch in '" +
@@ -40,11 +44,8 @@ void write_size_vec(BinaryWriter& out, const std::vector<std::size_t>& v) {
 }
 
 std::vector<std::size_t> read_size_vec(BinaryReader& in) {
-  const std::uint64_t n = in.u64();
-  if (n > (1u << 20)) {
-    throw IoError("corrupt artifact: implausible size-vector length in '" +
-                  in.path() + "'");
-  }
+  const std::uint64_t n =
+      in.count(1u << 20, "size-vector length", sizeof(std::uint64_t));
   std::vector<std::size_t> v(n);
   for (auto& s : v) s = in.u64();
   return v;
@@ -135,11 +136,9 @@ struct ModelSerde {
     aps::ml::DecisionTree tree(config);
     tree.classes_ = in.i32();
     tree.depth_ = in.i32();
-    const std::uint64_t node_count = in.u64();
-    if (node_count > (1u << 26)) {
-      throw IoError("corrupt artifact: implausible tree node count in '" +
-                    in.path() + "'");
-    }
+    // Minimum serialized node: flag + feature + threshold + children +
+    // empty class-prob vector = 1 + 8 + 8 + 4 + 4 + 8 bytes.
+    const std::uint64_t node_count = in.count(1u << 26, "tree node", 33);
     tree.nodes_.resize(node_count);
     for (auto& node : tree.nodes_) {
       node.is_leaf = in.u8() != 0;
@@ -198,11 +197,8 @@ struct ModelSerde {
 
     aps::ml::Mlp mlp(config);
     mlp.layer_sizes_ = read_size_vec(in);
-    const std::uint64_t layers = in.u64();
-    if (layers > (1u << 10)) {
-      throw IoError("corrupt artifact: implausible MLP layer count in '" +
-                    in.path() + "'");
-    }
+    // Minimum serialized layer: weight + bias matrix headers and lengths.
+    const std::uint64_t layers = in.count(1u << 10, "MLP layer", 48);
     for (std::uint64_t l = 0; l < layers; ++l) {
       mlp.weights_.push_back(read_matrix(in));
       mlp.biases_.push_back(read_matrix(in));
@@ -263,11 +259,8 @@ struct ModelSerde {
     config.seed = in.u64();
 
     aps::ml::Lstm lstm(config);
-    const std::uint64_t layers = in.u64();
-    if (layers > (1u << 10)) {
-      throw IoError("corrupt artifact: implausible LSTM layer count in '" +
-                    in.path() + "'");
-    }
+    // Minimum serialized layer: hidden size + three matrix headers/lengths.
+    const std::uint64_t layers = in.count(1u << 10, "LSTM layer", 80);
     for (std::uint64_t l = 0; l < layers; ++l) {
       aps::ml::Lstm::Layer layer;
       layer.hidden = in.u64();
@@ -337,32 +330,23 @@ void write_training_artifacts(
 
 aps::core::TrainingArtifacts read_training_artifacts(BinaryReader& in) {
   aps::core::TrainingArtifacts artifacts;
-  const std::uint64_t profiles = in.u64();
-  if (profiles > (1u << 24)) {
-    throw IoError("corrupt artifact: implausible profile count in '" +
-                  in.path() + "'");
-  }
+  // Each profile is three raw doubles.
+  const std::uint64_t profiles = in.count(1u << 24, "profile", 24);
   artifacts.profiles.resize(profiles);
   for (auto& profile : artifacts.profiles) {
     profile.basal_rate = in.f64();
     profile.isf = in.f64();
     profile.steady_state_iob = in.f64();
   }
-  const std::uint64_t thresholds = in.u64();
-  if (thresholds > (1u << 24)) {
-    throw IoError("corrupt artifact: implausible threshold-set count in '" +
-                  in.path() + "'");
-  }
+  // Each threshold set is at least an empty map (8-byte count).
+  const std::uint64_t thresholds = in.count(1u << 24, "threshold-set", 8);
   artifacts.patient_thresholds.reserve(thresholds);
   for (std::uint64_t i = 0; i < thresholds; ++i) {
     artifacts.patient_thresholds.push_back(in.map_f64());
   }
   artifacts.population_thresholds = in.map_f64();
-  const std::uint64_t guidelines = in.u64();
-  if (guidelines > (1u << 24)) {
-    throw IoError("corrupt artifact: implausible guideline count in '" +
-                  in.path() + "'");
-  }
+  // Each guideline config is six doubles plus an i32.
+  const std::uint64_t guidelines = in.count(1u << 24, "guideline", 52);
   artifacts.guideline_configs.reserve(guidelines);
   for (std::uint64_t i = 0; i < guidelines; ++i) {
     artifacts.guideline_configs.push_back(read_guideline_config(in));

@@ -1,5 +1,6 @@
 #include "io/serial.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace aps::io {
@@ -78,6 +79,13 @@ BinaryReader::BinaryReader(const std::string& path)
   if (!in_) {
     throw IoError("cannot open '" + path + "' for reading");
   }
+  in_.seekg(0, std::ios::end);
+  const auto end = in_.tellg();
+  in_.seekg(0, std::ios::beg);
+  if (end < 0 || !in_) {
+    throw IoError("cannot determine size of '" + path + "'");
+  }
+  size_ = static_cast<std::uint64_t>(end);
 }
 
 void BinaryReader::raw(void* data, std::size_t n) {
@@ -86,14 +94,28 @@ void BinaryReader::raw(void* data, std::size_t n) {
     throw IoError("truncated artifact: unexpected end of file in '" + path_ +
                   "'");
   }
+  consumed_ += n;
 }
 
-std::uint64_t BinaryReader::checked_count(std::uint64_t limit,
-                                          const char* what) {
+std::uint64_t BinaryReader::remaining() const {
+  return size_ > consumed_ ? size_ - consumed_ : 0;
+}
+
+std::uint64_t BinaryReader::count(std::uint64_t limit, const char* what,
+                                  std::uint64_t min_bytes_per_element) {
   const std::uint64_t n = u64();
   if (n > limit) {
     throw IoError("corrupt artifact: implausible " + std::string(what) +
                   " count " + std::to_string(n) + " in '" + path_ + "'");
+  }
+  // min_bytes_per_element >= 1 and n <= limit << 2^64, so no overflow.
+  const std::uint64_t min_bytes = n * std::max<std::uint64_t>(
+                                          min_bytes_per_element, 1);
+  if (min_bytes > remaining()) {
+    throw IoError("truncated artifact: " + std::string(what) + " count " +
+                  std::to_string(n) + " needs " + std::to_string(min_bytes) +
+                  " bytes but only " + std::to_string(remaining()) +
+                  " remain in '" + path_ + "'");
   }
   return n;
 }
@@ -129,21 +151,22 @@ double BinaryReader::f64() {
 }
 
 std::string BinaryReader::str() {
-  const std::uint64_t n = checked_count(kMaxStringLen, "string length");
+  const std::uint64_t n = count(kMaxStringLen, "string length");
   std::string s(n, '\0');
   if (n > 0) raw(s.data(), n);
   return s;
 }
 
 std::vector<double> BinaryReader::vec_f64() {
-  const std::uint64_t n = checked_count(kMaxElementCount, "element");
+  const std::uint64_t n = count(kMaxElementCount, "element", sizeof(double));
   std::vector<double> v(n);
   if (n > 0) raw(v.data(), n * sizeof(double));
   return v;
 }
 
 std::map<std::string, double> BinaryReader::map_f64() {
-  const std::uint64_t n = checked_count(kMaxElementCount, "map entry");
+  // Minimum entry: 8-byte key length (empty key) + 8-byte value.
+  const std::uint64_t n = count(kMaxElementCount, "map entry", 16);
   std::map<std::string, double> m;
   for (std::uint64_t i = 0; i < n; ++i) {
     std::string key = str();

@@ -72,16 +72,25 @@ class BinaryReader {
   [[nodiscard]] std::vector<double> vec_f64();
   [[nodiscard]] std::map<std::string, double> map_f64();
 
+  /// Read an element count that must satisfy both a semantic ceiling and
+  /// the bytes actually left in the file (count * min_bytes_per_element),
+  /// so a corrupt or hostile length field can never trigger a huge
+  /// allocation or a long decode loop — it throws IoError up front.
+  [[nodiscard]] std::uint64_t count(std::uint64_t limit, const char* what,
+                                    std::uint64_t min_bytes_per_element = 1);
+
+  /// Bytes left between the read cursor and end of file.
+  [[nodiscard]] std::uint64_t remaining() const;
+
   [[nodiscard]] const std::string& path() const { return path_; }
 
  private:
   void raw(void* data, std::size_t n);
-  /// Reject absurd element counts from corrupt files before allocating.
-  [[nodiscard]] std::uint64_t checked_count(std::uint64_t limit,
-                                            const char* what);
 
   std::string path_;
   std::ifstream in_;
+  std::uint64_t size_ = 0;        ///< total file size in bytes
+  std::uint64_t consumed_ = 0;    ///< bytes read so far
 };
 
 /// Write the common artifact header.

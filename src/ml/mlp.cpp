@@ -278,4 +278,26 @@ int Mlp::predict(std::span<const double> features) const {
       std::max_element(probs.begin(), probs.end()) - probs.begin());
 }
 
+std::vector<int> Mlp::predict_batch(const Matrix& features) const {
+  assert(trained());
+  Matrix x = features;
+  if (config_.standardize && standardizer_.fitted()) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      std::span<double> row(x.raw().data() + r * x.cols(), x.cols());
+      standardizer_.transform_row(row);
+    }
+  }
+  const ForwardCache cache = forward(x, /*training=*/false, nullptr);
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    // First-maximum argmax, matching predict()'s std::max_element.
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < cache.probs.cols(); ++c) {
+      if (cache.probs.at(r, c) > cache.probs.at(r, best)) best = c;
+    }
+    out[r] = static_cast<int>(best);
+  }
+  return out;
+}
+
 }  // namespace aps::ml

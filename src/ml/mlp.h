@@ -44,6 +44,10 @@ class Mlp {
   [[nodiscard]] std::vector<double> predict_proba(
       std::span<const double> features) const;
   [[nodiscard]] int predict(std::span<const double> features) const;
+  /// Predicted class per row of `features` from one shared forward pass.
+  /// Every layer of the network is row-independent, so out[r] is
+  /// bit-identical to predict(row r).
+  [[nodiscard]] std::vector<int> predict_batch(const Matrix& features) const;
 
   [[nodiscard]] bool trained() const { return !weights_.empty(); }
   [[nodiscard]] const MlpConfig& config() const { return config_; }

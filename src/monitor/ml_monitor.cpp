@@ -55,6 +55,19 @@ Decision MlpMonitor::observe(const Observation& obs) {
   return decision_from_class(model_->predict(features), classes_, obs);
 }
 
+void MlpMonitor::observe_batch(std::span<const Observation> obs,
+                               std::span<Decision> out) {
+  aps::ml::Matrix x(obs.size(), kMlFeatureCount);
+  for (std::size_t r = 0; r < obs.size(); ++r) {
+    const auto features = ml_features(obs[r]);
+    for (std::size_t c = 0; c < features.size(); ++c) x.at(r, c) = features[c];
+  }
+  const std::vector<int> classes = model_->predict_batch(x);
+  for (std::size_t r = 0; r < obs.size(); ++r) {
+    out[r] = decision_from_class(classes[r], classes_, obs[r]);
+  }
+}
+
 std::unique_ptr<Monitor> MlpMonitor::clone() const {
   return std::make_unique<MlpMonitor>(*this);
 }

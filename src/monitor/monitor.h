@@ -6,7 +6,9 @@
 // hazard class; the mitigation policy then decides the corrective command.
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "common/units.h"
@@ -43,6 +45,16 @@ class Monitor {
   virtual void reset() = 0;
 
   [[nodiscard]] virtual Decision observe(const Observation& obs) = 0;
+
+  /// Observe a contiguous stretch of one session's stream, writing out[i]
+  /// for obs[i] (applied in order — the stateful equivalent of calling
+  /// observe() obs.size() times). Monitors whose inference amortizes over
+  /// a batch (e.g. one MLP forward pass for all rows) override this; the
+  /// override must stay bit-identical to the sequential loop.
+  virtual void observe_batch(std::span<const Observation> obs,
+                             std::span<Decision> out) {
+    for (std::size_t i = 0; i < obs.size(); ++i) out[i] = observe(obs[i]);
+  }
 
   [[nodiscard]] virtual const std::string& name() const = 0;
 

@@ -96,4 +96,160 @@ std::unique_ptr<PatientModel> BergmanPatient::clone() const {
   return std::make_unique<BergmanPatient>(*this);
 }
 
+std::unique_ptr<PatientBatch> BergmanPatient::make_batch() const {
+  return std::make_unique<BergmanBatch>();
+}
+
+// ---- BergmanBatch ----------------------------------------------------------
+
+bool BergmanBatch::add_lane(const PatientModel& prototype) {
+  const auto* model = dynamic_cast<const BergmanPatient*>(&prototype);
+  if (model == nullptr) return false;
+  const BergmanParams& p = model->params();
+  params_.push_back(p);
+  si_.push_back(p.si);
+  gezi_.push_back(p.gezi);
+  egp_.push_back(p.egp);
+  ci_.push_back(p.ci);
+  p2_.push_back(p.p2);
+  tau1_.push_back(p.tau1);
+  tau2_.push_back(p.tau2);
+  isc_.push_back(0.0);
+  ip_.push_back(0.0);
+  ieff_.push_back(0.0);
+  g_.push_back(p.target_bg);
+  meals_.emplace_back();
+  reset_lane(params_.size() - 1, p.target_bg);
+  return true;
+}
+
+void BergmanBatch::reset_lane(std::size_t lane, double initial_bg) {
+  // Mirrors BergmanPatient::reset.
+  const BergmanParams& p = params_[lane];
+  const double id = p.basal_u_per_h() * kUPerHourToMicroUPerMin;
+  const double isc_ss = id / p.ci;
+  isc_[lane] = isc_ss;
+  ip_[lane] = isc_ss;
+  ieff_[lane] = p.si * isc_ss;
+  g_[lane] = std::clamp(initial_bg, kBgMin, kBgMax);
+  meals_[lane].clear();
+}
+
+void BergmanBatch::announce_meal(std::size_t lane, double carbs_g) {
+  if (carbs_g > 0.0) meals_[lane].push_back({carbs_g, 0.0});
+}
+
+double BergmanBatch::meal_ra(std::size_t lane, double ahead_min) const {
+  // Same accumulation chain as BergmanPatient::meal_ra.
+  const BergmanParams& p = params_[lane];
+  double ra = 0.0;
+  constexpr double kCarbToGlucoseMg = 1000.0;
+  for (const auto& meal : meals_[lane]) {
+    const double t = meal.elapsed_min + ahead_min;
+    if (t < 0.0) continue;
+    const double ch_mg = meal.carbs_g * kCarbToGlucoseMg;
+    ra += ch_mg / (p.vg * p.tau_meal * p.tau_meal) * t *
+          std::exp(-t / p.tau_meal);
+  }
+  return ra;
+}
+
+void BergmanBatch::deriv(const std::vector<double>& isc,
+                         const std::vector<double>& ip,
+                         const std::vector<double>& ieff,
+                         const std::vector<double>& g,
+                         std::vector<double>& d_isc,
+                         std::vector<double>& d_ip,
+                         std::vector<double>& d_ieff,
+                         std::vector<double>& d_g) const {
+  const std::size_t n = params_.size();
+  for (std::size_t l = 0; l < n; ++l) {
+    d_isc[l] = -isc[l] / tau1_[l] + id_[l] / (tau1_[l] * ci_[l]);
+    d_ip[l] = (isc[l] - ip[l]) / tau2_[l];
+    d_ieff[l] = -p2_[l] * ieff[l] + p2_[l] * si_[l] * ip[l];
+    d_g[l] = -(gezi_[l] + ieff[l]) * g[l] + egp_[l] + ra_[l];
+  }
+}
+
+void BergmanBatch::step(std::span<const double> insulin_rate_u_per_h,
+                        double dt_min) {
+  const std::size_t n = params_.size();
+  id_.resize(n);
+  ra_.resize(n);
+  for (auto* v : {&t_isc_, &t_ip_, &t_ieff_, &t_g_}) v->resize(n);
+  for (int s = 0; s < 4; ++s) {
+    k_isc_[s].resize(n);
+    k_ip_[s].resize(n);
+    k_ieff_[s].resize(n);
+    k_g_[s].resize(n);
+  }
+
+  for (std::size_t l = 0; l < n; ++l) {
+    id_[l] = std::max(0.0, insulin_rate_u_per_h[l]) * kUPerHourToMicroUPerMin;
+  }
+  // As in the scalar model, RA is evaluated once per control step at the
+  // substep midpoint.
+  for (std::size_t l = 0; l < n; ++l) ra_[l] = meal_ra(l, dt_min * 0.5);
+
+  const int substeps = std::max(1, static_cast<int>(std::lround(dt_min)));
+  const double h = dt_min / static_cast<double>(substeps);
+  for (int s = 0; s < substeps; ++s) {
+    deriv(isc_, ip_, ieff_, g_, k_isc_[0], k_ip_[0], k_ieff_[0], k_g_[0]);
+    for (std::size_t l = 0; l < n; ++l) {
+      t_isc_[l] = isc_[l] + 0.5 * h * k_isc_[0][l];
+      t_ip_[l] = ip_[l] + 0.5 * h * k_ip_[0][l];
+      t_ieff_[l] = ieff_[l] + 0.5 * h * k_ieff_[0][l];
+      t_g_[l] = g_[l] + 0.5 * h * k_g_[0][l];
+    }
+    deriv(t_isc_, t_ip_, t_ieff_, t_g_, k_isc_[1], k_ip_[1], k_ieff_[1],
+          k_g_[1]);
+    for (std::size_t l = 0; l < n; ++l) {
+      t_isc_[l] = isc_[l] + 0.5 * h * k_isc_[1][l];
+      t_ip_[l] = ip_[l] + 0.5 * h * k_ip_[1][l];
+      t_ieff_[l] = ieff_[l] + 0.5 * h * k_ieff_[1][l];
+      t_g_[l] = g_[l] + 0.5 * h * k_g_[1][l];
+    }
+    deriv(t_isc_, t_ip_, t_ieff_, t_g_, k_isc_[2], k_ip_[2], k_ieff_[2],
+          k_g_[2]);
+    for (std::size_t l = 0; l < n; ++l) {
+      t_isc_[l] = isc_[l] + h * k_isc_[2][l];
+      t_ip_[l] = ip_[l] + h * k_ip_[2][l];
+      t_ieff_[l] = ieff_[l] + h * k_ieff_[2][l];
+      t_g_[l] = g_[l] + h * k_g_[2][l];
+    }
+    deriv(t_isc_, t_ip_, t_ieff_, t_g_, k_isc_[3], k_ip_[3], k_ieff_[3],
+          k_g_[3]);
+    for (std::size_t l = 0; l < n; ++l) {
+      isc_[l] += h / 6.0 *
+                 (k_isc_[0][l] + 2.0 * k_isc_[1][l] + 2.0 * k_isc_[2][l] +
+                  k_isc_[3][l]);
+      ip_[l] += h / 6.0 *
+                (k_ip_[0][l] + 2.0 * k_ip_[1][l] + 2.0 * k_ip_[2][l] +
+                 k_ip_[3][l]);
+      ieff_[l] += h / 6.0 *
+                  (k_ieff_[0][l] + 2.0 * k_ieff_[1][l] + 2.0 * k_ieff_[2][l] +
+                   k_ieff_[3][l]);
+      g_[l] += h / 6.0 *
+               (k_g_[0][l] + 2.0 * k_g_[1][l] + 2.0 * k_g_[2][l] +
+                k_g_[3][l]);
+    }
+  }
+
+  for (std::size_t l = 0; l < n; ++l) {
+    g_[l] = std::clamp(g_[l], kBgMin, kBgMax);
+    isc_[l] = std::max(0.0, isc_[l]);
+    ip_[l] = std::max(0.0, ip_[l]);
+    ieff_[l] = std::max(0.0, ieff_[l]);
+  }
+  for (std::size_t l = 0; l < n; ++l) {
+    for (auto& meal : meals_[l]) meal.elapsed_min += dt_min;
+    std::erase_if(meals_[l],
+                  [](const Meal& m) { return m.elapsed_min > 720.0; });
+  }
+}
+
+void BergmanBatch::bg(std::span<double> out) const {
+  for (std::size_t l = 0; l < params_.size(); ++l) out[l] = g_[l];
+}
+
 }  // namespace aps::patient

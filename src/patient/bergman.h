@@ -58,6 +58,7 @@ class BergmanPatient final : public PatientModel {
     return params_.name;
   }
   [[nodiscard]] std::unique_ptr<PatientModel> clone() const override;
+  [[nodiscard]] std::unique_ptr<PatientBatch> make_batch() const override;
 
   [[nodiscard]] const BergmanParams& params() const { return params_; }
   /// Insulin effect state (1/min), exposed for tests.
@@ -79,6 +80,51 @@ class BergmanPatient final : public PatientModel {
   std::array<double, kStateSize> state_{};
   std::vector<Meal> meals_;
   double time_min_ = 0.0;
+};
+
+/// Structure-of-arrays batch of IVP patients: the RK4 hot loop runs as
+/// lane-inner passes over contiguous per-state arrays, so the compiler can
+/// vectorize across runs. Each lane reproduces BergmanPatient::step
+/// bit-for-bit (identical per-lane operation chains).
+class BergmanBatch final : public PatientBatch {
+ public:
+  [[nodiscard]] bool add_lane(const PatientModel& prototype) override;
+  [[nodiscard]] std::size_t lanes() const override { return params_.size(); }
+  void reset_lane(std::size_t lane, double initial_bg) override;
+  void announce_meal(std::size_t lane, double carbs_g) override;
+  void step(std::span<const double> insulin_rate_u_per_h,
+            double dt_min) override;
+  void bg(std::span<double> out) const override;
+
+ private:
+  struct Meal {
+    double carbs_g;
+    double elapsed_min;
+  };
+
+  /// d/dt of every lane from (isc, ip, ieff, g) into the d_* arrays, using
+  /// the per-step id_/ra_ inputs. Same expressions as BergmanPatient.
+  void deriv(const std::vector<double>& isc, const std::vector<double>& ip,
+             const std::vector<double>& ieff, const std::vector<double>& g,
+             std::vector<double>& d_isc, std::vector<double>& d_ip,
+             std::vector<double>& d_ieff, std::vector<double>& d_g) const;
+
+  [[nodiscard]] double meal_ra(std::size_t lane, double ahead_min) const;
+
+  std::vector<BergmanParams> params_;  ///< per-lane parameter sets
+
+  // SoA mirrors of the parameters the hot loop touches.
+  std::vector<double> si_, gezi_, egp_, ci_, p2_, tau1_, tau2_;
+
+  // SoA state (BergmanPatient::StateIndex split into one array per state).
+  std::vector<double> isc_, ip_, ieff_, g_;
+
+  std::vector<std::vector<Meal>> meals_;  ///< per-lane announced meals
+
+  // Per-step scratch (insulin delivery uU/min, meal appearance, RK4 slopes).
+  std::vector<double> id_, ra_;
+  std::vector<double> k_isc_[4], k_ip_[4], k_ieff_[4], k_g_[4];
+  std::vector<double> t_isc_, t_ip_, t_ieff_, t_g_;
 };
 
 }  // namespace aps::patient

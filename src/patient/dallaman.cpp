@@ -112,12 +112,9 @@ double DallaManPatient::meal_ra(double ahead_min) const {
   return ra;
 }
 
-void DallaManPatient::step(double insulin_rate_u_per_h, double dt_min) {
-  const auto& p = params_;
-  const double iir =
-      u_per_h_to_pmol_per_kg_min(std::max(0.0, insulin_rate_u_per_h), p.bw);
-  const double ra = meal_ra(dt_min * 0.5);
-
+void DallaManPatient::advance(const DallaManParams& p, double ib, double iir,
+                              double ra, double dt_min,
+                              std::array<double, kStateSize>& state) {
   const auto deriv = [&](const std::array<double, kStateSize>& x) {
     std::array<double, kStateSize> d;
     const double i_conc = x[kIp] / p.vi;  // pmol/L
@@ -128,7 +125,7 @@ void DallaManPatient::step(double insulin_rate_u_per_h, double dt_min) {
     const double renal = p.ke1 * std::max(0.0, x[kGp] - p.ke2);
     d[kGp] = egp + ra - p.uii - renal - p.k1 * x[kGp] + p.k2 * x[kGt];
     d[kGt] = -uid + p.k1 * x[kGp] - p.k2 * x[kGt];
-    d[kX] = -p.p2u * x[kX] + p.p2u * (i_conc - ib_);
+    d[kX] = -p.p2u * x[kX] + p.p2u * (i_conc - ib);
     d[kI1] = -p.ki * (x[kI1] - i_conc);
     d[kId] = -p.ki * (x[kId] - x[kI1]);
     const double rai = p.ka1 * x[kIsc1] + p.ka2 * x[kIsc2];
@@ -140,14 +137,21 @@ void DallaManPatient::step(double insulin_rate_u_per_h, double dt_min) {
   };
 
   const int substeps = std::max(1, static_cast<int>(std::lround(dt_min)));
-  state_ = rk4<kStateSize>(state_, dt_min, substeps, deriv);
+  state = rk4<kStateSize>(state, dt_min, substeps, deriv);
   // Physical clamps: concentrations and masses cannot go negative; plasma
   // glucose is clamped to the simulator's physiological range.
   for (std::size_t i = 0; i < kStateSize; ++i) {
-    if (i != kX) state_[i] = std::max(0.0, state_[i]);
+    if (i != kX) state[i] = std::max(0.0, state[i]);
   }
-  state_[kGp] =
-      std::clamp(state_[kGp], kBgMin * params_.vg, kBgMax * params_.vg);
+  state[kGp] = std::clamp(state[kGp], kBgMin * p.vg, kBgMax * p.vg);
+}
+
+void DallaManPatient::step(double insulin_rate_u_per_h, double dt_min) {
+  const auto& p = params_;
+  const double iir =
+      u_per_h_to_pmol_per_kg_min(std::max(0.0, insulin_rate_u_per_h), p.bw);
+  const double ra = meal_ra(dt_min * 0.5);
+  advance(p, ib_, iir, ra, dt_min, state_);
   for (auto& meal : meals_) meal.elapsed_min += dt_min;
   std::erase_if(meals_,
                 [](const Meal& m) { return m.elapsed_min > 720.0; });
@@ -155,6 +159,74 @@ void DallaManPatient::step(double insulin_rate_u_per_h, double dt_min) {
 
 std::unique_ptr<PatientModel> DallaManPatient::clone() const {
   return std::make_unique<DallaManPatient>(*this);
+}
+
+std::unique_ptr<PatientBatch> DallaManPatient::make_batch() const {
+  return std::make_unique<DallaManBatch>();
+}
+
+// ---- DallaManBatch ---------------------------------------------------------
+
+bool DallaManBatch::add_lane(const PatientModel& prototype) {
+  const auto* model = dynamic_cast<const DallaManPatient*>(&prototype);
+  if (model == nullptr) return false;
+  params_.push_back(model->params_);
+  state_.push_back(model->basal_state_);
+  basal_state_.push_back(model->basal_state_);
+  ib_.push_back(model->ib_);
+  meals_.emplace_back();
+  reset_lane(params_.size() - 1, model->params_.target_bg);
+  return true;
+}
+
+void DallaManBatch::reset_lane(std::size_t lane, double initial_bg) {
+  // Mirrors DallaManPatient::reset.
+  using P = DallaManPatient;
+  state_[lane] = basal_state_[lane];
+  state_[lane][P::kGp] =
+      std::clamp(initial_bg, kBgMin, kBgMax) * params_[lane].vg;
+  state_[lane][P::kGt] =
+      basal_state_[lane][P::kGt] *
+      (state_[lane][P::kGp] / basal_state_[lane][P::kGp]);
+  meals_[lane].clear();
+}
+
+void DallaManBatch::announce_meal(std::size_t lane, double carbs_g) {
+  if (carbs_g > 0.0) meals_[lane].push_back({carbs_g, 0.0});
+}
+
+double DallaManBatch::meal_ra(std::size_t lane, double ahead_min) const {
+  // Same accumulation chain as DallaManPatient::meal_ra.
+  const DallaManParams& p = params_[lane];
+  double ra = 0.0;
+  for (const auto& meal : meals_[lane]) {
+    const double t = meal.elapsed_min + ahead_min;
+    if (t < 0.0) continue;
+    const double dose_mg = meal.carbs_g * 1000.0 * p.f_meal;
+    ra += dose_mg / p.bw / (p.tau_meal * p.tau_meal) * t *
+          std::exp(-t / p.tau_meal);
+  }
+  return ra;
+}
+
+void DallaManBatch::step(std::span<const double> insulin_rate_u_per_h,
+                         double dt_min) {
+  for (std::size_t l = 0; l < params_.size(); ++l) {
+    const DallaManParams& p = params_[l];
+    const double iir = u_per_h_to_pmol_per_kg_min(
+        std::max(0.0, insulin_rate_u_per_h[l]), p.bw);
+    const double ra = meal_ra(l, dt_min * 0.5);
+    DallaManPatient::advance(p, ib_[l], iir, ra, dt_min, state_[l]);
+    for (auto& meal : meals_[l]) meal.elapsed_min += dt_min;
+    std::erase_if(meals_[l],
+                  [](const Meal& m) { return m.elapsed_min > 720.0; });
+  }
+}
+
+void DallaManBatch::bg(std::span<double> out) const {
+  for (std::size_t l = 0; l < params_.size(); ++l) {
+    out[l] = state_[l][DallaManPatient::kGp] / params_[l].vg;
+  }
 }
 
 }  // namespace aps::patient

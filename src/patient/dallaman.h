@@ -90,10 +90,12 @@ class DallaManPatient final : public PatientModel {
     return params_.name;
   }
   [[nodiscard]] std::unique_ptr<PatientModel> clone() const override;
+  [[nodiscard]] std::unique_ptr<PatientBatch> make_batch() const override;
 
   [[nodiscard]] const DallaManParams& params() const { return params_; }
 
  private:
+  friend class DallaManBatch;
   enum StateIndex {
     kGp = 0,
     kGt,
@@ -118,12 +120,48 @@ class DallaManPatient final : public PatientModel {
 
   [[nodiscard]] double meal_ra(double ahead_min) const;  // mg/kg/min
 
+  /// RK4 advance of one state vector by dt_min (with the physical clamps);
+  /// the single dynamics kernel shared by the scalar model and
+  /// DallaManBatch, so both backends are bit-identical by construction.
+  static void advance(const DallaManParams& p, double ib, double iir,
+                      double ra, double dt_min,
+                      std::array<double, kStateSize>& state);
+
   DallaManParams params_;
   std::array<double, kStateSize> state_{};
   std::array<double, kStateSize> basal_state_{};
   double basal_u_per_h_ = 0.0;
   double ib_ = 0.0;  ///< basal plasma insulin concentration (pmol/L)
   std::vector<Meal> meals_;
+};
+
+/// Batch of reduced UVA-Padova patients stepped in lockstep. Per-lane state
+/// vectors live in one contiguous allocation and each lane is advanced by
+/// the same DallaManPatient::advance kernel as the scalar model, so lane
+/// traces are bit-identical to per-lane clones.
+class DallaManBatch final : public PatientBatch {
+ public:
+  [[nodiscard]] bool add_lane(const PatientModel& prototype) override;
+  [[nodiscard]] std::size_t lanes() const override { return params_.size(); }
+  void reset_lane(std::size_t lane, double initial_bg) override;
+  void announce_meal(std::size_t lane, double carbs_g) override;
+  void step(std::span<const double> insulin_rate_u_per_h,
+            double dt_min) override;
+  void bg(std::span<double> out) const override;
+
+ private:
+  struct Meal {
+    double carbs_g;
+    double elapsed_min;
+  };
+
+  [[nodiscard]] double meal_ra(std::size_t lane, double ahead_min) const;
+
+  std::vector<DallaManParams> params_;
+  std::vector<std::array<double, DallaManPatient::kStateSize>> state_;
+  std::vector<std::array<double, DallaManPatient::kStateSize>> basal_state_;
+  std::vector<double> ib_;
+  std::vector<std::vector<Meal>> meals_;
 };
 
 }  // namespace aps::patient

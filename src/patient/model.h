@@ -2,10 +2,45 @@
 // closed-loop simulation (paper Fig. 5a).
 #pragma once
 
+#include <cstddef>
 #include <memory>
+#include <span>
 #include <string>
 
 namespace aps::patient {
+
+class PatientModel;
+
+/// Lockstep batch counterpart of PatientModel: N independent virtual
+/// patients advanced together over structure-of-arrays state, so the ODE
+/// hot loop stays cache-friendly and auto-vectorizable across lanes. Lane
+/// semantics are bit-identical to stepping one PatientModel clone per lane
+/// with the same inputs (the golden-trace suite enforces this).
+class PatientBatch {
+ public:
+  virtual ~PatientBatch() = default;
+
+  /// Append a lane configured like `prototype`; returns false when the
+  /// prototype is not this batch's model kind (the caller then falls back
+  /// to another backend).
+  [[nodiscard]] virtual bool add_lane(const PatientModel& prototype) = 0;
+
+  [[nodiscard]] virtual std::size_t lanes() const = 0;
+
+  /// PatientModel::reset for one lane.
+  virtual void reset_lane(std::size_t lane, double initial_bg) = 0;
+
+  /// PatientModel::announce_meal for one lane.
+  virtual void announce_meal(std::size_t lane, double carbs_g) = 0;
+
+  /// Advance every lane by `dt_min` with its own infusion rate (U/h);
+  /// per-lane semantics of PatientModel::step.
+  virtual void step(std::span<const double> insulin_rate_u_per_h,
+                    double dt_min) = 0;
+
+  /// out[lane] = current plasma glucose (mg/dL).
+  virtual void bg(std::span<double> out) const = 0;
+};
 
 /// A virtual patient: continuous glucose-insulin dynamics driven by a
 /// subcutaneous insulin infusion rate. All models expose plasma glucose in
@@ -43,6 +78,13 @@ class PatientModel {
   [[nodiscard]] virtual const std::string& name() const = 0;
 
   [[nodiscard]] virtual std::unique_ptr<PatientModel> clone() const = 0;
+
+  /// A fresh, empty batch backend of this model's kind, or nullptr when
+  /// the model has no specialized structure-of-arrays implementation (the
+  /// simulator then steps per-lane clones instead).
+  [[nodiscard]] virtual std::unique_ptr<PatientBatch> make_batch() const {
+    return nullptr;
+  }
 };
 
 }  // namespace aps::patient

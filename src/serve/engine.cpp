@@ -123,20 +123,31 @@ std::vector<aps::monitor::Decision> MonitorEngine::feed(
     lo = hi;
   }
 
-  pool_.parallel_for(groups_.size(), [this, inputs,
-                                      &decisions](std::size_t g) {
+  // Gather each group's observations into one contiguous stretch so every
+  // session gets a single observe_batch call (batched monitors amortize
+  // inference across their group).
+  sorted_obs_.resize(inputs.size());
+  sorted_decisions_.resize(inputs.size());
+  for (std::uint32_t k = 0; k < order_.size(); ++k) {
+    sorted_obs_[k] = inputs[order_[k]].obs;
+  }
+
+  pool_.parallel_for(groups_.size(), [this, inputs](std::size_t g) {
     const auto [lo, hi] = groups_[g];
     Session& session = sessions_[inputs[order_[lo]].session];
+    const std::size_t count = hi - lo;
+    session.monitor->observe_batch(
+        std::span<const aps::monitor::Observation>(&sorted_obs_[lo], count),
+        std::span<aps::monitor::Decision>(&sorted_decisions_[lo], count));
+    session.stats.cycles += count;
     for (std::uint32_t k = lo; k < hi; ++k) {
-      const std::uint32_t idx = order_[k];
-      const aps::monitor::Decision decision =
-          session.monitor->observe(inputs[idx].obs);
-      decisions[idx] = decision;
-      ++session.stats.cycles;
-      if (decision.alarm) ++session.stats.alarms;
+      if (sorted_decisions_[k].alarm) ++session.stats.alarms;
     }
   });
 
+  for (std::uint32_t k = 0; k < order_.size(); ++k) {
+    decisions[order_[k]] = sorted_decisions_[k];
+  }
   total_cycles_ += inputs.size();
   return decisions;
 }

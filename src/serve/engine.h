@@ -5,10 +5,11 @@
 // factory) plus its observation-window state; the trained models behind
 // the ML monitors are shared immutable storage (shared_ptr<const ...>), so
 // ten thousand sessions cost one copy of the weights. A batched feed()
-// partitions the inputs by session, runs each session's inputs in batch
-// order on one worker, and writes decisions back by input index — output
-// is therefore deterministic and identical to running every session
-// sequentially, regardless of thread scheduling.
+// partitions the inputs by session, hands each session its inputs as one
+// contiguous Monitor::observe_batch call (ML monitors amortize inference
+// across the group, e.g. one MLP forward pass), and writes decisions back
+// by input index — output is therefore deterministic and identical to
+// running every session sequentially, regardless of thread scheduling.
 //
 // Thread model: feed() parallelizes internally; the engine's public API
 // itself is externally synchronized (one driver thread opens/closes
@@ -143,6 +144,8 @@ class MonitorEngine {
   // Scratch reused across feed() calls to avoid per-batch allocation churn.
   std::vector<std::uint32_t> order_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> groups_;
+  std::vector<aps::monitor::Observation> sorted_obs_;
+  std::vector<aps::monitor::Decision> sorted_decisions_;
 };
 
 }  // namespace aps::serve

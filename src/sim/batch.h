@@ -1,0 +1,56 @@
+// Batched structure-of-arrays simulation backend: steps N closed-loop runs
+// in lockstep instead of one ClosedLoopSim object per run. Patient ODE
+// state, controller state, and the IOB ledger live in SoA arrays (with
+// precomputed insulin-curve tables), keeping the hot loop cache-friendly
+// and auto-vectorizable; per-run components that are cheap or inherently
+// scalar (CGM sensor, fault injector, monitor) run lane-by-lane.
+//
+// Equivalence contract: for any request set, the emitted SimResults are
+// bit-identical to run_simulation on each request — same BG, insulin, and
+// decision streams — for every batch size and thread count. The
+// golden-trace suite (tests/batch_equivalence_test.cpp) enforces this, and
+// it is what makes campaign statistics from the batched and scalar
+// backends byte-identical.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+
+#include "sim/runner.h"
+
+namespace aps::sim {
+
+/// Executes batches of closed-loop runs for one Stack. Prototypes
+/// (patient, controller, monitor) are cached per patient index, so a
+/// simulator can serve many batches (e.g. all shards of one worker).
+class BatchSimulator {
+ public:
+  BatchSimulator(const Stack& stack, const MonitorFactory& make_monitor);
+
+  /// Called once per finished lane, in lane order.
+  using EmitFn = std::function<void(std::size_t lane, const SimResult&)>;
+
+  /// Run every request as one lockstep batch; requests may mix patients,
+  /// faults, meals, horizons, and CGM seeds freely.
+  void run(std::span<const RunRequest> requests, const EmitFn& emit);
+
+ private:
+  struct Prototypes {
+    std::unique_ptr<aps::patient::PatientModel> patient;
+    std::unique_ptr<aps::controller::Controller> controller;
+    std::unique_ptr<aps::monitor::Monitor> monitor;
+  };
+
+  const Prototypes& prototypes(int patient_index);
+
+  // Held by value (a Stack is two std::functions plus a name) so a caller
+  // passing temporaries cannot leave the simulator with dangling
+  // references.
+  Stack stack_;
+  MonitorFactory make_monitor_;
+  std::map<int, Prototypes> cache_;
+};
+
+}  // namespace aps::sim

@@ -4,6 +4,8 @@
 #include <map>
 #include <numeric>
 
+#include "sim/batch.h"
+
 namespace aps::sim {
 
 MonitorFactory null_monitor_factory() {
@@ -38,7 +40,22 @@ void for_each_run(const Stack& stack, std::size_t count,
   const std::size_t size = streaming.shard_size > 0 ? streaming.shard_size : 1;
   const std::size_t shards = shard_count(count, streaming);
 
-  const auto run_shard = [&](std::size_t shard) {
+  // Default path: each shard becomes one lockstep SoA batch. Emission is
+  // in lane (= index) order, so the per-shard sink sees the same sequence
+  // as the scalar path.
+  const auto run_shard_batched = [&](std::size_t shard) {
+    const std::size_t begin = shard * size;
+    const std::size_t end = std::min(begin + size, count);
+    std::vector<RunRequest> requests;
+    requests.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) requests.push_back(request(i));
+    BatchSimulator simulator(stack, make_monitor);
+    simulator.run(requests, [&](std::size_t lane, const SimResult& result) {
+      sink(shard, begin + lane, result);
+    });
+  };
+
+  const auto run_shard_scalar = [&](std::size_t shard) {
     // Prototypes are cached per (shard, patient): run_simulation clones the
     // patient/controller itself and resets the monitor, so reuse across
     // runs never leaks state between scenarios.
@@ -64,6 +81,14 @@ void for_each_run(const Stack& stack, std::size_t count,
           *it->second.patient, *it->second.controller, *it->second.monitor,
           req.config);
       sink(shard, i, result);
+    }
+  };
+
+  const auto run_shard = [&](std::size_t shard) {
+    if (streaming.backend == SimBackend::kBatched) {
+      run_shard_batched(shard);
+    } else {
+      run_shard_scalar(shard);
     }
   };
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -73,10 +74,20 @@ using RunRequestFn = std::function<RunRequest(std::size_t)>;
 using RunSink = std::function<void(std::size_t shard, std::size_t index,
                                    const SimResult& result)>;
 
+/// Which execution engine for_each_run drives. Both produce bit-identical
+/// SimResults (the golden-trace suite enforces it), so campaign statistics
+/// are byte-identical regardless of the choice.
+enum class SimBackend : std::uint8_t {
+  kBatched,  ///< SoA lockstep batches, one per shard (default, fast path)
+  kScalar,   ///< one run_simulation per run (reference/debug path)
+};
+
 struct StreamingOptions {
   /// Contiguous indices executed by one pool task; also the granularity of
-  /// per-shard sinks/accumulators.
+  /// per-shard sinks/accumulators and the batch size of the batched
+  /// backend.
   std::size_t shard_size = 64;
+  SimBackend backend = SimBackend::kBatched;
 };
 
 /// Number of shards for_each_run will use for `count` runs.

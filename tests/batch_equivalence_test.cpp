@@ -1,0 +1,247 @@
+// Golden-trace equivalence of the batched SoA backend: for fixed seed
+// sets, the batched and scalar backends must produce bit-identical BG /
+// insulin / decision streams — across batch sizes {1, 7, 64} and thread
+// counts {1, 4}, on every stack (specialized Bergman/DallaMan patient
+// batches, PID/basal-bolus controller batches, and the generic per-lane
+// fallback the OpenAPS controller uses) — and therefore byte-identical
+// CampaignStats.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "monitor/caw.h"
+#include "scenario/executor.h"
+#include "scenario/spec.h"
+#include "sim/runner.h"
+#include "sim/stack.h"
+
+namespace {
+
+using namespace aps;
+
+constexpr std::size_t kRuns = 160;
+constexpr std::uint64_t kSeed = 2026;
+
+/// A stateful, alarm-capable monitor so the decision stream is non-trivial.
+sim::MonitorFactory caw_factory() {
+  return [](int) {
+    monitor::CawConfig config;
+    config.thresholds = monitor::default_thresholds(2.0);
+    return std::make_unique<monitor::CawMonitor>(config);
+  };
+}
+
+/// Diverse run mix: faults of every kind (including the stateful kHold),
+/// fault-free runs, meals, CGM noise, the whole cohort.
+scenario::ScenarioSpec diverse_spec(const sim::Stack& stack) {
+  return scenario::default_stochastic_spec(stack.cohort_size);
+}
+
+std::vector<sim::SimResult> collect(const sim::Stack& stack,
+                                    const scenario::ScenarioSpec& spec,
+                                    sim::SimBackend backend,
+                                    std::size_t batch_size,
+                                    std::size_t threads) {
+  std::vector<sim::SimResult> out(kRuns);
+  sim::StreamingOptions streaming;
+  streaming.shard_size = batch_size;
+  streaming.backend = backend;
+  const auto request = [&](std::size_t i) {
+    const auto scenario = scenario::sample_scenario(spec, i, kSeed);
+    sim::RunRequest req;
+    req.patient_index = scenario.patient_index;
+    req.config = scenario.config;
+    return req;
+  };
+  const auto sink = [&](std::size_t, std::size_t i,
+                        const sim::SimResult& run) { out[i] = run; };
+  if (threads > 1) {
+    ThreadPool pool(threads);
+    sim::for_each_run(stack, kRuns, request, caw_factory(), sink, &pool,
+                      streaming);
+  } else {
+    sim::for_each_run(stack, kRuns, request, caw_factory(), sink, nullptr,
+                      streaming);
+  }
+  return out;
+}
+
+void expect_identical(const sim::SimResult& a, const sim::SimResult& b,
+                      std::size_t run) {
+  ASSERT_EQ(a.steps.size(), b.steps.size()) << "run " << run;
+  for (std::size_t k = 0; k < a.steps.size(); ++k) {
+    const auto& x = a.steps[k];
+    const auto& y = b.steps[k];
+    // EXPECT_EQ on doubles: bit-identical, not approximately equal.
+    ASSERT_EQ(x.time_min, y.time_min) << "run " << run << " step " << k;
+    ASSERT_EQ(x.true_bg, y.true_bg) << "run " << run << " step " << k;
+    ASSERT_EQ(x.cgm_bg, y.cgm_bg) << "run " << run << " step " << k;
+    ASSERT_EQ(x.ctrl_bg, y.ctrl_bg) << "run " << run << " step " << k;
+    ASSERT_EQ(x.iob, y.iob) << "run " << run << " step " << k;
+    ASSERT_EQ(x.ctrl_iob, y.ctrl_iob) << "run " << run << " step " << k;
+    ASSERT_EQ(x.commanded_rate, y.commanded_rate)
+        << "run " << run << " step " << k;
+    ASSERT_EQ(x.delivered_rate, y.delivered_rate)
+        << "run " << run << " step " << k;
+    ASSERT_EQ(x.action, y.action) << "run " << run << " step " << k;
+    ASSERT_EQ(x.alarm, y.alarm) << "run " << run << " step " << k;
+    ASSERT_EQ(x.predicted, y.predicted) << "run " << run << " step " << k;
+    ASSERT_EQ(x.rule_id, y.rule_id) << "run " << run << " step " << k;
+  }
+  ASSERT_EQ(a.label.hazardous, b.label.hazardous) << "run " << run;
+  ASSERT_EQ(a.label.onset_step, b.label.onset_step) << "run " << run;
+  ASSERT_EQ(a.label.type, b.label.type) << "run " << run;
+  ASSERT_EQ(a.label.sample_hazard, b.label.sample_hazard) << "run " << run;
+  ASSERT_EQ(a.label.lbgi, b.label.lbgi) << "run " << run;
+  ASSERT_EQ(a.label.hbgi, b.label.hbgi) << "run " << run;
+}
+
+void expect_identical_stats(const scenario::CampaignStats& a,
+                            const scenario::CampaignStats& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.hazardous_runs, b.hazardous_runs);
+  EXPECT_EQ(a.alarmed_runs, b.alarmed_runs);
+  EXPECT_EQ(a.severe_hypo_runs, b.severe_hypo_runs);
+  EXPECT_EQ(a.min_bg.count(), b.min_bg.count());
+  EXPECT_EQ(a.min_bg.mean(), b.min_bg.mean());
+  EXPECT_EQ(a.min_bg.variance(), b.min_bg.variance());
+  EXPECT_EQ(a.min_bg.min(), b.min_bg.min());
+  EXPECT_EQ(a.min_bg.max(), b.min_bg.max());
+  EXPECT_EQ(a.severity.mean(), b.severity.mean());
+  EXPECT_EQ(a.severity.variance(), b.severity.variance());
+  EXPECT_EQ(a.time_in_range_pct.mean(), b.time_in_range_pct.mean());
+  EXPECT_EQ(a.time_in_range_pct.variance(), b.time_in_range_pct.variance());
+  EXPECT_EQ(a.time_to_hazard_min.counts(), b.time_to_hazard_min.counts());
+  ASSERT_EQ(a.by_kind.size(), b.by_kind.size());
+  for (const auto& [kind, stats] : a.by_kind) {
+    const auto it = b.by_kind.find(kind);
+    ASSERT_NE(it, b.by_kind.end()) << "missing kind " << kind;
+    EXPECT_EQ(stats.runs, it->second.runs) << kind;
+    EXPECT_EQ(stats.hazards, it->second.hazards) << kind;
+    EXPECT_EQ(stats.alarmed, it->second.alarmed) << kind;
+    EXPECT_EQ(stats.tp, it->second.tp) << kind;
+    EXPECT_EQ(stats.fp, it->second.fp) << kind;
+    EXPECT_EQ(stats.fn, it->second.fn) << kind;
+    EXPECT_EQ(stats.tn, it->second.tn) << kind;
+  }
+  EXPECT_EQ(a.sum_weight, b.sum_weight);
+  EXPECT_EQ(a.sum_weight_sq, b.sum_weight_sq);
+  EXPECT_EQ(a.sum_hazard_weight, b.sum_hazard_weight);
+  EXPECT_EQ(a.sum_hazard_weight_sq, b.sum_hazard_weight_sq);
+}
+
+class GoldenTrace : public ::testing::TestWithParam<sim::Stack> {};
+
+TEST_P(GoldenTrace, BatchedMatchesScalarAcrossBatchSizesAndThreads) {
+  const sim::Stack stack = GetParam();
+  const auto spec = diverse_spec(stack);
+  const auto reference =
+      collect(stack, spec, sim::SimBackend::kScalar, 64, 1);
+  for (const std::size_t batch_size : {std::size_t{1}, std::size_t{7},
+                                       std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE("batch_size=" + std::to_string(batch_size) +
+                   " threads=" + std::to_string(threads));
+      const auto got = collect(stack, spec, sim::SimBackend::kBatched,
+                               batch_size, threads);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < reference.size(); ++i) {
+        expect_identical(reference[i], got[i], i);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStacks, GoldenTrace,
+    ::testing::Values(sim::glucosym_openaps_stack(),
+                      sim::padova_basalbolus_stack(),
+                      sim::glucosym_pid_stack()),
+    [](const ::testing::TestParamInfo<sim::Stack>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (c == '+' || c == '-') c = '_';
+      }
+      return name;
+    });
+
+/// Partition-independent fields (integer counts, exact min/max, histogram
+/// bins) must agree even across different shard layouts.
+void expect_identical_counts(const scenario::CampaignStats& a,
+                             const scenario::CampaignStats& b) {
+  EXPECT_EQ(a.runs, b.runs);
+  EXPECT_EQ(a.hazardous_runs, b.hazardous_runs);
+  EXPECT_EQ(a.alarmed_runs, b.alarmed_runs);
+  EXPECT_EQ(a.severe_hypo_runs, b.severe_hypo_runs);
+  EXPECT_EQ(a.min_bg.min(), b.min_bg.min());
+  EXPECT_EQ(a.min_bg.max(), b.min_bg.max());
+  EXPECT_EQ(a.time_to_hazard_min.counts(), b.time_to_hazard_min.counts());
+  ASSERT_EQ(a.by_kind.size(), b.by_kind.size());
+  for (const auto& [kind, stats] : a.by_kind) {
+    const auto it = b.by_kind.find(kind);
+    ASSERT_NE(it, b.by_kind.end()) << "missing kind " << kind;
+    EXPECT_EQ(stats.tp, it->second.tp) << kind;
+    EXPECT_EQ(stats.fp, it->second.fp) << kind;
+    EXPECT_EQ(stats.fn, it->second.fn) << kind;
+    EXPECT_EQ(stats.tn, it->second.tn) << kind;
+  }
+}
+
+TEST(GoldenTraceStats, CampaignStatsByteIdenticalAcrossBackends) {
+  const auto stack = sim::glucosym_openaps_stack();
+  const auto spec = diverse_spec(stack);
+  const auto run = [&](sim::SimBackend backend, std::size_t batch_size,
+                       std::size_t threads) {
+    scenario::StochasticCampaignConfig config;
+    config.runs = kRuns;
+    config.seed = kSeed;
+    config.streaming.shard_size = batch_size;
+    config.streaming.backend = backend;
+    if (threads > 1) {
+      ThreadPool pool(threads);
+      return scenario::run_stochastic_campaign(stack, spec, config,
+                                               caw_factory(), &pool);
+    }
+    return scenario::run_stochastic_campaign(stack, spec, config,
+                                             caw_factory(), nullptr);
+  };
+  const auto reference = run(sim::SimBackend::kScalar, 64, 1);
+  ASSERT_EQ(reference.runs, kRuns);
+  EXPECT_GT(reference.hazardous_runs, 0u);
+  EXPECT_GT(reference.alarmed_runs, 0u);
+  // Same shard layout -> every accumulator byte-identical between the two
+  // backends (Welford merges see identical partitions in identical order).
+  for (const std::size_t batch_size : {std::size_t{7}, std::size_t{64}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      SCOPED_TRACE("batch_size=" + std::to_string(batch_size) +
+                   " threads=" + std::to_string(threads));
+      expect_identical_stats(run(sim::SimBackend::kScalar, batch_size,
+                                 threads),
+                             run(sim::SimBackend::kBatched, batch_size,
+                                 threads));
+    }
+  }
+  // Across different shard layouts the merge tree changes, so only the
+  // partition-independent fields are exact (floating accumulators agree to
+  // rounding, which the sampling-invariance suite checks semantically).
+  expect_identical_counts(reference, run(sim::SimBackend::kBatched, 7, 4));
+}
+
+TEST(GoldenTraceStats, EnumeratedCampaignIdenticalAcrossBackends) {
+  // The streamed paper-grid path goes through the same backends.
+  const auto stack = sim::glucosym_openaps_stack();
+  auto grid = fi::CampaignGrid::quick();
+  grid.initial_bgs = {130.0};
+  const auto spec = scenario::spec_from_grid(grid, 3);
+  const auto run = [&](sim::SimBackend backend) {
+    sim::StreamingOptions streaming;
+    streaming.backend = backend;
+    return scenario::run_enumerated_campaign(stack, spec, {}, caw_factory(),
+                                             nullptr, streaming);
+  };
+  expect_identical_stats(run(sim::SimBackend::kScalar),
+                         run(sim::SimBackend::kBatched));
+}
+
+}  // namespace

@@ -1,0 +1,155 @@
+// Corruption robustness of the ArtifactBundle loader: truncation at every
+// byte boundary and random byte flips must surface as a clear IoError (or,
+// for flips that land in don't-care bytes, a clean load) — never a crash,
+// hang, or unbounded allocation. Runs under the ASan/UBSan CI job, which
+// would flag any out-of-bounds read the malformed inputs provoke.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "io/artifact_io.h"
+#include "synthetic_util.h"
+
+namespace {
+
+using namespace aps;
+namespace fs = std::filesystem;
+
+class IoCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "aps_io_corruption_test";
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// A small but fully populated bundle (thresholds + all three models).
+  [[nodiscard]] std::vector<char> bundle_bytes() {
+    core::ArtifactBundle bundle;
+    bundle.artifacts = testutil::synth_artifacts(2);
+    {
+      ml::DecisionTreeConfig config;
+      config.max_depth = 4;
+      ml::DecisionTree tree(config);
+      tree.fit(testutil::synth_dataset(200, 11));
+      bundle.dt = std::make_shared<const ml::DecisionTree>(std::move(tree));
+    }
+    {
+      ml::MlpConfig config;
+      config.hidden_units = {6};
+      config.max_epochs = 2;
+      ml::Mlp mlp(config);
+      mlp.fit(testutil::synth_dataset(150, 13));
+      bundle.mlp = std::make_shared<const ml::Mlp>(std::move(mlp));
+    }
+    {
+      ml::LstmConfig config;
+      config.hidden_units = {4};
+      config.max_epochs = 1;
+      config.batch_size = 16;
+      ml::Lstm lstm(config);
+      lstm.fit(testutil::synth_sequences(60, 17));
+      bundle.lstm = std::make_shared<const ml::Lstm>(std::move(lstm));
+    }
+    const std::string file = path("bundle.aps");
+    io::save_bundle(bundle, file);
+    std::ifstream in(file, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+
+  void write_bytes(const std::string& file, const std::vector<char>& bytes) {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IoCorruptionTest, TruncationAtEveryByteBoundaryThrowsIoError) {
+  const std::vector<char> bytes = bundle_bytes();
+  ASSERT_GT(bytes.size(), 100u);
+  const std::string file = path("truncated.aps");
+  // The loader consumes the file exactly, so every strict prefix must fail
+  // loudly — header reads, length fields, and payloads alike.
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    write_bytes(file, {bytes.begin(), bytes.begin() + len});
+    EXPECT_THROW((void)io::load_bundle(file), io::IoError)
+        << "truncation at byte " << len << " of " << bytes.size();
+  }
+  // The untruncated file still loads.
+  write_bytes(file, bytes);
+  EXPECT_NO_THROW((void)io::load_bundle(file));
+}
+
+TEST_F(IoCorruptionTest, RandomByteFlipsNeverCrash) {
+  const std::vector<char> bytes = bundle_bytes();
+  const std::string file = path("flipped.aps");
+  Rng rng(20260731);
+  std::size_t loaded = 0;
+  std::size_t rejected = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    std::vector<char> corrupted = bytes;
+    const int flips = rng.uniform_int(1, 3);
+    for (int f = 0; f < flips; ++f) {
+      const auto pos = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<int>(corrupted.size()) - 1));
+      const char mask = static_cast<char>(rng.uniform_int(1, 255));
+      corrupted[static_cast<std::size_t>(pos)] ^= mask;
+    }
+    write_bytes(file, corrupted);
+    try {
+      (void)io::load_bundle(file);
+      ++loaded;  // flip landed in a don't-care byte (e.g. a weight)
+    } catch (const io::IoError&) {
+      ++rejected;  // the contract: a clear error, nothing else
+    }
+    // Any other exception type (bad_alloc, length_error, ...) or a signal
+    // fails the test / trips the sanitizers.
+  }
+  EXPECT_EQ(loaded + rejected, 400u);
+  // Sanity: structural bytes exist, so at least some flips must reject.
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST_F(IoCorruptionTest, HostileLengthFieldsAreRejectedBeforeAllocating) {
+  // A bundle whose training-artifact profile count claims 2^24 entries in
+  // a tiny file must fail on the remaining-bytes check, not allocate.
+  const std::vector<char> bytes = bundle_bytes();
+  std::vector<char> corrupted = bytes;
+  // Header is magic + version + kind (12 bytes) + ml_classes/lstm_classes
+  // (8 bytes); the next 8 bytes are the profile count.
+  const std::size_t count_offset = 20;
+  ASSERT_GT(corrupted.size(), count_offset + 8);
+  corrupted[count_offset] = static_cast<char>(0xff);
+  corrupted[count_offset + 1] = static_cast<char>(0xff);
+  corrupted[count_offset + 2] = static_cast<char>(0xff);
+  const std::string file = path("hostile.aps");
+  write_bytes(file, corrupted);
+  EXPECT_THROW((void)io::load_bundle(file), io::IoError);
+}
+
+TEST_F(IoCorruptionTest, GarbageAndEmptyFilesThrowIoError) {
+  const std::string file = path("garbage.aps");
+  write_bytes(file, {});
+  EXPECT_THROW((void)io::load_bundle(file), io::IoError);
+
+  Rng rng(7);
+  std::vector<char> noise(4096);
+  for (auto& b : noise) b = static_cast<char>(rng.uniform_int(0, 255));
+  write_bytes(file, noise);
+  EXPECT_THROW((void)io::load_bundle(file), io::IoError);
+
+  EXPECT_THROW((void)io::load_bundle(path("missing.aps")), io::IoError);
+}
+
+}  // namespace

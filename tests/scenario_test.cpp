@@ -5,6 +5,8 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
+#include <vector>
 
 #include "scenario/cross_entropy.h"
 #include "scenario/executor.h"
@@ -92,6 +94,122 @@ TEST(Sampling, RespectsSpecSupport) {
     EXPECT_FALSE(s.draw.has_fault);
     EXPECT_FALSE(s.config.fault.enabled());
     EXPECT_TRUE(s.config.meals.empty());
+  }
+}
+
+void expect_same_scenario(const SampledScenario& a, const SampledScenario& b,
+                          std::uint64_t index) {
+  ASSERT_EQ(a.index, b.index) << index;
+  ASSERT_EQ(a.patient_index, b.patient_index) << index;
+  ASSERT_EQ(a.config.steps, b.config.steps) << index;
+  ASSERT_EQ(a.config.initial_bg, b.config.initial_bg) << index;
+  ASSERT_EQ(a.config.fault.type, b.config.fault.type) << index;
+  ASSERT_EQ(a.config.fault.target, b.config.fault.target) << index;
+  ASSERT_EQ(a.config.fault.magnitude, b.config.fault.magnitude) << index;
+  ASSERT_EQ(a.config.fault.start_step, b.config.fault.start_step) << index;
+  ASSERT_EQ(a.config.fault.duration_steps, b.config.fault.duration_steps)
+      << index;
+  ASSERT_EQ(a.config.cgm_seed, b.config.cgm_seed) << index;
+  ASSERT_EQ(a.config.cgm.noise_std_mg_dl, b.config.cgm.noise_std_mg_dl)
+      << index;
+  ASSERT_EQ(a.config.meals.size(), b.config.meals.size()) << index;
+  for (std::size_t m = 0; m < a.config.meals.size(); ++m) {
+    ASSERT_EQ(a.config.meals[m].step, b.config.meals[m].step) << index;
+    ASSERT_EQ(a.config.meals[m].carbs_g, b.config.meals[m].carbs_g) << index;
+  }
+  ASSERT_EQ(a.draw.patient_cell, b.draw.patient_cell) << index;
+  ASSERT_EQ(a.draw.has_fault, b.draw.has_fault) << index;
+  ASSERT_EQ(a.draw.kind, b.draw.kind) << index;
+  ASSERT_EQ(a.draw.start_cell, b.draw.start_cell) << index;
+  ASSERT_EQ(a.draw.duration_cell, b.draw.duration_cell) << index;
+  ASSERT_EQ(a.draw.magnitude_cell, b.draw.magnitude_cell) << index;
+  ASSERT_EQ(a.draw.bg_cell, b.draw.bg_cell) << index;
+  ASSERT_EQ(a.draw.has_meal, b.draw.has_meal) << index;
+  ASSERT_EQ(a.draw.carbs_cell, b.draw.carbs_cell) << index;
+  ASSERT_EQ(a.draw.meal_step_cell, b.draw.meal_step_cell) << index;
+}
+
+TEST(Sampling, EveryFieldInvariantUnderEvaluationOrder) {
+  // Scenario i of seed s is a pure function: drawing the campaign forward,
+  // backward, or with interleaved unrelated draws must produce identical
+  // configs and identical cell assignments for every index.
+  const auto spec = small_spec();
+  constexpr std::uint64_t kCount = 300;
+  constexpr std::uint64_t kSeed = 99;
+  std::vector<SampledScenario> forward;
+  forward.reserve(kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    forward.push_back(sample_scenario(spec, i, kSeed));
+  }
+  for (std::uint64_t i = kCount; i-- > 0;) {
+    expect_same_scenario(forward[i], sample_scenario(spec, i, kSeed), i);
+  }
+  for (std::uint64_t i = 0; i < kCount; i += 3) {
+    (void)sample_scenario(spec, i + 1, kSeed ^ 0xdead);  // unrelated draws
+    expect_same_scenario(forward[i], sample_scenario(spec, i, kSeed), i);
+  }
+}
+
+TEST(Sampling, RunIdentityInvariantUnderShardCountAndExecutionOrder) {
+  // Through the executor: run i must be the *same run* (same trace, not
+  // just the same aggregate) whatever the shard layout, worker count, or
+  // backend that happened to execute it.
+  const auto stack = sim::glucosym_openaps_stack();
+  const auto spec = small_spec();
+  constexpr std::size_t kCount = 90;
+  constexpr std::uint64_t kSeed = 12345;
+
+  const auto collect = [&](std::size_t shard_size, std::size_t threads,
+                           sim::SimBackend backend) {
+    std::vector<std::vector<double>> traces(kCount);
+    std::vector<std::vector<double>> rates(kCount);
+    sim::StreamingOptions streaming;
+    streaming.shard_size = shard_size;
+    streaming.backend = backend;
+    const auto request = [&](std::size_t i) {
+      const auto scenario = sample_scenario(spec, i, kSeed);
+      sim::RunRequest req;
+      req.patient_index = scenario.patient_index;
+      req.config = scenario.config;
+      return req;
+    };
+    const auto sink = [&](std::size_t, std::size_t i,
+                          const sim::SimResult& run) {
+      traces[i] = run.bg_trace();
+      for (const auto& step : run.steps) {
+        rates[i].push_back(step.delivered_rate);
+      }
+    };
+    if (threads > 1) {
+      ThreadPool pool(threads);
+      sim::for_each_run(stack, kCount, request, sim::null_monitor_factory(),
+                        sink, &pool, streaming);
+    } else {
+      sim::for_each_run(stack, kCount, request, sim::null_monitor_factory(),
+                        sink, nullptr, streaming);
+    }
+    return std::make_pair(traces, rates);
+  };
+
+  const auto [ref_traces, ref_rates] =
+      collect(64, 1, sim::SimBackend::kBatched);
+  for (const std::size_t shard_size : {std::size_t{1}, std::size_t{13},
+                                       std::size_t{1000}}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (const auto backend :
+           {sim::SimBackend::kBatched, sim::SimBackend::kScalar}) {
+        SCOPED_TRACE("shard=" + std::to_string(shard_size) +
+                     " threads=" + std::to_string(threads) + " backend=" +
+                     (backend == sim::SimBackend::kBatched ? "batched"
+                                                          : "scalar"));
+        const auto [traces, rates] = collect(shard_size, threads, backend);
+        ASSERT_EQ(traces.size(), ref_traces.size());
+        for (std::size_t i = 0; i < kCount; ++i) {
+          ASSERT_EQ(traces[i], ref_traces[i]) << "run " << i;
+          ASSERT_EQ(rates[i], ref_rates[i]) << "run " << i;
+        }
+      }
+    }
   }
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "monitor/guideline.h"
+#include "monitor/ml_monitor.h"
 #include "serve/engine.h"
 #include "synthetic_util.h"
 
@@ -154,6 +155,37 @@ TEST(ServeEngine, MultipleInputsForOneSessionApplyInBatchOrder) {
   for (const auto& obs : stream) batch.push_back({batched, obs});
   const auto batch_decisions = engine.feed(batch);
   // ...must equal the same stream fed one step at a time.
+  for (std::size_t k = 0; k < stream.size(); ++k) {
+    const auto expected = engine.feed_one(stepped, stream[k]);
+    EXPECT_TRUE(testutil::decisions_equal(expected, batch_decisions[k]))
+        << "cycle " << k;
+  }
+}
+
+TEST(ServeEngine, BatchedMlpInferenceMatchesSequential) {
+  // An MLP session's batched feed runs one forward pass per group
+  // (Monitor::observe_batch); decisions must stay bit-identical to the
+  // sequential observe() loop.
+  ml::MlpConfig config;
+  config.hidden_units = {8, 4};
+  config.max_epochs = 3;
+  ml::Mlp mlp(config);
+  mlp.fit(testutil::synth_dataset(400, 13));
+  ASSERT_TRUE(mlp.trained());
+  const auto shared = std::make_shared<const ml::Mlp>(std::move(mlp));
+
+  serve::MonitorEngine engine({.threads = 2});
+  engine.register_monitor("mlp", [shared](int) {
+    return std::make_unique<monitor::MlpMonitor>(shared, 2);
+  });
+  const auto batched = engine.open_session("batched", "mlp", 0);
+  const auto stepped = engine.open_session("stepped", "mlp", 0);
+
+  const auto stream = testutil::synth_stream(200, 77);
+  std::vector<serve::SessionInput> batch;
+  for (const auto& obs : stream) batch.push_back({batched, obs});
+  const auto batch_decisions = engine.feed(batch);
+  ASSERT_EQ(batch_decisions.size(), stream.size());
   for (std::size_t k = 0; k < stream.size(); ++k) {
     const auto expected = engine.feed_one(stepped, stream[k]);
     EXPECT_TRUE(testutil::decisions_equal(expected, batch_decisions[k]))
