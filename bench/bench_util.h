@@ -1,9 +1,15 @@
 // Shared helpers for the bench binaries.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/cli.h"
 #include "common/table.h"
@@ -12,7 +18,7 @@
 namespace aps::bench {
 
 /// Parse the standard bench flags: --full (paper-sized grid), --no-ml,
-/// --tolerance=<steps>, --seed=<n>.
+/// --tolerance=<steps>, --seed=<n>, --dt-cv (k-fold DT depth selection).
 [[nodiscard]] inline core::ExperimentConfig config_from_flags(
     const CliFlags& flags, bool needs_ml) {
   core::ExperimentConfig config;
@@ -20,6 +26,7 @@ namespace aps::bench {
   config.train_ml = needs_ml && flags.get_bool("ml", true);
   config.tolerance_steps =
       flags.get_int("tolerance", metrics::kDefaultToleranceSteps);
+  config.dt_depth_cv = flags.get_bool("dt-cv", false);
   config.seed = static_cast<std::uint64_t>(flags.get_int("seed", 2021));
   return config;
 }
@@ -44,5 +51,110 @@ inline void add_accuracy_row(TextTable& table, const std::string& simulator,
                  TextTable::num(cm.accuracy(), 3),
                  TextTable::num(cm.f1(), 3)});
 }
+
+/// Peak resident set size so far (MB; ru_maxrss is KB on Linux).
+[[nodiscard]] inline double peak_rss_mb() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// Per-stage wall-clock / throughput / RSS recorder. Next to the
+/// human-readable table every bench emits a machine-readable
+/// BENCH_<name>.json so the perf trajectory is tracked across PRs:
+///
+///   {"bench": "table6_ml_monitors", "total_wall_s": ..., "stages": [
+///     {"name": "prepare glucosym+openaps", "wall_s": ..., "runs": ...,
+///      "runs_per_s": ..., "peak_rss_mb": ..., "delta_rss_mb": ...}, ...]}
+///
+/// Usage: one recorder per binary; wrap stages in time_stage() or call
+/// stage_done() with an explicit duration; the file is written by flush()
+/// (also invoked by the destructor).
+class BenchRecorder {
+ public:
+  explicit BenchRecorder(std::string name)
+      : name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  BenchRecorder(const BenchRecorder&) = delete;
+  BenchRecorder& operator=(const BenchRecorder&) = delete;
+
+  ~BenchRecorder() { flush(); }
+
+  /// Time `fn` as one stage; `runs` (0 = not throughput-shaped) feeds the
+  /// runs_per_s field.
+  template <typename Fn>
+  void time_stage(const std::string& stage, std::size_t runs, Fn&& fn) {
+    const double rss_before = peak_rss_mb();
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    stage_done(stage, wall_s, runs, rss_before);
+  }
+
+  /// Variant for stages that only know their run count afterwards: `fn`
+  /// returns it.
+  template <typename Fn>
+  void time_stage_counted(const std::string& stage, Fn&& fn) {
+    const double rss_before = peak_rss_mb();
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t runs = fn();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    stage_done(stage, wall_s, runs, rss_before);
+  }
+
+  void stage_done(const std::string& stage, double wall_s, std::size_t runs,
+                  double rss_before_mb) {
+    stages_.push_back(
+        {stage, wall_s, runs, peak_rss_mb(), peak_rss_mb() - rss_before_mb});
+  }
+
+  [[nodiscard]] double total_wall_s() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  /// Write BENCH_<name>.json into the working directory.
+  void flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    std::ofstream out("BENCH_" + name_ + ".json");
+    if (!out) return;
+    out << "{\"bench\": \"" << name_ << "\", \"total_wall_s\": "
+        << total_wall_s() << ", \"stages\": [";
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+      const Stage& s = stages_[i];
+      const double rps =
+          s.wall_s > 0.0 ? static_cast<double>(s.runs) / s.wall_s : 0.0;
+      out << (i > 0 ? ", " : "") << "{\"name\": \"" << s.name
+          << "\", \"wall_s\": " << s.wall_s << ", \"runs\": " << s.runs
+          << ", \"runs_per_s\": " << rps
+          << ", \"peak_rss_mb\": " << s.peak_rss_mb
+          << ", \"delta_rss_mb\": " << s.delta_rss_mb << "}";
+    }
+    out << "]}\n";
+    std::printf("\n[bench] wrote BENCH_%s.json (total %.2fs, peak RSS %.1f MB)\n",
+                name_.c_str(), total_wall_s(), peak_rss_mb());
+  }
+
+ private:
+  struct Stage {
+    std::string name;
+    double wall_s = 0.0;
+    std::size_t runs = 0;
+    double peak_rss_mb = 0.0;
+    double delta_rss_mb = 0.0;
+  };
+
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<Stage> stages_;
+  bool flushed_ = false;
+};
 
 }  // namespace aps::bench

@@ -1,5 +1,6 @@
 // Fig. 7 — resilience of the unmonitored APS under fault injection:
 // (a) hazard coverage per patient, (b) time-to-hazard distribution.
+// Streamed: the campaign folds into BaselineStats, no trace retained.
 //
 // Paper shape: overall coverage ~33.9% on Glucosym with a wide per-patient
 // spread (6.7%..92.4%); mean TTH ~3 h with a small negative-TTH tail.
@@ -8,7 +9,6 @@
 
 #include "bench_util.h"
 #include "common/stats.h"
-#include "metrics/evaluation.h"
 #include "sim/stack.h"
 
 int main(int argc, char** argv) {
@@ -17,30 +17,29 @@ int main(int argc, char** argv) {
   const auto config = bench::config_from_flags(flags, /*needs_ml=*/false);
   bench::print_header("Fig. 7: baseline APS resilience (no monitor)",
                       config);
+  bench::BenchRecorder recorder("fig7_resilience");
 
   ThreadPool pool;
   const auto stack = sim::glucosym_openaps_stack();
-  const auto grid = config.grid();
-  const auto scenarios = fi::enumerate_scenarios(grid);
-  const auto campaign = sim::run_campaign(
-      stack, scenarios, sim::null_monitor_factory(), {}, &pool);
+  core::BaselineStats stats;
+  recorder.time_stage_counted("campaign[streamed]", [&] {
+    stats = core::run_baseline_stats(stack, config, pool);
+    return stats.resilience.total_runs;
+  });
 
   // --- (a) hazard coverage per patient.
   TextTable coverage({"patient", "runs", "hazards", "coverage"});
-  for (std::size_t p = 0; p < campaign.by_patient.size(); ++p) {
-    const auto& runs = campaign.by_patient[p];
-    std::size_t hazards = 0;
-    for (const auto& r : runs) hazards += r.label.hazardous ? 1u : 0u;
+  for (std::size_t p = 0; p < stats.by_patient.size(); ++p) {
+    const auto& bucket = stats.by_patient[p];
     const auto patient = stack.make_patient(static_cast<int>(p));
-    coverage.add_row({patient->name(), std::to_string(runs.size()),
-                      std::to_string(hazards),
-                      TextTable::pct(static_cast<double>(hazards) /
-                                     static_cast<double>(runs.size()))});
+    coverage.add_row({patient->name(), std::to_string(bucket.runs),
+                      std::to_string(bucket.hazards),
+                      TextTable::pct(bucket.coverage())});
   }
   std::printf("(a) hazard coverage per patient\n");
   coverage.print(std::cout);
 
-  const auto res = metrics::resilience(campaign);
+  const auto& res = stats.resilience;
   std::printf("\noverall hazard coverage: %s (paper: 33.9%%)\n",
               TextTable::pct(res.hazard_coverage()).c_str());
 

@@ -1,5 +1,6 @@
 // Fig. 8 — average hazard coverage by fault type and by initial BG value
-// (Glucosym stack, no monitor).
+// (Glucosym stack, no monitor). Streamed: the campaign folds into
+// BaselineStats buckets, no trace retained.
 //
 // Paper shape: maximize-rate / maximize-glucose faults are the most
 // damaging (IOB keeps acting after the fault clears), truncate/decrease
@@ -7,10 +8,8 @@
 // with the initial BG for about half the fault kinds.
 #include <cstdio>
 #include <iostream>
-#include <map>
 
 #include "bench_util.h"
-#include "metrics/evaluation.h"
 #include "sim/stack.h"
 
 int main(int argc, char** argv) {
@@ -19,48 +18,31 @@ int main(int argc, char** argv) {
   const auto config = bench::config_from_flags(flags, /*needs_ml=*/false);
   bench::print_header("Fig. 8: hazard coverage by fault type / initial BG",
                       config);
+  bench::BenchRecorder recorder("fig8_fault_types");
 
   ThreadPool pool;
   const auto stack = sim::glucosym_openaps_stack();
-  const auto grid = config.grid();
-  const auto scenarios = fi::enumerate_scenarios(grid);
-  const auto campaign = sim::run_campaign(
-      stack, scenarios, sim::null_monitor_factory(), {}, &pool);
-
-  struct Bucket {
-    std::size_t runs = 0;
-    std::size_t hazards = 0;
-  };
-  std::map<std::string, Bucket> by_fault;
-  std::map<double, Bucket> by_bg;
-  for (const auto* run : campaign.flat()) {
-    auto& fault_bucket = by_fault[run->config.fault.name()];
-    ++fault_bucket.runs;
-    auto& bg_bucket = by_bg[run->config.initial_bg];
-    ++bg_bucket.runs;
-    if (run->label.hazardous) {
-      ++fault_bucket.hazards;
-      ++bg_bucket.hazards;
-    }
-  }
+  core::BaselineStats stats;
+  recorder.time_stage_counted("campaign[streamed]", [&] {
+    stats = core::run_baseline_stats(stack, config, pool);
+    return stats.resilience.total_runs;
+  });
 
   std::printf("hazard coverage by fault kind (type_target)\n");
   TextTable fault_table({"fault", "runs", "hazards", "coverage"});
-  for (const auto& [name, bucket] : by_fault) {
+  for (const auto& [name, bucket] : stats.by_fault) {
     fault_table.add_row({name, std::to_string(bucket.runs),
                          std::to_string(bucket.hazards),
-                         TextTable::pct(static_cast<double>(bucket.hazards) /
-                                        static_cast<double>(bucket.runs))});
+                         TextTable::pct(bucket.coverage())});
   }
   fault_table.print(std::cout);
 
   std::printf("\nhazard coverage by initial BG (mg/dL)\n");
   TextTable bg_table({"initial BG", "runs", "hazards", "coverage"});
-  for (const auto& [bg, bucket] : by_bg) {
+  for (const auto& [bg, bucket] : stats.by_initial_bg) {
     bg_table.add_row({TextTable::num(bg, 0), std::to_string(bucket.runs),
                       std::to_string(bucket.hazards),
-                      TextTable::pct(static_cast<double>(bucket.hazards) /
-                                     static_cast<double>(bucket.runs))});
+                      TextTable::pct(bucket.coverage())});
   }
   bg_table.print(std::cout);
   std::printf(

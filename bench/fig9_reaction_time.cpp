@@ -1,5 +1,6 @@
 // Fig. 9 — average reaction time (minutes before hazard onset) and early
-// detection rate for every monitor on the Glucosym stack.
+// detection rate for every monitor on the Glucosym stack, scored from one
+// fused campaign pass.
 //
 // Paper shape: CAWT detects ~2 h ahead with the smallest spread; Guideline
 // and MPC react late (~tens of minutes) with a large spread; ML monitors
@@ -15,10 +16,14 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   const auto config = bench::config_from_flags(flags, /*needs_ml=*/true);
   bench::print_header("Fig. 9: monitor reaction time", config);
+  bench::BenchRecorder recorder("fig9_reaction_time");
 
   ThreadPool pool;
   const auto stack = sim::glucosym_openaps_stack();
-  auto context = core::prepare_experiment(stack, config, pool);
+  core::ExperimentContext context;
+  recorder.time_stage("prepare", 0, [&] {
+    context = core::prepare_experiment(stack, config, pool);
+  });
 
   TextTable table({"monitor", "mean reaction (min)", "std (min)",
                    "early detection rate", "alarmed hazards"});
@@ -27,9 +32,11 @@ int main(int argc, char** argv) {
           ? std::vector<std::string>{"guideline", "mpc", "cawot", "dt",
                                      "mlp", "lstm", "cawt"}
           : std::vector<std::string>{"guideline", "mpc", "cawot", "cawt"};
-  for (const auto& name : monitors) {
-    const auto eval = core::evaluate_monitor(
-        context, name, core::monitor_factory_by_name(context, name), pool);
+  std::vector<core::MonitorEval> evals;
+  recorder.time_stage("evaluate[fused]", context.run_count(), [&] {
+    evals = core::evaluate_monitors(context, monitors, pool);
+  });
+  for (const auto& eval : evals) {
     const auto& t = eval.timeliness;
     table.add_row({eval.name, TextTable::num(t.mean_reaction_min(), 1),
                    TextTable::num(t.stddev_reaction_min(), 1),

@@ -1,5 +1,6 @@
 // Table V — CAWT vs the non-ML baseline monitors (Guideline, MPC, CAWOT)
 // on both simulation stacks; sample-level accuracy with tolerance window.
+// The whole line-up is scored from one fused campaign pass per stack.
 //
 // Paper shape: CAWT best F1 and lowest FPR on both stacks; CAWOT between
 // the generic monitors and CAWT on Glucosym; the Guideline monitor
@@ -15,22 +16,31 @@ int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
   const auto config = bench::config_from_flags(flags, /*needs_ml=*/false);
   bench::print_header("Table V: CAWT vs non-ML monitors", config);
+  bench::BenchRecorder recorder("table5_nonml_monitors");
 
   ThreadPool pool;
   TextTable table({"simulator", "monitor", "runs", "hazard%", "FPR", "FNR",
                    "ACC", "F1"});
+  const std::vector<std::string> lineup = {"guideline", "mpc", "cawot",
+                                           "cawt"};
 
   for (const auto& stack :
        {sim::glucosym_openaps_stack(), sim::padova_basalbolus_stack()}) {
-    auto context = core::prepare_experiment(stack, config, pool);
+    core::ExperimentContext context;
+    recorder.time_stage("prepare " + stack.name, 0, [&] {
+      context = core::prepare_experiment(stack, config, pool);
+    });
     const auto hazard_fraction =
-        metrics::resilience(context.baseline).hazard_coverage();
-    for (const std::string name : {"guideline", "mpc", "cawot", "cawt"}) {
-      const auto eval = core::evaluate_monitor(
-          context, name, core::monitor_factory_by_name(context, name), pool);
-      bench::add_accuracy_row(table, stack.name, eval,
-                              context.scenarios.size() *
-                                  context.baseline.by_patient.size(),
+        context.baseline.resilience.hazard_coverage();
+
+    std::vector<core::MonitorEval> evals;
+    recorder.time_stage("evaluate[fused] " + stack.name, context.run_count(),
+                        [&] {
+                          evals = core::evaluate_monitors(context, lineup,
+                                                          pool);
+                        });
+    for (const auto& eval : evals) {
+      bench::add_accuracy_row(table, stack.name, eval, context.run_count(),
                               hazard_fraction);
     }
   }

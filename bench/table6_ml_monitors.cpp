@@ -2,6 +2,13 @@
 // stacks, at the sample level (tolerance window) and the simulation level
 // (two regions).
 //
+// The whole line-up is scored from ONE fused campaign pass per stack:
+// without mitigation the monitors are passive observers, so a single
+// simulation feeds all of them (sim observer banks + MonitorBatch ML
+// inference), replacing the former one-campaign-per-monitor protocol.
+// `--fused=0` restores the per-monitor passes for A/B timing; both paths
+// produce byte-identical reports.
+//
 // Paper shape: CAWT best F1 at both levels; DT keeps FNR low but pays a
 // high FPR (0.08-0.20 sample level; 0.56-1.00 simulation level).
 #include <cstdio>
@@ -14,18 +21,39 @@ int main(int argc, char** argv) {
   using namespace aps;
   const CliFlags flags(argc, argv);
   const auto config = bench::config_from_flags(flags, /*needs_ml=*/true);
+  const bool fused = flags.get_bool("fused", true);
   bench::print_header("Table VI: CAWT vs ML monitors", config);
+  bench::BenchRecorder recorder("table6_ml_monitors");
+  bool ab_failed = false;
 
   ThreadPool pool;
   TextTable table({"simulator", "monitor", "FPR", "FNR", "ACC", "F1",
                    "simFPR", "simFNR", "simACC", "simF1"});
+  const std::vector<std::string> lineup = {"dt", "mlp", "lstm", "cawt"};
 
   for (const auto& stack :
        {sim::glucosym_openaps_stack(), sim::padova_basalbolus_stack()}) {
-    auto context = core::prepare_experiment(stack, config, pool);
-    for (const std::string name : {"dt", "mlp", "lstm", "cawt"}) {
-      const auto eval = core::evaluate_monitor(
-          context, name, core::monitor_factory_by_name(context, name), pool);
+    core::ExperimentContext context;
+    recorder.time_stage("prepare " + stack.name, 0, [&] {
+      context = core::prepare_experiment(stack, config, pool);
+    });
+
+    std::vector<core::MonitorEval> evals;
+    recorder.time_stage(
+        (fused ? "evaluate[fused] " : "evaluate[per-monitor] ") + stack.name,
+        context.run_count() * (fused ? 1 : lineup.size()), [&] {
+          if (fused) {
+            evals = core::evaluate_monitors(context, lineup, pool);
+          } else {
+            for (const std::string& name : lineup) {
+              evals.push_back(core::evaluate_monitor(
+                  context, name,
+                  core::monitor_factory_by_name(context, name), pool));
+            }
+          }
+        });
+
+    for (const auto& eval : evals) {
       const auto& s = eval.accuracy.sample;
       const auto& sim_cm = eval.accuracy.simulation;
       table.add_row({stack.name, eval.name, TextTable::num(s.fpr(), 3),
@@ -37,10 +65,49 @@ int main(int argc, char** argv) {
                      TextTable::num(sim_cm.accuracy(), 3),
                      TextTable::num(sim_cm.f1(), 3)});
     }
+
+    // A/B stage: the pre-refactor evaluation protocol (one campaign per
+    // monitor, scalar backend, per-lane monitor stepping) against the
+    // fused batched pass above — reports must be byte-identical.
+    if (flags.get_bool("ab", false)) {
+      core::EvalOptions old_path;
+      old_path.fused = false;
+      old_path.backend = sim::SimBackend::kScalar;
+      std::vector<core::MonitorEval> reference;
+      recorder.time_stage("evaluate[pre-refactor] " + stack.name,
+                          context.run_count() * lineup.size(), [&] {
+                            reference = core::evaluate_monitors(
+                                context, lineup, pool, old_path);
+                          });
+      bool identical = evals.size() == reference.size();
+      for (std::size_t m = 0; identical && m < evals.size(); ++m) {
+        const auto& a = evals[m];
+        const auto& b = reference[m];
+        identical =
+            a.accuracy.sample.tp == b.accuracy.sample.tp &&
+            a.accuracy.sample.fp == b.accuracy.sample.fp &&
+            a.accuracy.sample.fn == b.accuracy.sample.fn &&
+            a.accuracy.sample.tn == b.accuracy.sample.tn &&
+            a.accuracy.simulation.tp == b.accuracy.simulation.tp &&
+            a.accuracy.simulation.fp == b.accuracy.simulation.fp &&
+            a.accuracy.simulation.fn == b.accuracy.simulation.fn &&
+            a.accuracy.simulation.tn == b.accuracy.simulation.tn &&
+            a.accuracy.runs == b.accuracy.runs &&
+            a.accuracy.hazardous_runs == b.accuracy.hazardous_runs &&
+            a.timeliness.reaction_min == b.timeliness.reaction_min &&
+            a.timeliness.hazardous_runs == b.timeliness.hazardous_runs &&
+            a.timeliness.early_detections == b.timeliness.early_detections;
+      }
+      std::printf("A/B %s: fused reports byte-identical to pre-refactor: %s\n",
+                  stack.name.c_str(), identical ? "yes" : "NO (bug!)");
+      ab_failed |= !identical;
+    }
   }
   table.print(std::cout);
   std::printf(
       "\nexpected shape (paper Table VI): CAWT leads F1 at both levels;\n"
       "DT trades a low FNR for the highest FPR of the line-up.\n");
-  return 0;
+  // The --ab stage is an executable guarantee: report divergence is a
+  // failing exit, not just a printed note.
+  return ab_failed ? 1 : 0;
 }

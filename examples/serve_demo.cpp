@@ -36,6 +36,7 @@ struct ReplayStats {
 /// (patient, scenario) pair, batching all sessions cycle by cycle.
 ReplayStats replay_cohort(serve::MonitorEngine& engine,
                           const std::string& monitor_name,
+                          const sim::CampaignResult& replay,
                           const core::ExperimentContext& context,
                           int scenarios_per_patient) {
   ReplayStats stats;
@@ -46,7 +47,7 @@ ReplayStats replay_cohort(serve::MonitorEngine& engine,
     double isf;
   };
   std::vector<Trace> traces;
-  const auto& by_patient = context.baseline.by_patient;
+  const auto& by_patient = replay.by_patient;
   for (std::size_t p = 0; p < by_patient.size(); ++p) {
     const auto& profile = context.artifacts.profiles[p];
     const auto count = std::min<std::size_t>(
@@ -99,8 +100,18 @@ int main(int argc, char** argv) try {
   config.train_ml = with_ml;
   config.ml_data = {.classes = 2, .stride = 10, .max_samples = 5000};
   config.lstm_data = {.classes = 2, .stride = 15, .max_samples = 1500};
-  const auto context = core::prepare_experiment(
-      sim::glucosym_openaps_stack(), config, pool);
+  const auto stack = sim::glucosym_openaps_stack();
+  const auto context = core::prepare_experiment(stack, config, pool);
+
+  // A small recorded campaign to stream through the engine later (the
+  // training pipeline itself is streaming and retains no traces).
+  std::vector<fi::Scenario> replay_scenarios(
+      context.scenarios.begin(),
+      context.scenarios.begin() +
+          std::min<std::size_t>(context.scenarios.size(),
+                                static_cast<std::size_t>(scenarios)));
+  const auto replay = sim::run_campaign(
+      stack, replay_scenarios, sim::null_monitor_factory(), {}, &pool);
 
   // 2. Persist everything a server needs.
   std::filesystem::create_directories(dir);
@@ -125,7 +136,7 @@ int main(int argc, char** argv) try {
   {
     auto in_memory = core::cawt_factory(context.artifacts)(0);
     auto loaded = core::factory_from_bundle(bundle, "cawt")(0);
-    const auto& run = context.baseline.by_patient[0][0];
+    const auto& run = replay.by_patient[0][0];
     const auto& profile = context.artifacts.profiles[0];
     bool identical = true;
     for (std::size_t k = 0; k < run.steps.size(); ++k) {
@@ -154,7 +165,7 @@ int main(int argc, char** argv) try {
   TextTable table({"monitor", "sessions", "cycles", "alarms", "alarm rate"});
   for (const auto& name : monitors) {
     const ReplayStats stats =
-        replay_cohort(engine, name, context, scenarios);
+        replay_cohort(engine, name, replay, context, scenarios);
     table.add_row({name, std::to_string(stats.sessions),
                    std::to_string(stats.cycles),
                    std::to_string(stats.alarms),

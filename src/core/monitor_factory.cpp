@@ -9,12 +9,8 @@
 
 namespace aps::core {
 
-namespace {
-
-/// Eq. 7 label of step k: positive when a hazard lies anywhere in the
-/// run's future (pre-onset) or the sample itself is hazardous.
-int sample_label(const aps::sim::SimResult& run, std::size_t k,
-                 int classes) {
+int ml_sample_label(const aps::sim::SimResult& run, std::size_t k,
+                    int classes) {
   if (!run.label.hazardous) return 0;
   const bool positive = static_cast<int>(k) <= run.label.onset_step ||
                         run.label.sample_hazard[k];
@@ -22,8 +18,6 @@ int sample_label(const aps::sim::SimResult& run, std::size_t k,
   if (classes < 3) return 1;
   return run.label.type == aps::HazardType::kH1TooMuchInsulin ? 1 : 2;
 }
-
-}  // namespace
 
 aps::monitor::GuidelineConfig guideline_config_from_traces(
     const std::vector<const aps::sim::SimResult*>& fault_free_runs) {
@@ -82,39 +76,40 @@ aps::sim::MonitorFactory mpc_factory(aps::monitor::MpcConfig config) {
   };
 }
 
-TrainingArtifacts learn_artifacts(const aps::sim::Stack& stack,
-                                  const aps::sim::CampaignResult& training,
-                                  const aps::sim::CampaignResult& fault_free,
-                                  const ThresholdLearningOptions& options) {
+TrainingArtifacts learn_artifacts_from_data(
+    const aps::sim::Stack& stack, const std::vector<RuleDatasets>& rule_data,
+    const aps::sim::CampaignResult& fault_free,
+    const ThresholdLearningOptions& options, aps::ThreadPool* pool) {
   TrainingArtifacts artifacts;
   artifacts.profiles = stack_profiles(stack);
-  const auto patients = training.by_patient.size();
+  const auto patients = rule_data.size();
 
-  aps::monitor::CawConfig context_config;
-  context_config.target_bg = artifacts.target_bg;
-
-  // Patient-specific thresholds.
-  RuleDatasets pooled;
-  for (std::size_t p = 0; p < patients; ++p) {
+  // Patient-specific thresholds: independent optimizations, placed by
+  // patient index.
+  artifacts.patient_thresholds.resize(patients);
+  const auto learn_patient = [&](std::size_t p) {
     const auto& profile = artifacts.profiles[p];
-    std::vector<const aps::sim::SimResult*> runs;
-    for (const auto& r : training.by_patient[p]) runs.push_back(&r);
-
-    const auto datasets = extract_rule_datasets(
-        runs, context_config, profile.basal_rate, profile.isf, options);
     const auto defaults =
         aps::monitor::default_thresholds(profile.steady_state_iob);
-    const auto learned = learn_thresholds(datasets, defaults, options);
-    artifacts.patient_thresholds.push_back(learned.values);
+    artifacts.patient_thresholds[p] =
+        learn_thresholds(rule_data[p], defaults, options).values;
+  };
+  if (pool != nullptr && patients > 1) {
+    pool->parallel_for(patients, learn_patient);
+  } else {
+    for (std::size_t p = 0; p < patients; ++p) learn_patient(p);
+  }
 
-    for (const auto& [param, values] : datasets) {
+  // Population thresholds from the pooled violation data (patient order,
+  // so pooling is independent of how the campaign was sharded), with
+  // defaults anchored to the cohort-average basal IOB.
+  RuleDatasets pooled;
+  for (std::size_t p = 0; p < patients; ++p) {
+    for (const auto& [param, values] : rule_data[p]) {
       auto& bucket = pooled[param];
       bucket.insert(bucket.end(), values.begin(), values.end());
     }
   }
-
-  // Population thresholds from the pooled violation data, with defaults
-  // anchored to the cohort-average basal IOB.
   double mean_ss_iob = 0.0;
   for (const auto& profile : artifacts.profiles) {
     mean_ss_iob += profile.steady_state_iob;
@@ -134,6 +129,26 @@ TrainingArtifacts learn_artifacts(const aps::sim::Stack& stack,
         guideline_config_from_traces(runs));
   }
   return artifacts;
+}
+
+TrainingArtifacts learn_artifacts(const aps::sim::Stack& stack,
+                                  const aps::sim::CampaignResult& training,
+                                  const aps::sim::CampaignResult& fault_free,
+                                  const ThresholdLearningOptions& options) {
+  aps::monitor::CawConfig context_config;
+  context_config.target_bg = TrainingArtifacts{}.target_bg;
+
+  const auto profiles = stack_profiles(stack);
+  std::vector<RuleDatasets> rule_data;
+  rule_data.reserve(training.by_patient.size());
+  for (std::size_t p = 0; p < training.by_patient.size(); ++p) {
+    std::vector<const aps::sim::SimResult*> runs;
+    for (const auto& r : training.by_patient[p]) runs.push_back(&r);
+    rule_data.push_back(extract_rule_datasets(runs, context_config,
+                                              profiles[p].basal_rate,
+                                              profiles[p].isf, options));
+  }
+  return learn_artifacts_from_data(stack, rule_data, fault_free, options);
 }
 
 aps::sim::MonitorFactory cawt_factory(const TrainingArtifacts& artifacts) {
@@ -187,70 +202,71 @@ FlatCampaign flatten(const aps::sim::CampaignResult& campaign) {
   return flat;
 }
 
+void accumulate_tabular_samples(const aps::sim::SimResult& run,
+                                const PatientProfile& profile,
+                                std::uint64_t run_index,
+                                const MlDataOptions& options,
+                                aps::ml::DatasetBuilder& builder) {
+  for (std::size_t k = 0; k < run.steps.size();
+       k += static_cast<std::size_t>(options.stride)) {
+    const auto obs = observation_at(run, k, profile.basal_rate, profile.isf);
+    builder.add(run_index, k, aps::monitor::ml_features(obs),
+                ml_sample_label(run, k, options.classes));
+  }
+}
+
+void accumulate_sequence_samples(const aps::sim::SimResult& run,
+                                 const PatientProfile& profile,
+                                 std::uint64_t run_index,
+                                 const MlDataOptions& options,
+                                 aps::ml::SequenceDatasetBuilder& builder) {
+  const std::size_t window = aps::monitor::kLstmWindow;
+  if (run.steps.size() < window) return;
+  for (std::size_t end = window - 1; end < run.steps.size();
+       end += static_cast<std::size_t>(options.stride)) {
+    aps::ml::Matrix seq(window, aps::monitor::kMlFeatureCount);
+    for (std::size_t t = 0; t < window; ++t) {
+      const std::size_t k = end - window + 1 + t;
+      const auto obs =
+          observation_at(run, k, profile.basal_rate, profile.isf);
+      const auto features = aps::monitor::ml_features(obs);
+      for (std::size_t c = 0; c < features.size(); ++c) {
+        seq.at(t, c) = features[c];
+      }
+    }
+    builder.add(run_index, end, std::move(seq),
+                ml_sample_label(run, end, options.classes));
+  }
+}
+
 aps::ml::Dataset build_tabular_dataset(
     const std::vector<const aps::sim::SimResult*>& runs,
     const std::vector<PatientProfile>& profiles,
     const std::vector<int>& run_patient, const MlDataOptions& options) {
-  std::vector<std::vector<double>> rows;
-  std::vector<int> labels;
+  aps::ml::DatasetBuilder builder(aps::monitor::kMlFeatureCount,
+                                  options.classes, options.max_samples,
+                                  options.sample_seed);
   for (std::size_t r = 0; r < runs.size(); ++r) {
-    const auto& run = *runs[r];
-    const auto& profile =
-        profiles[static_cast<std::size_t>(run_patient[r])];
-    for (std::size_t k = 0; k < run.steps.size();
-         k += static_cast<std::size_t>(options.stride)) {
-      const auto obs =
-          observation_at(run, k, profile.basal_rate, profile.isf);
-      rows.push_back(aps::monitor::ml_features(obs));
-      labels.push_back(sample_label(run, k, options.classes));
-      if (rows.size() >= options.max_samples) break;
-    }
-    if (rows.size() >= options.max_samples) break;
+    accumulate_tabular_samples(
+        *runs[r], profiles[static_cast<std::size_t>(run_patient[r])], r,
+        options, builder);
   }
-
-  aps::ml::Dataset data;
-  data.classes = options.classes;
-  data.y = std::move(labels);
-  data.x = aps::ml::Matrix(rows.size(), aps::monitor::kMlFeatureCount);
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    for (std::size_t c = 0; c < rows[i].size(); ++c) {
-      data.x.at(i, c) = rows[i][c];
-    }
-  }
-  return data;
+  return builder.build();
 }
 
 aps::ml::SequenceDataset build_sequence_dataset(
     const std::vector<const aps::sim::SimResult*>& runs,
     const std::vector<PatientProfile>& profiles,
     const std::vector<int>& run_patient, const MlDataOptions& options) {
-  aps::ml::SequenceDataset data;
-  data.classes = options.classes;
-  const std::size_t window = aps::monitor::kLstmWindow;
+  aps::ml::SequenceDatasetBuilder builder(options.classes,
+                                          options.max_samples,
+                                          options.sample_seed);
   for (std::size_t r = 0; r < runs.size(); ++r) {
-    const auto& run = *runs[r];
-    const auto& profile =
-        profiles[static_cast<std::size_t>(run_patient[r])];
-    if (run.steps.size() < window) continue;
-    for (std::size_t end = window - 1; end < run.steps.size();
-         end += static_cast<std::size_t>(options.stride)) {
-      aps::ml::Matrix seq(window, aps::monitor::kMlFeatureCount);
-      for (std::size_t t = 0; t < window; ++t) {
-        const std::size_t k = end - window + 1 + t;
-        const auto obs =
-            observation_at(run, k, profile.basal_rate, profile.isf);
-        const auto features = aps::monitor::ml_features(obs);
-        for (std::size_t c = 0; c < features.size(); ++c) {
-          seq.at(t, c) = features[c];
-        }
-      }
-      data.sequences.push_back(std::move(seq));
-      data.labels.push_back(sample_label(run, end, options.classes));
-      if (data.size() >= options.max_samples) break;
-    }
-    if (data.size() >= options.max_samples) break;
+    accumulate_sequence_samples(
+        *runs[r], profiles[static_cast<std::size_t>(run_patient[r])], r,
+        options, builder);
   }
-  return data;
+  return builder.build();
 }
 
 aps::sim::MonitorFactory dt_factory(

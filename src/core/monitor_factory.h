@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/threshold_pipeline.h"
 #include "ml/decision_tree.h"
 #include "ml/lstm.h"
@@ -72,6 +73,18 @@ struct TrainingArtifacts {
     const aps::sim::CampaignResult& fault_free,
     const ThresholdLearningOptions& options = {});
 
+/// Learn artifacts from pre-extracted per-patient rule datasets (the
+/// streaming pipeline's path: violation values are accumulated while the
+/// baseline campaign streams, so no trace is ever retained) plus the
+/// retained fault-free campaign for the guideline percentiles. With a
+/// pool, per-patient threshold optimizations run concurrently; results are
+/// placed by patient index, so output never depends on scheduling.
+[[nodiscard]] TrainingArtifacts learn_artifacts_from_data(
+    const aps::sim::Stack& stack, const std::vector<RuleDatasets>& rule_data,
+    const aps::sim::CampaignResult& fault_free,
+    const ThresholdLearningOptions& options = {},
+    aps::ThreadPool* pool = nullptr);
+
 [[nodiscard]] aps::sim::MonitorFactory cawt_factory(
     const TrainingArtifacts& artifacts);
 /// CAWT with the pooled population thresholds for every patient.
@@ -85,8 +98,35 @@ struct TrainingArtifacts {
 struct MlDataOptions {
   int classes = 2;   ///< 2 = safe/unsafe, 3 = none/H1/H2 (ablation §VI-1)
   int stride = 1;    ///< take every stride-th sample
-  std::size_t max_samples = 200000;  ///< hard cap for tractability
+  /// Reservoir capacity: when the campaign yields more candidate samples,
+  /// a deterministic seeded bottom-k reservoir keeps a uniform subsample
+  /// that is invariant to shard layout and thread count.
+  std::size_t max_samples = 200000;
+  std::uint64_t sample_seed = 0x5EEDu;  ///< reservoir priority seed
 };
+
+/// Eq. 7 label of step k of a labeled run: positive when a hazard lies in
+/// the run's future (pre-onset) or the sample itself is hazardous; with
+/// classes >= 3 the positive class distinguishes H1 from H2.
+[[nodiscard]] int ml_sample_label(const aps::sim::SimResult& run,
+                                  std::size_t k, int classes);
+
+/// Stream one finished run's strided samples into the tabular reservoir
+/// (features per Eq. 7). `run_index` addresses the run globally so the
+/// reservoir's sample identity is campaign-wide.
+void accumulate_tabular_samples(const aps::sim::SimResult& run,
+                                const PatientProfile& profile,
+                                std::uint64_t run_index,
+                                const MlDataOptions& options,
+                                aps::ml::DatasetBuilder& builder);
+
+/// Stream one finished run's sliding windows (Eq. 8) into the sequence
+/// reservoir.
+void accumulate_sequence_samples(const aps::sim::SimResult& run,
+                                 const PatientProfile& profile,
+                                 std::uint64_t run_index,
+                                 const MlDataOptions& options,
+                                 aps::ml::SequenceDatasetBuilder& builder);
 
 /// Tabular dataset over ml_features(...) with Eq. 7 labels.
 [[nodiscard]] aps::ml::Dataset build_tabular_dataset(

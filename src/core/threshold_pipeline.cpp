@@ -9,20 +9,7 @@ namespace aps::core {
 aps::monitor::Observation observation_at(const aps::sim::SimResult& run,
                                          std::size_t k, double basal_rate,
                                          double isf) {
-  const auto& steps = run.steps;
-  aps::monitor::Observation obs;
-  const auto& rec = steps[k];
-  obs.time_min = rec.time_min;
-  obs.bg = rec.cgm_bg;
-  obs.bg_rate = k > 0 ? rec.cgm_bg - steps[k - 1].cgm_bg : 0.0;
-  obs.iob = rec.iob;
-  obs.iob_rate = k > 0 ? rec.iob - steps[k - 1].iob : 0.0;
-  obs.commanded_rate = rec.commanded_rate;
-  obs.previous_rate = k > 0 ? steps[k - 1].delivered_rate : basal_rate;
-  obs.action = rec.action;
-  obs.basal_rate = basal_rate;
-  obs.isf = isf;
-  return obs;
+  return aps::sim::observation_from_record(run, k, basal_rate, isf);
 }
 
 RuleDatasets extract_rule_datasets(

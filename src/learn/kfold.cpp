@@ -35,6 +35,23 @@ std::vector<FoldSplit> kfold_splits(std::size_t n, int k, std::uint64_t seed) {
   return folds;
 }
 
+std::vector<double> cross_validate(
+    std::size_t n, int k, std::uint64_t seed,
+    const std::function<double(std::size_t fold, const FoldSplit&)>& evaluate,
+    aps::ThreadPool* pool) {
+  const auto folds = kfold_splits(n, k, seed);
+  std::vector<double> scores(folds.size(), 0.0);
+  const auto run_fold = [&](std::size_t f) {
+    scores[f] = evaluate(f, folds[f]);
+  };
+  if (pool != nullptr && folds.size() > 1) {
+    pool->parallel_for(folds.size(), run_fold);
+  } else {
+    for (std::size_t f = 0; f < folds.size(); ++f) run_fold(f);
+  }
+  return scores;
+}
+
 FoldSplit train_test_split(std::size_t n, double test_fraction,
                            std::uint64_t seed) {
   const auto idx = shuffled_indices(n, seed);

@@ -1,10 +1,14 @@
 // Deterministic k-fold cross-validation index splits (paper §V-B uses
-// 4-fold CV for threshold learning and ML training).
+// 4-fold CV for threshold learning and ML training), plus a parallel fold
+// evaluator so cross-validated model selection uses every core.
 #pragma once
 
 #include <cstdint>
 #include <cstddef>
+#include <functional>
 #include <vector>
+
+#include "common/thread_pool.h"
 
 namespace aps::learn {
 
@@ -21,5 +25,15 @@ struct FoldSplit {
 /// Deterministic train/test split with the given test fraction.
 [[nodiscard]] FoldSplit train_test_split(std::size_t n, double test_fraction,
                                          std::uint64_t seed);
+
+/// Score every fold of kfold_splits(n, k, seed) with `evaluate`, running
+/// folds concurrently over the pool (sequentially without one). Results
+/// are placed by fold index, so the returned vector never depends on
+/// scheduling. `evaluate` must be pure with respect to shared state — it
+/// is invoked from worker threads.
+[[nodiscard]] std::vector<double> cross_validate(
+    std::size_t n, int k, std::uint64_t seed,
+    const std::function<double(std::size_t fold, const FoldSplit&)>& evaluate,
+    aps::ThreadPool* pool = nullptr);
 
 }  // namespace aps::learn

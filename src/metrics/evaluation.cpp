@@ -9,14 +9,9 @@
 
 namespace aps::metrics {
 
-namespace {
-
-/// Fault-activation step of a run, or -1 when fault-free.
 int fault_step_of(const aps::sim::SimResult& run) {
   return run.config.fault.enabled() ? run.config.fault.start_step : -1;
 }
-
-}  // namespace
 
 std::vector<bool> alarms_of(const aps::sim::SimResult& run) {
   std::vector<bool> out;
@@ -25,7 +20,30 @@ std::vector<bool> alarms_of(const aps::sim::SimResult& run) {
   return out;
 }
 
+std::vector<bool> alarms_of(std::span<const aps::monitor::Decision> decisions) {
+  std::vector<bool> out;
+  out.reserve(decisions.size());
+  for (const auto& d : decisions) out.push_back(d.alarm);
+  return out;
+}
+
 // ---- Resilience ------------------------------------------------------------
+
+void ResilienceStats::add_run(const aps::sim::SimResult& run) {
+  ++total_runs;
+  if (!run.label.hazardous) return;
+  ++hazardous_runs;
+  const int tf = fault_step_of(run);
+  const int th = run.label.onset_step;
+  tth_min.push_back(static_cast<double>(th - std::max(tf, 0)) *
+                    aps::kControlPeriodMin);
+}
+
+void ResilienceStats::merge(const ResilienceStats& other) {
+  total_runs += other.total_runs;
+  hazardous_runs += other.hazardous_runs;
+  tth_min.insert(tth_min.end(), other.tth_min.begin(), other.tth_min.end());
+}
 
 double ResilienceStats::hazard_coverage() const {
   return total_runs > 0 ? static_cast<double>(hazardous_runs) /
@@ -47,43 +65,77 @@ double ResilienceStats::negative_tth_fraction() const {
 
 ResilienceStats resilience(const aps::sim::CampaignResult& campaign) {
   ResilienceStats stats;
-  for (const auto* run : campaign.flat()) {
-    ++stats.total_runs;
-    if (!run->label.hazardous) continue;
-    ++stats.hazardous_runs;
-    const int tf = fault_step_of(*run);
-    const int th = run->label.onset_step;
-    stats.tth_min.push_back(static_cast<double>(th - std::max(tf, 0)) *
-                            aps::kControlPeriodMin);
-  }
+  for (const auto* run : campaign.flat()) stats.add_run(*run);
   return stats;
 }
 
 // ---- Accuracy ----------------------------------------------------------------
 
+void AccuracyReport::add_run(const std::vector<bool>& alarms,
+                             const aps::risk::TraceLabel& label,
+                             int fault_step, int tolerance_steps) {
+  const std::vector<bool>& truth = label.sample_hazard;
+  assert(alarms.size() == truth.size());
+  sample.add(tolerance_window_confusion(alarms, truth, tolerance_steps));
+  simulation.add(two_region_confusion(alarms, truth, fault_step));
+  ++runs;
+  if (label.hazardous) ++hazardous_runs;
+}
+
+void AccuracyReport::merge(const AccuracyReport& other) {
+  sample.add(other.sample);
+  simulation.add(other.simulation);
+  runs += other.runs;
+  hazardous_runs += other.hazardous_runs;
+}
+
+double AccuracyReport::hazard_fraction() const {
+  return runs > 0
+             ? static_cast<double>(hazardous_runs) / static_cast<double>(runs)
+             : 0.0;
+}
+
 AccuracyReport evaluate_accuracy(const aps::sim::CampaignResult& campaign,
                                  int tolerance_steps) {
   AccuracyReport report;
-  std::size_t hazardous = 0;
   for (const auto* run : campaign.flat()) {
-    const auto preds = alarms_of(*run);
-    const std::vector<bool>& truth = run->label.sample_hazard;
-    assert(preds.size() == truth.size());
-    report.sample.add(
-        tolerance_window_confusion(preds, truth, tolerance_steps));
-    report.simulation.add(
-        two_region_confusion(preds, truth, fault_step_of(*run)));
-    ++report.runs;
-    if (run->label.hazardous) ++hazardous;
+    report.add_run(alarms_of(*run), run->label, fault_step_of(*run),
+                   tolerance_steps);
   }
-  report.hazard_fraction =
-      report.runs > 0
-          ? static_cast<double>(hazardous) / static_cast<double>(report.runs)
-          : 0.0;
   return report;
 }
 
 // ---- Timeliness ----------------------------------------------------------------
+
+void TimelinessStats::add_run(const std::vector<bool>& alarms,
+                              const aps::risk::TraceLabel& label,
+                              int fault_step) {
+  if (!label.hazardous) return;
+  ++hazardous_runs;
+  // Reaction to the *fault*: the first alarm at or after activation.
+  // Alarms on pre-fault initial transients are not detections of the
+  // injected failure.
+  const int tf = std::max(0, fault_step);
+  int td = -1;
+  for (std::size_t k = static_cast<std::size_t>(tf); k < alarms.size(); ++k) {
+    if (alarms[k]) {
+      td = static_cast<int>(k);
+      break;
+    }
+  }
+  if (td < 0) return;
+  const int th = label.onset_step;
+  const double reaction = static_cast<double>(th - td) * aps::kControlPeriodMin;
+  reaction_min.push_back(reaction);
+  if (reaction >= 0.0) ++early_detections;
+}
+
+void TimelinessStats::merge(const TimelinessStats& other) {
+  reaction_min.insert(reaction_min.end(), other.reaction_min.begin(),
+                      other.reaction_min.end());
+  hazardous_runs += other.hazardous_runs;
+  early_detections += other.early_detections;
+}
 
 double TimelinessStats::mean_reaction_min() const {
   return aps::mean(reaction_min);
@@ -102,31 +154,40 @@ double TimelinessStats::early_detection_rate() const {
 TimelinessStats evaluate_timeliness(const aps::sim::CampaignResult& campaign) {
   TimelinessStats stats;
   for (const auto* run : campaign.flat()) {
-    if (!run->label.hazardous) continue;
-    ++stats.hazardous_runs;
-    // Reaction to the *fault*: the first alarm at or after activation.
-    // Alarms on pre-fault initial transients are not detections of the
-    // injected failure.
-    const int tf = std::max(0, fault_step_of(*run));
-    int td = -1;
-    for (std::size_t k = static_cast<std::size_t>(tf);
-         k < run->steps.size(); ++k) {
-      if (run->steps[k].alarm) {
-        td = static_cast<int>(k);
-        break;
-      }
-    }
-    if (td < 0) continue;
-    const int th = run->label.onset_step;
-    const double reaction =
-        static_cast<double>(th - td) * aps::kControlPeriodMin;
-    stats.reaction_min.push_back(reaction);
-    if (reaction >= 0.0) ++stats.early_detections;
+    stats.add_run(alarms_of(*run), run->label, fault_step_of(*run));
   }
   return stats;
 }
 
 // ---- Mitigation ----------------------------------------------------------------
+
+void MitigationReport::add_run(bool baseline_hazardous,
+                               const aps::sim::SimResult& mitigated) {
+  ++total_runs;
+  const bool is_hazard = mitigated.label.hazardous;
+  if (baseline_hazardous) {
+    ++baseline_hazards;
+    if (!is_hazard) ++prevented;
+    if (is_hazard && !mitigated.any_alarm()) {
+      // FN under mitigation: the patient faces the hazard unwarned
+      // (Eq. 9 first term).
+      risk_sum += aps::risk::mean_risk(mitigated.bg_trace());
+    }
+  } else if (is_hazard) {
+    // New hazard introduced by mitigating false alarms (Eq. 9 second
+    // term).
+    ++new_hazards;
+    risk_sum += aps::risk::mean_risk(mitigated.bg_trace());
+  }
+}
+
+void MitigationReport::merge(const MitigationReport& other) {
+  total_runs += other.total_runs;
+  baseline_hazards += other.baseline_hazards;
+  prevented += other.prevented;
+  new_hazards += other.new_hazards;
+  risk_sum += other.risk_sum;
+}
 
 double MitigationReport::recovery_rate() const {
   return baseline_hazards > 0 ? static_cast<double>(prevented) /
@@ -134,42 +195,23 @@ double MitigationReport::recovery_rate() const {
                               : 0.0;
 }
 
+double MitigationReport::average_risk() const {
+  return total_runs > 0 ? risk_sum / static_cast<double>(total_runs) : 0.0;
+}
+
 MitigationReport evaluate_mitigation(
     const aps::sim::CampaignResult& baseline,
     const aps::sim::CampaignResult& mitigated) {
   assert(baseline.by_patient.size() == mitigated.by_patient.size());
   MitigationReport report;
-  double risk_sum = 0.0;
-  std::size_t total_runs = 0;
-
   for (std::size_t p = 0; p < baseline.by_patient.size(); ++p) {
     const auto& base_runs = baseline.by_patient[p];
     const auto& mit_runs = mitigated.by_patient[p];
     assert(base_runs.size() == mit_runs.size());
     for (std::size_t s = 0; s < base_runs.size(); ++s) {
-      const auto& base = base_runs[s];
-      const auto& mit = mit_runs[s];
-      ++total_runs;
-      const bool was_hazard = base.label.hazardous;
-      const bool is_hazard = mit.label.hazardous;
-      if (was_hazard) {
-        ++report.baseline_hazards;
-        if (!is_hazard) ++report.prevented;
-        if (is_hazard && !mit.any_alarm()) {
-          // FN under mitigation: the patient faces the hazard unwarned
-          // (Eq. 9 first term).
-          risk_sum += aps::risk::mean_risk(mit.bg_trace());
-        }
-      } else if (is_hazard) {
-        // New hazard introduced by mitigating false alarms (Eq. 9 second
-        // term).
-        ++report.new_hazards;
-        risk_sum += aps::risk::mean_risk(mit.bg_trace());
-      }
+      report.add_run(base_runs[s].label.hazardous, mit_runs[s]);
     }
   }
-  report.average_risk =
-      total_runs > 0 ? risk_sum / static_cast<double>(total_runs) : 0.0;
   return report;
 }
 

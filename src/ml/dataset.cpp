@@ -66,6 +66,65 @@ void Standardizer::transform_row(std::span<double> row) const {
   }
 }
 
+DatasetBuilder::DatasetBuilder(std::size_t features, int classes,
+                               std::size_t max_samples, std::uint64_t seed)
+    : features_(features), classes_(classes), reservoir_(max_samples, seed) {}
+
+void DatasetBuilder::add(std::uint64_t run, std::uint64_t step,
+                         std::span<const double> row, int label) {
+  Sample sample;
+  sample.row.assign(row.begin(), row.end());
+  sample.label = label;
+  reservoir_.add(run, step, std::move(sample));
+}
+
+void DatasetBuilder::merge(DatasetBuilder&& other) {
+  reservoir_.merge(std::move(other.reservoir_));
+}
+
+Dataset DatasetBuilder::build() {
+  const auto entries = reservoir_.take_sorted();
+  Dataset data;
+  data.classes = classes_;
+  data.x = Matrix(entries.size(), features_);
+  data.y.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& sample = entries[i].payload;
+    for (std::size_t c = 0; c < features_ && c < sample.row.size(); ++c) {
+      data.x.at(i, c) = sample.row[c];
+    }
+    data.y.push_back(sample.label);
+  }
+  return data;
+}
+
+SequenceDatasetBuilder::SequenceDatasetBuilder(int classes,
+                                               std::size_t max_samples,
+                                               std::uint64_t seed)
+    : classes_(classes), reservoir_(max_samples, seed) {}
+
+void SequenceDatasetBuilder::add(std::uint64_t run, std::uint64_t step,
+                                 Matrix window, int label) {
+  reservoir_.add(run, step, Sample{std::move(window), label});
+}
+
+void SequenceDatasetBuilder::merge(SequenceDatasetBuilder&& other) {
+  reservoir_.merge(std::move(other.reservoir_));
+}
+
+SequenceDataset SequenceDatasetBuilder::build() {
+  auto entries = reservoir_.take_sorted();
+  SequenceDataset data;
+  data.classes = classes_;
+  data.sequences.reserve(entries.size());
+  data.labels.reserve(entries.size());
+  for (auto& entry : entries) {
+    data.sequences.push_back(std::move(entry.payload.window));
+    data.labels.push_back(entry.payload.label);
+  }
+  return data;
+}
+
 std::vector<double> class_weights(const Dataset& data) {
   std::vector<double> counts(static_cast<std::size_t>(data.classes), 0.0);
   for (const int label : data.y) {

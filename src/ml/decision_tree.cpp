@@ -153,4 +153,15 @@ int DecisionTree::predict(std::span<const double> features) const {
       std::max_element(probs.begin(), probs.end()) - probs.begin());
 }
 
+std::vector<int> DecisionTree::predict_batch(const Matrix& features) const {
+  assert(trained());
+  std::vector<int> out(features.rows());
+  for (std::size_t r = 0; r < features.rows(); ++r) {
+    const std::span<const double> row(features.data() + r * features.cols(),
+                                      features.cols());
+    out[r] = predict(row);
+  }
+  return out;
+}
+
 }  // namespace aps::ml

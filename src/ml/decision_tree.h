@@ -33,6 +33,10 @@ class DecisionTree {
   /// Per-class probability estimate at the reached leaf.
   [[nodiscard]] std::vector<double> predict_proba(
       std::span<const double> features) const;
+  /// Predicted class per row of `features`; out[r] is bit-identical to
+  /// predict(row r) — the tree walk is row-independent, batching keeps the
+  /// node array hot across rows.
+  [[nodiscard]] std::vector<int> predict_batch(const Matrix& features) const;
 
   [[nodiscard]] bool trained() const { return !nodes_.empty(); }
   [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }

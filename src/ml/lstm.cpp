@@ -11,6 +11,7 @@ namespace aps::ml {
 namespace {
 
 double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+double gate_tanh(double x) { return std::tanh(x); }
 
 std::vector<double> softmax(std::vector<double> logits) {
   const double max_logit =
@@ -71,74 +72,80 @@ Matrix Lstm::standardize_window(const Matrix& window) const {
   return out;
 }
 
+// The forward/backward cores work over flat, step-major scratch buffers
+// (one allocation per field, reused across steps) instead of
+// vector-of-vector caches: for 6-step windows the arithmetic is identical
+// but the hot loops stop churning the allocator, which is worth ~2x on
+// both training and streaming inference.
+
 std::vector<double> Lstm::forward(const Matrix& window,
                                   std::vector<LayerCache>* cache) const {
   const std::size_t steps = window.rows();
-  std::vector<double> layer_input;
-  std::vector<std::vector<double>> inputs(steps);
-  for (std::size_t t = 0; t < steps; ++t) {
-    inputs[t].assign(window.raw().begin() + static_cast<long>(t * window.cols()),
-                     window.raw().begin() +
-                         static_cast<long>((t + 1) * window.cols()));
-  }
 
   if (cache != nullptr) cache->assign(layers_.size(), LayerCache{});
 
-  std::vector<std::vector<double>> current = inputs;
+  // current: layer input, flat step-major [t * width + j].
+  std::size_t width = window.cols();
+  std::vector<double> current(window.raw().begin(), window.raw().end());
+  std::vector<double> next;
+  std::vector<double> h, c, z;
   for (std::size_t l = 0; l < layers_.size(); ++l) {
     const auto& layer = layers_[l];
     const std::size_t h_size = layer.hidden;
-    std::vector<double> h(h_size, 0.0);
-    std::vector<double> c(h_size, 0.0);
-    std::vector<std::vector<double>> outputs(steps);
+    h.assign(h_size, 0.0);
+    c.assign(h_size, 0.0);
+    z.resize(4 * h_size);
+    next.assign(steps * h_size, 0.0);
 
     LayerCache* lc = cache != nullptr ? &(*cache)[l] : nullptr;
     if (lc != nullptr) {
+      lc->width = width;
+      lc->hidden = h_size;
       lc->inputs = current;
-      lc->gates.resize(steps);
-      lc->i.resize(steps);
-      lc->f.resize(steps);
-      lc->g.resize(steps);
-      lc->o.resize(steps);
-      lc->c.resize(steps);
-      lc->h.resize(steps);
-      lc->tanh_c.resize(steps);
+      lc->i.resize(steps * h_size);
+      lc->f.resize(steps * h_size);
+      lc->g.resize(steps * h_size);
+      lc->o.resize(steps * h_size);
+      lc->c.resize(steps * h_size);
+      lc->h.resize(steps * h_size);
+      lc->tanh_c.resize(steps * h_size);
     }
 
     for (std::size_t t = 0; t < steps; ++t) {
-      std::vector<double> z(4 * h_size, 0.0);
       for (std::size_t j = 0; j < 4 * h_size; ++j) z[j] = layer.b.at(0, j);
-      vec_matmul_add(current[t], layer.w, z);
-      vec_matmul_add(h, layer.u, z);
+      const std::span<const double> x_t(current.data() + t * width, width);
+      vec_matmul_add(x_t, layer.w, z);
+      vec_matmul_add(std::span<const double>(h), layer.u, z);
 
-      std::vector<double> gi(h_size), gf(h_size), gg(h_size), go(h_size),
-          tanh_c(h_size);
+      double* out_t = next.data() + t * h_size;
       for (std::size_t j = 0; j < h_size; ++j) {
-        gi[j] = sigmoid(z[j]);
-        gf[j] = sigmoid(z[h_size + j]);
-        gg[j] = std::tanh(z[2 * h_size + j]);
-        go[j] = sigmoid(z[3 * h_size + j]);
-        c[j] = gf[j] * c[j] + gi[j] * gg[j];
-        tanh_c[j] = std::tanh(c[j]);
-        h[j] = go[j] * tanh_c[j];
-      }
-      outputs[t] = h;
-      if (lc != nullptr) {
-        lc->gates[t] = std::move(z);
-        lc->i[t] = std::move(gi);
-        lc->f[t] = std::move(gf);
-        lc->g[t] = std::move(gg);
-        lc->o[t] = std::move(go);
-        lc->c[t] = c;
-        lc->h[t] = h;
-        lc->tanh_c[t] = std::move(tanh_c);
+        const double gi = sigmoid(z[j]);
+        const double gf = sigmoid(z[h_size + j]);
+        const double gg = gate_tanh(z[2 * h_size + j]);
+        const double go = sigmoid(z[3 * h_size + j]);
+        c[j] = gf * c[j] + gi * gg;
+        const double tanh_c = gate_tanh(c[j]);
+        h[j] = go * tanh_c;
+        out_t[j] = h[j];
+        if (lc != nullptr) {
+          const std::size_t at = t * h_size + j;
+          lc->i[at] = gi;
+          lc->f[at] = gf;
+          lc->g[at] = gg;
+          lc->o[at] = go;
+          lc->c[at] = c[j];
+          lc->h[at] = h[j];
+          lc->tanh_c[at] = tanh_c;
+        }
       }
     }
-    current = std::move(outputs);
+    width = h_size;
+    current.swap(next);
   }
 
   // Dense head on the final hidden state.
-  const std::vector<double>& last = current.back();
+  const std::span<const double> last(current.data() + (steps - 1) * width,
+                                     width);
   std::vector<double> logits(static_cast<std::size_t>(config_.classes));
   for (std::size_t cidx = 0; cidx < logits.size(); ++cidx) {
     logits[cidx] = head_b.at(0, cidx);
@@ -149,7 +156,7 @@ std::vector<double> Lstm::forward(const Matrix& window,
 
 double Lstm::backward(const Matrix& window, int label, double weight,
                       std::vector<Gradients>& layer_grads,
-                      Matrix& head_w_grad, Matrix& head_b_grad) {
+                      Matrix& head_w_grad, Matrix& head_b_grad) const {
   std::vector<LayerCache> cache;
   const std::vector<double> probs = forward(window, &cache);
   const std::size_t steps = window.rows();
@@ -164,7 +171,8 @@ double Lstm::backward(const Matrix& window, int label, double weight,
     dlogits[cidx] = weight * (probs[cidx] - (cidx == lbl ? 1.0 : 0.0));
   }
 
-  const std::vector<double>& last_h = cache.back().h[steps - 1];
+  const double* last_h =
+      cache.back().h.data() + (steps - 1) * cache.back().hidden;
   for (std::size_t j = 0; j < head_w.rows(); ++j) {
     for (std::size_t cidx = 0; cidx < head_w.cols(); ++cidx) {
       head_w_grad.at(j, cidx) += last_h[j] * dlogits[cidx];
@@ -174,46 +182,46 @@ double Lstm::backward(const Matrix& window, int label, double weight,
     head_b_grad.at(0, cidx) += dlogits[cidx];
   }
 
-  // Gradient of the loss wrt the top layer's hidden output at each step:
-  // only the last step receives signal from the head.
-  std::vector<std::vector<double>> dh_top(
-      steps, std::vector<double>(layers_.back().hidden, 0.0));
+  // Gradient of the loss wrt the top layer's hidden output at each step
+  // (flat step-major): only the last step receives signal from the head.
+  std::vector<double> dh_out(steps * layers_.back().hidden, 0.0);
   for (std::size_t j = 0; j < layers_.back().hidden; ++j) {
     double s = 0.0;
     for (std::size_t cidx = 0; cidx < head_w.cols(); ++cidx) {
       s += head_w.at(j, cidx) * dlogits[cidx];
     }
-    dh_top[steps - 1][j] = s;
+    dh_out[(steps - 1) * layers_.back().hidden + j] = s;
   }
 
   // BPTT layer by layer, top to bottom.
-  std::vector<std::vector<double>> dh_out = std::move(dh_top);
+  std::vector<double> dx, dh, dz, dc, dh_next, dc_next;
   for (std::size_t l = layers_.size(); l-- > 0;) {
     const auto& layer = layers_[l];
     const auto& lc = cache[l];
     const std::size_t h_size = layer.hidden;
+    const std::size_t in_size = layer.w.rows();
     auto& grads = layer_grads[l];
 
-    std::vector<std::vector<double>> dx(
-        steps, std::vector<double>(layer.w.rows(), 0.0));
-    std::vector<double> dh_next(h_size, 0.0);
-    std::vector<double> dc_next(h_size, 0.0);
+    dx.assign(steps * in_size, 0.0);
+    dh.resize(h_size);
+    dz.resize(4 * h_size);
+    dc.resize(h_size);
+    dh_next.assign(h_size, 0.0);
+    dc_next.assign(h_size, 0.0);
 
     for (std::size_t t = steps; t-- > 0;) {
-      std::vector<double> dh(h_size);
+      const std::size_t base = t * h_size;
       for (std::size_t j = 0; j < h_size; ++j) {
-        dh[j] = dh_out[t][j] + dh_next[j];
+        dh[j] = dh_out[base + j] + dh_next[j];
       }
-      std::vector<double> dz(4 * h_size);
-      std::vector<double> dc(h_size);
       for (std::size_t j = 0; j < h_size; ++j) {
-        const double tanh_c = lc.tanh_c[t][j];
-        const double go = lc.o[t][j];
+        const double tanh_c = lc.tanh_c[base + j];
+        const double go = lc.o[base + j];
         dc[j] = dh[j] * go * (1.0 - tanh_c * tanh_c) + dc_next[j];
-        const double gi = lc.i[t][j];
-        const double gf = lc.f[t][j];
-        const double gg = lc.g[t][j];
-        const double c_prev = t > 0 ? lc.c[t - 1][j] : 0.0;
+        const double gi = lc.i[base + j];
+        const double gf = lc.f[base + j];
+        const double gg = lc.g[base + j];
+        const double c_prev = t > 0 ? lc.c[base - h_size + j] : 0.0;
         // Gate pre-activation gradients.
         dz[j] = dc[j] * gg * gi * (1.0 - gi);                    // input gate
         dz[h_size + j] = dc[j] * c_prev * gf * (1.0 - gf);       // forget
@@ -222,66 +230,100 @@ double Lstm::backward(const Matrix& window, int label, double weight,
         dc_next[j] = dc[j] * gf;
       }
       // Parameter gradients.
-      const std::vector<double>& x_t = lc.inputs[t];
-      for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+      const double* x_t = lc.inputs.data() + t * in_size;
+      for (std::size_t r = 0; r < in_size; ++r) {
         const double xr = x_t[r];
         if (xr == 0.0) continue;
+        double* grad_row = grads.w.raw().data() + r * 4 * h_size;
         for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
-          grads.w.at(r, jj) += xr * dz[jj];
+          grad_row[jj] += xr * dz[jj];
         }
       }
       if (t > 0) {
-        const std::vector<double>& h_prev = lc.h[t - 1];
+        const double* h_prev = lc.h.data() + base - h_size;
         for (std::size_t r = 0; r < h_size; ++r) {
           const double hr = h_prev[r];
           if (hr == 0.0) continue;
+          double* grad_row = grads.u.raw().data() + r * 4 * h_size;
           for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
-            grads.u.at(r, jj) += hr * dz[jj];
+            grad_row[jj] += hr * dz[jj];
           }
         }
       }
       for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
-        grads.b.at(0, jj) += dz[jj];
+        grads.b.raw()[jj] += dz[jj];
       }
       // Propagate to previous step's hidden and this step's input.
       for (std::size_t r = 0; r < h_size; ++r) {
         double s = 0.0;
+        const double* u_row = layer.u.data() + r * 4 * h_size;
         for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
-          s += layer.u.at(r, jj) * dz[jj];
+          s += u_row[jj] * dz[jj];
         }
         dh_next[r] = s;
       }
-      for (std::size_t r = 0; r < layer.w.rows(); ++r) {
+      double* dx_t = dx.data() + t * in_size;
+      for (std::size_t r = 0; r < in_size; ++r) {
         double s = 0.0;
+        const double* w_row = layer.w.data() + r * 4 * h_size;
         for (std::size_t jj = 0; jj < 4 * h_size; ++jj) {
-          s += layer.w.at(r, jj) * dz[jj];
+          s += w_row[jj] * dz[jj];
         }
-        dx[t][r] = s;
+        dx_t[r] = s;
       }
     }
-    dh_out = std::move(dx);  // becomes the output-gradient of the layer below
+    dh_out.swap(dx);  // becomes the output-gradient of the layer below
   }
   return loss;
 }
 
+namespace {
+
+/// Samples per gradient/loss chunk. Fixed (never derived from the thread
+/// count) so the chunk partition and reduction order are identical no
+/// matter how many workers execute them.
+constexpr std::size_t kLstmChunkSamples = 8;
+
+}  // namespace
+
 double Lstm::evaluate_loss(const SequenceDataset& data,
                            std::span<const std::size_t> indices,
-                           std::span<const double> cw) const {
+                           std::span<const double> cw,
+                           aps::ThreadPool* pool) const {
   if (indices.empty()) return 0.0;
-  double loss = 0.0;
-  double weight_sum = 0.0;
-  for (const std::size_t i : indices) {
-    const Matrix window = standardize_window(data.sequences[i]);
-    const auto probs = forward(window, nullptr);
-    const auto label = static_cast<std::size_t>(data.labels[i]);
-    const double w = cw.empty() ? 1.0 : cw[label];
-    weight_sum += w;
-    loss -= w * std::log(std::max(probs[label], 1e-12));
+  const std::size_t chunks =
+      (indices.size() + kLstmChunkSamples - 1) / kLstmChunkSamples;
+  std::vector<double> loss_sum(chunks, 0.0);
+  std::vector<double> weight_sum(chunks, 0.0);
+  const auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kLstmChunkSamples;
+    const std::size_t end =
+        std::min(indices.size(), begin + kLstmChunkSamples);
+    for (std::size_t pos = begin; pos < end; ++pos) {
+      const std::size_t i = indices[pos];
+      const Matrix window = standardize_window(data.sequences[i]);
+      const auto probs = forward(window, nullptr);
+      const auto label = static_cast<std::size_t>(data.labels[i]);
+      const double w = cw.empty() ? 1.0 : cw[label];
+      weight_sum[chunk] += w;
+      loss_sum[chunk] -= w * std::log(std::max(probs[label], 1e-12));
+    }
+  };
+  if (pool != nullptr && chunks > 1) {
+    pool->parallel_for(chunks, run_chunk);
+  } else {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
   }
-  return weight_sum > 0.0 ? loss / weight_sum : 0.0;
+  double loss = 0.0;
+  double weights = 0.0;
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    loss += loss_sum[chunk];
+    weights += weight_sum[chunk];
+  }
+  return weights > 0.0 ? loss / weights : 0.0;
 }
 
-double Lstm::fit(const SequenceDataset& data) {
+double Lstm::fit(const SequenceDataset& data, aps::ThreadPool* pool) {
   assert(data.size() > 0);
   config_.classes = data.classes;
 
@@ -338,27 +380,78 @@ double Lstm::fit(const SequenceDataset& data) {
       const std::size_t end =
           std::min(train_idx.size(), start + config_.batch_size);
 
-      std::vector<Gradients> layer_grads;
-      layer_grads.reserve(layers_.size());
-      for (const auto& layer : layers_) {
-        Gradients g;
-        g.w = Matrix(layer.w.rows(), layer.w.cols());
-        g.u = Matrix(layer.u.rows(), layer.u.cols());
-        g.b = Matrix(1, layer.b.cols());
-        layer_grads.push_back(std::move(g));
+      const auto make_grads = [&] {
+        std::vector<Gradients> grads;
+        grads.reserve(layers_.size());
+        for (const auto& layer : layers_) {
+          Gradients g;
+          g.w = Matrix(layer.w.rows(), layer.w.cols());
+          g.u = Matrix(layer.u.rows(), layer.u.cols());
+          g.b = Matrix(1, layer.b.cols());
+          grads.push_back(std::move(g));
+        }
+        return grads;
+      };
+
+      // Chunk-parallel BPTT: samples are independent, so each fixed-size
+      // chunk accumulates its own gradients; reduction in chunk order
+      // keeps the update thread-count invariant.
+      const std::size_t batch_n = end - start;
+      const std::size_t chunks =
+          (batch_n + kLstmChunkSamples - 1) / kLstmChunkSamples;
+      struct ChunkGrads {
+        std::vector<Gradients> layers;
+        Matrix head_w, head_b;
+      };
+      std::vector<ChunkGrads> partial(chunks);
+      const auto run_chunk = [&](std::size_t chunk) {
+        ChunkGrads& grads = partial[chunk];
+        grads.layers = make_grads();
+        grads.head_w = Matrix(head_w.rows(), head_w.cols());
+        grads.head_b = Matrix(1, head_b.cols());
+        const std::size_t chunk_begin = start + chunk * kLstmChunkSamples;
+        const std::size_t chunk_end =
+            std::min(end, chunk_begin + kLstmChunkSamples);
+        for (std::size_t pos = chunk_begin; pos < chunk_end; ++pos) {
+          const std::size_t i = train_idx[pos];
+          const Matrix window = standardize_window(data.sequences[i]);
+          const auto label = static_cast<std::size_t>(data.labels[i]);
+          const double w = cw.empty() ? 1.0 : cw[label];
+          backward(window, data.labels[i], w, grads.layers, grads.head_w,
+                   grads.head_b);
+        }
+      };
+      if (pool != nullptr && chunks > 1) {
+        pool->parallel_for(chunks, run_chunk);
+      } else {
+        for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+          run_chunk(chunk);
+        }
       }
+
+      std::vector<Gradients> layer_grads = make_grads();
       Matrix head_w_grad(head_w.rows(), head_w.cols());
       Matrix head_b_grad(1, head_b.cols());
-
-      for (std::size_t pos = start; pos < end; ++pos) {
-        const std::size_t i = train_idx[pos];
-        const Matrix window = standardize_window(data.sequences[i]);
-        const auto label = static_cast<std::size_t>(data.labels[i]);
-        const double w = cw.empty() ? 1.0 : cw[label];
-        backward(window, data.labels[i], w, layer_grads, head_w_grad,
-                 head_b_grad);
+      for (const ChunkGrads& grads : partial) {
+        for (std::size_t l = 0; l < layers_.size(); ++l) {
+          for (std::size_t i = 0; i < layer_grads[l].w.raw().size(); ++i) {
+            layer_grads[l].w.raw()[i] += grads.layers[l].w.raw()[i];
+          }
+          for (std::size_t i = 0; i < layer_grads[l].u.raw().size(); ++i) {
+            layer_grads[l].u.raw()[i] += grads.layers[l].u.raw()[i];
+          }
+          for (std::size_t i = 0; i < layer_grads[l].b.raw().size(); ++i) {
+            layer_grads[l].b.raw()[i] += grads.layers[l].b.raw()[i];
+          }
+        }
+        for (std::size_t i = 0; i < head_w_grad.raw().size(); ++i) {
+          head_w_grad.raw()[i] += grads.head_w.raw()[i];
+        }
+        for (std::size_t i = 0; i < head_b_grad.raw().size(); ++i) {
+          head_b_grad.raw()[i] += grads.head_b.raw()[i];
+        }
       }
-      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      const double inv_batch = 1.0 / static_cast<double>(batch_n);
       for (auto& g : layer_grads) {
         for (auto& v : g.w.raw()) v *= inv_batch;
         for (auto& v : g.u.raw()) v *= inv_batch;
@@ -381,8 +474,8 @@ double Lstm::fit(const SequenceDataset& data) {
     }
 
     const double val_loss = val_idx.empty()
-                                ? evaluate_loss(data, train_idx, cw)
-                                : evaluate_loss(data, val_idx, cw);
+                                ? evaluate_loss(data, train_idx, cw, pool)
+                                : evaluate_loss(data, val_idx, cw, pool);
     if (val_loss < best_val - 1e-5) {
       best_val = val_loss;
       best_layers = layers_;
@@ -410,6 +503,98 @@ int Lstm::predict(const Matrix& window) const {
   const auto probs = predict_proba(window);
   return static_cast<int>(
       std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+void Lstm::standardize_row(std::span<double> row) const {
+  if (!config_.standardize || !standardizer_.fitted()) return;
+  standardizer_.transform_row(row);
+}
+
+std::vector<int> Lstm::predict_batch_standardized(std::span<const double> x,
+                                                  std::size_t n,
+                                                  std::size_t steps) const {
+  assert(trained());
+  std::vector<int> out(n);
+  if (n == 0) return out;
+
+  // Hidden/cell state for every lane advances together in SoA buffers;
+  // per-lane gate arithmetic mirrors forward() exactly (same
+  // vec_matmul_add order), so the pass is bit-identical to predicting each
+  // window alone.
+  std::size_t width = x.size() / (n * steps);
+  std::vector<double> current(x.begin(), x.end());
+  std::vector<double> next;
+  std::vector<double> h, c, z;
+  for (const auto& layer : layers_) {
+    const std::size_t h_size = layer.hidden;
+    h.assign(n * h_size, 0.0);
+    c.assign(n * h_size, 0.0);
+    next.assign(steps * n * h_size, 0.0);
+    z.resize(4 * h_size);
+    for (std::size_t t = 0; t < steps; ++t) {
+      for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j < 4 * h_size; ++j) z[j] = layer.b.at(0, j);
+        const std::span<const double> x_t(
+            current.data() + (t * n + i) * width, width);
+        const std::span<double> h_i(h.data() + i * h_size, h_size);
+        const std::span<double> c_i(c.data() + i * h_size, h_size);
+        vec_matmul_add(x_t, layer.w, z);
+        vec_matmul_add(std::span<const double>(h_i), layer.u, z);
+        double* out_t = next.data() + (t * n + i) * h_size;
+        for (std::size_t j = 0; j < h_size; ++j) {
+          const double gi = sigmoid(z[j]);
+          const double gf = sigmoid(z[h_size + j]);
+          const double gg = gate_tanh(z[2 * h_size + j]);
+          const double go = sigmoid(z[3 * h_size + j]);
+          c_i[j] = gf * c_i[j] + gi * gg;
+          const double tanh_c = gate_tanh(c_i[j]);
+          h_i[j] = go * tanh_c;
+          out_t[j] = h_i[j];
+        }
+      }
+    }
+    width = h_size;
+    current.swap(next);
+  }
+
+  // Dense head on each lane's final hidden state.
+  const std::size_t classes = head_b.cols();
+  std::vector<double> logits(classes);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t cidx = 0; cidx < classes; ++cidx) {
+      logits[cidx] = head_b.at(0, cidx);
+    }
+    const std::span<const double> last(
+        current.data() + ((steps - 1) * n + i) * width, width);
+    vec_matmul_add(last, head_w, logits);
+    // Same softmax + first-maximum argmax as predict() for bit-identity.
+    const auto probs = softmax(logits);
+    out[i] = static_cast<int>(
+        std::max_element(probs.begin(), probs.end()) - probs.begin());
+  }
+  return out;
+}
+
+std::vector<int> Lstm::predict_batch(std::span<const Matrix> windows) const {
+  assert(trained());
+  const std::size_t n = windows.size();
+  if (n == 0) return {};
+  const std::size_t steps = windows.front().rows();
+  const std::size_t width = windows.front().cols();
+
+  // Standardized inputs in lane-major SoA layout:
+  // flat[(t * n + lane) * width + j].
+  std::vector<double> flat(steps * n * width);
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(windows[i].rows() == steps && windows[i].cols() == width);
+    const Matrix w = standardize_window(windows[i]);
+    for (std::size_t t = 0; t < steps; ++t) {
+      std::copy(w.raw().begin() + static_cast<long>(t * width),
+                w.raw().begin() + static_cast<long>((t + 1) * width),
+                flat.begin() + static_cast<long>((t * n + i) * width));
+    }
+  }
+  return predict_batch_standardized(flat, n, steps);
 }
 
 }  // namespace aps::ml

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ml/adam.h"
 #include "ml/dataset.h"
 #include "ml/matrix.h"
@@ -19,21 +20,6 @@ struct ModelSerde;  // binary save/load (src/io/artifact_io.cpp)
 }
 
 namespace aps::ml {
-
-/// Window dataset: each sample is a (steps x features) matrix plus a label.
-struct SequenceDataset {
-  std::vector<Matrix> sequences;
-  std::vector<int> labels;
-  int classes = 2;
-
-  [[nodiscard]] std::size_t size() const { return labels.size(); }
-  [[nodiscard]] std::size_t steps() const {
-    return sequences.empty() ? 0 : sequences.front().rows();
-  }
-  [[nodiscard]] std::size_t features() const {
-    return sequences.empty() ? 0 : sequences.front().cols();
-  }
-};
 
 struct LstmConfig {
   std::vector<std::size_t> hidden_units = {128, 64};
@@ -52,12 +38,30 @@ class Lstm {
  public:
   explicit Lstm(LstmConfig config = {});
 
-  /// Train; returns best validation loss.
-  double fit(const SequenceDataset& data);
+  /// Train; returns best validation loss. With a pool, each minibatch's
+  /// per-sample BPTT runs chunk-parallel with a deterministic reduction
+  /// order, so the trained weights are bit-identical for every thread
+  /// count.
+  double fit(const SequenceDataset& data, aps::ThreadPool* pool = nullptr);
 
   /// Probability per class for one (steps x features) window.
   [[nodiscard]] std::vector<double> predict_proba(const Matrix& window) const;
   [[nodiscard]] int predict(const Matrix& window) const;
+  /// Predicted class per window from one shared pass that steps every
+  /// window's hidden/cell state together over structure-of-arrays buffers
+  /// (lane-major), keeping the gate weights hot across lanes. Per-lane
+  /// arithmetic order matches forward(), so out[i] is bit-identical to
+  /// predict(windows[i]).
+  [[nodiscard]] std::vector<int> predict_batch(
+      std::span<const Matrix> windows) const;
+  /// predict_batch core for callers that keep their own standardized,
+  /// lane-major flat window buffer x[(t * n + lane) * features + j] (the
+  /// streaming monitor batch standardizes each feature row once on entry
+  /// instead of re-standardizing whole windows every cycle).
+  [[nodiscard]] std::vector<int> predict_batch_standardized(
+      std::span<const double> x, std::size_t n, std::size_t steps) const;
+  /// Apply the fitted feature standardizer to one raw feature row.
+  void standardize_row(std::span<double> row) const;
 
   [[nodiscard]] bool trained() const { return !layers_.empty(); }
   [[nodiscard]] std::size_t parameter_count() const;
@@ -74,11 +78,13 @@ class Lstm {
     std::size_t hidden = 0;
   };
 
-  /// Per-layer, per-step cached values for BPTT.
+  /// Per-layer cached values for BPTT, flat step-major ([t * dim + j]) so
+  /// one backward pass costs a handful of allocations instead of hundreds.
   struct LayerCache {
-    std::vector<std::vector<double>> inputs;  ///< x_t per step
-    std::vector<std::vector<double>> gates;   ///< pre-activation z (4H)
-    std::vector<std::vector<double>> i, f, g, o, c, h, tanh_c;
+    std::size_t width = 0;   ///< input features of this layer
+    std::size_t hidden = 0;
+    std::vector<double> inputs;  ///< steps x width
+    std::vector<double> i, f, g, o, c, h, tanh_c;  ///< steps x hidden
   };
 
   struct Gradients {
@@ -90,13 +96,15 @@ class Lstm {
   [[nodiscard]] std::vector<double> forward(const Matrix& window,
                                             std::vector<LayerCache>* cache) const;
   /// BPTT for one sample; accumulates into grads; returns sample loss.
+  /// Const (touches no member state), so chunks backpropagate in parallel.
   double backward(const Matrix& window, int label, double weight,
                   std::vector<Gradients>& layer_grads, Matrix& head_w_grad,
-                  Matrix& head_b_grad);
+                  Matrix& head_b_grad) const;
 
   [[nodiscard]] double evaluate_loss(const SequenceDataset& data,
                                      std::span<const std::size_t> indices,
-                                     std::span<const double> cw) const;
+                                     std::span<const double> cw,
+                                     aps::ThreadPool* pool = nullptr) const;
   [[nodiscard]] Matrix standardize_window(const Matrix& window) const;
 
   LstmConfig config_;

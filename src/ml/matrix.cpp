@@ -61,8 +61,8 @@ Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   return c;
 }
 
-void vec_matmul_add(const std::vector<double>& x, const Matrix& w,
-                    std::vector<double>& out) {
+void vec_matmul_add(std::span<const double> x, const Matrix& w,
+                    std::span<double> out) {
   assert(x.size() == w.rows());
   assert(out.size() == w.cols());
   for (std::size_t i = 0; i < w.rows(); ++i) {
@@ -72,6 +72,11 @@ void vec_matmul_add(const std::vector<double>& x, const Matrix& w,
       out[j] += xi * w.at(i, j);
     }
   }
+}
+
+void vec_matmul_add(const std::vector<double>& x, const Matrix& w,
+                    std::vector<double>& out) {
+  vec_matmul_add(std::span<const double>(x), w, std::span<double>(out));
 }
 
 }  // namespace aps::ml

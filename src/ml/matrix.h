@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace aps::ml {
@@ -55,6 +56,8 @@ class Matrix {
 
 /// y = row-vector x (1 x n) times matrix W (n x m) -> (1 x m), in-place add
 /// into out (must be 1 x m).
+void vec_matmul_add(std::span<const double> x, const Matrix& w,
+                    std::span<double> out);
 void vec_matmul_add(const std::vector<double>& x, const Matrix& w,
                     std::vector<double>& out);
 

@@ -50,39 +50,39 @@ std::size_t Mlp::parameter_count() const {
 }
 
 Mlp::ForwardCache Mlp::forward(const Matrix& batch, bool training,
-                               aps::Rng* rng) const {
+                               DropoutStream* dropout) const {
   ForwardCache cache;
+  cache.activations.reserve(weights_.size());
   cache.activations.push_back(batch);
-  Matrix h = batch;
   const std::size_t hidden_layers = weights_.size() - 1;
+  const bool drop = training && config_.dropout > 0.0 && dropout != nullptr;
   for (std::size_t l = 0; l < weights_.size(); ++l) {
-    Matrix z = matmul(h, weights_[l]);
+    Matrix z = matmul(cache.activations.back(), weights_[l]);
     for (std::size_t r = 0; r < z.rows(); ++r) {
-      for (std::size_t c = 0; c < z.cols(); ++c) {
-        z.at(r, c) += biases_[l].at(0, c);
-      }
+      double* row = z.raw().data() + r * z.cols();
+      const double* bias = biases_[l].data();
+      for (std::size_t c = 0; c < z.cols(); ++c) row[c] += bias[c];
     }
     if (l < hidden_layers) {
       // ReLU + inverted dropout.
-      Matrix mask(z.rows(), z.cols(), 1.0);
-      const double keep = 1.0 - config_.dropout;
-      for (std::size_t r = 0; r < z.rows(); ++r) {
-        for (std::size_t c = 0; c < z.cols(); ++c) {
-          if (z.at(r, c) < 0.0) z.at(r, c) = 0.0;
-          if (training && config_.dropout > 0.0 && rng != nullptr) {
-            if (rng->bernoulli(config_.dropout)) {
-              mask.at(r, c) = 0.0;
-              z.at(r, c) = 0.0;
-            } else {
-              mask.at(r, c) = 1.0 / keep;
-              z.at(r, c) *= 1.0 / keep;
-            }
+      for (auto& v : z.raw()) {
+        if (v < 0.0) v = 0.0;
+      }
+      if (drop) {
+        Matrix mask(z.rows(), z.cols(), 1.0);
+        const double inv_keep = 1.0 / (1.0 - config_.dropout);
+        for (std::size_t i = 0; i < z.raw().size(); ++i) {
+          if (dropout->next() < config_.dropout) {
+            mask.raw()[i] = 0.0;
+            z.raw()[i] = 0.0;
+          } else {
+            mask.raw()[i] = inv_keep;
+            z.raw()[i] *= inv_keep;
           }
         }
+        cache.masks.push_back(std::move(mask));
       }
-      cache.masks.push_back(std::move(mask));
-      cache.activations.push_back(z);
-      h = std::move(z);
+      cache.activations.push_back(std::move(z));
     } else {
       softmax_rows(z);
       cache.probs = std::move(z);
@@ -91,56 +91,136 @@ Mlp::ForwardCache Mlp::forward(const Matrix& batch, bool training,
   return cache;
 }
 
-double Mlp::train_batch(const Matrix& batch, std::span<const int> labels,
-                        std::span<const double> cw, long step,
-                        aps::Rng& rng) {
-  ForwardCache cache = forward(batch, /*training=*/true, &rng);
+void Mlp::batch_gradients(const Matrix& batch, std::span<const int> labels,
+                          std::span<const double> cw, DropoutStream* dropout,
+                          std::vector<Matrix>& grad_w,
+                          std::vector<Matrix>& grad_b, double& loss_sum,
+                          double& weight_sum) const {
+  ForwardCache cache = forward(batch, /*training=*/true, dropout);
   const std::size_t n = batch.rows();
 
-  // Weighted cross-entropy and dLoss/dLogits = probs - onehot (scaled).
-  double loss = 0.0;
+  // Weighted cross-entropy and dLoss/dLogits = probs - onehot (scaled);
+  // normalization by the total batch weight happens after reduction.
   Matrix delta = cache.probs;
-  double weight_sum = 0.0;
   for (std::size_t r = 0; r < n; ++r) {
     const auto label = static_cast<std::size_t>(labels[r]);
     const double w = cw.empty() ? 1.0 : cw[label];
     weight_sum += w;
-    loss -= w * std::log(std::max(cache.probs.at(r, label), 1e-12));
+    loss_sum -= w * std::log(std::max(cache.probs.at(r, label), 1e-12));
     for (std::size_t c = 0; c < delta.cols(); ++c) {
       delta.at(r, c) = w * (cache.probs.at(r, c) -
                             (c == label ? 1.0 : 0.0));
     }
   }
-  const double norm = weight_sum > 0.0 ? weight_sum : 1.0;
-  loss /= norm;
-  for (auto& v : delta.raw()) v /= norm;
 
   // Backward pass through the dense stack.
   for (std::size_t l = weights_.size(); l-- > 0;) {
     const Matrix& input = cache.activations[l];
-    Matrix grad_w = matmul_tn(input, delta);
-    Matrix grad_b(1, delta.cols());
+    const Matrix gw = matmul_tn(input, delta);
+    for (std::size_t i = 0; i < gw.raw().size(); ++i) {
+      grad_w[l].raw()[i] += gw.raw()[i];
+    }
     for (std::size_t r = 0; r < delta.rows(); ++r) {
       for (std::size_t c = 0; c < delta.cols(); ++c) {
-        grad_b.at(0, c) += delta.at(r, c);
+        grad_b[l].at(0, c) += delta.at(r, c);
       }
     }
-    Matrix delta_prev;
     if (l > 0) {
-      delta_prev = matmul_nt(delta, weights_[l]);
-      // Through ReLU + dropout of layer l-1.
+      Matrix delta_prev = matmul_nt(delta, weights_[l]);
+      // Through ReLU + dropout of layer l-1 (no mask stored when the
+      // forward ran without dropout).
       const Matrix& act = cache.activations[l];
-      const Matrix& mask = cache.masks[l - 1];
+      const Matrix* mask =
+          cache.masks.empty() ? nullptr : &cache.masks[l - 1];
       for (std::size_t r = 0; r < delta_prev.rows(); ++r) {
         for (std::size_t c = 0; c < delta_prev.cols(); ++c) {
           const bool active = act.at(r, c) > 0.0;
-          delta_prev.at(r, c) *= active ? mask.at(r, c) : 0.0;
+          const double m = mask != nullptr ? mask->at(r, c) : 1.0;
+          delta_prev.at(r, c) *= active ? m : 0.0;
         }
       }
+      delta = std::move(delta_prev);
     }
-    w_adam_[l].update(weights_[l], grad_w, config_.adam, step);
-    b_adam_[l].update(biases_[l], grad_b, config_.adam, step);
-    if (l > 0) delta = std::move(delta_prev);
+  }
+}
+
+namespace {
+
+/// Rows per gradient chunk. Fixed (never derived from the thread count) so
+/// the chunk partition — and with it every dropout stream and reduction
+/// order — is identical no matter how many workers execute it.
+constexpr std::size_t kGradChunkRows = 16;
+
+}  // namespace
+
+double Mlp::train_batch(const Matrix& batch, std::span<const int> labels,
+                        std::span<const double> cw, long step,
+                        aps::ThreadPool* pool) {
+  const std::size_t n = batch.rows();
+  const std::size_t chunks = (n + kGradChunkRows - 1) / kGradChunkRows;
+
+  struct ChunkGrads {
+    std::vector<Matrix> w, b;
+    double loss_sum = 0.0;
+    double weight_sum = 0.0;
+  };
+  std::vector<ChunkGrads> partial(chunks);
+  const auto run_chunk = [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kGradChunkRows;
+    const std::size_t end = std::min(n, begin + kGradChunkRows);
+    Matrix rows(end - begin, batch.cols());
+    std::copy(batch.raw().begin() + static_cast<long>(begin * batch.cols()),
+              batch.raw().begin() + static_cast<long>(end * batch.cols()),
+              rows.raw().begin());
+    ChunkGrads& grads = partial[chunk];
+    grads.w.reserve(weights_.size());
+    grads.b.reserve(weights_.size());
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+      grads.w.emplace_back(weights_[l].rows(), weights_[l].cols());
+      grads.b.emplace_back(std::size_t{1}, biases_[l].cols());
+    }
+    // Per-(step, chunk) dropout stream: independent of both the shuffle
+    // RNG and the executing thread.
+    DropoutStream dropout{derive_seed(
+        derive_seed(dropout_seed_, static_cast<std::uint64_t>(step)), chunk)};
+    batch_gradients(rows, labels.subspan(begin, end - begin), cw, &dropout,
+                    grads.w, grads.b, grads.loss_sum, grads.weight_sum);
+  };
+  if (pool != nullptr && chunks > 1) {
+    pool->parallel_for(chunks, run_chunk);
+  } else {
+    for (std::size_t chunk = 0; chunk < chunks; ++chunk) run_chunk(chunk);
+  }
+
+  // Deterministic reduction: chunk order, then normalize by the batch
+  // weight and apply one Adam step.
+  double loss = 0.0;
+  double weight_sum = 0.0;
+  std::vector<Matrix> grad_w;
+  std::vector<Matrix> grad_b;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    grad_w.emplace_back(weights_[l].rows(), weights_[l].cols());
+    grad_b.emplace_back(std::size_t{1}, biases_[l].cols());
+  }
+  for (const ChunkGrads& grads : partial) {
+    loss += grads.loss_sum;
+    weight_sum += grads.weight_sum;
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+      for (std::size_t i = 0; i < grad_w[l].raw().size(); ++i) {
+        grad_w[l].raw()[i] += grads.w[l].raw()[i];
+      }
+      for (std::size_t i = 0; i < grad_b[l].raw().size(); ++i) {
+        grad_b[l].raw()[i] += grads.b[l].raw()[i];
+      }
+    }
+  }
+  const double norm = weight_sum > 0.0 ? weight_sum : 1.0;
+  loss /= norm;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    for (auto& v : grad_w[l].raw()) v /= norm;
+    for (auto& v : grad_b[l].raw()) v /= norm;
+    w_adam_[l].update(weights_[l], grad_w[l], config_.adam, step);
+    b_adam_[l].update(biases_[l], grad_b[l], config_.adam, step);
   }
   return loss;
 }
@@ -160,9 +240,10 @@ double Mlp::evaluate_loss(const Matrix& x, std::span<const int> labels,
   return weight_sum > 0.0 ? loss / weight_sum : 0.0;
 }
 
-double Mlp::fit(const Dataset& data) {
+double Mlp::fit(const Dataset& data, aps::ThreadPool* pool) {
   assert(data.size() > 0);
   config_.classes = data.classes;
+  dropout_seed_ = derive_seed(config_.seed, 0xD120u);
 
   if (config_.standardize) standardizer_.fit(data.x);
   const Matrix x_all =
@@ -231,7 +312,7 @@ double Mlp::fit(const Dataset& data) {
       labels.reserve(batch_idx.size());
       for (const std::size_t i : batch_idx) labels.push_back(data.y[i]);
       ++step;
-      train_batch(batch, labels, cw, step, rng);
+      train_batch(batch, labels, cw, step, pool);
     }
     const double val_loss =
         val_idx.empty()

@@ -3,6 +3,11 @@
 // ReLU activations and a softmax output, trained with Adam on sparse
 // categorical cross-entropy, with inverted dropout and early stopping on a
 // held-out validation split.
+//
+// Training is data-parallel: each minibatch is cut into fixed-size row
+// chunks whose gradients are computed concurrently (per-chunk dropout
+// streams) and reduced in chunk order, so the trained weights are
+// bit-identical for every thread count, including none.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +15,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ml/adam.h"
 #include "ml/dataset.h"
 #include "ml/matrix.h"
@@ -39,7 +45,9 @@ class Mlp {
   explicit Mlp(MlpConfig config = {});
 
   /// Train on the dataset; returns the best validation loss reached.
-  double fit(const Dataset& data);
+  /// With a pool, minibatch gradients are computed chunk-parallel across
+  /// its workers; the result is bit-identical to the sequential path.
+  double fit(const Dataset& data, aps::ThreadPool* pool = nullptr);
 
   [[nodiscard]] std::vector<double> predict_proba(
       std::span<const double> features) const;
@@ -59,20 +67,43 @@ class Mlp {
 
   struct ForwardCache {
     std::vector<Matrix> activations;  ///< activations[0] = input batch
-    std::vector<Matrix> masks;        ///< dropout masks per hidden layer
+    std::vector<Matrix> masks;        ///< dropout masks (training+dropout only)
     Matrix probs;                     ///< softmax output
   };
 
+  /// Counter-based dropout stream: cell k of a chunk draws
+  /// splitmix64(seed + k), so masks are a pure function of
+  /// (step, chunk, cell) — independent of threads and of the shuffle RNG.
+  struct DropoutStream {
+    std::uint64_t seed = 0;
+    std::uint64_t counter = 0;
+
+    [[nodiscard]] double next() {
+      return static_cast<double>(splitmix64(seed + counter++) >> 11) *
+             0x1.0p-53;
+    }
+  };
+
   [[nodiscard]] ForwardCache forward(const Matrix& batch, bool training,
-                                     aps::Rng* rng) const;
-  /// One minibatch gradient step; returns the batch loss.
+                                     DropoutStream* dropout) const;
+  /// Unnormalized gradient of the weighted CE loss over `batch`, added
+  /// into grad_w / grad_b; returns (loss sum, weight sum) via the out
+  /// params. Pure w.r.t. the network, so chunks run concurrently.
+  void batch_gradients(const Matrix& batch, std::span<const int> labels,
+                       std::span<const double> cw, DropoutStream* dropout,
+                       std::vector<Matrix>& grad_w,
+                       std::vector<Matrix>& grad_b, double& loss_sum,
+                       double& weight_sum) const;
+  /// One minibatch gradient step (chunk-parallel); returns the batch loss.
   double train_batch(const Matrix& batch, std::span<const int> labels,
-                     std::span<const double> cw, long step, aps::Rng& rng);
+                     std::span<const double> cw, long step,
+                     aps::ThreadPool* pool);
   [[nodiscard]] double evaluate_loss(const Matrix& x,
                                      std::span<const int> labels,
                                      std::span<const double> cw) const;
 
   MlpConfig config_;
+  std::uint64_t dropout_seed_ = 0;  ///< derived from config seed in fit()
   std::vector<std::size_t> layer_sizes_;
   std::vector<Matrix> weights_;
   std::vector<Matrix> biases_;  ///< 1 x out each

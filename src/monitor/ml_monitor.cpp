@@ -4,13 +4,19 @@
 
 namespace aps::monitor {
 
+void ml_features_into(const Observation& obs, std::span<double> out) {
+  out[0] = obs.bg;
+  out[1] = obs.bg_rate;
+  out[2] = obs.iob;
+  out[3] = obs.iob_rate;
+  out[4] = obs.commanded_rate;
+  out[5] = static_cast<double>(static_cast<int>(obs.action));
+}
+
 std::vector<double> ml_features(const Observation& obs) {
-  return {obs.bg,
-          obs.bg_rate,
-          obs.iob,
-          obs.iob_rate,
-          obs.commanded_rate,
-          static_cast<double>(static_cast<int>(obs.action))};
+  std::vector<double> features(kMlFeatureCount);
+  ml_features_into(obs, features);
+  return features;
 }
 
 Decision decision_from_class(int predicted_class, int classes,
@@ -30,6 +36,31 @@ Decision decision_from_class(int predicted_class, int classes,
   return d;
 }
 
+namespace {
+
+/// One gather -> predict_batch -> decision cycle, shared by the DT and MLP
+/// batches (and the serving path): fills `scratch` with each lane's
+/// features, runs one model call, maps classes to decisions. `scratch` is
+/// caller-owned so hot loops reuse it across cycles.
+template <typename Model>
+void predict_step(const Model& model, int classes, aps::ml::Matrix& scratch,
+                  std::span<const Observation> obs, std::span<Decision> out) {
+  if (scratch.rows() != obs.size() || scratch.cols() != kMlFeatureCount) {
+    scratch = aps::ml::Matrix(obs.size(), kMlFeatureCount);
+  }
+  for (std::size_t r = 0; r < obs.size(); ++r) {
+    ml_features_into(
+        obs[r], std::span<double>(scratch.raw().data() + r * kMlFeatureCount,
+                                  kMlFeatureCount));
+  }
+  const std::vector<int> predicted = model.predict_batch(scratch);
+  for (std::size_t r = 0; r < obs.size(); ++r) {
+    out[r] = decision_from_class(predicted[r], classes, obs[r]);
+  }
+}
+
+}  // namespace
+
 DtMonitor::DtMonitor(std::shared_ptr<const aps::ml::DecisionTree> model,
                      int classes)
     : model_(std::move(model)), classes_(classes) {
@@ -45,6 +76,10 @@ std::unique_ptr<Monitor> DtMonitor::clone() const {
   return std::make_unique<DtMonitor>(*this);
 }
 
+std::unique_ptr<MonitorBatch> DtMonitor::make_batch() const {
+  return std::make_unique<DtMonitorBatch>();
+}
+
 MlpMonitor::MlpMonitor(std::shared_ptr<const aps::ml::Mlp> model, int classes)
     : model_(std::move(model)), classes_(classes) {
   assert(model_ != nullptr && model_->trained());
@@ -57,19 +92,16 @@ Decision MlpMonitor::observe(const Observation& obs) {
 
 void MlpMonitor::observe_batch(std::span<const Observation> obs,
                                std::span<Decision> out) {
-  aps::ml::Matrix x(obs.size(), kMlFeatureCount);
-  for (std::size_t r = 0; r < obs.size(); ++r) {
-    const auto features = ml_features(obs[r]);
-    for (std::size_t c = 0; c < features.size(); ++c) x.at(r, c) = features[c];
-  }
-  const std::vector<int> classes = model_->predict_batch(x);
-  for (std::size_t r = 0; r < obs.size(); ++r) {
-    out[r] = decision_from_class(classes[r], classes_, obs[r]);
-  }
+  aps::ml::Matrix scratch;
+  predict_step(*model_, classes_, scratch, obs, out);
 }
 
 std::unique_ptr<Monitor> MlpMonitor::clone() const {
   return std::make_unique<MlpMonitor>(*this);
+}
+
+std::unique_ptr<MonitorBatch> MlpMonitor::make_batch() const {
+  return std::make_unique<MlpMonitorBatch>();
 }
 
 LstmMonitor::LstmMonitor(std::shared_ptr<const aps::ml::Lstm> model,
@@ -95,6 +127,114 @@ Decision LstmMonitor::observe(const Observation& obs) {
 
 std::unique_ptr<Monitor> LstmMonitor::clone() const {
   return std::make_unique<LstmMonitor>(*this);
+}
+
+std::unique_ptr<MonitorBatch> LstmMonitor::make_batch() const {
+  return std::make_unique<LstmMonitorBatch>();
+}
+
+// ---- Lockstep batches -------------------------------------------------------
+
+namespace {
+
+/// Shared add_lane logic: adopt the first lane's model/classes, then only
+/// accept lanes backed by the very same model instance and label space.
+template <typename MonitorT, typename ModelPtr>
+bool adopt_or_match(const Monitor& prototype, ModelPtr& model, int& classes,
+                    std::size_t lane_count) {
+  const auto* typed = dynamic_cast<const MonitorT*>(&prototype);
+  if (typed == nullptr) return false;
+  if (lane_count == 0) {
+    model = typed->model();
+    classes = typed->classes();
+    return true;
+  }
+  return typed->model() == model && typed->classes() == classes;
+}
+
+
+}  // namespace
+
+bool DtMonitorBatch::add_lane(const Monitor& prototype) {
+  if (!adopt_or_match<DtMonitor>(prototype, model_, classes_, lanes_)) {
+    return false;
+  }
+  ++lanes_;
+  return true;
+}
+
+void DtMonitorBatch::observe_step(std::span<const Observation> obs,
+                                  std::span<Decision> out) {
+  predict_step(*model_, classes_, scratch_, obs, out);
+}
+
+bool MlpMonitorBatch::add_lane(const Monitor& prototype) {
+  if (!adopt_or_match<MlpMonitor>(prototype, model_, classes_, lanes_)) {
+    return false;
+  }
+  ++lanes_;
+  return true;
+}
+
+void MlpMonitorBatch::observe_step(std::span<const Observation> obs,
+                                   std::span<Decision> out) {
+  predict_step(*model_, classes_, scratch_, obs, out);
+}
+
+bool LstmMonitorBatch::add_lane(const Monitor& prototype) {
+  if (!adopt_or_match<LstmMonitor>(prototype, model_, classes_,
+                                   windows_.size())) {
+    return false;
+  }
+  windows_.emplace_back(kLstmWindow);
+  return true;
+}
+
+void LstmMonitorBatch::reset_lane(std::size_t lane) {
+  windows_[lane].clear();
+}
+
+void LstmMonitorBatch::observe_step(std::span<const Observation> obs,
+                                    std::span<Decision> out) {
+  // Push this cycle's features (standardized once, on entry — the scalar
+  // monitor re-standardizes the whole window every cycle, which is the
+  // same per-row transform applied later), then run every full window
+  // through one SoA forward pass; lanes still filling their window stay
+  // silent.
+  std::vector<std::size_t> ready_lanes;
+  ready_lanes.reserve(windows_.size());
+  for (std::size_t lane = 0; lane < windows_.size(); ++lane) {
+    auto& window = windows_[lane];
+    auto features = ml_features(obs[lane]);
+    model_->standardize_row(features);
+    window.push(std::move(features));
+    if (window.full()) {
+      ready_lanes.push_back(lane);
+    } else {
+      out[lane] = {};
+    }
+  }
+  if (ready_lanes.empty()) return;
+
+  // Lane-major flat batch: flat[(t * n + i) * features + j].
+  const std::size_t n = ready_lanes.size();
+  const std::size_t steps = kLstmWindow;
+  std::vector<double> flat(steps * n * kMlFeatureCount);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& window = windows_[ready_lanes[i]];
+    for (std::size_t t = 0; t < steps; ++t) {
+      const auto& row = window[t];
+      std::copy(row.begin(), row.end(),
+                flat.begin() +
+                    static_cast<long>((t * n + i) * kMlFeatureCount));
+    }
+  }
+  const std::vector<int> classes =
+      model_->predict_batch_standardized(flat, n, steps);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t lane = ready_lanes[i];
+    out[lane] = decision_from_class(classes[i], classes_, obs[lane]);
+  }
 }
 
 }  // namespace aps::monitor

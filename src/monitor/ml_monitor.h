@@ -24,6 +24,8 @@ namespace aps::monitor {
 /// Feature layout shared by training harness and runtime monitors.
 inline constexpr std::size_t kMlFeatureCount = 6;
 [[nodiscard]] std::vector<double> ml_features(const Observation& obs);
+/// Allocation-free variant: writes the kMlFeatureCount features into `out`.
+void ml_features_into(const Observation& obs, std::span<double> out);
 
 /// Input window length for the LSTM monitor (6 steps = 30 minutes, §V-C4).
 inline constexpr std::size_t kLstmWindow = 6;
@@ -40,6 +42,13 @@ class DtMonitor final : public Monitor {
   [[nodiscard]] Decision observe(const Observation& obs) override;
   [[nodiscard]] const std::string& name() const override { return name_; }
   [[nodiscard]] std::unique_ptr<Monitor> clone() const override;
+  [[nodiscard]] std::unique_ptr<MonitorBatch> make_batch() const override;
+
+  [[nodiscard]] const std::shared_ptr<const aps::ml::DecisionTree>& model()
+      const {
+    return model_;
+  }
+  [[nodiscard]] int classes() const { return classes_; }
 
  private:
   std::shared_ptr<const aps::ml::DecisionTree> model_;
@@ -59,6 +68,12 @@ class MlpMonitor final : public Monitor {
                      std::span<Decision> out) override;
   [[nodiscard]] const std::string& name() const override { return name_; }
   [[nodiscard]] std::unique_ptr<Monitor> clone() const override;
+  [[nodiscard]] std::unique_ptr<MonitorBatch> make_batch() const override;
+
+  [[nodiscard]] const std::shared_ptr<const aps::ml::Mlp>& model() const {
+    return model_;
+  }
+  [[nodiscard]] int classes() const { return classes_; }
 
  private:
   std::shared_ptr<const aps::ml::Mlp> model_;
@@ -74,12 +89,74 @@ class LstmMonitor final : public Monitor {
   [[nodiscard]] Decision observe(const Observation& obs) override;
   [[nodiscard]] const std::string& name() const override { return name_; }
   [[nodiscard]] std::unique_ptr<Monitor> clone() const override;
+  [[nodiscard]] std::unique_ptr<MonitorBatch> make_batch() const override;
+
+  [[nodiscard]] const std::shared_ptr<const aps::ml::Lstm>& model() const {
+    return model_;
+  }
+  [[nodiscard]] int classes() const { return classes_; }
 
  private:
   std::shared_ptr<const aps::ml::Lstm> model_;
   int classes_;
   aps::RingBuffer<std::vector<double>> window_;
   std::string name_ = "lstm";
+};
+
+// ---- Lockstep batches (sim::BatchSimulator hot path) -----------------------
+//
+// Each batch accepts only lanes of its own monitor kind that share the same
+// model instance and label space; mixed-model campaigns fall into separate
+// groups. All three route every lane's inference through one model call per
+// control cycle and are bit-identical to the per-lane monitors.
+
+/// One DecisionTree::predict_batch walk per cycle for all lanes.
+class DtMonitorBatch final : public MonitorBatch {
+ public:
+  [[nodiscard]] bool add_lane(const Monitor& prototype) override;
+  [[nodiscard]] std::size_t lanes() const override { return lanes_; }
+  void reset_lane(std::size_t) override {}
+  void observe_step(std::span<const Observation> obs,
+                    std::span<Decision> out) override;
+
+ private:
+  std::shared_ptr<const aps::ml::DecisionTree> model_;
+  int classes_ = 0;
+  std::size_t lanes_ = 0;
+  aps::ml::Matrix scratch_;  ///< per-cycle feature rows, reused
+};
+
+/// One Mlp::predict_batch forward per cycle for all lanes.
+class MlpMonitorBatch final : public MonitorBatch {
+ public:
+  [[nodiscard]] bool add_lane(const Monitor& prototype) override;
+  [[nodiscard]] std::size_t lanes() const override { return lanes_; }
+  void reset_lane(std::size_t) override {}
+  void observe_step(std::span<const Observation> obs,
+                    std::span<Decision> out) override;
+
+ private:
+  std::shared_ptr<const aps::ml::Mlp> model_;
+  int classes_ = 0;
+  std::size_t lanes_ = 0;
+  aps::ml::Matrix scratch_;  ///< per-cycle feature rows, reused
+};
+
+/// One Lstm::predict_batch pass per cycle: every ready lane's hidden/cell
+/// state advances together in SoA buffers; lanes still filling their input
+/// window stay silent, exactly like the scalar monitor.
+class LstmMonitorBatch final : public MonitorBatch {
+ public:
+  [[nodiscard]] bool add_lane(const Monitor& prototype) override;
+  [[nodiscard]] std::size_t lanes() const override { return windows_.size(); }
+  void reset_lane(std::size_t lane) override;
+  void observe_step(std::span<const Observation> obs,
+                    std::span<Decision> out) override;
+
+ private:
+  std::shared_ptr<const aps::ml::Lstm> model_;
+  int classes_ = 0;
+  std::vector<aps::RingBuffer<std::vector<double>>> windows_;
 };
 
 }  // namespace aps::monitor

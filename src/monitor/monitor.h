@@ -15,6 +15,8 @@
 
 namespace aps::monitor {
 
+class Monitor;
+
 /// Everything a monitor may observe at one control cycle.
 struct Observation {
   double time_min = 0.0;
@@ -38,6 +40,36 @@ struct Decision {
   int rule_id = -1;
 };
 
+/// Lockstep batch counterpart of Monitor, mirroring PatientBatch /
+/// ControllerBatch: N independent monitor instances observing one control
+/// cycle together, so monitors whose inference amortizes across lanes (one
+/// Mlp::predict_batch / Lstm::predict_batch forward for the whole shard)
+/// stay batched inside the simulation hot loop. Lane semantics are
+/// bit-identical to calling Monitor::observe on one clone per lane (the
+/// golden-trace suite enforces this); mitigation decisions remain per-lane
+/// in the simulator.
+class MonitorBatch {
+ public:
+  virtual ~MonitorBatch() = default;
+
+  /// Append a lane configured like `prototype`; returns false when the
+  /// prototype is not this batch's monitor kind (or is backed by a
+  /// different model), in which case the caller places the lane in another
+  /// batch.
+  [[nodiscard]] virtual bool add_lane(const Monitor& prototype) = 0;
+
+  [[nodiscard]] virtual std::size_t lanes() const = 0;
+
+  /// Monitor::reset for one lane.
+  virtual void reset_lane(std::size_t lane) = 0;
+
+  /// One lockstep control cycle: out[l] = decision of lane l's monitor for
+  /// obs[l], with per-lane state advanced exactly as Monitor::observe
+  /// would.
+  virtual void observe_step(std::span<const Observation> obs,
+                            std::span<Decision> out) = 0;
+};
+
 class Monitor {
  public:
   virtual ~Monitor() = default;
@@ -59,6 +91,13 @@ class Monitor {
   [[nodiscard]] virtual const std::string& name() const = 0;
 
   [[nodiscard]] virtual std::unique_ptr<Monitor> clone() const = 0;
+
+  /// A fresh, empty lockstep batch backend of this monitor's kind, or
+  /// nullptr when the monitor has no specialized implementation (the
+  /// simulator then steps per-lane clones instead).
+  [[nodiscard]] virtual std::unique_ptr<MonitorBatch> make_batch() const {
+    return nullptr;
+  }
 };
 
 /// The no-op monitor (baseline APS without safety monitoring).

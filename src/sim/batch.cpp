@@ -61,6 +61,27 @@ class GenericControllerBatch final : public aps::controller::ControllerBatch {
   std::vector<std::unique_ptr<aps::controller::Controller>> lanes_;
 };
 
+/// Fallback monitor backend: per-lane clones observed through the virtual
+/// scalar interface. Accepts every monitor kind (guideline, MPC, CAW, ...).
+class GenericMonitorBatch final : public aps::monitor::MonitorBatch {
+ public:
+  bool add_lane(const aps::monitor::Monitor& prototype) override {
+    lanes_.push_back(prototype.clone());
+    return true;
+  }
+  [[nodiscard]] std::size_t lanes() const override { return lanes_.size(); }
+  void reset_lane(std::size_t lane) override { lanes_[lane]->reset(); }
+  void observe_step(std::span<const aps::monitor::Observation> obs,
+                    std::span<aps::monitor::Decision> out) override {
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      out[l] = lanes_[l]->observe(obs[l]);
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<aps::monitor::Monitor>> lanes_;
+};
+
 /// One batch backend plus the global lanes it owns, in add order.
 template <typename Batch>
 struct Group {
@@ -99,11 +120,55 @@ void place_lane(std::vector<Group<Batch>>& groups,
   generic.lanes.push_back(lane);
 }
 
+/// One monitor line-up (the driving monitor, or one observer) batched over
+/// all lanes: specialized groups where the monitor provides a MonitorBatch,
+/// per-lane clones otherwise.
+struct MonitorBank {
+  std::vector<Group<aps::monitor::MonitorBatch>> groups;
+  std::ptrdiff_t generic_index = -1;
+  // Gather/scatter scratch, sized per group on demand.
+  std::vector<aps::monitor::Observation> group_obs;
+  std::vector<aps::monitor::Decision> group_out;
+
+  void add_lane(const aps::monitor::Monitor& prototype, std::size_t lane) {
+    place_lane<GenericMonitorBatch>(groups, generic_index, prototype, lane,
+                                    [&] { return prototype.make_batch(); });
+  }
+
+  void reset_all() {
+    for (auto& group : groups) {
+      for (std::size_t sub = 0; sub < group.lanes.size(); ++sub) {
+        group.batch->reset_lane(sub);
+      }
+    }
+  }
+
+  /// One lockstep cycle: decisions[lane] = this bank's decision for
+  /// obs[lane].
+  void observe_step(std::span<const aps::monitor::Observation> obs,
+                    std::span<aps::monitor::Decision> decisions) {
+    for (auto& group : groups) {
+      group_obs.resize(group.lanes.size());
+      group_out.resize(group.lanes.size());
+      for (std::size_t sub = 0; sub < group.lanes.size(); ++sub) {
+        group_obs[sub] = obs[group.lanes[sub]];
+      }
+      group.batch->observe_step(group_obs, group_out);
+      for (std::size_t sub = 0; sub < group.lanes.size(); ++sub) {
+        decisions[group.lanes[sub]] = group_out[sub];
+      }
+    }
+  }
+};
+
 }  // namespace
 
 BatchSimulator::BatchSimulator(const Stack& stack,
-                               const MonitorFactory& make_monitor)
-    : stack_(stack), make_monitor_(make_monitor) {}
+                               const MonitorFactory& make_monitor,
+                               std::span<const MonitorFactory> observers)
+    : stack_(stack),
+      make_monitor_(make_monitor),
+      observers_(observers.begin(), observers.end()) {}
 
 const BatchSimulator::Prototypes& BatchSimulator::prototypes(
     int patient_index) {
@@ -113,6 +178,10 @@ const BatchSimulator::Prototypes& BatchSimulator::prototypes(
     protos.patient = stack_.make_patient(patient_index);
     protos.controller = stack_.make_controller(*protos.patient);
     protos.monitor = make_monitor_(patient_index);
+    protos.observers.reserve(observers_.size());
+    for (const MonitorFactory& make_observer : observers_) {
+      protos.observers.push_back(make_observer(patient_index));
+    }
     it = cache_.emplace(patient_index, std::move(protos)).first;
   }
   return it->second;
@@ -120,10 +189,17 @@ const BatchSimulator::Prototypes& BatchSimulator::prototypes(
 
 void BatchSimulator::run(std::span<const RunRequest> requests,
                          const EmitFn& emit) {
+  run(requests, [&](std::size_t lane, const SimResult& result,
+                    std::span<const DecisionTrace>) { emit(lane, result); });
+}
+
+void BatchSimulator::run(std::span<const RunRequest> requests,
+                         const ObservedEmitFn& emit) {
   using aps::controller::classify_action;
 
   const std::size_t lanes = requests.size();
   if (lanes == 0) return;
+  const std::size_t n_observers = observers_.size();
 
   // ---- Lane setup ----------------------------------------------------------
 
@@ -131,12 +207,14 @@ void BatchSimulator::run(std::span<const RunRequest> requests,
   std::ptrdiff_t generic_patient = -1;
   std::vector<Group<aps::controller::ControllerBatch>> controllers;
   std::ptrdiff_t generic_controller = -1;
-  std::vector<std::unique_ptr<aps::monitor::Monitor>> monitors;
+  MonitorBank monitor_bank;
+  std::vector<MonitorBank> observer_banks(n_observers);
   std::vector<aps::patient::CgmSensor> sensors;
   std::vector<aps::fi::FaultInjector> injectors;
   std::vector<double> basal(lanes), isf(lanes), max_basal(lanes);
   std::vector<SimResult> results(lanes);
-  monitors.reserve(lanes);
+  // observed[lane][o] = observer o's decision trace for this lane.
+  std::vector<std::vector<DecisionTrace>> observed(lanes);
   sensors.reserve(lanes);
   injectors.reserve(lanes);
 
@@ -151,9 +229,11 @@ void BatchSimulator::run(std::span<const RunRequest> requests,
     place_lane<GenericControllerBatch>(
         controllers, generic_controller, *protos.controller, lane,
         [&] { return protos.controller->make_batch(); });
+    monitor_bank.add_lane(*protos.monitor, lane);
+    for (std::size_t o = 0; o < n_observers; ++o) {
+      observer_banks[o].add_lane(*protos.observers[o], lane);
+    }
 
-    monitors.push_back(protos.monitor->clone());
-    monitors.back()->reset();
     sensors.emplace_back(req.config.cgm, req.config.cgm_seed);
     injectors.emplace_back(req.config.fault);
 
@@ -163,6 +243,10 @@ void BatchSimulator::run(std::span<const RunRequest> requests,
 
     results[lane].config = req.config;
     results[lane].steps.reserve(static_cast<std::size_t>(req.config.steps));
+    observed[lane].resize(n_observers);
+    for (auto& trace : observed[lane]) {
+      trace.reserve(static_cast<std::size_t>(req.config.steps));
+    }
     steps_max = std::max(steps_max, req.config.steps);
   }
 
@@ -177,6 +261,8 @@ void BatchSimulator::run(std::span<const RunRequest> requests,
       group.batch->reset_lane(sub);
     }
   }
+  monitor_bank.reset_all();
+  for (auto& bank : observer_banks) bank.reset_all();
 
   // The ledger starts at the basal steady state, exactly like the scalar
   // path's warm-up loop over one full DIA window.
@@ -193,6 +279,9 @@ void BatchSimulator::run(std::span<const RunRequest> requests,
   std::vector<double> prev_cgm(lanes, -1.0), prev_iob(lanes, -1.0);
   std::vector<double> prev_delivered = basal;
   std::vector<aps::controller::ControllerInput> inputs(lanes);
+  std::vector<aps::monitor::Observation> observations(lanes);
+  std::vector<aps::monitor::Decision> decisions(lanes);
+  std::vector<aps::monitor::Decision> observer_decisions(lanes);
   std::vector<StepRecord> records(lanes);
   std::vector<double> scatter;  // per-group gather/scatter scratch
   std::vector<aps::controller::ControllerInput> group_in;
@@ -251,13 +340,12 @@ void BatchSimulator::run(std::span<const RunRequest> requests,
 
     for (std::size_t lane = 0; lane < lanes; ++lane) {
       StepRecord& rec = records[lane];
-      const SimConfig& config = requests[lane].config;
       rec.commanded_rate = injectors[lane].apply(
           aps::fi::FaultTarget::kCommandRate, clean_rate[lane], k,
           aps::fi::rate_range(max_basal[lane]));
       rec.action = classify_action(rec.commanded_rate, prev_delivered[lane]);
 
-      aps::monitor::Observation obs;
+      aps::monitor::Observation& obs = observations[lane];
       obs.time_min = rec.time_min;
       obs.bg = rec.cgm_bg;
       obs.bg_rate = prev_cgm[lane] < 0.0 ? 0.0 : rec.cgm_bg - prev_cgm[lane];
@@ -268,16 +356,34 @@ void BatchSimulator::run(std::span<const RunRequest> requests,
       obs.action = rec.action;
       obs.basal_rate = basal[lane];
       obs.isf = isf[lane];
+    }
 
-      const aps::monitor::Decision decision = monitors[lane]->observe(obs);
+    // The driving monitors: one lockstep cycle across all lanes.
+    monitor_bank.observe_step(observations, decisions);
+
+    // Passive observers see the identical Observation stream; their
+    // decisions are recorded but never reach the pump.
+    for (std::size_t o = 0; o < n_observers; ++o) {
+      observer_banks[o].observe_step(observations, observer_decisions);
+      for (std::size_t lane = 0; lane < lanes; ++lane) {
+        if (k < requests[lane].config.steps) {
+          observed[lane][o].push_back(observer_decisions[lane]);
+        }
+      }
+    }
+
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      StepRecord& rec = records[lane];
+      const SimConfig& config = requests[lane].config;
+      const aps::monitor::Decision& decision = decisions[lane];
       rec.alarm = decision.alarm;
       rec.predicted = decision.predicted;
       rec.rule_id = decision.rule_id;
 
       rec.delivered_rate = rec.commanded_rate;
       if (config.mitigation_enabled && decision.alarm) {
-        rec.delivered_rate =
-            aps::monitor::mitigate_rate(decision, obs, config.mitigation);
+        rec.delivered_rate = aps::monitor::mitigate_rate(
+            decision, observations[lane], config.mitigation);
       }
       rec.delivered_rate =
           std::clamp(rec.delivered_rate, 0.0, max_basal[lane]);
@@ -303,7 +409,7 @@ void BatchSimulator::run(std::span<const RunRequest> requests,
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     results[lane].label = aps::risk::label_trace(
         results[lane].bg_trace(), requests[lane].config.labeling);
-    emit(lane, results[lane]);
+    emit(lane, results[lane], observed[lane]);
   }
 }
 

@@ -83,4 +83,12 @@ struct SimResult {
     const aps::controller::Controller& controller_prototype,
     aps::monitor::Monitor& monitor, const SimConfig& config);
 
+/// Reconstruct the monitor observation of step k of a finished run —
+/// bit-identical to the Observation the in-loop monitor saw, since every
+/// field derives from stored StepRecord doubles. `basal_rate`/`isf` come
+/// from the controller profile. This is what lets passive monitors replay
+/// a recorded trace (threshold extraction, scalar observer banks).
+[[nodiscard]] aps::monitor::Observation observation_from_record(
+    const SimResult& run, std::size_t k, double basal_rate, double isf);
+
 }  // namespace aps::sim

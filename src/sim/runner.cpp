@@ -32,10 +32,12 @@ std::size_t shard_count(std::size_t count, const StreamingOptions& streaming) {
   return (count + size - 1) / size;
 }
 
-void for_each_run(const Stack& stack, std::size_t count,
-                  const RunRequestFn& request,
-                  const MonitorFactory& make_monitor, const RunSink& sink,
-                  aps::ThreadPool* pool, const StreamingOptions& streaming) {
+void for_each_run_observed(const Stack& stack, std::size_t count,
+                           const RunRequestFn& request,
+                           const MonitorFactory& make_monitor,
+                           std::span<const MonitorFactory> observers,
+                           const ObservedRunSink& sink, aps::ThreadPool* pool,
+                           const StreamingOptions& streaming) {
   if (count == 0) return;
   const std::size_t size = streaming.shard_size > 0 ? streaming.shard_size : 1;
   const std::size_t shards = shard_count(count, streaming);
@@ -49,10 +51,13 @@ void for_each_run(const Stack& stack, std::size_t count,
     std::vector<RunRequest> requests;
     requests.reserve(end - begin);
     for (std::size_t i = begin; i < end; ++i) requests.push_back(request(i));
-    BatchSimulator simulator(stack, make_monitor);
-    simulator.run(requests, [&](std::size_t lane, const SimResult& result) {
-      sink(shard, begin + lane, result);
-    });
+    BatchSimulator simulator(stack, make_monitor, observers);
+    simulator.run(
+        requests,
+        [&](std::size_t lane, const SimResult& result,
+            std::span<const DecisionTrace> observed) {
+          sink(shard, begin + lane, result, observed);
+        });
   };
 
   const auto run_shard_scalar = [&](std::size_t shard) {
@@ -62,9 +67,14 @@ void for_each_run(const Stack& stack, std::size_t count,
     struct Prototypes {
       std::unique_ptr<aps::patient::PatientModel> patient;
       std::unique_ptr<aps::controller::Controller> controller;
+      std::vector<std::unique_ptr<aps::monitor::Monitor>> observer_protos;
       std::unique_ptr<aps::monitor::Monitor> monitor;
+      double basal_rate = 0.0;
+      double isf = 0.0;
     };
     std::map<int, Prototypes> cache;
+    std::vector<std::vector<aps::monitor::Decision>> observed(
+        observers.size());
     const std::size_t begin = shard * size;
     const std::size_t end = std::min(begin + size, count);
     for (std::size_t i = begin; i < end; ++i) {
@@ -75,12 +85,30 @@ void for_each_run(const Stack& stack, std::size_t count,
         protos.patient = stack.make_patient(req.patient_index);
         protos.controller = stack.make_controller(*protos.patient);
         protos.monitor = make_monitor(req.patient_index);
+        for (const MonitorFactory& make_observer : observers) {
+          protos.observer_protos.push_back(make_observer(req.patient_index));
+        }
+        protos.basal_rate = protos.controller->basal_rate();
+        protos.isf = protos.controller->isf();
         it = cache.emplace(req.patient_index, std::move(protos)).first;
       }
+      const Prototypes& protos = it->second;
       const SimResult result = run_simulation(
-          *it->second.patient, *it->second.controller, *it->second.monitor,
-          req.config);
-      sink(shard, i, result);
+          *protos.patient, *protos.controller, *protos.monitor, req.config);
+      // Observers replay the recorded trace: observation_from_record is
+      // bit-identical to the in-loop Observation stream.
+      for (std::size_t o = 0; o < observers.size(); ++o) {
+        auto& trace = observed[o];
+        trace.clear();
+        trace.reserve(result.steps.size());
+        protos.observer_protos[o]->reset();
+        for (std::size_t k = 0; k < result.steps.size(); ++k) {
+          trace.push_back(protos.observer_protos[o]->observe(
+              observation_from_record(result, k, protos.basal_rate,
+                                      protos.isf)));
+        }
+      }
+      sink(shard, i, result, observed);
     }
   };
 
@@ -97,6 +125,19 @@ void for_each_run(const Stack& stack, std::size_t count,
   } else {
     for (std::size_t shard = 0; shard < shards; ++shard) run_shard(shard);
   }
+}
+
+void for_each_run(const Stack& stack, std::size_t count,
+                  const RunRequestFn& request,
+                  const MonitorFactory& make_monitor, const RunSink& sink,
+                  aps::ThreadPool* pool, const StreamingOptions& streaming) {
+  for_each_run_observed(
+      stack, count, request, make_monitor, {},
+      [&](std::size_t shard, std::size_t index, const SimResult& result,
+          std::span<const std::vector<aps::monitor::Decision>>) {
+        sink(shard, index, result);
+      },
+      pool, streaming);
 }
 
 CampaignResult run_campaign(const Stack& stack,

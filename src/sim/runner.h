@@ -104,4 +104,29 @@ void for_each_run(const Stack& stack, std::size_t count,
                   aps::ThreadPool* pool = nullptr,
                   const StreamingOptions& streaming = {});
 
+// ---- Fused multi-monitor observation ----------------------------------------
+
+/// Consumes run `i` of shard `shard` plus the decision trace of every
+/// passive observer: `observed[o][k]` is observer o's decision at step k.
+/// Same concurrency contract as RunSink.
+using ObservedRunSink = std::function<void(
+    std::size_t shard, std::size_t index, const SimResult& result,
+    std::span<const std::vector<aps::monitor::Decision>> observed)>;
+
+/// for_each_run with passive observer monitor banks attached: every
+/// observer sees exactly the Observation stream the driving monitor sees
+/// but never influences delivery. With mitigation off and the null driving
+/// monitor this evaluates N monitors from ONE campaign pass, bit-identical
+/// to N dedicated passes (each monitor's alarms cannot perturb the
+/// simulation when no mitigation acts on them). Both backends implement
+/// it; the batched one amortizes ML inference across the shard, the scalar
+/// one replays recorded traces through per-lane clones.
+void for_each_run_observed(const Stack& stack, std::size_t count,
+                           const RunRequestFn& request,
+                           const MonitorFactory& make_monitor,
+                           std::span<const MonitorFactory> observers,
+                           const ObservedRunSink& sink,
+                           aps::ThreadPool* pool = nullptr,
+                           const StreamingOptions& streaming = {});
+
 }  // namespace aps::sim

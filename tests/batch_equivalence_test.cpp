@@ -10,11 +10,14 @@
 #include <cstddef>
 #include <vector>
 
+#include "core/monitor_factory.h"
 #include "monitor/caw.h"
+#include "monitor/ml_monitor.h"
 #include "scenario/executor.h"
 #include "scenario/spec.h"
 #include "sim/runner.h"
 #include "sim/stack.h"
+#include "synthetic_util.h"
 
 namespace {
 
@@ -242,6 +245,187 @@ TEST(GoldenTraceStats, EnumeratedCampaignIdenticalAcrossBackends) {
   };
   expect_identical_stats(run(sim::SimBackend::kScalar),
                          run(sim::SimBackend::kBatched));
+}
+
+// ---- Monitor-in-the-loop golden traces --------------------------------------
+//
+// The MonitorBatch path (specialized DT/MLP/LSTM batches + the generic
+// per-lane fallback) must be bit-identical to scalar monitor stepping, with
+// and without mitigation, across batch sizes — the contract that lets the
+// fused evaluation pipeline replace per-monitor campaign re-runs.
+
+struct NamedFactory {
+  std::string name;
+  sim::MonitorFactory factory;
+};
+
+std::vector<NamedFactory> monitor_lineup() {
+  // Tiny trained models (shared across the suite; training is seconds).
+  static const auto dt = [] {
+    ml::DecisionTreeConfig config;
+    config.max_depth = 5;
+    auto model = std::make_shared<ml::DecisionTree>(config);
+    model->fit(testutil::synth_dataset(500, 11));
+    return model;
+  }();
+  static const auto mlp = [] {
+    ml::MlpConfig config;
+    config.hidden_units = {16, 8};
+    config.max_epochs = 5;
+    config.seed = 5;
+    auto model = std::make_shared<ml::Mlp>(config);
+    (void)model->fit(testutil::synth_dataset(500, 12));
+    return model;
+  }();
+  static const auto lstm = [] {
+    ml::LstmConfig config;
+    config.hidden_units = {8};
+    config.max_epochs = 3;
+    config.seed = 6;
+    auto model = std::make_shared<ml::Lstm>(config);
+    (void)model->fit(testutil::synth_sequences(160, 13));
+    return model;
+  }();
+  return {
+      {"caw", caw_factory()},
+      {"dt", core::dt_factory(dt, 2)},
+      {"mlp", core::mlp_factory(mlp, 2)},
+      {"lstm", core::lstm_factory(lstm, 2)},
+  };
+}
+
+std::vector<sim::SimResult> collect_monitored(
+    const sim::Stack& stack, const scenario::ScenarioSpec& spec,
+    const sim::MonitorFactory& factory, bool mitigation,
+    sim::SimBackend backend, std::size_t batch_size, std::size_t runs) {
+  std::vector<sim::SimResult> out(runs);
+  sim::StreamingOptions streaming;
+  streaming.shard_size = batch_size;
+  streaming.backend = backend;
+  const auto request = [&](std::size_t i) {
+    const auto scenario = scenario::sample_scenario(spec, i, kSeed);
+    sim::RunRequest req;
+    req.patient_index = scenario.patient_index;
+    req.config = scenario.config;
+    req.config.mitigation_enabled = mitigation;
+    return req;
+  };
+  const auto sink = [&](std::size_t, std::size_t i,
+                        const sim::SimResult& run) { out[i] = run; };
+  sim::for_each_run(stack, runs, request, factory, sink, nullptr, streaming);
+  return out;
+}
+
+TEST(MonitorGoldenTrace, BatchedMonitorsMatchScalarWithAndWithoutMitigation) {
+  constexpr std::size_t kMonitorRuns = 48;
+  const auto stack = sim::glucosym_openaps_stack();
+  const auto spec = diverse_spec(stack);
+  for (const auto& monitor : monitor_lineup()) {
+    for (const bool mitigation : {false, true}) {
+      SCOPED_TRACE(monitor.name +
+                   (mitigation ? " mitigation=on" : " mitigation=off"));
+      const auto reference =
+          collect_monitored(stack, spec, monitor.factory, mitigation,
+                            sim::SimBackend::kScalar, 64, kMonitorRuns);
+      // Mitigation must actually engage somewhere, or the test proves
+      // nothing about the alarm -> delivery coupling.
+      if (mitigation && monitor.name == "caw") {
+        bool any_mitigated = false;
+        for (const auto& run : reference) {
+          for (const auto& s : run.steps) {
+            any_mitigated |= s.alarm && s.delivered_rate != s.commanded_rate;
+          }
+        }
+        EXPECT_TRUE(any_mitigated);
+      }
+      for (const std::size_t batch_size :
+           {std::size_t{1}, std::size_t{7}, std::size_t{64}}) {
+        SCOPED_TRACE("batch_size=" + std::to_string(batch_size));
+        const auto got =
+            collect_monitored(stack, spec, monitor.factory, mitigation,
+                              sim::SimBackend::kBatched, batch_size,
+                              kMonitorRuns);
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < reference.size(); ++i) {
+          expect_identical(reference[i], got[i], i);
+        }
+      }
+    }
+  }
+}
+
+// ---- Fused observers --------------------------------------------------------
+//
+// One campaign pass with N passive observers must reproduce each monitor's
+// dedicated driving pass decision-for-decision (mitigation off), on both
+// backends. This is the exactness contract behind fused Table V/VI
+// evaluation.
+
+TEST(FusedObservers, ObserverDecisionsMatchDedicatedPasses) {
+  constexpr std::size_t kFusedRuns = 32;
+  const auto stack = sim::glucosym_openaps_stack();
+  const auto spec = diverse_spec(stack);
+  const auto lineup = monitor_lineup();
+
+  std::vector<sim::MonitorFactory> observers;
+  for (const auto& monitor : lineup) observers.push_back(monitor.factory);
+
+  const auto request = [&](std::size_t i) {
+    const auto scenario = scenario::sample_scenario(spec, i, kSeed);
+    sim::RunRequest req;
+    req.patient_index = scenario.patient_index;
+    req.config = scenario.config;
+    return req;
+  };
+
+  const auto observe_all = [&](sim::SimBackend backend) {
+    // observed[m][run][step]
+    std::vector<std::vector<std::vector<monitor::Decision>>> observed(
+        lineup.size(),
+        std::vector<std::vector<monitor::Decision>>(kFusedRuns));
+    sim::StreamingOptions streaming;
+    streaming.backend = backend;
+    streaming.shard_size = 16;
+    sim::for_each_run_observed(
+        stack, kFusedRuns, request, sim::null_monitor_factory(), observers,
+        [&](std::size_t, std::size_t i, const sim::SimResult&,
+            std::span<const std::vector<monitor::Decision>> traces) {
+          for (std::size_t m = 0; m < lineup.size(); ++m) {
+            observed[m][i] = traces[m];
+          }
+        },
+        nullptr, streaming);
+    return observed;
+  };
+
+  const auto batched = observe_all(sim::SimBackend::kBatched);
+  const auto scalar = observe_all(sim::SimBackend::kScalar);
+
+  for (std::size_t m = 0; m < lineup.size(); ++m) {
+    SCOPED_TRACE(lineup[m].name);
+    // Dedicated driving pass: decisions recorded in the step stream.
+    const auto dedicated = collect_monitored(
+        stack, spec, lineup[m].factory, /*mitigation=*/false,
+        sim::SimBackend::kBatched, 16, kFusedRuns);
+    for (std::size_t i = 0; i < kFusedRuns; ++i) {
+      ASSERT_EQ(batched[m][i].size(), dedicated[i].steps.size())
+          << "run " << i;
+      ASSERT_EQ(scalar[m][i].size(), dedicated[i].steps.size())
+          << "run " << i;
+      for (std::size_t k = 0; k < dedicated[i].steps.size(); ++k) {
+        const auto& expected = dedicated[i].steps[k];
+        for (const auto* trace : {&batched[m][i], &scalar[m][i]}) {
+          const auto& got = (*trace)[k];
+          ASSERT_EQ(got.alarm, expected.alarm)
+              << "run " << i << " step " << k;
+          ASSERT_EQ(got.predicted, expected.predicted)
+              << "run " << i << " step " << k;
+          ASSERT_EQ(got.rule_id, expected.rule_id)
+              << "run " << i << " step " << k;
+        }
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // hang, or unbounded allocation. Runs under the ASan/UBSan CI job, which
 // would flag any out-of-bounds read the malformed inputs provoke.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstddef>
 #include <filesystem>
@@ -23,7 +24,10 @@ namespace fs = std::filesystem;
 class IoCorruptionTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = fs::temp_directory_path() / "aps_io_corruption_test";
+    // Per-process directory: concurrent suite runs (e.g. a Release and a
+    // sanitizer build testing side by side) must not trample each other.
+    dir_ = fs::temp_directory_path() /
+           ("aps_io_corruption_test_" + std::to_string(::getpid()));
     fs::create_directories(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

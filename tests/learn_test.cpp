@@ -212,6 +212,21 @@ TEST(Kfold, DeterministicPerSeed) {
   EXPECT_NE(a[0].test_indices, c[0].test_indices);
 }
 
+TEST(Kfold, CrossValidateIsThreadCountInvariant) {
+  // Fold scores are placed by fold index, so the parallel evaluation must
+  // match the sequential one exactly.
+  const auto score = [](std::size_t fold, const aps::learn::FoldSplit& split) {
+    double s = static_cast<double>(fold);
+    for (const auto i : split.test_indices) s += 0.25 * static_cast<double>(i);
+    return s;
+  };
+  const auto sequential = aps::learn::cross_validate(80, 4, 9, score, nullptr);
+  aps::ThreadPool pool(3);
+  const auto parallel = aps::learn::cross_validate(80, 4, 9, score, &pool);
+  ASSERT_EQ(sequential.size(), 4u);
+  EXPECT_EQ(sequential, parallel);
+}
+
 TEST(TrainTestSplit, RespectsFraction) {
   const auto split = train_test_split(100, 0.3, 1);
   EXPECT_EQ(split.test_indices.size(), 30u);

@@ -1,9 +1,13 @@
 // ML library: matrix kernels, standardizer, decision tree, MLP, LSTM.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <span>
+#include <utility>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "ml/decision_tree.h"
 #include "ml/lstm.h"
 #include "ml/mlp.h"
@@ -287,6 +291,219 @@ TEST(Lstm, ProbabilitiesFormDistribution) {
   const auto probs = lstm.predict_proba(data.sequences[0]);
   ASSERT_EQ(probs.size(), 2u);
   EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+}
+
+// --- Batched inference -------------------------------------------------------
+
+TEST(Lstm, PredictBatchMatchesSequential) {
+  // Mirrors the Mlp::predict_batch pin in serve_test: the SoA pass that
+  // steps every window's hidden/cell state together must reproduce the
+  // per-window path bit for bit.
+  aps::Rng rng(53);
+  const auto data = window_mean_task(300, rng);
+  LstmConfig config;
+  config.hidden_units = {10, 5};
+  config.max_epochs = 5;
+  Lstm lstm(config);
+  lstm.fit(data);
+  const auto batched = lstm.predict_batch(data.sequences);
+  ASSERT_EQ(batched.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(batched[i], lstm.predict(data.sequences[i])) << "window " << i;
+  }
+}
+
+TEST(DecisionTree, PredictBatchMatchesSequential) {
+  aps::Rng rng(51);
+  const auto data = axis_separable(400, rng);
+  DecisionTree tree;
+  tree.fit(data);
+  const auto batched = tree.predict_batch(data.x);
+  ASSERT_EQ(batched.size(), data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::span<const double> row(data.x.data() + i * data.x.cols(),
+                                      data.x.cols());
+    EXPECT_EQ(batched[i], tree.predict(row)) << "row " << i;
+  }
+}
+
+// --- Data-parallel training determinism --------------------------------------
+//
+// Minibatch gradients are computed over fixed-size chunks with per-chunk
+// dropout streams and reduced in chunk order, so the trained weights must
+// be bit-identical for every thread count (including none).
+
+TEST(Mlp, TrainingIsThreadCountInvariant) {
+  aps::Rng rng(57);
+  const auto data = axis_separable(600, rng);
+  const auto train = [&](aps::ThreadPool* pool) {
+    MlpConfig config;
+    config.hidden_units = {24, 12};
+    config.max_epochs = 6;
+    config.seed = 99;
+    Mlp mlp(config);
+    const double val = mlp.fit(data, pool);
+    std::vector<double> probe;
+    for (std::size_t i = 0; i < 50; ++i) {
+      const std::span<const double> row(data.x.data() + i * data.x.cols(),
+                                        data.x.cols());
+      const auto probs = mlp.predict_proba(row);
+      probe.insert(probe.end(), probs.begin(), probs.end());
+    }
+    return std::pair{val, probe};
+  };
+  const auto sequential = train(nullptr);
+  aps::ThreadPool pool3(3);
+  const auto threaded = train(&pool3);
+  EXPECT_EQ(sequential.first, threaded.first);
+  ASSERT_EQ(sequential.second.size(), threaded.second.size());
+  for (std::size_t i = 0; i < sequential.second.size(); ++i) {
+    EXPECT_EQ(sequential.second[i], threaded.second[i]) << "probe " << i;
+  }
+}
+
+TEST(Lstm, TrainingIsThreadCountInvariant) {
+  aps::Rng rng(61);
+  const auto data = window_mean_task(240, rng);
+  const auto train = [&](aps::ThreadPool* pool) {
+    LstmConfig config;
+    config.hidden_units = {8};
+    config.max_epochs = 4;
+    config.seed = 77;
+    Lstm lstm(config);
+    const double val = lstm.fit(data, pool);
+    std::vector<double> probe;
+    for (std::size_t i = 0; i < 40; ++i) {
+      const auto probs = lstm.predict_proba(data.sequences[i]);
+      probe.insert(probe.end(), probs.begin(), probs.end());
+    }
+    return std::pair{val, probe};
+  };
+  const auto sequential = train(nullptr);
+  aps::ThreadPool pool3(3);
+  const auto threaded = train(&pool3);
+  EXPECT_EQ(sequential.first, threaded.first);
+  ASSERT_EQ(sequential.second.size(), threaded.second.size());
+  for (std::size_t i = 0; i < sequential.second.size(); ++i) {
+    EXPECT_EQ(sequential.second[i], threaded.second[i]) << "probe " << i;
+  }
+}
+
+// --- Deterministic reservoir subsampling --------------------------------------
+//
+// Bottom-k selection keyed on (seed, run, step) is a pure function of the
+// candidate set: any insertion order, shard partition, or merge tree must
+// produce the same training set.
+
+namespace {
+
+struct RawSample {
+  std::uint64_t run;
+  std::uint64_t step;
+  std::vector<double> row;
+  int label;
+};
+
+std::vector<RawSample> make_samples(std::size_t n, std::uint64_t seed) {
+  aps::Rng rng(seed);
+  std::vector<RawSample> samples;
+  samples.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RawSample s;
+    s.run = i / 37;
+    s.step = i % 37;
+    s.row = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+    s.label = rng.uniform_int(0, 1);
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+bool datasets_identical(const Dataset& a, const Dataset& b) {
+  return a.classes == b.classes && a.y == b.y && a.x.rows() == b.x.rows() &&
+         a.x.cols() == b.x.cols() && a.x.raw() == b.x.raw();
+}
+
+}  // namespace
+
+TEST(DatasetBuilder, ReservoirInvariantUnderOrderAndSharding) {
+  constexpr std::size_t kCandidates = 1500;
+  constexpr std::size_t kCapacity = 400;
+  const auto samples = make_samples(kCandidates, 23);
+
+  const auto build_one = [&](const std::vector<RawSample>& stream) {
+    DatasetBuilder builder(2, 2, kCapacity, 42);
+    for (const auto& s : stream) builder.add(s.run, s.step, s.row, s.label);
+    return builder.build();
+  };
+
+  const Dataset reference = build_one(samples);
+  EXPECT_EQ(reference.size(), kCapacity);
+
+  // Reversed insertion order.
+  auto reversed = samples;
+  std::reverse(reversed.begin(), reversed.end());
+  EXPECT_TRUE(datasets_identical(reference, build_one(reversed)));
+
+  // Arbitrary shard partitions, merged in any order.
+  for (const std::size_t shards : {2u, 3u, 7u}) {
+    std::vector<DatasetBuilder> parts;
+    for (std::size_t s = 0; s < shards; ++s) {
+      parts.emplace_back(2, 2, kCapacity, 42);
+    }
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      const auto& s = samples[i];
+      parts[i % shards].add(s.run, s.step, s.row, s.label);
+    }
+    // Merge back-to-front to stress order independence.
+    DatasetBuilder total(2, 2, kCapacity, 42);
+    for (std::size_t s = shards; s-- > 0;) {
+      total.merge(std::move(parts[s]));
+    }
+    EXPECT_TRUE(datasets_identical(reference, total.build()))
+        << shards << " shards";
+  }
+}
+
+TEST(DatasetBuilder, KeepsEverythingUnderCapacityAndSortsByRunStep) {
+  const auto samples = make_samples(120, 29);
+  DatasetBuilder builder(2, 2, 1000, 42);
+  for (const auto& s : samples) builder.add(s.run, s.step, s.row, s.label);
+  const Dataset data = builder.build();
+  EXPECT_EQ(data.size(), samples.size());
+  // Sorted presentation: (run, step) order == original generation order.
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(data.y[i], samples[i].label) << i;
+    EXPECT_EQ(data.x.at(i, 0), samples[i].row[0]) << i;
+  }
+}
+
+TEST(SequenceDatasetBuilder, ReservoirInvariantUnderSharding) {
+  aps::Rng rng(31);
+  const auto windows = window_mean_task(300, rng);
+  constexpr std::size_t kCapacity = 90;
+
+  const auto as_probe = [](SequenceDataset data) {
+    std::vector<double> probe;
+    for (const auto& seq : data.sequences) {
+      probe.insert(probe.end(), seq.raw().begin(), seq.raw().end());
+    }
+    probe.push_back(static_cast<double>(data.size()));
+    return probe;
+  };
+
+  SequenceDatasetBuilder whole(2, kCapacity, 7);
+  SequenceDatasetBuilder even(2, kCapacity, 7);
+  SequenceDatasetBuilder odd(2, kCapacity, 7);
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    whole.add(i, 0, windows.sequences[i], windows.labels[i]);
+    (i % 2 == 0 ? even : odd)
+        .add(i, 0, windows.sequences[i], windows.labels[i]);
+  }
+  even.merge(std::move(odd));
+  const auto a = as_probe(whole.build());
+  const auto b = as_probe(even.build());
+  EXPECT_EQ(a, b);
 }
 
 }  // namespace
