@@ -107,10 +107,13 @@ class BenchRecorder {
     stage_done(stage, wall_s, runs, rss_before);
   }
 
+  /// `extra` appends bench-specific numeric fields to the stage's JSON
+  /// object (e.g. latency percentiles), next to the standard ones.
   void stage_done(const std::string& stage, double wall_s, std::size_t runs,
-                  double rss_before_mb) {
-    stages_.push_back(
-        {stage, wall_s, runs, peak_rss_mb(), peak_rss_mb() - rss_before_mb});
+                  double rss_before_mb,
+                  std::vector<std::pair<std::string, double>> extra = {}) {
+    stages_.push_back({stage, wall_s, runs, peak_rss_mb(),
+                       peak_rss_mb() - rss_before_mb, std::move(extra)});
   }
 
   [[nodiscard]] double total_wall_s() const {
@@ -135,7 +138,11 @@ class BenchRecorder {
           << "\", \"wall_s\": " << s.wall_s << ", \"runs\": " << s.runs
           << ", \"runs_per_s\": " << rps
           << ", \"peak_rss_mb\": " << s.peak_rss_mb
-          << ", \"delta_rss_mb\": " << s.delta_rss_mb << "}";
+          << ", \"delta_rss_mb\": " << s.delta_rss_mb;
+      for (const auto& [key, value] : s.extra) {
+        out << ", \"" << key << "\": " << value;
+      }
+      out << "}";
     }
     out << "]}\n";
     std::printf("\n[bench] wrote BENCH_%s.json (total %.2fs, peak RSS %.1f MB)\n",
@@ -149,6 +156,7 @@ class BenchRecorder {
     std::size_t runs = 0;
     double peak_rss_mb = 0.0;
     double delta_rss_mb = 0.0;
+    std::vector<std::pair<std::string, double>> extra;
   };
 
   std::string name_;

@@ -1,22 +1,29 @@
-// Serving-path throughput: monitor cycles/sec through MonitorEngine as the
-// concurrent session count scales 1 -> 10,000, per monitor type. Every
+// Serving-path throughput A/B: monitor cycles/sec through MonitorEngine,
+// per monitor kind, on the sharded SoA backend (one batched model call per
+// shard per tick) versus the retained per-session scalar backend. Every
 // monitor is built from a bundle that was saved to disk and loaded back —
-// the serving deployment path, no retraining.
+// the serving deployment path, no retraining. Per-tick latency percentiles
+// (p50/p95/p99) come from the engine's own instrumentation; everything is
+// recorded into BENCH_serve_throughput.json (stage per
+// monitor/backend/session-count cell), which the CI smoke step parses to
+// fail on a sharded-vs-scalar throughput regression.
 //
 // Flags:
-//   --sessions-max=<n>   largest session count (default 10000)
-//   --budget-ms=<ms>     measurement window per configuration (default 400)
+//   --sessions-max=<n>   largest session count (default 8192)
+//   --budget-ms=<ms>     measurement window per cell (default 300)
 //   --threads=<n>        engine worker threads (default: hardware)
-//   --ml                 also bench DT/MLP/LSTM monitors (tiny synthetic
-//                        models; rule-based monitors are the default)
+//   --ml                 bench DT/MLP/LSTM monitors too (default ON; tiny
+//                        synthetic models) — --ml=0 for rule-based only
 //   --dir=<path>         where the bundle file is written (default /tmp)
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
+#include <map>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/cli.h"
 #include "common/rng.h"
 #include "common/table.h"
@@ -111,54 +118,56 @@ core::ArtifactBundle build_bundle(bool with_ml) {
   return bundle;
 }
 
-struct Measurement {
-  std::uint64_t cycles = 0;
-  double seconds = 0.0;
-  [[nodiscard]] double cycles_per_sec() const {
-    return seconds > 0.0 ? static_cast<double>(cycles) / seconds : 0.0;
-  }
-};
-
-Measurement measure(serve::MonitorEngine& engine,
-                    std::vector<serve::SessionInput>& batch,
-                    const std::vector<monitor::Observation>& variants,
-                    double budget_ms) {
+/// One measured cell: warm up (fills LSTM windows, pages weights in), then
+/// feed rotating whole-population batches until the budget elapses; the
+/// engine's own per-tick instrumentation yields cycles/s and percentiles.
+serve::LatencySummary measure(serve::MonitorEngine& engine,
+                              std::vector<serve::SessionInput>& batch,
+                              const std::vector<monitor::Observation>& variants,
+                              double budget_ms) {
   using clock = std::chrono::steady_clock;
-  // Warm-up pass (first LSTM windows, page-in).
-  (void)engine.feed(batch);
-
-  Measurement m;
+  for (std::size_t warm = 0; warm < monitor::kLstmWindow; ++warm) {
+    (void)engine.feed(batch);
+  }
+  engine.reset_latency();
   std::size_t variant = 0;
   const auto start = clock::now();
   for (;;) {
-    // Rotate the observation so the monitors see a changing stream.
     const auto& obs = variants[variant];
     variant = (variant + 1) % variants.size();
     for (auto& input : batch) input.obs = obs;
     (void)engine.feed(batch);
-    m.cycles += batch.size();
-    m.seconds = std::chrono::duration<double>(clock::now() - start).count();
-    if (m.seconds * 1000.0 >= budget_ms) break;
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start)
+            .count();
+    if (elapsed_ms >= budget_ms) break;
   }
-  return m;
+  return engine.latency();
+}
+
+const char* backend_name(serve::ServeBackend backend) {
+  return backend == serve::ServeBackend::kSharded ? "sharded" : "scalar";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) try {
   CliFlags flags(argc, argv);
-  const int sessions_max = flags.get_int("sessions-max", 10000);
-  const double budget_ms = flags.get_double("budget-ms", 400.0);
+  const int sessions_max = flags.get_int("sessions-max", 8192);
+  const double budget_ms = flags.get_double("budget-ms", 300.0);
   const auto threads =
       static_cast<std::size_t>(flags.get_int("threads", 0));
-  const bool with_ml = flags.get_bool("ml", false);
+  const bool with_ml = flags.get_bool("ml", true);
   const std::string dir = flags.get_string(
       "dir", (std::filesystem::temp_directory_path() / "aps_serve_bench")
                  .string());
 
+  bench::BenchRecorder recorder("serve_throughput");
   std::filesystem::create_directories(dir);
   const std::string bundle_path = dir + "/bundle.aps";
-  io::save_bundle(build_bundle(with_ml), bundle_path);
+  recorder.time_stage("build+save+load bundle", 0, [&] {
+    io::save_bundle(build_bundle(with_ml), bundle_path);
+  });
   const core::ArtifactBundle bundle = io::load_bundle(bundle_path);
   const int cohort = static_cast<int>(bundle.artifacts.profiles.size());
 
@@ -170,15 +179,16 @@ int main(int argc, char** argv) try {
               cohort, with_ml ? "rule+ML" : "rule-based");
 
   std::vector<std::string> monitors = {"cawt", "cawot", "guideline"};
+  std::vector<std::string> ml_monitors;
   if (with_ml) {
-    monitors.emplace_back("dt");
-    monitors.emplace_back("mlp");
-    monitors.emplace_back("lstm");
+    ml_monitors = {"dt", "mlp", "lstm"};
+    monitors.insert(monitors.end(), ml_monitors.begin(), ml_monitors.end());
   }
   std::vector<int> session_counts;
-  for (const int n : {1, 10, 100, 1000, 10000}) {
+  for (const int n : {1, 64, 1024, 8192}) {
     if (n <= sessions_max) session_counts.push_back(n);
   }
+  const int top_sessions = session_counts.back();
 
   // A handful of observation variants covering quiet and alarming contexts.
   std::vector<monitor::Observation> variants;
@@ -198,39 +208,83 @@ int main(int argc, char** argv) try {
     variants.push_back(obs);
   }
 
-  TextTable table({"monitor", "sessions", "cycles", "secs", "cycles/sec"});
-  double rule_based_at_max = 0.0;
-  int max_sessions_run = 0;
+  TextTable table({"monitor", "backend", "sessions", "cycles", "cycles/sec",
+                   "p50us", "p95us", "p99us"});
+  // cycles/s per (monitor, backend, sessions) for the A/B verdict and the
+  // CI regression smoke.
+  std::map<std::string, std::map<std::string, std::map<int, double>>> rate;
 
   for (const auto& name : monitors) {
-    for (const int n : session_counts) {
-      serve::MonitorEngine engine({.threads = threads});
-      engine.register_bundle(bundle);
-      std::vector<serve::SessionInput> batch;
-      batch.reserve(static_cast<std::size_t>(n));
-      for (int s = 0; s < n; ++s) {
-        const auto id = engine.open_session(
-            name + "/patient-" + std::to_string(s), name, s % cohort);
-        batch.push_back({id, variants[0]});
-      }
-      const Measurement m = measure(engine, batch, variants, budget_ms);
-      table.add_row({name, std::to_string(n), std::to_string(m.cycles),
-                     TextTable::num(m.seconds, 3),
-                     TextTable::num(m.cycles_per_sec(), 0)});
-      if (name == "cawt" && n >= max_sessions_run) {
-        max_sessions_run = n;
-        rule_based_at_max = m.cycles_per_sec();
+    for (const serve::ServeBackend backend :
+         {serve::ServeBackend::kScalar, serve::ServeBackend::kSharded}) {
+      for (const int n : session_counts) {
+        const double rss_before_mb = bench::peak_rss_mb();
+        serve::MonitorEngine engine(
+            {.threads = threads, .backend = backend});
+        engine.register_bundle(bundle);
+        std::vector<serve::SessionInput> batch;
+        batch.reserve(static_cast<std::size_t>(n));
+        for (int s = 0; s < n; ++s) {
+          const auto id = engine.open_session(
+              name + "/patient-" + std::to_string(s), name, s % cohort);
+          batch.push_back({id, variants[0]});
+        }
+        const serve::LatencySummary m =
+            measure(engine, batch, variants, budget_ms);
+        table.add_row({name, backend_name(backend), std::to_string(n),
+                       std::to_string(m.cycles),
+                       TextTable::num(m.cycles_per_sec(), 0),
+                       TextTable::num(m.p50_us, 1),
+                       TextTable::num(m.p95_us, 1),
+                       TextTable::num(m.p99_us, 1)});
+        recorder.stage_done(
+            name + "/" + backend_name(backend) + "/" + std::to_string(n),
+            m.seconds, m.cycles, rss_before_mb,
+            {{"sessions", static_cast<double>(n)},
+             {"p50_us", m.p50_us},
+             {"p95_us", m.p95_us},
+             {"p99_us", m.p99_us}});
+        rate[name][backend_name(backend)][n] = m.cycles_per_sec();
       }
     }
   }
-
   table.print(std::cout);
-  std::printf(
-      "\nrule-based (cawt) aggregate at %d concurrent sessions: %.0f "
-      "cycles/sec (target >= 100000): %s\n",
-      max_sessions_run, rule_based_at_max,
-      rule_based_at_max >= 100000.0 ? "PASS" : "FAIL");
-  return rule_based_at_max >= 100000.0 ? 0 : 1;
+
+  // A/B verdict. Per monitor kind: the sharded/scalar cycles/s ratio at
+  // every session count; a kind's headline speedup is its best ratio (the
+  // batching win peaks where model-call overhead dominates the tick). The
+  // sharded path must not regress below the scalar path on any ML monitor
+  // at the top session count, and at least one ML monitor must show the
+  // >= 2x batching win the refactor exists for.
+  std::printf("\nsharded vs scalar cycles/s ratio per session count:\n");
+  bool ok = true;
+  double best_ml_ratio = 0.0;
+  for (const auto& name : monitors) {
+    const bool is_ml = std::find(ml_monitors.begin(), ml_monitors.end(),
+                                 name) != ml_monitors.end();
+    std::printf("  %-10s", name.c_str());
+    double best = 0.0;
+    for (const int n : session_counts) {
+      const double scalar = rate[name]["scalar"][n];
+      const double sharded = rate[name]["sharded"][n];
+      const double ratio = scalar > 0.0 ? sharded / scalar : 0.0;
+      best = std::max(best, ratio);
+      std::printf("  %5d: %.2fx", n, ratio);
+      if (is_ml && n == top_sessions && ratio < 0.9) {
+        ok = false;  // regression guard (10% jitter allowance)
+      }
+    }
+    std::printf("  best %.2fx%s\n", best, is_ml ? "" : "  [rule-based]");
+    if (is_ml) best_ml_ratio = std::max(best_ml_ratio, best);
+  }
+  if (with_ml && best_ml_ratio < 2.0) ok = false;
+  if (with_ml) {
+    std::printf(
+        "best ML speedup: %.2fx (need >= 2x, no ML kind < 0.9x at %d "
+        "sessions): %s\n",
+        best_ml_ratio, top_sessions, ok ? "PASS" : "FAIL");
+  }
+  return ok ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());
   return 1;

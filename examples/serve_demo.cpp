@@ -3,11 +3,17 @@
 // MonitorEngine (as a deployed server would — no retraining), and stream
 // the recorded cohort traces through concurrent per-patient sessions.
 //
+// The engine serves on the sharded SoA backend: sessions of one monitor
+// land in contiguous lanes behind one batched model call per tick, and a
+// hot bundle reload (step 5) bumps the model generation under live
+// sessions without perturbing them.
+//
 // Flags:
 //   --dir=<path>        artifact output directory (default serve_artifacts)
 //   --ml                also train + serve the tiny DT/MLP/LSTM baselines
 //   --scenarios=<n>     scenarios replayed per patient (default 6)
 //   --threads=<n>       engine worker threads (default: hardware)
+//   --backend=<name>    "sharded" (default) or "scalar" reference path
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -92,9 +98,13 @@ int main(int argc, char** argv) try {
   const bool with_ml = flags.get_bool("ml", false);
   const int scenarios = flags.get_int("scenarios", 6);
   const auto threads = static_cast<std::size_t>(flags.get_int("threads", 0));
+  const serve::ServeBackend backend =
+      flags.get_string("backend", "sharded") == "scalar"
+          ? serve::ServeBackend::kScalar
+          : serve::ServeBackend::kSharded;
 
   // 1. Train: quick campaign + threshold learning (+ tiny ML if asked).
-  std::printf("[1/4] running quick training campaign...\n");
+  std::printf("[1/5] running quick training campaign...\n");
   ThreadPool pool;
   core::ExperimentConfig config;
   config.train_ml = with_ml;
@@ -117,16 +127,18 @@ int main(int argc, char** argv) try {
   std::filesystem::create_directories(dir);
   const std::string bundle_path = dir + "/bundle.aps";
   io::save_bundle(core::bundle_from_context(context), bundle_path);
-  std::printf("[2/4] saved artifact bundle: %s (%ju bytes)\n",
+  std::printf("[2/5] saved artifact bundle: %s (%ju bytes)\n",
               bundle_path.c_str(),
               static_cast<std::uintmax_t>(
                   std::filesystem::file_size(bundle_path)));
 
   // 3. Fresh engine, loaded (not retrained) artifacts.
   const core::ArtifactBundle bundle = io::load_bundle(bundle_path);
-  serve::MonitorEngine engine({.threads = threads});
+  serve::MonitorEngine engine({.threads = threads, .backend = backend});
   engine.register_bundle(bundle);
-  std::printf("[3/4] fresh engine loaded monitors:");
+  std::printf("[3/5] fresh %s engine (generation %ju) loaded monitors:",
+              backend == serve::ServeBackend::kSharded ? "sharded" : "scalar",
+              static_cast<std::uintmax_t>(engine.generation()));
   for (const auto& name : engine.registered_monitors()) {
     std::printf(" %s", name.c_str());
   }
@@ -155,7 +167,7 @@ int main(int argc, char** argv) try {
   }
 
   // 4. Stream the recorded cohort through concurrent sessions.
-  std::printf("[4/4] streaming cohort traces (%d scenarios/patient)...\n\n",
+  std::printf("[4/5] streaming cohort traces (%d scenarios/patient)...\n\n",
               scenarios);
   std::vector<std::string> monitors = {"guideline", "cawot", "cawt"};
   if (bundle.dt != nullptr) monitors.emplace_back("dt");
@@ -175,10 +187,27 @@ int main(int argc, char** argv) try {
                                         static_cast<double>(stats.cycles))});
   }
   table.print(std::cout);
-  std::printf("\n%zu sessions total, %ju cycles served, %zu threads\n",
-              engine.session_count(),
-              static_cast<std::uintmax_t>(engine.total_cycles()),
-              engine.thread_count());
+  const serve::LatencySummary latency = engine.latency();
+  std::printf(
+      "\n%zu sessions total, %ju cycles served, %zu threads\n"
+      "per-tick latency p50/p95/p99: %.1f / %.1f / %.1f us  "
+      "(%.0f cycles/s aggregate)\n",
+      engine.session_count(),
+      static_cast<std::uintmax_t>(engine.total_cycles()),
+      engine.thread_count(), latency.p50_us, latency.p95_us, latency.p99_us,
+      latency.cycles_per_sec());
+
+  // 5. Hot reload: re-register the bundle file under the live sessions.
+  // In-flight sessions keep their generation; new sessions pick up the
+  // fresh one — and a corrupt file would throw IoError touching nothing.
+  const auto before = engine.generation();
+  engine.register_bundle_file(bundle_path);
+  std::printf(
+      "[5/5] hot-reloaded %s: generation %ju -> %ju, %zu live sessions "
+      "untouched\n",
+      bundle_path.c_str(), static_cast<std::uintmax_t>(before),
+      static_cast<std::uintmax_t>(engine.generation()),
+      engine.session_count());
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

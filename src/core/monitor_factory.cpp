@@ -299,6 +299,10 @@ std::vector<std::string> bundle_monitor_names(const ArtifactBundle& bundle) {
   return names;
 }
 
+int bundle_cohort_size(const ArtifactBundle& bundle) {
+  return static_cast<int>(bundle.artifacts.profiles.size());
+}
+
 aps::sim::MonitorFactory factory_from_bundle(const ArtifactBundle& bundle,
                                              const std::string& name) {
   if (name == "none") return aps::sim::null_monitor_factory();

@@ -175,6 +175,12 @@ struct ArtifactBundle {
 [[nodiscard]] std::vector<std::string> bundle_monitor_names(
     const ArtifactBundle& bundle);
 
+/// Number of per-patient artifact rows the bundle's factories accept:
+/// patient_index must lie in [0, bundle_cohort_size()). The serving engine
+/// validates session opens and snapshot restores against it up front
+/// instead of relying on each factory's out-of-range throw.
+[[nodiscard]] int bundle_cohort_size(const ArtifactBundle& bundle);
+
 /// Construct any named monitor ("none", "guideline", "mpc", "cawot",
 /// "cawt", "cawt-population", "dt", "mlp", "lstm") from the bundle.
 /// Throws std::invalid_argument for unknown names and std::runtime_error

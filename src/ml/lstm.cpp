@@ -513,9 +513,17 @@ void Lstm::standardize_row(std::span<double> row) const {
 std::vector<int> Lstm::predict_batch_standardized(std::span<const double> x,
                                                   std::size_t n,
                                                   std::size_t steps) const {
+  std::vector<int> out;
+  predict_batch_standardized(x, n, steps, out);
+  return out;
+}
+
+void Lstm::predict_batch_standardized(std::span<const double> x,
+                                      std::size_t n, std::size_t steps,
+                                      std::vector<int>& out) const {
   assert(trained());
-  std::vector<int> out(n);
-  if (n == 0) return out;
+  out.assign(n, 0);
+  if (n == 0) return;
 
   // Hidden/cell state for every lane advances together in SoA buffers;
   // per-lane gate arithmetic mirrors forward() exactly (same
@@ -572,7 +580,6 @@ std::vector<int> Lstm::predict_batch_standardized(std::span<const double> x,
     out[i] = static_cast<int>(
         std::max_element(probs.begin(), probs.end()) - probs.begin());
   }
-  return out;
 }
 
 std::vector<int> Lstm::predict_batch(std::span<const Matrix> windows) const {

@@ -60,6 +60,11 @@ class Lstm {
   /// instead of re-standardizing whole windows every cycle).
   [[nodiscard]] std::vector<int> predict_batch_standardized(
       std::span<const double> x, std::size_t n, std::size_t steps) const;
+  /// Allocation-reusing variant for per-tick callers (the serving shards):
+  /// `out` is resized to n and overwritten.
+  void predict_batch_standardized(std::span<const double> x, std::size_t n,
+                                  std::size_t steps,
+                                  std::vector<int>& out) const;
   /// Apply the fitted feature standardizer to one raw feature row.
   void standardize_row(std::span<double> row) const;
 

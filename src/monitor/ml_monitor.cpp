@@ -163,9 +163,28 @@ bool DtMonitorBatch::add_lane(const Monitor& prototype) {
   return true;
 }
 
+void DtMonitorBatch::remove_lane(std::size_t lane) {
+  (void)lane;  // lanes are stateless and interchangeable
+  --lanes_;
+}
+
+std::unique_ptr<Monitor> DtMonitorBatch::extract_lane(std::size_t) const {
+  return std::make_unique<DtMonitor>(model_, classes_);
+}
+
 void DtMonitorBatch::observe_step(std::span<const Observation> obs,
                                   std::span<Decision> out) {
   predict_step(*model_, classes_, scratch_, obs, out);
+}
+
+void DtMonitorBatch::observe_lanes(std::span<const std::size_t>,
+                                   std::span<const Observation> obs,
+                                   std::span<Decision> out) {
+  // Lanes carry no state, so the subset step is just a prediction over the
+  // given rows; thread-local scratch keeps concurrent disjoint-subset
+  // calls safe without reallocating on every serving tick.
+  thread_local aps::ml::Matrix scratch;
+  predict_step(*model_, classes_, scratch, obs, out);
 }
 
 bool MlpMonitorBatch::add_lane(const Monitor& prototype) {
@@ -176,9 +195,25 @@ bool MlpMonitorBatch::add_lane(const Monitor& prototype) {
   return true;
 }
 
+void MlpMonitorBatch::remove_lane(std::size_t lane) {
+  (void)lane;  // lanes are stateless and interchangeable
+  --lanes_;
+}
+
+std::unique_ptr<Monitor> MlpMonitorBatch::extract_lane(std::size_t) const {
+  return std::make_unique<MlpMonitor>(model_, classes_);
+}
+
 void MlpMonitorBatch::observe_step(std::span<const Observation> obs,
                                    std::span<Decision> out) {
   predict_step(*model_, classes_, scratch_, obs, out);
+}
+
+void MlpMonitorBatch::observe_lanes(std::span<const std::size_t>,
+                                    std::span<const Observation> obs,
+                                    std::span<Decision> out) {
+  thread_local aps::ml::Matrix scratch;
+  predict_step(*model_, classes_, scratch, obs, out);
 }
 
 bool LstmMonitorBatch::add_lane(const Monitor& prototype) {
@@ -186,54 +221,102 @@ bool LstmMonitorBatch::add_lane(const Monitor& prototype) {
                                    windows_.size())) {
     return false;
   }
+  // Adopt the prototype's streaming state: raw rows verbatim, standardized
+  // copies for the inference buffer (the same per-row transform the scalar
+  // monitor applies at predict time, so decisions stay bit-identical).
+  const auto& proto = static_cast<const LstmMonitor&>(prototype);
   windows_.emplace_back(kLstmWindow);
+  raw_windows_.emplace_back(kLstmWindow);
+  for (std::size_t t = 0; t < proto.window().size(); ++t) {
+    std::vector<double> row = proto.window()[t];
+    raw_windows_.back().push(row);
+    model_->standardize_row(row);
+    windows_.back().push(std::move(row));
+  }
   return true;
 }
 
 void LstmMonitorBatch::reset_lane(std::size_t lane) {
   windows_[lane].clear();
+  raw_windows_[lane].clear();
+}
+
+void LstmMonitorBatch::remove_lane(std::size_t lane) {
+  windows_[lane] = std::move(windows_.back());
+  windows_.pop_back();
+  raw_windows_[lane] = std::move(raw_windows_.back());
+  raw_windows_.pop_back();
+}
+
+std::unique_ptr<Monitor> LstmMonitorBatch::extract_lane(
+    std::size_t lane) const {
+  auto monitor = std::make_unique<LstmMonitor>(model_, classes_);
+  monitor->set_window(raw_windows_[lane]);
+  return monitor;
 }
 
 void LstmMonitorBatch::observe_step(std::span<const Observation> obs,
                                     std::span<Decision> out) {
+  if (identity_.size() != windows_.size()) {
+    identity_.resize(windows_.size());
+    for (std::size_t l = 0; l < identity_.size(); ++l) identity_[l] = l;
+  }
+  observe_subset(identity_, obs, out, step_scratch_);
+}
+
+void LstmMonitorBatch::observe_lanes(std::span<const std::size_t> lanes,
+                                     std::span<const Observation> obs,
+                                     std::span<Decision> out) {
+  // Per-thread scratch: concurrent disjoint-lane calls never share it,
+  // and per-tick callers (the serving shards) reuse its buffers instead
+  // of reallocating the flat window batch every cycle.
+  thread_local Scratch scratch;
+  observe_subset(lanes, obs, out, scratch);
+}
+
+void LstmMonitorBatch::observe_subset(std::span<const std::size_t> lanes,
+                                      std::span<const Observation> obs,
+                                      std::span<Decision> out,
+                                      Scratch& scratch) {
   // Push this cycle's features (standardized once, on entry — the scalar
   // monitor re-standardizes the whole window every cycle, which is the
   // same per-row transform applied later), then run every full window
   // through one SoA forward pass; lanes still filling their window stay
   // silent.
-  std::vector<std::size_t> ready_lanes;
-  ready_lanes.reserve(windows_.size());
-  for (std::size_t lane = 0; lane < windows_.size(); ++lane) {
-    auto& window = windows_[lane];
-    auto features = ml_features(obs[lane]);
+  scratch.ready.clear();
+  scratch.ready.reserve(lanes.size());
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const std::size_t lane = lanes[i];
+    auto features = ml_features(obs[i]);
+    raw_windows_[lane].push(features);
     model_->standardize_row(features);
-    window.push(std::move(features));
-    if (window.full()) {
-      ready_lanes.push_back(lane);
+    windows_[lane].push(std::move(features));
+    if (windows_[lane].full()) {
+      scratch.ready.push_back(i);
     } else {
-      out[lane] = {};
+      out[i] = {};
     }
   }
-  if (ready_lanes.empty()) return;
+  if (scratch.ready.empty()) return;
 
   // Lane-major flat batch: flat[(t * n + i) * features + j].
-  const std::size_t n = ready_lanes.size();
+  const std::size_t n = scratch.ready.size();
   const std::size_t steps = kLstmWindow;
-  std::vector<double> flat(steps * n * kMlFeatureCount);
+  scratch.flat.resize(steps * n * kMlFeatureCount);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto& window = windows_[ready_lanes[i]];
+    const auto& window = windows_[lanes[scratch.ready[i]]];
     for (std::size_t t = 0; t < steps; ++t) {
       const auto& row = window[t];
       std::copy(row.begin(), row.end(),
-                flat.begin() +
+                scratch.flat.begin() +
                     static_cast<long>((t * n + i) * kMlFeatureCount));
     }
   }
-  const std::vector<int> classes =
-      model_->predict_batch_standardized(flat, n, steps);
+  model_->predict_batch_standardized(scratch.flat, n, steps,
+                                     scratch.classes);
   for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t lane = ready_lanes[i];
-    out[lane] = decision_from_class(classes[i], classes_, obs[lane]);
+    const std::size_t pos = scratch.ready[i];
+    out[pos] = decision_from_class(scratch.classes[i], classes_, obs[pos]);
   }
 }
 

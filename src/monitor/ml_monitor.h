@@ -96,6 +96,17 @@ class LstmMonitor final : public Monitor {
   }
   [[nodiscard]] int classes() const { return classes_; }
 
+  /// Raw (unstandardized) sliding window, oldest row first. Exposed so the
+  /// lockstep batch can adopt a lane's streaming state (snapshot restore)
+  /// and hand it back (snapshot extract).
+  [[nodiscard]] const aps::RingBuffer<std::vector<double>>& window() const {
+    return window_;
+  }
+  /// Replace the sliding window contents (lane extract / snapshot restore).
+  void set_window(aps::RingBuffer<std::vector<double>> window) {
+    window_ = std::move(window);
+  }
+
  private:
   std::shared_ptr<const aps::ml::Lstm> model_;
   int classes_;
@@ -116,8 +127,14 @@ class DtMonitorBatch final : public MonitorBatch {
   [[nodiscard]] bool add_lane(const Monitor& prototype) override;
   [[nodiscard]] std::size_t lanes() const override { return lanes_; }
   void reset_lane(std::size_t) override {}
+  void remove_lane(std::size_t lane) override;
+  [[nodiscard]] std::unique_ptr<Monitor> extract_lane(
+      std::size_t lane) const override;
   void observe_step(std::span<const Observation> obs,
                     std::span<Decision> out) override;
+  void observe_lanes(std::span<const std::size_t> lanes,
+                     std::span<const Observation> obs,
+                     std::span<Decision> out) override;
 
  private:
   std::shared_ptr<const aps::ml::DecisionTree> model_;
@@ -132,8 +149,14 @@ class MlpMonitorBatch final : public MonitorBatch {
   [[nodiscard]] bool add_lane(const Monitor& prototype) override;
   [[nodiscard]] std::size_t lanes() const override { return lanes_; }
   void reset_lane(std::size_t) override {}
+  void remove_lane(std::size_t lane) override;
+  [[nodiscard]] std::unique_ptr<Monitor> extract_lane(
+      std::size_t lane) const override;
   void observe_step(std::span<const Observation> obs,
                     std::span<Decision> out) override;
+  void observe_lanes(std::span<const std::size_t> lanes,
+                     std::span<const Observation> obs,
+                     std::span<Decision> out) override;
 
  private:
   std::shared_ptr<const aps::ml::Mlp> model_;
@@ -144,19 +167,43 @@ class MlpMonitorBatch final : public MonitorBatch {
 
 /// One Lstm::predict_batch pass per cycle: every ready lane's hidden/cell
 /// state advances together in SoA buffers; lanes still filling their input
-/// window stay silent, exactly like the scalar monitor.
+/// window stay silent, exactly like the scalar monitor. Each lane keeps
+/// its window twice: standardized rows feed the flat SoA inference buffer
+/// (each row standardized once, on entry), raw rows support lane
+/// extraction and state adoption (add_lane from a mid-stream snapshot).
 class LstmMonitorBatch final : public MonitorBatch {
  public:
   [[nodiscard]] bool add_lane(const Monitor& prototype) override;
   [[nodiscard]] std::size_t lanes() const override { return windows_.size(); }
   void reset_lane(std::size_t lane) override;
+  void remove_lane(std::size_t lane) override;
+  [[nodiscard]] std::unique_ptr<Monitor> extract_lane(
+      std::size_t lane) const override;
   void observe_step(std::span<const Observation> obs,
                     std::span<Decision> out) override;
+  void observe_lanes(std::span<const std::size_t> lanes,
+                     std::span<const Observation> obs,
+                     std::span<Decision> out) override;
 
  private:
+  /// Core of observe_step/observe_lanes over an explicit lane set, with
+  /// caller-owned scratch so subset calls stay safe for concurrent
+  /// disjoint-lane use while the full-step sim path reuses member scratch.
+  struct Scratch {
+    std::vector<std::size_t> ready;  ///< positions into the lane subset
+    std::vector<double> flat;        ///< lane-major standardized windows
+    std::vector<int> classes;        ///< predicted class per ready lane
+  };
+  void observe_subset(std::span<const std::size_t> lanes,
+                      std::span<const Observation> obs,
+                      std::span<Decision> out, Scratch& scratch);
+
   std::shared_ptr<const aps::ml::Lstm> model_;
   int classes_ = 0;
-  std::vector<aps::RingBuffer<std::vector<double>>> windows_;
+  std::vector<aps::RingBuffer<std::vector<double>>> windows_;  ///< standardized
+  std::vector<aps::RingBuffer<std::vector<double>>> raw_windows_;
+  std::vector<std::size_t> identity_;  ///< 0..lanes-1, for observe_step
+  Scratch step_scratch_;               ///< reused by the lockstep sim path
 };
 
 }  // namespace aps::monitor

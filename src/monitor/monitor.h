@@ -10,6 +10,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "common/units.h"
 
@@ -52,10 +53,13 @@ class MonitorBatch {
  public:
   virtual ~MonitorBatch() = default;
 
-  /// Append a lane configured like `prototype`; returns false when the
-  /// prototype is not this batch's monitor kind (or is backed by a
+  /// Append a lane configured like `prototype`, ADOPTING the prototype's
+  /// streaming state (e.g. a partially filled LSTM input window), so a lane
+  /// restored from a snapshot continues its stream exactly. Returns false
+  /// when the prototype is not this batch's monitor kind (or is backed by a
   /// different model), in which case the caller places the lane in another
-  /// batch.
+  /// batch. Freshly constructed monitors have empty streaming state, so
+  /// the simulator's use (new lanes from factories) is unchanged.
   [[nodiscard]] virtual bool add_lane(const Monitor& prototype) = 0;
 
   [[nodiscard]] virtual std::size_t lanes() const = 0;
@@ -63,11 +67,33 @@ class MonitorBatch {
   /// Monitor::reset for one lane.
   virtual void reset_lane(std::size_t lane) = 0;
 
+  /// Remove one lane in O(1) by moving the LAST lane into `lane`'s slot
+  /// and shrinking by one (swap-with-last compaction). The caller owns any
+  /// lane-index bookkeeping and must remap the moved lane accordingly.
+  virtual void remove_lane(std::size_t lane) = 0;
+
+  /// A scalar Monitor equal to the lane's current state (streaming window,
+  /// recovery counters, ...): feeding the extracted monitor continues the
+  /// lane's decision stream bit-identically. Used for session snapshots.
+  [[nodiscard]] virtual std::unique_ptr<Monitor> extract_lane(
+      std::size_t lane) const = 0;
+
   /// One lockstep control cycle: out[l] = decision of lane l's monitor for
   /// obs[l], with per-lane state advanced exactly as Monitor::observe
   /// would.
   virtual void observe_step(std::span<const Observation> obs,
                             std::span<Decision> out) = 0;
+
+  /// One control cycle for a SUBSET of lanes: out[i] = decision of lane
+  /// lanes[i] for obs[i]; unlisted lanes are untouched (their state does
+  /// not advance). Lane results must not depend on how the caller
+  /// partitions the subset, and implementations must keep all mutable
+  /// per-call scratch local or thread-local so concurrent calls over
+  /// DISJOINT lane sets are safe — the serving engine splits large ticks
+  /// into chunks that run on different threads against the same batch.
+  virtual void observe_lanes(std::span<const std::size_t> lanes,
+                             std::span<const Observation> obs,
+                             std::span<Decision> out) = 0;
 };
 
 class Monitor {
@@ -98,6 +124,44 @@ class Monitor {
   [[nodiscard]] virtual std::unique_ptr<MonitorBatch> make_batch() const {
     return nullptr;
   }
+};
+
+/// Fallback batch backend: per-lane clones stepped through the virtual
+/// scalar interface. Accepts every monitor kind (guideline, MPC, CAW, ...);
+/// both the simulator and the serving engine use it for monitors without a
+/// specialized SoA implementation. Cloning adopts the prototype's state.
+class PerLaneMonitorBatch final : public MonitorBatch {
+ public:
+  [[nodiscard]] bool add_lane(const Monitor& prototype) override {
+    lanes_.push_back(prototype.clone());
+    return true;
+  }
+  [[nodiscard]] std::size_t lanes() const override { return lanes_.size(); }
+  void reset_lane(std::size_t lane) override { lanes_[lane]->reset(); }
+  void remove_lane(std::size_t lane) override {
+    lanes_[lane] = std::move(lanes_.back());
+    lanes_.pop_back();
+  }
+  [[nodiscard]] std::unique_ptr<Monitor> extract_lane(
+      std::size_t lane) const override {
+    return lanes_[lane]->clone();
+  }
+  void observe_step(std::span<const Observation> obs,
+                    std::span<Decision> out) override {
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      out[l] = lanes_[l]->observe(obs[l]);
+    }
+  }
+  void observe_lanes(std::span<const std::size_t> lanes,
+                     std::span<const Observation> obs,
+                     std::span<Decision> out) override {
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      out[i] = lanes_[lanes[i]]->observe(obs[i]);
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<Monitor>> lanes_;
 };
 
 /// The no-op monitor (baseline APS without safety monitoring).

@@ -1,44 +1,135 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "common/stats.h"
+#include "io/artifact_io.h"
+
 namespace aps::serve {
+
+namespace {
+
+/// Smallest lane chunk worth dispatching to a worker: below this the
+/// gather/scatter overhead beats the parallelism.
+constexpr std::size_t kMinChunkLanes = 64;
+
+}  // namespace
 
 MonitorEngine::MonitorEngine(EngineConfig config)
     : config_(config), pool_(config.threads) {}
 
 void MonitorEngine::register_monitor(const std::string& name,
-                                     aps::sim::MonitorFactory factory) {
+                                     aps::sim::MonitorFactory factory,
+                                     int cohort) {
   if (factory == nullptr) {
     throw std::invalid_argument("null factory for monitor '" + name + "'");
   }
-  monitors_[name] = std::move(factory);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  monitors_[name] = {std::move(factory), generation_, cohort};
 }
 
 void MonitorEngine::register_bundle(const aps::core::ArtifactBundle& bundle) {
+  // Build every factory before touching the registry so a throwing
+  // construction leaves the current generation fully intact.
+  std::vector<std::pair<std::string, aps::sim::MonitorFactory>> factories;
   for (const auto& name : aps::core::bundle_monitor_names(bundle)) {
-    register_monitor(name, aps::core::factory_from_bundle(bundle, name));
+    factories.emplace_back(name, aps::core::factory_from_bundle(bundle, name));
+  }
+  const int cohort = aps::core::bundle_cohort_size(bundle);
+  const std::lock_guard<std::mutex> lock(mu_);
+  ++generation_;
+  for (auto& [name, factory] : factories) {
+    monitors_[name] = {std::move(factory), generation_, cohort};
   }
 }
 
+void MonitorEngine::register_bundle_file(const std::string& path) {
+  // load_bundle throws io::IoError on corruption/truncation — before any
+  // registry mutation, so live sessions keep serving their generation.
+  register_bundle(aps::io::load_bundle(path));
+}
+
 std::vector<std::string> MonitorEngine::registered_monitors() const {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> names;
   names.reserve(monitors_.size());
-  for (const auto& [name, factory] : monitors_) names.push_back(name);
+  for (const auto& [name, entry] : monitors_) names.push_back(name);
   std::sort(names.begin(), names.end());
   return names;
 }
 
-SessionId MonitorEngine::place_session(Session session) {
-  SessionId id = 0;
+std::uint64_t MonitorEngine::generation() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
+}
+
+const MonitorEngine::RegisteredMonitor& MonitorEngine::checked_monitor(
+    const std::string& monitor_name, int patient_index) const {
+  const auto it = monitors_.find(monitor_name);
+  if (it == monitors_.end()) {
+    throw std::invalid_argument("unknown monitor '" + monitor_name +
+                                "' (register it first)");
+  }
+  const RegisteredMonitor& entry = it->second;
+  if (patient_index < 0 ||
+      (entry.cohort >= 0 && patient_index >= entry.cohort)) {
+    throw std::out_of_range(
+        "patient_index " + std::to_string(patient_index) +
+        " outside the registered cohort of monitor '" + monitor_name + "'");
+  }
+  return entry;
+}
+
+SessionId MonitorEngine::place_session(Session session,
+                                       const aps::monitor::Monitor* prototype,
+                                       std::uint64_t version) {
+  // The lane is placed before the session record is committed, so a
+  // failure here leaves the registry and session table untouched.
+  const SessionId id = free_ids_.empty()
+                           ? static_cast<SessionId>(sessions_.size())
+                           : free_ids_.back();
+  if (config_.backend == ServeBackend::kSharded) {
+    // First shard of this (name, generation) whose batch accepts the
+    // prototype; a rejected prototype (same name, different model
+    // instance — e.g. a snapshot restored across a reload) gets a sibling
+    // shard so it still batches with its own kind.
+    for (const auto& shard : shards_) {
+      if (shard->monitor_name() != session.monitor_name ||
+          shard->version() != version) {
+        continue;
+      }
+      if (const auto added = shard->try_add_lane(*prototype, id)) {
+        session.shard = shard.get();
+        session.lane = *added;
+        break;
+      }
+    }
+    if (session.shard == nullptr) {
+      auto fresh = std::make_unique<ServeShard>(session.monitor_name,
+                                                version, next_shard_ordinal_);
+      const auto added = fresh->try_add_lane(*prototype, id);
+      if (!added) {
+        // A batch must accept its own prototype (shard.h invariant); a
+        // Monitor whose make_batch() violates it is a programming error —
+        // fail loudly instead of dereferencing an empty optional.
+        throw std::logic_error("monitor '" + session.monitor_name +
+                               "' produced a batch that rejects its own "
+                               "prototype");
+      }
+      ++next_shard_ordinal_;
+      session.shard = fresh.get();
+      session.lane = *added;
+      shards_.push_back(std::move(fresh));
+    }
+  }
   if (!free_ids_.empty()) {
-    id = free_ids_.back();
     free_ids_.pop_back();
     sessions_[id] = std::move(session);
   } else {
-    id = static_cast<SessionId>(sessions_.size());
     sessions_.push_back(std::move(session));
   }
   by_patient_.emplace(sessions_[id].patient_id, id);
@@ -49,22 +140,28 @@ SessionId MonitorEngine::place_session(Session session) {
 SessionId MonitorEngine::open_session(const std::string& patient_id,
                                       const std::string& monitor_name,
                                       int patient_index) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (by_patient_.count(patient_id) != 0) {
     throw std::invalid_argument("patient '" + patient_id +
                                 "' already has an open session");
   }
-  const auto it = monitors_.find(monitor_name);
-  if (it == monitors_.end()) {
-    throw std::invalid_argument("unknown monitor '" + monitor_name +
-                                "' (register it first)");
-  }
+  const RegisteredMonitor& entry =
+      checked_monitor(monitor_name, patient_index);
+  // Build the monitor before any mutation: an unknown-cohort factory may
+  // still reject the patient_index here.
+  std::unique_ptr<aps::monitor::Monitor> monitor =
+      entry.factory(patient_index);
   Session session;
   session.patient_id = patient_id;
   session.monitor_name = monitor_name;
   session.patient_index = patient_index;
-  session.monitor = it->second(patient_index);
   session.open = true;
-  return place_session(std::move(session));
+  const aps::monitor::Monitor* prototype = monitor.get();
+  if (config_.backend == ServeBackend::kScalar) {
+    session.monitor = std::move(monitor);
+    prototype = session.monitor.get();
+  }
+  return place_session(std::move(session), prototype, entry.version);
 }
 
 MonitorEngine::Session& MonitorEngine::checked_session(SessionId id) {
@@ -83,28 +180,103 @@ const MonitorEngine::Session& MonitorEngine::checked_session(
 }
 
 void MonitorEngine::close_session(SessionId id) {
+  const std::lock_guard<std::mutex> lock(mu_);
   Session& session = checked_session(id);
   by_patient_.erase(session.patient_id);
-  session = Session{};  // releases the monitor
+  if (session.shard != nullptr) {
+    ServeShard* shard = session.shard;
+    // Swap-with-last lane compaction: the shard tells us which session
+    // moved into the vacated lane so its index stays correct.
+    if (const auto moved = shard->remove_lane(session.lane)) {
+      sessions_[*moved].lane = session.lane;
+    }
+    if (shard->lanes() == 0) {
+      std::erase_if(shards_, [shard](const std::unique_ptr<ServeShard>& s) {
+        return s.get() == shard;
+      });
+    }
+  }
+  session = Session{};  // releases the monitor / lane bookkeeping
   free_ids_.push_back(id);
   --open_count_;
 }
 
 std::optional<SessionId> MonitorEngine::find_session(
     const std::string& patient_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const auto it = by_patient_.find(patient_id);
   if (it == by_patient_.end()) return std::nullopt;
   return it->second;
 }
 
+std::size_t MonitorEngine::session_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return open_count_;
+}
+
+void MonitorEngine::record_latency(double seconds, std::size_t cycles) {
+  ++latency_ticks_;
+  latency_cycles_ += cycles;
+  latency_seconds_ += seconds;
+  const double us = seconds * 1e6;
+  if (latency_us_.size() < config_.latency_capacity) {
+    latency_us_.push_back(us);
+  } else if (!latency_us_.empty()) {
+    latency_us_[latency_next_] = us;
+    latency_next_ = (latency_next_ + 1) % latency_us_.size();
+  }
+}
+
+LatencySummary MonitorEngine::latency() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  LatencySummary summary;
+  summary.ticks = latency_ticks_;
+  summary.cycles = latency_cycles_;
+  summary.seconds = latency_seconds_;
+  if (!latency_us_.empty()) {
+    std::vector<double> sorted = latency_us_;
+    std::sort(sorted.begin(), sorted.end());
+    summary.p50_us = aps::percentile(sorted, 50.0);
+    summary.p95_us = aps::percentile(sorted, 95.0);
+    summary.p99_us = aps::percentile(sorted, 99.0);
+  }
+  return summary;
+}
+
+void MonitorEngine::reset_latency() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  latency_us_.clear();
+  latency_next_ = 0;
+  latency_ticks_ = 0;
+  latency_cycles_ = 0;
+  latency_seconds_ = 0.0;
+}
+
 std::vector<aps::monitor::Decision> MonitorEngine::feed(
     std::span<const SessionInput> inputs) {
+  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<aps::monitor::Decision> decisions(inputs.size());
   if (inputs.empty()) return decisions;
 
   // Validate up front so the parallel section cannot throw.
   for (const auto& input : inputs) (void)checked_session(input.session);
 
+  const auto t0 = std::chrono::steady_clock::now();
+  if (config_.backend == ServeBackend::kScalar) {
+    feed_scalar(inputs, decisions);
+  } else {
+    feed_sharded(inputs, decisions);
+  }
+  total_cycles_ += inputs.size();
+  record_latency(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count(),
+      inputs.size());
+  return decisions;
+}
+
+void MonitorEngine::feed_scalar(std::span<const SessionInput> inputs,
+                                std::span<aps::monitor::Decision> decisions) {
   // Partition the batch into per-session groups, preserving batch order
   // within each session. A session appears in exactly one group, so each
   // group is an independent serial unit of work.
@@ -148,36 +320,177 @@ std::vector<aps::monitor::Decision> MonitorEngine::feed(
   for (std::uint32_t k = 0; k < order_.size(); ++k) {
     decisions[order_[k]] = sorted_decisions_[k];
   }
-  total_cycles_ += inputs.size();
-  return decisions;
+}
+
+void MonitorEngine::feed_sharded(std::span<const SessionInput> inputs,
+                                 std::span<aps::monitor::Decision> decisions) {
+  const std::size_t n = inputs.size();
+
+  // Round r of a session = its r-th input in this batch; rounds execute as
+  // sequential lockstep ticks so multiple inputs for one session apply in
+  // batch order, exactly like the scalar path. The per-session occurrence
+  // counters reset lazily via the feed epoch.
+  ++feed_epoch_;
+  if (feed_epoch_ == 0) {  // epoch wrapped: hard-reset the lazy counters
+    std::fill(occ_epoch_.begin(), occ_epoch_.end(), 0);
+    feed_epoch_ = 1;
+  }
+  occ_.resize(sessions_.size(), 0);
+  occ_epoch_.resize(sessions_.size(), 0);
+  round_of_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const SessionId sid = inputs[i].session;
+    if (occ_epoch_[sid] != feed_epoch_) {
+      occ_epoch_[sid] = feed_epoch_;
+      occ_[sid] = 0;
+    }
+    round_of_[i] = occ_[sid]++;
+  }
+
+  // Sort input indices by (round, shard): each round's inputs land in
+  // contiguous per-shard stretches that gather into one batched model call
+  // (split into chunks across the pool for large shards). Output is
+  // scattered back by input index, so it is independent of ordering,
+  // chunking, and thread scheduling. The steady-state tick — one input per
+  // session, all in one shard or already grouped — is detected and skips
+  // the sort entirely.
+  order_.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
+  bool already_grouped = true;
+  for (std::size_t i = 1; i < n && already_grouped; ++i) {
+    const std::uint32_t ra = round_of_[i - 1];
+    const std::uint32_t rb = round_of_[i];
+    if (ra != rb) {
+      already_grouped = ra < rb;
+      continue;
+    }
+    already_grouped = sessions_[inputs[i - 1].session].shard->ordinal() <=
+                      sessions_[inputs[i].session].shard->ordinal();
+  }
+  if (!already_grouped) {
+    std::stable_sort(
+        order_.begin(), order_.end(), [this, inputs](std::uint32_t a,
+                                                     std::uint32_t b) {
+          if (round_of_[a] != round_of_[b]) {
+            return round_of_[a] < round_of_[b];
+          }
+          return sessions_[inputs[a].session].shard->ordinal() <
+                 sessions_[inputs[b].session].shard->ordinal();
+        });
+  }
+
+  sorted_obs_.resize(n);
+  sorted_decisions_.resize(n);
+  lanes_flat_.resize(n);
+  src_flat_.resize(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::uint32_t i = order_[k];
+    sorted_obs_[k] = inputs[i].obs;
+    lanes_flat_[k] = sessions_[inputs[i].session].lane;
+    src_flat_[k] = i;
+  }
+
+  // Chunking only pays when workers can actually overlap; a single-worker
+  // pool serves each shard stretch as one whole batched call.
+  const std::size_t target_chunks =
+      pool_.thread_count() > 1 ? pool_.thread_count() * 2 : 1;
+  std::size_t k = 0;
+  while (k < n) {
+    const std::uint32_t round = round_of_[order_[k]];
+    // Collect this round's shard stretches, subdividing large ones into
+    // chunks; all chunks of one round touch disjoint lanes, so they run
+    // concurrently against their shards.
+    groups_.clear();
+    chunk_shards_.clear();
+    std::size_t lo = k;
+    while (lo < n && round_of_[order_[lo]] == round) {
+      ServeShard* shard = sessions_[inputs[order_[lo]].session].shard;
+      std::size_t hi = lo + 1;
+      while (hi < n && round_of_[order_[hi]] == round &&
+             sessions_[inputs[order_[hi]].session].shard == shard) {
+        ++hi;
+      }
+      const std::size_t chunk = std::max(
+          kMinChunkLanes, (hi - lo + target_chunks - 1) / target_chunks);
+      for (std::size_t b = lo; b < hi; b += chunk) {
+        groups_.emplace_back(static_cast<std::uint32_t>(b),
+                             static_cast<std::uint32_t>(std::min(b + chunk,
+                                                                 hi)));
+        chunk_shards_.push_back(shard);
+      }
+      lo = hi;
+    }
+    pool_.parallel_for(groups_.size(), [this, inputs,
+                                        decisions](std::size_t g) {
+      const auto [b, e] = groups_[g];
+      const std::size_t count = e - b;
+      chunk_shards_[g]->observe_lanes(
+          std::span<const std::size_t>(&lanes_flat_[b], count),
+          std::span<const aps::monitor::Observation>(&sorted_obs_[b], count),
+          std::span<aps::monitor::Decision>(&sorted_decisions_[b], count));
+      for (std::uint32_t kk = b; kk < e; ++kk) {
+        const std::uint32_t i = src_flat_[kk];
+        Session& session = sessions_[inputs[i].session];
+        ++session.stats.cycles;
+        if (sorted_decisions_[kk].alarm) ++session.stats.alarms;
+        decisions[i] = sorted_decisions_[kk];
+      }
+    });
+    k = lo;
+  }
 }
 
 aps::monitor::Decision MonitorEngine::feed_one(
     SessionId id, const aps::monitor::Observation& obs) {
+  const std::lock_guard<std::mutex> lock(mu_);
   Session& session = checked_session(id);
-  const aps::monitor::Decision decision = session.monitor->observe(obs);
+  const auto t0 = std::chrono::steady_clock::now();
+  aps::monitor::Decision decision;
+  if (session.shard != nullptr) {
+    const std::size_t lane = session.lane;
+    session.shard->observe_lanes(
+        std::span<const std::size_t>(&lane, 1),
+        std::span<const aps::monitor::Observation>(&obs, 1),
+        std::span<aps::monitor::Decision>(&decision, 1));
+  } else {
+    decision = session.monitor->observe(obs);
+  }
   ++session.stats.cycles;
   if (decision.alarm) ++session.stats.alarms;
   ++total_cycles_;
+  record_latency(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count(),
+      1);
   return decision;
 }
 
 void MonitorEngine::reset_session(SessionId id) {
-  checked_session(id).monitor->reset();
+  const std::lock_guard<std::mutex> lock(mu_);
+  Session& session = checked_session(id);
+  if (session.shard != nullptr) {
+    session.shard->reset_lane(session.lane);
+  } else {
+    session.monitor->reset();
+  }
 }
 
 SessionSnapshot MonitorEngine::snapshot(SessionId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   const Session& session = checked_session(id);
   SessionSnapshot snap;
   snap.patient_id = session.patient_id;
   snap.monitor_name = session.monitor_name;
   snap.patient_index = session.patient_index;
   snap.stats = session.stats;
-  snap.monitor = session.monitor->clone();
+  snap.monitor = session.shard != nullptr
+                     ? session.shard->extract_lane(session.lane)
+                     : session.monitor->clone();
   return snap;
 }
 
 SessionId MonitorEngine::restore(const SessionSnapshot& snap) {
+  const std::lock_guard<std::mutex> lock(mu_);
   if (snap.monitor == nullptr) {
     throw std::invalid_argument("cannot restore an empty snapshot");
   }
@@ -185,18 +498,33 @@ SessionId MonitorEngine::restore(const SessionSnapshot& snap) {
     throw std::invalid_argument("patient '" + snap.patient_id +
                                 "' already has an open session");
   }
+  // The registry may have changed shape since the snapshot was taken
+  // (different bundle, smaller cohort): fail loudly instead of serving a
+  // session whose per-patient artifacts no longer exist.
+  const RegisteredMonitor& entry =
+      checked_monitor(snap.monitor_name, snap.patient_index);
   Session session;
   session.patient_id = snap.patient_id;
   session.monitor_name = snap.monitor_name;
   session.patient_index = snap.patient_index;
   session.stats = snap.stats;
-  session.monitor = snap.monitor->clone();
   session.open = true;
-  return place_session(std::move(session));
+  const aps::monitor::Monitor* prototype = snap.monitor.get();
+  if (config_.backend == ServeBackend::kScalar) {
+    session.monitor = snap.monitor->clone();
+    prototype = session.monitor.get();
+  }
+  return place_session(std::move(session), prototype, entry.version);
 }
 
 SessionStats MonitorEngine::stats(SessionId id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
   return checked_session(id).stats;
+}
+
+std::uint64_t MonitorEngine::total_cycles() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return total_cycles_;
 }
 
 }  // namespace aps::serve

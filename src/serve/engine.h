@@ -1,23 +1,35 @@
 // Monitor serving engine: multiplexes thousands of independent per-patient
-// streaming sessions across the shared ThreadPool.
+// streaming sessions over the batched SoA monitor backend.
 //
-// Each session owns one Monitor instance (cloned from a registered
-// factory) plus its observation-window state; the trained models behind
-// the ML monitors are shared immutable storage (shared_ptr<const ...>), so
-// ten thousand sessions cost one copy of the weights. A batched feed()
-// partitions the inputs by session, hands each session its inputs as one
-// contiguous Monitor::observe_batch call (ML monitors amortize inference
-// across the group, e.g. one MLP forward pass), and writes decisions back
-// by input index — output is therefore deterministic and identical to
-// running every session sequentially, regardless of thread scheduling.
+// Sessions are sharded by (monitor name, model generation): every session
+// of a shard is one contiguous lane behind a single monitor::MonitorBatch,
+// so a control tick costs one DecisionTree/Mlp/Lstm::predict_batch call
+// per shard instead of one model call per session (ServeBackend::kSharded,
+// the default). The pre-shard per-session path is retained as
+// ServeBackend::kScalar — the conformance suite pins the sharded path
+// bit-identical to it. Large ticks additionally split each shard's lanes
+// into chunks that run across the worker pool; every batch implementation
+// is lane-independent, so output never depends on chunking or threads.
 //
-// Thread model: feed() parallelizes internally; the engine's public API
-// itself is externally synchronized (one driver thread opens/closes
-// sessions and submits batches, as a network frontend's event loop would).
+// Model generations: register_bundle / register_monitor atomically bump a
+// generation counter. Sessions pin the factories (and the shared immutable
+// models behind them) that were current when they opened — a hot reload
+// never perturbs live sessions; new sessions pick up the new generation
+// and land in fresh shards. register_bundle_file loads a bundle from disk
+// first, so a corrupt file surfaces as io::IoError with the registry (and
+// every live session) untouched.
+//
+// Thread model: the public API is internally synchronized — any number of
+// frontend threads may open/close/feed/reload concurrently. A feed tick
+// holds the engine lock (concurrent feeds serialize, each parallelizing
+// internally over the pool), which also gives reloads tick-boundary
+// semantics: in-flight ticks finish on the old generation, later ticks see
+// the new one.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -27,11 +39,10 @@
 #include "common/thread_pool.h"
 #include "core/monitor_factory.h"
 #include "monitor/monitor.h"
+#include "serve/shard.h"
 #include "sim/runner.h"
 
 namespace aps::serve {
-
-using SessionId = std::uint32_t;
 
 /// One streaming step for one session.
 struct SessionInput {
@@ -56,9 +67,31 @@ struct SessionSnapshot {
   std::unique_ptr<aps::monitor::Monitor> monitor;
 };
 
+enum class ServeBackend {
+  kSharded,  ///< SoA lanes, one batched model call per shard per tick
+  kScalar,   ///< one Monitor instance per session (pre-shard reference path)
+};
+
 struct EngineConfig {
   /// Worker threads for batched feeds; 0 = hardware concurrency.
   std::size_t threads = 0;
+  ServeBackend backend = ServeBackend::kSharded;
+  /// Per-tick latency samples retained for the percentile summary (ring of
+  /// the most recent feed() calls).
+  std::size_t latency_capacity = 1 << 15;
+};
+
+/// Per-tick feed() latency distribution plus aggregate throughput.
+struct LatencySummary {
+  std::uint64_t ticks = 0;    ///< feed() calls measured
+  std::uint64_t cycles = 0;   ///< session-cycles served by those calls
+  double seconds = 0.0;       ///< total wall time inside feed()
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  [[nodiscard]] double cycles_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(cycles) / seconds : 0.0;
+  }
 };
 
 class MonitorEngine {
@@ -67,29 +100,37 @@ class MonitorEngine {
 
   // -- Monitor registry --
 
-  /// Register a named monitor prototype. Replaces an existing name.
+  /// Register a named monitor prototype (bumping the model generation).
+  /// Replaces an existing name; live sessions keep the factory they were
+  /// opened with. `cohort` bounds patient_index when >= 0 (-1 = unknown,
+  /// range errors then surface from the factory itself).
   void register_monitor(const std::string& name,
-                        aps::sim::MonitorFactory factory);
+                        aps::sim::MonitorFactory factory, int cohort = -1);
   /// Register every monitor constructible from the bundle under its
-  /// standard name ("guideline", "cawt", "dt", ...).
+  /// standard name ("guideline", "cawt", "dt", ...) as ONE new generation.
   void register_bundle(const aps::core::ArtifactBundle& bundle);
+  /// Load a bundle file and register it. A corrupt/truncated file throws
+  /// io::IoError before any registry mutation: existing sessions and the
+  /// current generation are untouched.
+  void register_bundle_file(const std::string& path);
   [[nodiscard]] std::vector<std::string> registered_monitors() const;
+  /// Monotonic model generation; bumped by every register_* call.
+  [[nodiscard]] std::uint64_t generation() const;
 
   // -- Session registry (keyed by patient id) --
 
   /// Open a streaming session for `patient_id` running `monitor_name`.
   /// `patient_index` selects the per-patient artifact row (thresholds,
   /// percentiles) inside the monitor factory. Throws std::invalid_argument
-  /// for duplicate patient ids or unknown monitor names; a patient_index
-  /// outside the factory's cohort propagates the factory's
-  /// std::out_of_range.
+  /// for duplicate patient ids or unknown monitor names, and
+  /// std::out_of_range for a patient_index outside the registered cohort.
   SessionId open_session(const std::string& patient_id,
                          const std::string& monitor_name,
                          int patient_index = 0);
   void close_session(SessionId id);
   [[nodiscard]] std::optional<SessionId> find_session(
       const std::string& patient_id) const;
-  [[nodiscard]] std::size_t session_count() const { return open_count_; }
+  [[nodiscard]] std::size_t session_count() const;
 
   // -- Streaming --
 
@@ -108,44 +149,91 @@ class MonitorEngine {
 
   [[nodiscard]] SessionSnapshot snapshot(SessionId id) const;
   /// Re-create a session from a snapshot (the patient id must be free).
+  /// The snapshot's monitor name must exist in THIS engine's registry and
+  /// its patient_index must lie inside the registered cohort — a snapshot
+  /// taken against a registry that has since changed shape yields a clear
+  /// std::invalid_argument / std::out_of_range instead of serving with
+  /// dangling per-patient state.
   SessionId restore(const SessionSnapshot& snap);
 
   // -- Introspection --
 
   [[nodiscard]] SessionStats stats(SessionId id) const;
-  [[nodiscard]] std::uint64_t total_cycles() const { return total_cycles_; }
+  [[nodiscard]] std::uint64_t total_cycles() const;
   [[nodiscard]] std::size_t thread_count() const {
     return pool_.thread_count();
   }
+  [[nodiscard]] ServeBackend backend() const { return config_.backend; }
+  /// Latency distribution over the retained window of feed() ticks.
+  [[nodiscard]] LatencySummary latency() const;
+  void reset_latency();
 
  private:
   struct Session {
     std::string patient_id;
     std::string monitor_name;
     int patient_index = 0;
-    std::unique_ptr<aps::monitor::Monitor> monitor;
     SessionStats stats;
     bool open = false;
+    // Sharded backend: the shard lane this session occupies.
+    ServeShard* shard = nullptr;
+    std::size_t lane = 0;
+    // Scalar backend: the session's own monitor instance.
+    std::unique_ptr<aps::monitor::Monitor> monitor;
+  };
+
+  struct RegisteredMonitor {
+    aps::sim::MonitorFactory factory;
+    std::uint64_t version = 0;  ///< generation at registration
+    int cohort = -1;            ///< patient_index bound; -1 = unknown
   };
 
   [[nodiscard]] Session& checked_session(SessionId id);
   [[nodiscard]] const Session& checked_session(SessionId id) const;
-  SessionId place_session(Session session);
+  [[nodiscard]] const RegisteredMonitor& checked_monitor(
+      const std::string& monitor_name, int patient_index) const;
+  SessionId place_session(Session session,
+                          const aps::monitor::Monitor* prototype,
+                          std::uint64_t version);
+  void record_latency(double seconds, std::size_t cycles);
+  void feed_scalar(std::span<const SessionInput> inputs,
+                   std::span<aps::monitor::Decision> decisions);
+  void feed_sharded(std::span<const SessionInput> inputs,
+                    std::span<aps::monitor::Decision> decisions);
 
   EngineConfig config_;
   aps::ThreadPool pool_;
-  std::unordered_map<std::string, aps::sim::MonitorFactory> monitors_;
+
+  mutable std::mutex mu_;  ///< guards everything below
+  std::unordered_map<std::string, RegisteredMonitor> monitors_;
+  std::uint64_t generation_ = 0;
+  std::vector<std::unique_ptr<ServeShard>> shards_;
+  std::uint32_t next_shard_ordinal_ = 0;
   std::vector<Session> sessions_;
   std::vector<SessionId> free_ids_;
   std::unordered_map<std::string, SessionId> by_patient_;
   std::size_t open_count_ = 0;
   std::uint64_t total_cycles_ = 0;
 
+  // Latency ring (most recent config_.latency_capacity ticks) + totals.
+  std::vector<double> latency_us_;
+  std::size_t latency_next_ = 0;
+  std::uint64_t latency_ticks_ = 0;
+  std::uint64_t latency_cycles_ = 0;
+  double latency_seconds_ = 0.0;
+
   // Scratch reused across feed() calls to avoid per-batch allocation churn.
   std::vector<std::uint32_t> order_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> groups_;
   std::vector<aps::monitor::Observation> sorted_obs_;
   std::vector<aps::monitor::Decision> sorted_decisions_;
+  std::vector<std::uint32_t> round_of_;
+  std::vector<std::uint32_t> occ_;        ///< per-session occurrence count
+  std::vector<std::uint32_t> occ_epoch_;  ///< lazy-reset epoch per session
+  std::uint32_t feed_epoch_ = 0;
+  std::vector<std::size_t> lanes_flat_;
+  std::vector<std::uint32_t> src_flat_;
+  std::vector<ServeShard*> chunk_shards_;  ///< shard behind each chunk
 };
 
 }  // namespace aps::serve

@@ -1,0 +1,101 @@
+// One serving shard: all sessions of one (monitor name, model generation)
+// pair, stored as contiguous SoA lanes behind a single MonitorBatch. A
+// control tick routes every session of the shard through ONE batched model
+// call (DecisionTree/Mlp/Lstm::predict_batch) instead of N scalar calls;
+// monitors without a specialized batch fall back to per-lane clones
+// (monitor::PerLaneMonitorBatch), which keeps the shard semantics uniform.
+//
+// Lane lifecycle: open_session appends a lane; close_session removes it
+// with swap-with-last compaction (the shard reports which session moved so
+// the engine can fix its lane index); snapshot extracts a lane's state as
+// a scalar Monitor, and restore re-adopts that state into a fresh lane.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.h"
+
+namespace aps::serve {
+
+using SessionId = std::uint32_t;
+
+class ServeShard {
+ public:
+  ServeShard(std::string monitor_name, std::uint64_t version,
+             std::uint32_t ordinal)
+      : monitor_name_(std::move(monitor_name)),
+        version_(version),
+        ordinal_(ordinal) {}
+
+  [[nodiscard]] const std::string& monitor_name() const {
+    return monitor_name_;
+  }
+  /// Registry version (model generation) the shard's lanes were built from.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  /// Engine-unique creation index; used only as a deterministic sort key.
+  [[nodiscard]] std::uint32_t ordinal() const { return ordinal_; }
+  [[nodiscard]] std::size_t lanes() const { return lane_sessions_.size(); }
+  [[nodiscard]] SessionId session_at(std::size_t lane) const {
+    return lane_sessions_[lane];
+  }
+
+  /// Append a lane adopting `prototype`'s state; returns the lane index,
+  /// or nullopt when the shard's batch rejects the prototype (a different
+  /// model instance behind the same monitor name — the engine then places
+  /// the session in a sibling shard). The first lane always succeeds: it
+  /// creates the batch from the prototype's own make_batch() (per-lane
+  /// fallback when the monitor has no specialized implementation).
+  [[nodiscard]] std::optional<std::size_t> try_add_lane(
+      const aps::monitor::Monitor& prototype, SessionId session) {
+    if (batch_ == nullptr) {
+      batch_ = prototype.make_batch();
+      if (batch_ == nullptr) {
+        batch_ = std::make_unique<aps::monitor::PerLaneMonitorBatch>();
+      }
+    }
+    if (!batch_->add_lane(prototype)) return std::nullopt;
+    lane_sessions_.push_back(session);
+    return lane_sessions_.size() - 1;
+  }
+
+  /// Remove `lane` (swap-with-last compaction). Returns the session that
+  /// moved into `lane`'s slot, or nullopt when the removed lane was last.
+  std::optional<SessionId> remove_lane(std::size_t lane) {
+    batch_->remove_lane(lane);
+    const bool was_last = lane + 1 == lane_sessions_.size();
+    lane_sessions_[lane] = lane_sessions_.back();
+    lane_sessions_.pop_back();
+    if (was_last) return std::nullopt;
+    return lane_sessions_[lane];
+  }
+
+  void reset_lane(std::size_t lane) { batch_->reset_lane(lane); }
+
+  [[nodiscard]] std::unique_ptr<aps::monitor::Monitor> extract_lane(
+      std::size_t lane) const {
+    return batch_->extract_lane(lane);
+  }
+
+  /// One control cycle for a subset of lanes (out[i] answers obs[i] for
+  /// lane lanes[i]). Safe to call concurrently for disjoint lane sets —
+  /// the engine chunks large ticks across its pool.
+  void observe_lanes(std::span<const std::size_t> lanes,
+                     std::span<const aps::monitor::Observation> obs,
+                     std::span<aps::monitor::Decision> out) {
+    batch_->observe_lanes(lanes, obs, out);
+  }
+
+ private:
+  std::string monitor_name_;
+  std::uint64_t version_ = 0;
+  std::uint32_t ordinal_ = 0;
+  std::unique_ptr<aps::monitor::MonitorBatch> batch_;  ///< created on first lane
+  std::vector<SessionId> lane_sessions_;  ///< session occupying each lane
+};
+
+}  // namespace aps::serve

@@ -61,26 +61,8 @@ class GenericControllerBatch final : public aps::controller::ControllerBatch {
   std::vector<std::unique_ptr<aps::controller::Controller>> lanes_;
 };
 
-/// Fallback monitor backend: per-lane clones observed through the virtual
-/// scalar interface. Accepts every monitor kind (guideline, MPC, CAW, ...).
-class GenericMonitorBatch final : public aps::monitor::MonitorBatch {
- public:
-  bool add_lane(const aps::monitor::Monitor& prototype) override {
-    lanes_.push_back(prototype.clone());
-    return true;
-  }
-  [[nodiscard]] std::size_t lanes() const override { return lanes_.size(); }
-  void reset_lane(std::size_t lane) override { lanes_[lane]->reset(); }
-  void observe_step(std::span<const aps::monitor::Observation> obs,
-                    std::span<aps::monitor::Decision> out) override {
-    for (std::size_t l = 0; l < lanes_.size(); ++l) {
-      out[l] = lanes_[l]->observe(obs[l]);
-    }
-  }
-
- private:
-  std::vector<std::unique_ptr<aps::monitor::Monitor>> lanes_;
-};
+// The monitor fallback (per-lane clones) moved to
+// monitor::PerLaneMonitorBatch so the serving engine shares it.
 
 /// One batch backend plus the global lanes it owns, in add order.
 template <typename Batch>
@@ -131,8 +113,9 @@ struct MonitorBank {
   std::vector<aps::monitor::Decision> group_out;
 
   void add_lane(const aps::monitor::Monitor& prototype, std::size_t lane) {
-    place_lane<GenericMonitorBatch>(groups, generic_index, prototype, lane,
-                                    [&] { return prototype.make_batch(); });
+    place_lane<aps::monitor::PerLaneMonitorBatch>(
+        groups, generic_index, prototype, lane,
+        [&] { return prototype.make_batch(); });
   }
 
   void reset_all() {

@@ -14,6 +14,7 @@
 
 #include "common/rng.h"
 #include "io/artifact_io.h"
+#include "serve/engine.h"
 #include "synthetic_util.h"
 
 namespace {
@@ -140,6 +141,83 @@ TEST_F(IoCorruptionTest, HostileLengthFieldsAreRejectedBeforeAllocating) {
   const std::string file = path("hostile.aps");
   write_bytes(file, corrupted);
   EXPECT_THROW((void)io::load_bundle(file), io::IoError);
+}
+
+TEST_F(IoCorruptionTest, HotReloadOfCorruptBundleLeavesLiveEngineUntouched) {
+  // A truncated or byte-flipped bundle handed to a LIVE serving engine via
+  // register_bundle_file must surface as IoError with the registry —
+  // generation, monitor list — and every open session untouched: the
+  // sessions keep serving the previous model generation bit-identically.
+  const std::vector<char> bytes = bundle_bytes();
+  const std::string good = path("live.aps");
+  write_bytes(good, bytes);
+
+  serve::MonitorEngine engine({.threads = 2});
+  engine.register_bundle_file(good);
+  const auto generation = engine.generation();
+  const auto monitors = engine.registered_monitors();
+
+  // A mixed live population, including the stateful LSTM, fed mid-stream.
+  const std::vector<std::string> kinds = {"cawt", "guideline", "dt", "mlp",
+                                          "lstm"};
+  const auto stream = testutil::synth_stream(60, 31);
+  std::vector<serve::SessionId> ids;
+  std::vector<std::unique_ptr<monitor::Monitor>> references;
+  const core::ArtifactBundle loaded = io::load_bundle(good);
+  for (std::size_t s = 0; s < kinds.size(); ++s) {
+    ids.push_back(engine.open_session("p" + std::to_string(s), kinds[s],
+                                      static_cast<int>(s) % 2));
+    references.push_back(
+        core::factory_from_bundle(loaded, kinds[s])(static_cast<int>(s) % 2));
+  }
+  const auto feed_and_check = [&](std::size_t k) {
+    for (std::size_t s = 0; s < kinds.size(); ++s) {
+      const auto got = engine.feed_one(ids[s], stream[k]);
+      const auto want = references[s]->observe(stream[k]);
+      ASSERT_TRUE(testutil::decisions_equal(want, got))
+          << kinds[s] << " cycle " << k;
+    }
+  };
+  for (std::size_t k = 0; k < 20; ++k) feed_and_check(k);
+
+  const std::string corrupt = path("corrupt.aps");
+  // Truncations at several structural depths always reject...
+  for (const std::size_t len :
+       {std::size_t{0}, std::size_t{5}, std::size_t{25}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    write_bytes(corrupt, {bytes.begin(), bytes.begin() + len});
+    EXPECT_THROW(engine.register_bundle_file(corrupt), io::IoError)
+        << "truncation at " << len;
+    EXPECT_EQ(engine.generation(), generation);
+    EXPECT_EQ(engine.registered_monitors(), monitors);
+  }
+  // ...and random byte flips either reject (IoError, registry untouched)
+  // or load cleanly (a don't-care byte: the registry advances) — never
+  // crash, and live sessions keep their generation either way.
+  Rng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<char> flipped = bytes;
+    const auto pos = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<int>(flipped.size()) - 1));
+    flipped[pos] ^= static_cast<char>(rng.uniform_int(1, 255));
+    write_bytes(corrupt, flipped);
+    try {
+      engine.register_bundle_file(corrupt);
+    } catch (const io::IoError&) {
+      // rejected: the engine must still be on some fully valid generation
+    }
+  }
+
+  // The live sessions never noticed any of it.
+  for (std::size_t k = 20; k < stream.size(); ++k) feed_and_check(k);
+
+  // And a valid reload still works afterwards.
+  engine.register_bundle_file(good);
+  EXPECT_GT(engine.generation(), generation);
+  for (const auto& kind : kinds) {
+    EXPECT_NO_THROW(
+        (void)engine.open_session("fresh-" + kind, kind, 0));
+  }
 }
 
 TEST_F(IoCorruptionTest, GarbageAndEmptyFilesThrowIoError) {

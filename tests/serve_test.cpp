@@ -213,7 +213,10 @@ TEST(ServeEngine, SnapshotRestoreContinuesTheStream) {
     original_tail.push_back(engine.feed_one(id, stream[k]));
   }
 
+  // The restoring engine must know the monitor (restore validates the name
+  // and patient_index against its registry before recreating the session).
   serve::MonitorEngine fresh({.threads = 1});
+  fresh.register_bundle(bundle);
   const auto restored = fresh.restore(snap);
   EXPECT_EQ(fresh.find_session("snap"), restored);
   EXPECT_EQ(fresh.stats(restored).cycles, 60u);
@@ -223,6 +226,110 @@ TEST(ServeEngine, SnapshotRestoreContinuesTheStream) {
                                           original_tail[k - 60]))
         << "cycle " << k;
   }
+}
+
+TEST(ServeEngine, RestoreRejectsStaleRegistry) {
+  // A snapshot taken against one registry shape must not crash an engine
+  // whose registry has since changed: unknown monitor names and
+  // out-of-cohort patient indices surface as clear errors.
+  serve::MonitorEngine engine({.threads = 1});
+  engine.register_bundle(rule_bundle(4));
+  const auto id = engine.open_session("pat", "cawt", 3);
+  for (const auto& obs : testutil::synth_stream(20, 5)) {
+    (void)engine.feed_one(id, obs);
+  }
+  const serve::SessionSnapshot snap = engine.snapshot(id);
+
+  // Empty registry: the monitor name no longer exists.
+  serve::MonitorEngine empty({.threads = 1});
+  EXPECT_THROW((void)empty.restore(snap), std::invalid_argument);
+
+  // Registered, but the cohort shrank below the snapshot's patient_index.
+  serve::MonitorEngine small({.threads = 1});
+  small.register_bundle(rule_bundle(2));
+  EXPECT_THROW((void)small.restore(snap), std::out_of_range);
+
+  // A matching registry restores fine (and the original keeps serving).
+  serve::MonitorEngine fresh({.threads = 1});
+  fresh.register_bundle(rule_bundle(4));
+  EXPECT_NO_THROW((void)fresh.restore(snap));
+  EXPECT_EQ(engine.stats(id).cycles, 20u);
+}
+
+namespace {
+
+/// Fixed-decision monitor for generation tests: old and new registrations
+/// are distinguishable by whether they alarm.
+class FixedMonitor final : public monitor::Monitor {
+ public:
+  explicit FixedMonitor(bool alarm) : alarm_(alarm) {}
+  void reset() override {}
+  [[nodiscard]] monitor::Decision observe(
+      const monitor::Observation&) override {
+    monitor::Decision d;
+    d.alarm = alarm_;
+    if (alarm_) d.predicted = HazardType::kH1TooMuchInsulin;
+    return d;
+  }
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] std::unique_ptr<monitor::Monitor> clone() const override {
+    return std::make_unique<FixedMonitor>(alarm_);
+  }
+
+ private:
+  bool alarm_;
+  std::string name_ = "fixed";
+};
+
+}  // namespace
+
+TEST(ServeEngine, HotReloadKeepsLiveSessionsOnTheirGeneration) {
+  serve::MonitorEngine engine({.threads = 2});
+  engine.register_monitor("m", [](int) {
+    return std::make_unique<FixedMonitor>(false);
+  });
+  const auto gen1 = engine.generation();
+  const auto old_session = engine.open_session("old", "m", 0);
+
+  // Re-register "m" with a distinguishable new generation.
+  engine.register_monitor("m", [](int) {
+    return std::make_unique<FixedMonitor>(true);
+  });
+  EXPECT_GT(engine.generation(), gen1);
+  const auto new_session = engine.open_session("new", "m", 0);
+
+  // Live sessions keep the generation they opened with; new sessions pick
+  // up the reloaded model — in one mixed feed batch.
+  const std::vector<serve::SessionInput> batch = {{old_session, {}},
+                                                  {new_session, {}}};
+  const auto decisions = engine.feed(batch);
+  EXPECT_FALSE(decisions[0].alarm) << "old session jumped generations";
+  EXPECT_TRUE(decisions[1].alarm) << "new session missed the reload";
+}
+
+TEST(ServeEngine, LatencySummaryCountsTicksAndCycles) {
+  serve::MonitorEngine engine({.threads = 2});
+  engine.register_bundle(rule_bundle(2));
+  const auto a = engine.open_session("a", "cawt", 0);
+  const auto b = engine.open_session("b", "guideline", 1);
+
+  const auto stream = testutil::synth_stream(30, 3);
+  for (const auto& obs : stream) {
+    const std::vector<serve::SessionInput> batch = {{a, obs}, {b, obs}};
+    (void)engine.feed(batch);
+  }
+  const serve::LatencySummary summary = engine.latency();
+  EXPECT_EQ(summary.ticks, stream.size());
+  EXPECT_EQ(summary.cycles, 2 * stream.size());
+  EXPECT_GT(summary.seconds, 0.0);
+  EXPECT_GT(summary.cycles_per_sec(), 0.0);
+  EXPECT_LE(summary.p50_us, summary.p95_us);
+  EXPECT_LE(summary.p95_us, summary.p99_us);
+
+  engine.reset_latency();
+  EXPECT_EQ(engine.latency().ticks, 0u);
+  EXPECT_EQ(engine.total_cycles(), 2 * stream.size())
+      << "latency reset must not clear served-cycle accounting";
 }
 
 TEST(ServeEngine, RegisterBundleExposesRuleMonitors) {
