@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "common/cli.h"
 #include "common/table.h"
 #include "core/experiment.h"
+#include "obs/metrics.h"
 
 namespace aps::bench {
 
@@ -113,7 +115,18 @@ class BenchRecorder {
                   double rss_before_mb,
                   std::vector<std::pair<std::string, double>> extra = {}) {
     stages_.push_back({stage, wall_s, runs, peak_rss_mb(),
-                       peak_rss_mb() - rss_before_mb, std::move(extra)});
+                       peak_rss_mb() - rss_before_mb, std::move(extra),
+                       take_counter_deltas()});
+  }
+
+  /// Attach a metric registry: every stage recorded from here on also
+  /// carries the counter deltas that accrued during it, as a "counters"
+  /// object in the stage's JSON. Detached recorders emit exactly the
+  /// pre-telemetry schema, so downstream BENCH_*.json consumers keep
+  /// working either way.
+  void attach_registry(aps::obs::Registry* registry) {
+    registry_ = registry;
+    last_counters_ = counter_values();
   }
 
   [[nodiscard]] double total_wall_s() const {
@@ -142,6 +155,16 @@ class BenchRecorder {
       for (const auto& [key, value] : s.extra) {
         out << ", \"" << key << "\": " << value;
       }
+      if (!s.counters.empty()) {
+        out << ", \"counters\": {";
+        bool first = true;
+        for (const auto& [series, delta] : s.counters) {
+          out << (first ? "" : ", ") << "\"" << json_escape(series)
+              << "\": " << delta;
+          first = false;
+        }
+        out << "}";
+      }
       out << "}";
     }
     out << "]}\n";
@@ -157,12 +180,54 @@ class BenchRecorder {
     double peak_rss_mb = 0.0;
     double delta_rss_mb = 0.0;
     std::vector<std::pair<std::string, double>> extra;
+    std::map<std::string, std::uint64_t> counters;
   };
+
+  [[nodiscard]] static std::string json_escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::map<std::string, std::uint64_t> counter_values() const {
+    std::map<std::string, std::uint64_t> values;
+    if (registry_ == nullptr) return values;
+    for (const auto& sample : registry_->scrape().samples) {
+      if (sample.kind == aps::obs::MetricKind::kCounter) {
+        values[sample.series()] = sample.counter;
+      }
+    }
+    return values;
+  }
+
+  /// Counter deltas since the previous stage boundary (counters that did
+  /// not move are dropped; a counter reset mid-stage clamps to its current
+  /// value instead of wrapping).
+  [[nodiscard]] std::map<std::string, std::uint64_t> take_counter_deltas() {
+    std::map<std::string, std::uint64_t> deltas;
+    if (registry_ == nullptr) return deltas;
+    auto now = counter_values();
+    for (const auto& [series, value] : now) {
+      const auto it = last_counters_.find(series);
+      const std::uint64_t before =
+          it != last_counters_.end() ? it->second : 0;
+      const std::uint64_t delta = value >= before ? value - before : value;
+      if (delta > 0) deltas[series] = delta;
+    }
+    last_counters_ = std::move(now);
+    return deltas;
+  }
 
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::vector<Stage> stages_;
   bool flushed_ = false;
+  aps::obs::Registry* registry_ = nullptr;
+  std::map<std::string, std::uint64_t> last_counters_;
 };
 
 }  // namespace aps::bench

@@ -30,6 +30,8 @@
 #include "core/monitor_factory.h"
 #include "io/artifact_io.h"
 #include "monitor/ml_monitor.h"
+#include "obs/drift.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "sim/stack.h"
 
@@ -95,6 +97,18 @@ core::ArtifactBundle build_bundle(bool with_ml) {
   }
   mean_ss_iob /= static_cast<double>(artifacts.profiles.size());
   artifacts.population_thresholds = monitor::default_thresholds(mean_ss_iob);
+
+  // Training-time feature statistics ride along in the bundle (optional
+  // trailing section) so the engine's drift detectors run during the
+  // bench — telemetry overhead is measured with drift scoring active.
+  {
+    const ml::Dataset stats_data = synth_dataset(4000, 9);
+    bundle.training_stats = std::make_shared<const obs::TrainingStats>(
+        obs::training_stats_from_samples(
+            stats_data.x.cols(),
+            std::span<const double>(stats_data.x.data(),
+                                    stats_data.x.size())));
+  }
 
   if (with_ml) {
     ml::DecisionTree dt;
@@ -163,6 +177,9 @@ int main(int argc, char** argv) try {
                  .string());
 
   bench::BenchRecorder recorder("serve_throughput");
+  // Engines default to the process-global registry, so each stage's JSON
+  // carries the serve_*/drift_* counter deltas that accrued during it.
+  recorder.attach_registry(&obs::Registry::global());
   std::filesystem::create_directories(dir);
   const std::string bundle_path = dir + "/bundle.aps";
   recorder.time_stage("build+save+load bundle", 0, [&] {
@@ -209,7 +226,7 @@ int main(int argc, char** argv) try {
   }
 
   TextTable table({"monitor", "backend", "sessions", "cycles", "cycles/sec",
-                   "p50us", "p95us", "p99us"});
+                   "p50us", "p95us", "p99us", "maxus"});
   // cycles/s per (monitor, backend, sessions) for the A/B verdict and the
   // CI regression smoke.
   std::map<std::string, std::map<std::string, std::map<int, double>>> rate;
@@ -236,19 +253,64 @@ int main(int argc, char** argv) try {
                        TextTable::num(m.cycles_per_sec(), 0),
                        TextTable::num(m.p50_us, 1),
                        TextTable::num(m.p95_us, 1),
-                       TextTable::num(m.p99_us, 1)});
+                       TextTable::num(m.p99_us, 1),
+                       TextTable::num(m.max_us, 1)});
         recorder.stage_done(
             name + "/" + backend_name(backend) + "/" + std::to_string(n),
             m.seconds, m.cycles, rss_before_mb,
             {{"sessions", static_cast<double>(n)},
              {"p50_us", m.p50_us},
              {"p95_us", m.p95_us},
-             {"p99_us", m.p99_us}});
+             {"p99_us", m.p99_us},
+             {"max_us", m.max_us}});
         rate[name][backend_name(backend)][n] = m.cycles_per_sec();
       }
     }
   }
   table.print(std::cout);
+
+  // Telemetry overhead A/B: the full sharded tick at the top session count
+  // with telemetry on (histograms + spans + drift scoring) versus off
+  // (mandatory counters into a private registry only). Cheapest rule-based
+  // monitor = worst-case telemetry fraction of the tick. Informational —
+  // recorded in the JSON for the EXPERIMENTS.md trail, target < 2%.
+  {
+    const std::string kind = "guideline";
+    double cps[2] = {0.0, 0.0};
+    double wall[2] = {0.0, 0.0};
+    std::uint64_t cycles[2] = {0, 0};
+    const double rss_before_mb = bench::peak_rss_mb();
+    for (const bool telemetry : {true, false}) {
+      serve::MonitorEngine engine({.threads = threads,
+                                   .backend = serve::ServeBackend::kSharded,
+                                   .telemetry = telemetry});
+      engine.register_bundle(bundle);
+      std::vector<serve::SessionInput> batch;
+      batch.reserve(static_cast<std::size_t>(top_sessions));
+      for (int s = 0; s < top_sessions; ++s) {
+        const auto id = engine.open_session(
+            "ab/patient-" + std::to_string(s), kind, s % cohort);
+        batch.push_back({id, variants[0]});
+      }
+      const serve::LatencySummary m =
+          measure(engine, batch, variants, budget_ms);
+      cps[telemetry ? 0 : 1] = m.cycles_per_sec();
+      wall[telemetry ? 0 : 1] = m.seconds;
+      cycles[telemetry ? 0 : 1] = m.cycles;
+    }
+    const double overhead_pct =
+        cps[1] > 0.0 ? 100.0 * (1.0 - cps[0] / cps[1]) : 0.0;
+    std::printf(
+        "\ntelemetry overhead (%s, %d sessions, sharded): on %.0f vs off "
+        "%.0f cycles/s -> %.2f%%\n",
+        kind.c_str(), top_sessions, cps[0], cps[1], overhead_pct);
+    recorder.stage_done("telemetry_overhead/" + kind + "/" +
+                            std::to_string(top_sessions),
+                        wall[0], cycles[0], rss_before_mb,
+                        {{"cycles_per_sec_on", cps[0]},
+                         {"cycles_per_sec_off", cps[1]},
+                         {"overhead_pct", overhead_pct}});
+  }
 
   // A/B verdict. Per monitor kind: the sharded/scalar cycles/s ratio at
   // every session count; a kind's headline speedup is its best ratio (the

@@ -14,6 +14,9 @@
 //   --scenarios=<n>     scenarios replayed per patient (default 6)
 //   --threads=<n>       engine worker threads (default: hardware)
 //   --backend=<name>    "sharded" (default) or "scalar" reference path
+//   --metrics           dump the engine's metric registry after serving
+//                       (Prometheus text on stdout; --metrics-json for the
+//                       JSON exposition instead)
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
@@ -25,6 +28,7 @@
 #include "core/experiment.h"
 #include "core/threshold_pipeline.h"
 #include "io/artifact_io.h"
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "sim/stack.h"
 
@@ -102,6 +106,8 @@ int main(int argc, char** argv) try {
       flags.get_string("backend", "sharded") == "scalar"
           ? serve::ServeBackend::kScalar
           : serve::ServeBackend::kSharded;
+  const bool metrics_json = flags.get_bool("metrics-json", false);
+  const bool metrics = flags.get_bool("metrics", false) || metrics_json;
 
   // 1. Train: quick campaign + threshold learning (+ tiny ML if asked).
   std::printf("[1/5] running quick training campaign...\n");
@@ -208,6 +214,18 @@ int main(int argc, char** argv) try {
       bundle_path.c_str(), static_cast<std::uintmax_t>(before),
       static_cast<std::uintmax_t>(engine.generation()),
       engine.session_count());
+
+  // Optional scrape: everything the engine (and the training pipeline)
+  // recorded, in the exposition a Prometheus agent — or a JSON consumer —
+  // would pull from a real serving process.
+  if (metrics) {
+    std::printf("\n==== metrics scrape (%s) ====\n",
+                metrics_json ? "json" : "prometheus text");
+    const obs::RegistrySnapshot snapshot = engine.registry().scrape();
+    std::fputs(
+        (metrics_json ? snapshot.json() : snapshot.prometheus()).c_str(),
+        stdout);
+  }
   return 0;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

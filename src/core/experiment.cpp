@@ -6,8 +6,21 @@
 
 #include "learn/kfold.h"
 #include "monitor/ml_monitor.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace aps::core {
+
+namespace {
+
+/// Phase span over the process-global tracer: the experiment pipeline's
+/// coarse phases (baseline campaign, artifact learning, ML training,
+/// evaluation) show up in Registry::scrape() next to the serving spans.
+[[nodiscard]] aps::obs::Tracer::Scope phase_span(const char* name) {
+  return aps::obs::Registry::global().tracer().span(name);
+}
+
+}  // namespace
 
 // ---- BaselineStats ----------------------------------------------------------
 
@@ -159,9 +172,12 @@ ExperimentContext prepare_experiment(const aps::sim::Stack& stack,
                                   config.lstm_data, *acc.sequences);
     }
   };
-  aps::sim::for_each_run(stack, count, request,
-                         aps::sim::null_monitor_factory(), sink, &pool,
-                         streaming);
+  {
+    const auto baseline_span = phase_span("experiment.baseline");
+    aps::sim::for_each_run(stack, count, request,
+                           aps::sim::null_monitor_factory(), sink, &pool,
+                           streaming);
+  }
 
   // Shard-ordered merge == sequential accumulation.
   context.rule_data.assign(cohort, {});
@@ -185,8 +201,13 @@ ExperimentContext prepare_experiment(const aps::sim::Stack& stack,
     }
   }
 
-  context.artifacts = learn_artifacts_from_data(
-      stack, context.rule_data, context.fault_free, threshold_options, &pool);
+  {
+    const auto learn_span = phase_span("experiment.learn_artifacts");
+    context.artifacts =
+        learn_artifacts_from_data(stack, context.rule_data,
+                                  context.fault_free, threshold_options,
+                                  &pool);
+  }
 
   if (config.train_ml) {
     context.tabular = tabular_builder.build();
@@ -271,8 +292,10 @@ void train_ml_baselines(ExperimentContext& context, aps::ThreadPool& pool) {
         "train_ml_baselines: context has no training data (prepare with "
         "train_ml=true)");
   }
+  const auto train_span = phase_span("experiment.train_ml");
 
   {
+    const auto dt_span = phase_span("experiment.train_dt");
     aps::ml::DecisionTreeConfig dt_config;
     dt_config.max_depth = config.full ? 12 : 8;
     if (config.dt_depth_cv) {
@@ -284,6 +307,7 @@ void train_ml_baselines(ExperimentContext& context, aps::ThreadPool& pool) {
     context.dt = std::move(dt);
   }
   {
+    const auto mlp_span = phase_span("experiment.train_mlp");
     aps::ml::MlpConfig mlp_config;
     mlp_config.hidden_units =
         config.full ? std::vector<std::size_t>{256, 128}
@@ -295,6 +319,7 @@ void train_ml_baselines(ExperimentContext& context, aps::ThreadPool& pool) {
     context.mlp = std::move(mlp);
   }
   {
+    const auto lstm_span = phase_span("experiment.train_lstm");
     aps::ml::LstmConfig lstm_config;
     lstm_config.hidden_units =
         config.full ? std::vector<std::size_t>{128, 64}
@@ -353,6 +378,7 @@ std::vector<MonitorEval> evaluate_monitor_set(
     evals[m].name = monitors[m].name;
   }
   if (monitors.empty()) return evals;
+  const auto eval_span = phase_span("experiment.evaluate");
 
   const std::size_t scenario_count = context.scenarios.size();
   const std::size_t count = context.run_count();
@@ -509,6 +535,16 @@ ArtifactBundle bundle_from_context(const ExperimentContext& context) {
   bundle.lstm = context.lstm;
   bundle.ml_classes = context.config.ml_data.classes;
   bundle.lstm_classes = context.config.lstm_data.classes;
+  // Training-time feature statistics feed the serving engine's drift
+  // detectors; only available when the context retained the ML dataset.
+  if (context.tabular.size() > 0) {
+    bundle.training_stats =
+        std::make_shared<const aps::obs::TrainingStats>(
+            aps::obs::training_stats_from_samples(
+                context.tabular.x.cols(),
+                std::span<const double>(context.tabular.x.data(),
+                                        context.tabular.x.size())));
+  }
   return bundle;
 }
 

@@ -16,6 +16,7 @@
 #include "monitor/caw.h"
 #include "monitor/guideline.h"
 #include "monitor/mpc.h"
+#include "obs/drift.h"
 #include "sim/runner.h"
 
 namespace aps::core {
@@ -168,6 +169,11 @@ struct ArtifactBundle {
   std::shared_ptr<const aps::ml::Lstm> lstm;        ///< may be null
   int ml_classes = 2;    ///< label space of dt/mlp
   int lstm_classes = 2;  ///< label space of lstm
+  /// Training-time per-feature statistics (optional trailing bundle
+  /// section; null for bundles written before it existed or trained
+  /// without the ML dataset). The serving engine seeds its per-shard
+  /// drift detectors from it.
+  std::shared_ptr<const aps::obs::TrainingStats> training_stats;
 };
 
 /// Monitor names constructible from this bundle (subset of the Table V/VI

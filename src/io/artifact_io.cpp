@@ -90,6 +90,52 @@ aps::monitor::GuidelineConfig read_guideline_config(BinaryReader& in) {
   return config;
 }
 
+// Optional trailing bundle section carrying training-time feature
+// statistics (obs::TrainingStats). Written ONLY when the bundle has
+// stats, so stat-less bundles stay byte-identical to the pre-section
+// format and old files (nothing after the LSTM block) still load.
+constexpr std::uint32_t kTrainingStatsMarker = 0x53544154u;  // "STAT"
+constexpr std::uint32_t kTrainingStatsVersion = 1;
+
+void write_training_stats(BinaryWriter& out,
+                          const aps::obs::TrainingStats& stats) {
+  out.u32(kTrainingStatsMarker);
+  out.u32(kTrainingStatsVersion);
+  out.u64(stats.features.size());
+  for (const auto& feature : stats.features) {
+    out.u64(feature.count);
+    out.f64(feature.sum);
+    out.f64(feature.sum_sq);
+    out.f64(feature.min);
+    out.f64(feature.max);
+  }
+}
+
+aps::obs::TrainingStats read_training_stats(BinaryReader& in) {
+  if (in.u32() != kTrainingStatsMarker) {
+    throw IoError("corrupt artifact: unknown trailing section in '" +
+                  in.path() + "'");
+  }
+  if (in.u32() != kTrainingStatsVersion) {
+    throw IoError(
+        "corrupt artifact: unsupported training-stats version in '" +
+        in.path() + "'");
+  }
+  // Each feature summary is a u64 count plus four f64 moments/extremes.
+  const std::uint64_t features =
+      in.count(1u << 12, "training-stat feature", 40);
+  aps::obs::TrainingStats stats;
+  stats.features.resize(features);
+  for (auto& feature : stats.features) {
+    feature.count = in.u64();
+    feature.sum = in.f64();
+    feature.sum_sq = in.f64();
+    feature.min = in.f64();
+    feature.max = in.f64();
+  }
+  return stats;
+}
+
 }  // namespace
 
 // Friend of DecisionTree / Mlp / Lstm / Standardizer: the single place
@@ -431,6 +477,10 @@ void save_bundle(const aps::core::ArtifactBundle& bundle,
     if (bundle.mlp != nullptr) write_mlp(out, *bundle.mlp);
     out.u8(bundle.lstm != nullptr ? 1 : 0);
     if (bundle.lstm != nullptr) write_lstm(out, *bundle.lstm);
+    if (bundle.training_stats != nullptr &&
+        !bundle.training_stats->features.empty()) {
+      write_training_stats(out, *bundle.training_stats);
+    }
   });
 }
 
@@ -450,6 +500,17 @@ aps::core::ArtifactBundle load_bundle(const std::string& path) {
   }
   if (in.u8() != 0) {
     bundle.lstm = std::make_shared<const aps::ml::Lstm>(read_lstm(in));
+  }
+  // Trailing training-stats section: absent in legacy/stat-less bundles
+  // (the models consumed the file exactly), present otherwise. Bytes
+  // after the section — or a section with the wrong marker — are corrupt.
+  if (in.remaining() > 0) {
+    bundle.training_stats = std::make_shared<const aps::obs::TrainingStats>(
+        read_training_stats(in));
+    if (in.remaining() > 0) {
+      throw IoError("corrupt artifact: trailing bytes after training "
+                    "stats in '" + in.path() + "'");
+    }
   }
   return bundle;
 }

@@ -1,0 +1,117 @@
+// DOOD-style streaming input-distribution drift detection: per-feature
+// running mean/variance/range of the live observation stream compared
+// against training-time statistics carried in the ArtifactBundle. The
+// deployed monitors were fit on a fixed fault grid; when the serving
+// distribution leaves it, their accuracy claims silently expire — the
+// detector surfaces that as a per-shard drift-score gauge and a
+// drift_alerts_total counter instead of letting it pass unnoticed.
+//
+// Scoring: for each feature, live and training summaries are reduced to
+//   mean shift   |mean_live - mean_train| / std_train
+//   scale shift  |std_live - std_train|   / std_train
+//   range escape max(live_max - train_max, train_min - live_min) / std_train
+// and the detector's score is the max over features of the max of the
+// three — i.e. "how many training standard deviations has the stream
+// moved". Alerting has a minimum-sample gate and hysteresis so a handful
+// of outliers cannot flap the alert.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace aps::obs {
+
+/// Mergeable moment/range summary of one feature. Plain (non-atomic):
+/// hot paths accumulate a local batch and merge it under the detector's
+/// mutex once per chunk.
+struct FeatureSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+
+  void add(double x) {
+    ++count;
+    sum += x;
+    sum_sq += x * x;
+    if (x < min) min = x;
+    if (x > max) max = x;
+  }
+  void merge(const FeatureSummary& other) {
+    count += other.count;
+    sum += other.sum;
+    sum_sq += other.sum_sq;
+    if (other.min < min) min = other.min;
+    if (other.max > max) max = other.max;
+  }
+  [[nodiscard]] double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+  [[nodiscard]] double variance() const {
+    if (count == 0) return 0.0;
+    const double m = mean();
+    const double v = sum_sq / static_cast<double>(count) - m * m;
+    return v > 0.0 ? v : 0.0;
+  }
+  [[nodiscard]] double stddev() const;
+};
+
+/// Training-time feature statistics persisted with a bundle (optional,
+/// versioned trailing section — see io::save_bundle).
+struct TrainingStats {
+  std::vector<FeatureSummary> features;
+  [[nodiscard]] bool empty() const { return features.empty(); }
+};
+
+/// Column-wise TrainingStats of a row-major sample matrix (the ML
+/// training dataset's feature matrix).
+[[nodiscard]] TrainingStats training_stats_from_samples(
+    std::size_t cols, std::span<const double> row_major);
+
+struct DriftConfig {
+  /// Live observations required before the detector may alert.
+  std::uint64_t min_samples = 256;
+  /// Alert when the score (training-sigma units) crosses this.
+  double threshold = 0.5;
+  /// Hysteresis: clear only below threshold * clear_factor.
+  double clear_factor = 0.8;
+  /// Sample every stride-th lane of a tick (1 = every observation);
+  /// bounds the hot-path cost on large shards.
+  std::size_t stride = 16;
+};
+
+/// Streaming detector for one shard. Thread-safe: chunks running on the
+/// worker pool accumulate local FeatureSummary batches and merge them
+/// here; score/alert reads may race scrapes freely.
+class DriftDetector {
+ public:
+  DriftDetector(std::shared_ptr<const TrainingStats> reference,
+                DriftConfig config);
+
+  /// Merge a locally accumulated batch (batch[f] summarizes feature f).
+  /// Returns true when this merge transitioned the detector into the
+  /// alerting state (the caller bumps drift_alerts_total exactly then).
+  bool merge(std::span<const FeatureSummary> batch);
+
+  [[nodiscard]] double score() const;
+  [[nodiscard]] bool alerting() const;
+  [[nodiscard]] std::uint64_t samples() const;
+  [[nodiscard]] const DriftConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] double score_locked() const;
+
+  std::shared_ptr<const TrainingStats> reference_;
+  DriftConfig config_;
+  mutable std::mutex mu_;
+  std::vector<FeatureSummary> live_;
+  double score_ = 0.0;
+  bool alerting_ = false;
+};
+
+}  // namespace aps::obs

@@ -1,0 +1,233 @@
+// Process-wide telemetry: a thread-safe metric registry of counters,
+// gauges, and fixed-exponential-bucket histograms. Hot-path updates pay
+// one relaxed atomic add on a per-thread shard (cache-line padded, so
+// concurrent writers never bounce a line); scrape() merges the shards
+// into a consistent-enough snapshot and renders it as Prometheus text or
+// JSON. Registration is idempotent: asking for an existing (name, labels)
+// series returns the same handle, so call sites can cache raw pointers —
+// a Registry never invalidates or moves its metrics while alive.
+//
+// The registry deliberately has no unregister: serving metrics are
+// append-only time series, and a shard that dies simply stops updating
+// its labeled series. Tests that need isolation construct their own
+// Registry instead of scraping the process-global one.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace aps::obs {
+
+/// Label set of one series; rendered sorted by key, so two label vectors
+/// with the same pairs in any order name the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Per-metric write shards: power of two, sized for "a handful of worker
+/// threads" — more threads than shards just share slots, which stays
+/// correct (atomic adds), merely slightly more contended.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Stable per-thread shard slot (assigned on first use, process-wide).
+[[nodiscard]] std::size_t thread_shard();
+
+namespace detail {
+/// One cache line per atomic so concurrent writers on different shards
+/// never invalidate each other.
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> v{0};
+};
+
+void atomic_add_double(std::atomic<double>& target, double delta);
+void atomic_max_double(std::atomic<double>& target, double value);
+}  // namespace detail
+
+/// Monotonic event count. add() is one relaxed fetch_add on the caller
+/// thread's shard; value() sums the shards (exact once writers quiesce,
+/// monotone-approximate while they run).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[thread_shard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() noexcept {
+    for (auto& shard : shards_) shard.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<detail::PaddedU64, kMetricShards> shards_;
+};
+
+/// Last-write-wins instantaneous value (generation, open sessions, drift
+/// score). Unsharded: gauges are set at bookkeeping rate, not tick rate.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) noexcept {
+    detail::atomic_add_double(value_, delta);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed exponential bucket layout: finite upper bounds
+/// first_bound * growth^i for i in [0, buckets), plus an implicit +Inf
+/// overflow bucket. Chosen once at registration; every observe is a
+/// binary search plus two relaxed atomic updates on the caller's shard.
+struct HistogramSpec {
+  double first_bound = 1.0;
+  double growth = 2.0;
+  std::size_t buckets = 24;
+
+  /// Layout used for all latency series: 1us .. ~500s at 1.5x resolution.
+  [[nodiscard]] static HistogramSpec latency_us() {
+    return {.first_bound = 1.0, .growth = 1.5, .buckets = 48};
+  }
+
+  [[nodiscard]] bool operator==(const HistogramSpec&) const = default;
+};
+
+/// Merged point-in-time view of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;          ///< finite `le` upper bounds
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (last = +Inf)
+  std::uint64_t count = 0;             ///< total observations
+  double sum = 0.0;
+  double max = 0.0;                    ///< largest observed value (0 if none)
+
+  /// Percentile estimate by linear interpolation inside the owning
+  /// bucket, clamped to the tracked max so p100 is exact.
+  [[nodiscard]] double percentile(double p) const;
+};
+
+class Histogram {
+ public:
+  explicit Histogram(const HistogramSpec& spec);
+
+  void observe(double value) noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  [[nodiscard]] const HistogramSpec& spec() const { return spec_; }
+  /// Zero every bucket/sum/max (scrapers racing a reset see a torn but
+  /// structurally valid snapshot; totals are exact once writers quiesce).
+  void reset() noexcept;
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> counts;  ///< buckets + overflow
+    std::atomic<double> sum{0.0};
+  };
+
+  HistogramSpec spec_;
+  std::vector<double> bounds_;
+  std::vector<Shard> shards_;
+  std::atomic<double> max_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One series in a scrape, fully merged.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  std::string help;
+  std::uint64_t counter = 0;       ///< kCounter
+  double gauge = 0.0;              ///< kGauge
+  HistogramSnapshot histogram;     ///< kHistogram
+
+  /// Series identity, Prometheus style: name{k="v",...}.
+  [[nodiscard]] std::string series() const;
+};
+
+/// Point-in-time scrape of a whole registry: metric samples (sorted by
+/// name, then labels) plus the most recent trace spans.
+struct RegistrySnapshot {
+  std::vector<MetricSample> samples;
+  std::vector<SpanRecord> spans;
+
+  /// Prometheus text exposition format (# HELP / # TYPE, cumulative
+  /// `le` buckets, _sum/_count). Spans are metrics-only, so they do not
+  /// appear here.
+  [[nodiscard]] std::string prometheus() const;
+  /// JSON object: {"metrics": [...], "spans": [...]}.
+  [[nodiscard]] std::string json() const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Get-or-create. Throws std::invalid_argument when the (name, labels)
+  /// series already exists with a different kind (or, for histograms, a
+  /// different bucket layout) — one series, one meaning.
+  Counter& counter(const std::string& name, Labels labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, Labels labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, const HistogramSpec& spec,
+                       Labels labels = {}, const std::string& help = "");
+
+  /// Span sink shared by everything reporting into this registry.
+  [[nodiscard]] Tracer& tracer() { return tracer_; }
+
+  [[nodiscard]] RegistrySnapshot scrape() const;
+  [[nodiscard]] std::string scrape_prometheus() const {
+    return scrape().prometheus();
+  }
+  [[nodiscard]] std::string scrape_json() const { return scrape().json(); }
+
+  /// Current value of an existing counter/gauge series; 0 when the
+  /// series does not exist (convenient for tests and delta readers).
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name,
+                                            const Labels& labels = {}) const;
+  [[nodiscard]] double gauge_value(const std::string& name,
+                                   const Labels& labels = {}) const;
+
+  /// The process-global registry (what serving/sim/experiment code
+  /// reports into unless given an explicit instance).
+  [[nodiscard]] static Registry& global();
+
+ private:
+  struct Metric {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    Labels labels;  ///< sorted
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  using Key = std::pair<std::string, std::string>;  ///< (name, label id)
+
+  Metric& get_or_create(const std::string& name, Labels labels,
+                        const std::string& help, MetricKind kind);
+  [[nodiscard]] const Metric* find(const std::string& name,
+                                   const Labels& labels) const;
+
+  mutable std::mutex mu_;  ///< guards the series map, not the metrics
+  std::map<Key, Metric> series_;
+  Tracer tracer_;
+};
+
+}  // namespace aps::obs

@@ -1,0 +1,103 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/metrics.h"
+
+namespace aps::obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity_per_thread)
+    : id_(next_tracer_id()),
+      capacity_(capacity_per_thread > 0 ? capacity_per_thread : 1),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::Ring& Tracer::local_ring() {
+  // Per-thread cache keyed by the tracer's process-unique id: a destroyed
+  // tracer's stale entries can never match a live tracer, so the Ring*
+  // they hold is never dereferenced again.
+  struct Entry {
+    std::uint64_t id;
+    Ring* ring;
+  };
+  thread_local std::vector<Entry> cache;
+  for (const Entry& entry : cache) {
+    if (entry.id == id_) return *entry.ring;
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->thread = static_cast<std::uint32_t>(rings_.size());
+  ring->records.reserve(capacity_);
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  cache.push_back({id_, raw});
+  return *raw;
+}
+
+void Tracer::record(const char* name, double start_us, double dur_us) {
+  Ring& ring = local_ring();
+  const std::lock_guard<std::mutex> lock(ring.mu);
+  SpanRecord span{name, ring.thread, start_us, dur_us};
+  if (ring.records.size() < capacity_) {
+    ring.records.push_back(std::move(span));
+  } else {
+    ring.records[ring.next] = std::move(span);
+    ring.next = (ring.next + 1) % capacity_;
+  }
+  ++ring.total;
+}
+
+std::vector<SpanRecord> Tracer::recent() const {
+  std::vector<SpanRecord> spans;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      const std::lock_guard<std::mutex> ring_lock(ring->mu);
+      // Oldest-first: from the overwrite cursor to the end, then the
+      // wrapped prefix.
+      for (std::size_t i = ring->next; i < ring->records.size(); ++i) {
+        spans.push_back(ring->records[i]);
+      }
+      for (std::size_t i = 0; i < ring->next; ++i) {
+        spans.push_back(ring->records[i]);
+      }
+    }
+  }
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     return a.start_us < b.start_us;
+                   });
+  return spans;
+}
+
+std::uint64_t Tracer::overwritten() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t dropped = 0;
+  for (const auto& ring : rings_) {
+    const std::lock_guard<std::mutex> ring_lock(ring->mu);
+    dropped += ring->total - ring->records.size();
+  }
+  return dropped;
+}
+
+Tracer::Scope::~Scope() {
+  const auto t1 = std::chrono::steady_clock::now();
+  const double start_us =
+      std::chrono::duration<double, std::micro>(t0_ - tracer_->epoch_)
+          .count();
+  const double dur_us =
+      std::chrono::duration<double, std::micro>(t1 - t0_).count();
+  tracer_->record(name_, start_us, dur_us);
+  if (histogram_ != nullptr) histogram_->observe(dur_us);
+}
+
+}  // namespace aps::obs

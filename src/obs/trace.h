@@ -1,0 +1,87 @@
+// Lightweight trace spans: monotonic-clock start/stop pairs recorded into
+// per-thread ring buffers (each ring guarded by its own uncontended
+// mutex), so instrumented phases — tick ingest, shard dispatch,
+// predict_batch, merge; experiment train/eval — cost two clock reads and
+// one ring write. recent() merges the rings into a time-ordered view; the
+// registry's JSON scrape embeds it.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aps::obs {
+
+class Histogram;
+
+/// One completed span. Times are microseconds relative to the owning
+/// Tracer's construction (monotonic clock).
+struct SpanRecord {
+  std::string name;
+  std::uint32_t thread = 0;  ///< ring index (thread registration order)
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity_per_thread = 256);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// RAII span: records on destruction; optionally also feeds the
+  /// duration (us) into a histogram.
+  class Scope {
+   public:
+    Scope(Tracer* tracer, const char* name, Histogram* histogram = nullptr)
+        : tracer_(tracer),
+          name_(name),
+          histogram_(histogram),
+          t0_(std::chrono::steady_clock::now()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope();
+
+   private:
+    Tracer* tracer_;
+    const char* name_;
+    Histogram* histogram_;
+    std::chrono::steady_clock::time_point t0_;
+  };
+
+  [[nodiscard]] Scope span(const char* name,
+                           Histogram* histogram = nullptr) {
+    return Scope(this, name, histogram);
+  }
+
+  /// All retained spans across threads, ordered by start time.
+  [[nodiscard]] std::vector<SpanRecord> recent() const;
+
+  /// Spans dropped ring-buffer-style (overwritten before a recent()).
+  [[nodiscard]] std::uint64_t overwritten() const;
+
+ private:
+  friend class Scope;
+
+  struct Ring {
+    std::mutex mu;
+    std::vector<SpanRecord> records;  ///< capacity-bounded
+    std::size_t next = 0;             ///< overwrite cursor once full
+    std::uint64_t total = 0;          ///< spans ever recorded
+    std::uint32_t thread = 0;
+  };
+
+  [[nodiscard]] Ring& local_ring();
+  void record(const char* name, double start_us, double dur_us);
+
+  std::uint64_t id_;  ///< process-unique, keys the thread-local ring cache
+  std::size_t capacity_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;  ///< guards rings_ growth
+  std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace aps::obs

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "obs/metrics.h"
 
 namespace aps::scenario {
 
@@ -48,6 +49,21 @@ void CampaignStats::add(const SampledScenario& scenario,
   const bool alarm = run.any_alarm();
   if (hazard) ++hazardous_runs;
   if (alarm) ++alarmed_runs;
+
+  // Campaign-progress telemetry: scraping scenario_runs_total while a
+  // 10^6-run stochastic campaign streams gives live runs/s and hazard/alarm
+  // rates without waiting for the merged CampaignStats.
+  auto& registry = aps::obs::Registry::global();
+  static aps::obs::Counter& runs_total = registry.counter(
+      "scenario_runs_total", {}, "scenario campaign runs consumed");
+  static aps::obs::Counter& hazards_total = registry.counter(
+      "scenario_hazard_runs_total", {}, "campaign runs labeled hazardous");
+  static aps::obs::Counter& alarmed_total = registry.counter(
+      "scenario_alarmed_runs_total", {},
+      "campaign runs whose monitor raised at least one alarm");
+  runs_total.add(1);
+  if (hazard) hazards_total.add(1);
+  if (alarm) alarmed_total.add(1);
 
   double lowest = aps::kBgMax;
   std::size_t in_range = 0;

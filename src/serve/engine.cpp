@@ -1,12 +1,16 @@
 #include "serve/engine.h"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
+#include <optional>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
 #include "common/stats.h"
 #include "io/artifact_io.h"
+#include "monitor/ml_monitor.h"
 
 namespace aps::serve {
 
@@ -19,7 +23,64 @@ constexpr std::size_t kMinChunkLanes = 64;
 }  // namespace
 
 MonitorEngine::MonitorEngine(EngineConfig config)
-    : config_(config), pool_(config.threads) {}
+    : config_(config), pool_(config.threads) {
+  if (config_.registry != nullptr) {
+    registry_ = config_.registry;
+  } else if (config_.telemetry) {
+    registry_ = &aps::obs::Registry::global();
+  } else {
+    // Keep the opted-out engine's mandatory series out of the global
+    // registry (the A/B baseline must not pollute process metrics).
+    owned_registry_ = std::make_unique<aps::obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  const auto latency_spec = aps::obs::HistogramSpec::latency_us();
+  metrics_.tick_latency = &registry_->histogram(
+      "serve_tick_latency_us", latency_spec, {},
+      "feed()/feed_one() wall time per tick");
+  metrics_.ticks =
+      &registry_->counter("serve_ticks_total", {}, "feed ticks served");
+  metrics_.cycles = &registry_->counter("serve_cycles_total", {},
+                                        "session-cycles served");
+  metrics_.alarms = &registry_->counter("serve_alarms_total", {},
+                                        "alarming decisions served");
+  metrics_.sessions_opened = &registry_->counter(
+      "serve_sessions_opened_total", {}, "open_session calls");
+  metrics_.sessions_closed = &registry_->counter(
+      "serve_sessions_closed_total", {}, "close_session calls");
+  metrics_.sessions_restored = &registry_->counter(
+      "serve_sessions_restored_total", {}, "snapshot restores");
+  metrics_.session_resets = &registry_->counter(
+      "serve_session_resets_total", {}, "reset_session calls");
+  metrics_.reloads = &registry_->counter(
+      "serve_reloads_total", {}, "register_monitor/register_bundle calls");
+  metrics_.sessions_open =
+      &registry_->gauge("serve_sessions_open", {}, "currently open sessions");
+  metrics_.generation =
+      &registry_->gauge("serve_generation", {}, "current model generation");
+  metrics_.drift_alerts = &registry_->counter(
+      "drift_alerts_total", {},
+      "shard drift detectors entering the alerting state");
+  metrics_.drift_samples = &registry_->counter(
+      "drift_samples_total", {}, "observations folded into drift detectors");
+  if (config_.telemetry) {
+    const auto phase = [&](const char* name) {
+      return &registry_->histogram("serve_phase_us", latency_spec,
+                                   {{"phase", name}},
+                                   "sharded tick phase wall time");
+    };
+    metrics_.phase_ingest = phase("ingest");
+    metrics_.phase_dispatch = phase("dispatch");
+    metrics_.phase_predict = phase("predict");
+    metrics_.phase_merge = phase("merge");
+  }
+}
+
+void MonitorEngine::bump_generation_locked() {
+  ++generation_;
+  metrics_.reloads->add(1);
+  metrics_.generation->set(static_cast<double>(generation_));
+}
 
 void MonitorEngine::register_monitor(const std::string& name,
                                      aps::sim::MonitorFactory factory,
@@ -28,8 +89,8 @@ void MonitorEngine::register_monitor(const std::string& name,
     throw std::invalid_argument("null factory for monitor '" + name + "'");
   }
   const std::lock_guard<std::mutex> lock(mu_);
-  ++generation_;
-  monitors_[name] = {std::move(factory), generation_, cohort};
+  bump_generation_locked();
+  monitors_[name] = {std::move(factory), generation_, cohort, nullptr};
 }
 
 void MonitorEngine::register_bundle(const aps::core::ArtifactBundle& bundle) {
@@ -41,9 +102,10 @@ void MonitorEngine::register_bundle(const aps::core::ArtifactBundle& bundle) {
   }
   const int cohort = aps::core::bundle_cohort_size(bundle);
   const std::lock_guard<std::mutex> lock(mu_);
-  ++generation_;
+  bump_generation_locked();
   for (auto& [name, factory] : factories) {
-    monitors_[name] = {std::move(factory), generation_, cohort};
+    monitors_[name] = {std::move(factory), generation_, cohort,
+                       bundle.training_stats};
   }
 }
 
@@ -84,11 +146,30 @@ const MonitorEngine::RegisteredMonitor& MonitorEngine::checked_monitor(
   return entry;
 }
 
+void MonitorEngine::init_shard_telemetry(ServeShard& shard,
+                                         const RegisteredMonitor& entry) {
+  if (!config_.telemetry) return;
+  aps::obs::Histogram* latency = &registry_->histogram(
+      "serve_shard_tick_latency_us", aps::obs::HistogramSpec::latency_us(),
+      {{"shard", shard.label()}}, "per-shard chunk wall time");
+  aps::obs::Gauge* score = nullptr;
+  std::unique_ptr<aps::obs::DriftDetector> drift;
+  if (entry.stats != nullptr && !entry.stats->empty()) {
+    score = &registry_->gauge(
+        "serve_drift_score", {{"shard", shard.label()}},
+        "input drift vs training stats (training-sigma units)");
+    drift =
+        std::make_unique<aps::obs::DriftDetector>(entry.stats, config_.drift);
+  }
+  shard.set_telemetry(latency, score, std::move(drift));
+}
+
 SessionId MonitorEngine::place_session(Session session,
                                        const aps::monitor::Monitor* prototype,
-                                       std::uint64_t version) {
+                                       const RegisteredMonitor& entry) {
   // The lane is placed before the session record is committed, so a
   // failure here leaves the registry and session table untouched.
+  const std::uint64_t version = entry.version;
   const SessionId id = free_ids_.empty()
                            ? static_cast<SessionId>(sessions_.size())
                            : free_ids_.back();
@@ -121,6 +202,7 @@ SessionId MonitorEngine::place_session(Session session,
                                "prototype");
       }
       ++next_shard_ordinal_;
+      init_shard_telemetry(*fresh, entry);
       session.shard = fresh.get();
       session.lane = *added;
       shards_.push_back(std::move(fresh));
@@ -134,6 +216,7 @@ SessionId MonitorEngine::place_session(Session session,
   }
   by_patient_.emplace(sessions_[id].patient_id, id);
   ++open_count_;
+  metrics_.sessions_open->set(static_cast<double>(open_count_));
   return id;
 }
 
@@ -161,7 +244,8 @@ SessionId MonitorEngine::open_session(const std::string& patient_id,
     session.monitor = std::move(monitor);
     prototype = session.monitor.get();
   }
-  return place_session(std::move(session), prototype, entry.version);
+  metrics_.sessions_opened->add(1);
+  return place_session(std::move(session), prototype, entry);
 }
 
 MonitorEngine::Session& MonitorEngine::checked_session(SessionId id) {
@@ -199,6 +283,8 @@ void MonitorEngine::close_session(SessionId id) {
   session = Session{};  // releases the monitor / lane bookkeeping
   free_ids_.push_back(id);
   --open_count_;
+  metrics_.sessions_closed->add(1);
+  metrics_.sessions_open->set(static_cast<double>(open_count_));
 }
 
 std::optional<SessionId> MonitorEngine::find_session(
@@ -218,13 +304,9 @@ void MonitorEngine::record_latency(double seconds, std::size_t cycles) {
   ++latency_ticks_;
   latency_cycles_ += cycles;
   latency_seconds_ += seconds;
-  const double us = seconds * 1e6;
-  if (latency_us_.size() < config_.latency_capacity) {
-    latency_us_.push_back(us);
-  } else if (!latency_us_.empty()) {
-    latency_us_[latency_next_] = us;
-    latency_next_ = (latency_next_ + 1) % latency_us_.size();
-  }
+  metrics_.tick_latency->observe(seconds * 1e6);
+  metrics_.ticks->add(1);
+  metrics_.cycles->add(cycles);
 }
 
 LatencySummary MonitorEngine::latency() const {
@@ -233,23 +315,39 @@ LatencySummary MonitorEngine::latency() const {
   summary.ticks = latency_ticks_;
   summary.cycles = latency_cycles_;
   summary.seconds = latency_seconds_;
-  if (!latency_us_.empty()) {
-    std::vector<double> sorted = latency_us_;
-    std::sort(sorted.begin(), sorted.end());
-    summary.p50_us = aps::percentile(sorted, 50.0);
-    summary.p95_us = aps::percentile(sorted, 95.0);
-    summary.p99_us = aps::percentile(sorted, 99.0);
+  const aps::obs::HistogramSnapshot snap = metrics_.tick_latency->snapshot();
+  summary.p50_us = snap.percentile(50.0);
+  summary.p95_us = snap.percentile(95.0);
+  summary.p99_us = snap.percentile(99.0);
+  summary.max_us = snap.max;
+  // Per-shard breakdown; sibling shards share a label (same registry
+  // series), so report each label once.
+  std::unordered_set<std::string> seen;
+  for (const auto& shard : shards_) {
+    if (shard->latency_histogram() == nullptr ||
+        !seen.insert(shard->label()).second) {
+      continue;
+    }
+    const aps::obs::HistogramSnapshot h =
+        shard->latency_histogram()->snapshot();
+    if (h.count == 0) continue;
+    summary.shards.push_back({shard->label(), h.count, h.percentile(50.0),
+                              h.percentile(95.0), h.percentile(99.0), h.max});
   }
   return summary;
 }
 
 void MonitorEngine::reset_latency() {
   const std::lock_guard<std::mutex> lock(mu_);
-  latency_us_.clear();
-  latency_next_ = 0;
   latency_ticks_ = 0;
   latency_cycles_ = 0;
   latency_seconds_ = 0.0;
+  metrics_.tick_latency->reset();
+  for (const auto& shard : shards_) {
+    if (shard->latency_histogram() != nullptr) {
+      shard->latency_histogram()->reset();
+    }
+  }
 }
 
 std::vector<aps::monitor::Decision> MonitorEngine::feed(
@@ -273,6 +371,28 @@ std::vector<aps::monitor::Decision> MonitorEngine::feed(
           .count(),
       inputs.size());
   return decisions;
+}
+
+/// Fold a chunk's observations into the shard's drift detector: strided
+/// subsampling into a stack-local per-feature batch, one mutexed merge.
+/// Purely observational — decisions are untouched.
+void MonitorEngine::accumulate_drift(
+    ServeShard& shard, std::span<const aps::monitor::Observation> obs) {
+  aps::obs::DriftDetector* drift = shard.drift();
+  if (drift == nullptr || obs.empty()) return;
+  std::array<aps::obs::FeatureSummary, aps::monitor::kMlFeatureCount> batch{};
+  std::array<double, aps::monitor::kMlFeatureCount> features{};
+  const std::size_t stride = std::max<std::size_t>(1, drift->config().stride);
+  std::uint64_t sampled = 0;
+  for (std::size_t i = 0; i < obs.size(); i += stride) {
+    aps::monitor::ml_features_into(obs[i], features);
+    for (std::size_t f = 0; f < features.size(); ++f) {
+      batch[f].add(features[f]);
+    }
+    ++sampled;
+  }
+  if (drift->merge(batch)) metrics_.drift_alerts->add(1);
+  metrics_.drift_samples->add(sampled);
 }
 
 void MonitorEngine::feed_scalar(std::span<const SessionInput> inputs,
@@ -312,9 +432,12 @@ void MonitorEngine::feed_scalar(std::span<const SessionInput> inputs,
         std::span<const aps::monitor::Observation>(&sorted_obs_[lo], count),
         std::span<aps::monitor::Decision>(&sorted_decisions_[lo], count));
     session.stats.cycles += count;
+    std::uint64_t alarms = 0;
     for (std::uint32_t k = lo; k < hi; ++k) {
-      if (sorted_decisions_[k].alarm) ++session.stats.alarms;
+      if (sorted_decisions_[k].alarm) ++alarms;
     }
+    session.stats.alarms += alarms;
+    if (alarms > 0) metrics_.alarms->add(alarms);
   });
 
   for (std::uint32_t k = 0; k < order_.size(); ++k) {
@@ -325,26 +448,34 @@ void MonitorEngine::feed_scalar(std::span<const SessionInput> inputs,
 void MonitorEngine::feed_sharded(std::span<const SessionInput> inputs,
                                  std::span<aps::monitor::Decision> decisions) {
   const std::size_t n = inputs.size();
+  aps::obs::Tracer* tracer =
+      config_.telemetry ? &registry_->tracer() : nullptr;
 
   // Round r of a session = its r-th input in this batch; rounds execute as
   // sequential lockstep ticks so multiple inputs for one session apply in
   // batch order, exactly like the scalar path. The per-session occurrence
   // counters reset lazily via the feed epoch.
-  ++feed_epoch_;
-  if (feed_epoch_ == 0) {  // epoch wrapped: hard-reset the lazy counters
-    std::fill(occ_epoch_.begin(), occ_epoch_.end(), 0);
-    feed_epoch_ = 1;
-  }
-  occ_.resize(sessions_.size(), 0);
-  occ_epoch_.resize(sessions_.size(), 0);
-  round_of_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const SessionId sid = inputs[i].session;
-    if (occ_epoch_[sid] != feed_epoch_) {
-      occ_epoch_[sid] = feed_epoch_;
-      occ_[sid] = 0;
+  {
+    std::optional<aps::obs::Tracer::Scope> span;
+    if (tracer != nullptr) {
+      span.emplace(tracer, "serve.ingest", metrics_.phase_ingest);
     }
-    round_of_[i] = occ_[sid]++;
+    ++feed_epoch_;
+    if (feed_epoch_ == 0) {  // epoch wrapped: hard-reset the lazy counters
+      std::fill(occ_epoch_.begin(), occ_epoch_.end(), 0);
+      feed_epoch_ = 1;
+    }
+    occ_.resize(sessions_.size(), 0);
+    occ_epoch_.resize(sessions_.size(), 0);
+    round_of_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const SessionId sid = inputs[i].session;
+      if (occ_epoch_[sid] != feed_epoch_) {
+        occ_epoch_[sid] = feed_epoch_;
+        occ_[sid] = 0;
+      }
+      round_of_[i] = occ_[sid]++;
+    }
   }
 
   // Sort input indices by (round, shard): each round's inputs land in
@@ -354,89 +485,136 @@ void MonitorEngine::feed_sharded(std::span<const SessionInput> inputs,
   // chunking, and thread scheduling. The steady-state tick — one input per
   // session, all in one shard or already grouped — is detected and skips
   // the sort entirely.
-  order_.resize(n);
-  for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
-  bool already_grouped = true;
-  for (std::size_t i = 1; i < n && already_grouped; ++i) {
-    const std::uint32_t ra = round_of_[i - 1];
-    const std::uint32_t rb = round_of_[i];
-    if (ra != rb) {
-      already_grouped = ra < rb;
-      continue;
+  {
+    std::optional<aps::obs::Tracer::Scope> span;
+    if (tracer != nullptr) {
+      span.emplace(tracer, "serve.dispatch", metrics_.phase_dispatch);
     }
-    already_grouped = sessions_[inputs[i - 1].session].shard->ordinal() <=
-                      sessions_[inputs[i].session].shard->ordinal();
+    order_.resize(n);
+    for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
+    bool already_grouped = true;
+    for (std::size_t i = 1; i < n && already_grouped; ++i) {
+      const std::uint32_t ra = round_of_[i - 1];
+      const std::uint32_t rb = round_of_[i];
+      if (ra != rb) {
+        already_grouped = ra < rb;
+        continue;
+      }
+      already_grouped = sessions_[inputs[i - 1].session].shard->ordinal() <=
+                        sessions_[inputs[i].session].shard->ordinal();
+    }
+    if (!already_grouped) {
+      std::stable_sort(
+          order_.begin(), order_.end(), [this, inputs](std::uint32_t a,
+                                                       std::uint32_t b) {
+            if (round_of_[a] != round_of_[b]) {
+              return round_of_[a] < round_of_[b];
+            }
+            return sessions_[inputs[a].session].shard->ordinal() <
+                   sessions_[inputs[b].session].shard->ordinal();
+          });
+    }
+
+    sorted_obs_.resize(n);
+    sorted_decisions_.resize(n);
+    lanes_flat_.resize(n);
+    src_flat_.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::uint32_t i = order_[k];
+      sorted_obs_[k] = inputs[i].obs;
+      lanes_flat_[k] = sessions_[inputs[i].session].lane;
+      src_flat_[k] = i;
+    }
   }
-  if (!already_grouped) {
-    std::stable_sort(
-        order_.begin(), order_.end(), [this, inputs](std::uint32_t a,
-                                                     std::uint32_t b) {
-          if (round_of_[a] != round_of_[b]) {
-            return round_of_[a] < round_of_[b];
+
+  {
+    std::optional<aps::obs::Tracer::Scope> span;
+    if (tracer != nullptr) {
+      span.emplace(tracer, "serve.predict", metrics_.phase_predict);
+    }
+    // Chunking only pays when workers can actually overlap; a
+    // single-worker pool serves each shard stretch as one whole batched
+    // call.
+    const std::size_t target_chunks =
+        pool_.thread_count() > 1 ? pool_.thread_count() * 2 : 1;
+    std::size_t k = 0;
+    while (k < n) {
+      const std::uint32_t round = round_of_[order_[k]];
+      // Collect this round's shard stretches, subdividing large ones into
+      // chunks; all chunks of one round touch disjoint lanes, so they run
+      // concurrently against their shards.
+      groups_.clear();
+      chunk_shards_.clear();
+      std::size_t lo = k;
+      while (lo < n && round_of_[order_[lo]] == round) {
+        ServeShard* shard = sessions_[inputs[order_[lo]].session].shard;
+        std::size_t hi = lo + 1;
+        while (hi < n && round_of_[order_[hi]] == round &&
+               sessions_[inputs[order_[hi]].session].shard == shard) {
+          ++hi;
+        }
+        const std::size_t chunk = std::max(
+            kMinChunkLanes, (hi - lo + target_chunks - 1) / target_chunks);
+        for (std::size_t b = lo; b < hi; b += chunk) {
+          groups_.emplace_back(static_cast<std::uint32_t>(b),
+                               static_cast<std::uint32_t>(std::min(b + chunk,
+                                                                   hi)));
+          chunk_shards_.push_back(shard);
+        }
+        lo = hi;
+      }
+      const bool telemetry = config_.telemetry;
+      pool_.parallel_for(groups_.size(), [this, inputs, decisions,
+                                          telemetry](std::size_t g) {
+        const auto [b, e] = groups_[g];
+        const std::size_t count = e - b;
+        ServeShard* shard = chunk_shards_[g];
+        const auto c0 = telemetry ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+        shard->observe_lanes(
+            std::span<const std::size_t>(&lanes_flat_[b], count),
+            std::span<const aps::monitor::Observation>(&sorted_obs_[b],
+                                                       count),
+            std::span<aps::monitor::Decision>(&sorted_decisions_[b], count));
+        if (telemetry && shard->latency_histogram() != nullptr) {
+          shard->latency_histogram()->observe(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - c0)
+                  .count());
+        }
+        std::uint64_t alarms = 0;
+        for (std::uint32_t kk = b; kk < e; ++kk) {
+          const std::uint32_t i = src_flat_[kk];
+          Session& session = sessions_[inputs[i].session];
+          ++session.stats.cycles;
+          if (sorted_decisions_[kk].alarm) {
+            ++session.stats.alarms;
+            ++alarms;
           }
-          return sessions_[inputs[a].session].shard->ordinal() <
-                 sessions_[inputs[b].session].shard->ordinal();
-        });
-  }
-
-  sorted_obs_.resize(n);
-  sorted_decisions_.resize(n);
-  lanes_flat_.resize(n);
-  src_flat_.resize(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    const std::uint32_t i = order_[k];
-    sorted_obs_[k] = inputs[i].obs;
-    lanes_flat_[k] = sessions_[inputs[i].session].lane;
-    src_flat_[k] = i;
-  }
-
-  // Chunking only pays when workers can actually overlap; a single-worker
-  // pool serves each shard stretch as one whole batched call.
-  const std::size_t target_chunks =
-      pool_.thread_count() > 1 ? pool_.thread_count() * 2 : 1;
-  std::size_t k = 0;
-  while (k < n) {
-    const std::uint32_t round = round_of_[order_[k]];
-    // Collect this round's shard stretches, subdividing large ones into
-    // chunks; all chunks of one round touch disjoint lanes, so they run
-    // concurrently against their shards.
-    groups_.clear();
-    chunk_shards_.clear();
-    std::size_t lo = k;
-    while (lo < n && round_of_[order_[lo]] == round) {
-      ServeShard* shard = sessions_[inputs[order_[lo]].session].shard;
-      std::size_t hi = lo + 1;
-      while (hi < n && round_of_[order_[hi]] == round &&
-             sessions_[inputs[order_[hi]].session].shard == shard) {
-        ++hi;
-      }
-      const std::size_t chunk = std::max(
-          kMinChunkLanes, (hi - lo + target_chunks - 1) / target_chunks);
-      for (std::size_t b = lo; b < hi; b += chunk) {
-        groups_.emplace_back(static_cast<std::uint32_t>(b),
-                             static_cast<std::uint32_t>(std::min(b + chunk,
-                                                                 hi)));
-        chunk_shards_.push_back(shard);
-      }
-      lo = hi;
+          decisions[i] = sorted_decisions_[kk];
+        }
+        if (alarms > 0) metrics_.alarms->add(alarms);
+        if (telemetry) {
+          accumulate_drift(
+              *shard, std::span<const aps::monitor::Observation>(
+                          &sorted_obs_[b], count));
+        }
+      });
+      k = lo;
     }
-    pool_.parallel_for(groups_.size(), [this, inputs,
-                                        decisions](std::size_t g) {
-      const auto [b, e] = groups_[g];
-      const std::size_t count = e - b;
-      chunk_shards_[g]->observe_lanes(
-          std::span<const std::size_t>(&lanes_flat_[b], count),
-          std::span<const aps::monitor::Observation>(&sorted_obs_[b], count),
-          std::span<aps::monitor::Decision>(&sorted_decisions_[b], count));
-      for (std::uint32_t kk = b; kk < e; ++kk) {
-        const std::uint32_t i = src_flat_[kk];
-        Session& session = sessions_[inputs[i].session];
-        ++session.stats.cycles;
-        if (sorted_decisions_[kk].alarm) ++session.stats.alarms;
-        decisions[i] = sorted_decisions_[kk];
+  }
+
+  if (config_.telemetry) {
+    // Merge: refresh each drifting shard's score gauge once per tick.
+    std::optional<aps::obs::Tracer::Scope> span;
+    if (tracer != nullptr) {
+      span.emplace(tracer, "serve.merge", metrics_.phase_merge);
+    }
+    for (const auto& shard : shards_) {
+      if (shard->drift() != nullptr && shard->drift_gauge() != nullptr) {
+        shard->drift_gauge()->set(shard->drift()->score());
       }
-    });
-    k = lo;
+    }
   }
 }
 
@@ -456,7 +634,18 @@ aps::monitor::Decision MonitorEngine::feed_one(
     decision = session.monitor->observe(obs);
   }
   ++session.stats.cycles;
-  if (decision.alarm) ++session.stats.alarms;
+  if (decision.alarm) {
+    ++session.stats.alarms;
+    metrics_.alarms->add(1);
+  }
+  if (config_.telemetry && session.shard != nullptr) {
+    accumulate_drift(*session.shard,
+                     std::span<const aps::monitor::Observation>(&obs, 1));
+    if (session.shard->drift() != nullptr &&
+        session.shard->drift_gauge() != nullptr) {
+      session.shard->drift_gauge()->set(session.shard->drift()->score());
+    }
+  }
   ++total_cycles_;
   record_latency(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
@@ -468,6 +657,7 @@ aps::monitor::Decision MonitorEngine::feed_one(
 void MonitorEngine::reset_session(SessionId id) {
   const std::lock_guard<std::mutex> lock(mu_);
   Session& session = checked_session(id);
+  metrics_.session_resets->add(1);
   if (session.shard != nullptr) {
     session.shard->reset_lane(session.lane);
   } else {
@@ -514,7 +704,8 @@ SessionId MonitorEngine::restore(const SessionSnapshot& snap) {
     session.monitor = snap.monitor->clone();
     prototype = session.monitor.get();
   }
-  return place_session(std::move(session), prototype, entry.version);
+  metrics_.sessions_restored->add(1);
+  return place_session(std::move(session), prototype, entry);
 }
 
 SessionStats MonitorEngine::stats(SessionId id) const {

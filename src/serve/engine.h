@@ -25,6 +25,16 @@
 // internally over the pool), which also gives reloads tick-boundary
 // semantics: in-flight ticks finish on the old generation, later ticks see
 // the new one.
+//
+// Telemetry: the engine reports into an obs::Registry — tick latency
+// histograms (whole-tick and per-shard chunk), session open/close/
+// restore/reload counters, a generation gauge, tick-phase trace spans
+// (ingest -> dispatch -> predict -> merge), and DOOD-style per-shard
+// drift detectors seeded from the bundle's training-time feature stats
+// (serve_drift_score gauges + drift_alerts_total). All hot-path updates
+// are relaxed atomics on per-thread shards; scraping never takes the
+// engine lock. Everything here is observational: decisions stay
+// bit-identical with telemetry on, off, or racing a scrape.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +49,8 @@
 #include "common/thread_pool.h"
 #include "core/monitor_factory.h"
 #include "monitor/monitor.h"
+#include "obs/drift.h"
+#include "obs/metrics.h"
 #include "serve/shard.h"
 #include "sim/runner.h"
 
@@ -76,12 +88,34 @@ struct EngineConfig {
   /// Worker threads for batched feeds; 0 = hardware concurrency.
   std::size_t threads = 0;
   ServeBackend backend = ServeBackend::kSharded;
-  /// Per-tick latency samples retained for the percentile summary (ring of
-  /// the most recent feed() calls).
-  std::size_t latency_capacity = 1 << 15;
+  /// Metric registry the engine reports into; null = the process-global
+  /// obs::Registry. Counters/gauges/histograms are registry-owned series,
+  /// so several engines sharing one registry aggregate.
+  aps::obs::Registry* registry = nullptr;
+  /// false: skip the optional telemetry — tick-phase spans, per-shard
+  /// latency histograms, and drift detection — and report the mandatory
+  /// series (tick latency, counters) into a private registry instead of
+  /// the global one. The A/B overhead baseline in bench/serve_throughput.
+  bool telemetry = true;
+  /// Drift-detector tuning for shards whose generation carries
+  /// training stats.
+  aps::obs::DriftConfig drift = {};
+};
+
+/// One shard's chunk-latency distribution ("<monitor>@g<generation>").
+struct ShardLatencySummary {
+  std::string shard;
+  std::uint64_t chunks = 0;  ///< chunk observations merged into the series
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
 };
 
 /// Per-tick feed() latency distribution plus aggregate throughput.
+/// Percentiles/max come from the engine's serve_tick_latency_us histogram
+/// (the same series a registry scrape exposes); ticks/cycles/seconds are
+/// exact engine totals.
 struct LatencySummary {
   std::uint64_t ticks = 0;    ///< feed() calls measured
   std::uint64_t cycles = 0;   ///< session-cycles served by those calls
@@ -89,6 +123,9 @@ struct LatencySummary {
   double p50_us = 0.0;
   double p95_us = 0.0;
   double p99_us = 0.0;
+  double max_us = 0.0;        ///< slowest measured tick
+  /// Per-shard chunk latency (telemetry on, sharded backend only).
+  std::vector<ShardLatencySummary> shards;
   [[nodiscard]] double cycles_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(cycles) / seconds : 0.0;
   }
@@ -164,9 +201,13 @@ class MonitorEngine {
     return pool_.thread_count();
   }
   [[nodiscard]] ServeBackend backend() const { return config_.backend; }
-  /// Latency distribution over the retained window of feed() ticks.
+  /// Latency distribution over the feed() ticks since the last reset.
   [[nodiscard]] LatencySummary latency() const;
   void reset_latency();
+  /// Registry this engine reports into (the configured one, the global
+  /// one, or the private one when telemetry is off) — scrape it for tick
+  /// latency histograms, session/reload counters, and drift gauges.
+  [[nodiscard]] aps::obs::Registry& registry() const { return *registry_; }
 
  private:
   struct Session {
@@ -186,6 +227,31 @@ class MonitorEngine {
     aps::sim::MonitorFactory factory;
     std::uint64_t version = 0;  ///< generation at registration
     int cohort = -1;            ///< patient_index bound; -1 = unknown
+    /// Training-time feature stats of the registered bundle (null for
+    /// bare register_monitor calls); seeds drift detectors of shards
+    /// created for this generation.
+    std::shared_ptr<const aps::obs::TrainingStats> stats;
+  };
+
+  /// Registry-owned series handles, resolved once at construction.
+  struct Metrics {
+    aps::obs::Counter* sessions_opened = nullptr;
+    aps::obs::Counter* sessions_closed = nullptr;
+    aps::obs::Counter* sessions_restored = nullptr;
+    aps::obs::Counter* session_resets = nullptr;
+    aps::obs::Counter* reloads = nullptr;
+    aps::obs::Gauge* sessions_open = nullptr;
+    aps::obs::Gauge* generation = nullptr;
+    aps::obs::Counter* ticks = nullptr;
+    aps::obs::Counter* cycles = nullptr;
+    aps::obs::Counter* alarms = nullptr;
+    aps::obs::Counter* drift_alerts = nullptr;
+    aps::obs::Counter* drift_samples = nullptr;
+    aps::obs::Histogram* tick_latency = nullptr;
+    aps::obs::Histogram* phase_ingest = nullptr;
+    aps::obs::Histogram* phase_dispatch = nullptr;
+    aps::obs::Histogram* phase_predict = nullptr;
+    aps::obs::Histogram* phase_merge = nullptr;
   };
 
   [[nodiscard]] Session& checked_session(SessionId id);
@@ -194,8 +260,13 @@ class MonitorEngine {
       const std::string& monitor_name, int patient_index) const;
   SessionId place_session(Session session,
                           const aps::monitor::Monitor* prototype,
-                          std::uint64_t version);
+                          const RegisteredMonitor& entry);
+  void init_shard_telemetry(ServeShard& shard,
+                            const RegisteredMonitor& entry);
+  void bump_generation_locked();
   void record_latency(double seconds, std::size_t cycles);
+  void accumulate_drift(ServeShard& shard,
+                        std::span<const aps::monitor::Observation> obs);
   void feed_scalar(std::span<const SessionInput> inputs,
                    std::span<aps::monitor::Decision> decisions);
   void feed_sharded(std::span<const SessionInput> inputs,
@@ -203,6 +274,9 @@ class MonitorEngine {
 
   EngineConfig config_;
   aps::ThreadPool pool_;
+  std::unique_ptr<aps::obs::Registry> owned_registry_;  ///< telemetry off
+  aps::obs::Registry* registry_ = nullptr;
+  Metrics metrics_;
 
   mutable std::mutex mu_;  ///< guards everything below
   std::unordered_map<std::string, RegisteredMonitor> monitors_;
@@ -215,9 +289,8 @@ class MonitorEngine {
   std::size_t open_count_ = 0;
   std::uint64_t total_cycles_ = 0;
 
-  // Latency ring (most recent config_.latency_capacity ticks) + totals.
-  std::vector<double> latency_us_;
-  std::size_t latency_next_ = 0;
+  // Exact tick totals since the last reset_latency(); the distribution
+  // itself lives in the serve_tick_latency_us histogram.
   std::uint64_t latency_ticks_ = 0;
   std::uint64_t latency_cycles_ = 0;
   double latency_seconds_ = 0.0;

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "monitor/monitor.h"
+#include "obs/drift.h"
+#include "obs/metrics.h"
 
 namespace aps::serve {
 
@@ -30,7 +32,9 @@ class ServeShard {
              std::uint32_t ordinal)
       : monitor_name_(std::move(monitor_name)),
         version_(version),
-        ordinal_(ordinal) {}
+        ordinal_(ordinal) {
+    label_ = monitor_name_ + "@g" + std::to_string(version_);
+  }
 
   [[nodiscard]] const std::string& monitor_name() const {
     return monitor_name_;
@@ -39,6 +43,24 @@ class ServeShard {
   [[nodiscard]] std::uint64_t version() const { return version_; }
   /// Engine-unique creation index; used only as a deterministic sort key.
   [[nodiscard]] std::uint32_t ordinal() const { return ordinal_; }
+  /// Metric label identity: "<monitor>@g<generation>". Sibling shards of
+  /// one (name, generation) share it — their series aggregate.
+  [[nodiscard]] const std::string& label() const { return label_; }
+
+  /// Attach the engine's telemetry handles (registry-owned series plus
+  /// this shard's drift detector); all three may be null.
+  void set_telemetry(aps::obs::Histogram* latency,
+                     aps::obs::Gauge* drift_score,
+                     std::unique_ptr<aps::obs::DriftDetector> drift) {
+    latency_hist_ = latency;
+    drift_gauge_ = drift_score;
+    drift_ = std::move(drift);
+  }
+  [[nodiscard]] aps::obs::Histogram* latency_histogram() const {
+    return latency_hist_;
+  }
+  [[nodiscard]] aps::obs::Gauge* drift_gauge() const { return drift_gauge_; }
+  [[nodiscard]] aps::obs::DriftDetector* drift() const { return drift_.get(); }
   [[nodiscard]] std::size_t lanes() const { return lane_sessions_.size(); }
   [[nodiscard]] SessionId session_at(std::size_t lane) const {
     return lane_sessions_[lane];
@@ -94,8 +116,15 @@ class ServeShard {
   std::string monitor_name_;
   std::uint64_t version_ = 0;
   std::uint32_t ordinal_ = 0;
+  std::string label_;
   std::unique_ptr<aps::monitor::MonitorBatch> batch_;  ///< created on first lane
   std::vector<SessionId> lane_sessions_;  ///< session occupying each lane
+  // Telemetry (engine-wired; null when telemetry is off). The histogram
+  // and gauge are registry-owned series keyed by label(), so they outlive
+  // the shard; the drift detector is per-shard live state.
+  aps::obs::Histogram* latency_hist_ = nullptr;
+  aps::obs::Gauge* drift_gauge_ = nullptr;
+  std::unique_ptr<aps::obs::DriftDetector> drift_;
 };
 
 }  // namespace aps::serve

@@ -5,6 +5,7 @@
 
 #include "controller/action.h"
 #include "controller/iob.h"
+#include "obs/metrics.h"
 #include "patient/sensor.h"
 
 namespace aps::sim {
@@ -389,11 +390,30 @@ void BatchSimulator::run(std::span<const RunRequest> requests,
     ledger.record(units);
   }
 
+  // Campaign telemetry: recorded once per batch (never inside the lockstep
+  // loop), into the process-global registry so campaign drivers and the
+  // serving process scrape one place. Series handles are static — the
+  // registry owns them for the process lifetime.
+  auto& registry = aps::obs::Registry::global();
+  static aps::obs::Counter& runs_total = registry.counter(
+      "sim_runs_total", {}, "simulation runs completed");
+  static aps::obs::Counter& steps_total = registry.counter(
+      "sim_steps_total", {}, "control steps executed across all runs");
+  static aps::obs::Counter& hazards_total = registry.counter(
+      "sim_hazard_runs_total", {}, "completed runs labeled hazardous");
+
+  std::uint64_t steps_done = 0;
+  std::uint64_t hazards = 0;
   for (std::size_t lane = 0; lane < lanes; ++lane) {
     results[lane].label = aps::risk::label_trace(
         results[lane].bg_trace(), requests[lane].config.labeling);
+    steps_done += results[lane].steps.size();
+    if (results[lane].label.hazardous) ++hazards;
     emit(lane, results[lane], observed[lane]);
   }
+  runs_total.add(lanes);
+  steps_total.add(steps_done);
+  if (hazards > 0) hazards_total.add(hazards);
 }
 
 }  // namespace aps::sim

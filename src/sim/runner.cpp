@@ -4,6 +4,7 @@
 #include <map>
 #include <numeric>
 
+#include "obs/metrics.h"
 #include "sim/batch.h"
 
 namespace aps::sim {
@@ -95,6 +96,18 @@ void for_each_run_observed(const Stack& stack, std::size_t count,
       const Prototypes& protos = it->second;
       const SimResult result = run_simulation(
           *protos.patient, *protos.controller, *protos.monitor, req.config);
+      // Mirror the batched backend's campaign counters so a scraper sees
+      // the same series regardless of SimBackend.
+      auto& registry = aps::obs::Registry::global();
+      static aps::obs::Counter& runs_total = registry.counter(
+          "sim_runs_total", {}, "simulation runs completed");
+      static aps::obs::Counter& steps_total = registry.counter(
+          "sim_steps_total", {}, "control steps executed across all runs");
+      static aps::obs::Counter& hazards_total = registry.counter(
+          "sim_hazard_runs_total", {}, "completed runs labeled hazardous");
+      runs_total.add(1);
+      steps_total.add(result.steps.size());
+      if (result.label.hazardous) hazards_total.add(1);
       // Observers replay the recorded trace: observation_from_record is
       // bit-identical to the in-loop Observation stream.
       for (std::size_t o = 0; o < observers.size(); ++o) {
@@ -112,12 +125,19 @@ void for_each_run_observed(const Stack& stack, std::size_t count,
     }
   };
 
+  // Shard-progress telemetry: one counter bump per finished shard lets a
+  // scraper watch a long streaming campaign advance without touching the
+  // per-run hot path.
+  static aps::obs::Counter& shards_done = aps::obs::Registry::global().counter(
+      "sim_shards_completed_total", {},
+      "streaming campaign shards fully executed");
   const auto run_shard = [&](std::size_t shard) {
     if (streaming.backend == SimBackend::kBatched) {
       run_shard_batched(shard);
     } else {
       run_shard_scalar(shard);
     }
+    shards_done.add(1);
   };
 
   if (pool != nullptr) {

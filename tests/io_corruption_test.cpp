@@ -6,14 +6,17 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstddef>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "io/artifact_io.h"
+#include "obs/drift.h"
 #include "serve/engine.h"
 #include "synthetic_util.h"
 
@@ -218,6 +221,76 @@ TEST_F(IoCorruptionTest, HotReloadOfCorruptBundleLeavesLiveEngineUntouched) {
     EXPECT_NO_THROW(
         (void)engine.open_session("fresh-" + kind, kind, 0));
   }
+}
+
+TEST_F(IoCorruptionTest, TrainingStatsSectionTruncationAndHostileLengths) {
+  // Twin bundles, identical except for the optional trailing training-stats
+  // section, pin down the section's exact byte span: marker + version +
+  // count (16 bytes) then 40 bytes per feature.
+  core::ArtifactBundle bundle;
+  bundle.artifacts = testutil::synth_artifacts(2);
+  const std::string legacy_file = path("legacy.aps");
+  io::save_bundle(bundle, legacy_file);
+
+  constexpr std::size_t kFeatures = 6;
+  obs::TrainingStats stats;
+  for (std::size_t f = 0; f < kFeatures; ++f) {
+    obs::FeatureSummary feature;
+    feature.add(static_cast<double>(f));
+    feature.add(static_cast<double>(f) + 10.0);
+    stats.features.push_back(feature);
+  }
+  bundle.training_stats = std::make_shared<const obs::TrainingStats>(stats);
+  const std::string stats_file = path("stats.aps");
+  io::save_bundle(bundle, stats_file);
+
+  const auto read_all = [](const std::string& file) {
+    std::ifstream in(file, std::ios::binary);
+    return std::vector<char>{std::istreambuf_iterator<char>(in),
+                             std::istreambuf_iterator<char>()};
+  };
+  const std::vector<char> legacy = read_all(legacy_file);
+  const std::vector<char> full = read_all(stats_file);
+  const std::size_t legacy_len = legacy.size();
+  ASSERT_EQ(full.size(), legacy_len + 16 + 40 * kFeatures);
+  ASSERT_TRUE(std::equal(legacy.begin(), legacy.end(), full.begin()));
+
+  // The legacy boundary is the ONE prefix that must load — as an old-format
+  // bundle with no stats. Every other strict prefix cuts a read short.
+  const std::string file = path("stats_truncated.aps");
+  for (std::size_t len = legacy_len; len < full.size(); ++len) {
+    write_bytes(file, {full.begin(), full.begin() + len});
+    if (len == legacy_len) {
+      const core::ArtifactBundle loaded = io::load_bundle(file);
+      EXPECT_EQ(loaded.training_stats, nullptr);
+    } else {
+      EXPECT_THROW((void)io::load_bundle(file), io::IoError)
+          << "stats section truncated at byte " << len << " of "
+          << full.size();
+    }
+  }
+  write_bytes(file, full);
+  const core::ArtifactBundle reloaded = io::load_bundle(file);
+  ASSERT_NE(reloaded.training_stats, nullptr);
+  EXPECT_EQ(reloaded.training_stats->features.size(), kFeatures);
+
+  // Junk after a complete section must reject: the loader consumes files
+  // exactly, stats or no stats.
+  std::vector<char> padded = full;
+  padded.push_back(0);
+  write_bytes(file, padded);
+  EXPECT_THROW((void)io::load_bundle(file), io::IoError);
+
+  // A hostile feature count (marker + version are the first 8 section
+  // bytes; the u64 count follows) must fail the remaining-bytes check
+  // before allocating anything.
+  std::vector<char> hostile = full;
+  const std::size_t count_offset = legacy_len + 8;
+  hostile[count_offset] = static_cast<char>(0xff);
+  hostile[count_offset + 1] = static_cast<char>(0xff);
+  hostile[count_offset + 2] = static_cast<char>(0xff);
+  write_bytes(file, hostile);
+  EXPECT_THROW((void)io::load_bundle(file), io::IoError);
 }
 
 TEST_F(IoCorruptionTest, GarbageAndEmptyFilesThrowIoError) {

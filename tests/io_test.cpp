@@ -5,10 +5,14 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
+#include <memory>
 #include <string>
+#include <utility>
 
 #include "io/artifact_io.h"
 #include "monitor/guideline.h"
+#include "obs/drift.h"
 #include "synthetic_util.h"
 
 namespace {
@@ -172,6 +176,54 @@ TEST_F(IoTest, BundleRoundTripAllMonitors) {
   }
 }
 
+TEST_F(IoTest, BundleTrainingStatsRoundTrip) {
+  core::ArtifactBundle bundle;
+  bundle.artifacts = testutil::synth_artifacts(2);
+  obs::TrainingStats stats;
+  for (int f = 0; f < 6; ++f) {
+    obs::FeatureSummary feature;
+    feature.add(static_cast<double>(f) - 0.25);
+    feature.add(static_cast<double>(f) * 3.5);
+    feature.add(1e6 + f);
+    stats.features.push_back(feature);
+  }
+  bundle.training_stats =
+      std::make_shared<const obs::TrainingStats>(std::move(stats));
+
+  io::save_bundle(bundle, path("with_stats.aps"));
+  const core::ArtifactBundle loaded = io::load_bundle(path("with_stats.aps"));
+  ASSERT_NE(loaded.training_stats, nullptr);
+  ASSERT_EQ(loaded.training_stats->features.size(), 6u);
+  for (std::size_t f = 0; f < 6; ++f) {
+    const auto& want = bundle.training_stats->features[f];
+    const auto& got = loaded.training_stats->features[f];
+    EXPECT_EQ(got.count, want.count);
+    EXPECT_EQ(got.sum, want.sum);        // bit-exact f64 round-trip
+    EXPECT_EQ(got.sum_sq, want.sum_sq);
+    EXPECT_EQ(got.min, want.min);
+    EXPECT_EQ(got.max, want.max);
+  }
+}
+
+TEST_F(IoTest, StatLessBundleBytesAreLegacyIdentical) {
+  // The stats section is written ONLY when stats exist: a stat-less bundle
+  // must be byte-identical to one whose stats pointer holds an empty set —
+  // i.e. the legacy format, so pre-section files keep loading.
+  core::ArtifactBundle bundle;
+  bundle.artifacts = testutil::synth_artifacts(2);
+  io::save_bundle(bundle, path("null_stats.aps"));
+  bundle.training_stats = std::make_shared<const obs::TrainingStats>();
+  io::save_bundle(bundle, path("empty_stats.aps"));
+  const auto read_all = [](const std::string& file) {
+    std::ifstream in(file, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  };
+  EXPECT_EQ(read_all(path("null_stats.aps")),
+            read_all(path("empty_stats.aps")));
+  EXPECT_EQ(io::load_bundle(path("null_stats.aps")).training_stats, nullptr);
+}
+
 TEST_F(IoTest, BundleWithoutModelsLoadsNullPointers) {
   core::ArtifactBundle bundle;
   bundle.artifacts = testutil::synth_artifacts(2);
@@ -180,6 +232,7 @@ TEST_F(IoTest, BundleWithoutModelsLoadsNullPointers) {
   EXPECT_EQ(loaded.dt, nullptr);
   EXPECT_EQ(loaded.mlp, nullptr);
   EXPECT_EQ(loaded.lstm, nullptr);
+  EXPECT_EQ(loaded.training_stats, nullptr);
   EXPECT_THROW((void)core::factory_from_bundle(loaded, "dt"),
                std::runtime_error);
   EXPECT_NO_THROW((void)core::factory_from_bundle(loaded, "cawt"));

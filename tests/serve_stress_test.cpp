@@ -8,12 +8,15 @@
 // race on the shared registry/shard state.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <fstream>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/engine.h"
 #include "synthetic_util.h"
 
@@ -36,7 +39,10 @@ core::ArtifactBundle rule_bundle() {
 
 TEST(ServeStress, ConcurrentChurnFeedAndReloadStaysCrossWireFree) {
   const auto bundle = rule_bundle();
-  serve::MonitorEngine engine({.threads = 2});
+  // Private registry: the final counter-consistency checks below are exact
+  // only when nothing else in the process reports into the same series.
+  obs::Registry registry;
+  serve::MonitorEngine engine({.threads = 2, .registry = &registry});
   engine.register_bundle(bundle);
 
   // Worker-side failures are collected and reported from the main thread.
@@ -55,6 +61,25 @@ TEST(ServeStress, ConcurrentChurnFeedAndReloadStaysCrossWireFree) {
       engine.register_bundle(bundle);
       std::this_thread::yield();
     }
+  });
+
+  // Scraper: renders both expositions continuously while the workers and
+  // the reloader mutate every series — the TSan job verifies scrapes never
+  // race the relaxed hot-path writes.
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    std::size_t scrapes = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::string prom = registry.scrape_prometheus();
+      const std::string json = registry.scrape_json();
+      if (prom.find("serve_ticks_total") == std::string::npos ||
+          json.find("\"metrics\"") == std::string::npos) {
+        fail("scrape " + std::to_string(scrapes) + " missing core series");
+      }
+      ++scrapes;
+      std::this_thread::yield();
+    }
+    if (scrapes == 0) fail("scraper never completed a scrape");
   });
 
   std::vector<std::thread> workers;
@@ -136,6 +161,8 @@ TEST(ServeStress, ConcurrentChurnFeedAndReloadStaysCrossWireFree) {
 
   for (auto& worker : workers) worker.join();
   reloader.join();
+  stop.store(true, std::memory_order_relaxed);
+  scraper.join();
 
   for (const auto& message : failures) ADD_FAILURE() << message;
   EXPECT_EQ(engine.session_count(), 0u);
@@ -146,6 +173,29 @@ TEST(ServeStress, ConcurrentChurnFeedAndReloadStaysCrossWireFree) {
       static_cast<std::uint64_t>(kWorkers) * kRounds *
       (kSteps * kSessionsPerWorker + 8);
   EXPECT_EQ(engine.total_cycles(), expected);
+
+  // With the workers quiesced, the sharded relaxed-atomic counters must
+  // have lost nothing: every lifecycle event reconciles exactly.
+  const std::uint64_t rounds_total =
+      static_cast<std::uint64_t>(kWorkers) * kRounds;
+  EXPECT_EQ(registry.counter_value("serve_cycles_total"), expected);
+  EXPECT_EQ(registry.counter_value("serve_ticks_total"),
+            rounds_total * kSteps + rounds_total * 8);
+  EXPECT_EQ(registry.counter_value("serve_sessions_opened_total"),
+            rounds_total * kSessionsPerWorker);
+  EXPECT_EQ(registry.counter_value("serve_sessions_restored_total"),
+            rounds_total);
+  EXPECT_EQ(registry.counter_value("serve_sessions_closed_total"),
+            rounds_total * (kSessionsPerWorker + 1));
+  EXPECT_EQ(registry.counter_value("serve_reloads_total"), 1u + kReloads);
+  EXPECT_EQ(registry.gauge_value("serve_sessions_open"), 0.0);
+
+  // Final scrape doubles as the CI metrics artifact: the workflow uploads
+  // serve_stress_metrics.prom and smoke-parses the exposition.
+  std::ofstream out("serve_stress_metrics.prom",
+                    std::ios::binary | std::ios::trunc);
+  out << registry.scrape_prometheus();
+  ASSERT_TRUE(out.good());
 }
 
 }  // namespace

@@ -332,6 +332,183 @@ TEST(ServeEngine, LatencySummaryCountsTicksAndCycles) {
       << "latency reset must not clear served-cycle accounting";
 }
 
+TEST(ServeEngine, TelemetryCountersTrackEngineLifecycle) {
+  // A private registry isolates the series this engine emits from the
+  // process-global one other tests (and the sim layer) write into.
+  obs::Registry registry;
+  serve::MonitorEngine engine({.threads = 2, .registry = &registry});
+  engine.register_bundle(rule_bundle(2));
+  EXPECT_EQ(registry.counter_value("serve_reloads_total"), 1u);
+  EXPECT_EQ(registry.gauge_value("serve_generation"),
+            static_cast<double>(engine.generation()));
+
+  const auto a = engine.open_session("a", "cawt", 0);
+  const auto b = engine.open_session("b", "guideline", 1);
+  EXPECT_EQ(registry.counter_value("serve_sessions_opened_total"), 2u);
+  EXPECT_EQ(registry.gauge_value("serve_sessions_open"), 2.0);
+
+  const auto stream = testutil::synth_stream(25, 11);
+  for (const auto& obs : stream) {
+    const std::vector<serve::SessionInput> batch = {{a, obs}, {b, obs}};
+    (void)engine.feed(batch);
+  }
+  EXPECT_EQ(registry.counter_value("serve_ticks_total"), stream.size());
+  EXPECT_EQ(registry.counter_value("serve_cycles_total"), 2 * stream.size());
+
+  engine.reset_session(a);
+  EXPECT_EQ(registry.counter_value("serve_session_resets_total"), 1u);
+
+  const serve::SessionSnapshot snap = engine.snapshot(b);
+  engine.close_session(b);
+  EXPECT_EQ(registry.counter_value("serve_sessions_closed_total"), 1u);
+  EXPECT_EQ(registry.gauge_value("serve_sessions_open"), 1.0);
+  (void)engine.restore(snap);
+  EXPECT_EQ(registry.counter_value("serve_sessions_restored_total"), 1u);
+  EXPECT_EQ(registry.gauge_value("serve_sessions_open"), 2.0);
+
+  // A hot reload bumps the reload counter and the generation gauge.
+  engine.register_bundle(rule_bundle(2));
+  EXPECT_EQ(registry.counter_value("serve_reloads_total"), 2u);
+  EXPECT_EQ(registry.gauge_value("serve_generation"),
+            static_cast<double>(engine.generation()));
+
+  // The tick latency histogram carries every feed() call and shows up in
+  // both expositions.
+  const std::string prom = registry.scrape_prometheus();
+  EXPECT_NE(prom.find("serve_tick_latency_us_count"), std::string::npos);
+  EXPECT_NE(prom.find("serve_shard_tick_latency_us"), std::string::npos);
+  EXPECT_NE(prom.find("serve_phase_us"), std::string::npos);
+  const std::string json = registry.scrape_json();
+  EXPECT_NE(json.find("\"serve_tick_latency_us\""), std::string::npos);
+}
+
+TEST(ServeEngine, TelemetryOffUsesPrivateRegistryAndStaysCorrect) {
+  // telemetry=false must not leak serving series into the global registry,
+  // and decisions must stay identical to the telemetry=true engine.
+  const auto bundle = rule_bundle(2);
+  const auto before =
+      obs::Registry::global().counter_value("serve_ticks_total");
+  serve::MonitorEngine quiet(
+      {.threads = 2, .telemetry = false});
+  quiet.register_bundle(bundle);
+  serve::MonitorEngine loud({.threads = 2});
+  loud.register_bundle(bundle);
+
+  const auto qa = quiet.open_session("a", "cawt", 0);
+  const auto la = loud.open_session("a", "cawt", 0);
+  for (const auto& obs : testutil::synth_stream(40, 21)) {
+    EXPECT_TRUE(testutil::decisions_equal(quiet.feed_one(qa, obs),
+                                          loud.feed_one(la, obs)));
+  }
+  EXPECT_EQ(obs::Registry::global().counter_value("serve_ticks_total"),
+            before + 40)
+      << "only the telemetry=true engine reports into the global registry";
+  // The mandatory series still exist on the quiet engine's own registry.
+  EXPECT_EQ(quiet.registry().counter_value("serve_ticks_total"), 40u);
+}
+
+TEST(ServeEngine, DriftAlertsFireOnDistributionShiftOnly) {
+  // Seed the bundle with training-time feature stats, then stream (a) data
+  // from the training distribution and (b) a shifted distribution: only
+  // the shift may raise drift_alerts_total.
+  core::ArtifactBundle bundle = rule_bundle(2);
+  {
+    const auto train = testutil::synth_stream(4000, 404);
+    std::vector<double> rows;
+    rows.reserve(train.size() * monitor::kMlFeatureCount);
+    for (const auto& obs : train) {
+      const auto features = monitor::ml_features(obs);
+      rows.insert(rows.end(), features.begin(), features.end());
+    }
+    bundle.training_stats = std::make_shared<const obs::TrainingStats>(
+        obs::training_stats_from_samples(monitor::kMlFeatureCount, rows));
+  }
+  // 8 sessions x 60 ticks with independent streams = 480 distinct draws;
+  // the 256-sample gate then sits at ~8 standard errors of the training
+  // mean, so the unshifted run stays deterministically below threshold.
+  const obs::DriftConfig drift = {
+      .min_samples = 256, .threshold = 0.5, .clear_factor = 0.8, .stride = 1};
+
+  const auto run = [&](bool shifted) {
+    auto registry = std::make_unique<obs::Registry>();
+    serve::MonitorEngine engine(
+        {.threads = 2, .registry = registry.get(), .drift = drift});
+    engine.register_bundle(bundle);
+    std::vector<serve::SessionId> ids;
+    std::vector<std::vector<monitor::Observation>> streams;
+    for (int s = 0; s < 8; ++s) {
+      ids.push_back(
+          engine.open_session("p" + std::to_string(s), "guideline", s % 2));
+      streams.push_back(
+          testutil::synth_stream(60, 505 + static_cast<std::uint64_t>(s)));
+      if (shifted) {
+        for (auto& obs : streams.back()) {
+          obs.bg += 300.0;  // ~3.7 training sigmas
+        }
+      }
+    }
+    for (std::size_t k = 0; k < 60; ++k) {
+      std::vector<serve::SessionInput> batch;
+      for (std::size_t s = 0; s < ids.size(); ++s) {
+        batch.push_back({ids[s], streams[s][k]});
+      }
+      (void)engine.feed(batch);
+    }
+    struct Result {
+      std::uint64_t alerts;
+      std::uint64_t samples;
+      double score;
+    };
+    return Result{registry->counter_value("drift_alerts_total"),
+                  registry->counter_value("drift_samples_total"),
+                  registry->gauge_value("serve_drift_score",
+                                        {{"shard", "guideline@g1"}})};
+  };
+
+  const auto clean = run(false);
+  EXPECT_EQ(clean.alerts, 0u) << "in-distribution stream must not alert";
+  EXPECT_GT(clean.samples, drift.min_samples);
+  EXPECT_LT(clean.score, drift.threshold);
+
+  const auto shift = run(true);
+  EXPECT_GE(shift.alerts, 1u) << "a 3.7-sigma bg shift must alert";
+  EXPECT_GT(shift.score, drift.threshold);
+}
+
+TEST(ServeEngine, LatencySummaryReportsMaxAndPerShardBreakdown) {
+  obs::Registry registry;
+  serve::MonitorEngine engine({.threads = 2, .registry = &registry});
+  engine.register_bundle(rule_bundle(2));
+  const auto a = engine.open_session("a", "cawt", 0);
+  const auto b = engine.open_session("b", "guideline", 1);
+  for (const auto& obs : testutil::synth_stream(30, 9)) {
+    const std::vector<serve::SessionInput> batch = {{a, obs}, {b, obs}};
+    (void)engine.feed(batch);
+  }
+
+  const serve::LatencySummary summary = engine.latency();
+  EXPECT_GT(summary.max_us, 0.0);
+  EXPECT_GE(summary.max_us, summary.p99_us)
+      << "max must bound every percentile";
+
+  ASSERT_EQ(summary.shards.size(), 2u);
+  std::vector<std::string> labels;
+  for (const auto& shard : summary.shards) {
+    labels.push_back(shard.shard);
+    EXPECT_GT(shard.chunks, 0u);
+    EXPECT_GT(shard.max_us, 0.0);
+    EXPECT_GE(shard.max_us, shard.p99_us);
+    EXPECT_LE(shard.p50_us, shard.p95_us);
+  }
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "cawt@g1"), labels.end());
+  EXPECT_NE(std::find(labels.begin(), labels.end(), "guideline@g1"),
+            labels.end());
+
+  engine.reset_latency();
+  EXPECT_EQ(engine.latency().max_us, 0.0);
+  EXPECT_TRUE(engine.latency().shards.empty());
+}
+
 TEST(ServeEngine, RegisterBundleExposesRuleMonitors) {
   serve::MonitorEngine engine({.threads = 1});
   engine.register_bundle(rule_bundle());
