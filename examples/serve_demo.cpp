@@ -17,10 +17,20 @@
 //   --metrics           dump the engine's metric registry after serving
 //                       (Prometheus text on stdout; --metrics-json for the
 //                       JSON exposition instead)
+//   --replay=<listfile> skip the cohort stream: re-drive a recorded
+//                       session listfile through the loaded engine and
+//                       verify the decisions match the recording
+//   --listen=<port>     after serving, open the TCP ingest front door on
+//                       the port (0 = ephemeral) and accept clients until
+//                       stdin closes (or --listen-secs elapses)
+//   --record=<listfile> with --listen: record every served session to a
+//                       listfile replayable via --replay
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/cli.h"
@@ -28,6 +38,8 @@
 #include "core/experiment.h"
 #include "core/threshold_pipeline.h"
 #include "io/artifact_io.h"
+#include "net/listfile.h"
+#include "net/server.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
 #include "sim/stack.h"
@@ -172,6 +184,26 @@ int main(int argc, char** argv) try {
                 identical ? "yes" : "NO (bug!)");
   }
 
+  // Replay mode: re-drive a recorded listfile instead of the cohort
+  // stream. The engine must carry the same bundle the recording ran
+  // against for the decision verification to come back clean.
+  if (flags.has("replay")) {
+    const std::string listfile = flags.get_string("replay", "");
+    std::printf("[4/5] replaying session listfile %s...\n", listfile.c_str());
+    const net::ReplayResult result = net::replay_listfile(listfile, engine);
+    std::printf(
+        "      %zu sessions (%zu closed), %ju ticks re-driven\n"
+        "      %ju decisions compared, %ju mismatches, %ju unmatched -> %s\n",
+        result.sessions_opened, result.sessions_closed,
+        static_cast<std::uintmax_t>(result.ticks),
+        static_cast<std::uintmax_t>(result.compared),
+        static_cast<std::uintmax_t>(result.mismatches),
+        static_cast<std::uintmax_t>(result.unmatched),
+        result.mismatches == 0 ? "replay matches the recording"
+                               : "REPLAY DIVERGED (bug!)");
+    return result.mismatches == 0 ? 0 : 1;
+  }
+
   // 4. Stream the recorded cohort through concurrent sessions.
   std::printf("[4/5] streaming cohort traces (%d scenarios/patient)...\n\n",
               scenarios);
@@ -214,6 +246,38 @@ int main(int argc, char** argv) try {
       bundle_path.c_str(), static_cast<std::uintmax_t>(before),
       static_cast<std::uintmax_t>(engine.generation()),
       engine.session_count());
+
+  // Optional network front door: serve live TCP clients on the same
+  // engine (see examples/net_client.cpp for the matching client).
+  if (flags.has("listen")) {
+    net::ServerConfig server_config;
+    server_config.port =
+        static_cast<std::uint16_t>(flags.get_int("listen", 0));
+    server_config.listfile = flags.get_string("record", "");
+    net::IngestServer server(engine, server_config);
+    server.start();
+    std::printf("\ningest server listening on 127.0.0.1:%u%s%s\n",
+                server.port(),
+                server_config.listfile.empty() ? "" : ", recording to ",
+                server_config.listfile.c_str());
+    const int listen_secs = flags.get_int("listen-secs", 0);
+    if (listen_secs > 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(listen_secs));
+    } else {
+      std::printf("press enter (or close stdin) to stop\n");
+      std::cin.get();
+    }
+    server.stop();
+    const net::ServerStats net_stats = server.stats();
+    std::printf(
+        "served %ju connections, %ju observations in %ju batches "
+        "(%ju bytes in, %ju bytes out)\n",
+        static_cast<std::uintmax_t>(net_stats.accepted),
+        static_cast<std::uintmax_t>(net_stats.ticks_fed),
+        static_cast<std::uintmax_t>(net_stats.batches),
+        static_cast<std::uintmax_t>(net_stats.bytes_in),
+        static_cast<std::uintmax_t>(net_stats.bytes_out));
+  }
 
   // Optional scrape: everything the engine (and the training pipeline)
   // recorded, in the exposition a Prometheus agent — or a JSON consumer —

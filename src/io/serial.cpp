@@ -1,6 +1,7 @@
 #include "io/serial.h"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 
 namespace aps::io {
@@ -8,11 +9,37 @@ namespace aps::io {
 namespace {
 
 // Hard ceilings for length fields; anything above these in a header is a
-// corrupt or hostile file, not a real artifact.
+// corrupt or hostile input, not a real artifact or frame.
 constexpr std::uint64_t kMaxStringLen = 1u << 20;       // 1 MiB
 constexpr std::uint64_t kMaxElementCount = 1u << 28;    // 256M doubles
 
+/// CRC-32 (IEEE, reflected polynomial 0xEDB88320) lookup table, built once.
+const std::array<std::uint32_t, 256>& crc32_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
 }  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t n, std::uint32_t seed) {
+  const auto& table = crc32_table();
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
 
 std::string artifact_kind_name(ArtifactKind kind) {
   switch (kind) {
@@ -27,21 +54,31 @@ std::string artifact_kind_name(ArtifactKind kind) {
 
 // ---- BinaryWriter ----------------------------------------------------------
 
+BinaryWriter::BinaryWriter() : path_("<memory>") {}
+
 BinaryWriter::BinaryWriter(const std::string& path)
-    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+    : path_(path), to_file_(true),
+      out_(path, std::ios::binary | std::ios::trunc) {
   if (!out_) {
     throw IoError("cannot open '" + path + "' for writing");
   }
 }
 
 void BinaryWriter::raw(const void* data, std::size_t n) {
-  out_.write(static_cast<const char*>(data), static_cast<std::streamsize>(n));
-  if (!out_) {
-    throw IoError("write failure on '" + path_ + "'");
+  if (to_file_) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(n));
+    if (!out_) {
+      throw IoError("write failure on '" + path_ + "'");
+    }
+    return;
   }
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), bytes, bytes + n);
 }
 
 void BinaryWriter::u8(std::uint8_t v) { raw(&v, sizeof v); }
+void BinaryWriter::u16(std::uint16_t v) { raw(&v, sizeof v); }
 void BinaryWriter::u32(std::uint32_t v) { raw(&v, sizeof v); }
 void BinaryWriter::u64(std::uint64_t v) { raw(&v, sizeof v); }
 void BinaryWriter::i32(std::int32_t v) { raw(&v, sizeof v); }
@@ -66,6 +103,7 @@ void BinaryWriter::map_f64(const std::map<std::string, double>& m) {
 }
 
 void BinaryWriter::finish() {
+  if (!to_file_) return;
   out_.flush();
   if (!out_) {
     throw IoError("flush failure on '" + path_ + "'");
@@ -75,7 +113,7 @@ void BinaryWriter::finish() {
 // ---- BinaryReader ----------------------------------------------------------
 
 BinaryReader::BinaryReader(const std::string& path)
-    : path_(path), in_(path, std::ios::binary) {
+    : path_(path), from_file_(true), in_(path, std::ios::binary) {
   if (!in_) {
     throw IoError("cannot open '" + path + "' for reading");
   }
@@ -88,11 +126,23 @@ BinaryReader::BinaryReader(const std::string& path)
   size_ = static_cast<std::uint64_t>(end);
 }
 
+BinaryReader::BinaryReader(std::span<const std::uint8_t> data,
+                           std::string name)
+    : path_(std::move(name)), view_(data), size_(data.size()) {}
+
 void BinaryReader::raw(void* data, std::size_t n) {
-  in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
-  if (in_.gcount() != static_cast<std::streamsize>(n)) {
-    throw IoError("truncated artifact: unexpected end of file in '" + path_ +
-                  "'");
+  if (from_file_) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (in_.gcount() != static_cast<std::streamsize>(n)) {
+      throw IoError("truncated artifact: unexpected end of file in '" +
+                    path_ + "'");
+    }
+  } else {
+    if (n > remaining()) {
+      throw IoError("truncated artifact: unexpected end of input in '" +
+                    path_ + "'");
+    }
+    std::memcpy(data, view_.data() + consumed_, n);
   }
   consumed_ += n;
 }
@@ -122,6 +172,12 @@ std::uint64_t BinaryReader::count(std::uint64_t limit, const char* what,
 
 std::uint8_t BinaryReader::u8() {
   std::uint8_t v = 0;
+  raw(&v, sizeof v);
+  return v;
+}
+
+std::uint16_t BinaryReader::u16() {
+  std::uint16_t v = 0;
   raw(&v, sizeof v);
   return v;
 }

@@ -1,0 +1,74 @@
+// Minimal blocking TCP client for the ingest front door: one socket, one
+// FrameDecoder, synchronous helpers for the handshake and per-session
+// calls. Decisions arrive at the server's tick cadence rather than
+// per-request, so recv-side helpers pull from an inbox that tolerates
+// frames arriving out of the order the caller asks for them (e.g. a
+// CloseAck landing before the last few Decision frames are consumed).
+// Used by examples/net_client, the stress test, and bench/net_ingest —
+// production clients would speak the protocol directly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "net/protocol.h"
+
+namespace aps::net {
+
+class BlockingClient {
+ public:
+  /// Connect + kHello handshake; throws IoError/ProtocolError on failure.
+  BlockingClient(const std::string& host, std::uint16_t port,
+                 const std::string& client_name = "client");
+  ~BlockingClient();
+
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Engine model generation reported in the server's HelloAck.
+  [[nodiscard]] std::uint64_t server_generation() const {
+    return generation_;
+  }
+
+  /// kOpenSession -> kOpenAck; throws ProtocolError when the server
+  /// refuses (unknown monitor, duplicate patient, ...).
+  void open_session(std::uint64_t token, const std::string& patient_id,
+                    const std::string& monitor, std::int32_t patient_index);
+
+  /// Fire-and-forget: the decision comes back on the server's tick
+  /// cadence; collect it with recv_decision().
+  void send_tick(std::uint64_t token, std::uint64_t seq,
+                 const aps::monitor::Observation& obs);
+
+  /// Next kDecision frame (blocking). Other frame kinds received while
+  /// waiting are parked in the inbox for their own helpers.
+  [[nodiscard]] DecisionMsg recv_decision();
+
+  /// kCloseSession -> kCloseAck with the session's final stats.
+  CloseAckMsg close_session(std::uint64_t token);
+
+  /// Raw escape hatches (used by the fuzz/stress tests).
+  void send_frame(const Frame& frame);
+  void send_raw(const void* data, std::size_t n);
+  [[nodiscard]] Frame recv_frame();
+
+  [[nodiscard]] std::uint64_t bytes_sent() const { return bytes_sent_; }
+  [[nodiscard]] std::uint64_t bytes_received() const {
+    return bytes_received_;
+  }
+
+ private:
+  /// Block until a frame of `kind` arrives; parks everything else.
+  Frame wait_for(FrameKind kind);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+  std::deque<Frame> inbox_;
+  std::uint64_t generation_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+};
+
+}  // namespace aps::net

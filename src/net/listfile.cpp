@@ -1,0 +1,340 @@
+#include "net/listfile.h"
+
+#include <cstring>
+#include <deque>
+#include <unordered_map>
+
+#include "net/protocol.h"
+
+namespace aps::net {
+
+namespace {
+
+void write_record_header(std::ofstream& out, const std::string& path,
+                         RecordKind kind,
+                         const std::vector<std::uint8_t>& payload) {
+  const auto kind_byte = static_cast<std::uint8_t>(kind);
+  std::uint32_t crc = aps::io::crc32(&kind_byte, 1);
+  crc = aps::io::crc32(payload.data(), payload.size(), crc);
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.put(static_cast<char>(kind_byte));
+  out.write(reinterpret_cast<const char*>(&len), sizeof len);
+  out.write(reinterpret_cast<const char*>(&crc), sizeof crc);
+  if (!payload.empty()) {
+    out.write(reinterpret_cast<const char*>(payload.data()),
+              static_cast<std::streamsize>(payload.size()));
+  }
+  if (!out) {
+    throw aps::io::IoError("write failure on listfile '" + path + "'");
+  }
+}
+
+}  // namespace
+
+// ---- ListfileWriter --------------------------------------------------------
+
+ListfileWriter::ListfileWriter(const std::string& path)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) {
+    throw aps::io::IoError("cannot open listfile '" + path +
+                           "' for writing");
+  }
+  out_.write(reinterpret_cast<const char*>(&kListfileMagic),
+             sizeof kListfileMagic);
+  out_.write(reinterpret_cast<const char*>(&kListfileVersion),
+             sizeof kListfileVersion);
+  if (!out_) {
+    throw aps::io::IoError("write failure on listfile '" + path_ + "'");
+  }
+}
+
+ListfileWriter::~ListfileWriter() {
+  try {
+    finish();
+  } catch (const aps::io::IoError&) {
+    // Destructors must not throw; an explicit finish() reports failures.
+  }
+}
+
+void ListfileWriter::append(RecordKind kind,
+                            aps::io::BinaryWriter&& payload) {
+  if (finished_) {
+    throw aps::io::IoError("listfile '" + path_ +
+                           "' already finished, cannot append");
+  }
+  const std::vector<std::uint8_t> bytes = payload.take();
+  write_record_header(out_, path_, kind, bytes);
+  if (kind == RecordKind::kSync) return;
+  ++records_;
+  if (++since_sync_ >= kSyncInterval) {
+    write_sync();
+  }
+}
+
+void ListfileWriter::write_sync() {
+  aps::io::BinaryWriter payload;
+  payload.u64(records_);
+  append(RecordKind::kSync, std::move(payload));
+  since_sync_ = 0;
+}
+
+void ListfileWriter::record_open(const OpenRecord& record) {
+  aps::io::BinaryWriter payload;
+  payload.u64(record.key);
+  payload.str(record.patient_id);
+  payload.str(record.monitor);
+  payload.i32(record.patient_index);
+  append(RecordKind::kOpen, std::move(payload));
+}
+
+void ListfileWriter::record_tick(const TickRecord& record) {
+  aps::io::BinaryWriter payload;
+  payload.u64(record.key);
+  payload.u64(record.seq);
+  write_observation(payload, record.obs);
+  append(RecordKind::kTick, std::move(payload));
+}
+
+void ListfileWriter::record_decision(const DecisionRecord& record) {
+  aps::io::BinaryWriter payload;
+  payload.u64(record.key);
+  payload.u64(record.seq);
+  write_decision(payload, record.decision);
+  append(RecordKind::kDecision, std::move(payload));
+}
+
+void ListfileWriter::record_close(const CloseRecord& record) {
+  aps::io::BinaryWriter payload;
+  payload.u64(record.key);
+  append(RecordKind::kClose, std::move(payload));
+}
+
+void ListfileWriter::finish() {
+  if (finished_) return;
+  write_sync();
+  finished_ = true;
+  out_.flush();
+  if (!out_) {
+    throw aps::io::IoError("flush failure on listfile '" + path_ + "'");
+  }
+}
+
+// ---- ListfileReader --------------------------------------------------------
+
+ListfileReader::ListfileReader(const std::string& path) : in_(path) {
+  const std::uint32_t magic = in_.u32();
+  if (magic != kListfileMagic) {
+    throw aps::io::IoError("'" + path +
+                           "' is not an APS listfile (bad magic number)");
+  }
+  const std::uint32_t version = in_.u32();
+  if (version != kListfileVersion) {
+    throw aps::io::IoError(
+        "unsupported listfile version " + std::to_string(version) + " in '" +
+        path + "' (this build reads version " +
+        std::to_string(kListfileVersion) + ")");
+  }
+}
+
+std::optional<ListfileRecord> ListfileReader::next() {
+  if (in_.remaining() == 0) return std::nullopt;  // clean end of log
+  if (in_.remaining() < 1 + sizeof(std::uint32_t) * 2) {
+    throw aps::io::IoError("truncated listfile '" + in_.path() +
+                           "': partial record header at offset " +
+                           std::to_string(in_.consumed()));
+  }
+  const std::uint8_t kind_byte = in_.u8();
+  if (kind_byte == 0 || kind_byte > kRecordKindMax) {
+    throw aps::io::IoError("corrupt listfile '" + in_.path() +
+                           "': unknown record kind " +
+                           std::to_string(kind_byte));
+  }
+  const std::uint32_t len = in_.u32();
+  if (len > kMaxRecordPayload) {
+    throw aps::io::IoError("corrupt listfile '" + in_.path() +
+                           "': implausible record length " +
+                           std::to_string(len));
+  }
+  const std::uint32_t want_crc = in_.u32();
+  if (len > in_.remaining()) {
+    throw aps::io::IoError("truncated listfile '" + in_.path() +
+                           "': record needs " + std::to_string(len) +
+                           " bytes but only " +
+                           std::to_string(in_.remaining()) + " remain");
+  }
+  std::vector<std::uint8_t> payload(len);
+  if (len > 0) in_.bytes(payload.data(), len);
+  std::uint32_t crc = aps::io::crc32(&kind_byte, 1);
+  crc = aps::io::crc32(payload.data(), payload.size(), crc);
+  if (crc != want_crc) {
+    throw aps::io::IoError("corrupt listfile '" + in_.path() +
+                           "': record CRC mismatch for record " +
+                           std::to_string(records_seen_));
+  }
+  ++records_seen_;
+
+  aps::io::BinaryReader body(payload, in_.path() + ":record");
+  ListfileRecord record;
+  record.kind = static_cast<RecordKind>(kind_byte);
+  switch (record.kind) {
+    case RecordKind::kOpen:
+      record.open.key = body.u64();
+      record.open.patient_id = body.str();
+      record.open.monitor = body.str();
+      record.open.patient_index = body.i32();
+      break;
+    case RecordKind::kTick:
+      record.tick.key = body.u64();
+      record.tick.seq = body.u64();
+      record.tick.obs = read_observation(body);
+      break;
+    case RecordKind::kDecision:
+      record.decision.key = body.u64();
+      record.decision.seq = body.u64();
+      record.decision.decision = read_decision(body);
+      break;
+    case RecordKind::kClose:
+      record.close.key = body.u64();
+      break;
+    case RecordKind::kSync:
+      record.sync.records = body.u64();
+      break;
+  }
+  if (body.remaining() != 0) {
+    throw aps::io::IoError("corrupt listfile '" + in_.path() + "': " +
+                           std::to_string(body.remaining()) +
+                           " trailing bytes in record " +
+                           std::to_string(records_seen_ - 1));
+  }
+  return record;
+}
+
+// ---- Replay ----------------------------------------------------------------
+
+namespace {
+
+bool decisions_identical(const aps::monitor::Decision& a,
+                         const aps::monitor::Decision& b) {
+  return a.alarm == b.alarm && a.predicted == b.predicted &&
+         a.rule_id == b.rule_id;
+}
+
+struct ReplaySession {
+  aps::serve::SessionId session = 0;
+  std::deque<aps::monitor::Decision> recorded;  ///< from decision records
+  std::deque<aps::monitor::Decision> produced;  ///< from the re-driven engine
+};
+
+void drain_matches(ReplaySession& rs, ReplayResult& result) {
+  while (!rs.recorded.empty() && !rs.produced.empty()) {
+    ++result.compared;
+    if (!decisions_identical(rs.recorded.front(), rs.produced.front())) {
+      ++result.mismatches;
+    }
+    rs.recorded.pop_front();
+    rs.produced.pop_front();
+  }
+}
+
+}  // namespace
+
+ReplayResult replay_listfile(const std::string& path,
+                             aps::serve::MonitorEngine& engine,
+                             const ReplayOptions& options) {
+  ListfileReader reader(path);
+  ReplayResult result;
+
+  std::unordered_map<std::uint64_t, ReplaySession> sessions;
+  // Pending ticks in file order; flushed through the engine whenever a
+  // session boundary or the batch ceiling requires it. Batch composition
+  // need not match the live run — monitors are per-session, so only
+  // per-session order matters for bit-identical decisions.
+  std::vector<aps::serve::SessionInput> batch;
+  std::vector<std::uint64_t> batch_keys;
+
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    const std::vector<aps::monitor::Decision> decisions = engine.feed(batch);
+    for (std::size_t i = 0; i < decisions.size(); ++i) {
+      auto it = sessions.find(batch_keys[i]);
+      if (it == sessions.end()) continue;
+      if (options.verify) {
+        it->second.produced.push_back(decisions[i]);
+        drain_matches(it->second, result);
+      }
+    }
+    result.ticks += batch.size();
+    batch.clear();
+    batch_keys.clear();
+  };
+
+  while (auto record = reader.next()) {
+    switch (record->kind) {
+      case RecordKind::kOpen: {
+        flush();  // the new session's ticks must not precede its open
+        ReplaySession rs;
+        rs.session = engine.open_session(record->open.patient_id,
+                                         record->open.monitor,
+                                         record->open.patient_index);
+        if (!sessions.emplace(record->open.key, rs).second) {
+          throw aps::io::IoError("corrupt listfile '" + path +
+                                 "': duplicate open for session key " +
+                                 std::to_string(record->open.key));
+        }
+        ++result.sessions_opened;
+        break;
+      }
+      case RecordKind::kTick: {
+        auto it = sessions.find(record->tick.key);
+        if (it == sessions.end()) {
+          throw aps::io::IoError(
+              "corrupt listfile '" + path + "': tick for unknown session key " +
+              std::to_string(record->tick.key));
+        }
+        batch.push_back({it->second.session, record->tick.obs});
+        batch_keys.push_back(record->tick.key);
+        if (batch.size() >= options.max_batch) flush();
+        break;
+      }
+      case RecordKind::kDecision: {
+        if (!options.verify) break;
+        auto it = sessions.find(record->decision.key);
+        if (it == sessions.end()) {
+          throw aps::io::IoError("corrupt listfile '" + path +
+                                 "': decision for unknown session key " +
+                                 std::to_string(record->decision.key));
+        }
+        it->second.recorded.push_back(record->decision.decision);
+        drain_matches(it->second, result);
+        break;
+      }
+      case RecordKind::kClose: {
+        auto it = sessions.find(record->close.key);
+        if (it == sessions.end()) {
+          throw aps::io::IoError("corrupt listfile '" + path +
+                                 "': close for unknown session key " +
+                                 std::to_string(record->close.key));
+        }
+        flush();  // feed this session's pending ticks before closing it
+        engine.close_session(it->second.session);
+        result.unmatched +=
+            it->second.recorded.size() + it->second.produced.size();
+        sessions.erase(it);
+        ++result.sessions_closed;
+        break;
+      }
+      case RecordKind::kSync:
+        break;  // checkpoints carry no replayable state
+    }
+  }
+  flush();
+  // Sessions the recording left open (e.g. the recorder stopped mid-run)
+  // stay open here too; count their tail imbalance but leave them live.
+  for (auto& [key, rs] : sessions) {
+    drain_matches(rs, result);
+    result.unmatched += rs.recorded.size() + rs.produced.size();
+  }
+  return result;
+}
+
+}  // namespace aps::net

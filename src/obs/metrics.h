@@ -103,6 +103,11 @@ struct HistogramSpec {
     return {.first_bound = 1.0, .growth = 1.5, .buckets = 48};
   }
 
+  /// Layout for size series (frame bytes, batch sizes): 16 .. ~16M at 2x.
+  [[nodiscard]] static HistogramSpec bytes() {
+    return {.first_bound = 16.0, .growth = 2.0, .buckets = 21};
+  }
+
   [[nodiscard]] bool operator==(const HistogramSpec&) const = default;
 };
 

@@ -354,7 +354,24 @@ std::vector<aps::monitor::Decision> MonitorEngine::feed(
     std::span<const SessionInput> inputs) {
   const std::lock_guard<std::mutex> lock(mu_);
   std::vector<aps::monitor::Decision> decisions(inputs.size());
-  if (inputs.empty()) return decisions;
+  feed_locked(inputs, decisions);
+  return decisions;
+}
+
+void MonitorEngine::feed(std::span<const SessionInput> inputs,
+                         std::span<aps::monitor::Decision> decisions) {
+  if (decisions.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "feed: decisions span size " + std::to_string(decisions.size()) +
+        " does not match inputs size " + std::to_string(inputs.size()));
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  feed_locked(inputs, decisions);
+}
+
+void MonitorEngine::feed_locked(std::span<const SessionInput> inputs,
+                                std::span<aps::monitor::Decision> decisions) {
+  if (inputs.empty()) return;
 
   // Validate up front so the parallel section cannot throw.
   for (const auto& input : inputs) (void)checked_session(input.session);
@@ -370,7 +387,6 @@ std::vector<aps::monitor::Decision> MonitorEngine::feed(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count(),
       inputs.size());
-  return decisions;
 }
 
 /// Fold a chunk's observations into the shard's drift detector: strided

@@ -177,6 +177,11 @@ class MonitorEngine {
   /// (before any input is processed).
   std::vector<aps::monitor::Decision> feed(
       std::span<const SessionInput> inputs);
+  /// Allocation-free variant for hot callers (the network front door's
+  /// tick loop): decisions.size() must equal inputs.size(); decisions[i]
+  /// answers inputs[i]. Same validation and ordering semantics as above.
+  void feed(std::span<const SessionInput> inputs,
+            std::span<aps::monitor::Decision> decisions);
   aps::monitor::Decision feed_one(SessionId id,
                                   const aps::monitor::Observation& obs);
   /// Reset the session's monitor state (new trace, same patient).
@@ -267,6 +272,8 @@ class MonitorEngine {
   void record_latency(double seconds, std::size_t cycles);
   void accumulate_drift(ServeShard& shard,
                         std::span<const aps::monitor::Observation> obs);
+  void feed_locked(std::span<const SessionInput> inputs,
+                   std::span<aps::monitor::Decision> decisions);
   void feed_scalar(std::span<const SessionInput> inputs,
                    std::span<aps::monitor::Decision> decisions);
   void feed_sharded(std::span<const SessionInput> inputs,

@@ -1,0 +1,435 @@
+// Ingest server integration stress, serve_stress_test style: concurrent
+// real-socket clients stream sessions through a live IngestServer while
+// every decision is verified inline against a standalone reference
+// monitor; afterwards the private registry must reconcile EXACTLY with
+// the client-side tallies (bytes in == bytes the clients sent, one frame
+// counter per kind, zero drops). The run is recorded to a listfile
+// (net_stress.listfile, uploaded as a CI artifact) and replayed into a
+// fresh engine, which must reproduce every decision. Separate tests
+// cover hostile clients, backpressure, and the connection ceiling.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/monitor_factory.h"
+#include "net/client.h"
+#include "net/listfile.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "serve/engine.h"
+#include "synthetic_util.h"
+
+namespace {
+
+using namespace aps;
+
+constexpr int kCohort = 4;
+constexpr int kClients = 6;
+constexpr int kSessionsPerClient = 3;
+constexpr std::size_t kSteps = 30;
+
+core::ArtifactBundle rule_bundle() {
+  core::ArtifactBundle bundle;
+  bundle.artifacts = testutil::synth_artifacts(kCohort);
+  return bundle;
+}
+
+const std::vector<std::string>& monitor_names() {
+  static const std::vector<std::string> names = {"guideline", "cawot",
+                                                 "cawt"};
+  return names;
+}
+
+/// Spin until the server has seen every client disconnect, so the
+/// post-run counter reconciliation is exact (writers quiesced).
+void wait_for_disconnects(const net::IngestServer& server) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.open_connections() > 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(server.open_connections(), 0u);
+}
+
+TEST(NetServer, MultiClientServingVerifiesExactlyAndReplays) {
+  const auto bundle = rule_bundle();
+  obs::Registry registry;  // private: reconciliation below is exact
+  serve::MonitorEngine engine({.threads = 2, .registry = &registry});
+  engine.register_bundle(bundle);
+
+  net::ServerConfig config;
+  config.listfile = "net_stress.listfile";  // CI uploads this artifact
+  config.registry = &registry;
+  net::IngestServer server(engine, config);
+  server.start();
+
+  std::mutex failures_mu;
+  std::vector<std::string> failures;
+  const auto fail = [&](std::string message) {
+    const std::lock_guard<std::mutex> lock(failures_mu);
+    failures.push_back(std::move(message));
+  };
+
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      try {
+        net::BlockingClient client("127.0.0.1", server.port(),
+                                   "stress client " + std::to_string(c));
+        struct Session {
+          std::uint64_t token;
+          std::vector<monitor::Observation> stream;
+          std::unique_ptr<monitor::Monitor> reference;
+        };
+        std::vector<Session> sessions;
+        for (int s = 0; s < kSessionsPerClient; ++s) {
+          const int index = (c * kSessionsPerClient + s) % kCohort;
+          const std::string& monitor_name =
+              monitor_names()[(c + s) % monitor_names().size()];
+          const auto token = static_cast<std::uint64_t>(s);
+          client.open_session(token,
+                              "stress/c" + std::to_string(c) + "/s" +
+                                  std::to_string(s),
+                              monitor_name, index);
+          sessions.push_back(
+              {token,
+               testutil::synth_stream(kSteps, 7000 + c * 100 + s),
+               core::factory_from_bundle(bundle, monitor_name)(index)});
+        }
+        // Stream cycle by cycle: send one tick per session, then collect
+        // the cycle's decisions (any token order) and verify each against
+        // the session's standalone reference monitor.
+        for (std::size_t k = 0; k < kSteps; ++k) {
+          for (auto& session : sessions) {
+            client.send_tick(session.token, k, session.stream[k]);
+          }
+          for (std::size_t i = 0; i < sessions.size(); ++i) {
+            const net::DecisionMsg msg = client.recv_decision();
+            if (msg.seq != k || msg.token >= sessions.size()) {
+              fail("client " + std::to_string(c) + ": got token " +
+                   std::to_string(msg.token) + " seq " +
+                   std::to_string(msg.seq) + " at step " + std::to_string(k));
+              continue;
+            }
+            auto& session = sessions[msg.token];
+            const auto expected = session.reference->observe(session.stream[k]);
+            if (!testutil::decisions_equal(msg.decision, expected)) {
+              fail("client " + std::to_string(c) + " session " +
+                   std::to_string(msg.token) + " step " + std::to_string(k) +
+                   ": decision diverged from reference monitor");
+            }
+          }
+        }
+        for (auto& session : sessions) {
+          const net::CloseAckMsg ack = client.close_session(session.token);
+          if (ack.cycles != kSteps) {
+            fail("close ack cycles " + std::to_string(ack.cycles) +
+                 " != " + std::to_string(kSteps));
+          }
+        }
+        bytes_sent.fetch_add(client.bytes_sent());
+        bytes_received.fetch_add(client.bytes_received());
+      } catch (const std::exception& e) {
+        fail("client " + std::to_string(c) + " exception: " + e.what());
+      }
+    });
+  }
+  for (auto& thread : clients) thread.join();
+  wait_for_disconnects(server);
+  server.stop();
+
+  for (const auto& message : failures) ADD_FAILURE() << message;
+
+  // ---- Exact reconciliation against the private registry -----------------
+  constexpr std::uint64_t kSessions = kClients * kSessionsPerClient;
+  constexpr std::uint64_t kTicks = kSessions * kSteps;
+  EXPECT_EQ(registry.counter_value("net_connections_total",
+                                   {{"state", "accepted"}}),
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(registry.counter_value("net_connections_total",
+                                   {{"state", "closed"}}),
+            static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(registry.counter_value("net_connections_total",
+                                   {{"state", "rejected"}}),
+            0u);
+  EXPECT_EQ(registry.gauge_value("net_connections", {{"state", "open"}}),
+            0.0);
+  EXPECT_EQ(registry.counter_value("net_ticks_total"), kTicks);
+  EXPECT_EQ(registry.counter_value("net_protocol_errors_total"), 0u);
+  EXPECT_EQ(registry.counter_value("net_frames_dropped_total",
+                                   {{"reason", "disconnect"}}),
+            0u);
+  EXPECT_EQ(registry.counter_value("net_frames_dropped_total",
+                                   {{"reason", "closed_session"}}),
+            0u);
+  // One frame-count per kind, both directions.
+  const auto frames = [&](const char* dir, const char* kind) {
+    return registry.counter_value("net_frames_total",
+                                  {{"dir", dir}, {"kind", kind}});
+  };
+  EXPECT_EQ(frames("in", "hello"), static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(frames("out", "hello-ack"), static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(frames("in", "open-session"), kSessions);
+  EXPECT_EQ(frames("out", "open-ack"), kSessions);
+  EXPECT_EQ(frames("in", "tick"), kTicks);
+  EXPECT_EQ(frames("out", "decision"), kTicks);
+  EXPECT_EQ(frames("in", "close-session"), kSessions);
+  EXPECT_EQ(frames("out", "close-ack"), kSessions);
+  EXPECT_EQ(frames("out", "error"), 0u);
+  // Byte totals match the client-side tallies exactly.
+  EXPECT_EQ(registry.counter_value("net_bytes_in_total"), bytes_sent.load());
+  EXPECT_EQ(registry.counter_value("net_bytes_out_total"),
+            bytes_received.load());
+  // Every session was closed through the protocol, none leaked.
+  EXPECT_EQ(engine.session_count(), 0u);
+  // The scrape exposes the net series alongside the serving ones.
+  const std::string prom = registry.scrape_prometheus();
+  for (const char* series :
+       {"net_connections", "net_bytes_in_total", "net_frames_total",
+        "net_tick_batch_size", "net_frame_bytes", "serve_ticks_total"}) {
+    EXPECT_NE(prom.find(series), std::string::npos)
+        << series << " missing from the Prometheus scrape";
+  }
+
+  // ---- Golden replay of the recorded run ----------------------------------
+  serve::MonitorEngine fresh({.threads = 2});
+  fresh.register_bundle(bundle);
+  const net::ReplayResult replay =
+      net::replay_listfile("net_stress.listfile", fresh);
+  EXPECT_EQ(replay.sessions_opened, kSessions);
+  EXPECT_EQ(replay.sessions_closed, kSessions);
+  EXPECT_EQ(replay.ticks, kTicks);
+  EXPECT_EQ(replay.compared, kTicks);
+  EXPECT_EQ(replay.mismatches, 0u) << "replayed run diverged from live";
+  EXPECT_EQ(replay.unmatched, 0u);
+}
+
+/// Raw socket that speaks no protocol at all — for hostile-input tests.
+class RawSocket {
+ public:
+  RawSocket(const std::string& host, std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    inet_pton(AF_INET, host.c_str(), &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      throw std::runtime_error("connect failed");
+    }
+  }
+  ~RawSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  void send_bytes(const void* data, std::size_t n) const {
+    (void)::send(fd_, data, n, MSG_NOSIGNAL);
+  }
+  /// True once the server closed our end (reads EOF within the timeout).
+  bool closed_by_peer() const {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    char buf[4096];
+    while (std::chrono::steady_clock::now() < deadline) {
+      const ssize_t n = ::recv(fd_, buf, sizeof buf, MSG_DONTWAIT);
+      if (n == 0) return true;  // clean EOF: dropped by the server
+      if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+          errno != EINTR) {
+        return true;  // reset also counts as dropped
+      }
+      if (n < 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      // n > 0: an error frame on its way out; keep draining to the EOF.
+    }
+    return false;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(NetServer, HostileClientsAreDroppedAndServingContinues) {
+  const auto bundle = rule_bundle();
+  obs::Registry registry;
+  serve::MonitorEngine engine({.threads = 1, .registry = &registry});
+  engine.register_bundle(bundle);
+  net::ServerConfig config;
+  config.registry = &registry;
+  net::IngestServer server(engine, config);
+  server.start();
+
+  // 1. Pure garbage instead of a frame header.
+  {
+    RawSocket hostile("127.0.0.1", server.port());
+    const char garbage[] = "GET / HTTP/1.1\r\nHost: pump\r\n\r\n";
+    hostile.send_bytes(garbage, sizeof garbage);
+    EXPECT_TRUE(hostile.closed_by_peer());
+  }
+  // 2. A valid frame, but the conversation must start with hello.
+  {
+    RawSocket hostile("127.0.0.1", server.port());
+    const auto frame =
+        net::encode_frame(net::encode(net::CloseSessionMsg{.token = 1}));
+    hostile.send_bytes(frame.data(), frame.size());
+    EXPECT_TRUE(hostile.closed_by_peer());
+  }
+  // 3. Hostile length field with a freshly computed (valid) header CRC.
+  {
+    RawSocket hostile("127.0.0.1", server.port());
+    std::vector<std::uint8_t> bytes;
+    const auto put_u16 = [&](std::uint16_t v) {
+      bytes.push_back(static_cast<std::uint8_t>(v & 0xFF));
+      bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+    };
+    const auto put_u32 = [&](std::uint32_t v) {
+      for (int i = 0; i < 4; ++i) {
+        bytes.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+      }
+    };
+    put_u32(net::kNetMagic);
+    put_u16(net::kNetVersion);
+    put_u16(static_cast<std::uint16_t>(net::FrameKind::kHello));
+    put_u32(0xFFFFFFFFu);
+    put_u32(io::crc32(bytes.data(), bytes.size()));
+    put_u32(0);
+    hostile.send_bytes(bytes.data(), bytes.size());
+    EXPECT_TRUE(hostile.closed_by_peer());
+  }
+  // 4. Per-byte truncated hellos: connect, send a prefix, vanish.
+  {
+    const auto hello = net::encode_frame(
+        net::encode(net::HelloMsg{.client_name = "truncated"}));
+    for (std::size_t cut = 1; cut < hello.size(); cut += 5) {
+      RawSocket flaky("127.0.0.1", server.port());
+      flaky.send_bytes(hello.data(), cut);
+    }
+  }
+
+  // The server is still alive and serving correct decisions.
+  net::BlockingClient client("127.0.0.1", server.port(), "survivor");
+  client.open_session(1, "survivor/session", "guideline", 0);
+  const auto stream = testutil::synth_stream(10, 321);
+  auto reference = core::factory_from_bundle(bundle, "guideline")(0);
+  for (std::size_t k = 0; k < stream.size(); ++k) {
+    client.send_tick(1, k, stream[k]);
+    const net::DecisionMsg msg = client.recv_decision();
+    EXPECT_TRUE(testutil::decisions_equal(msg.decision,
+                                          reference->observe(stream[k])));
+  }
+  const auto ack = client.close_session(1);
+  EXPECT_EQ(ack.cycles, stream.size());
+
+  EXPECT_GE(registry.counter_value("net_protocol_errors_total"), 3u);
+  EXPECT_EQ(engine.session_count(), 0u);
+}
+
+TEST(NetServer, BackpressurePausesReadsWithoutDroppingAnything) {
+  const auto bundle = rule_bundle();
+  obs::Registry registry;
+  serve::MonitorEngine engine({.threads = 1, .registry = &registry});
+  engine.register_bundle(bundle);
+  net::ServerConfig config;
+  config.registry = &registry;
+  config.max_queued_events = 4;  // tiny queue: the blast below must pause
+  config.tick_interval_ms = 2;
+  net::IngestServer server(engine, config);
+  server.start();
+
+  constexpr std::size_t kBlast = 300;
+  net::BlockingClient client("127.0.0.1", server.port(), "blaster");
+  client.open_session(9, "blast/session", "cawt", 1);
+  const auto stream = testutil::synth_stream(kBlast, 555);
+  // Fire the whole stream without reading a single decision.
+  for (std::size_t k = 0; k < kBlast; ++k) {
+    client.send_tick(9, k, stream[k]);
+  }
+  // Every decision still arrives, in per-session order, bit-correct.
+  auto reference = core::factory_from_bundle(bundle, "cawt")(1);
+  for (std::size_t k = 0; k < kBlast; ++k) {
+    const net::DecisionMsg msg = client.recv_decision();
+    ASSERT_EQ(msg.seq, k) << "decisions out of order under backpressure";
+    EXPECT_TRUE(testutil::decisions_equal(msg.decision,
+                                          reference->observe(stream[k])));
+  }
+  const auto ack = client.close_session(9);
+  EXPECT_EQ(ack.cycles, kBlast);
+  server.stop();
+
+  EXPECT_GE(registry.counter_value("net_backpressure_pauses_total"), 1u);
+  EXPECT_EQ(registry.counter_value("net_frames_dropped_total",
+                                   {{"reason", "disconnect"}}),
+            0u);
+  EXPECT_EQ(registry.counter_value("net_frames_dropped_total",
+                                   {{"reason", "closed_session"}}),
+            0u);
+  EXPECT_EQ(registry.counter_value("net_ticks_total"), kBlast);
+}
+
+TEST(NetServer, ConnectionCeilingRejectsTheOverflow) {
+  const auto bundle = rule_bundle();
+  obs::Registry registry;
+  serve::MonitorEngine engine({.threads = 1, .registry = &registry});
+  engine.register_bundle(bundle);
+  net::ServerConfig config;
+  config.registry = &registry;
+  config.max_connections = 2;
+  net::IngestServer server(engine, config);
+  server.start();
+
+  net::BlockingClient first("127.0.0.1", server.port(), "one");
+  net::BlockingClient second("127.0.0.1", server.port(), "two");
+  // The third connects at TCP level but is closed before any handshake.
+  EXPECT_THROW(
+      net::BlockingClient("127.0.0.1", server.port(), "over"),
+      io::IoError);
+  EXPECT_EQ(registry.counter_value("net_connections_total",
+                                   {{"state", "rejected"}}),
+            1u);
+}
+
+TEST(NetServer, OpenErrorsAreAcksNotDisconnects) {
+  const auto bundle = rule_bundle();
+  serve::MonitorEngine engine({.threads = 1});
+  engine.register_bundle(bundle);
+  net::IngestServer server(engine, {});
+  server.start();
+
+  net::BlockingClient client("127.0.0.1", server.port(), "acks");
+  // Unknown monitor name: refused via OpenAck, connection stays up.
+  EXPECT_THROW(client.open_session(1, "acks/a", "no-such-monitor", 0),
+               net::ProtocolError);
+  // Out-of-range patient index: same.
+  EXPECT_THROW(client.open_session(2, "acks/b", "cawt", kCohort + 5),
+               net::ProtocolError);
+  // The connection is still usable for a valid open.
+  client.open_session(3, "acks/c", "cawt", 0);
+  // Duplicate token: refused.
+  EXPECT_THROW(client.open_session(3, "acks/d", "cawt", 1),
+               net::ProtocolError);
+  // Duplicate patient id (another token): refused by the engine.
+  EXPECT_THROW(client.open_session(4, "acks/c", "cawt", 1),
+               net::ProtocolError);
+  const auto ack = client.close_session(3);
+  EXPECT_EQ(ack.cycles, 0u);
+  EXPECT_EQ(engine.session_count(), 0u);
+}
+
+}  // namespace
