@@ -29,6 +29,7 @@
 #include "common/table.h"
 #include "core/monitor_factory.h"
 #include "io/artifact_io.h"
+#include "ml/kernels/kernels.h"
 #include "monitor/ml_monitor.h"
 #include "obs/drift.h"
 #include "obs/metrics.h"
@@ -194,6 +195,7 @@ int main(int argc, char** argv) try {
               static_cast<std::uintmax_t>(
                   std::filesystem::file_size(bundle_path)),
               cohort, with_ml ? "rule+ML" : "rule-based");
+  std::printf("kernels backend: %s\n", ml::kernels::backend_name());
 
   std::vector<std::string> monitors = {"cawt", "cawot", "guideline"};
   std::vector<std::string> ml_monitors;
@@ -267,6 +269,45 @@ int main(int argc, char** argv) try {
       }
     }
   }
+  // Float32 serving lanes (precision = kF32 on the sharded backend) for
+  // the two monitors with a float32 kernel path. Stage names keep the
+  // 3-part "<kind>/<backend>/<sessions>" shape with a "-f32" kind suffix
+  // so the CI JSON gate parses them alongside the f64 cells.
+  std::vector<std::string> f32_monitors;
+  if (with_ml) f32_monitors = {"mlp", "lstm"};
+  for (const auto& name : f32_monitors) {
+    for (const int n : session_counts) {
+      const double rss_before_mb = bench::peak_rss_mb();
+      serve::MonitorEngine engine({.threads = threads,
+                                   .backend = serve::ServeBackend::kSharded,
+                                   .precision = monitor::Precision::kF32});
+      engine.register_bundle(bundle);
+      std::vector<serve::SessionInput> batch;
+      batch.reserve(static_cast<std::size_t>(n));
+      for (int s = 0; s < n; ++s) {
+        const auto id = engine.open_session(
+            name + "-f32/patient-" + std::to_string(s), name, s % cohort);
+        batch.push_back({id, variants[0]});
+      }
+      const serve::LatencySummary m =
+          measure(engine, batch, variants, budget_ms);
+      table.add_row({name + "-f32", "sharded", std::to_string(n),
+                     std::to_string(m.cycles),
+                     TextTable::num(m.cycles_per_sec(), 0),
+                     TextTable::num(m.p50_us, 1),
+                     TextTable::num(m.p95_us, 1),
+                     TextTable::num(m.p99_us, 1),
+                     TextTable::num(m.max_us, 1)});
+      recorder.stage_done(name + "-f32/sharded/" + std::to_string(n),
+                          m.seconds, m.cycles, rss_before_mb,
+                          {{"sessions", static_cast<double>(n)},
+                           {"p50_us", m.p50_us},
+                           {"p95_us", m.p95_us},
+                           {"p99_us", m.p99_us},
+                           {"max_us", m.max_us}});
+      rate[name + "-f32"]["sharded"][n] = m.cycles_per_sec();
+    }
+  }
   table.print(std::cout);
 
   // Telemetry overhead A/B: the full sharded tick at the top session count
@@ -312,6 +353,57 @@ int main(int argc, char** argv) try {
                          {"overhead_pct", overhead_pct}});
   }
 
+  // Kernel-layer A/B (the kernel refactor's headline gate): the LSTM
+  // serving tick at 64 sessions, float64 on the forced-scalar kernels
+  // (bit-identical to the pre-kernel code, so this IS the "before" cell)
+  // versus float32 sharded lanes on the dispatch backend. Back-to-back in
+  // one process so the comparison shares cache/turbo state.
+  double kernels_speedup = 0.0;
+  const bool kernels_simd =
+      ml::kernels::active_backend() != ml::kernels::Backend::kScalar;
+  if (with_ml && sessions_max >= 64) {
+    const int n_ab = 64;
+    const auto run_cell = [&](monitor::Precision precision,
+                              const char* tag) {
+      serve::MonitorEngine engine({.threads = threads,
+                                   .backend = serve::ServeBackend::kSharded,
+                                   .precision = precision});
+      engine.register_bundle(bundle);
+      std::vector<serve::SessionInput> batch;
+      batch.reserve(static_cast<std::size_t>(n_ab));
+      for (int s = 0; s < n_ab; ++s) {
+        const auto id = engine.open_session(
+            std::string("kab-") + tag + "/patient-" + std::to_string(s),
+            "lstm", s % cohort);
+        batch.push_back({id, variants[0]});
+      }
+      return measure(engine, batch, variants, budget_ms);
+    };
+    const double rss_before_mb = bench::peak_rss_mb();
+    const auto dispatch = ml::kernels::active_backend();
+    ml::kernels::set_backend(ml::kernels::Backend::kScalar);
+    const serve::LatencySummary before =
+        run_cell(monitor::Precision::kF64, "f64");
+    ml::kernels::set_backend(dispatch);
+    const serve::LatencySummary after =
+        run_cell(monitor::Precision::kF32, "f32");
+    kernels_speedup = before.cycles_per_sec() > 0.0
+                          ? after.cycles_per_sec() / before.cycles_per_sec()
+                          : 0.0;
+    std::printf(
+        "\nkernels A/B (lstm, %d sessions, sharded): f64/scalar-kernels "
+        "%.0f vs f32/%s %.0f cycles/s -> %.2fx\n",
+        n_ab, before.cycles_per_sec(), ml::kernels::backend_name(),
+        after.cycles_per_sec(), kernels_speedup);
+    recorder.stage_done("kernels_ab/lstm/" + std::to_string(n_ab),
+                        after.seconds, after.cycles, rss_before_mb,
+                        {{"cycles_per_sec_f64_scalar_kernels",
+                          before.cycles_per_sec()},
+                         {"cycles_per_sec_f32_simd", after.cycles_per_sec()},
+                         {"speedup", kernels_speedup},
+                         {"simd", kernels_simd ? 1.0 : 0.0}});
+  }
+
   // A/B verdict. Per monitor kind: the sharded/scalar cycles/s ratio at
   // every session count; a kind's headline speedup is its best ratio (the
   // batching win peaks where model-call overhead dominates the tick). The
@@ -345,6 +437,33 @@ int main(int argc, char** argv) try {
         "best ML speedup: %.2fx (need >= 2x, no ML kind < 0.9x at %d "
         "sessions): %s\n",
         best_ml_ratio, top_sessions, ok ? "PASS" : "FAIL");
+  }
+
+  // Float32 verdict: per kind the f32/f64 sharded ratio (informational —
+  // the equivalence suite owns correctness), plus the hard >= 4x kernel
+  // gate on a SIMD dispatch backend (a scalar-only host still reports the
+  // speedup but can't be held to the vector-width target).
+  if (with_ml) {
+    std::printf("\nfloat32 vs float64 sharded cycles/s ratio:\n");
+    for (const auto& name : f32_monitors) {
+      std::printf("  %-10s", (name + "-f32").c_str());
+      for (const int n : session_counts) {
+        const double f64_rate = rate[name]["sharded"][n];
+        const double f32_rate = rate[name + "-f32"]["sharded"][n];
+        std::printf("  %5d: %.2fx", n,
+                    f64_rate > 0.0 ? f32_rate / f64_rate : 0.0);
+      }
+      std::printf("\n");
+    }
+    if (sessions_max >= 64) {
+      const bool kernels_ok = !kernels_simd || kernels_speedup >= 4.0;
+      std::printf(
+          "kernels gate: lstm f32-sharded vs pre-kernel f64 %.2fx "
+          "(need >= 4x on SIMD backends, backend=%s): %s\n",
+          kernels_speedup, ml::kernels::backend_name(),
+          kernels_ok ? "PASS" : "FAIL");
+      if (!kernels_ok) ok = false;
+    }
   }
   return ok ? 0 : 1;
 } catch (const std::exception& e) {

@@ -497,9 +497,13 @@ aps::core::ArtifactBundle load_bundle(const std::string& path) {
   }
   if (in.u8() != 0) {
     bundle.mlp = std::make_shared<const aps::ml::Mlp>(read_mlp(in));
+    // Cast the float32 weight mirror once per model generation, at load
+    // time, so float32 serving lanes never pay it on a tick.
+    bundle.mlp->warm_f32_cache();
   }
   if (in.u8() != 0) {
     bundle.lstm = std::make_shared<const aps::ml::Lstm>(read_lstm(in));
+    bundle.lstm->warm_f32_cache();
   }
   // Trailing training-stats section: absent in legacy/stat-less bundles
   // (the models consumed the file exactly), present otherwise. Bytes

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
+
+#include "ml/kernels/kernels.h"
 
 namespace aps::learn {
 
@@ -68,12 +71,18 @@ std::optional<ThresholdResult> learn_threshold(const ThresholdProblem& problem,
   out.final_loss = res.fx;
   out.iterations = res.iterations;
   out.converged = res.converged;
+  // Robustness margins in one fused pass: r = beta - mu is the affine map
+  // -1*mu + beta, r = mu - beta is 1*mu + (-beta); both are IEEE-exact
+  // rewrites of the subtraction (a single rounded op either way), so the
+  // learned margins match the scalar loop bit for bit.
+  const bool upper_side = problem.side == BoundSide::kUpperBound;
+  std::vector<double> margins(problem.violation_values.size());
+  aps::ml::kernels::affine(problem.violation_values.data(),
+                           upper_side ? -1.0 : 1.0,
+                           upper_side ? out.beta : -out.beta, margins.data(),
+                           margins.size());
   double min_margin = std::numeric_limits<double>::infinity();
-  for (const double mu : problem.violation_values) {
-    const double r = problem.side == BoundSide::kUpperBound ? out.beta - mu
-                                                            : mu - out.beta;
-    min_margin = std::min(min_margin, r);
-  }
+  for (const double r : margins) min_margin = std::min(min_margin, r);
   out.min_margin = min_margin;
   return out;
 }

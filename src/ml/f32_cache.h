@@ -1,0 +1,48 @@
+// Shared holder for a model's lazily built float32 weight mirror (the
+// serving-lane inference precision). Models stay copyable/movable: a copy
+// must not carry the mirror, since its weights may diverge afterwards, so
+// copies and assignments start with an empty slot and the next get()
+// rebuilds. Thread-safe — serving shards race to the first get() when a
+// bundle generation was loaded without warming.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+namespace aps::ml {
+
+template <typename CacheT>
+class F32Slot {
+ public:
+  F32Slot() = default;
+  F32Slot(const F32Slot&) noexcept {}
+  F32Slot(F32Slot&&) noexcept {}
+  F32Slot& operator=(const F32Slot&) noexcept {
+    reset();
+    return *this;
+  }
+  F32Slot& operator=(F32Slot&&) noexcept {
+    reset();
+    return *this;
+  }
+
+  /// Returns the cached mirror, building it with `build` on first use.
+  template <typename Build>
+  [[nodiscard]] std::shared_ptr<const CacheT> get(Build&& build) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!cache_) cache_ = build();
+    return cache_;
+  }
+
+  /// Drops the mirror (weights changed; next get() rebuilds).
+  void reset() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.reset();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable std::shared_ptr<const CacheT> cache_;
+};
+
+}  // namespace aps::ml

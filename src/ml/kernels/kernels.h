@@ -1,0 +1,117 @@
+// Portable SIMD kernel layer for the from-scratch ML stack: blocked/batched
+// GEMM, row-major transpose/pack, fused bias/activation passes, and the
+// fused LSTM gate update, in float64 (training + reference inference) and
+// float32 (serving inference) flavors.
+//
+// Backends: AVX2 (x86-64, compiled only when the toolchain supports -mavx2
+// and guarded by a runtime CPUID check), NEON (aarch64 baseline), and a
+// scalar fallback that is always compiled. Dispatch is resolved once at
+// startup — best available backend, overridable with APS_KERNELS=scalar|
+// avx2|neon — and can be re-pointed at runtime (set_backend) so tests and
+// benches A/B the backends inside one process.
+//
+// Bit-identity contract (float64): every backend performs the exact same
+// IEEE operation sequence per output element as the legacy ml::Matrix
+// loops — accumulation in ascending k, separate multiply and add (no FMA;
+// the build pins -ffp-contract=off), and the legacy skip of zero left-hand
+// multipliers. SIMD vectorizes across OUTPUT COLUMNS only, which reorders
+// nothing, so float64 results are bit-identical across scalar/AVX2/NEON
+// and to the pre-kernel code. The float32 kernels share the ordering (so
+// they too are backend-invariant bitwise) but are only tolerance-pinned
+// (<= 1e-4 on probabilities) against the float64 reference; they never
+// skip zeros and use a polynomial expf/tanhf in the gate update.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace aps::ml::kernels {
+
+enum class Backend { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+[[nodiscard]] const char* to_string(Backend backend);
+/// Backends compiled into this binary AND runnable on this CPU (always
+/// contains kScalar). What the equivalence tests iterate.
+[[nodiscard]] std::vector<Backend> compiled_backends();
+[[nodiscard]] Backend active_backend();
+/// to_string(active_backend()) — what obs reports as `kernels_backend`.
+[[nodiscard]] const char* backend_name();
+/// Re-point dispatch (tests / bench A/B). Requests for a backend that is
+/// not compiled or not runnable fall back to scalar; returns what was set.
+Backend set_backend(Backend backend);
+
+// ---- float64 kernels (bit-identity contract) -------------------------------
+
+/// c(m x n) += a(m x k) * b(k x n), all row-major. Ascending-k
+/// accumulation with the legacy a[i][k] == 0 skip: bit-identical to the
+/// pre-kernel ml::matmul / vec_matmul_add loops on every backend.
+void gemm_accum(const double* a, const double* b, double* c, std::size_t m,
+                std::size_t k, std::size_t n);
+
+/// c(m x n) += a^T * b where a is (rows x m) and b is (rows x n):
+/// the fused-transpose product of the MLP weight gradient. Ascending-row
+/// accumulation with the legacy zero skip (matches ml::matmul_tn).
+void gemm_tn_accum(const double* a, const double* b, double* c,
+                   std::size_t rows, std::size_t m, std::size_t n);
+
+/// c(m x bn) = a(m x k) * b(bn x k)^T — row-by-row dot products, each
+/// accumulated in ascending k exactly like ml::matmul_nt (no zero skip).
+void gemm_nt(const double* a, const double* b, double* c, std::size_t m,
+             std::size_t k, std::size_t bn);
+
+/// dst(cols x rows) = src(rows x cols)^T, row-major pack.
+void transpose(const double* src, double* dst, std::size_t rows,
+               std::size_t cols);
+
+/// z[r][c] += bias[c] for every row.
+void add_bias_rows(double* z, const double* bias, std::size_t rows,
+                   std::size_t cols);
+/// z[r][c] = bias[c] for every row (batched bias broadcast).
+void fill_bias_rows(double* z, const double* bias, std::size_t rows,
+                    std::size_t cols);
+
+/// In-place ReLU with the legacy `v < 0 ? 0 : v` semantics (-0.0 passes
+/// through untouched, exactly like the pre-kernel loop).
+void relu(double* x, std::size_t size);
+
+/// out[i] = a * x[i] + b — the fused axpy used for batched robustness
+/// margins in src/learn (r = mu - beta / beta - mu as a = +-1, b = -+beta;
+/// IEEE-exact vs the scalar subtraction it replaces).
+void affine(const double* x, double a, double b, double* out, std::size_t n);
+
+/// Fused LSTM gate update over a lane-major batch: z is (lanes x 4*hidden)
+/// pre-activations in gate order [i f g o]; c and h are (lanes x hidden)
+/// cell/hidden state, updated in place; out (lanes x hidden) receives the
+/// new hidden state (the layer output for this step). Transcendentals are
+/// std::exp / std::tanh — scalar per element on every backend, so the pass
+/// is bit-identical to the legacy per-lane gate loop.
+void lstm_gates(const double* z, double* c, double* h, double* out,
+                std::size_t lanes, std::size_t hidden);
+
+// ---- float32 kernels (serving inference; tolerance-pinned) -----------------
+
+/// c(m x n) += a(m x k) * b(k x n), ascending-k mul+add (no FMA, no zero
+/// skip) — bitwise backend-invariant, tolerance-pinned against float64.
+void gemm_accum_f32(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t k, std::size_t n);
+
+void fill_bias_rows_f32(float* z, const float* bias, std::size_t rows,
+                        std::size_t cols);
+void add_bias_rows_f32(float* z, const float* bias, std::size_t rows,
+                       std::size_t cols);
+void relu_f32(float* x, std::size_t size);
+
+/// float32 fused gate update. Uses the kernel layer's polynomial
+/// expf/tanhf (fast_expf/fast_tanhf below) so the whole pass vectorizes;
+/// identical arithmetic on every backend.
+void lstm_gates_f32(const float* z, float* c, float* h, float* out,
+                    std::size_t lanes, std::size_t hidden);
+
+/// Polynomial exp/tanh used by the float32 gate kernels (Cephes-style
+/// degree-5 polynomial on the reduced argument; relative error ~2e-7,
+/// far inside the 1e-4 serving tolerance). Exposed for the accuracy pin
+/// in tests/kernels_test.cpp.
+[[nodiscard]] float fast_expf(float x);
+[[nodiscard]] float fast_tanhf(float x);
+
+}  // namespace aps::ml::kernels

@@ -1,0 +1,235 @@
+// AVX2 backend. This TU is the only one compiled with -mavx2 (set per-source
+// in CMakeLists.txt) and its entry points are only reached after the runtime
+// CPUID check in the dispatcher, so the rest of the binary stays runnable on
+// baseline x86-64.
+//
+// Every float64 kernel vectorizes across OUTPUT COLUMNS only and keeps the
+// scalar backend's per-element operation sequence: ascending-k accumulation,
+// separate _mm256_mul_pd / _mm256_add_pd (never FMA), and the legacy zero
+// skip on the left-hand multiplier. That makes the results bit-identical to
+// the scalar backend — the j-tiling (4 ymm accumulators, 16 columns per
+// tile) only changes how many elements advance together, not any element's
+// arithmetic.
+#if defined(APS_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <vector>
+
+#include "ml/kernels/kernels_detail.h"
+
+namespace aps::ml::kernels::avx2 {
+
+void gemm_accum(const double* a, const double* b, double* c, std::size_t m,
+                std::size_t kd, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * kd;
+    double* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m256d acc0 = _mm256_loadu_pd(crow + j);
+      __m256d acc1 = _mm256_loadu_pd(crow + j + 4);
+      __m256d acc2 = _mm256_loadu_pd(crow + j + 8);
+      __m256d acc3 = _mm256_loadu_pd(crow + j + 12);
+      for (std::size_t k = 0; k < kd; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const __m256d va = _mm256_set1_pd(aik);
+        const double* brow = b + k * n + j;
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(va, _mm256_loadu_pd(brow)));
+        acc1 =
+            _mm256_add_pd(acc1, _mm256_mul_pd(va, _mm256_loadu_pd(brow + 4)));
+        acc2 =
+            _mm256_add_pd(acc2, _mm256_mul_pd(va, _mm256_loadu_pd(brow + 8)));
+        acc3 =
+            _mm256_add_pd(acc3, _mm256_mul_pd(va, _mm256_loadu_pd(brow + 12)));
+      }
+      _mm256_storeu_pd(crow + j, acc0);
+      _mm256_storeu_pd(crow + j + 4, acc1);
+      _mm256_storeu_pd(crow + j + 8, acc2);
+      _mm256_storeu_pd(crow + j + 12, acc3);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc = _mm256_loadu_pd(crow + j);
+      for (std::size_t k = 0; k < kd; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(_mm256_set1_pd(aik),
+                               _mm256_loadu_pd(b + k * n + j)));
+      }
+      _mm256_storeu_pd(crow + j, acc);
+    }
+    for (; j < n; ++j) {
+      double s = crow[j];
+      for (std::size_t k = 0; k < kd; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        s += aik * b[k * n + j];
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+void gemm_tn_accum(const double* a, const double* b, double* c,
+                   std::size_t rows, std::size_t m, std::size_t n) {
+  // Restructured to i-outer / j-tile / r-inner; element (i, j) still
+  // receives its terms in ascending r with the a(r, i) == 0 skip, exactly
+  // like the scalar backend's r-outer form.
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* acol = a + i;
+    double* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      __m256d acc0 = _mm256_loadu_pd(crow + j);
+      __m256d acc1 = _mm256_loadu_pd(crow + j + 4);
+      __m256d acc2 = _mm256_loadu_pd(crow + j + 8);
+      __m256d acc3 = _mm256_loadu_pd(crow + j + 12);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double ari = acol[r * m];
+        if (ari == 0.0) continue;
+        const __m256d va = _mm256_set1_pd(ari);
+        const double* brow = b + r * n + j;
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(va, _mm256_loadu_pd(brow)));
+        acc1 =
+            _mm256_add_pd(acc1, _mm256_mul_pd(va, _mm256_loadu_pd(brow + 4)));
+        acc2 =
+            _mm256_add_pd(acc2, _mm256_mul_pd(va, _mm256_loadu_pd(brow + 8)));
+        acc3 =
+            _mm256_add_pd(acc3, _mm256_mul_pd(va, _mm256_loadu_pd(brow + 12)));
+      }
+      _mm256_storeu_pd(crow + j, acc0);
+      _mm256_storeu_pd(crow + j + 4, acc1);
+      _mm256_storeu_pd(crow + j + 8, acc2);
+      _mm256_storeu_pd(crow + j + 12, acc3);
+    }
+    for (; j + 4 <= n; j += 4) {
+      __m256d acc = _mm256_loadu_pd(crow + j);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double ari = acol[r * m];
+        if (ari == 0.0) continue;
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(_mm256_set1_pd(ari),
+                               _mm256_loadu_pd(b + r * n + j)));
+      }
+      _mm256_storeu_pd(crow + j, acc);
+    }
+    for (; j < n; ++j) {
+      double s = crow[j];
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double ari = acol[r * m];
+        if (ari == 0.0) continue;
+        s += ari * b[r * n + j];
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+void gemm_nt(const double* a, const double* b, double* c, std::size_t m,
+             std::size_t kd, std::size_t bn) {
+  // b is (bn x kd); pack its transpose once so the inner loop streams
+  // rows. Each c element is still a fresh ascending-k accumulation
+  // (initialized to zero, no skip), matching the scalar dot product's add
+  // sequence bit for bit.
+  thread_local std::vector<double> bt;
+  bt.resize(kd * bn);
+  transpose(b, bt.data(), bn, kd);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * kd;
+    double* crow = c + i * bn;
+    std::size_t j = 0;
+    for (; j + 16 <= bn; j += 16) {
+      __m256d acc0 = _mm256_setzero_pd();
+      __m256d acc1 = _mm256_setzero_pd();
+      __m256d acc2 = _mm256_setzero_pd();
+      __m256d acc3 = _mm256_setzero_pd();
+      for (std::size_t k = 0; k < kd; ++k) {
+        const __m256d va = _mm256_set1_pd(arow[k]);
+        const double* btrow = bt.data() + k * bn + j;
+        acc0 = _mm256_add_pd(acc0, _mm256_mul_pd(va, _mm256_loadu_pd(btrow)));
+        acc1 = _mm256_add_pd(acc1,
+                             _mm256_mul_pd(va, _mm256_loadu_pd(btrow + 4)));
+        acc2 = _mm256_add_pd(acc2,
+                             _mm256_mul_pd(va, _mm256_loadu_pd(btrow + 8)));
+        acc3 = _mm256_add_pd(acc3,
+                             _mm256_mul_pd(va, _mm256_loadu_pd(btrow + 12)));
+      }
+      _mm256_storeu_pd(crow + j, acc0);
+      _mm256_storeu_pd(crow + j + 4, acc1);
+      _mm256_storeu_pd(crow + j + 8, acc2);
+      _mm256_storeu_pd(crow + j + 12, acc3);
+    }
+    for (; j + 4 <= bn; j += 4) {
+      __m256d acc = _mm256_setzero_pd();
+      for (std::size_t k = 0; k < kd; ++k) {
+        acc = _mm256_add_pd(
+            acc, _mm256_mul_pd(_mm256_set1_pd(arow[k]),
+                               _mm256_loadu_pd(bt.data() + k * bn + j)));
+      }
+      _mm256_storeu_pd(crow + j, acc);
+    }
+    for (; j < bn; ++j) {
+      const double* brow = b + j * kd;
+      double s = 0.0;
+      for (std::size_t k = 0; k < kd; ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+}
+
+void gemm_accum_f32(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t kd, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * kd;
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 32 <= n; j += 32) {
+      __m256 acc0 = _mm256_loadu_ps(crow + j);
+      __m256 acc1 = _mm256_loadu_ps(crow + j + 8);
+      __m256 acc2 = _mm256_loadu_ps(crow + j + 16);
+      __m256 acc3 = _mm256_loadu_ps(crow + j + 24);
+      for (std::size_t k = 0; k < kd; ++k) {
+        const __m256 va = _mm256_set1_ps(arow[k]);
+        const float* brow = b + k * n + j;
+        acc0 = _mm256_add_ps(acc0, _mm256_mul_ps(va, _mm256_loadu_ps(brow)));
+        acc1 =
+            _mm256_add_ps(acc1, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 8)));
+        acc2 =
+            _mm256_add_ps(acc2, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 16)));
+        acc3 =
+            _mm256_add_ps(acc3, _mm256_mul_ps(va, _mm256_loadu_ps(brow + 24)));
+      }
+      _mm256_storeu_ps(crow + j, acc0);
+      _mm256_storeu_ps(crow + j + 8, acc1);
+      _mm256_storeu_ps(crow + j + 16, acc2);
+      _mm256_storeu_ps(crow + j + 24, acc3);
+    }
+    for (; j + 8 <= n; j += 8) {
+      __m256 acc = _mm256_loadu_ps(crow + j);
+      for (std::size_t k = 0; k < kd; ++k) {
+        acc = _mm256_add_ps(
+            acc, _mm256_mul_ps(_mm256_set1_ps(arow[k]),
+                               _mm256_loadu_ps(b + k * n + j)));
+      }
+      _mm256_storeu_ps(crow + j, acc);
+    }
+    for (; j < n; ++j) {
+      float s = crow[j];
+      for (std::size_t k = 0; k < kd; ++k) s += arow[k] * b[k * n + j];
+      crow[j] = s;
+    }
+  }
+}
+
+void lstm_gates_f32(const float* z, float* c, float* h, float* out,
+                    std::size_t lanes, std::size_t hidden) {
+  // Same portable body as the scalar backend, compiled in this TU so the
+  // autovectorizer emits the 8-wide AVX2 form of the identical arithmetic.
+  lstm_gates_f32_portable(z, c, h, out, lanes, hidden);
+}
+
+}  // namespace aps::ml::kernels::avx2
+
+#endif  // APS_HAVE_AVX2

@@ -1,0 +1,194 @@
+// NEON backend (aarch64 baseline — no runtime probe needed). Same contract
+// as the AVX2 TU: vectorize across output columns only, separate vmulq /
+// vaddq (never vmlaq/vfmaq, which fuse), keep the legacy zero skip — so
+// float64 results are bit-identical to the scalar backend.
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <vector>
+
+#include "ml/kernels/kernels_detail.h"
+
+namespace aps::ml::kernels::neon {
+
+void gemm_accum(const double* a, const double* b, double* c, std::size_t m,
+                std::size_t kd, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * kd;
+    double* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      float64x2_t acc0 = vld1q_f64(crow + j);
+      float64x2_t acc1 = vld1q_f64(crow + j + 2);
+      float64x2_t acc2 = vld1q_f64(crow + j + 4);
+      float64x2_t acc3 = vld1q_f64(crow + j + 6);
+      for (std::size_t k = 0; k < kd; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const float64x2_t va = vdupq_n_f64(aik);
+        const double* brow = b + k * n + j;
+        acc0 = vaddq_f64(acc0, vmulq_f64(va, vld1q_f64(brow)));
+        acc1 = vaddq_f64(acc1, vmulq_f64(va, vld1q_f64(brow + 2)));
+        acc2 = vaddq_f64(acc2, vmulq_f64(va, vld1q_f64(brow + 4)));
+        acc3 = vaddq_f64(acc3, vmulq_f64(va, vld1q_f64(brow + 6)));
+      }
+      vst1q_f64(crow + j, acc0);
+      vst1q_f64(crow + j + 2, acc1);
+      vst1q_f64(crow + j + 4, acc2);
+      vst1q_f64(crow + j + 6, acc3);
+    }
+    for (; j + 2 <= n; j += 2) {
+      float64x2_t acc = vld1q_f64(crow + j);
+      for (std::size_t k = 0; k < kd; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        acc = vaddq_f64(acc,
+                        vmulq_f64(vdupq_n_f64(aik), vld1q_f64(b + k * n + j)));
+      }
+      vst1q_f64(crow + j, acc);
+    }
+    for (; j < n; ++j) {
+      double s = crow[j];
+      for (std::size_t k = 0; k < kd; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        s += aik * b[k * n + j];
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+void gemm_tn_accum(const double* a, const double* b, double* c,
+                   std::size_t rows, std::size_t m, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* acol = a + i;
+    double* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      float64x2_t acc0 = vld1q_f64(crow + j);
+      float64x2_t acc1 = vld1q_f64(crow + j + 2);
+      float64x2_t acc2 = vld1q_f64(crow + j + 4);
+      float64x2_t acc3 = vld1q_f64(crow + j + 6);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double ari = acol[r * m];
+        if (ari == 0.0) continue;
+        const float64x2_t va = vdupq_n_f64(ari);
+        const double* brow = b + r * n + j;
+        acc0 = vaddq_f64(acc0, vmulq_f64(va, vld1q_f64(brow)));
+        acc1 = vaddq_f64(acc1, vmulq_f64(va, vld1q_f64(brow + 2)));
+        acc2 = vaddq_f64(acc2, vmulq_f64(va, vld1q_f64(brow + 4)));
+        acc3 = vaddq_f64(acc3, vmulq_f64(va, vld1q_f64(brow + 6)));
+      }
+      vst1q_f64(crow + j, acc0);
+      vst1q_f64(crow + j + 2, acc1);
+      vst1q_f64(crow + j + 4, acc2);
+      vst1q_f64(crow + j + 6, acc3);
+    }
+    for (; j + 2 <= n; j += 2) {
+      float64x2_t acc = vld1q_f64(crow + j);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double ari = acol[r * m];
+        if (ari == 0.0) continue;
+        acc = vaddq_f64(acc,
+                        vmulq_f64(vdupq_n_f64(ari), vld1q_f64(b + r * n + j)));
+      }
+      vst1q_f64(crow + j, acc);
+    }
+    for (; j < n; ++j) {
+      double s = crow[j];
+      for (std::size_t r = 0; r < rows; ++r) {
+        const double ari = acol[r * m];
+        if (ari == 0.0) continue;
+        s += ari * b[r * n + j];
+      }
+      crow[j] = s;
+    }
+  }
+}
+
+void gemm_nt(const double* a, const double* b, double* c, std::size_t m,
+             std::size_t kd, std::size_t bn) {
+  thread_local std::vector<double> bt;
+  bt.resize(kd * bn);
+  transpose(b, bt.data(), bn, kd);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a + i * kd;
+    double* crow = c + i * bn;
+    std::size_t j = 0;
+    for (; j + 8 <= bn; j += 8) {
+      float64x2_t acc0 = vdupq_n_f64(0.0);
+      float64x2_t acc1 = vdupq_n_f64(0.0);
+      float64x2_t acc2 = vdupq_n_f64(0.0);
+      float64x2_t acc3 = vdupq_n_f64(0.0);
+      for (std::size_t k = 0; k < kd; ++k) {
+        const float64x2_t va = vdupq_n_f64(arow[k]);
+        const double* btrow = bt.data() + k * bn + j;
+        acc0 = vaddq_f64(acc0, vmulq_f64(va, vld1q_f64(btrow)));
+        acc1 = vaddq_f64(acc1, vmulq_f64(va, vld1q_f64(btrow + 2)));
+        acc2 = vaddq_f64(acc2, vmulq_f64(va, vld1q_f64(btrow + 4)));
+        acc3 = vaddq_f64(acc3, vmulq_f64(va, vld1q_f64(btrow + 6)));
+      }
+      vst1q_f64(crow + j, acc0);
+      vst1q_f64(crow + j + 2, acc1);
+      vst1q_f64(crow + j + 4, acc2);
+      vst1q_f64(crow + j + 6, acc3);
+    }
+    for (; j < bn; ++j) {
+      const double* brow = b + j * kd;
+      double s = 0.0;
+      for (std::size_t k = 0; k < kd; ++k) s += arow[k] * brow[k];
+      crow[j] = s;
+    }
+  }
+}
+
+void gemm_accum_f32(const float* a, const float* b, float* c, std::size_t m,
+                    std::size_t kd, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * kd;
+    float* crow = c + i * n;
+    std::size_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      float32x4_t acc0 = vld1q_f32(crow + j);
+      float32x4_t acc1 = vld1q_f32(crow + j + 4);
+      float32x4_t acc2 = vld1q_f32(crow + j + 8);
+      float32x4_t acc3 = vld1q_f32(crow + j + 12);
+      for (std::size_t k = 0; k < kd; ++k) {
+        const float32x4_t va = vdupq_n_f32(arow[k]);
+        const float* brow = b + k * n + j;
+        acc0 = vaddq_f32(acc0, vmulq_f32(va, vld1q_f32(brow)));
+        acc1 = vaddq_f32(acc1, vmulq_f32(va, vld1q_f32(brow + 4)));
+        acc2 = vaddq_f32(acc2, vmulq_f32(va, vld1q_f32(brow + 8)));
+        acc3 = vaddq_f32(acc3, vmulq_f32(va, vld1q_f32(brow + 12)));
+      }
+      vst1q_f32(crow + j, acc0);
+      vst1q_f32(crow + j + 4, acc1);
+      vst1q_f32(crow + j + 8, acc2);
+      vst1q_f32(crow + j + 12, acc3);
+    }
+    for (; j + 4 <= n; j += 4) {
+      float32x4_t acc = vld1q_f32(crow + j);
+      for (std::size_t k = 0; k < kd; ++k) {
+        acc = vaddq_f32(
+            acc, vmulq_f32(vdupq_n_f32(arow[k]), vld1q_f32(b + k * n + j)));
+      }
+      vst1q_f32(crow + j, acc);
+    }
+    for (; j < n; ++j) {
+      float s = crow[j];
+      for (std::size_t k = 0; k < kd; ++k) s += arow[k] * b[k * n + j];
+      crow[j] = s;
+    }
+  }
+}
+
+void lstm_gates_f32(const float* z, float* c, float* h, float* out,
+                    std::size_t lanes, std::size_t hidden) {
+  lstm_gates_f32_portable(z, c, h, out, lanes, hidden);
+}
+
+}  // namespace aps::ml::kernels::neon
+
+#endif  // __aarch64__

@@ -6,6 +6,8 @@
 #include <limits>
 #include <numeric>
 
+#include "ml/kernels/kernels.h"
+
 namespace aps::ml {
 
 namespace {
@@ -372,6 +374,7 @@ double Lstm::fit(const SequenceDataset& data, aps::ThreadPool* pool) {
   Matrix best_head_w, best_head_b;
   int patience_left = config_.early_stopping_patience;
   long step = 0;
+  epoch_losses_.clear();
 
   for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
     std::shuffle(train_idx.begin(), train_idx.end(), rng.engine());
@@ -476,6 +479,7 @@ double Lstm::fit(const SequenceDataset& data, aps::ThreadPool* pool) {
     const double val_loss = val_idx.empty()
                                 ? evaluate_loss(data, train_idx, cw, pool)
                                 : evaluate_loss(data, val_idx, cw, pool);
+    epoch_losses_.push_back(val_loss);
     if (val_loss < best_val - 1e-5) {
       best_val = val_loss;
       best_layers = layers_;
@@ -491,6 +495,7 @@ double Lstm::fit(const SequenceDataset& data, aps::ThreadPool* pool) {
     head_w = std::move(best_head_w);
     head_b = std::move(best_head_b);
   }
+  f32_slot_.reset();  // weights changed; the float32 mirror is stale
   return best_val;
 }
 
@@ -525,10 +530,14 @@ void Lstm::predict_batch_standardized(std::span<const double> x,
   out.assign(n, 0);
   if (n == 0) return;
 
-  // Hidden/cell state for every lane advances together in SoA buffers;
-  // per-lane gate arithmetic mirrors forward() exactly (same
-  // vec_matmul_add order), so the pass is bit-identical to predicting each
-  // window alone.
+  // Hidden/cell state for every lane advances together in SoA buffers.
+  // For a fixed step t the lane-major buffer current[(t * n + lane) *
+  // width ..] is an (n x width) row-major matrix, so each step is ONE
+  // batched GEMM against the gate weights (streamed once per step instead
+  // of once per lane) plus a fused gate pass. Row `lane` of the GEMM
+  // performs exactly the per-lane vec_matmul_add sequence forward() runs,
+  // and kernels::lstm_gates matches its gate loop, so the pass stays
+  // bit-identical to predicting each window alone.
   std::size_t width = x.size() / (n * steps);
   std::vector<double> current(x.begin(), x.end());
   std::vector<double> next;
@@ -538,28 +547,15 @@ void Lstm::predict_batch_standardized(std::span<const double> x,
     h.assign(n * h_size, 0.0);
     c.assign(n * h_size, 0.0);
     next.assign(steps * n * h_size, 0.0);
-    z.resize(4 * h_size);
+    z.resize(n * 4 * h_size);
     for (std::size_t t = 0; t < steps; ++t) {
-      for (std::size_t i = 0; i < n; ++i) {
-        for (std::size_t j = 0; j < 4 * h_size; ++j) z[j] = layer.b.at(0, j);
-        const std::span<const double> x_t(
-            current.data() + (t * n + i) * width, width);
-        const std::span<double> h_i(h.data() + i * h_size, h_size);
-        const std::span<double> c_i(c.data() + i * h_size, h_size);
-        vec_matmul_add(x_t, layer.w, z);
-        vec_matmul_add(std::span<const double>(h_i), layer.u, z);
-        double* out_t = next.data() + (t * n + i) * h_size;
-        for (std::size_t j = 0; j < h_size; ++j) {
-          const double gi = sigmoid(z[j]);
-          const double gf = sigmoid(z[h_size + j]);
-          const double gg = gate_tanh(z[2 * h_size + j]);
-          const double go = sigmoid(z[3 * h_size + j]);
-          c_i[j] = gf * c_i[j] + gi * gg;
-          const double tanh_c = gate_tanh(c_i[j]);
-          h_i[j] = go * tanh_c;
-          out_t[j] = h_i[j];
-        }
-      }
+      kernels::fill_bias_rows(z.data(), layer.b.data(), n, 4 * h_size);
+      kernels::gemm_accum(current.data() + t * n * width, layer.w.data(),
+                          z.data(), n, width, 4 * h_size);
+      kernels::gemm_accum(h.data(), layer.u.data(), z.data(), n, h_size,
+                          4 * h_size);
+      kernels::lstm_gates(z.data(), c.data(), h.data(),
+                          next.data() + t * n * h_size, n, h_size);
     }
     width = h_size;
     current.swap(next);
@@ -580,6 +576,119 @@ void Lstm::predict_batch_standardized(std::span<const double> x,
     out[i] = static_cast<int>(
         std::max_element(probs.begin(), probs.end()) - probs.begin());
   }
+}
+
+std::shared_ptr<const Lstm::F32Weights> Lstm::f32_weights() const {
+  return f32_slot_.get([this] {
+    auto cache = std::make_shared<F32Weights>();
+    cache->layers.reserve(layers_.size());
+    for (const auto& layer : layers_) {
+      F32Weights::Layer fl;
+      fl.hidden = layer.hidden;
+      fl.w.resize(layer.w.raw().size());
+      for (std::size_t i = 0; i < fl.w.size(); ++i) {
+        fl.w[i] = static_cast<float>(layer.w.raw()[i]);
+      }
+      fl.u.resize(layer.u.raw().size());
+      for (std::size_t i = 0; i < fl.u.size(); ++i) {
+        fl.u[i] = static_cast<float>(layer.u.raw()[i]);
+      }
+      fl.b.resize(layer.b.raw().size());
+      for (std::size_t i = 0; i < fl.b.size(); ++i) {
+        fl.b[i] = static_cast<float>(layer.b.raw()[i]);
+      }
+      cache->layers.push_back(std::move(fl));
+    }
+    cache->head_w.resize(head_w.raw().size());
+    for (std::size_t i = 0; i < cache->head_w.size(); ++i) {
+      cache->head_w[i] = static_cast<float>(head_w.raw()[i]);
+    }
+    cache->head_b.resize(head_b.raw().size());
+    for (std::size_t i = 0; i < cache->head_b.size(); ++i) {
+      cache->head_b[i] = static_cast<float>(head_b.raw()[i]);
+    }
+    return cache;
+  });
+}
+
+void Lstm::warm_f32_cache() const { (void)f32_weights(); }
+
+void Lstm::forward_batch_f32(std::span<const float> x, std::size_t n,
+                             std::size_t steps,
+                             std::vector<double>& probs) const {
+  const auto wts = f32_weights();
+  std::size_t width = x.size() / (n * steps);
+  std::vector<float> current(x.begin(), x.end());
+  std::vector<float> next;
+  std::vector<float> h, c, z;
+  for (const auto& layer : wts->layers) {
+    const std::size_t h_size = layer.hidden;
+    h.assign(n * h_size, 0.0f);
+    c.assign(n * h_size, 0.0f);
+    next.assign(steps * n * h_size, 0.0f);
+    z.resize(n * 4 * h_size);
+    for (std::size_t t = 0; t < steps; ++t) {
+      kernels::fill_bias_rows_f32(z.data(), layer.b.data(), n, 4 * h_size);
+      kernels::gemm_accum_f32(current.data() + t * n * width, layer.w.data(),
+                              z.data(), n, width, 4 * h_size);
+      kernels::gemm_accum_f32(h.data(), layer.u.data(), z.data(), n, h_size,
+                              4 * h_size);
+      kernels::lstm_gates_f32(z.data(), c.data(), h.data(),
+                              next.data() + t * n * h_size, n, h_size);
+    }
+    width = h_size;
+    current.swap(next);
+  }
+
+  // Dense head per lane; softmax in double over the float32 logits, same
+  // shift-by-max form as the float64 path.
+  const std::size_t classes = head_b.cols();
+  probs.resize(n * classes);
+  std::vector<double> logits(classes);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* last = current.data() + ((steps - 1) * n + i) * width;
+    for (std::size_t cidx = 0; cidx < classes; ++cidx) {
+      float s = wts->head_b[cidx];
+      for (std::size_t r = 0; r < width; ++r) {
+        s += last[r] * wts->head_w[r * classes + cidx];
+      }
+      logits[cidx] = static_cast<double>(s);
+    }
+    const auto lane_probs = softmax(logits);
+    std::copy(lane_probs.begin(), lane_probs.end(),
+              probs.begin() + static_cast<long>(i * classes));
+  }
+}
+
+void Lstm::predict_batch_standardized_f32(std::span<const float> x,
+                                          std::size_t n, std::size_t steps,
+                                          std::vector<int>& out) const {
+  assert(trained());
+  out.assign(n, 0);
+  if (n == 0) return;
+  std::vector<double> probs;
+  forward_batch_f32(x, n, steps, probs);
+  const std::size_t classes = head_b.cols();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double* row = probs.data() + i * classes;
+    std::size_t best = 0;
+    for (std::size_t cidx = 1; cidx < classes; ++cidx) {
+      if (row[cidx] > row[best]) best = cidx;
+    }
+    out[i] = static_cast<int>(best);
+  }
+}
+
+std::vector<double> Lstm::predict_proba_f32(const Matrix& window) const {
+  assert(trained());
+  const Matrix std_window = standardize_window(window);
+  std::vector<float> flat(std_window.raw().size());
+  for (std::size_t i = 0; i < flat.size(); ++i) {
+    flat[i] = static_cast<float>(std_window.raw()[i]);
+  }
+  std::vector<double> probs;
+  forward_batch_f32(flat, 1, std_window.rows(), probs);
+  return probs;
 }
 
 std::vector<int> Lstm::predict_batch(std::span<const Matrix> windows) const {

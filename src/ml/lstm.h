@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "ml/adam.h"
 #include "ml/dataset.h"
+#include "ml/f32_cache.h"
 #include "ml/matrix.h"
 
 namespace aps::io {
@@ -65,12 +67,33 @@ class Lstm {
   void predict_batch_standardized(std::span<const double> x, std::size_t n,
                                   std::size_t steps,
                                   std::vector<int>& out) const;
+  /// Float32 counterpart of predict_batch_standardized for serving lanes:
+  /// same lane-major layout (already standardized, cast by the caller),
+  /// run through the float32 kernels with polynomial gate activations.
+  /// Weights are cast once per model generation and cached. Tolerance-
+  /// pinned against the float64 path (<= 1e-4 on probabilities, no
+  /// decision flips on the golden cohort) — not bit-identical to it.
+  void predict_batch_standardized_f32(std::span<const float> x, std::size_t n,
+                                      std::size_t steps,
+                                      std::vector<int>& out) const;
+  /// Float32-path per-class probabilities for one raw window.
+  [[nodiscard]] std::vector<double> predict_proba_f32(
+      const Matrix& window) const;
+  /// Build the float32 weight mirror now. Bundle loading calls this once
+  /// per generation so serving lanes never pay the cast.
+  void warm_f32_cache() const;
   /// Apply the fitted feature standardizer to one raw feature row.
   void standardize_row(std::span<double> row) const;
 
   [[nodiscard]] bool trained() const { return !layers_.empty(); }
   [[nodiscard]] std::size_t parameter_count() const;
   [[nodiscard]] const LstmConfig& config() const { return config_; }
+  /// Validation loss after each completed epoch of the last fit() call
+  /// (training loss when the validation split is empty). Pinned against
+  /// recorded golden trajectories by the training determinism suite.
+  [[nodiscard]] const std::vector<double>& epoch_losses() const {
+    return epoch_losses_;
+  }
 
  private:
   friend struct aps::io::ModelSerde;
@@ -96,6 +119,19 @@ class Lstm {
     Matrix w, u, b;
   };
 
+  /// Float32 mirror of the stack, flat row-major per matrix.
+  struct F32Weights {
+    struct Layer {
+      std::vector<float> w;  ///< in x 4H
+      std::vector<float> u;  ///< H x 4H
+      std::vector<float> b;  ///< 4H
+      std::size_t hidden = 0;
+    };
+    std::vector<Layer> layers;
+    std::vector<float> head_w;  ///< in x classes
+    std::vector<float> head_b;  ///< classes
+  };
+
   void init_layers(std::size_t input_features);
   /// Run the stack over one window; fills caches when `cache != nullptr`.
   [[nodiscard]] std::vector<double> forward(const Matrix& window,
@@ -111,13 +147,20 @@ class Lstm {
                                      std::span<const double> cw,
                                      aps::ThreadPool* pool = nullptr) const;
   [[nodiscard]] Matrix standardize_window(const Matrix& window) const;
+  [[nodiscard]] std::shared_ptr<const F32Weights> f32_weights() const;
+  /// Float32 batched forward over a standardized lane-major buffer; fills
+  /// `probs` row-major (n x classes), softmax computed in double.
+  void forward_batch_f32(std::span<const float> x, std::size_t n,
+                         std::size_t steps, std::vector<double>& probs) const;
 
   LstmConfig config_;
+  std::vector<double> epoch_losses_;  ///< per-epoch val loss of last fit()
   std::vector<Layer> layers_;
   Matrix head_w;  ///< last hidden -> classes
   Matrix head_b;
   AdamState head_w_adam_, head_b_adam_;
   Standardizer standardizer_;
+  F32Slot<F32Weights> f32_slot_;  ///< lazy float32 mirror of the weights
 };
 
 }  // namespace aps::ml

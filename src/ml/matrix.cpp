@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/rng.h"
+#include "ml/kernels/kernels.h"
 
 namespace aps::ml {
 
@@ -16,48 +17,34 @@ Matrix Matrix::xavier(std::size_t rows, std::size_t cols,
   return m;
 }
 
+// The matrix products route through the SIMD kernel layer
+// (src/ml/kernels/). Each kernel preserves this file's historical
+// per-element operation sequence — ascending-k mul-then-add with the
+// zero-multiplier skip — on every backend, so results here are
+// bit-identical to the original hand-written loops regardless of which
+// backend dispatch selects.
+
 Matrix matmul(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.rows());
   Matrix c(a.rows(), b.cols());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = a.at(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        c.at(i, j) += aik * b.at(k, j);
-      }
-    }
-  }
+  kernels::gemm_accum(a.data(), b.data(), c.raw().data(), a.rows(), a.cols(),
+                      b.cols());
   return c;
 }
 
 Matrix matmul_tn(const Matrix& a, const Matrix& b) {
   assert(a.rows() == b.rows());
   Matrix c(a.cols(), b.cols());
-  for (std::size_t k = 0; k < a.rows(); ++k) {
-    for (std::size_t i = 0; i < a.cols(); ++i) {
-      const double aki = a.at(k, i);
-      if (aki == 0.0) continue;
-      for (std::size_t j = 0; j < b.cols(); ++j) {
-        c.at(i, j) += aki * b.at(k, j);
-      }
-    }
-  }
+  kernels::gemm_tn_accum(a.data(), b.data(), c.raw().data(), a.rows(),
+                         a.cols(), b.cols());
   return c;
 }
 
 Matrix matmul_nt(const Matrix& a, const Matrix& b) {
   assert(a.cols() == b.cols());
   Matrix c(a.rows(), b.rows());
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    for (std::size_t j = 0; j < b.rows(); ++j) {
-      double s = 0.0;
-      for (std::size_t k = 0; k < a.cols(); ++k) {
-        s += a.at(i, k) * b.at(j, k);
-      }
-      c.at(i, j) = s;
-    }
-  }
+  kernels::gemm_nt(a.data(), b.data(), c.raw().data(), a.rows(), a.cols(),
+                   b.rows());
   return c;
 }
 
@@ -65,13 +52,7 @@ void vec_matmul_add(std::span<const double> x, const Matrix& w,
                     std::span<double> out) {
   assert(x.size() == w.rows());
   assert(out.size() == w.cols());
-  for (std::size_t i = 0; i < w.rows(); ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    for (std::size_t j = 0; j < w.cols(); ++j) {
-      out[j] += xi * w.at(i, j);
-    }
-  }
+  kernels::gemm_accum(x.data(), w.data(), out.data(), 1, w.rows(), w.cols());
 }
 
 void vec_matmul_add(const std::vector<double>& x, const Matrix& w,

@@ -6,6 +6,8 @@
 #include <limits>
 #include <numeric>
 
+#include "ml/kernels/kernels.h"
+
 namespace aps::ml {
 
 namespace {
@@ -58,16 +60,11 @@ Mlp::ForwardCache Mlp::forward(const Matrix& batch, bool training,
   const bool drop = training && config_.dropout > 0.0 && dropout != nullptr;
   for (std::size_t l = 0; l < weights_.size(); ++l) {
     Matrix z = matmul(cache.activations.back(), weights_[l]);
-    for (std::size_t r = 0; r < z.rows(); ++r) {
-      double* row = z.raw().data() + r * z.cols();
-      const double* bias = biases_[l].data();
-      for (std::size_t c = 0; c < z.cols(); ++c) row[c] += bias[c];
-    }
+    kernels::add_bias_rows(z.raw().data(), biases_[l].data(), z.rows(),
+                           z.cols());
     if (l < hidden_layers) {
       // ReLU + inverted dropout.
-      for (auto& v : z.raw()) {
-        if (v < 0.0) v = 0.0;
-      }
+      kernels::relu(z.raw().data(), z.raw().size());
       if (drop) {
         Matrix mask(z.rows(), z.cols(), 1.0);
         const double inv_keep = 1.0 / (1.0 - config_.dropout);
@@ -298,6 +295,7 @@ double Mlp::fit(const Dataset& data, aps::ThreadPool* pool) {
   std::vector<Matrix> best_biases;
   int patience_left = config_.early_stopping_patience;
   long step = 0;
+  epoch_losses_.clear();
 
   for (int epoch = 0; epoch < config_.max_epochs; ++epoch) {
     std::shuffle(train_idx.begin(), train_idx.end(), rng.engine());
@@ -318,6 +316,7 @@ double Mlp::fit(const Dataset& data, aps::ThreadPool* pool) {
         val_idx.empty()
             ? evaluate_loss(x_all, data.y, cw)
             : evaluate_loss(x_val, y_val, cw);
+    epoch_losses_.push_back(val_loss);
     if (val_loss < best_val - 1e-5) {
       best_val = val_loss;
       best_weights = weights_;
@@ -331,6 +330,7 @@ double Mlp::fit(const Dataset& data, aps::ThreadPool* pool) {
     weights_ = std::move(best_weights);
     biases_ = std::move(best_biases);
   }
+  f32_slot_.reset();  // weights changed; the float32 mirror is stale
   return best_val;
 }
 
@@ -379,6 +379,109 @@ std::vector<int> Mlp::predict_batch(const Matrix& features) const {
     out[r] = static_cast<int>(best);
   }
   return out;
+}
+
+std::shared_ptr<const Mlp::F32Weights> Mlp::f32_weights() const {
+  return f32_slot_.get([this] {
+    auto cache = std::make_shared<F32Weights>();
+    cache->w.reserve(weights_.size());
+    cache->b.reserve(weights_.size());
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+      std::vector<float> w(weights_[l].raw().size());
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        w[i] = static_cast<float>(weights_[l].raw()[i]);
+      }
+      std::vector<float> b(biases_[l].raw().size());
+      for (std::size_t i = 0; i < b.size(); ++i) {
+        b[i] = static_cast<float>(biases_[l].raw()[i]);
+      }
+      cache->w.push_back(std::move(w));
+      cache->b.push_back(std::move(b));
+      cache->out_dims.push_back(weights_[l].cols());
+    }
+    return cache;
+  });
+}
+
+void Mlp::warm_f32_cache() const { (void)f32_weights(); }
+
+void Mlp::forward_f32(const Matrix& x, std::vector<double>& probs) const {
+  const auto wts = f32_weights();
+  const std::size_t n = x.rows();
+  const std::size_t hidden_layers = wts->w.size() - 1;
+  std::vector<float> act(x.raw().size());
+  for (std::size_t i = 0; i < act.size(); ++i) {
+    act[i] = static_cast<float>(x.raw()[i]);
+  }
+  std::vector<float> z;
+  std::size_t width = x.cols();
+  for (std::size_t l = 0; l < wts->w.size(); ++l) {
+    const std::size_t out_dim = wts->out_dims[l];
+    z.resize(n * out_dim);
+    kernels::fill_bias_rows_f32(z.data(), wts->b[l].data(), n, out_dim);
+    kernels::gemm_accum_f32(act.data(), wts->w[l].data(), z.data(), n, width,
+                            out_dim);
+    if (l < hidden_layers) kernels::relu_f32(z.data(), z.size());
+    act.swap(z);
+    width = out_dim;
+  }
+  // Softmax in double over the float32 logits, same shift-by-max form as
+  // the float64 path.
+  probs.resize(n * width);
+  for (std::size_t r = 0; r < n; ++r) {
+    const float* row = act.data() + r * width;
+    double max_logit = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < width; ++c) {
+      max_logit = std::max(max_logit, static_cast<double>(row[c]));
+    }
+    double sum = 0.0;
+    for (std::size_t c = 0; c < width; ++c) {
+      const double e = std::exp(static_cast<double>(row[c]) - max_logit);
+      probs[r * width + c] = e;
+      sum += e;
+    }
+    for (std::size_t c = 0; c < width; ++c) probs[r * width + c] /= sum;
+  }
+}
+
+std::vector<int> Mlp::predict_batch_f32(const Matrix& features) const {
+  assert(trained());
+  Matrix x = features;
+  if (config_.standardize && standardizer_.fitted()) {
+    for (std::size_t r = 0; r < x.rows(); ++r) {
+      std::span<double> row(x.raw().data() + r * x.cols(), x.cols());
+      standardizer_.transform_row(row);
+    }
+  }
+  std::vector<double> probs;
+  forward_f32(x, probs);
+  const auto classes = static_cast<std::size_t>(config_.classes);
+  std::vector<int> out(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    const double* row = probs.data() + r * classes;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<int>(best);
+  }
+  return out;
+}
+
+std::vector<double> Mlp::predict_proba_f32(
+    std::span<const double> features) const {
+  assert(trained());
+  Matrix x(1, features.size());
+  for (std::size_t c = 0; c < features.size(); ++c) {
+    x.at(0, c) = features[c];
+  }
+  if (config_.standardize && standardizer_.fitted()) {
+    std::span<double> row(x.raw().data(), x.cols());
+    standardizer_.transform_row(row);
+  }
+  std::vector<double> probs;
+  forward_f32(x, probs);
+  return probs;
 }
 
 }  // namespace aps::ml

@@ -14,10 +14,13 @@
 #include <span>
 #include <vector>
 
+#include <memory>
+
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "ml/adam.h"
 #include "ml/dataset.h"
+#include "ml/f32_cache.h"
 #include "ml/matrix.h"
 
 namespace aps::io {
@@ -56,9 +59,29 @@ class Mlp {
   /// Every layer of the network is row-independent, so out[r] is
   /// bit-identical to predict(row r).
   [[nodiscard]] std::vector<int> predict_batch(const Matrix& features) const;
+  /// predict_batch through the float32 kernel path (serving-lane inference
+  /// precision). Weights are cast once per model generation and cached;
+  /// probabilities are softmaxed in double over the float32 logits.
+  /// Tolerance-pinned against the float64 path (<= 1e-4 on probabilities,
+  /// no decision flips on the golden cohort) — not bit-identical to it.
+  [[nodiscard]] std::vector<int> predict_batch_f32(
+      const Matrix& features) const;
+  /// Float32-path per-class probabilities for one raw feature row.
+  [[nodiscard]] std::vector<double> predict_proba_f32(
+      std::span<const double> features) const;
+  /// Build the float32 weight mirror now. Bundle loading calls this once
+  /// per generation so serving lanes never pay the cast.
+  void warm_f32_cache() const;
 
   [[nodiscard]] bool trained() const { return !weights_.empty(); }
   [[nodiscard]] const MlpConfig& config() const { return config_; }
+  /// Validation loss after each completed epoch of the last fit() call
+  /// (training loss when the validation split is empty). The training
+  /// determinism suite pins this trajectory against recorded golden
+  /// values, so any numerical change to the minibatch path is caught.
+  [[nodiscard]] const std::vector<double>& epoch_losses() const {
+    return epoch_losses_;
+  }
   /// Number of scalar parameters (for the overhead bench narrative).
   [[nodiscard]] std::size_t parameter_count() const;
 
@@ -84,8 +107,20 @@ class Mlp {
     }
   };
 
+  /// Float32 mirror of weights_/biases_, flat row-major per layer.
+  struct F32Weights {
+    std::vector<std::vector<float>> w;  ///< (in x out) each
+    std::vector<std::vector<float>> b;  ///< out each
+    std::vector<std::size_t> out_dims;
+  };
+
   [[nodiscard]] ForwardCache forward(const Matrix& batch, bool training,
                                      DropoutStream* dropout) const;
+  [[nodiscard]] std::shared_ptr<const F32Weights> f32_weights() const;
+  /// Forward through the float32 kernels over a standardized batch;
+  /// fills `probs` row-major (n x classes), softmax computed in double.
+  void forward_f32(const Matrix& x_standardized,
+                   std::vector<double>& probs) const;
   /// Unnormalized gradient of the weighted CE loss over `batch`, added
   /// into grad_w / grad_b; returns (loss sum, weight sum) via the out
   /// params. Pure w.r.t. the network, so chunks run concurrently.
@@ -104,12 +139,14 @@ class Mlp {
 
   MlpConfig config_;
   std::uint64_t dropout_seed_ = 0;  ///< derived from config seed in fit()
+  std::vector<double> epoch_losses_;  ///< per-epoch val loss of last fit()
   std::vector<std::size_t> layer_sizes_;
   std::vector<Matrix> weights_;
   std::vector<Matrix> biases_;  ///< 1 x out each
   std::vector<AdamState> w_adam_;
   std::vector<AdamState> b_adam_;
   Standardizer standardizer_;
+  F32Slot<F32Weights> f32_slot_;  ///< lazy float32 mirror of the weights
 };
 
 }  // namespace aps::ml

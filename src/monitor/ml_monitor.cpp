@@ -38,12 +38,14 @@ Decision decision_from_class(int predicted_class, int classes,
 
 namespace {
 
-/// One gather -> predict_batch -> decision cycle, shared by the DT and MLP
+/// One gather -> predict -> decision cycle, shared by the DT and MLP
 /// batches (and the serving path): fills `scratch` with each lane's
-/// features, runs one model call, maps classes to decisions. `scratch` is
-/// caller-owned so hot loops reuse it across cycles.
-template <typename Model>
-void predict_step(const Model& model, int classes, aps::ml::Matrix& scratch,
+/// features, runs one model call via `predict` (a callable mapping the
+/// feature matrix to predicted classes, so callers choose the precision
+/// path), maps classes to decisions. `scratch` is caller-owned so hot
+/// loops reuse it across cycles.
+template <typename Predict>
+void predict_step(Predict&& predict, int classes, aps::ml::Matrix& scratch,
                   std::span<const Observation> obs, std::span<Decision> out) {
   if (scratch.rows() != obs.size() || scratch.cols() != kMlFeatureCount) {
     scratch = aps::ml::Matrix(obs.size(), kMlFeatureCount);
@@ -53,10 +55,18 @@ void predict_step(const Model& model, int classes, aps::ml::Matrix& scratch,
         obs[r], std::span<double>(scratch.raw().data() + r * kMlFeatureCount,
                                   kMlFeatureCount));
   }
-  const std::vector<int> predicted = model.predict_batch(scratch);
+  const std::vector<int> predicted = predict(scratch);
   for (std::size_t r = 0; r < obs.size(); ++r) {
     out[r] = decision_from_class(predicted[r], classes, obs[r]);
   }
+}
+
+/// predict_step callable for a model's float64 reference path.
+template <typename Model>
+auto predict_f64(const Model& model) {
+  return [&model](const aps::ml::Matrix& features) {
+    return model.predict_batch(features);
+  };
 }
 
 }  // namespace
@@ -93,7 +103,7 @@ Decision MlpMonitor::observe(const Observation& obs) {
 void MlpMonitor::observe_batch(std::span<const Observation> obs,
                                std::span<Decision> out) {
   aps::ml::Matrix scratch;
-  predict_step(*model_, classes_, scratch, obs, out);
+  predict_step(predict_f64(*model_), classes_, scratch, obs, out);
 }
 
 std::unique_ptr<Monitor> MlpMonitor::clone() const {
@@ -174,7 +184,7 @@ std::unique_ptr<Monitor> DtMonitorBatch::extract_lane(std::size_t) const {
 
 void DtMonitorBatch::observe_step(std::span<const Observation> obs,
                                   std::span<Decision> out) {
-  predict_step(*model_, classes_, scratch_, obs, out);
+  predict_step(predict_f64(*model_), classes_, scratch_, obs, out);
 }
 
 void DtMonitorBatch::observe_lanes(std::span<const std::size_t>,
@@ -184,7 +194,7 @@ void DtMonitorBatch::observe_lanes(std::span<const std::size_t>,
   // given rows; thread-local scratch keeps concurrent disjoint-subset
   // calls safe without reallocating on every serving tick.
   thread_local aps::ml::Matrix scratch;
-  predict_step(*model_, classes_, scratch, obs, out);
+  predict_step(predict_f64(*model_), classes_, scratch, obs, out);
 }
 
 bool MlpMonitorBatch::add_lane(const Monitor& prototype) {
@@ -206,14 +216,26 @@ std::unique_ptr<Monitor> MlpMonitorBatch::extract_lane(std::size_t) const {
 
 void MlpMonitorBatch::observe_step(std::span<const Observation> obs,
                                    std::span<Decision> out) {
-  predict_step(*model_, classes_, scratch_, obs, out);
+  if (precision_ == Precision::kF32) {
+    predict_step([this](const aps::ml::Matrix& f) {
+      return model_->predict_batch_f32(f);
+    }, classes_, scratch_, obs, out);
+  } else {
+    predict_step(predict_f64(*model_), classes_, scratch_, obs, out);
+  }
 }
 
 void MlpMonitorBatch::observe_lanes(std::span<const std::size_t>,
                                     std::span<const Observation> obs,
                                     std::span<Decision> out) {
   thread_local aps::ml::Matrix scratch;
-  predict_step(*model_, classes_, scratch, obs, out);
+  if (precision_ == Precision::kF32) {
+    predict_step([this](const aps::ml::Matrix& f) {
+      return model_->predict_batch_f32(f);
+    }, classes_, scratch, obs, out);
+  } else {
+    predict_step(predict_f64(*model_), classes_, scratch, obs, out);
+  }
 }
 
 bool LstmMonitorBatch::add_lane(const Monitor& prototype) {
@@ -299,21 +321,40 @@ void LstmMonitorBatch::observe_subset(std::span<const std::size_t> lanes,
   }
   if (scratch.ready.empty()) return;
 
-  // Lane-major flat batch: flat[(t * n + i) * features + j].
+  // Lane-major flat batch: flat[(t * n + i) * features + j]. kF32 lanes
+  // gather straight into the float32 buffer (standardization stays f64 in
+  // the ring rows; only the inference-time cast differs).
   const std::size_t n = scratch.ready.size();
   const std::size_t steps = kLstmWindow;
-  scratch.flat.resize(steps * n * kMlFeatureCount);
-  for (std::size_t i = 0; i < n; ++i) {
-    const auto& window = windows_[lanes[scratch.ready[i]]];
-    for (std::size_t t = 0; t < steps; ++t) {
-      const auto& row = window[t];
-      std::copy(row.begin(), row.end(),
-                scratch.flat.begin() +
-                    static_cast<long>((t * n + i) * kMlFeatureCount));
+  if (precision_ == Precision::kF32) {
+    scratch.flat32.resize(steps * n * kMlFeatureCount);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& window = windows_[lanes[scratch.ready[i]]];
+      for (std::size_t t = 0; t < steps; ++t) {
+        const auto& row = window[t];
+        float* dst =
+            scratch.flat32.data() + (t * n + i) * kMlFeatureCount;
+        for (std::size_t j = 0; j < row.size(); ++j) {
+          dst[j] = static_cast<float>(row[j]);
+        }
+      }
     }
+    model_->predict_batch_standardized_f32(scratch.flat32, n, steps,
+                                           scratch.classes);
+  } else {
+    scratch.flat.resize(steps * n * kMlFeatureCount);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& window = windows_[lanes[scratch.ready[i]]];
+      for (std::size_t t = 0; t < steps; ++t) {
+        const auto& row = window[t];
+        std::copy(row.begin(), row.end(),
+                  scratch.flat.begin() +
+                      static_cast<long>((t * n + i) * kMlFeatureCount));
+      }
+    }
+    model_->predict_batch_standardized(scratch.flat, n, steps,
+                                       scratch.classes);
   }
-  model_->predict_batch_standardized(scratch.flat, n, steps,
-                                     scratch.classes);
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t pos = scratch.ready[i];
     out[pos] = decision_from_class(scratch.classes[i], classes_, obs[pos]);

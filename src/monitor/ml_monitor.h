@@ -157,11 +157,14 @@ class MlpMonitorBatch final : public MonitorBatch {
   void observe_lanes(std::span<const std::size_t> lanes,
                      std::span<const Observation> obs,
                      std::span<Decision> out) override;
+  void set_precision(Precision precision) override { precision_ = precision; }
+  [[nodiscard]] Precision precision() const override { return precision_; }
 
  private:
   std::shared_ptr<const aps::ml::Mlp> model_;
   int classes_ = 0;
   std::size_t lanes_ = 0;
+  Precision precision_ = Precision::kF64;
   aps::ml::Matrix scratch_;  ///< per-cycle feature rows, reused
 };
 
@@ -184,6 +187,8 @@ class LstmMonitorBatch final : public MonitorBatch {
   void observe_lanes(std::span<const std::size_t> lanes,
                      std::span<const Observation> obs,
                      std::span<Decision> out) override;
+  void set_precision(Precision precision) override { precision_ = precision; }
+  [[nodiscard]] Precision precision() const override { return precision_; }
 
  private:
   /// Core of observe_step/observe_lanes over an explicit lane set, with
@@ -192,6 +197,7 @@ class LstmMonitorBatch final : public MonitorBatch {
   struct Scratch {
     std::vector<std::size_t> ready;  ///< positions into the lane subset
     std::vector<double> flat;        ///< lane-major standardized windows
+    std::vector<float> flat32;       ///< float32 gather (kF32 lanes)
     std::vector<int> classes;        ///< predicted class per ready lane
   };
   void observe_subset(std::span<const std::size_t> lanes,
@@ -200,6 +206,7 @@ class LstmMonitorBatch final : public MonitorBatch {
 
   std::shared_ptr<const aps::ml::Lstm> model_;
   int classes_ = 0;
+  Precision precision_ = Precision::kF64;
   std::vector<aps::RingBuffer<std::vector<double>>> windows_;  ///< standardized
   std::vector<aps::RingBuffer<std::vector<double>>> raw_windows_;
   std::vector<std::size_t> identity_;  ///< 0..lanes-1, for observe_step

@@ -41,6 +41,15 @@ struct Decision {
   int rule_id = -1;
 };
 
+/// Numeric precision a serving lane's ML inference runs at. kF64 is the
+/// reference path (bit-identical across kernel backends and to training
+/// evaluation); kF32 routes monitors with a float32 path through the
+/// float32 kernels (weights cast once per model generation) — tolerance-
+/// pinned against kF64 (<= 1e-4 on probabilities, no decision flips on
+/// the golden cohort). Monitors without a float32 path (decision tree,
+/// rule-based) ignore the setting.
+enum class Precision { kF64, kF32 };
+
 /// Lockstep batch counterpart of Monitor, mirroring PatientBatch /
 /// ControllerBatch: N independent monitor instances observing one control
 /// cycle together, so monitors whose inference amortizes across lanes (one
@@ -94,6 +103,17 @@ class MonitorBatch {
   virtual void observe_lanes(std::span<const std::size_t> lanes,
                              std::span<const Observation> obs,
                              std::span<Decision> out) = 0;
+
+  /// Select the inference precision for every lane of this batch. Default
+  /// is a no-op (kF64 semantics): only batches with a float32 kernel path
+  /// (MLP / LSTM) override it. Call before the first observe; switching
+  /// precision mid-stream is allowed (lane streaming state is precision-
+  /// neutral) but changes subsequent decisions only within the float32
+  /// tolerance.
+  virtual void set_precision(Precision precision) { (void)precision; }
+  [[nodiscard]] virtual Precision precision() const {
+    return Precision::kF64;
+  }
 };
 
 class Monitor {

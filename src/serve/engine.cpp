@@ -10,6 +10,7 @@
 
 #include "common/stats.h"
 #include "io/artifact_io.h"
+#include "ml/kernels/kernels.h"
 #include "monitor/ml_monitor.h"
 
 namespace aps::serve {
@@ -63,6 +64,13 @@ MonitorEngine::MonitorEngine(EngineConfig config)
       "shard drift detectors entering the alerting state");
   metrics_.drift_samples = &registry_->counter(
       "drift_samples_total", {}, "observations folded into drift detectors");
+  // Which ML kernel backend this process dispatches to (scalar/avx2/neon);
+  // a labeled flag gauge so dashboards can pivot on the backend string.
+  registry_
+      ->gauge("kernels_backend",
+              {{"backend", aps::ml::kernels::backend_name()}},
+              "active ML kernel backend (value is always 1)")
+      .set(1.0);
   if (config_.telemetry) {
     const auto phase = [&](const char* name) {
       return &registry_->histogram("serve_phase_us", latency_spec,
@@ -152,6 +160,14 @@ void MonitorEngine::init_shard_telemetry(ServeShard& shard,
   aps::obs::Histogram* latency = &registry_->histogram(
       "serve_shard_tick_latency_us", aps::obs::HistogramSpec::latency_us(),
       {{"shard", shard.label()}}, "per-shard chunk wall time");
+  registry_
+      ->gauge("serve_shard_precision",
+              {{"shard", shard.label()},
+               {"precision",
+                shard.precision() == aps::monitor::Precision::kF32 ? "f32"
+                                                                   : "f64"}},
+              "inference precision configured for the shard (always 1)")
+      .set(1.0);
   aps::obs::Gauge* score = nullptr;
   std::unique_ptr<aps::obs::DriftDetector> drift;
   if (entry.stats != nullptr && !entry.stats->empty()) {
@@ -192,6 +208,7 @@ SessionId MonitorEngine::place_session(Session session,
     if (session.shard == nullptr) {
       auto fresh = std::make_unique<ServeShard>(session.monitor_name,
                                                 version, next_shard_ordinal_);
+      fresh->set_precision(config_.precision);
       const auto added = fresh->try_add_lane(*prototype, id);
       if (!added) {
         // A batch must accept its own prototype (shard.h invariant); a

@@ -97,6 +97,12 @@ struct EngineConfig {
   /// series (tick latency, counters) into a private registry instead of
   /// the global one. The A/B overhead baseline in bench/serve_throughput.
   bool telemetry = true;
+  /// Inference precision applied to every shard this engine creates
+  /// (sharded backend). kF64 is the reference path; kF32 routes MLP/LSTM
+  /// lanes through the float32 kernels (tolerance-pinned, see
+  /// monitor::Precision). Monitors without a float32 path ignore it. The
+  /// scalar backend always serves kF64.
+  aps::monitor::Precision precision = aps::monitor::Precision::kF64;
   /// Drift-detector tuning for shards whose generation carries
   /// training stats.
   aps::obs::DriftConfig drift = {};

@@ -61,6 +61,19 @@ class ServeShard {
   }
   [[nodiscard]] aps::obs::Gauge* drift_gauge() const { return drift_gauge_; }
   [[nodiscard]] aps::obs::DriftDetector* drift() const { return drift_.get(); }
+
+  /// Inference precision for every lane of this shard. Applies to the
+  /// existing batch immediately and to batches created by later
+  /// try_add_lane calls; monitors without a float32 path ignore it (their
+  /// batch keeps reporting kF64).
+  void set_precision(aps::monitor::Precision precision) {
+    precision_ = precision;
+    if (batch_ != nullptr) batch_->set_precision(precision_);
+  }
+  [[nodiscard]] aps::monitor::Precision precision() const {
+    return precision_;
+  }
+
   [[nodiscard]] std::size_t lanes() const { return lane_sessions_.size(); }
   [[nodiscard]] SessionId session_at(std::size_t lane) const {
     return lane_sessions_[lane];
@@ -79,6 +92,7 @@ class ServeShard {
       if (batch_ == nullptr) {
         batch_ = std::make_unique<aps::monitor::PerLaneMonitorBatch>();
       }
+      batch_->set_precision(precision_);
     }
     if (!batch_->add_lane(prototype)) return std::nullopt;
     lane_sessions_.push_back(session);
@@ -117,6 +131,7 @@ class ServeShard {
   std::uint64_t version_ = 0;
   std::uint32_t ordinal_ = 0;
   std::string label_;
+  aps::monitor::Precision precision_ = aps::monitor::Precision::kF64;
   std::unique_ptr<aps::monitor::MonitorBatch> batch_;  ///< created on first lane
   std::vector<SessionId> lane_sessions_;  ///< session occupying each lane
   // Telemetry (engine-wired; null when telemetry is off). The histogram

@@ -1,0 +1,517 @@
+// Kernel-layer equivalence suite: every compiled backend (scalar, and
+// AVX2/NEON where the binary + CPU support them) must produce float64
+// results BIT-IDENTICAL to naive reference loops that replicate the
+// pre-kernel ml::Matrix source verbatim, across awkward shapes (every
+// dimension 1..17, the vector-width straddle 31..33, 64, 257), odd and
+// even inner dimensions, and misaligned operand pointers. The float32
+// kernels must be bitwise backend-invariant and tolerance-close to a
+// float64 reference (max ulp distance is recorded per test); the
+// polynomial fast_expf/fast_tanhf carry their own accuracy pins.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/kernels/kernels.h"
+#include "ml/matrix.h"
+
+namespace {
+
+using namespace aps;
+namespace kernels = aps::ml::kernels;
+
+// ---- reference loops (verbatim semantics of the pre-kernel ml::Matrix) -----
+
+void ref_gemm_accum(const double* a, const double* b, double* c,
+                    std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const double av = a[i * k + kk];
+      if (av == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += av * b[kk * n + j];
+      }
+    }
+  }
+}
+
+void ref_gemm_tn_accum(const double* a, const double* b, double* c,
+                       std::size_t rows, std::size_t m, std::size_t n) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = a[r * m + i];
+      if (av == 0.0) continue;
+      for (std::size_t j = 0; j < n; ++j) {
+        c[i * n + j] += av * b[r * n + j];
+      }
+    }
+  }
+}
+
+void ref_gemm_nt(const double* a, const double* b, double* c, std::size_t m,
+                 std::size_t k, std::size_t bn) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < bn; ++j) {
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        s += a[i * k + kk] * b[j * k + kk];
+      }
+      c[i * bn + j] = s;
+    }
+  }
+}
+
+void ref_lstm_gates(const double* z, double* c, double* h, double* out,
+                    std::size_t lanes, std::size_t hidden) {
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const double* zr = z + lane * 4 * hidden;
+    double* cr = c + lane * hidden;
+    double* hr = h + lane * hidden;
+    double* outr = out + lane * hidden;
+    for (std::size_t j = 0; j < hidden; ++j) {
+      const double gi = 1.0 / (1.0 + std::exp(-zr[j]));
+      const double gf = 1.0 / (1.0 + std::exp(-zr[hidden + j]));
+      const double gg = std::tanh(zr[2 * hidden + j]);
+      const double go = 1.0 / (1.0 + std::exp(-zr[3 * hidden + j]));
+      cr[j] = gf * cr[j] + gi * gg;
+      hr[j] = go * std::tanh(cr[j]);
+      outr[j] = hr[j];
+    }
+  }
+}
+
+// ---- helpers ---------------------------------------------------------------
+
+/// The shape set: every size 1..17 (all tail lengths of every vector
+/// width), the 32-straddle, and two larger panels.
+const std::vector<std::size_t> kDims = {1,  2,  3,  4,  5,  6,  7,  8,
+                                        9,  10, 11, 12, 13, 14, 15, 16,
+                                        17, 31, 32, 33, 64, 257};
+
+std::vector<double> random_vec(std::size_t n, Rng& rng, double zero_prob) {
+  std::vector<double> v(n);
+  for (auto& x : v) {
+    // Sprinkle exact zeros so the legacy zero-skip branch is exercised.
+    x = rng.uniform(0.0, 1.0) < zero_prob ? 0.0 : rng.gaussian(0.0, 1.0);
+  }
+  return v;
+}
+
+std::vector<float> random_vecf(std::size_t n, Rng& rng) {
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.gaussian(0.0, 1.0));
+  return v;
+}
+
+bool bitwise_equal(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool bitwise_equalf(const std::vector<float>& a, const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+/// Ulp distance between two finite floats (0 when bit-identical).
+std::int64_t ulp_distance(float a, float b) {
+  std::int32_t ia = 0, ib = 0;
+  std::memcpy(&ia, &a, sizeof(float));
+  std::memcpy(&ib, &b, sizeof(float));
+  if (ia < 0) ia = std::numeric_limits<std::int32_t>::min() - ia;
+  if (ib < 0) ib = std::numeric_limits<std::int32_t>::min() - ib;
+  return std::abs(static_cast<std::int64_t>(ia) - static_cast<std::int64_t>(ib));
+}
+
+/// Restore the ambient dispatch choice when a test returns or fails.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(kernels::active_backend()) {}
+  ~BackendGuard() { kernels::set_backend(saved_); }
+
+ private:
+  kernels::Backend saved_;
+};
+
+// ---- dispatch --------------------------------------------------------------
+
+TEST(KernelDispatch, CompiledBackendsAlwaysIncludeScalar) {
+  const auto backends = kernels::compiled_backends();
+  ASSERT_FALSE(backends.empty());
+  bool has_scalar = false;
+  for (const auto b : backends) {
+    if (b == kernels::Backend::kScalar) has_scalar = true;
+    EXPECT_NE(std::string(kernels::to_string(b)), "unknown");
+  }
+  EXPECT_TRUE(has_scalar);
+}
+
+TEST(KernelDispatch, SetBackendClampsToRunnableAndReports) {
+  BackendGuard guard;
+  // Scalar is always settable.
+  EXPECT_EQ(kernels::set_backend(kernels::Backend::kScalar),
+            kernels::Backend::kScalar);
+  EXPECT_EQ(kernels::active_backend(), kernels::Backend::kScalar);
+  EXPECT_STREQ(kernels::backend_name(), "scalar");
+  // Every compiled backend round-trips through set_backend.
+  for (const auto b : kernels::compiled_backends()) {
+    EXPECT_EQ(kernels::set_backend(b), b);
+    EXPECT_EQ(kernels::active_backend(), b);
+    EXPECT_STREQ(kernels::backend_name(), kernels::to_string(b));
+  }
+}
+
+// ---- float64 bit-identity across shapes, backends, alignments --------------
+
+TEST(KernelGemmF64, AccumBitIdenticalToLegacyLoopsAllBackends) {
+  BackendGuard guard;
+  Rng rng(20260808);
+  for (const std::size_t m : kDims) {
+    for (const std::size_t n : kDims) {
+      for (const std::size_t k : {std::size_t{15}, std::size_t{16}}) {
+        const auto a = random_vec(m * k, rng, 0.15);
+        const auto b = random_vec(k * n, rng, 0.0);
+        auto want = random_vec(m * n, rng, 0.0);  // nonzero accum start
+        const auto seed = want;
+        ref_gemm_accum(a.data(), b.data(), want.data(), m, k, n);
+        for (const auto backend : kernels::compiled_backends()) {
+          kernels::set_backend(backend);
+          auto got = seed;
+          kernels::gemm_accum(a.data(), b.data(), got.data(), m, k, n);
+          ASSERT_TRUE(bitwise_equal(want, got))
+              << "gemm_accum " << m << "x" << k << "x" << n << " backend "
+              << kernels::to_string(backend);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGemmF64, InnerDimSweepBitIdentical) {
+  // k across the full shape set (odd and even), modest panels.
+  BackendGuard guard;
+  Rng rng(4242);
+  for (const std::size_t k : kDims) {
+    const std::size_t m = 5, n = 33;
+    const auto a = random_vec(m * k, rng, 0.2);
+    const auto b = random_vec(k * n, rng, 0.0);
+    std::vector<double> want(m * n, 0.0);
+    ref_gemm_accum(a.data(), b.data(), want.data(), m, k, n);
+    for (const auto backend : kernels::compiled_backends()) {
+      kernels::set_backend(backend);
+      std::vector<double> got(m * n, 0.0);
+      kernels::gemm_accum(a.data(), b.data(), got.data(), m, k, n);
+      ASSERT_TRUE(bitwise_equal(want, got))
+          << "k=" << k << " backend " << kernels::to_string(backend);
+    }
+  }
+}
+
+TEST(KernelGemmF64, TnAccumAndNtBitIdenticalAllBackends) {
+  BackendGuard guard;
+  Rng rng(777);
+  for (const std::size_t m : kDims) {
+    for (const std::size_t n : {std::size_t{7}, std::size_t{32},
+                                std::size_t{33}}) {
+      for (const std::size_t rows : {std::size_t{9}, std::size_t{16}}) {
+        const auto at = random_vec(rows * m, rng, 0.15);
+        const auto b = random_vec(rows * n, rng, 0.0);
+        std::vector<double> want_tn(m * n, 0.5);
+        ref_gemm_tn_accum(at.data(), b.data(), want_tn.data(), rows, m, n);
+        // gemm_nt: a(m x k) * b(bn x k)^T with k = rows.
+        const auto a = random_vec(m * rows, rng, 0.1);
+        const auto bt = random_vec(n * rows, rng, 0.0);
+        std::vector<double> want_nt(m * n);
+        ref_gemm_nt(a.data(), bt.data(), want_nt.data(), m, rows, n);
+        for (const auto backend : kernels::compiled_backends()) {
+          kernels::set_backend(backend);
+          std::vector<double> got_tn(m * n, 0.5);
+          kernels::gemm_tn_accum(at.data(), b.data(), got_tn.data(), rows, m,
+                                 n);
+          ASSERT_TRUE(bitwise_equal(want_tn, got_tn))
+              << "gemm_tn_accum rows=" << rows << " " << m << "x" << n
+              << " backend " << kernels::to_string(backend);
+          std::vector<double> got_nt(m * n);
+          kernels::gemm_nt(a.data(), bt.data(), got_nt.data(), m, rows, n);
+          ASSERT_TRUE(bitwise_equal(want_nt, got_nt))
+              << "gemm_nt " << m << "x" << rows << "x" << n << " backend "
+              << kernels::to_string(backend);
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGemmF64, MisalignedOperandsBitIdentical) {
+  // Offset every operand by 1..3 doubles from its allocation so SIMD
+  // backends see pointers off every 32-byte phase; results must not move.
+  BackendGuard guard;
+  Rng rng(31337);
+  const std::size_t m = 13, k = 17, n = 33;
+  for (std::size_t off = 1; off <= 3; ++off) {
+    auto a = random_vec(m * k + off, rng, 0.1);
+    auto b = random_vec(k * n + off, rng, 0.0);
+    auto c = random_vec(m * n + off, rng, 0.0);
+    std::vector<double> want(c.begin() + static_cast<long>(off), c.end());
+    ref_gemm_accum(a.data() + off, b.data() + off, want.data(), m, k, n);
+    for (const auto backend : kernels::compiled_backends()) {
+      kernels::set_backend(backend);
+      auto got = c;
+      kernels::gemm_accum(a.data() + off, b.data() + off, got.data() + off,
+                          m, k, n);
+      ASSERT_TRUE(bitwise_equal(
+          want, {got.begin() + static_cast<long>(off), got.end()}))
+          << "offset " << off << " backend " << kernels::to_string(backend);
+    }
+  }
+}
+
+TEST(KernelGemmF64, MatrixPathPinnedToLegacyLoops) {
+  // The rewired ml::Matrix entry points must still equal the legacy loop
+  // source bit for bit — on the scalar backend AND the dispatch default.
+  BackendGuard guard;
+  aps::ml::Matrix a = aps::ml::Matrix::xavier(7, 17, 99);
+  aps::ml::Matrix b = aps::ml::Matrix::xavier(17, 12, 100);
+  a.at(3, 5) = 0.0;  // exercise the zero-skip
+  a.at(0, 0) = 0.0;
+  std::vector<double> want(7 * 12, 0.0);
+  ref_gemm_accum(a.data(), b.data(), want.data(), 7, 17, 12);
+  for (const auto backend : kernels::compiled_backends()) {
+    kernels::set_backend(backend);
+    const aps::ml::Matrix c = aps::ml::matmul(a, b);
+    ASSERT_TRUE(bitwise_equal(want, c.raw()))
+        << "matmul backend " << kernels::to_string(backend);
+  }
+}
+
+TEST(KernelElementwiseF64, PassesMatchReferenceAllBackends) {
+  BackendGuard guard;
+  Rng rng(5150);
+  const std::size_t rows = 9, cols = 33;
+  const auto bias = random_vec(cols, rng, 0.0);
+  const auto base = random_vec(rows * cols, rng, 0.0);
+  for (const auto backend : kernels::compiled_backends()) {
+    kernels::set_backend(backend);
+    // add_bias_rows / fill_bias_rows.
+    auto z = base;
+    kernels::add_bias_rows(z.data(), bias.data(), rows, cols);
+    auto zf = base;
+    kernels::fill_bias_rows(zf.data(), bias.data(), rows, cols);
+    for (std::size_t r = 0; r < rows; ++r) {
+      for (std::size_t c = 0; c < cols; ++c) {
+        ASSERT_EQ(z[r * cols + c], base[r * cols + c] + bias[c]);
+        ASSERT_EQ(zf[r * cols + c], bias[c]);
+      }
+    }
+    // relu keeps -0.0 (legacy `v < 0 ? unchanged-to-0 : v` semantics).
+    std::vector<double> x = {-1.5, -0.0, 0.0, 2.5, -1e-300, 3.0};
+    kernels::relu(x.data(), x.size());
+    EXPECT_EQ(x[0], 0.0);
+    EXPECT_TRUE(std::signbit(x[1]));  // -0.0 is not < 0: passes through
+    EXPECT_EQ(x[3], 2.5);
+    EXPECT_EQ(x[4], 0.0);
+    // affine is the exact subtraction rewrite used by learn/.
+    const auto mu = random_vec(257, rng, 0.0);
+    std::vector<double> margins(mu.size());
+    const double beta = 1.25;
+    kernels::affine(mu.data(), -1.0, beta, margins.data(), mu.size());
+    for (std::size_t i = 0; i < mu.size(); ++i) {
+      ASSERT_EQ(margins[i], beta - mu[i]) << i;
+    }
+    // transpose round-trips.
+    const std::size_t tr = 33, tc = 17;
+    const auto src = random_vec(tr * tc, rng, 0.0);
+    std::vector<double> dst(tc * tr), back(tr * tc);
+    kernels::transpose(src.data(), dst.data(), tr, tc);
+    kernels::transpose(dst.data(), back.data(), tc, tr);
+    ASSERT_TRUE(bitwise_equal(src, back));
+    for (std::size_t r = 0; r < tr; ++r) {
+      for (std::size_t c = 0; c < tc; ++c) {
+        ASSERT_EQ(dst[c * tr + r], src[r * tc + c]);
+      }
+    }
+  }
+}
+
+TEST(KernelLstmGatesF64, BitIdenticalToLegacyGateLoopAllBackends) {
+  BackendGuard guard;
+  Rng rng(808);
+  for (const std::size_t lanes : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}}) {
+    for (const std::size_t hidden : {std::size_t{3}, std::size_t{8},
+                                     std::size_t{17}}) {
+      const auto z = random_vec(lanes * 4 * hidden, rng, 0.0);
+      const auto c0 = random_vec(lanes * hidden, rng, 0.0);
+      const auto h0 = random_vec(lanes * hidden, rng, 0.0);
+      auto cw = c0, hw = h0;
+      std::vector<double> outw(lanes * hidden);
+      ref_lstm_gates(z.data(), cw.data(), hw.data(), outw.data(), lanes,
+                     hidden);
+      for (const auto backend : kernels::compiled_backends()) {
+        kernels::set_backend(backend);
+        auto cg = c0, hg = h0;
+        std::vector<double> outg(lanes * hidden);
+        kernels::lstm_gates(z.data(), cg.data(), hg.data(), outg.data(),
+                            lanes, hidden);
+        ASSERT_TRUE(bitwise_equal(cw, cg) && bitwise_equal(hw, hg) &&
+                    bitwise_equal(outw, outg))
+            << "lanes=" << lanes << " hidden=" << hidden << " backend "
+            << kernels::to_string(backend);
+      }
+    }
+  }
+}
+
+// ---- float32: backend-invariant bitwise, tolerance vs float64 --------------
+
+TEST(KernelGemmF32, BackendInvariantBitwiseAndUlpCloseToF64) {
+  BackendGuard guard;
+  Rng rng(2718);
+  std::int64_t max_ulp = 0;
+  for (const std::size_t m : {std::size_t{1}, std::size_t{7},
+                              std::size_t{33}, std::size_t{64}}) {
+    for (const std::size_t n : {std::size_t{5}, std::size_t{32},
+                                std::size_t{257}}) {
+      for (const std::size_t k : {std::size_t{15}, std::size_t{16}}) {
+        const auto a = random_vecf(m * k, rng);
+        const auto b = random_vecf(k * n, rng);
+        // Scalar backend is the bitwise reference for f32.
+        kernels::set_backend(kernels::Backend::kScalar);
+        std::vector<float> want(m * n, 0.0f);
+        kernels::gemm_accum_f32(a.data(), b.data(), want.data(), m, k, n);
+        for (const auto backend : kernels::compiled_backends()) {
+          kernels::set_backend(backend);
+          std::vector<float> got(m * n, 0.0f);
+          kernels::gemm_accum_f32(a.data(), b.data(), got.data(), m, k, n);
+          ASSERT_TRUE(bitwise_equalf(want, got))
+              << "gemm_accum_f32 " << m << "x" << k << "x" << n
+              << " backend " << kernels::to_string(backend);
+        }
+        // Error vs the same product accumulated in double. Raw ulp
+        // distance blows up on cancelling sums (a tiny result has tiny
+        // ulps), so the asserted bound is conditioned on sum(|a||b|);
+        // max ulp is recorded for the log only.
+        for (std::size_t i = 0; i < m; ++i) {
+          for (std::size_t j = 0; j < n; ++j) {
+            double s = 0.0, mag = 0.0;
+            for (std::size_t kk = 0; kk < k; ++kk) {
+              const double prod = static_cast<double>(a[i * k + kk]) *
+                                  static_cast<double>(b[kk * n + j]);
+              s += prod;
+              mag += std::abs(prod);
+            }
+            max_ulp = std::max(
+                max_ulp,
+                ulp_distance(want[i * n + j], static_cast<float>(s)));
+            const double err =
+                std::abs(static_cast<double>(want[i * n + j]) - s);
+            ASSERT_LE(err, 1e-5 * (mag + 1.0))
+                << m << "x" << k << "x" << n << " element (" << i << ","
+                << j << ")";
+          }
+        }
+      }
+    }
+  }
+  RecordProperty("max_ulp_vs_f64", static_cast<int>(max_ulp));
+}
+
+TEST(KernelLstmGatesF32, BackendInvariantBitwise) {
+  BackendGuard guard;
+  Rng rng(161803);
+  const std::size_t lanes = 33, hidden = 17;
+  const auto z = random_vecf(lanes * 4 * hidden, rng);
+  const auto c0 = random_vecf(lanes * hidden, rng);
+  const auto h0 = random_vecf(lanes * hidden, rng);
+  kernels::set_backend(kernels::Backend::kScalar);
+  auto cw = c0, hw = h0;
+  std::vector<float> outw(lanes * hidden);
+  kernels::lstm_gates_f32(z.data(), cw.data(), hw.data(), outw.data(), lanes,
+                          hidden);
+  for (const auto backend : kernels::compiled_backends()) {
+    kernels::set_backend(backend);
+    auto cg = c0, hg = h0;
+    std::vector<float> outg(lanes * hidden);
+    kernels::lstm_gates_f32(z.data(), cg.data(), hg.data(), outg.data(),
+                            lanes, hidden);
+    ASSERT_TRUE(bitwise_equalf(cw, cg) && bitwise_equalf(hw, hg) &&
+                bitwise_equalf(outw, outg))
+        << "backend " << kernels::to_string(backend);
+  }
+}
+
+TEST(KernelFastMath, PolynomialExpAndTanhAccuracyPins) {
+  // Dense sweep of the serving-relevant range plus the clamp edges. The
+  // Cephes-style polynomial is good to ~2e-7 relative; pin at 1e-6 so a
+  // coefficient regression trips long before the 1e-4 serving tolerance.
+  double max_rel_exp = 0.0, max_err_tanh = 0.0;
+  for (int i = -20000; i <= 20000; ++i) {
+    const float x = static_cast<float>(i) * 1e-3f;  // [-20, 20]
+    const double e = std::exp(static_cast<double>(x));
+    const double rel =
+        std::abs(static_cast<double>(kernels::fast_expf(x)) - e) / e;
+    max_rel_exp = std::max(max_rel_exp, rel);
+    const double t = std::tanh(static_cast<double>(x));
+    max_err_tanh = std::max(
+        max_err_tanh,
+        std::abs(static_cast<double>(kernels::fast_tanhf(x)) - t));
+  }
+  RecordProperty("max_rel_err_expf_e9", static_cast<int>(max_rel_exp * 1e9));
+  EXPECT_LT(max_rel_exp, 1e-6);
+  EXPECT_LT(max_err_tanh, 1e-6);
+  // Clamp edges: no inf/NaN anywhere near the float range limits. The
+  // argument clamp bottoms out at ~exp(-87.3) (the smallest normal), not
+  // exactly zero — what matters is that it underflows monotonically.
+  EXPECT_LE(kernels::fast_expf(-200.0f), 1.2e-38f);
+  EXPECT_TRUE(std::isfinite(kernels::fast_expf(88.0f)));
+  EXPECT_TRUE(std::isfinite(kernels::fast_expf(1000.0f)));
+  EXPECT_EQ(kernels::fast_tanhf(40.0f), 1.0f);
+  EXPECT_EQ(kernels::fast_tanhf(-40.0f), -1.0f);
+  EXPECT_EQ(kernels::fast_expf(0.0f), 1.0f);
+  EXPECT_EQ(kernels::fast_tanhf(0.0f), 0.0f);
+}
+
+// ---- concurrency ("threads" label; TSan job rides this suite) --------------
+
+TEST(KernelThreads, ConcurrentGemmCallsAreIndependent) {
+  // Four threads hammer gemm_accum + gemm_nt (the one kernel with
+  // thread_local pack scratch) on different shapes; every result must
+  // match its single-threaded reference. Backend stays fixed (the dispatch
+  // slot is read-only concurrently — set_backend is not called here).
+  constexpr int kThreads = 4;
+  constexpr int kIters = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &failures] {
+      Rng rng(1000 + static_cast<std::uint64_t>(t));
+      const std::size_t m = 3 + static_cast<std::size_t>(t) * 5;
+      const std::size_t k = 11 + static_cast<std::size_t>(t);
+      const std::size_t n = 17 + static_cast<std::size_t>(t) * 8;
+      for (int it = 0; it < kIters; ++it) {
+        const auto a = random_vec(m * k, rng, 0.1);
+        const auto b = random_vec(k * n, rng, 0.0);
+        std::vector<double> want(m * n, 0.0), got(m * n, 0.0);
+        ref_gemm_accum(a.data(), b.data(), want.data(), m, k, n);
+        kernels::gemm_accum(a.data(), b.data(), got.data(), m, k, n);
+        if (!bitwise_equal(want, got)) failures.fetch_add(1);
+        const auto bt = random_vec(n * k, rng, 0.0);
+        std::vector<double> want_nt(m * n), got_nt(m * n);
+        ref_gemm_nt(a.data(), bt.data(), want_nt.data(), m, k, n);
+        kernels::gemm_nt(a.data(), bt.data(), got_nt.data(), m, k, n);
+        if (!bitwise_equal(want_nt, got_nt)) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace

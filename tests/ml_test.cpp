@@ -389,6 +389,149 @@ TEST(Lstm, TrainingIsThreadCountInvariant) {
   }
 }
 
+// --- Golden loss trajectories through the kernel layer -----------------------
+//
+// Recorded from the pre-kernel ml::Matrix implementation (same configs as
+// the thread-invariance tests above, -ffp-contract=off build). fit() now
+// routes every matmul through src/ml/kernels; the bit-identity contract
+// says training must land on the SAME per-epoch validation losses, for
+// every thread count — a drift here means a kernel reordered arithmetic.
+
+TEST(Mlp, FitMatchesPreKernelGoldenTrajectory) {
+  const std::vector<double> kGolden = {
+      0.61400378581246595, 0.58266995613054673, 0.55047582291153485,
+      0.51641441009888689, 0.48013607365082456, 0.44278222200018258};
+  aps::Rng rng(57);
+  const auto data = axis_separable(600, rng);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    MlpConfig config;
+    config.hidden_units = {24, 12};
+    config.max_epochs = 6;
+    config.seed = 99;
+    Mlp mlp(config);
+    aps::ThreadPool pool(threads);
+    (void)mlp.fit(data, &pool);
+    const auto& losses = mlp.epoch_losses();
+    ASSERT_EQ(losses.size(), kGolden.size()) << "threads=" << threads;
+    for (std::size_t e = 0; e < kGolden.size(); ++e) {
+      EXPECT_NEAR(losses[e], kGolden[e], 1e-10)
+          << "threads=" << threads << " epoch " << e;
+    }
+  }
+}
+
+TEST(Lstm, FitMatchesPreKernelGoldenTrajectory) {
+  const std::vector<double> kGolden = {
+      0.73168346344007273, 0.69858709441433431, 0.66704086703239729,
+      0.63750532317177888};
+  aps::Rng rng(61);
+  const auto data = window_mean_task(240, rng);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    LstmConfig config;
+    config.hidden_units = {8};
+    config.max_epochs = 4;
+    config.seed = 77;
+    Lstm lstm(config);
+    aps::ThreadPool pool(threads);
+    (void)lstm.fit(data, &pool);
+    const auto& losses = lstm.epoch_losses();
+    ASSERT_EQ(losses.size(), kGolden.size()) << "threads=" << threads;
+    for (std::size_t e = 0; e < kGolden.size(); ++e) {
+      EXPECT_NEAR(losses[e], kGolden[e], 1e-10)
+          << "threads=" << threads << " epoch " << e;
+    }
+  }
+}
+
+// --- Float32 inference path ---------------------------------------------------
+
+TEST(Mlp, F32PredictionsAgreeWithF64WithinTolerance) {
+  aps::Rng rng(57);
+  const auto data = axis_separable(300, rng);
+  MlpConfig config;
+  config.hidden_units = {16, 8};
+  config.max_epochs = 4;
+  config.seed = 5;
+  Mlp mlp(config);
+  (void)mlp.fit(data);
+  mlp.warm_f32_cache();
+  double max_delta = 0.0;
+  std::size_t flips = 0;
+  for (std::size_t i = 0; i < data.x.rows(); ++i) {
+    const std::span<const double> row(data.x.data() + i * data.x.cols(),
+                                      data.x.cols());
+    const auto want = mlp.predict_proba(row);
+    const auto got = mlp.predict_proba_f32(row);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t c = 0; c < want.size(); ++c) {
+      max_delta = std::max(max_delta, std::abs(want[c] - got[c]));
+    }
+    if (mlp.predict(row) !=
+        static_cast<int>(std::max_element(got.begin(), got.end()) -
+                         got.begin())) {
+      ++flips;
+    }
+  }
+  EXPECT_LE(max_delta, 1e-4);
+  EXPECT_EQ(flips, 0u);
+}
+
+TEST(Lstm, F32PredictionsAgreeWithF64WithinTolerance) {
+  aps::Rng rng(61);
+  const auto data = window_mean_task(200, rng);
+  LstmConfig config;
+  config.hidden_units = {6};
+  config.max_epochs = 2;
+  config.seed = 21;
+  Lstm lstm(config);
+  (void)lstm.fit(data);
+  lstm.warm_f32_cache();
+  double max_delta = 0.0;
+  std::size_t flips = 0;
+  for (const auto& window : data.sequences) {
+    const auto want = lstm.predict_proba(window);
+    const auto got = lstm.predict_proba_f32(window);
+    ASSERT_EQ(want.size(), got.size());
+    for (std::size_t c = 0; c < want.size(); ++c) {
+      max_delta = std::max(max_delta, std::abs(want[c] - got[c]));
+    }
+    if (lstm.predict(window) !=
+        static_cast<int>(std::max_element(got.begin(), got.end()) -
+                         got.begin())) {
+      ++flips;
+    }
+  }
+  EXPECT_LE(max_delta, 1e-4);
+  EXPECT_EQ(flips, 0u);
+}
+
+TEST(Lstm, F32CacheInvalidatedByRefit) {
+  // fit() bumps the model generation: the float32 mirror must be rebuilt,
+  // not served stale.
+  aps::Rng rng(61);
+  const auto data = window_mean_task(120, rng);
+  LstmConfig config;
+  config.hidden_units = {4};
+  config.max_epochs = 1;
+  config.seed = 3;
+  Lstm lstm(config);
+  (void)lstm.fit(data);
+  lstm.warm_f32_cache();
+  const auto before = lstm.predict_proba_f32(data.sequences[0]);
+  LstmConfig config2 = config;
+  config2.max_epochs = 3;
+  Lstm lstm2(config2);
+  (void)lstm2.fit(data);
+  lstm = lstm2;  // copy resets the cache slot
+  const auto after = lstm.predict_proba_f32(data.sequences[0]);
+  const auto want = lstm.predict_proba(data.sequences[0]);
+  for (std::size_t c = 0; c < want.size(); ++c) {
+    EXPECT_NEAR(after[c], want[c], 1e-4) << c;
+  }
+  // The two trainings genuinely differ, so a stale cache would show up.
+  EXPECT_NE(before, after);
+}
+
 // --- Deterministic reservoir subsampling --------------------------------------
 //
 // Bottom-k selection keyed on (seed, run, step) is a pure function of the
