@@ -1,0 +1,106 @@
+// Bounded lock-free multi-producer queue (Vyukov-style array queue with
+// per-cell sequence numbers). The serving group's ingest path uses one per
+// engine replica: any number of frontend threads push tick jobs, the
+// replica's worker pops them. try_push never blocks — a full queue returns
+// false so the caller applies explicit backpressure (count it, yield,
+// retry) instead of letting the queue grow without bound.
+//
+// The implementation is the classic bounded MPMC design, so it is also
+// safe with several consumers; we only rely on (and test) the MPSC shape.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aps {
+
+template <typename T>
+class MpscQueue {
+ public:
+  /// Capacity is rounded up to the next power of two (minimum 2).
+  explicit MpscQueue(std::size_t capacity)
+      : mask_(std::bit_ceil(capacity < 2 ? std::size_t{2} : capacity) - 1),
+        cells_(mask_ + 1) {
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].sequence.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+  /// Enqueue from any thread. Returns false when the queue is full (the
+  /// explicit backpressure signal — nothing was enqueued).
+  [[nodiscard]] bool try_push(T value) {
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.sequence.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+        // CAS refreshed pos; retry against the new slot.
+      } else if (diff < 0) {
+        return false;  // full: the cell still holds an unpopped value
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeue (single consumer in our usage). Returns false when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      Cell& cell = cells_[pos & mask_];
+      const std::size_t seq = cell.sequence.load(std::memory_order_acquire);
+      const std::intptr_t diff = static_cast<std::intptr_t>(seq) -
+                                 static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          out = std::move(cell.value);
+          cell.sequence.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Instantaneous occupancy; approximate under concurrency (monitoring
+  /// gauge material, never used for correctness).
+  [[nodiscard]] std::size_t size_approx() const {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> sequence{0};
+    T value{};
+  };
+
+  std::size_t mask_;
+  std::vector<Cell> cells_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producers
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer
+};
+
+}  // namespace aps

@@ -296,6 +296,17 @@ void LstmMonitorBatch::observe_lanes(std::span<const std::size_t> lanes,
   observe_subset(lanes, obs, out, scratch);
 }
 
+void LstmMonitorBatch::ingest_lanes(std::span<const std::size_t> lanes,
+                                    std::span<const Observation> obs) {
+  for (std::size_t i = 0; i < lanes.size(); ++i) {
+    const std::size_t lane = lanes[i];
+    auto features = ml_features(obs[i]);
+    raw_windows_[lane].push(features);
+    model_->standardize_row(features);
+    windows_[lane].push(std::move(features));
+  }
+}
+
 void LstmMonitorBatch::observe_subset(std::span<const std::size_t> lanes,
                                       std::span<const Observation> obs,
                                       std::span<Decision> out,

@@ -187,6 +187,12 @@ class LstmMonitorBatch final : public MonitorBatch {
   void observe_lanes(std::span<const std::size_t> lanes,
                      std::span<const Observation> obs,
                      std::span<Decision> out) override;
+  /// The window-push half of observe_lanes without the forward pass: raw
+  /// and standardized rows advance exactly as they would on a normal tick,
+  /// so a degraded stretch leaves the lane's subsequent decisions
+  /// bit-identical to a never-degraded stream.
+  void ingest_lanes(std::span<const std::size_t> lanes,
+                    std::span<const Observation> obs) override;
   void set_precision(Precision precision) override { precision_ = precision; }
   [[nodiscard]] Precision precision() const override { return precision_; }
 

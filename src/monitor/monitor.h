@@ -104,6 +104,20 @@ class MonitorBatch {
                              std::span<const Observation> obs,
                              std::span<Decision> out) = 0;
 
+  /// Advance the streaming state of a SUBSET of lanes WITHOUT producing
+  /// decisions (no inference). The serving engine's overload policy uses
+  /// this on degraded ticks: a cheap twin monitor answers the tick while
+  /// the expensive primary still ingests the observation, so its stream
+  /// (e.g. the LSTM input window) stays bit-identical to a never-degraded
+  /// run once pressure subsides. Stateless monitors need nothing here —
+  /// the default is a no-op; stateful batches (LSTM) override. Same
+  /// disjoint-subset concurrency contract as observe_lanes.
+  virtual void ingest_lanes(std::span<const std::size_t> lanes,
+                            std::span<const Observation> obs) {
+    (void)lanes;
+    (void)obs;
+  }
+
   /// Select the inference precision for every lane of this batch. Default
   /// is a no-op (kF64 semantics): only batches with a float32 kernel path
   /// (MLP / LSTM) override it. Call before the first observe; switching
@@ -177,6 +191,15 @@ class PerLaneMonitorBatch final : public MonitorBatch {
                      std::span<Decision> out) override {
     for (std::size_t i = 0; i < lanes.size(); ++i) {
       out[i] = lanes_[lanes[i]]->observe(obs[i]);
+    }
+  }
+  void ingest_lanes(std::span<const std::size_t> lanes,
+                    std::span<const Observation> obs) override {
+    // Scalar monitors have no ingest/infer split, so advancing state means
+    // observing and discarding the decision (rule monitors carry recovery
+    // counters that must keep moving through a degraded stretch).
+    for (std::size_t i = 0; i < lanes.size(); ++i) {
+      (void)lanes_[lanes[i]]->observe(obs[i]);
     }
   }
 

@@ -19,10 +19,76 @@
 
 #include "net/listfile.h"
 #include "net/protocol.h"
+#include "serve/group.h"
 
 namespace aps::net {
 
 namespace {
+
+/// ServingBackend over one engine (the original single-replica door).
+class EngineBackend final : public ServingBackend {
+ public:
+  explicit EngineBackend(aps::serve::MonitorEngine& engine)
+      : engine_(engine) {}
+  aps::serve::SessionId open_session(const std::string& patient_id,
+                                     const std::string& monitor,
+                                     int patient_index) override {
+    return engine_.open_session(patient_id, monitor, patient_index);
+  }
+  void close_session(aps::serve::SessionId id) override {
+    engine_.close_session(id);
+  }
+  void feed(std::span<const aps::serve::SessionInput> inputs,
+            std::span<aps::monitor::Decision> decisions) override {
+    engine_.feed(inputs, decisions);
+  }
+  [[nodiscard]] aps::serve::SessionStats stats(
+      aps::serve::SessionId id) const override {
+    return engine_.stats(id);
+  }
+  [[nodiscard]] std::uint64_t generation() const override {
+    return engine_.generation();
+  }
+  [[nodiscard]] aps::obs::Registry& registry() const override {
+    return engine_.registry();
+  }
+
+ private:
+  aps::serve::MonitorEngine& engine_;
+};
+
+/// ServingBackend over a replica group: session ids carry the owning
+/// replica, so open/close/stats route in O(1) and feed fans out through
+/// the group's bounded per-replica ingest queues.
+class GroupBackend final : public ServingBackend {
+ public:
+  explicit GroupBackend(aps::serve::EngineGroup& group) : group_(group) {}
+  aps::serve::SessionId open_session(const std::string& patient_id,
+                                     const std::string& monitor,
+                                     int patient_index) override {
+    return group_.open_session(patient_id, monitor, patient_index);
+  }
+  void close_session(aps::serve::SessionId id) override {
+    group_.close_session(id);
+  }
+  void feed(std::span<const aps::serve::SessionInput> inputs,
+            std::span<aps::monitor::Decision> decisions) override {
+    group_.feed(inputs, decisions);
+  }
+  [[nodiscard]] aps::serve::SessionStats stats(
+      aps::serve::SessionId id) const override {
+    return group_.stats(id);
+  }
+  [[nodiscard]] std::uint64_t generation() const override {
+    return group_.generation();
+  }
+  [[nodiscard]] aps::obs::Registry& registry() const override {
+    return group_.registry();
+  }
+
+ private:
+  aps::serve::EngineGroup& group_;
+};
 
 /// A connection writing slower than this backlog is dead weight; drop it
 /// rather than buffer without bound.
@@ -63,7 +129,8 @@ struct IngestServer::Impl {
     bool want_write = false;  ///< EPOLLOUT armed for a partial outbuf
   };
 
-  aps::serve::MonitorEngine& engine;
+  std::unique_ptr<ServingBackend> backend;
+  ServingBackend& engine;  ///< *backend (engine or replica group)
   ServerConfig config;
   aps::obs::Registry& registry;
 
@@ -98,11 +165,12 @@ struct IngestServer::Impl {
   aps::obs::Histogram* h_frame_in = nullptr;
   aps::obs::Histogram* h_frame_out = nullptr;
 
-  Impl(aps::serve::MonitorEngine& eng, ServerConfig cfg)
-      : engine(eng),
+  Impl(std::unique_ptr<ServingBackend> serving, ServerConfig cfg)
+      : backend(std::move(serving)),
+        engine(*backend),
         config(std::move(cfg)),
         registry(config.registry != nullptr ? *config.registry
-                                            : eng.registry()) {
+                                            : engine.registry()) {
     resolve_metrics();
     if (!config.listfile.empty()) {
       listfile = std::make_unique<ListfileWriter>(config.listfile);
@@ -712,7 +780,12 @@ struct IngestServer::Impl {
 
 IngestServer::IngestServer(aps::serve::MonitorEngine& engine,
                            ServerConfig config)
-    : impl_(std::make_unique<Impl>(engine, std::move(config))) {}
+    : impl_(std::make_unique<Impl>(std::make_unique<EngineBackend>(engine),
+                                   std::move(config))) {}
+
+IngestServer::IngestServer(aps::serve::EngineGroup& group, ServerConfig config)
+    : impl_(std::make_unique<Impl>(std::make_unique<GroupBackend>(group),
+                                   std::move(config))) {}
 
 IngestServer::~IngestServer() {
   if (impl_) impl_->shutdown();

@@ -39,6 +39,10 @@
 #include "obs/metrics.h"
 #include "serve/engine.h"
 
+namespace aps::serve {
+class EngineGroup;
+}  // namespace aps::serve
+
 namespace aps::net {
 
 struct ServerConfig {
@@ -78,11 +82,34 @@ struct ServerStats {
   std::uint64_t bytes_out = 0;
 };
 
+/// Serving plane the front door feeds into. The two adapters (single
+/// MonitorEngine, replica-sharded EngineGroup) let the IO loop stay
+/// agnostic: with a group, every frame is routed to the session's owning
+/// replica by the id's replica bits — the TCP door scales past one engine
+/// without knowing the ring exists.
+class ServingBackend {
+ public:
+  virtual ~ServingBackend() = default;
+  virtual aps::serve::SessionId open_session(const std::string& patient_id,
+                                             const std::string& monitor,
+                                             int patient_index) = 0;
+  virtual void close_session(aps::serve::SessionId id) = 0;
+  virtual void feed(std::span<const aps::serve::SessionInput> inputs,
+                    std::span<aps::monitor::Decision> decisions) = 0;
+  [[nodiscard]] virtual aps::serve::SessionStats stats(
+      aps::serve::SessionId id) const = 0;
+  [[nodiscard]] virtual std::uint64_t generation() const = 0;
+  [[nodiscard]] virtual aps::obs::Registry& registry() const = 0;
+};
+
 class IngestServer {
  public:
   /// Binds and listens immediately (throws IoError on failure) but does
   /// not serve until start().
   IngestServer(aps::serve::MonitorEngine& engine, ServerConfig config);
+  /// Replica-sharded flavor: ticks fan out to the owning replicas through
+  /// the group's bounded ingest queues; everything else is identical.
+  IngestServer(aps::serve::EngineGroup& group, ServerConfig config);
   ~IngestServer();
 
   IngestServer(const IngestServer&) = delete;

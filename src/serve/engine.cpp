@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <optional>
 #include <stdexcept>
@@ -64,6 +65,9 @@ MonitorEngine::MonitorEngine(EngineConfig config)
       "shard drift detectors entering the alerting state");
   metrics_.drift_samples = &registry_->counter(
       "drift_samples_total", {}, "observations folded into drift detectors");
+  metrics_.degraded_ticks = &registry_->counter(
+      "serve_degraded_ticks_total", {},
+      "session-cycles answered by a degrade twin under deadline pressure");
   // Which ML kernel backend this process dispatches to (scalar/avx2/neon);
   // a labeled flag gauge so dashboards can pivot on the backend string.
   registry_
@@ -208,6 +212,20 @@ SessionId MonitorEngine::place_session(Session session,
     if (session.shard == nullptr) {
       auto fresh = std::make_unique<ServeShard>(session.monitor_name,
                                                 version, next_shard_ordinal_);
+      // Degrade twin: if the map covers this monitor AND the degrade-to
+      // monitor exists at the SAME generation (one register_bundle call
+      // registers both), the shard carries a twin batch so kDegraded
+      // ticks can answer from the cheap kind. A missing or stale-
+      // generation target simply leaves the shard non-degradable.
+      for (const auto& [from, to] : config_.degrade) {
+        if (from != session.monitor_name || to == from) continue;
+        const auto to_it = monitors_.find(to);
+        if (to_it == monitors_.end() || to_it->second.version != version) {
+          continue;
+        }
+        fresh->set_degrade_twin(to_it->second.factory(session.patient_index));
+        break;
+      }
       fresh->set_precision(config_.precision);
       const auto added = fresh->try_add_lane(*prototype, id);
       if (!added) {
@@ -331,6 +349,7 @@ LatencySummary MonitorEngine::latency() const {
   LatencySummary summary;
   summary.ticks = latency_ticks_;
   summary.cycles = latency_cycles_;
+  summary.degraded_ticks = latency_degraded_;
   summary.seconds = latency_seconds_;
   const aps::obs::HistogramSnapshot snap = metrics_.tick_latency->snapshot();
   summary.p50_us = snap.percentile(50.0);
@@ -358,6 +377,7 @@ void MonitorEngine::reset_latency() {
   const std::lock_guard<std::mutex> lock(mu_);
   latency_ticks_ = 0;
   latency_cycles_ = 0;
+  latency_degraded_ = 0;
   latency_seconds_ = 0.0;
   metrics_.tick_latency->reset();
   for (const auto& shard : shards_) {
@@ -369,9 +389,8 @@ void MonitorEngine::reset_latency() {
 
 std::vector<aps::monitor::Decision> MonitorEngine::feed(
     std::span<const SessionInput> inputs) {
-  const std::lock_guard<std::mutex> lock(mu_);
   std::vector<aps::monitor::Decision> decisions(inputs.size());
-  feed_locked(inputs, decisions);
+  feed(inputs, decisions);
   return decisions;
 }
 
@@ -383,27 +402,56 @@ void MonitorEngine::feed(std::span<const SessionInput> inputs,
         " does not match inputs size " + std::to_string(inputs.size()));
   }
   const std::lock_guard<std::mutex> lock(mu_);
-  feed_locked(inputs, decisions);
+  // Repack AoS into the SoA scratch once; the SoA overload is the native
+  // path (no further payload copy when the batch is already grouped).
+  aos_sessions_.resize(inputs.size());
+  aos_obs_.resize(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    aos_sessions_[i] = inputs[i].session;
+    aos_obs_[i] = inputs[i].obs;
+  }
+  feed_locked(aos_sessions_, aos_obs_, decisions, FeedMode::kNormal);
 }
 
-void MonitorEngine::feed_locked(std::span<const SessionInput> inputs,
-                                std::span<aps::monitor::Decision> decisions) {
-  if (inputs.empty()) return;
+void MonitorEngine::feed(std::span<const SessionId> sessions,
+                         std::span<const aps::monitor::Observation> obs,
+                         std::span<aps::monitor::Decision> decisions,
+                         FeedMode mode) {
+  if (obs.size() != sessions.size() || decisions.size() != sessions.size()) {
+    throw std::invalid_argument(
+        "feed: span sizes differ (sessions " + std::to_string(sessions.size()) +
+        ", obs " + std::to_string(obs.size()) + ", decisions " +
+        std::to_string(decisions.size()) + ")");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  feed_locked(sessions, obs, decisions, mode);
+}
+
+void MonitorEngine::feed_locked(std::span<const SessionId> sessions,
+                                std::span<const aps::monitor::Observation> obs,
+                                std::span<aps::monitor::Decision> decisions,
+                                FeedMode mode) {
+  if (sessions.empty()) return;
 
   // Validate up front so the parallel section cannot throw.
-  for (const auto& input : inputs) (void)checked_session(input.session);
+  for (const SessionId sid : sessions) (void)checked_session(sid);
 
   const auto t0 = std::chrono::steady_clock::now();
   if (config_.backend == ServeBackend::kScalar) {
-    feed_scalar(inputs, decisions);
+    feed_scalar(sessions, obs, decisions);
   } else {
-    feed_sharded(inputs, decisions);
+    feed_sharded(sessions, obs, decisions, mode);
   }
-  total_cycles_ += inputs.size();
+  total_cycles_ += sessions.size();
   record_latency(
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count(),
-      inputs.size());
+      sessions.size());
+}
+
+bool MonitorEngine::drift_tick_due() {
+  const std::uint32_t every = std::max(1u, config_.drift.sample_every_ticks);
+  return (drift_tick_++ % every) == 0;
 }
 
 /// Fold a chunk's observations into the shard's drift detector: strided
@@ -428,22 +476,23 @@ void MonitorEngine::accumulate_drift(
   metrics_.drift_samples->add(sampled);
 }
 
-void MonitorEngine::feed_scalar(std::span<const SessionInput> inputs,
+void MonitorEngine::feed_scalar(std::span<const SessionId> sessions,
+                                std::span<const aps::monitor::Observation> obs,
                                 std::span<aps::monitor::Decision> decisions) {
   // Partition the batch into per-session groups, preserving batch order
   // within each session. A session appears in exactly one group, so each
   // group is an independent serial unit of work.
-  order_.resize(inputs.size());
-  for (std::uint32_t i = 0; i < inputs.size(); ++i) order_[i] = i;
+  order_.resize(sessions.size());
+  for (std::uint32_t i = 0; i < sessions.size(); ++i) order_[i] = i;
   std::stable_sort(order_.begin(), order_.end(),
-                   [&inputs](std::uint32_t a, std::uint32_t b) {
-                     return inputs[a].session < inputs[b].session;
+                   [sessions](std::uint32_t a, std::uint32_t b) {
+                     return sessions[a] < sessions[b];
                    });
   groups_.clear();
   for (std::uint32_t lo = 0; lo < order_.size();) {
     std::uint32_t hi = lo + 1;
-    const SessionId session = inputs[order_[lo]].session;
-    while (hi < order_.size() && inputs[order_[hi]].session == session) ++hi;
+    const SessionId session = sessions[order_[lo]];
+    while (hi < order_.size() && sessions[order_[hi]] == session) ++hi;
     groups_.emplace_back(lo, hi);
     lo = hi;
   }
@@ -451,15 +500,15 @@ void MonitorEngine::feed_scalar(std::span<const SessionInput> inputs,
   // Gather each group's observations into one contiguous stretch so every
   // session gets a single observe_batch call (batched monitors amortize
   // inference across their group).
-  sorted_obs_.resize(inputs.size());
-  sorted_decisions_.resize(inputs.size());
+  sorted_obs_.resize(sessions.size());
+  sorted_decisions_.resize(sessions.size());
   for (std::uint32_t k = 0; k < order_.size(); ++k) {
-    sorted_obs_[k] = inputs[order_[k]].obs;
+    sorted_obs_[k] = obs[order_[k]];
   }
 
-  pool_.parallel_for(groups_.size(), [this, inputs](std::size_t g) {
+  pool_.parallel_for(groups_.size(), [this, sessions](std::size_t g) {
     const auto [lo, hi] = groups_[g];
-    Session& session = sessions_[inputs[order_[lo]].session];
+    Session& session = sessions_[sessions[order_[lo]]];
     const std::size_t count = hi - lo;
     session.monitor->observe_batch(
         std::span<const aps::monitor::Observation>(&sorted_obs_[lo], count),
@@ -478,16 +527,29 @@ void MonitorEngine::feed_scalar(std::span<const SessionInput> inputs,
   }
 }
 
-void MonitorEngine::feed_sharded(std::span<const SessionInput> inputs,
-                                 std::span<aps::monitor::Decision> decisions) {
-  const std::size_t n = inputs.size();
-  aps::obs::Tracer* tracer =
-      config_.telemetry ? &registry_->tracer() : nullptr;
+void MonitorEngine::feed_sharded(std::span<const SessionId> sessions,
+                                 std::span<const aps::monitor::Observation> obs,
+                                 std::span<aps::monitor::Decision> decisions,
+                                 FeedMode mode) {
+  const std::size_t n = sessions.size();
+  const bool telemetry = config_.telemetry;
+  // Detailed instrumentation — tracer spans, per-chunk latency clocks, and
+  // drift feature extraction — is tick-sampled on one shared cadence
+  // (DriftConfig::sample_every_ticks). Unsampled ticks pay only the
+  // aggregate counters (alarms, session stats, the engine-level tick
+  // latency), which is what keeps the telemetry overhead inside its <2%
+  // budget now that the identity fast path makes a rule tick this cheap.
+  const bool detailed = telemetry && drift_tick_due();
+  aps::obs::Tracer* tracer = detailed ? &registry_->tracer() : nullptr;
+  const bool drift_due = detailed;
+  const bool degraded_mode = mode == FeedMode::kDegraded;
+  std::atomic<std::uint64_t> degraded{0};
 
   // Round r of a session = its r-th input in this batch; rounds execute as
   // sequential lockstep ticks so multiple inputs for one session apply in
   // batch order, exactly like the scalar path. The per-session occurrence
   // counters reset lazily via the feed epoch.
+  bool single_round = true;
   {
     std::optional<aps::obs::Tracer::Scope> span;
     if (tracer != nullptr) {
@@ -502,30 +564,71 @@ void MonitorEngine::feed_sharded(std::span<const SessionInput> inputs,
     occ_epoch_.resize(sessions_.size(), 0);
     round_of_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const SessionId sid = inputs[i].session;
+      const SessionId sid = sessions[i];
       if (occ_epoch_[sid] != feed_epoch_) {
         occ_epoch_[sid] = feed_epoch_;
         occ_[sid] = 0;
       }
       round_of_[i] = occ_[sid]++;
+      single_round = single_round && round_of_[i] == 0;
     }
   }
 
-  // Sort input indices by (round, shard): each round's inputs land in
-  // contiguous per-shard stretches that gather into one batched model call
-  // (split into chunks across the pool for large shards). Output is
-  // scattered back by input index, so it is independent of ordering,
-  // chunking, and thread scheduling. The steady-state tick — one input per
-  // session, all in one shard or already grouped — is detected and skips
-  // the sort entirely.
+  // The worker body for one chunk of lanes [b, e) of `shard`, reading
+  // observations from chunk_obs and writing decisions straight to
+  // chunk_dec (+ the same range of lanes_flat_). Shared by the identity
+  // fast path and the sorted general path; `src` maps chunk positions back
+  // to input indices (nullptr = identity).
+  const auto run_chunk = [&](ServeShard* shard, std::size_t b, std::size_t e,
+                             const aps::monitor::Observation* chunk_obs,
+                             aps::monitor::Decision* chunk_dec,
+                             const std::uint32_t* src) {
+    const std::size_t count = e - b;
+    const std::span<const std::size_t> lane_span(&lanes_flat_[b], count);
+    const std::span<const aps::monitor::Observation> obs_span(chunk_obs + b,
+                                                              count);
+    const std::span<aps::monitor::Decision> dec_span(chunk_dec + b, count);
+    const auto c0 = detailed ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point{};
+    if (degraded_mode && shard->can_degrade()) {
+      shard->observe_lanes_degraded(lane_span, obs_span, dec_span);
+      degraded.fetch_add(count, std::memory_order_relaxed);
+    } else {
+      shard->observe_lanes(lane_span, obs_span, dec_span);
+    }
+    if (detailed && shard->latency_histogram() != nullptr) {
+      shard->latency_histogram()->observe(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - c0)
+              .count());
+    }
+    std::uint64_t alarms = 0;
+    for (std::size_t kk = b; kk < e; ++kk) {
+      const std::uint32_t i =
+          src != nullptr ? src[kk] : static_cast<std::uint32_t>(kk);
+      Session& session = sessions_[sessions[i]];
+      ++session.stats.cycles;
+      if (chunk_dec[kk].alarm) {
+        ++session.stats.alarms;
+        ++alarms;
+      }
+      if (src != nullptr) decisions[i] = chunk_dec[kk];
+    }
+    if (alarms > 0) metrics_.alarms->add(alarms);
+    if (drift_due) accumulate_drift(*shard, obs_span);
+  };
+
+  // Detect the steady-state tick — one input per session, shard-contiguous
+  // (ordinal-monotonic) — and serve it with ZERO payload movement: no
+  // index sort, no observation gather, decisions written directly into the
+  // caller's span. Only the lane lookup runs per input. Out-of-order or
+  // multi-round batches fall back to the sort + gather + scatter path.
+  bool already_grouped = true;
   {
     std::optional<aps::obs::Tracer::Scope> span;
     if (tracer != nullptr) {
       span.emplace(tracer, "serve.dispatch", metrics_.phase_dispatch);
     }
-    order_.resize(n);
-    for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
-    bool already_grouped = true;
     for (std::size_t i = 1; i < n && already_grouped; ++i) {
       const std::uint32_t ra = round_of_[i - 1];
       const std::uint32_t rb = round_of_[i];
@@ -533,30 +636,37 @@ void MonitorEngine::feed_sharded(std::span<const SessionInput> inputs,
         already_grouped = ra < rb;
         continue;
       }
-      already_grouped = sessions_[inputs[i - 1].session].shard->ordinal() <=
-                        sessions_[inputs[i].session].shard->ordinal();
+      already_grouped = sessions_[sessions[i - 1]].shard->ordinal() <=
+                        sessions_[sessions[i]].shard->ordinal();
     }
-    if (!already_grouped) {
-      std::stable_sort(
-          order_.begin(), order_.end(), [this, inputs](std::uint32_t a,
-                                                       std::uint32_t b) {
-            if (round_of_[a] != round_of_[b]) {
-              return round_of_[a] < round_of_[b];
-            }
-            return sessions_[inputs[a].session].shard->ordinal() <
-                   sessions_[inputs[b].session].shard->ordinal();
-          });
-    }
-
-    sorted_obs_.resize(n);
-    sorted_decisions_.resize(n);
     lanes_flat_.resize(n);
-    src_flat_.resize(n);
-    for (std::size_t k = 0; k < n; ++k) {
-      const std::uint32_t i = order_[k];
-      sorted_obs_[k] = inputs[i].obs;
-      lanes_flat_[k] = sessions_[inputs[i].session].lane;
-      src_flat_[k] = i;
+    if (single_round && already_grouped) {
+      for (std::size_t i = 0; i < n; ++i) {
+        lanes_flat_[i] = sessions_[sessions[i]].lane;
+      }
+    } else {
+      order_.resize(n);
+      for (std::uint32_t i = 0; i < n; ++i) order_[i] = i;
+      if (!already_grouped) {
+        std::stable_sort(
+            order_.begin(), order_.end(), [this, sessions](std::uint32_t a,
+                                                           std::uint32_t b) {
+              if (round_of_[a] != round_of_[b]) {
+                return round_of_[a] < round_of_[b];
+              }
+              return sessions_[sessions[a]].shard->ordinal() <
+                     sessions_[sessions[b]].shard->ordinal();
+            });
+      }
+      sorted_obs_.resize(n);
+      sorted_decisions_.resize(n);
+      src_flat_.resize(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::uint32_t i = order_[k];
+        sorted_obs_[k] = obs[i];
+        lanes_flat_[k] = sessions_[sessions[i]].lane;
+        src_flat_[k] = i;
+      }
     }
   }
 
@@ -570,22 +680,16 @@ void MonitorEngine::feed_sharded(std::span<const SessionInput> inputs,
     // call.
     const std::size_t target_chunks =
         pool_.thread_count() > 1 ? pool_.thread_count() * 2 : 1;
-    std::size_t k = 0;
-    while (k < n) {
-      const std::uint32_t round = round_of_[order_[k]];
-      // Collect this round's shard stretches, subdividing large ones into
-      // chunks; all chunks of one round touch disjoint lanes, so they run
-      // concurrently against their shards.
+    if (single_round && already_grouped) {
+      // Identity fast path: one round over [0, n), observations and
+      // decisions used in place.
       groups_.clear();
       chunk_shards_.clear();
-      std::size_t lo = k;
-      while (lo < n && round_of_[order_[lo]] == round) {
-        ServeShard* shard = sessions_[inputs[order_[lo]].session].shard;
+      std::size_t lo = 0;
+      while (lo < n) {
+        ServeShard* shard = sessions_[sessions[lo]].shard;
         std::size_t hi = lo + 1;
-        while (hi < n && round_of_[order_[hi]] == round &&
-               sessions_[inputs[order_[hi]].session].shard == shard) {
-          ++hi;
-        }
+        while (hi < n && sessions_[sessions[hi]].shard == shard) ++hi;
         const std::size_t chunk = std::max(
             kMinChunkLanes, (hi - lo + target_chunks - 1) / target_chunks);
         for (std::size_t b = lo; b < hi; b += chunk) {
@@ -596,49 +700,56 @@ void MonitorEngine::feed_sharded(std::span<const SessionInput> inputs,
         }
         lo = hi;
       }
-      const bool telemetry = config_.telemetry;
-      pool_.parallel_for(groups_.size(), [this, inputs, decisions,
-                                          telemetry](std::size_t g) {
+      pool_.parallel_for(groups_.size(), [&](std::size_t g) {
         const auto [b, e] = groups_[g];
-        const std::size_t count = e - b;
-        ServeShard* shard = chunk_shards_[g];
-        const auto c0 = telemetry ? std::chrono::steady_clock::now()
-                                  : std::chrono::steady_clock::time_point{};
-        shard->observe_lanes(
-            std::span<const std::size_t>(&lanes_flat_[b], count),
-            std::span<const aps::monitor::Observation>(&sorted_obs_[b],
-                                                       count),
-            std::span<aps::monitor::Decision>(&sorted_decisions_[b], count));
-        if (telemetry && shard->latency_histogram() != nullptr) {
-          shard->latency_histogram()->observe(
-              std::chrono::duration<double, std::micro>(
-                  std::chrono::steady_clock::now() - c0)
-                  .count());
-        }
-        std::uint64_t alarms = 0;
-        for (std::uint32_t kk = b; kk < e; ++kk) {
-          const std::uint32_t i = src_flat_[kk];
-          Session& session = sessions_[inputs[i].session];
-          ++session.stats.cycles;
-          if (sorted_decisions_[kk].alarm) {
-            ++session.stats.alarms;
-            ++alarms;
-          }
-          decisions[i] = sorted_decisions_[kk];
-        }
-        if (alarms > 0) metrics_.alarms->add(alarms);
-        if (telemetry) {
-          accumulate_drift(
-              *shard, std::span<const aps::monitor::Observation>(
-                          &sorted_obs_[b], count));
-        }
+        run_chunk(chunk_shards_[g], b, e, obs.data(), decisions.data(),
+                  nullptr);
       });
-      k = lo;
+    } else {
+      std::size_t k = 0;
+      while (k < n) {
+        const std::uint32_t round = round_of_[order_[k]];
+        // Collect this round's shard stretches, subdividing large ones
+        // into chunks; all chunks of one round touch disjoint lanes, so
+        // they run concurrently against their shards.
+        groups_.clear();
+        chunk_shards_.clear();
+        std::size_t lo = k;
+        while (lo < n && round_of_[order_[lo]] == round) {
+          ServeShard* shard = sessions_[sessions[order_[lo]]].shard;
+          std::size_t hi = lo + 1;
+          while (hi < n && round_of_[order_[hi]] == round &&
+                 sessions_[sessions[order_[hi]]].shard == shard) {
+            ++hi;
+          }
+          const std::size_t chunk = std::max(
+              kMinChunkLanes, (hi - lo + target_chunks - 1) / target_chunks);
+          for (std::size_t b = lo; b < hi; b += chunk) {
+            groups_.emplace_back(
+                static_cast<std::uint32_t>(b),
+                static_cast<std::uint32_t>(std::min(b + chunk, hi)));
+            chunk_shards_.push_back(shard);
+          }
+          lo = hi;
+        }
+        pool_.parallel_for(groups_.size(), [&](std::size_t g) {
+          const auto [b, e] = groups_[g];
+          run_chunk(chunk_shards_[g], b, e, sorted_obs_.data(),
+                    sorted_decisions_.data(), src_flat_.data());
+        });
+        k = lo;
+      }
     }
   }
 
-  if (config_.telemetry) {
-    // Merge: refresh each drifting shard's score gauge once per tick.
+  if (const std::uint64_t d = degraded.load(std::memory_order_relaxed)) {
+    latency_degraded_ += d;
+    metrics_.degraded_ticks->add(d);
+  }
+
+  if (drift_due) {
+    // Merge: refresh each drifting shard's score gauge (sampled ticks
+    // only, alongside the accumulation those scores reflect).
     std::optional<aps::obs::Tracer::Scope> span;
     if (tracer != nullptr) {
       span.emplace(tracer, "serve.merge", metrics_.phase_merge);
@@ -671,7 +782,7 @@ aps::monitor::Decision MonitorEngine::feed_one(
     ++session.stats.alarms;
     metrics_.alarms->add(1);
   }
-  if (config_.telemetry && session.shard != nullptr) {
+  if (config_.telemetry && session.shard != nullptr && drift_tick_due()) {
     accumulate_drift(*session.shard,
                      std::span<const aps::monitor::Observation>(&obs, 1));
     if (session.shard->drift() != nullptr &&

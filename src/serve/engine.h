@@ -84,6 +84,16 @@ enum class ServeBackend {
   kScalar,   ///< one Monitor instance per session (pre-shard reference path)
 };
 
+/// How a feed tick is served. kNormal runs every session's own monitor;
+/// kDegraded is the overload escape hatch — sessions whose shard carries a
+/// degrade twin (see EngineConfig::degrade) are answered by the cheap twin
+/// while their primary monitor only ingests the observation, so the
+/// primary's stream continues bit-identically once pressure subsides.
+/// Callers (the replica worker in serve::EngineGroup) pick the mode per
+/// tick from deadline pressure; sessions without a twin always serve
+/// normally.
+enum class FeedMode { kNormal, kDegraded };
+
 struct EngineConfig {
   /// Worker threads for batched feeds; 0 = hardware concurrency.
   std::size_t threads = 0;
@@ -106,6 +116,12 @@ struct EngineConfig {
   /// Drift-detector tuning for shards whose generation carries
   /// training stats.
   aps::obs::DriftConfig drift = {};
+  /// Overload degrade map (sharded backend only): shards of a `first`
+  /// monitor get a twin of the `second` monitor from the same bundle
+  /// generation, enabling FeedMode::kDegraded ticks. The default degrades
+  /// the LSTM (window-bound, transcendental-heavy) to the decision tree —
+  /// the cheapest ML monitor in every bundle. Empty disables degradation.
+  std::vector<std::pair<std::string, std::string>> degrade = {{"lstm", "dt"}};
 };
 
 /// One shard's chunk-latency distribution ("<monitor>@g<generation>").
@@ -130,6 +146,9 @@ struct LatencySummary {
   double p95_us = 0.0;
   double p99_us = 0.0;
   double max_us = 0.0;        ///< slowest measured tick
+  /// Session-cycles answered by a degrade twin (FeedMode::kDegraded ticks
+  /// on shards with a twin) — zero below deadline pressure.
+  std::uint64_t degraded_ticks = 0;
   /// Per-shard chunk latency (telemetry on, sharded backend only).
   std::vector<ShardLatencySummary> shards;
   [[nodiscard]] double cycles_per_sec() const {
@@ -188,6 +207,16 @@ class MonitorEngine {
   /// answers inputs[i]. Same validation and ordering semantics as above.
   void feed(std::span<const SessionInput> inputs,
             std::span<aps::monitor::Decision> decisions);
+  /// Structure-of-arrays variant — the replica worker's hot path:
+  /// decisions[i] answers obs[i] for sessions[i], same validation and
+  /// ordering semantics as the AoS overloads but with no per-tick copy of
+  /// the observation payload when the batch is already grouped (steady
+  /// state: one input per session, shard-contiguous). `mode` selects the
+  /// overload policy for this tick (see FeedMode).
+  void feed(std::span<const SessionId> sessions,
+            std::span<const aps::monitor::Observation> obs,
+            std::span<aps::monitor::Decision> decisions,
+            FeedMode mode = FeedMode::kNormal);
   aps::monitor::Decision feed_one(SessionId id,
                                   const aps::monitor::Observation& obs);
   /// Reset the session's monitor state (new trace, same patient).
@@ -258,6 +287,7 @@ class MonitorEngine {
     aps::obs::Counter* alarms = nullptr;
     aps::obs::Counter* drift_alerts = nullptr;
     aps::obs::Counter* drift_samples = nullptr;
+    aps::obs::Counter* degraded_ticks = nullptr;
     aps::obs::Histogram* tick_latency = nullptr;
     aps::obs::Histogram* phase_ingest = nullptr;
     aps::obs::Histogram* phase_dispatch = nullptr;
@@ -278,12 +308,19 @@ class MonitorEngine {
   void record_latency(double seconds, std::size_t cycles);
   void accumulate_drift(ServeShard& shard,
                         std::span<const aps::monitor::Observation> obs);
-  void feed_locked(std::span<const SessionInput> inputs,
+  /// Tick-sampled drift accounting: true on the ticks that pay the drift
+  /// feature-extraction + gauge-refresh cost (every drift.sample_every_ticks
+  /// feeds). Keeps the telemetry overhead inside its <2% budget.
+  [[nodiscard]] bool drift_tick_due();
+  void feed_locked(std::span<const SessionId> sessions,
+                   std::span<const aps::monitor::Observation> obs,
+                   std::span<aps::monitor::Decision> decisions, FeedMode mode);
+  void feed_scalar(std::span<const SessionId> sessions,
+                   std::span<const aps::monitor::Observation> obs,
                    std::span<aps::monitor::Decision> decisions);
-  void feed_scalar(std::span<const SessionInput> inputs,
-                   std::span<aps::monitor::Decision> decisions);
-  void feed_sharded(std::span<const SessionInput> inputs,
-                    std::span<aps::monitor::Decision> decisions);
+  void feed_sharded(std::span<const SessionId> sessions,
+                    std::span<const aps::monitor::Observation> obs,
+                    std::span<aps::monitor::Decision> decisions, FeedMode mode);
 
   EngineConfig config_;
   aps::ThreadPool pool_;
@@ -306,9 +343,13 @@ class MonitorEngine {
   // itself lives in the serve_tick_latency_us histogram.
   std::uint64_t latency_ticks_ = 0;
   std::uint64_t latency_cycles_ = 0;
+  std::uint64_t latency_degraded_ = 0;
   double latency_seconds_ = 0.0;
+  std::uint64_t drift_tick_ = 0;  ///< feed ticks since construction (sampling)
 
   // Scratch reused across feed() calls to avoid per-batch allocation churn.
+  std::vector<SessionId> aos_sessions_;  ///< AoS feed() SoA repack
+  std::vector<aps::monitor::Observation> aos_obs_;
   std::vector<std::uint32_t> order_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> groups_;
   std::vector<aps::monitor::Observation> sorted_obs_;

@@ -1,0 +1,347 @@
+#include "serve/group.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace aps::serve {
+
+EngineGroup::EngineGroup(GroupConfig config) : config_(std::move(config)) {
+  if (config_.replicas < 1 ||
+      config_.replicas > (SessionId{1} << (32 - kReplicaShift)) - 1) {
+    throw std::invalid_argument("EngineGroup: replicas must be in 1..255");
+  }
+  // One shared registry: the configured one, the global one (telemetry
+  // on), or a group-owned one (telemetry off) — never one private
+  // registry per replica, which would fracture the group-level series.
+  EngineConfig engine_config = config_.engine;
+  if (engine_config.registry == nullptr) {
+    if (engine_config.telemetry) {
+      registry_ = &aps::obs::Registry::global();
+    } else {
+      owned_registry_ = std::make_unique<aps::obs::Registry>();
+      registry_ = owned_registry_.get();
+    }
+    engine_config.registry = registry_;
+  } else {
+    registry_ = engine_config.registry;
+  }
+  // Each replica is the thread-affinity unit: one worker thread drains its
+  // queue, so the inner engine pool stays single-threaded unless the
+  // caller explicitly asks for more.
+  if (engine_config.threads == 0) engine_config.threads = 1;
+
+  backpressure_ = &registry_->counter(
+      "serve_group_backpressure_total", {},
+      "tick enqueue attempts that found a replica ingest queue full");
+  group_feeds_ = &registry_->counter("serve_group_feeds_total", {},
+                                     "group-level feed fan-outs");
+
+  ring_.reserve(config_.replicas * std::max<std::size_t>(1,
+                                                         config_.virtual_nodes));
+  replicas_.reserve(config_.replicas);
+  for (std::size_t r = 0; r < config_.replicas; ++r) {
+    auto replica = std::make_unique<Replica>(config_.queue_capacity);
+    replica->engine = std::make_unique<MonitorEngine>(engine_config);
+    const std::string label = std::to_string(r);
+    replica->queue_depth = &registry_->gauge(
+        "serve_replica_queue_depth", {{"replica", label}},
+        "ingest queue occupancy at the last enqueue");
+    replica->sessions_gauge = &registry_->gauge(
+        "serve_replica_sessions", {{"replica", label}},
+        "sessions owned by the replica");
+    for (std::size_t v = 0; v < std::max<std::size_t>(1, config_.virtual_nodes);
+         ++v) {
+      const std::string vnode =
+          "replica-" + label + "#" + std::to_string(v);
+      ring_.emplace_back(ring_hash(vnode), static_cast<std::uint32_t>(r));
+    }
+    replicas_.push_back(std::move(replica));
+  }
+  std::sort(ring_.begin(), ring_.end());
+  for (auto& replica : replicas_) {
+    replica->worker = std::thread([this, r = replica.get()] {
+      worker_loop(*r);
+    });
+  }
+}
+
+EngineGroup::~EngineGroup() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& replica : replicas_) {
+    replica->pushed.fetch_add(1, std::memory_order_release);
+    replica->pushed.notify_all();
+  }
+  for (auto& replica : replicas_) {
+    if (replica->worker.joinable()) replica->worker.join();
+  }
+}
+
+std::size_t EngineGroup::replica_of(std::string_view patient_id) const {
+  const std::uint64_t h = ring_hash(patient_id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), h,
+      [](const std::pair<std::uint64_t, std::uint32_t>& node,
+         std::uint64_t key) { return node.first < key; });
+  if (it == ring_.end()) it = ring_.begin();  // ring wrap
+  return it->second;
+}
+
+void EngineGroup::worker_loop(Replica& replica) {
+  for (;;) {
+    TickJob job;
+    if (replica.queue.try_pop(job)) {
+      run_job(replica, job);
+      continue;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    // Sleep on the push ticket. Loading the ticket BEFORE the re-check
+    // closes the race: a push between try_pop and wait bumps the ticket,
+    // so wait(ticket) returns immediately.
+    const std::uint64_t ticket = replica.pushed.load(std::memory_order_acquire);
+    if (replica.queue.try_pop(job)) {
+      run_job(replica, job);
+      continue;
+    }
+    replica.pushed.wait(ticket, std::memory_order_acquire);
+  }
+}
+
+void EngineGroup::run_job(Replica& replica, const TickJob& job) {
+  try {
+    FeedMode mode = FeedMode::kNormal;
+    if (config_.tick_deadline_us > 0) {
+      const auto lag_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - job.enqueued)
+                              .count();
+      if (lag_us > static_cast<long long>(config_.tick_deadline_us)) {
+        mode = FeedMode::kDegraded;
+      }
+    }
+    replica.engine->feed(
+        std::span<const SessionId>(replica.local_sessions),
+        std::span<const aps::monitor::Observation>(replica.local_obs),
+        std::span<aps::monitor::Decision>(replica.local_decisions), mode);
+  } catch (...) {
+    replica.error = std::current_exception();
+  }
+  job.pending->fetch_sub(1, std::memory_order_release);
+  job.pending->notify_one();
+}
+
+void EngineGroup::register_monitor(const std::string& name,
+                                   aps::sim::MonitorFactory factory,
+                                   int cohort) {
+  for (auto& replica : replicas_) {
+    replica->engine->register_monitor(name, factory, cohort);
+  }
+}
+
+void EngineGroup::register_bundle(const aps::core::ArtifactBundle& bundle) {
+  for (auto& replica : replicas_) replica->engine->register_bundle(bundle);
+}
+
+void EngineGroup::register_bundle_file(const std::string& path) {
+  for (auto& replica : replicas_) replica->engine->register_bundle_file(path);
+}
+
+std::vector<std::string> EngineGroup::registered_monitors() const {
+  return replicas_.front()->engine->registered_monitors();
+}
+
+std::uint64_t EngineGroup::generation() const {
+  return replicas_.front()->engine->generation();
+}
+
+EngineGroup::Replica& EngineGroup::checked_replica(SessionId id) const {
+  const std::uint32_t r = replica_of_session(id);
+  if (r >= replicas_.size()) {
+    throw std::out_of_range("session id " + std::to_string(id) +
+                            " names replica " + std::to_string(r) +
+                            " of a " + std::to_string(replicas_.size()) +
+                            "-replica group");
+  }
+  return *replicas_[r];
+}
+
+SessionId EngineGroup::open_session(const std::string& patient_id,
+                                    const std::string& monitor_name,
+                                    int patient_index) {
+  const std::size_t r = replica_of(patient_id);
+  Replica& replica = *replicas_[r];
+  const SessionId local =
+      replica.engine->open_session(patient_id, monitor_name, patient_index);
+  if (local > kLocalMask) {
+    replica.engine->close_session(local);
+    throw std::length_error("replica " + std::to_string(r) +
+                            " exhausted its 2^24 session-id space");
+  }
+  replica.sessions_gauge->set(
+      static_cast<double>(replica.engine->session_count()));
+  return (static_cast<SessionId>(r) << kReplicaShift) | local;
+}
+
+void EngineGroup::close_session(SessionId id) {
+  Replica& replica = checked_replica(id);
+  replica.engine->close_session(id & kLocalMask);
+  replica.sessions_gauge->set(
+      static_cast<double>(replica.engine->session_count()));
+}
+
+std::optional<SessionId> EngineGroup::find_session(
+    const std::string& patient_id) const {
+  const std::size_t r = replica_of(patient_id);
+  const auto local = replicas_[r]->engine->find_session(patient_id);
+  if (!local) return std::nullopt;
+  return (static_cast<SessionId>(r) << kReplicaShift) | *local;
+}
+
+std::size_t EngineGroup::session_count() const {
+  std::size_t count = 0;
+  for (const auto& replica : replicas_) {
+    count += replica->engine->session_count();
+  }
+  return count;
+}
+
+void EngineGroup::feed(std::span<const SessionInput> inputs,
+                       std::span<aps::monitor::Decision> decisions) {
+  if (decisions.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "feed: decisions span size " + std::to_string(decisions.size()) +
+        " does not match inputs size " + std::to_string(inputs.size()));
+  }
+  if (inputs.empty()) return;
+  const std::lock_guard<std::mutex> lock(feed_mu_);
+  group_feeds_->add(1);
+
+  // Partition by owning replica, preserving batch order within each
+  // partition (session input order = batch order, exactly like a single
+  // engine). Replica ids are validated before anything is enqueued.
+  for (auto& replica : replicas_) {
+    replica->local_sessions.clear();
+    replica->local_obs.clear();
+    replica->global_index.clear();
+    replica->error = nullptr;
+  }
+  for (std::uint32_t i = 0; i < inputs.size(); ++i) {
+    Replica& replica = checked_replica(inputs[i].session);
+    replica.local_sessions.push_back(inputs[i].session & kLocalMask);
+    replica.local_obs.push_back(inputs[i].obs);
+    replica.global_index.push_back(i);
+  }
+
+  std::atomic<std::size_t> pending{0};
+  std::size_t active = 0;
+  for (const auto& replica : replicas_) {
+    if (!replica->local_sessions.empty()) ++active;
+  }
+  pending.store(active, std::memory_order_relaxed);
+
+  const auto enqueued = std::chrono::steady_clock::now();
+  for (auto& replica : replicas_) {
+    if (replica->local_sessions.empty()) continue;
+    replica->local_decisions.resize(replica->local_sessions.size());
+    TickJob job{&pending, enqueued};
+    // Bounded queue: a full queue is explicit backpressure — count it and
+    // yield to the (busy) workers rather than growing memory.
+    while (!replica->queue.try_push(job)) {
+      backpressure_->add(1);
+      std::this_thread::yield();
+    }
+    replica->queue_depth->set(
+        static_cast<double>(replica->queue.size_approx()));
+    replica->pushed.fetch_add(1, std::memory_order_release);
+    replica->pushed.notify_one();
+  }
+
+  // Barrier: every replica's worker reports completion through `pending`.
+  for (std::size_t p = pending.load(std::memory_order_acquire); p != 0;
+       p = pending.load(std::memory_order_acquire)) {
+    pending.wait(p, std::memory_order_acquire);
+  }
+
+  for (auto& replica : replicas_) {
+    if (replica->error != nullptr) std::rethrow_exception(replica->error);
+  }
+  // Deterministic merge: each decision lands at its input index, so the
+  // result is independent of replica count and worker scheduling.
+  for (const auto& replica : replicas_) {
+    for (std::size_t j = 0; j < replica->global_index.size(); ++j) {
+      decisions[replica->global_index[j]] = replica->local_decisions[j];
+    }
+  }
+}
+
+std::vector<aps::monitor::Decision> EngineGroup::feed(
+    std::span<const SessionInput> inputs) {
+  std::vector<aps::monitor::Decision> decisions(inputs.size());
+  feed(inputs, decisions);
+  return decisions;
+}
+
+aps::monitor::Decision EngineGroup::feed_one(
+    SessionId id, const aps::monitor::Observation& obs) {
+  return checked_replica(id).engine->feed_one(id & kLocalMask, obs);
+}
+
+void EngineGroup::reset_session(SessionId id) {
+  checked_replica(id).engine->reset_session(id & kLocalMask);
+}
+
+SessionSnapshot EngineGroup::snapshot(SessionId id) const {
+  return checked_replica(id).engine->snapshot(id & kLocalMask);
+}
+
+SessionId EngineGroup::restore(const SessionSnapshot& snap) {
+  const std::size_t r = replica_of(snap.patient_id);
+  Replica& replica = *replicas_[r];
+  const SessionId local = replica.engine->restore(snap);
+  if (local > kLocalMask) {
+    replica.engine->close_session(local);
+    throw std::length_error("replica " + std::to_string(r) +
+                            " exhausted its 2^24 session-id space");
+  }
+  replica.sessions_gauge->set(
+      static_cast<double>(replica.engine->session_count()));
+  return (static_cast<SessionId>(r) << kReplicaShift) | local;
+}
+
+SessionStats EngineGroup::stats(SessionId id) const {
+  return checked_replica(id).engine->stats(id & kLocalMask);
+}
+
+std::uint64_t EngineGroup::total_cycles() const {
+  std::uint64_t cycles = 0;
+  for (const auto& replica : replicas_) {
+    cycles += replica->engine->total_cycles();
+  }
+  return cycles;
+}
+
+LatencySummary EngineGroup::latency() const {
+  // Replica 0's percentiles already read the SHARED serve_tick_latency_us
+  // series (one registry across the group), so only the exact totals and
+  // the per-shard union need merging.
+  LatencySummary summary = replicas_.front()->engine->latency();
+  std::unordered_set<std::string> seen;
+  for (const auto& shard : summary.shards) seen.insert(shard.shard);
+  for (std::size_t r = 1; r < replicas_.size(); ++r) {
+    const LatencySummary part = replicas_[r]->engine->latency();
+    summary.ticks += part.ticks;
+    summary.cycles += part.cycles;
+    summary.degraded_ticks += part.degraded_ticks;
+    summary.seconds += part.seconds;
+    for (const auto& shard : part.shards) {
+      if (seen.insert(shard.shard).second) summary.shards.push_back(shard);
+    }
+  }
+  return summary;
+}
+
+void EngineGroup::reset_latency() {
+  for (auto& replica : replicas_) replica->engine->reset_latency();
+}
+
+}  // namespace aps::serve

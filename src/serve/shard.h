@@ -62,6 +62,16 @@ class ServeShard {
   [[nodiscard]] aps::obs::Gauge* drift_gauge() const { return drift_gauge_; }
   [[nodiscard]] aps::obs::DriftDetector* drift() const { return drift_.get(); }
 
+  /// Install the degrade twin: a cheap stand-in monitor (e.g. the decision
+  /// tree from the same bundle generation) that answers ticks when the
+  /// engine is over its deadline while the primary batch only ingests.
+  /// Must be installed before the first lane; lanes are added to the twin
+  /// in lockstep with the primary, so twin lane indices coincide.
+  void set_degrade_twin(std::unique_ptr<aps::monitor::Monitor> twin) {
+    twin_prototype_ = std::move(twin);
+  }
+  [[nodiscard]] bool can_degrade() const { return twin_prototype_ != nullptr; }
+
   /// Inference precision for every lane of this shard. Applies to the
   /// existing batch immediately and to batches created by later
   /// try_add_lane calls; monitors without a float32 path ignore it (their
@@ -69,6 +79,7 @@ class ServeShard {
   void set_precision(aps::monitor::Precision precision) {
     precision_ = precision;
     if (batch_ != nullptr) batch_->set_precision(precision_);
+    if (twin_batch_ != nullptr) twin_batch_->set_precision(precision_);
   }
   [[nodiscard]] aps::monitor::Precision precision() const {
     return precision_;
@@ -95,6 +106,18 @@ class ServeShard {
       batch_->set_precision(precision_);
     }
     if (!batch_->add_lane(prototype)) return std::nullopt;
+    if (twin_prototype_ != nullptr) {
+      if (twin_batch_ == nullptr) {
+        twin_batch_ = twin_prototype_->make_batch();
+        if (twin_batch_ == nullptr) {
+          twin_batch_ = std::make_unique<aps::monitor::PerLaneMonitorBatch>();
+        }
+        twin_batch_->set_precision(precision_);
+      }
+      // The twin is stateless (DT/rule kinds), so adding from the shared
+      // prototype keeps it lockstep with the primary lane.
+      (void)twin_batch_->add_lane(*twin_prototype_);
+    }
     lane_sessions_.push_back(session);
     return lane_sessions_.size() - 1;
   }
@@ -103,6 +126,7 @@ class ServeShard {
   /// moved into `lane`'s slot, or nullopt when the removed lane was last.
   std::optional<SessionId> remove_lane(std::size_t lane) {
     batch_->remove_lane(lane);
+    if (twin_batch_ != nullptr) twin_batch_->remove_lane(lane);
     const bool was_last = lane + 1 == lane_sessions_.size();
     lane_sessions_[lane] = lane_sessions_.back();
     lane_sessions_.pop_back();
@@ -110,7 +134,10 @@ class ServeShard {
     return lane_sessions_[lane];
   }
 
-  void reset_lane(std::size_t lane) { batch_->reset_lane(lane); }
+  void reset_lane(std::size_t lane) {
+    batch_->reset_lane(lane);
+    if (twin_batch_ != nullptr) twin_batch_->reset_lane(lane);
+  }
 
   [[nodiscard]] std::unique_ptr<aps::monitor::Monitor> extract_lane(
       std::size_t lane) const {
@@ -126,6 +153,21 @@ class ServeShard {
     batch_->observe_lanes(lanes, obs, out);
   }
 
+  /// Degraded tick: the twin answers (full inference on the cheap kind),
+  /// the primary only ingests the observation so its streaming state stays
+  /// bit-identical to a never-degraded run. Falls back to the normal path
+  /// when no twin is installed. Same disjoint-subset concurrency contract.
+  void observe_lanes_degraded(std::span<const std::size_t> lanes,
+                              std::span<const aps::monitor::Observation> obs,
+                              std::span<aps::monitor::Decision> out) {
+    if (twin_batch_ == nullptr) {
+      batch_->observe_lanes(lanes, obs, out);
+      return;
+    }
+    twin_batch_->observe_lanes(lanes, obs, out);
+    batch_->ingest_lanes(lanes, obs);
+  }
+
  private:
   std::string monitor_name_;
   std::uint64_t version_ = 0;
@@ -133,6 +175,11 @@ class ServeShard {
   std::string label_;
   aps::monitor::Precision precision_ = aps::monitor::Precision::kF64;
   std::unique_ptr<aps::monitor::MonitorBatch> batch_;  ///< created on first lane
+  // Overload twin: a cheap monitor of the degrade-to kind whose batch keeps
+  // one lane per primary lane (added/removed in lockstep). Null unless the
+  // engine's degrade map covers this shard's monitor.
+  std::unique_ptr<aps::monitor::Monitor> twin_prototype_;
+  std::unique_ptr<aps::monitor::MonitorBatch> twin_batch_;
   std::vector<SessionId> lane_sessions_;  ///< session occupying each lane
   // Telemetry (engine-wired; null when telemetry is off). The histogram
   // and gauge are registry-owned series keyed by label(), so they outlive

@@ -29,6 +29,7 @@
 #include "net/server.h"
 #include "obs/metrics.h"
 #include "serve/engine.h"
+#include "serve/group.h"
 #include "synthetic_util.h"
 
 namespace {
@@ -430,6 +431,72 @@ TEST(NetServer, OpenErrorsAreAcksNotDisconnects) {
   const auto ack = client.close_session(3);
   EXPECT_EQ(ack.cycles, 0u);
   EXPECT_EQ(engine.session_count(), 0u);
+}
+
+TEST(NetServer, GroupBackendRoutesToOwningReplicas) {
+  // The replica-sharded flavor of the front door: sessions opened over the
+  // wire land on their ring-owned replica (the id's top bits), ticks are
+  // routed through the group's queues, and every decision still matches a
+  // standalone reference monitor — the client can't tell how many engines
+  // are behind the socket.
+  const auto bundle = rule_bundle();
+  obs::Registry registry;
+  serve::GroupConfig group_config;
+  group_config.replicas = 3;
+  group_config.engine.registry = &registry;
+  serve::EngineGroup group(group_config);
+  group.register_bundle(bundle);
+
+  net::ServerConfig config;
+  config.registry = &registry;
+  net::IngestServer server(group, config);
+  server.start();
+
+  constexpr std::uint64_t kGroupSessions = 9;
+  net::BlockingClient client("127.0.0.1", server.port(), "group client");
+  struct Session {
+    std::vector<monitor::Observation> stream;
+    std::unique_ptr<monitor::Monitor> reference;
+  };
+  std::vector<Session> sessions;
+  for (std::uint64_t s = 0; s < kGroupSessions; ++s) {
+    const int index = static_cast<int>(s) % kCohort;
+    const std::string& name = monitor_names()[s % monitor_names().size()];
+    const std::string patient = "group/p" + std::to_string(s);
+    client.open_session(s, patient, name, index);
+    sessions.push_back({testutil::synth_stream(kSteps, 8800 + s),
+                        core::factory_from_bundle(bundle, name)(index)});
+    // The wire-opened session sits on the replica the ring owns it to.
+    const auto id = group.find_session(patient);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(serve::EngineGroup::replica_of_session(*id),
+              group.replica_of(patient));
+  }
+  EXPECT_EQ(group.session_count(), kGroupSessions);
+
+  for (std::size_t k = 0; k < kSteps; ++k) {
+    for (std::uint64_t s = 0; s < kGroupSessions; ++s) {
+      client.send_tick(s, k, sessions[s].stream[k]);
+    }
+    for (std::uint64_t i = 0; i < kGroupSessions; ++i) {
+      const net::DecisionMsg msg = client.recv_decision();
+      ASSERT_EQ(msg.seq, k);
+      ASSERT_LT(msg.token, kGroupSessions);
+      auto& session = sessions[msg.token];
+      const auto expected = session.reference->observe(session.stream[k]);
+      ASSERT_TRUE(testutil::decisions_equal(msg.decision, expected))
+          << "session " << msg.token << " step " << k;
+    }
+  }
+  for (std::uint64_t s = 0; s < kGroupSessions; ++s) {
+    const net::CloseAckMsg ack = client.close_session(s);
+    EXPECT_EQ(ack.cycles, kSteps);
+  }
+  server.stop();
+  EXPECT_EQ(group.session_count(), 0u);
+  EXPECT_EQ(registry.counter_value("net_ticks_total"),
+            kGroupSessions * kSteps);
+  EXPECT_EQ(registry.counter_value("net_protocol_errors_total"), 0u);
 }
 
 }  // namespace

@@ -426,8 +426,14 @@ TEST(ServeEngine, DriftAlertsFireOnDistributionShiftOnly) {
   // 8 sessions x 60 ticks with independent streams = 480 distinct draws;
   // the 256-sample gate then sits at ~8 standard errors of the training
   // mean, so the unshifted run stays deterministically below threshold.
-  const obs::DriftConfig drift = {
-      .min_samples = 256, .threshold = 0.5, .clear_factor = 0.8, .stride = 1};
+  // sample_every_ticks = 1: this suite feeds only 60 ticks, so the
+  // production default (temporal sampling every 16th tick) would starve
+  // the 256-sample gate.
+  const obs::DriftConfig drift = {.min_samples = 256,
+                                  .threshold = 0.5,
+                                  .clear_factor = 0.8,
+                                  .stride = 1,
+                                  .sample_every_ticks = 1};
 
   const auto run = [&](bool shifted) {
     auto registry = std::make_unique<obs::Registry>();
