@@ -10,8 +10,22 @@
 //     series) at 10k+ churn events,
 //   * with the overload deadline disabled, zero ticks serve degraded.
 //
-// Results go to BENCH_serve_soak.json (stages: open, soak, churn totals,
-// latency percentiles, RSS trajectory) for the CI gate + EXPERIMENTS.md.
+// After the soak, two ADMISSION OVERLOAD stages drive a fresh group at 2x
+// offered load (every session ticked twice per cycle) with the ladder
+// pinned to one rung each, proving the shed policy end to end:
+//
+//   * overload_degrade — ladder held at kDegrade: every cycle is served
+//     (zero sheds), LSTM lanes answer from their DT twin, and the tick
+//     p99 stays inside the same budget as the calm soak;
+//   * overload_shed — ladder held at kShed with an unlimited "care"
+//     tenant and a quota-capped "bulk" tenant: care never loses a tick,
+//     bulk sheds exactly its over-quota excess (reconciled input by
+//     input: offered == served + shed), session opens come back as typed
+//     rejects, and every shed is counted by reason and tenant.
+//
+// Results go to BENCH_serve_soak.json (stages: open, soak, overload_*,
+// latency percentiles, shed counts, RSS trajectory) for the CI gate +
+// EXPERIMENTS.md.
 //
 // Flags:
 //   --sessions=<n>     live sessions to hold (default 100000)
@@ -24,6 +38,8 @@
 //                        containers time-slice all replicas on one CPU)
 //   --rss-slack-mb=<x>   flat-RSS gate (default 64 MB)
 //   --smoke            CI-sized run: 2000 sessions, 2 replicas, 40 ticks
+//   --long             nightly-sized run: full fleet, 600 soak ticks and
+//                      longer overload stages (minutes of wall time)
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -153,14 +169,15 @@ const char* kind_for(std::size_t s, bool with_ml) {
 int main(int argc, char** argv) try {
   CliFlags flags(argc, argv);
   const bool smoke = flags.get_bool("smoke", false);
+  const bool long_run = flags.get_bool("long", false);
   const std::size_t sessions =
       static_cast<std::size_t>(flags.get_int("sessions", smoke ? 2000 : 100000));
   const std::size_t replicas =
       static_cast<std::size_t>(flags.get_int("replicas", smoke ? 2 : 4));
-  const std::size_t ticks =
-      static_cast<std::size_t>(flags.get_int("ticks", smoke ? 40 : 120));
-  const std::size_t churn =
-      static_cast<std::size_t>(flags.get_int("churn", smoke ? 16 : 32));
+  const std::size_t ticks = static_cast<std::size_t>(
+      flags.get_int("ticks", smoke ? 40 : (long_run ? 600 : 120)));
+  const std::size_t churn = static_cast<std::size_t>(
+      flags.get_int("churn", smoke ? 16 : (long_run ? 64 : 32)));
   const auto deadline_us =
       static_cast<std::uint32_t>(flags.get_int("deadline-us", 0));
   const bool with_ml = flags.get_bool("ml", true);
@@ -322,6 +339,253 @@ int main(int argc, char** argv) try {
               "%zu sessions held%s): %s\n",
               p99_budget_ms, rss_slack_mb, sessions,
               deadline_us == 0 ? ", 0 degraded" : "", ok ? "PASS" : "FAIL");
+
+  // == Admission overload stages ============================================
+  // A fresh, smaller group per stage with a PRIVATE registry, so shed and
+  // transition counters reconcile exactly per stage. Offered load is 2x:
+  // every session is ticked twice per cycle — twice the sustainable rate
+  // the calm soak just demonstrated for this population shape.
+  const std::size_t ov_per_tenant = static_cast<std::size_t>(flags.get_int(
+      "overload-sessions", smoke ? 600 : (long_run ? 4000 : 2000)));
+  const std::size_t ov_ticks = static_cast<std::size_t>(
+      flags.get_int("overload-ticks", smoke ? 24 : (long_run ? 240 : 60)));
+
+  // -- Stage 1: overload_degrade --------------------------------------------
+  // Ladder pinned at kDegrade (latency signal trips on the first measured
+  // tick; an effectively infinite dwell holds the rung). 2x offered load
+  // must be absorbed by degradation alone: zero sheds, every cycle served,
+  // LSTM lanes twin-answered, p99 still inside the calm-soak budget.
+  {
+    obs::Registry registry;
+    serve::GroupConfig oconfig;
+    oconfig.replicas = replicas;
+    oconfig.engine.registry = &registry;
+    oconfig.admission.enabled = true;
+    oconfig.admission.degrade_queue_frac = 2.0;  // latency signal only
+    oconfig.admission.shed_queue_frac = 2.0;
+    oconfig.admission.degrade_p99_us = 1.0;
+    oconfig.admission.shed_p99_us = 0.0;  // never past kDegrade
+    oconfig.admission.min_dwell_ticks = 1u << 30;
+    serve::EngineGroup ogroup(oconfig);
+    ogroup.register_bundle(bundle);
+
+    std::vector<serve::SessionId> oids;
+    oids.reserve(ov_per_tenant);
+    for (std::size_t s = 0; s < ov_per_tenant; ++s) {
+      oids.push_back(ogroup.open_session("care/ov-" + std::to_string(s),
+                                         kind_for(s, with_ml),
+                                         static_cast<int>(s) % cohort));
+    }
+    std::vector<serve::SessionInput> obatch(2 * ov_per_tenant);
+    std::vector<monitor::Decision> odecisions(obatch.size());
+    std::vector<serve::TickOutcome> outcomes(obatch.size());
+    const std::size_t warm = with_ml ? monitor::kLstmWindow : 4;
+    std::uint64_t shed_cycles = 0, served_cycles = 0;
+    const auto ot0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < warm + ov_ticks; ++k) {
+      if (k == warm) ogroup.reset_latency();
+      for (std::size_t s = 0; s < ov_per_tenant; ++s) {
+        obatch[2 * s] = {oids[s], variants[k % variants.size()]};
+        obatch[2 * s + 1] = {oids[s], variants[(k + 7) % variants.size()]};
+      }
+      ogroup.feed(obatch, odecisions, outcomes);
+      for (const auto& outcome : outcomes) {
+        outcome.served() ? ++served_cycles : ++shed_cycles;
+      }
+    }
+    const double ov_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - ot0)
+            .count();
+    const serve::LatencySummary om = ogroup.latency();
+    const double state = registry.gauge_value("serve_overload_state");
+
+    std::printf("\n== overload_degrade: 2x load, %zu sessions, %zu ticks ==\n",
+                ov_per_tenant, ov_ticks);
+    std::printf(
+        "ladder %.0f, p99 %.2f ms, degraded cycles %ju, shed %ju of %ju\n",
+        state, om.p99_us / 1000.0,
+        static_cast<std::uintmax_t>(om.degraded_ticks),
+        static_cast<std::uintmax_t>(shed_cycles),
+        static_cast<std::uintmax_t>(served_cycles + shed_cycles));
+
+    recorder.stage_done(
+        "overload_degrade/" + std::to_string(ov_per_tenant) + "x2",
+        ov_wall_s, served_cycles, rss_last,
+        {{"offered_cycles", static_cast<double>(served_cycles + shed_cycles)},
+         {"served_cycles", static_cast<double>(served_cycles)},
+         {"shed_cycles", static_cast<double>(shed_cycles)},
+         {"degraded_cycles", static_cast<double>(om.degraded_ticks)},
+         {"p50_us", om.p50_us},
+         {"p99_us", om.p99_us},
+         {"overload_state", state}});
+
+    if (state != 1.0) {
+      std::printf("GATE FAIL: ladder sat at %.0f, expected kDegrade (1)\n",
+                  state);
+      ok = false;
+    }
+    if (shed_cycles != 0) {
+      std::printf("GATE FAIL: %ju cycles shed in the degrade-only stage\n",
+                  static_cast<std::uintmax_t>(shed_cycles));
+      ok = false;
+    }
+    if (with_ml && om.degraded_ticks == 0) {
+      std::printf("GATE FAIL: no twin-answered cycles at 2x load\n");
+      ok = false;
+    }
+    if (om.p99_us / 1000.0 > p99_budget_ms) {
+      std::printf("GATE FAIL: degraded p99 %.2f ms > budget %.2f ms\n",
+                  om.p99_us / 1000.0, p99_budget_ms);
+      ok = false;
+    }
+  }
+
+  // -- Stage 2: overload_shed -----------------------------------------------
+  // Ladder pinned at kShed. Tenant "care" is unlimited, tenant "bulk" has a
+  // one-tick burst and ~zero refill: bulk must shed exactly its over-quota
+  // excess (offered == served + shed, reconciled against the per-tenant
+  // counters), care must not lose a single cycle, and opens must come back
+  // as typed rejects.
+  {
+    obs::Registry registry;
+    serve::GroupConfig sconfig;
+    sconfig.replicas = replicas;
+    sconfig.engine.registry = &registry;
+    sconfig.admission.enabled = true;
+    sconfig.admission.degrade_queue_frac = 2.0;
+    sconfig.admission.shed_queue_frac = 2.0;
+    sconfig.admission.degrade_p99_us = 0.5;
+    sconfig.admission.shed_p99_us = 1.0;  // any tick latency trips kShed
+    sconfig.admission.min_dwell_ticks = 1u << 30;
+    sconfig.admission.tenant_quotas = {
+        {"bulk",
+         {.ticks_per_sec = 1e-9,
+          .burst = static_cast<double>(ov_per_tenant)}}};
+    serve::EngineGroup sgroup(sconfig);
+    sgroup.register_bundle(bundle);
+
+    std::vector<serve::SessionId> sids;
+    sids.reserve(2 * ov_per_tenant);
+    for (std::size_t s = 0; s < ov_per_tenant; ++s) {
+      sids.push_back(sgroup.open_session("care/ov-" + std::to_string(s),
+                                         kind_for(s, false),
+                                         static_cast<int>(s) % cohort));
+    }
+    for (std::size_t s = 0; s < ov_per_tenant; ++s) {
+      sids.push_back(sgroup.open_session("bulk/ov-" + std::to_string(s),
+                                         kind_for(s, false),
+                                         static_cast<int>(s) % cohort));
+    }
+    // Batch order: all care cycles (2 per session), then all bulk cycles.
+    std::vector<serve::SessionInput> sbatch(4 * ov_per_tenant);
+    std::vector<monitor::Decision> sdecisions(sbatch.size());
+    std::vector<serve::TickOutcome> soutcomes(sbatch.size());
+    std::uint64_t care_shed = 0, bulk_shed = 0, served = 0, offered = 0;
+    std::uint64_t open_attempts = 0, open_rejects = 0;
+    const auto st0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < ov_ticks; ++k) {
+      for (std::size_t i = 0; i < 2 * ov_per_tenant; ++i) {
+        sbatch[2 * i] = {sids[i], variants[k % variants.size()]};
+        sbatch[2 * i + 1] = {sids[i], variants[(k + 3) % variants.size()]};
+      }
+      sgroup.feed(sbatch, sdecisions, soutcomes);
+      offered += soutcomes.size();
+      for (std::size_t i = 0; i < soutcomes.size(); ++i) {
+        if (soutcomes[i].served()) {
+          ++served;
+        } else if (i < 2 * ov_per_tenant) {
+          ++care_shed;
+        } else {
+          ++bulk_shed;
+        }
+      }
+      // Once shedding, opens must be refused with the typed error.
+      if (sgroup.admission().state() == serve::OverloadState::kShed) {
+        ++open_attempts;
+        try {
+          (void)sgroup.open_session("care/late-" + std::to_string(k),
+                                    "cawt", 0);
+        } catch (const serve::ShedError&) {
+          ++open_rejects;
+        }
+      }
+    }
+    const double sh_wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - st0)
+            .count();
+    const std::uint64_t bulk_counted = registry.counter_value(
+        "serve_shed_total", {{"reason", "tick"}, {"tenant", "bulk"}});
+    const std::uint64_t care_counted = registry.counter_value(
+        "serve_shed_total", {{"reason", "tick"}, {"tenant", "care"}});
+    const std::uint64_t open_counted = registry.counter_value(
+        "serve_shed_total", {{"reason", "open"}, {"tenant", "care"}});
+    const double state = registry.gauge_value("serve_overload_state");
+
+    std::printf("\n== overload_shed: 2x load, %zu+%zu sessions, %zu ticks ==\n",
+                ov_per_tenant, ov_per_tenant, ov_ticks);
+    std::printf("ladder %.0f: offered %ju = served %ju + shed %ju "
+                "(care %ju, bulk %ju), opens rejected %ju/%ju\n",
+                state, static_cast<std::uintmax_t>(offered),
+                static_cast<std::uintmax_t>(served),
+                static_cast<std::uintmax_t>(care_shed + bulk_shed),
+                static_cast<std::uintmax_t>(care_shed),
+                static_cast<std::uintmax_t>(bulk_shed),
+                static_cast<std::uintmax_t>(open_rejects),
+                static_cast<std::uintmax_t>(open_attempts));
+
+    recorder.stage_done(
+        "overload_shed/" + std::to_string(2 * ov_per_tenant) + "x2",
+        sh_wall_s, served, rss_last,
+        {{"offered_cycles", static_cast<double>(offered)},
+         {"served_cycles", static_cast<double>(served)},
+         {"shed_tick_care", static_cast<double>(care_counted)},
+         {"shed_tick_bulk", static_cast<double>(bulk_counted)},
+         {"shed_open", static_cast<double>(open_counted)},
+         {"open_attempts", static_cast<double>(open_attempts)},
+         {"overload_state", state}});
+
+    if (state != 2.0) {
+      std::printf("GATE FAIL: ladder sat at %.0f, expected kShed (2)\n",
+                  state);
+      ok = false;
+    }
+    if (care_shed != 0 || care_counted != 0) {
+      std::printf("GATE FAIL: in-quota tenant lost %ju cycles "
+                  "(%ju counted)\n",
+                  static_cast<std::uintmax_t>(care_shed),
+                  static_cast<std::uintmax_t>(care_counted));
+      ok = false;
+    }
+    if (bulk_shed == 0) {
+      std::printf("GATE FAIL: over-quota tenant shed nothing at 2x load\n");
+      ok = false;
+    }
+    if (bulk_shed != bulk_counted) {
+      std::printf("GATE FAIL: shed %ju bulk cycles but counted %ju\n",
+                  static_cast<std::uintmax_t>(bulk_shed),
+                  static_cast<std::uintmax_t>(bulk_counted));
+      ok = false;
+    }
+    if (offered != served + care_shed + bulk_shed) {
+      std::printf("GATE FAIL: offered %ju != served %ju + shed %ju\n",
+                  static_cast<std::uintmax_t>(offered),
+                  static_cast<std::uintmax_t>(served),
+                  static_cast<std::uintmax_t>(care_shed + bulk_shed));
+      ok = false;
+    }
+    if (open_attempts == 0 || open_rejects != open_attempts ||
+        open_counted != open_rejects) {
+      std::printf("GATE FAIL: open rejects %ju/%ju attempts (%ju counted)\n",
+                  static_cast<std::uintmax_t>(open_rejects),
+                  static_cast<std::uintmax_t>(open_attempts),
+                  static_cast<std::uintmax_t>(open_counted));
+      ok = false;
+    }
+  }
+
+  std::printf("\noverload gates (degrade absorbs 2x inside %.0f ms p99, "
+              "shed spares in-quota tenants, every shed counted): %s\n",
+              p99_budget_ms, ok ? "PASS" : "FAIL");
   return ok ? 0 : 1;
 } catch (const std::exception& e) {
   std::fprintf(stderr, "error: %s\n", e.what());

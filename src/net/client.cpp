@@ -6,8 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 namespace aps::net {
 
@@ -98,8 +101,12 @@ Frame BlockingClient::recv_frame() {
 }
 
 Frame BlockingClient::wait_for(FrameKind kind) {
+  return wait_for_any(kind, kind);
+}
+
+Frame BlockingClient::wait_for_any(FrameKind a, FrameKind b) {
   for (auto it = inbox_.begin(); it != inbox_.end(); ++it) {
-    if (it->kind == kind) {
+    if (it->kind == a || it->kind == b) {
       Frame frame = std::move(*it);
       inbox_.erase(it);
       return frame;
@@ -107,7 +114,7 @@ Frame BlockingClient::wait_for(FrameKind kind) {
   }
   for (;;) {
     Frame frame = recv_frame();
-    if (frame.kind == kind) return frame;
+    if (frame.kind == a || frame.kind == b) return frame;
     if (frame.kind == FrameKind::kError) {
       const ErrorMsg err = decode_error(frame);
       throw ProtocolError("server error " + std::to_string(err.code) + ": " +
@@ -120,18 +127,39 @@ Frame BlockingClient::wait_for(FrameKind kind) {
 void BlockingClient::open_session(std::uint64_t token,
                                   const std::string& patient_id,
                                   const std::string& monitor,
-                                  std::int32_t patient_index) {
-  send_frame(encode(OpenSessionMsg{.token = token,
-                                   .patient_id = patient_id,
-                                   .monitor = monitor,
-                                   .patient_index = patient_index}));
-  const OpenAckMsg ack = decode_open_ack(wait_for(FrameKind::kOpenAck));
-  if (ack.token != token) {
-    throw ProtocolError("open ack for token " + std::to_string(ack.token) +
-                        ", expected " + std::to_string(token));
-  }
-  if (!ack.ok) {
-    throw ProtocolError("server refused session: " + ack.error);
+                                  std::int32_t patient_index,
+                                  std::uint32_t max_retries) {
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    send_frame(encode(OpenSessionMsg{.token = token,
+                                     .patient_id = patient_id,
+                                     .monitor = monitor,
+                                     .patient_index = patient_index}));
+    Frame frame = wait_for_any(FrameKind::kOpenAck, FrameKind::kReject);
+    if (frame.kind == FrameKind::kReject) {
+      RejectMsg reject = decode_reject(frame);
+      if (reject.token != token) {
+        throw ProtocolError("reject for token " +
+                            std::to_string(reject.token) + ", expected " +
+                            std::to_string(token));
+      }
+      if (attempt < max_retries) {
+        // Honor the server's backoff hint (capped so a hostile hint
+        // cannot park the client for minutes).
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min<std::uint32_t>(reject.retry_after_ms, 1000)));
+        continue;
+      }
+      throw RejectedError(std::move(reject));
+    }
+    const OpenAckMsg ack = decode_open_ack(frame);
+    if (ack.token != token) {
+      throw ProtocolError("open ack for token " + std::to_string(ack.token) +
+                          ", expected " + std::to_string(token));
+    }
+    if (!ack.ok) {
+      throw ProtocolError("server refused session: " + ack.error);
+    }
+    return;
   }
 }
 
@@ -142,6 +170,19 @@ void BlockingClient::send_tick(std::uint64_t token, std::uint64_t seq,
 
 DecisionMsg BlockingClient::recv_decision() {
   return decode_decision(wait_for(FrameKind::kDecision));
+}
+
+TickReply BlockingClient::recv_reply() {
+  Frame frame = wait_for_any(FrameKind::kDecision, FrameKind::kReject);
+  TickReply reply;
+  if (frame.kind == FrameKind::kDecision) {
+    reply.served = true;
+    reply.decision = decode_decision(frame);
+  } else {
+    reply.served = false;
+    reply.reject = decode_reject(frame);
+  }
+  return reply;
 }
 
 CloseAckMsg BlockingClient::close_session(std::uint64_t token) {

@@ -12,10 +12,34 @@
 #include <deque>
 #include <optional>
 #include <string>
+#include <utility>
 
 #include "net/protocol.h"
 
 namespace aps::net {
+
+/// The server answered with a typed kReject frame (admission shed) and
+/// the client is out of retries. Carries the full reject so callers can
+/// honor retry_after_ms themselves.
+class RejectedError : public aps::io::IoError {
+ public:
+  explicit RejectedError(RejectMsg reject)
+      : IoError("server shed request (reason " +
+                std::to_string(reject.reason) + "): " + reject.message),
+        reject_(std::move(reject)) {}
+  [[nodiscard]] const RejectMsg& reject() const { return reject_; }
+
+ private:
+  RejectMsg reject_;
+};
+
+/// Either a decision or a typed reject for one tick (exactly one of the
+/// two messages is meaningful, selected by `served`).
+struct TickReply {
+  bool served = false;
+  DecisionMsg decision;  ///< valid when served
+  RejectMsg reject;      ///< valid when !served
+};
 
 class BlockingClient {
  public:
@@ -33,9 +57,13 @@ class BlockingClient {
   }
 
   /// kOpenSession -> kOpenAck; throws ProtocolError when the server
-  /// refuses (unknown monitor, duplicate patient, ...).
+  /// refuses (unknown monitor, duplicate patient, ...). A kReject reply
+  /// (admission shed) is retried up to max_retries times, backing off by
+  /// the server's retry_after_ms hint each time; once retries are
+  /// exhausted it throws RejectedError.
   void open_session(std::uint64_t token, const std::string& patient_id,
-                    const std::string& monitor, std::int32_t patient_index);
+                    const std::string& monitor, std::int32_t patient_index,
+                    std::uint32_t max_retries = 0);
 
   /// Fire-and-forget: the decision comes back on the server's tick
   /// cadence; collect it with recv_decision().
@@ -43,8 +71,14 @@ class BlockingClient {
                  const aps::monitor::Observation& obs);
 
   /// Next kDecision frame (blocking). Other frame kinds received while
-  /// waiting are parked in the inbox for their own helpers.
+  /// waiting are parked in the inbox for their own helpers. Use
+  /// recv_reply() against a shedding server — a kReject would park here
+  /// forever.
   [[nodiscard]] DecisionMsg recv_decision();
+
+  /// Next decision OR typed reject, whichever the server sent first —
+  /// the receive call for overload-aware clients.
+  [[nodiscard]] TickReply recv_reply();
 
   /// kCloseSession -> kCloseAck with the session's final stats.
   CloseAckMsg close_session(std::uint64_t token);
@@ -62,6 +96,8 @@ class BlockingClient {
  private:
   /// Block until a frame of `kind` arrives; parks everything else.
   Frame wait_for(FrameKind kind);
+  /// Block until a frame of either kind arrives; parks everything else.
+  Frame wait_for_any(FrameKind a, FrameKind b);
 
   int fd_ = -1;
   FrameDecoder decoder_;

@@ -76,6 +76,14 @@ void ListfileWriter::write_sync() {
   payload.u64(records_);
   append(RecordKind::kSync, std::move(payload));
   since_sync_ = 0;
+  // Durability point: everything up to this sync reaches the OS now, so
+  // a recorder killed mid-record (no destructor, no finish()) still
+  // leaves a file replayable through the last sync — not whatever the
+  // stdio buffer happened to hold.
+  out_.flush();
+  if (!out_) {
+    throw aps::io::IoError("flush failure on listfile '" + path_ + "'");
+  }
 }
 
 void ListfileWriter::record_open(const OpenRecord& record) {
@@ -121,7 +129,9 @@ void ListfileWriter::finish() {
 
 // ---- ListfileReader --------------------------------------------------------
 
-ListfileReader::ListfileReader(const std::string& path) : in_(path) {
+ListfileReader::ListfileReader(const std::string& path,
+                               bool tolerate_truncation)
+    : in_(path), tolerate_truncation_(tolerate_truncation) {
   const std::uint32_t magic = in_.u32();
   if (magic != kListfileMagic) {
     throw aps::io::IoError("'" + path +
@@ -137,8 +147,19 @@ ListfileReader::ListfileReader(const std::string& path) : in_(path) {
 }
 
 std::optional<ListfileRecord> ListfileReader::next() {
-  if (in_.remaining() == 0) return std::nullopt;  // clean end of log
+  if (truncated_ || in_.remaining() == 0) {
+    return std::nullopt;  // clean end of log (or tolerated ragged tail)
+  }
+  // The two truncation shapes a killed writer can leave — EOF inside the
+  // 9-byte record header, or a payload shorter than the header promised —
+  // are a clean stop in tolerant mode. Everything else (unknown kind,
+  // hostile length, CRC mismatch on a COMPLETE record) cannot be produced
+  // by truncation and always throws.
   if (in_.remaining() < 1 + sizeof(std::uint32_t) * 2) {
+    if (tolerate_truncation_) {
+      truncated_ = true;
+      return std::nullopt;
+    }
     throw aps::io::IoError("truncated listfile '" + in_.path() +
                            "': partial record header at offset " +
                            std::to_string(in_.consumed()));
@@ -157,6 +178,10 @@ std::optional<ListfileRecord> ListfileReader::next() {
   }
   const std::uint32_t want_crc = in_.u32();
   if (len > in_.remaining()) {
+    if (tolerate_truncation_) {
+      truncated_ = true;
+      return std::nullopt;
+    }
     throw aps::io::IoError("truncated listfile '" + in_.path() +
                            "': record needs " + std::to_string(len) +
                            " bytes but only " +
@@ -241,7 +266,7 @@ void drain_matches(ReplaySession& rs, ReplayResult& result) {
 ReplayResult replay_listfile(const std::string& path,
                              aps::serve::MonitorEngine& engine,
                              const ReplayOptions& options) {
-  ListfileReader reader(path);
+  ListfileReader reader(path, options.tolerate_truncation);
   ReplayResult result;
 
   std::unordered_map<std::uint64_t, ReplaySession> sessions;
@@ -328,6 +353,7 @@ ReplayResult replay_listfile(const std::string& path,
     }
   }
   flush();
+  result.truncated = reader.truncated();
   // Sessions the recording left open (e.g. the recorder stopped mid-run)
   // stay open here too; count their tail imbalance but leave them live.
   for (auto& [key, rs] : sessions) {

@@ -20,8 +20,15 @@
 // hardened length handling as artifacts and wire frames). A clean EOF at
 // a record boundary is a valid end of log (append-only files end when the
 // recorder stops); EOF inside a record, a CRC mismatch, or a hostile
-// length throws io::IoError. Sync records carrying the running record
-// count are written every kSyncInterval records and on finish().
+// length throws io::IoError — unless the reader was opened with
+// tolerate_truncation, in which case EOF *inside the tail record* (the
+// normal wreckage of a killed recorder) is a clean stop at the last
+// complete record, reported via truncated(). Corruption that truncation
+// cannot produce (bad CRC on a complete record, unknown kind, hostile
+// length) always throws. Sync records carrying the running record count
+// are written every kSyncInterval records and on finish(), and the stream
+// is flushed at every sync so a SIGKILLed recorder loses at most the
+// records since the last sync point.
 #pragma once
 
 #include <cstdint>
@@ -128,15 +135,23 @@ struct ListfileRecord {
 /// io::IoError.
 class ListfileReader {
  public:
-  explicit ListfileReader(const std::string& path);
+  /// With tolerate_truncation, a file whose tail record is cut mid-bytes
+  /// (killed recorder) ends cleanly at the last complete record instead
+  /// of throwing; truncated() reports that it happened.
+  explicit ListfileReader(const std::string& path,
+                          bool tolerate_truncation = false);
 
   [[nodiscard]] std::optional<ListfileRecord> next();
   /// Byte offset of the NEXT record (a valid truncation boundary).
   [[nodiscard]] std::uint64_t offset() const { return in_.consumed(); }
+  /// True once next() hit a truncated tail record in tolerant mode.
+  [[nodiscard]] bool truncated() const { return truncated_; }
 
  private:
   aps::io::BinaryReader in_;
   std::uint64_t records_seen_ = 0;
+  bool tolerate_truncation_ = false;
+  bool truncated_ = false;
 };
 
 struct ReplayOptions {
@@ -145,6 +160,9 @@ struct ReplayOptions {
   std::size_t max_batch = 4096;
   /// Compare re-driven decisions against the file's decision records.
   bool verify = true;
+  /// Accept a truncated tail record (replay everything up to it) instead
+  /// of throwing — what you want when replaying a crashed server's file.
+  bool tolerate_truncation = false;
 };
 
 struct ReplayResult {
@@ -156,6 +174,8 @@ struct ReplayResult {
   /// Recorded decisions with no replayed counterpart or vice versa (a
   /// truncated tail can leave live decisions unrecorded).
   std::uint64_t unmatched = 0;
+  /// The file ended inside its tail record (tolerate_truncation only).
+  bool truncated = false;
 };
 
 /// Re-drive `engine` from a recorded listfile. The engine must have the

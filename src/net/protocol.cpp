@@ -73,6 +73,7 @@ const char* frame_kind_name(FrameKind kind) {
     case FrameKind::kCloseSession: return "close-session";
     case FrameKind::kCloseAck: return "close-ack";
     case FrameKind::kError: return "error";
+    case FrameKind::kReject: return "reject";
   }
   return "unknown";
 }
@@ -363,6 +364,34 @@ ErrorMsg decode_error(const Frame& frame) {
   auto in = payload_reader(frame, FrameKind::kError);
   ErrorMsg msg;
   msg.code = in.u32();
+  msg.message = in.str();
+  expect_drained(in, frame.kind);
+  return msg;
+}
+
+Frame encode(const RejectMsg& msg) {
+  BinaryWriter out;
+  out.u64(msg.token);
+  out.u64(msg.seq);
+  out.u8(msg.reason);
+  out.u32(msg.retry_after_ms);
+  out.str(msg.message);
+  return finish_frame(FrameKind::kReject, std::move(out));
+}
+
+RejectMsg decode_reject(const Frame& frame) {
+  auto in = payload_reader(frame, FrameKind::kReject);
+  RejectMsg msg;
+  msg.token = in.u64();
+  msg.seq = in.u64();
+  msg.reason = in.u8();
+  // Reason 0 ("not rejected") makes no sense on the wire; 1..2 are the
+  // serve::RejectReason values this version defines.
+  if (msg.reason == 0 || msg.reason > 2) {
+    throw ProtocolError("out-of-range reject reason " +
+                        std::to_string(msg.reason));
+  }
+  msg.retry_after_ms = in.u32();
   msg.message = in.str();
   expect_drained(in, frame.kind);
   return msg;

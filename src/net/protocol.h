@@ -60,8 +60,9 @@ enum class FrameKind : std::uint16_t {
   kCloseSession = 7,
   kCloseAck = 8,
   kError = 9,
+  kReject = 10,  ///< admission refused an open or a tick; back off
 };
-inline constexpr std::uint16_t kFrameKindMax = 9;
+inline constexpr std::uint16_t kFrameKindMax = 10;
 
 [[nodiscard]] const char* frame_kind_name(FrameKind kind);
 
@@ -149,6 +150,20 @@ struct ErrorMsg {
   std::string message;
 };
 
+/// Typed admission refusal (server -> client), unlike kError a NORMAL
+/// overload outcome: the connection stays up and the client should back
+/// off for retry_after_ms before retrying. Sent in place of kOpenAck when
+/// a session open is shed, and in place of kDecision (seq echoed) when a
+/// tick is dropped for an over-quota tenant. `reason` carries
+/// serve::RejectReason values (1 = open shed, 2 = over-quota tick).
+struct RejectMsg {
+  std::uint64_t token = 0;
+  std::uint64_t seq = 0;  ///< 0 for open rejections
+  std::uint8_t reason = 0;
+  std::uint32_t retry_after_ms = 0;
+  std::string message;
+};
+
 [[nodiscard]] Frame encode(const HelloMsg& msg);
 [[nodiscard]] Frame encode(const HelloAckMsg& msg);
 [[nodiscard]] Frame encode(const OpenSessionMsg& msg);
@@ -158,6 +173,7 @@ struct ErrorMsg {
 [[nodiscard]] Frame encode(const CloseSessionMsg& msg);
 [[nodiscard]] Frame encode(const CloseAckMsg& msg);
 [[nodiscard]] Frame encode(const ErrorMsg& msg);
+[[nodiscard]] Frame encode(const RejectMsg& msg);
 
 // Decoders validate the frame kind, every enum, and that the payload is
 // consumed exactly; ProtocolError otherwise.
@@ -170,6 +186,7 @@ struct ErrorMsg {
 [[nodiscard]] CloseSessionMsg decode_close_session(const Frame& frame);
 [[nodiscard]] CloseAckMsg decode_close_ack(const Frame& frame);
 [[nodiscard]] ErrorMsg decode_error(const Frame& frame);
+[[nodiscard]] RejectMsg decode_reject(const Frame& frame);
 
 // Observation/Decision body codecs, shared with the listfile record
 // format so recorded streams and wire streams are one encoding.

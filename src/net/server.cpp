@@ -75,6 +75,16 @@ class GroupBackend final : public ServingBackend {
             std::span<aps::monitor::Decision> decisions) override {
     group_.feed(inputs, decisions);
   }
+  void feed(std::span<const aps::serve::SessionInput> inputs,
+            std::span<aps::monitor::Decision> decisions,
+            std::span<aps::serve::TickOutcome> outcomes) override {
+    group_.feed(inputs, decisions, outcomes);
+  }
+  [[nodiscard]] std::uint32_t admission_retry_ms() const override {
+    return group_.admission().enabled()
+               ? group_.admission().config().retry_after_ms
+               : 0;
+  }
   [[nodiscard]] aps::serve::SessionStats stats(
       aps::serve::SessionId id) const override {
     return group_.stats(id);
@@ -124,6 +134,9 @@ struct IngestServer::Impl {
     std::deque<PendingEvent> events;
     /// Client token -> live engine session.
     std::unordered_map<std::uint64_t, aps::serve::SessionId> sessions;
+    /// Admission tenant from the hello's client name (labels only; the
+    /// quota tenant is the patient-id prefix, resolved per session).
+    std::string tenant = "default";
     bool hello_done = false;
     bool paused = false;      ///< EPOLLIN removed until the next tick drain
     bool want_write = false;  ///< EPOLLOUT armed for a partial outbuf
@@ -498,6 +511,7 @@ struct IngestServer::Impl {
         drop_connection(fd, "version mismatch");
         return false;
       }
+      conn.tenant = std::string(aps::serve::tenant_of(hello.client_name));
       conn.hello_done = true;
       return send_frame(
           conn, encode(HelloAckMsg{.protocol_version = kNetVersion,
@@ -523,6 +537,17 @@ struct IngestServer::Impl {
                                      .patient_index = msg.patient_index});
             }
             ack.ok = true;
+          } catch (const aps::serve::ShedError& err) {
+            // Overload, not failure: typed reject so the client backs
+            // off and retries; the connection stays up.
+            return send_frame(
+                conn,
+                encode(RejectMsg{
+                    .token = msg.token,
+                    .seq = 0,
+                    .reason = static_cast<std::uint8_t>(err.reason()),
+                    .retry_after_ms = err.retry_after_ms(),
+                    .message = err.what()}));
           } catch (const std::exception& err) {
             ack.error = err.what();
           }
@@ -596,15 +621,14 @@ struct IngestServer::Impl {
           if (sit == conn.sessions.end()) {
             c_drop_closed->add(1);  // tick arrived after the token's close
           } else {
+            // NOT recorded to the listfile yet: admission may shed this
+            // tick, and shed ticks must stay out of the record so replay
+            // reproduces exactly the served stream.
             inputs.push_back({sit->second, ev.obs});
             slots.push_back({.fd = fd,
                              .token = ev.token,
                              .seq = ev.seq,
                              .session = sit->second});
-            if (listfile) {
-              listfile->record_tick(
-                  {.key = sit->second, .seq = ev.seq, .obs = ev.obs});
-            }
           }
         } else {
           const auto sit = conn.sessions.find(ev.token);
@@ -626,13 +650,35 @@ struct IngestServer::Impl {
 
     if (!inputs.empty()) {
       std::vector<aps::monitor::Decision> decisions(inputs.size());
-      engine.feed(inputs, decisions);
-      c_ticks->add(inputs.size());
+      std::vector<aps::serve::TickOutcome> outcomes(inputs.size());
+      engine.feed(inputs, decisions, outcomes);
       c_batches->add(1);
       h_batch->observe(static_cast<double>(inputs.size()));
+      std::uint64_t served = 0;
       for (std::size_t i = 0; i < decisions.size(); ++i) {
         const BatchSlot& slot = slots[i];
+        if (!outcomes[i].served()) {
+          // Shed tick: typed reject (seq echoed so the client can match
+          // it) instead of a decision; nothing reaches the listfile.
+          auto cit = connections.find(slot.fd);
+          if (cit == connections.end()) continue;  // client left mid-tick
+          (void)send_frame(
+              cit->second,
+              encode(RejectMsg{
+                  .token = slot.token,
+                  .seq = slot.seq,
+                  .reason = static_cast<std::uint8_t>(outcomes[i].reason),
+                  .retry_after_ms = engine.admission_retry_ms(),
+                  .message = "tick shed: tenant over quota"}));
+          continue;
+        }
+        ++served;
         if (listfile) {
+          // Served ticks only, adjacent to their decisions, in batch
+          // order — the replayed stream is exactly the served stream.
+          listfile->record_tick({.key = slot.session,
+                                 .seq = slot.seq,
+                                 .obs = inputs[i].obs});
           listfile->record_decision({.key = slot.session,
                                      .seq = slot.seq,
                                      .decision = decisions[i]});
@@ -644,6 +690,7 @@ struct IngestServer::Impl {
                                             .seq = slot.seq,
                                             .decision = decisions[i]}));
       }
+      c_ticks->add(served);
     }
 
     for (const auto& close : closes) {

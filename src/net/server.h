@@ -15,6 +15,13 @@
 // get a best-effort kError frame and the connection dropped; the server
 // never crashes on hostile bytes.
 //
+// When the backend sheds load (serve::AdmissionController behind an
+// EngineGroup), refusals are NOT errors: a shed open or dropped tick is
+// answered with a typed kReject frame carrying the reason and a
+// retry_after_ms backoff hint, and the connection stays up. Shed ticks
+// are excluded from the listfile (only served ticks and their decisions
+// are recorded, adjacently), so replay stays bit-identical.
+//
 // With ServerConfig::listfile set, every open/tick/decision/close is also
 // appended to a session listfile (net/listfile.h) in engine-consumption
 // order, so the whole serving run can be replayed bit-identically.
@@ -37,6 +44,7 @@
 #include <thread>
 
 #include "obs/metrics.h"
+#include "serve/admission.h"
 #include "serve/engine.h"
 
 namespace aps::serve {
@@ -96,6 +104,17 @@ class ServingBackend {
   virtual void close_session(aps::serve::SessionId id) = 0;
   virtual void feed(std::span<const aps::serve::SessionInput> inputs,
                     std::span<aps::monitor::Decision> decisions) = 0;
+  /// Admission-aware feed: outcomes[i] reports whether inputs[i] was
+  /// served or shed. Backends without admission serve everything (this
+  /// default); the group backend forwards to EngineGroup's 3-arg feed.
+  virtual void feed(std::span<const aps::serve::SessionInput> inputs,
+                    std::span<aps::monitor::Decision> decisions,
+                    std::span<aps::serve::TickOutcome> outcomes) {
+    for (auto& outcome : outcomes) outcome = {};
+    feed(inputs, decisions);
+  }
+  /// Backoff hint (ms) for reject frames; 0 = backend never sheds.
+  [[nodiscard]] virtual std::uint32_t admission_retry_ms() const { return 0; }
   [[nodiscard]] virtual aps::serve::SessionStats stats(
       aps::serve::SessionId id) const = 0;
   [[nodiscard]] virtual std::uint64_t generation() const = 0;

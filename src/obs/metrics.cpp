@@ -86,7 +86,9 @@ void Histogram::reset() noexcept {
 }
 
 double HistogramSnapshot::percentile(double p) const {
-  if (count == 0) return 0.0;
+  // Contract: an empty histogram (and a NaN p, which std::clamp would
+  // propagate unpredictably) reads as exactly 0.0, never NaN.
+  if (count == 0 || std::isnan(p)) return 0.0;
   const double target =
       std::clamp(p, 0.0, 100.0) / 100.0 * static_cast<double>(count);
   std::uint64_t cumulative = 0;

@@ -121,6 +121,11 @@ struct HistogramSnapshot {
 
   /// Percentile estimate by linear interpolation inside the owning
   /// bucket, clamped to the tracked max so p100 is exact.
+  ///
+  /// Empty-histogram contract (pinned by obs_test): with count == 0 the
+  /// result is exactly 0.0 for every p — never NaN, never a bucket bound.
+  /// A NaN p also yields 0.0. Consumers that must distinguish "no data"
+  /// from "all zeros" check `count`, not the percentile value.
   [[nodiscard]] double percentile(double p) const;
 };
 

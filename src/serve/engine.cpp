@@ -351,11 +351,16 @@ LatencySummary MonitorEngine::latency() const {
   summary.cycles = latency_cycles_;
   summary.degraded_ticks = latency_degraded_;
   summary.seconds = latency_seconds_;
+  // Empty-histogram contract (obs/metrics.h): percentiles of a series
+  // with no observations are 0.0. Guard explicitly anyway so a summary
+  // taken before the first tick is visibly all-zero by construction.
   const aps::obs::HistogramSnapshot snap = metrics_.tick_latency->snapshot();
-  summary.p50_us = snap.percentile(50.0);
-  summary.p95_us = snap.percentile(95.0);
-  summary.p99_us = snap.percentile(99.0);
-  summary.max_us = snap.max;
+  if (snap.count > 0) {
+    summary.p50_us = snap.percentile(50.0);
+    summary.p95_us = snap.percentile(95.0);
+    summary.p99_us = snap.percentile(99.0);
+    summary.max_us = snap.max;
+  }
   // Per-shard breakdown; sibling shards share a label (same registry
   // series), so report each label once.
   std::unordered_set<std::string> seen;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -37,6 +38,8 @@ EngineGroup::EngineGroup(GroupConfig config) : config_(std::move(config)) {
       "tick enqueue attempts that found a replica ingest queue full");
   group_feeds_ = &registry_->counter("serve_group_feeds_total", {},
                                      "group-level feed fan-outs");
+  admission_ =
+      std::make_unique<AdmissionController>(config_.admission, *registry_);
 
   ring_.reserve(config_.replicas * std::max<std::size_t>(1,
                                                          config_.virtual_nodes));
@@ -67,15 +70,28 @@ EngineGroup::EngineGroup(GroupConfig config) : config_(std::move(config)) {
   }
 }
 
-EngineGroup::~EngineGroup() {
-  stop_.store(true, std::memory_order_release);
-  for (auto& replica : replicas_) {
-    replica->pushed.fetch_add(1, std::memory_order_release);
-    replica->pushed.notify_all();
-  }
-  for (auto& replica : replicas_) {
-    if (replica->worker.joinable()) replica->worker.join();
-  }
+EngineGroup::~EngineGroup() { shutdown(); }
+
+void EngineGroup::shutdown() {
+  std::call_once(shutdown_once_, [this] {
+    // Raise stop UNDER the feed lock: an in-flight feed() finishes its
+    // whole fan-out + barrier first (so every enqueued job is drained and
+    // its completion reported), and any feed that arrives later sees
+    // stop_ before enqueuing anything and fails with ShutdownError. By
+    // construction the queues are empty when the workers are told to
+    // exit — no job is ever abandoned half-delivered.
+    {
+      const std::lock_guard<std::mutex> lock(feed_mu_);
+      stop_.store(true, std::memory_order_release);
+    }
+    for (auto& replica : replicas_) {
+      replica->pushed.fetch_add(1, std::memory_order_release);
+      replica->pushed.notify_all();
+    }
+    for (auto& replica : replicas_) {
+      if (replica->worker.joinable()) replica->worker.join();
+    }
+  });
 }
 
 std::size_t EngineGroup::replica_of(std::string_view patient_id) const {
@@ -110,8 +126,8 @@ void EngineGroup::worker_loop(Replica& replica) {
 
 void EngineGroup::run_job(Replica& replica, const TickJob& job) {
   try {
-    FeedMode mode = FeedMode::kNormal;
-    if (config_.tick_deadline_us > 0) {
+    FeedMode mode = job.degrade ? FeedMode::kDegraded : FeedMode::kNormal;
+    if (mode == FeedMode::kNormal && config_.tick_deadline_us > 0) {
       const auto lag_us = std::chrono::duration_cast<std::chrono::microseconds>(
                               std::chrono::steady_clock::now() - job.enqueued)
                               .count();
@@ -119,12 +135,20 @@ void EngineGroup::run_job(Replica& replica, const TickJob& job) {
         mode = FeedMode::kDegraded;
       }
     }
+    const std::size_t n = job.end - job.begin;
     replica.engine->feed(
-        std::span<const SessionId>(replica.local_sessions),
-        std::span<const aps::monitor::Observation>(replica.local_obs),
-        std::span<aps::monitor::Decision>(replica.local_decisions), mode);
+        std::span<const SessionId>(replica.local_sessions)
+            .subspan(job.begin, n),
+        std::span<const aps::monitor::Observation>(replica.local_obs)
+            .subspan(job.begin, n),
+        std::span<aps::monitor::Decision>(replica.local_decisions)
+            .subspan(job.begin, n),
+        mode);
   } catch (...) {
-    replica.error = std::current_exception();
+    // Jobs for one replica run serially on its worker, so plain writes to
+    // replica.error never race; the first failure wins is fine (feed
+    // rethrows one).
+    if (replica.error == nullptr) replica.error = std::current_exception();
   }
   job.pending->fetch_sub(1, std::memory_order_release);
   job.pending->notify_one();
@@ -165,9 +189,25 @@ EngineGroup::Replica& EngineGroup::checked_replica(SessionId id) const {
   return *replicas_[r];
 }
 
+void EngineGroup::record_tenant(Replica& replica, SessionId local,
+                                std::string_view patient_id) {
+  if (!admission_->enabled()) return;
+  const std::uint32_t tenant = admission_->tenant_index(tenant_of(patient_id));
+  const std::lock_guard<std::mutex> lock(tenant_mu_);
+  if (replica.tenant_of_local.size() <= local) {
+    replica.tenant_of_local.resize(local + 1, 0);
+  }
+  replica.tenant_of_local[local] = tenant;
+}
+
 SessionId EngineGroup::open_session(const std::string& patient_id,
                                     const std::string& monitor_name,
                                     int patient_index) {
+  if (!admission_->admit_open(tenant_of(patient_id))) {
+    throw ShedError(RejectReason::kOverloadOpen,
+                    admission_->config().retry_after_ms,
+                    "open rejected: serving plane is shedding load");
+  }
   const std::size_t r = replica_of(patient_id);
   Replica& replica = *replicas_[r];
   const SessionId local =
@@ -177,6 +217,7 @@ SessionId EngineGroup::open_session(const std::string& patient_id,
     throw std::length_error("replica " + std::to_string(r) +
                             " exhausted its 2^24 session-id space");
   }
+  record_tenant(replica, local, patient_id);
   replica.sessions_gauge->set(
       static_cast<double>(replica.engine->session_count()));
   return (static_cast<SessionId>(r) << kReplicaShift) | local;
@@ -207,18 +248,74 @@ std::size_t EngineGroup::session_count() const {
 
 void EngineGroup::feed(std::span<const SessionInput> inputs,
                        std::span<aps::monitor::Decision> decisions) {
+  feed(inputs, decisions, {});
+}
+
+void EngineGroup::feed(std::span<const SessionInput> inputs,
+                       std::span<aps::monitor::Decision> decisions,
+                       std::span<TickOutcome> outcomes) {
   if (decisions.size() != inputs.size()) {
     throw std::invalid_argument(
         "feed: decisions span size " + std::to_string(decisions.size()) +
         " does not match inputs size " + std::to_string(inputs.size()));
   }
+  if (!outcomes.empty() && outcomes.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "feed: outcomes span size " + std::to_string(outcomes.size()) +
+        " does not match inputs size " + std::to_string(inputs.size()));
+  }
   if (inputs.empty()) return;
   const std::lock_guard<std::mutex> lock(feed_mu_);
+  if (stop_.load(std::memory_order_acquire)) throw ShutdownError();
   group_feeds_->add(1);
+  const auto tick_start = std::chrono::steady_clock::now();
+  for (auto& outcome : outcomes) outcome = TickOutcome{};
 
-  // Partition by owning replica, preserving batch order within each
-  // partition (session input order = batch order, exactly like a single
-  // engine). Replica ids are validated before anything is enqueued.
+  // Admission ladder: the state read once here governs the whole batch.
+  // kDegrade serves everything FeedMode::kDegraded; kShed additionally
+  // drops inputs of over-quota tenants (never in-quota ones) before any
+  // of them reach a queue.
+  const OverloadState adm_state =
+      admission_->enabled() ? admission_->state() : OverloadState::kHealthy;
+  feed_shed_.assign(inputs.size(), 0);
+  if (adm_state == OverloadState::kShed) {
+    feed_tenants_.resize(inputs.size());
+    {
+      const std::lock_guard<std::mutex> tlock(tenant_mu_);
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const Replica& replica = checked_replica(inputs[i].session);
+        const SessionId local = inputs[i].session & kLocalMask;
+        feed_tenants_[i] = local < replica.tenant_of_local.size()
+                               ? replica.tenant_of_local[local]
+                               : 0;
+      }
+    }
+    // Bulk-charge each tenant's bucket once per batch, then grant serves
+    // in batch order so a partially-admitted tenant keeps its earliest
+    // ticks (per-session streams stay prefix-consistent).
+    std::unordered_map<std::uint32_t, std::size_t> grant;
+    for (const std::uint32_t t : feed_tenants_) ++grant[t];
+    for (auto& [tenant, count] : grant) {
+      count = admission_->admit_ticks(tenant, count);
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      std::size_t& remaining = grant[feed_tenants_[i]];
+      if (remaining > 0) {
+        --remaining;
+        continue;
+      }
+      feed_shed_[i] = 1;
+      decisions[i] = aps::monitor::Decision{};
+      if (!outcomes.empty()) {
+        outcomes[i].reason = RejectReason::kOverQuotaTick;
+      }
+    }
+  }
+
+  // Partition admitted inputs by owning replica, preserving batch order
+  // within each partition (session input order = batch order, exactly
+  // like a single engine). Replica ids are validated before anything is
+  // enqueued.
   for (auto& replica : replicas_) {
     replica->local_sessions.clear();
     replica->local_obs.clear();
@@ -227,36 +324,53 @@ void EngineGroup::feed(std::span<const SessionInput> inputs,
   }
   for (std::uint32_t i = 0; i < inputs.size(); ++i) {
     Replica& replica = checked_replica(inputs[i].session);
+    if (feed_shed_[i] != 0) continue;
     replica.local_sessions.push_back(inputs[i].session & kLocalMask);
     replica.local_obs.push_back(inputs[i].obs);
     replica.global_index.push_back(i);
   }
 
+  // One job per replica by default; with max_ticks_per_job the partition
+  // is chunked so a slow replica's queue can genuinely fill — the
+  // occupancy fraction below is the state machine's queue signal.
+  const std::size_t chunk = config_.max_ticks_per_job;
   std::atomic<std::size_t> pending{0};
-  std::size_t active = 0;
+  std::size_t total_jobs = 0;
   for (const auto& replica : replicas_) {
-    if (!replica->local_sessions.empty()) ++active;
+    const std::size_t n = replica->local_sessions.size();
+    if (n == 0) continue;
+    total_jobs += chunk == 0 ? 1 : (n + chunk - 1) / chunk;
   }
-  pending.store(active, std::memory_order_relaxed);
+  pending.store(total_jobs, std::memory_order_relaxed);
 
-  const auto enqueued = std::chrono::steady_clock::now();
+  const bool degrade_all = adm_state != OverloadState::kHealthy;
+  double worst_frac = 0.0;
   for (auto& replica : replicas_) {
-    if (replica->local_sessions.empty()) continue;
-    replica->local_decisions.resize(replica->local_sessions.size());
-    TickJob job{&pending, enqueued};
-    // Bounded queue: a full queue is explicit backpressure — count it and
-    // yield to the (busy) workers rather than growing memory.
-    while (!replica->queue.try_push(job)) {
-      backpressure_->add(1);
-      std::this_thread::yield();
+    const std::size_t n = replica->local_sessions.size();
+    if (n == 0) continue;
+    replica->local_decisions.resize(n);
+    const std::size_t step = chunk == 0 ? n : chunk;
+    for (std::size_t begin = 0; begin < n; begin += step) {
+      TickJob job{&pending, std::chrono::steady_clock::now(), begin,
+                  std::min(begin + step, n), degrade_all};
+      // Bounded queue: a full queue is explicit backpressure — count it
+      // and yield to the (busy) workers rather than growing memory.
+      while (!replica->queue.try_push(job)) {
+        backpressure_->add(1);
+        worst_frac = 1.0;
+        std::this_thread::yield();
+      }
+      const auto depth = replica->queue.size_approx();
+      worst_frac = std::max(worst_frac,
+                            static_cast<double>(depth) /
+                                static_cast<double>(replica->queue.capacity()));
+      replica->queue_depth->set(static_cast<double>(depth));
+      replica->pushed.fetch_add(1, std::memory_order_release);
+      replica->pushed.notify_one();
     }
-    replica->queue_depth->set(
-        static_cast<double>(replica->queue.size_approx()));
-    replica->pushed.fetch_add(1, std::memory_order_release);
-    replica->pushed.notify_one();
   }
 
-  // Barrier: every replica's worker reports completion through `pending`.
+  // Barrier: every job reports completion through `pending`.
   for (std::size_t p = pending.load(std::memory_order_acquire); p != 0;
        p = pending.load(std::memory_order_acquire)) {
     pending.wait(p, std::memory_order_acquire);
@@ -271,6 +385,14 @@ void EngineGroup::feed(std::span<const SessionInput> inputs,
     for (std::size_t j = 0; j < replica->global_index.size(); ++j) {
       decisions[replica->global_index[j]] = replica->local_decisions[j];
     }
+  }
+
+  if (admission_->enabled()) {
+    const double tick_us =
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - tick_start)
+            .count();
+    admission_->observe_tick(worst_frac, tick_us);
   }
 }
 
@@ -303,6 +425,7 @@ SessionId EngineGroup::restore(const SessionSnapshot& snap) {
     throw std::length_error("replica " + std::to_string(r) +
                             " exhausted its 2^24 session-id space");
   }
+  record_tenant(replica, local, snap.patient_id);
   replica.sessions_gauge->set(
       static_cast<double>(replica.engine->session_count()));
   return (static_cast<SessionId>(r) << kReplicaShift) | local;

@@ -36,15 +36,24 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "common/mpsc_queue.h"
+#include "serve/admission.h"
 #include "serve/engine.h"
 
 namespace aps::serve {
+
+/// Thrown by feed() once shutdown() has begun: the caller's tick was NOT
+/// enqueued (nothing partial happened) and the group is quiescing.
+class ShutdownError : public std::runtime_error {
+ public:
+  ShutdownError() : std::runtime_error("EngineGroup is shut down") {}
+};
 
 struct GroupConfig {
   /// Engine replicas (1..255; the replica index lives in the session id's
@@ -62,6 +71,15 @@ struct GroupConfig {
   /// in FeedMode::kDegraded (twin-answered for degradable shards) instead
   /// of letting control ticks slip further. 0 disables degradation.
   std::uint32_t tick_deadline_us = 0;
+  /// Chunk each replica's feed partition into jobs of at most this many
+  /// ticks (0 = one job per replica per feed, the historical behavior).
+  /// Chunking lets a slow replica's queue genuinely fill — making queue
+  /// occupancy a real overload signal and try_push backpressure reachable —
+  /// at the cost of per-job overhead. Decisions are unaffected: chunks of
+  /// one replica run in order on its single worker.
+  std::size_t max_ticks_per_job = 0;
+  /// Admission control policy (disabled by default; see admission.h).
+  AdmissionConfig admission = {};
   /// Configuration for every replica engine. `threads` 0 is normalized to
   /// 1 (one thread-affine worker per replica is the scaling unit; inner
   /// engine pools would oversubscribe). When `registry` is null the group
@@ -112,6 +130,14 @@ class EngineGroup {
   EngineGroup(const EngineGroup&) = delete;
   EngineGroup& operator=(const EngineGroup&) = delete;
 
+  /// Quiesce the group: any in-flight feed completes its barrier, later
+  /// feeds fail cleanly with ShutdownError (nothing enqueued), and every
+  /// worker drains its queue and joins. Idempotent and safe to race with
+  /// concurrent feeds — the destructor calls it, but calling it earlier
+  /// lets tests exercise the feed-while-shutting-down path with the group
+  /// object still alive.
+  void shutdown();
+
   // -- Topology --
 
   [[nodiscard]] std::size_t replicas() const { return replicas_.size(); }
@@ -156,6 +182,14 @@ class EngineGroup {
   /// all replicas finish their partition.
   void feed(std::span<const SessionInput> inputs,
             std::span<aps::monitor::Decision> decisions);
+  /// Admission-aware variant: outcomes[i] says whether inputs[i] was
+  /// served or shed (and why). `outcomes` must match `inputs` in size or
+  /// be empty (identical to the 2-arg overload). A shed input's decision
+  /// is the default no-alarm Decision — check the outcome first. Shedding
+  /// only happens with admission enabled and the group in kShed.
+  void feed(std::span<const SessionInput> inputs,
+            std::span<aps::monitor::Decision> decisions,
+            std::span<TickOutcome> outcomes);
   std::vector<aps::monitor::Decision> feed(
       std::span<const SessionInput> inputs);
   /// Single-session control-path tick, routed directly (no queue, no
@@ -183,14 +217,22 @@ class EngineGroup {
   void reset_latency();
   /// The registry every replica (and the group's own series) reports into.
   [[nodiscard]] aps::obs::Registry& registry() const { return *registry_; }
+  /// The group's admission controller (always constructed; no-op unless
+  /// GroupConfig::admission.enabled).
+  [[nodiscard]] AdmissionController& admission() const { return *admission_; }
 
  private:
-  /// One enqueued tick: the replica's scratch buffers (guarded by
-  /// feed_mu_) hold the payload; the job carries only the completion
-  /// channel and the enqueue timestamp for deadline accounting.
+  /// One enqueued tick chunk: the replica's scratch buffers (guarded by
+  /// feed_mu_) hold the payload; the job carries the [begin, end) range
+  /// into them, the completion channel, the enqueue timestamp for
+  /// deadline accounting, and whether admission already decided the
+  /// chunk runs degraded.
   struct TickJob {
     std::atomic<std::size_t>* pending = nullptr;
     std::chrono::steady_clock::time_point enqueued;
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    bool degrade = false;
   };
 
   struct Replica {
@@ -207,6 +249,11 @@ class EngineGroup {
     std::exception_ptr error;
     aps::obs::Gauge* queue_depth = nullptr;
     aps::obs::Gauge* sessions_gauge = nullptr;
+    /// Tenant index (AdmissionController::tenant_index) per engine-local
+    /// session id; written at open/restore, read by feed's shed pre-pass.
+    /// Guarded by the group's tenant_mu_. Only maintained when admission
+    /// is enabled.
+    std::vector<std::uint32_t> tenant_of_local;
 
     explicit Replica(std::size_t queue_capacity) : queue(queue_capacity) {}
   };
@@ -214,16 +261,24 @@ class EngineGroup {
   [[nodiscard]] Replica& checked_replica(SessionId id) const;
   void worker_loop(Replica& replica);
   void run_job(Replica& replica, const TickJob& job);
+  void record_tenant(Replica& replica, SessionId local,
+                     std::string_view patient_id);
 
   GroupConfig config_;
   std::unique_ptr<aps::obs::Registry> owned_registry_;
   aps::obs::Registry* registry_ = nullptr;
+  std::unique_ptr<AdmissionController> admission_;
   std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;  ///< sorted
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::atomic<bool> stop_{false};
+  std::once_flag shutdown_once_;
   std::mutex feed_mu_;  ///< serializes group-level feed fan-outs
+  std::mutex tenant_mu_;  ///< guards every replica's tenant_of_local table
   aps::obs::Counter* backpressure_ = nullptr;
   aps::obs::Counter* group_feeds_ = nullptr;
+  // Feed-local scratch for the shed pre-pass (guarded by feed_mu_).
+  std::vector<std::uint32_t> feed_tenants_;  ///< tenant index per input
+  std::vector<std::uint8_t> feed_shed_;      ///< 1 = input shed this feed
 };
 
 }  // namespace aps::serve

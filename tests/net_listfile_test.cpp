@@ -279,6 +279,116 @@ TEST(NetListfile, TruncationAtEveryByteIsBoundaryCleanOrIoError) {
   std::remove(cut_path.c_str());
 }
 
+TEST(NetListfile, FlushAtSyncSurvivesAnAbnormalShutdown) {
+  // Kill-durability: every sync record is a flush point, so a server that
+  // dies without finish() leaves a file replayable through its last sync.
+  // Read the on-disk bytes while the writer is still open (what a crashed
+  // process would have left) — everything up to the 256-record sync must
+  // already be there.
+  const std::string path = temp_path("aps_listfile_durable.listfile");
+  Rng rng(21);
+  const auto obs = testutil::synth_observation(rng, 0.0);
+  {
+    net::ListfileWriter writer(path);
+    writer.record_open({.key = 1,
+                        .patient_id = "durable/p0",
+                        .monitor = "cawt",
+                        .patient_index = 0});
+    for (std::uint64_t i = 0; i < 300; ++i) {
+      writer.record_tick({.key = 1, .seq = i, .obs = obs});
+    }
+    // NOT finished: the writer's buffer may hold an arbitrary tail.
+    net::ListfileReader reader(path, /*tolerate_truncation=*/true);
+    std::size_t records = 0;
+    while (reader.next().has_value()) ++records;
+    EXPECT_GE(records, 257u) << "sync at record 256 was not flushed";
+    writer.finish();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(NetListfile, TolerantReaderStopsCleanlyAtEveryTruncation) {
+  // The crashed-server shape: a clean prefix then a cut-off tail record.
+  // In tolerate_truncation mode EVERY cut reads back cleanly — complete
+  // records up to the cut, then a clean stop with truncated() raised for
+  // mid-record cuts and clear for record-boundary cuts. (Corruption other
+  // than truncation still throws; that contract is pinned above.)
+  const std::string path = temp_path("aps_listfile_tol.listfile");
+  const auto bundle = rule_bundle();
+  {
+    serve::MonitorEngine engine({.threads = 1});
+    engine.register_bundle(bundle);
+    record_live_run(engine, path, 2, 4);
+  }
+  const auto clean = slurp(path);
+  std::vector<std::uint64_t> boundaries;
+  {
+    net::ListfileReader reader(path);
+    boundaries.push_back(reader.offset());
+    while (reader.next()) boundaries.push_back(reader.offset());
+  }
+  const std::string cut_path = temp_path("aps_listfile_tolcut.listfile");
+  for (std::size_t cut = static_cast<std::size_t>(boundaries.front());
+       cut <= clean.size(); ++cut) {
+    dump(cut_path, {clean.begin(),
+                    clean.begin() + static_cast<std::ptrdiff_t>(cut)});
+    const bool at_boundary =
+        std::find(boundaries.begin(), boundaries.end(), cut) !=
+        boundaries.end();
+    std::size_t expected = 0;
+    while (expected + 1 < boundaries.size() &&
+           boundaries[expected + 1] <= cut) {
+      ++expected;
+    }
+    net::ListfileReader reader(cut_path, /*tolerate_truncation=*/true);
+    std::size_t records = 0;
+    ASSERT_NO_THROW({
+      while (reader.next().has_value()) ++records;
+    }) << "tolerant read threw at cut " << cut;
+    EXPECT_EQ(records, expected) << "cut at " << cut;
+    EXPECT_EQ(reader.truncated(), !at_boundary) << "cut at " << cut;
+    // Once stopped, the reader stays stopped.
+    EXPECT_FALSE(reader.next().has_value());
+  }
+  std::remove(path.c_str());
+  std::remove(cut_path.c_str());
+}
+
+TEST(NetListfile, ReplayToleratesATruncatedTailRecord) {
+  const std::string path = temp_path("aps_listfile_replaytol.listfile");
+  const auto bundle = rule_bundle();
+  std::uint64_t recorded = 0;
+  {
+    serve::MonitorEngine engine({.threads = 1});
+    engine.register_bundle(bundle);
+    recorded = record_live_run(engine, path, 2, 4);
+  }
+  // Cut inside the final sync record: decisions all survive, the tail is
+  // torn — exactly what a kill -9 mid-write leaves behind.
+  auto bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 3u);
+  bytes.resize(bytes.size() - 3);
+  dump(path, bytes);
+
+  // Default (strict) replay refuses the torn tail...
+  {
+    serve::MonitorEngine strict({.threads = 1});
+    strict.register_bundle(bundle);
+    EXPECT_THROW((void)net::replay_listfile(path, strict), io::IoError);
+  }
+  // ...tolerant replay re-drives everything before it, still golden.
+  serve::MonitorEngine fresh({.threads = 1});
+  fresh.register_bundle(bundle);
+  const net::ReplayResult result =
+      net::replay_listfile(path, fresh, {.tolerate_truncation = true});
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.compared, recorded);
+  EXPECT_EQ(result.mismatches, 0u);
+  EXPECT_EQ(result.sessions_opened, 2u);
+  EXPECT_EQ(result.sessions_closed, 2u);
+  std::remove(path.c_str());
+}
+
 TEST(NetListfile, RandomByteFlipsAreAlwaysDetected) {
   const std::string path = temp_path("aps_listfile_fuzz.listfile");
   const auto bundle = rule_bundle();

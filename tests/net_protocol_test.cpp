@@ -43,6 +43,11 @@ std::vector<net::Frame> sample_frames() {
       net::encode(net::CloseSessionMsg{.token = 42}),
       net::encode(net::CloseAckMsg{.token = 42, .cycles = 10, .alarms = 2}),
       net::encode(net::ErrorMsg{.code = 5, .message = "went wrong"}),
+      net::encode(net::RejectMsg{.token = 42,
+                                 .seq = 9,
+                                 .reason = 2,
+                                 .retry_after_ms = 250,
+                                 .message = "tenant over quota"}),
   };
 }
 
@@ -101,6 +106,44 @@ TEST(NetProtocol, TypedFieldsSurviveTheRoundTrip) {
   EXPECT_EQ(d2.alarm, d.alarm);
   EXPECT_EQ(d2.predicted, d.predicted);
   EXPECT_EQ(d2.rule_id, d.rule_id);
+}
+
+TEST(NetProtocol, RejectFrameRoundTripsAndGuardsItsReason) {
+  // Both wire-legal reasons survive the round trip with every field.
+  for (const std::uint8_t reason : {1, 2}) {
+    const net::RejectMsg msg{.token = 7,
+                             .seq = reason == 1 ? 0u : 31u,
+                             .reason = reason,
+                             .retry_after_ms = 125,
+                             .message = "busy"};
+    const auto decoded = net::decode_reject(net::encode(msg));
+    EXPECT_EQ(decoded.token, msg.token);
+    EXPECT_EQ(decoded.seq, msg.seq);
+    EXPECT_EQ(decoded.reason, reason);
+    EXPECT_EQ(decoded.retry_after_ms, 125u);
+    EXPECT_EQ(decoded.message, "busy");
+  }
+  // Reason 0 ("not rejected") and anything past the defined range are
+  // hostile on the wire — rejected before the caller sees the message.
+  for (const std::uint8_t reason : {0, 3, 200}) {
+    io::BinaryWriter w;
+    w.u64(7);
+    w.u64(0);
+    w.u8(reason);
+    w.u32(125);
+    w.u64(0);  // empty message
+    const net::Frame frame{net::FrameKind::kReject, w.take()};
+    EXPECT_THROW((void)net::decode_reject(frame), net::ProtocolError)
+        << "reason " << static_cast<int>(reason);
+  }
+  // Trailing garbage after a valid reject body is refused too.
+  {
+    auto frame = net::encode(net::RejectMsg{
+        .token = 1, .seq = 2, .reason = 1, .retry_after_ms = 3,
+        .message = ""});
+    frame.payload.push_back(0xAA);
+    EXPECT_THROW((void)net::decode_reject(frame), net::ProtocolError);
+  }
 }
 
 TEST(NetProtocol, ByteByByteDeliveryYieldsIdenticalFrames) {

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <mutex>
 #include <string>
@@ -497,6 +498,125 @@ TEST(NetServer, GroupBackendRoutesToOwningReplicas) {
   EXPECT_EQ(registry.counter_value("net_ticks_total"),
             kGroupSessions * kSteps);
   EXPECT_EQ(registry.counter_value("net_protocol_errors_total"), 0u);
+}
+
+TEST(NetServer, SheddingServerSendsTypedRejectsAndClientsBackOff) {
+  // Overload end-to-end: with the group at the top of the admission
+  // ladder, an open comes back as a typed kReject (not a disconnect, not
+  // a generic error), an over-quota tenant's tick comes back as a seq-
+  // echoed kReject while an in-quota tenant is still served, the shed
+  // tick stays OUT of the listfile record, and a client honoring the
+  // retry hint succeeds once the ladder clears.
+  const auto bundle = rule_bundle();
+  obs::Registry registry;
+  serve::GroupConfig group_config;
+  group_config.replicas = 2;
+  group_config.engine.registry = &registry;
+  group_config.admission.enabled = true;
+  group_config.admission.min_dwell_ticks = 2;
+  group_config.admission.retry_after_ms = 20;
+  group_config.admission.tenant_quotas = {
+      {"bulk", {.ticks_per_sec = 1e-6, .burst = 1e-6}}};
+  serve::EngineGroup group(group_config);
+  group.register_bundle(bundle);
+
+  const std::string listfile = "aps_reject.listfile";
+  net::ServerConfig config;
+  config.registry = &registry;
+  config.listfile = listfile;
+  net::IngestServer server(group, config);
+  server.start();
+
+  net::BlockingClient client("127.0.0.1", server.port(), "bulk/client");
+  client.open_session(0, "care/p0", "cawt", 0);
+  client.open_session(1, "bulk/p0", "cawt", 1);
+  const auto stream = testutil::synth_stream(8, 9900);
+
+  // Warm both sessions while healthy: everything served.
+  client.send_tick(0, 0, stream[0]);
+  client.send_tick(1, 0, stream[0]);
+  for (int i = 0; i < 2; ++i) {
+    const net::TickReply reply = client.recv_reply();
+    EXPECT_TRUE(reply.served);
+  }
+
+  // Saturate the ladder, as a full ingest queue would.
+  group.admission().observe_tick(1.0, 0.0);
+  ASSERT_EQ(group.admission().state(), serve::OverloadState::kShed);
+
+  // An open while shedding: typed reject carrying the backoff hint.
+  try {
+    client.open_session(2, "care/p1", "cawt", 2);
+    FAIL() << "open while shedding was not rejected";
+  } catch (const net::RejectedError& err) {
+    EXPECT_EQ(err.reject().token, 2u);
+    EXPECT_EQ(err.reject().seq, 0u);
+    EXPECT_EQ(err.reject().reason, 1u);  // kOverloadOpen
+    EXPECT_EQ(err.reject().retry_after_ms, 20u);
+  }
+
+  // bulk's bucket is empty (quotas only bite while shedding, and its
+  // burst is ~zero), so its tick sheds with the seq echoed back; care is
+  // in quota and still served from the same batch.
+  group.admission().observe_tick(1.0, 0.0);  // re-arm past the server feed
+  client.send_tick(0, 1, stream[1]);
+  client.send_tick(1, 1, stream[1]);
+  bool care_served = false, bulk_shed = false;
+  for (int i = 0; i < 2; ++i) {
+    const net::TickReply reply = client.recv_reply();
+    if (reply.served) {
+      EXPECT_EQ(reply.decision.token, 0u);
+      care_served = true;
+    } else {
+      EXPECT_EQ(reply.reject.token, 1u);
+      EXPECT_EQ(reply.reject.seq, 1u);
+      EXPECT_EQ(reply.reject.reason, 2u);  // kOverQuotaTick
+      bulk_shed = true;
+    }
+  }
+  EXPECT_TRUE(care_served);
+  EXPECT_TRUE(bulk_shed);
+
+  // The ladder clears after calm feeds (dwell = 1 per rung); a retrying
+  // open now succeeds by backing off instead of failing.
+  for (int k = 2; k < 6; ++k) {
+    client.send_tick(0, static_cast<std::uint64_t>(k), stream[k]);
+    EXPECT_TRUE(client.recv_reply().served);
+  }
+  ASSERT_EQ(group.admission().state(), serve::OverloadState::kHealthy);
+  EXPECT_NO_THROW(client.open_session(2, "care/p1", "cawt", 2,
+                                      /*max_retries=*/3));
+
+  for (const std::uint64_t token : {0u, 1u, 2u}) {
+    (void)client.close_session(token);
+  }
+  server.stop();
+
+  // Every shed is visible in the registry, attributed to its tenant...
+  EXPECT_EQ(registry.counter_value(
+                "serve_shed_total", {{"reason", "tick"}, {"tenant", "bulk"}}),
+            1u);
+  EXPECT_EQ(registry.counter_value(
+                "serve_shed_total", {{"reason", "tick"}, {"tenant", "care"}}),
+            0u);
+  EXPECT_EQ(registry.counter_value(
+                "serve_shed_total", {{"reason", "open"}, {"tenant", "care"}}),
+            1u);
+  EXPECT_EQ(registry.counter_value("net_frames_total",
+                                   {{"dir", "out"}, {"kind", "reject"}}),
+            2u);
+
+  // ...and net_ticks_total counts SERVED ticks only, which is also what
+  // the listfile holds — a replay must reproduce every served decision
+  // without tripping over the shed tick.
+  EXPECT_EQ(registry.counter_value("net_ticks_total"), 7u);
+  serve::MonitorEngine fresh({.threads = 1});
+  fresh.register_bundle(bundle);
+  const net::ReplayResult replayed = net::replay_listfile(listfile, fresh);
+  EXPECT_EQ(replayed.ticks, 7u);
+  EXPECT_EQ(replayed.mismatches, 0u);
+  EXPECT_EQ(replayed.unmatched, 0u);
+  std::remove(listfile.c_str());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <string>
 #include <thread>
@@ -103,6 +104,26 @@ TEST(ObsHistogram, BucketsCountSumMax) {
   EXPECT_DOUBLE_EQ(zero.sum, 0.0);
   EXPECT_DOUBLE_EQ(zero.max, 0.0);
   EXPECT_DOUBLE_EQ(zero.percentile(50.0), 0.0);
+}
+
+TEST(ObsHistogram, EmptySnapshotPercentileContractIsExactZero) {
+  // Pinned contract (documented on HistogramSnapshot::percentile): with
+  // count == 0 every percentile is EXACTLY 0.0 — never NaN, never a
+  // bucket bound — and a NaN p is answered with 0.0 too. Serve-layer
+  // latency summaries rely on this to report hard zeros for idle engines.
+  obs::Histogram h(obs::HistogramSpec::latency_us());
+  const obs::HistogramSnapshot empty = h.snapshot();
+  ASSERT_EQ(empty.count, 0u);
+  for (const double p : {0.0, 50.0, 99.0, 100.0}) {
+    const double value = empty.percentile(p);
+    EXPECT_EQ(value, 0.0) << "p=" << p;
+    EXPECT_FALSE(std::isnan(value)) << "p=" << p;
+  }
+  EXPECT_EQ(empty.percentile(std::numeric_limits<double>::quiet_NaN()), 0.0);
+
+  // The contract is empty-only: one observation and percentiles are live.
+  h.observe(3.0);
+  EXPECT_GT(h.snapshot().percentile(99.0), 0.0);
 }
 
 TEST(ObsHistogram, PercentilesBracketAndClampToMax) {
